@@ -1,0 +1,274 @@
+//! The flush-based coordinated checkpoint baseline (MPVM / CoCheck /
+//! LAM-MPI style), for the paper's §5.2 comparison.
+//!
+//! Prior systems cannot capture in-kernel TCP state, so before saving they
+//! must **flush every communication channel**: each node sends a marker to
+//! every other node and must receive markers (plus all data in flight ahead
+//! of them) from every other node before its local state is consistent.
+//! That is O(N²) messages against Cruz's O(N), and the all-to-all exchange
+//! sits on the critical path of every checkpoint. At restart they must
+//! additionally re-discover peer locations and re-establish every
+//! connection.
+//!
+//! This module reproduces that coordination structure as a discrete-event
+//! model over the same link/CPU parameters as the Cruz runs, taking the
+//! measured local-save durations as input, so the comparison isolates
+//! exactly the coordination cost the paper claims to eliminate.
+
+use des::{EventQueue, SimDuration, SimTime};
+use simnet::link::LinkParams;
+
+/// Inputs of one flush-based coordination round.
+#[derive(Debug, Clone)]
+pub struct FlushSim {
+    /// Number of application nodes.
+    pub nodes: usize,
+    /// Link parameters (same as the Cruz run).
+    pub link: LinkParams,
+    /// Per-message CPU cost (same as the Cruz run).
+    pub ctl_msg_cpu: SimDuration,
+    /// Measured local save duration per node (from the Cruz run, so both
+    /// systems save identical state).
+    pub local_save: Vec<SimDuration>,
+    /// Bytes of in-flight application data that must be flushed per channel
+    /// (drained ahead of the marker).
+    pub channel_flush_bytes: u64,
+    /// Marker message payload bytes.
+    pub marker_bytes: usize,
+    /// For restart: per-connection re-establishment cost (location lookup +
+    /// TCP handshake), charged per peer.
+    pub reconnect_rtt: SimDuration,
+}
+
+/// The outcome of a modelled flush-based operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlushReport {
+    /// First coordinator message to last local-save completion.
+    pub checkpoint_latency: SimDuration,
+    /// Latency minus the largest local save (comparable to
+    /// `OpReport::coordination_overhead`).
+    pub coordination_overhead: SimDuration,
+    /// Total protocol messages exchanged (coordinator + all-to-all).
+    pub messages: u64,
+}
+
+#[derive(Debug)]
+enum Ev {
+    /// Coordinator's start message reaches node `i`.
+    Start(usize),
+    /// A marker (and its flushed channel data) fully received at `to`.
+    Marker { to: usize },
+    /// Node `i` finished its local save.
+    Saved(usize),
+}
+
+impl FlushSim {
+    /// Runs the checkpoint-coordination model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `local_save.len() != nodes` or `nodes < 2`.
+    pub fn run_checkpoint(&self) -> FlushReport {
+        assert!(self.nodes >= 2, "flush model needs at least two nodes");
+        assert_eq!(
+            self.local_save.len(),
+            self.nodes,
+            "one local-save duration per node"
+        );
+        let n = self.nodes;
+        let mut q: EventQueue<Ev> = EventQueue::new();
+        let t0 = SimTime::ZERO;
+        let mut messages: u64 = 0;
+
+        // Coordinator serializes its N start messages.
+        for i in 0..n {
+            let sent = t0 + self.ctl_msg_cpu * (i as u64 + 1);
+            let arrive = sent + self.link.tx_time(64) + self.link.latency * 2;
+            q.push(arrive, Ev::Start(i));
+            messages += 1;
+        }
+
+        let mut markers_received = vec![0usize; n];
+        let mut started = vec![false; n];
+        let mut flushed_at: Vec<Option<SimTime>> = vec![None; n];
+        let mut saved_at: Vec<Option<SimTime>> = vec![None; n];
+        let mut last_saved = t0;
+        // Each node's uplink serializes its outgoing flush traffic.
+        let mut uplinks = vec![simnet::link::LinkState::new(); n];
+
+        while let Some((now, ev)) = q.pop() {
+            match ev {
+                Ev::Start(i) => {
+                    started[i] = true;
+                    // Send a marker to every other node: serialized on this
+                    // node's CPU, preceded on the wire by the channel's
+                    // in-flight data, and all of it queueing on one uplink.
+                    let mut k = 0u64;
+                    for j in 0..n {
+                        if j == i {
+                            continue;
+                        }
+                        k += 1;
+                        messages += 1;
+                        let cpu_done = now + self.ctl_msg_cpu * k;
+                        let arrive = uplinks[i].schedule(
+                            cpu_done,
+                            self.channel_flush_bytes as usize + self.marker_bytes,
+                            &self.link,
+                        ) + self.link.latency;
+                        q.push(arrive, Ev::Marker { to: j });
+                    }
+                    maybe_flush_done(
+                        i,
+                        now,
+                        &started,
+                        &markers_received,
+                        n,
+                        &mut flushed_at,
+                        &mut q,
+                        &self.local_save,
+                    );
+                }
+                Ev::Marker { to } => {
+                    markers_received[to] += 1;
+                    maybe_flush_done(
+                        to,
+                        now,
+                        &started,
+                        &markers_received,
+                        n,
+                        &mut flushed_at,
+                        &mut q,
+                        &self.local_save,
+                    );
+                }
+                Ev::Saved(i) => {
+                    saved_at[i] = Some(now);
+                    // done message back to the coordinator.
+                    messages += 1;
+                    let done_arrive = now
+                        + self.ctl_msg_cpu
+                        + self.link.tx_time(64)
+                        + self.link.latency * 2;
+                    if done_arrive > last_saved {
+                        last_saved = done_arrive;
+                    }
+                }
+            }
+        }
+        // Continue round (same as Cruz: N more messages each way).
+        messages += 2 * n as u64;
+
+        let latency = last_saved.duration_since(t0);
+        let max_local = self.local_save.iter().copied().max().unwrap_or_default();
+        FlushReport {
+            checkpoint_latency: latency,
+            coordination_overhead: latency.saturating_sub(max_local),
+            messages,
+        }
+    }
+
+    /// Runs the restart-coordination model: on top of the checkpoint-shaped
+    /// message pattern, every pair must re-discover locations and
+    /// re-establish its connection.
+    pub fn run_restart(&self) -> FlushReport {
+        let base = self.run_checkpoint();
+        // Each node reconnects to every other node; connection setups on one
+        // node serialize on its CPU and each costs a round trip.
+        let per_node = self.ctl_msg_cpu * (self.nodes as u64 - 1) + self.reconnect_rtt;
+        let extra_msgs = (self.nodes * (self.nodes - 1)) as u64 * 2; // SYN + ACK per pair, both directions collapsed
+        FlushReport {
+            checkpoint_latency: base.checkpoint_latency + per_node,
+            coordination_overhead: base.coordination_overhead + per_node,
+            messages: base.messages + extra_msgs,
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn maybe_flush_done(
+    i: usize,
+    now: SimTime,
+    started: &[bool],
+    markers: &[usize],
+    n: usize,
+    flushed_at: &mut [Option<SimTime>],
+    q: &mut EventQueue<Ev>,
+    local_save: &[SimDuration],
+) {
+    if flushed_at[i].is_some() || !started[i] || markers[i] < n - 1 {
+        return;
+    }
+    flushed_at[i] = Some(now);
+    q.push(now + local_save[i], Ev::Saved(i));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sim(n: usize) -> FlushSim {
+        FlushSim {
+            nodes: n,
+            link: LinkParams::gigabit(),
+            ctl_msg_cpu: SimDuration::from_micros(25),
+            local_save: vec![SimDuration::from_millis(100); n],
+            channel_flush_bytes: 64 * 1024,
+            marker_bytes: 64,
+            reconnect_rtt: SimDuration::from_micros(300),
+        }
+    }
+
+    #[test]
+    fn message_count_is_quadratic() {
+        // N start + N(N-1) markers + N done + 2N continue.
+        let r4 = sim(4).run_checkpoint();
+        assert_eq!(r4.messages, 4 + 12 + 4 + 8);
+        let r8 = sim(8).run_checkpoint();
+        assert_eq!(r8.messages, 8 + 56 + 8 + 16);
+        assert!(r8.messages > 2 * r4.messages, "superlinear growth");
+    }
+
+    #[test]
+    fn overhead_grows_much_faster_than_linear_protocols() {
+        let o2 = sim(2).run_checkpoint().coordination_overhead;
+        let o16 = sim(16).run_checkpoint().coordination_overhead;
+        // The all-to-all flush makes 16 nodes far costlier than 2.
+        assert!(o16 > o2 * 4, "o2={o2} o16={o16}");
+    }
+
+    #[test]
+    fn flush_volume_matters() {
+        let mut light = sim(4);
+        light.channel_flush_bytes = 0;
+        let mut heavy = sim(4);
+        heavy.channel_flush_bytes = 10 * 1024 * 1024;
+        let lo = light.run_checkpoint().coordination_overhead;
+        let hi = heavy.run_checkpoint().coordination_overhead;
+        assert!(hi > lo * 10, "in-flight data sits on the critical path");
+    }
+
+    #[test]
+    fn restart_adds_reconnect_cost() {
+        let c = sim(6).run_checkpoint();
+        let r = sim(6).run_restart();
+        assert!(r.coordination_overhead > c.coordination_overhead);
+        assert!(r.messages > c.messages);
+    }
+
+    #[test]
+    fn latency_still_dominated_by_local_save() {
+        let r = sim(4).run_checkpoint();
+        assert!(r.checkpoint_latency >= SimDuration::from_millis(100));
+        assert!(r.coordination_overhead < SimDuration::from_millis(20));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two nodes")]
+    fn rejects_single_node() {
+        let mut s = sim(2);
+        s.nodes = 1;
+        s.local_save = vec![SimDuration::ZERO];
+        let _ = s.run_checkpoint();
+    }
+}

@@ -1,0 +1,24 @@
+//! Baselines the paper compares against.
+//!
+//! Cruz's evaluation argues (§5.2) that prior coordinated checkpoint
+//! systems — MPVM, CoCheck, LAM/MPI — pay O(N²) messages and put an
+//! all-to-all channel flush on every checkpoint's critical path, because
+//! they cannot capture in-kernel TCP state. This crate reproduces that
+//! comparator:
+//!
+//! * [`flush`] — a discrete-event model of flush-based coordination,
+//!   parameterized by the same link/CPU costs as the Cruz runs and fed the
+//!   measured local-save durations, so the message-complexity and
+//!   coordination-overhead comparison isolates exactly the protocol
+//!   difference;
+//! * [`logging`] — a cost model of message-logging schemes (§2), which
+//!   avoid the flush but tax every message of *normal* execution — the
+//!   "prohibitive performance overhead" the paper cites for rejecting them.
+
+#![warn(missing_docs)]
+
+pub mod flush;
+pub mod logging;
+
+pub use flush::{FlushReport, FlushSim};
+pub use logging::{LoggingCosts, LoggingReport, MessageProfile};

@@ -1,0 +1,118 @@
+//! The message-logging baseline (§2's other alternative).
+//!
+//! Checkpoint schemes built on message logging (Elnozahy & Zwaenepoel;
+//! RENEW) avoid the channel flush by logging every application message so
+//! in-flight data can be replayed. The paper dismisses them because the
+//! logging itself taxes *normal* operation — "prohibitive performance
+//! overhead for communication-intensive applications" — whereas Cruz adds
+//! nothing to the fast path. This model quantifies that trade-off: given
+//! an application's messaging profile, it computes the steady-state
+//! slowdown logging imposes, against Cruz's zero.
+
+use des::SimDuration;
+
+/// A communication profile of one application process.
+#[derive(Debug, Clone, Copy)]
+pub struct MessageProfile {
+    /// Messages sent per second of application time.
+    pub msgs_per_sec: f64,
+    /// Mean message payload size in bytes.
+    pub mean_msg_bytes: u64,
+}
+
+/// Cost model of the logging substrate.
+#[derive(Debug, Clone, Copy)]
+pub struct LoggingCosts {
+    /// Fixed CPU cost to intercept and record one message.
+    pub per_msg_cpu: SimDuration,
+    /// Sustained bandwidth of the log device in bytes/second (logs must be
+    /// stable before a message is *delivered* under pessimistic logging).
+    pub log_bandwidth_bps: u64,
+}
+
+impl Default for LoggingCosts {
+    fn default() -> Self {
+        LoggingCosts {
+            per_msg_cpu: SimDuration::from_micros(5),
+            log_bandwidth_bps: 100_000_000, // the era's disk
+        }
+    }
+}
+
+/// The modelled steady-state impact of message logging.
+#[derive(Debug, Clone, Copy)]
+pub struct LoggingReport {
+    /// Fraction of wall time spent logging (0.0–1.0+; above 1.0 the log
+    /// device cannot keep up at all).
+    pub utilization: f64,
+    /// Relative application slowdown while logging keeps up
+    /// (`1.0` = no slowdown).
+    pub slowdown: f64,
+    /// Log bytes produced per second.
+    pub log_bytes_per_sec: f64,
+}
+
+impl MessageProfile {
+    /// Evaluates the logging cost model against this profile.
+    pub fn evaluate(&self, costs: &LoggingCosts) -> LoggingReport {
+        let cpu_per_sec = self.msgs_per_sec * costs.per_msg_cpu.as_secs_f64();
+        let log_bytes = self.msgs_per_sec * self.mean_msg_bytes as f64;
+        let io_per_sec = log_bytes / costs.log_bandwidth_bps as f64;
+        // Pessimistic logging serializes CPU interception and log I/O on
+        // the message path.
+        let utilization = cpu_per_sec + io_per_sec;
+        LoggingReport {
+            utilization,
+            slowdown: 1.0 / (1.0 - utilization.min(0.99)),
+            log_bytes_per_sec: log_bytes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn light_messaging_is_cheap() {
+        // 100 small messages/s: logging is almost free.
+        let p = MessageProfile {
+            msgs_per_sec: 100.0,
+            mean_msg_bytes: 1024,
+        };
+        let r = p.evaluate(&LoggingCosts::default());
+        assert!(r.slowdown < 1.01, "slowdown {}", r.slowdown);
+    }
+
+    #[test]
+    fn communication_intensive_apps_pay_heavily() {
+        // A gigabit-rate stream (the paper's Fig. 6 workload, ~80k
+        // MSS-sized messages/s): the log device saturates.
+        let p = MessageProfile {
+            msgs_per_sec: 80_000.0,
+            mean_msg_bytes: 1460,
+        };
+        let r = p.evaluate(&LoggingCosts::default());
+        assert!(
+            r.utilization > 1.0,
+            "the log cannot keep up: utilization {}",
+            r.utilization
+        );
+        assert!(r.slowdown > 10.0, "prohibitive, as the paper says");
+    }
+
+    #[test]
+    fn slowdown_grows_monotonically_with_rate() {
+        let costs = LoggingCosts::default();
+        let mut last = 0.0;
+        for rate in [1_000.0, 5_000.0, 20_000.0, 50_000.0] {
+            let r = MessageProfile {
+                msgs_per_sec: rate,
+                mean_msg_bytes: 1460,
+            }
+            .evaluate(&costs);
+            assert!(r.slowdown > last);
+            last = r.slowdown;
+        }
+    }
+}

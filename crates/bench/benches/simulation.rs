@@ -1,0 +1,128 @@
+//! Criterion benchmarks: wall-clock cost of the simulation substrate and of
+//! regenerating each paper experiment at reduced scale. These guard against
+//! performance regressions in the simulator itself; the `src/bin/*`
+//! binaries print the paper-shaped numbers.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use bench::fig5::run_fig5;
+use bench::fig6::streaming_job;
+use cluster::{ClusterParams, World};
+use cruz::proto::ProtocolMode;
+use des::SimDuration;
+use simnet::addr::{IpAddr, MacAddr};
+use simnet::tcp::TcpConfig;
+use workloads::slm::SlmConfig;
+use zap::image::{MacMode, PodImage};
+
+/// Image codec throughput (encode + decode of a realistic pod image).
+fn bench_image_codec(c: &mut Criterion) {
+    // Build a real image by checkpointing a pod with 1 MiB of state.
+    let slm = SlmConfig {
+        ranks: 2,
+        state_bytes: 1024 * 1024,
+        iters: u64::MAX / 2,
+        compute_ns: 1_000_000,
+        halo_bytes: 1024,
+        port: 7100,
+        state_step_bytes: 0,
+    };
+    let mut w = World::new(3, ClusterParams::default());
+    w.launch_job(&slm.job_spec("slm", 2)).unwrap();
+    w.run_for(SimDuration::from_millis(30));
+    let op = w
+        .start_checkpoint("slm", ProtocolMode::Blocking, None)
+        .unwrap();
+    assert!(w.run_until_op(op, 50_000_000));
+    let bytes = w.store("slm").get_image("rank0", op).expect("image stored");
+
+    c.bench_function("image_decode_1mib", |b| {
+        b.iter(|| PodImage::decode(black_box(&bytes)).unwrap())
+    });
+    let image = PodImage::decode(&bytes).unwrap();
+    c.bench_function("image_encode_1mib", |b| {
+        b.iter(|| black_box(&image).encode())
+    });
+}
+
+/// Wall cost of simulating 20 ms of a maximum-rate TCP stream (Fig. 6's
+/// inner loop).
+fn bench_streaming_sim(c: &mut Criterion) {
+    c.bench_function("simulate_20ms_gigabit_stream", |b| {
+        b.iter(|| {
+            let (spec, _) = streaming_job(4096);
+            let mut w = World::new(3, ClusterParams::default());
+            w.launch_job(&spec).unwrap();
+            w.run_for(SimDuration::from_millis(20));
+            black_box(w.now)
+        })
+    });
+}
+
+/// Wall cost of one full coordinated checkpoint (Fig. 5's inner loop) at
+/// reduced state size.
+fn bench_coordinated_checkpoint(c: &mut Criterion) {
+    let mut g = c.benchmark_group("checkpoint");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(20));
+    g.bench_function("coordinated_checkpoint_2_nodes", |b| {
+        b.iter(|| {
+            let mut point = run_fig5(2, 1, SimDuration::from_millis(20));
+            black_box(point.reports.pop())
+        })
+    });
+    g.finish();
+}
+
+/// Wall cost of the TCP state machine: one endpoint pair moving 1 MiB.
+fn bench_tcp_pair(c: &mut Criterion) {
+    use simnet::tcp::{seq::SeqNum, Tcb};
+    c.bench_function("tcb_pair_transfer_1mib", |b| {
+        b.iter(|| {
+            let cfg = TcpConfig::default();
+            let t0 = des::SimTime::ZERO;
+            let la = simnet::addr::SockAddr::new(IpAddr::from_octets([10, 0, 0, 1]), 1);
+            let lb = simnet::addr::SockAddr::new(IpAddr::from_octets([10, 0, 0, 2]), 2);
+            let (mut a, syns) = Tcb::connect(cfg.clone(), la, lb, SeqNum::new(1), t0);
+            let (mut bb, synacks) = Tcb::accept_syn(cfg, lb, la, SeqNum::new(2), &syns[0], t0);
+            let acks = a.on_segment(&synacks[0], t0);
+            for s in &acks {
+                let _ = bb.on_segment(s, t0);
+            }
+            // Nodelay: the driver below never fires timers, so Nagle must
+            // not hold the sub-MSS tail back.
+            let _ = a.set_nodelay(true, t0);
+            let payload = vec![7u8; 1024 * 1024];
+            let mut sent = 0;
+            let mut received = 0usize;
+            while received < payload.len() {
+                let (n, segs) = a.write(&payload[sent..], t0);
+                sent += n;
+                let mut replies = Vec::new();
+                for s in &segs {
+                    replies.extend(bb.on_segment(s, t0));
+                }
+                let (data, more) = bb.read(usize::MAX, t0);
+                received += data.len();
+                for r in replies.iter().chain(more.iter()) {
+                    let _ = a.on_segment(r, t0);
+                }
+            }
+            black_box(received)
+        })
+    });
+    let _ = MacAddr::from_index(0);
+    let _ = MacMode::Dedicated(MacAddr::from_index(0));
+}
+
+fn config() -> Criterion {
+    Criterion::default().sample_size(10)
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_image_codec, bench_streaming_sim, bench_coordinated_checkpoint, bench_tcp_pair
+}
+criterion_main!(benches);

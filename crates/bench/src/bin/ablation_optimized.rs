@@ -1,0 +1,25 @@
+//! Regenerates the Fig. 4 ablation: per-node blocked time under the
+//! blocking (Fig. 2) vs optimized (Fig. 4) protocols with heterogeneous
+//! per-node save times.
+
+use bench::ablation::run_ablation_opts;
+use cruz::proto::ProtocolMode;
+
+fn main() {
+    println!("# Fig 4 + §5.2 ablation: per-node blocked time (ms), 4 nodes,");
+    println!("# rank r saves 1 MiB + r * 4 MiB");
+    for (mode, cow) in [
+        (ProtocolMode::Blocking, false),
+        (ProtocolMode::Optimized, false),
+        (ProtocolMode::Blocking, true),
+        (ProtocolMode::Optimized, true),
+    ] {
+        let p = run_ablation_opts(mode, 4, cow);
+        let label = format!("{mode:?}{}", if cow { "+COW" } else { "" });
+        print!("{label:<15}");
+        for (n, d) in &p.blocked {
+            print!("  node{n}={:>8.1}", d.as_millis_f64());
+        }
+        println!("  ckpt_latency={:.1} ms", p.latency.as_millis_f64());
+    }
+}

@@ -1,0 +1,48 @@
+//! Regenerates the §5.2 comparison: Cruz's O(N) coordination vs the
+//! flush-based O(N²) baseline (MPVM/CoCheck/LAM-MPI style) under identical
+//! link/CPU parameters and measured local-save times.
+
+use baseline::{LoggingCosts, MessageProfile};
+use bench::compare::run_compare;
+
+fn main() {
+    println!("# Cruz vs flush-based coordination (64 KiB in-flight per channel)");
+    println!(
+        "{:>6} {:>10} {:>14} {:>11} {:>15}",
+        "nodes", "cruz_msgs", "cruz_ovh_us", "flush_msgs", "flush_ovh_us"
+    );
+    for n in [2usize, 4, 8, 12, 16] {
+        let p = run_compare(n, 64 * 1024);
+        println!(
+            "{n:>6} {:>10} {:>14.1} {:>11} {:>15.1}",
+            p.cruz_msgs,
+            p.cruz_overhead.as_micros_f64(),
+            p.flush_msgs,
+            p.flush_overhead.as_micros_f64(),
+        );
+    }
+
+    // The other §2 alternative: message logging taxes *normal* execution.
+    println!();
+    println!("# Message-logging baseline: steady-state slowdown vs message rate");
+    println!("# (Cruz's fast-path overhead is zero by construction)");
+    println!("{:>14} {:>12} {:>12}", "msgs/s", "log_MB/s", "slowdown");
+    let costs = LoggingCosts::default();
+    for rate in [100.0f64, 1_000.0, 10_000.0, 40_000.0, 80_000.0] {
+        let r = MessageProfile {
+            msgs_per_sec: rate,
+            mean_msg_bytes: 1460,
+        }
+        .evaluate(&costs);
+        let slowdown = if r.utilization >= 1.0 {
+            "log saturated".to_string()
+        } else {
+            format!("{:.2}x", r.slowdown)
+        };
+        println!(
+            "{rate:>14.0} {:>12.2} {:>12}",
+            r.log_bytes_per_sec / 1e6,
+            slowdown
+        );
+    }
+}

@@ -1,0 +1,24 @@
+//! §5.2 ablation: how the length of the communication blackout (set by the
+//! checkpoint's local-save time) shapes the TCP disturbance. Supports the
+//! paper's proposal to re-enable communication as soon as the *network*
+//! state is saved.
+
+use bench::fig6::run_fig6;
+
+fn main() {
+    println!("# Communication-blackout sweep: state size vs TCP disturbance");
+    println!(
+        "{:>12} {:>14} {:>14}",
+        "state_MiB", "blackout_ms", "recovery_ms"
+    );
+    for mib in [1u64, 4, 10, 20] {
+        let run = run_fig6(mib * 1024 * 1024, 40, 700, 2, 10);
+        println!(
+            "{mib:>12} {:>14.1} {:>14}",
+            run.checkpoint_ms,
+            run.recovery_ms
+                .map(|r| format!("{r:.1}"))
+                .unwrap_or_else(|| "none".into())
+        );
+    }
+}

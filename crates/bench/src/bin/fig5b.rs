@@ -1,0 +1,16 @@
+//! Regenerates Fig. 5(b): coordination overhead of the slm checkpoint vs.
+//! node count.
+
+use bench::fig5::run_fig5;
+use bench::util::mean_std_micros;
+use des::SimDuration;
+
+fn main() {
+    println!("# Fig 5(b): coordination overhead (slm)");
+    println!("{:>6} {:>14} {:>10}", "nodes", "overhead_us", "std_us");
+    for n in [2usize, 3, 4, 5, 6, 7, 8] {
+        let p = run_fig5(n, 3, SimDuration::from_secs(2));
+        let (mean, std) = mean_std_micros(&p.overheads());
+        println!("{n:>6} {mean:>14.1} {std:>10.2}");
+    }
+}

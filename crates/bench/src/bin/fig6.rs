@@ -1,0 +1,17 @@
+//! Regenerates Fig. 6: TCP streaming rate across a coordinated checkpoint.
+
+use bench::fig6::run_fig6;
+
+fn main() {
+    let run = run_fig6(10 * 1024 * 1024, 50, 500, 2, 10);
+    println!("# Fig 6: TCP streaming rate across a checkpoint");
+    println!("# checkpoint (local save) window: {:.1} ms", run.checkpoint_ms);
+    match run.recovery_ms {
+        Some(r) => println!("# stream back at >=50% rate: t = {r:.1} ms"),
+        None => println!("# stream did not recover in the sampled window"),
+    }
+    println!("{:>10} {:>12}", "t_ms", "rate_Mbps");
+    for s in &run.samples {
+        println!("{:>10.1} {:>12.1}", s.t_ms, s.rate_mbps);
+    }
+}

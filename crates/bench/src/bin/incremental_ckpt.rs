@@ -1,0 +1,134 @@
+//! Incremental-checkpoint ablation (the paper's named future-work
+//! optimization): image size of full vs. incremental checkpoints of an
+//! slm-like pod that dirties a small working set per timestep.
+
+use des::{SimDuration, SimTime};
+use simnet::addr::{IpAddr, MacAddr};
+use simnet::tcp::TcpConfig;
+use simnet::NetStack;
+use simos::disk::{Disk, DiskParams};
+use simos::fs::NetFs;
+use simos::guest::AsmOs;
+use simos::kernel::{Kernel, KernelParams};
+use simos::program::{Program, CODE_BASE, DATA_BASE};
+use simos::syscall::nr;
+use zap::image::MacMode;
+use zap::{PodConfig, Zap};
+
+/// A pod program that dirties 16 pages of a big array per step.
+fn stepper(state_bytes: u64, steps: u64) -> Program {
+    use simcpu::isa::{R11, R12, R13, R5, R9};
+    let state = 0x0200_0000i64;
+    let pages = (state_bytes / 4096).max(16);
+    let windows = (pages / 16) as i64;
+    let mut a = simcpu::asm::Asm::new(CODE_BASE);
+    a.movi(R9, 0);
+    let top = a.label();
+    a.bind(top);
+    a.mov(R11, R9);
+    a.remi(R11, R11, windows);
+    a.muli(R11, R11, 16 * 4096);
+    a.addi(R11, R11, state);
+    a.movi(R12, 0);
+    let touch = a.label();
+    a.bind(touch);
+    a.mov(R13, R12);
+    a.shli(R13, R13, 12);
+    a.add(R13, R13, R11);
+    a.st(R13, R9, 0);
+    a.addi(R12, R12, 1);
+    a.movi(R5, 16);
+    a.cltu(simcpu::isa::R14, R12, R5);
+    a.jnz(simcpu::isa::R14, touch);
+    a.sys1(nr::SLEEP, 2_000_000);
+    a.addi(R9, R9, 1);
+    a.movi(R5, steps as i64);
+    a.cltu(simcpu::isa::R14, R9, R5);
+    a.jnz(simcpu::isa::R14, top);
+    a.sys1(nr::EXIT, 0);
+    let data: Vec<u8> = (0..state_bytes).map(|i| (i % 251) as u8 | 1).collect();
+    Program::from_asm(&a)
+        .unwrap()
+        .with_data(DATA_BASE, vec![0u8; 4096])
+        .with_data(0x0200_0000, data)
+}
+
+fn main() {
+    let net = NetStack::new(
+        MacAddr::from_index(1),
+        IpAddr::from_octets([10, 0, 0, 1]),
+        24,
+        TcpConfig::default(),
+    );
+    let mut k = Kernel::new(
+        net,
+        NetFs::new(),
+        Disk::new(DiskParams::default()),
+        KernelParams::default(),
+    );
+    let z = Zap::new();
+    z.install(&mut k);
+    let pod = z
+        .create_pod(
+            &mut k,
+            PodConfig {
+                name: "inc".into(),
+                ip: IpAddr::from_octets([10, 0, 0, 50]),
+                mac_mode: MacMode::Dedicated(MacAddr::from_index(50)),
+            },
+        )
+        .unwrap();
+    let state_mib = 16u64;
+    z.spawn_in_pod(&mut k, pod, &stepper(state_mib * 1024 * 1024, 1_000_000))
+        .unwrap();
+
+    // Run ~20 ms between checkpoints (≈10 timesteps, ≈160 dirtied pages).
+    let mut now = SimTime::ZERO;
+    let run_for = |k: &mut Kernel, now: &mut SimTime, d: SimDuration| {
+        let end = *now + d;
+        while *now < end {
+            if k.has_runnable() {
+                *now = *now + k.run_slice(*now).elapsed;
+                let _ = k.take_frames();
+            } else if let Some(t) = k.next_timer() {
+                if t > end {
+                    *now = end;
+                    break;
+                }
+                *now = (*now).max(t);
+                k.on_tick(*now);
+            } else {
+                break;
+            }
+        }
+    };
+
+    println!("# Incremental checkpointing: {state_mib} MiB resident, ~160 pages dirtied per interval");
+    println!("{:>8} {:>14} {:>14} {:>10}", "epoch", "kind", "bytes", "vs_full%");
+    run_for(&mut k, &mut now, SimDuration::from_millis(20));
+    let full = z.checkpoint_pod(&mut k, pod, now).unwrap();
+    z.resume_pod(&mut k, pod, now).unwrap();
+    let full_len = full.encoded_len();
+    println!("{:>8} {:>14} {:>14} {:>10.2}", 1, "full", full_len, 100.0);
+    let mut chain = full;
+    for epoch in 2..=6u64 {
+        run_for(&mut k, &mut now, SimDuration::from_millis(20));
+        let delta = z
+            .checkpoint_pod_incremental(&mut k, pod, now, epoch - 1)
+            .unwrap();
+        z.resume_pod(&mut k, pod, now).unwrap();
+        let len = delta.encoded_len();
+        println!(
+            "{:>8} {:>14} {:>14} {:>10.2}",
+            epoch,
+            "incremental",
+            len,
+            len as f64 / full_len as f64 * 100.0
+        );
+        chain = chain.apply_delta(&delta).expect("chain folds");
+    }
+    println!(
+        "# folded chain equals a fresh full checkpoint of the same instant: {}",
+        chain.encoded_len() == z.checkpoint_pod(&mut k, pod, now).unwrap().encoded_len()
+    );
+}

@@ -1,0 +1,24 @@
+//! Regenerates the §6 runtime-overhead claim: the virtualization layer
+//! costs well under 0.5 % for realistic syscall densities.
+
+use bench::overhead::run_overhead;
+use workloads::ComputeConfig;
+
+fn main() {
+    println!("# Runtime virtualization overhead (pod vs bare kernel)");
+    println!(
+        "{:>22} {:>12} {:>12} {:>10}",
+        "instr_per_syscall", "bare_s", "pod_s", "overhead%"
+    );
+    for (outer, inner) in [(200u64, 50_000u64), (500, 10_000), (2_000, 2_000), (10_000, 200)] {
+        let rep = run_overhead(ComputeConfig { outer, inner });
+        // inner loop is ~4 instructions per iteration plus loop overhead
+        let ips = inner * 4 + 6;
+        println!(
+            "{ips:>22} {:>12.6} {:>12.6} {:>10.3}",
+            rep.bare_secs,
+            rep.pod_secs,
+            rep.overhead_percent()
+        );
+    }
+}

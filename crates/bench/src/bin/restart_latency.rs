@@ -1,0 +1,23 @@
+//! Regenerates the §6 claim that restart behaves like Fig. 5(a)/(b):
+//! checkpoint an slm job, crash its nodes, restart on spares, and compare
+//! the two operations.
+
+use bench::fig5::run_restart_sweep;
+
+fn main() {
+    println!("# Restart vs checkpoint (slm, restart onto fresh nodes)");
+    println!(
+        "{:>6} {:>12} {:>12} {:>14} {:>14}",
+        "nodes", "ckpt_s", "restart_s", "ckpt_ovh_us", "restart_ovh_us"
+    );
+    for n in [2usize, 4, 8] {
+        let (ck, rs) = run_restart_sweep(n);
+        println!(
+            "{n:>6} {:>12.3} {:>12.3} {:>14.1} {:>14.1}",
+            ck.stats.checkpoint_latency().unwrap().as_secs_f64(),
+            rs.stats.checkpoint_latency().unwrap().as_secs_f64(),
+            ck.coordination_overhead().unwrap().as_micros_f64(),
+            rs.coordination_overhead().unwrap().as_micros_f64(),
+        );
+    }
+}

@@ -1,0 +1,26 @@
+//! The §6 closing claim: "the system should scale to a large number of
+//! nodes before the overhead becomes comparable with the checkpoint time".
+//! Sweeps far past the paper's 8-node testbed and reports the ratio.
+
+use bench::fig5::run_scalability;
+
+fn main() {
+    println!("# Scalability: coordination overhead vs local save, 1 MiB/rank");
+    println!(
+        "{:>6} {:>14} {:>14} {:>12}",
+        "nodes", "overhead_us", "local_save_ms", "ratio_%"
+    );
+    for n in [2usize, 4, 8, 16, 24, 32] {
+        let rep = run_scalability(n);
+        let overhead = rep.coordination_overhead().unwrap().as_micros_f64();
+        let local = rep
+            .local_ops
+            .iter()
+            .map(|(_, s, e)| e.duration_since(*s).as_millis_f64())
+            .fold(0.0, f64::max);
+        println!(
+            "{n:>6} {overhead:>14.1} {local:>14.1} {:>12.2}",
+            overhead / (local * 1000.0) * 100.0
+        );
+    }
+}

@@ -1,0 +1,198 @@
+//! Figure 6: the received-rate timeline of a maximum-rate TCP stream across
+//! a coordinated checkpoint — rate collapses while communication is
+//! disabled, a short pulse drains the receive buffer, and the sender
+//! resumes after TCP's retransmission backoff.
+
+use cluster::{ClusterParams, JobSpec, PodSpec, World};
+use cruz::proto::ProtocolMode;
+use des::{SimDuration, SimTime};
+use simnet::addr::{IpAddr, MacAddr};
+use workloads::streaming::{StreamingConfig, RECV_COUNTER_ADDR};
+use zap::image::MacMode;
+
+/// One sample of the rate timeline.
+#[derive(Debug, Clone, Copy)]
+pub struct Fig6Sample {
+    /// Time relative to checkpoint start, in milliseconds.
+    pub t_ms: f64,
+    /// Received rate over the preceding `window_ms`, in Mb/s.
+    pub rate_mbps: f64,
+}
+
+/// The result of a Fig. 6 run.
+#[derive(Debug, Clone)]
+pub struct Fig6Run {
+    /// The sampled timeline.
+    pub samples: Vec<Fig6Sample>,
+    /// How long the checkpoint kept communication disabled (the local save
+    /// window), in milliseconds.
+    pub checkpoint_ms: f64,
+    /// First post-checkpoint time the stream was back at ≥50 % of its
+    /// pre-checkpoint rate, in ms relative to checkpoint start.
+    pub recovery_ms: Option<f64>,
+}
+
+/// Builds the streaming job used by Fig. 6.
+pub fn streaming_job(state_bytes: u64) -> (JobSpec, StreamingConfig) {
+    let cfg = StreamingConfig {
+        receiver_ip: IpAddr::from_octets([10, 0, 1, 2]),
+        port: 7200,
+        total_bytes: None,
+        state_bytes,
+    };
+    let spec = JobSpec {
+        name: "stream".into(),
+        coordinator_node: 2,
+        pods: vec![
+            PodSpec {
+                name: "sender".into(),
+                ip: IpAddr::from_octets([10, 0, 1, 1]),
+                mac_mode: MacMode::Dedicated(MacAddr::from_index(2101)),
+                node: 0,
+                programs: vec![cfg.sender_program()],
+            },
+            PodSpec {
+                name: "receiver".into(),
+                ip: cfg.receiver_ip,
+                mac_mode: MacMode::Dedicated(MacAddr::from_index(2102)),
+                node: 1,
+                programs: vec![cfg.receiver_program()],
+            },
+        ],
+    };
+    (spec, cfg)
+}
+
+fn counter(w: &World) -> u64 {
+    w.peek_guest("stream", "receiver", 1, RECV_COUNTER_ADDR, 8)
+        .map(|b| u64::from_le_bytes(b.try_into().expect("8 bytes")))
+        .unwrap_or(0)
+}
+
+/// Runs the Fig. 6 experiment: stream at maximum rate, checkpoint at t=0,
+/// sample the received rate every `step_ms` over a sliding `window_ms`.
+///
+/// `state_bytes` sets the checkpoint's local-save window (the paper's was
+/// ≈120 ms).
+pub fn run_fig6(
+    state_bytes: u64,
+    pre_ms: u64,
+    post_ms: u64,
+    step_ms: u64,
+    window_ms: u64,
+) -> Fig6Run {
+    let (spec, _) = streaming_job(state_bytes);
+    let mut w = World::new(3, ClusterParams::default());
+    w.launch_job(&spec).expect("launch streaming job");
+    // Warm the stream up to steady state.
+    w.run_for(SimDuration::from_millis(300));
+
+    // Record (t, cumulative bytes) while stepping; checkpoint fires at t=0.
+    let t_ckpt = w.now + SimDuration::from_millis(pre_ms);
+    let mut history: Vec<(SimTime, u64)> = Vec::new();
+    let mut op = None;
+    let t_end = t_ckpt + SimDuration::from_millis(post_ms);
+    let mut t = w.now;
+    while t <= t_end {
+        if op.is_none() && t >= t_ckpt {
+            op = Some(
+                w.start_checkpoint("stream", ProtocolMode::Blocking, None)
+                    .expect("start checkpoint"),
+            );
+        }
+        w.run_until(t);
+        history.push((t, counter(&w)));
+        t += SimDuration::from_millis(step_ms);
+    }
+    let op = op.expect("checkpoint fired");
+    let report = w.op_report(op).expect("checkpoint report");
+    let checkpoint_ms = report
+        .local_ops
+        .iter()
+        .map(|(_, s, e)| e.duration_since(*s).as_millis_f64())
+        .fold(0.0, f64::max);
+
+    // Sliding-window rates relative to the checkpoint instant.
+    let window = SimDuration::from_millis(window_ms);
+    let mut samples = Vec::new();
+    for (i, &(at, bytes)) in history.iter().enumerate() {
+        let from = at.saturating_duration_since(SimTime::ZERO);
+        let _ = from;
+        // Find the sample one window earlier.
+        let start = if at.as_nanos() >= window.as_nanos() {
+            at - window
+        } else {
+            SimTime::ZERO
+        };
+        let earlier = history[..=i]
+            .iter()
+            .rev()
+            .find(|(ht, _)| *ht <= start)
+            .copied()
+            .unwrap_or(history[0]);
+        let dt = at.duration_since(earlier.0).as_secs_f64();
+        let db = bytes.saturating_sub(earlier.1) as f64;
+        let rate = if dt > 0.0 { db * 8.0 / dt / 1e6 } else { 0.0 };
+        let t_ms = (at.as_nanos() as f64 - t_ckpt.as_nanos() as f64) / 1e6;
+        samples.push(Fig6Sample { t_ms, rate_mbps: rate });
+    }
+
+    // Pre-checkpoint steady rate and recovery point.
+    let pre_rate: f64 = {
+        let pre: Vec<f64> = samples
+            .iter()
+            .filter(|s| s.t_ms < 0.0)
+            .map(|s| s.rate_mbps)
+            .collect();
+        pre.iter().sum::<f64>() / pre.len().max(1) as f64
+    };
+    let recovery_ms = samples
+        .iter()
+        .filter(|s| s.t_ms > checkpoint_ms)
+        .find(|s| s.rate_mbps >= pre_rate * 0.5)
+        .map(|s| s.t_ms);
+
+    Fig6Run {
+        samples,
+        checkpoint_ms,
+        recovery_ms,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stream_collapses_and_recovers() {
+        let run = run_fig6(2 * 1024 * 1024, 40, 400, 2, 10);
+        // Steady pre-checkpoint rate is most of a gigabit.
+        let pre: Vec<f64> = run
+            .samples
+            .iter()
+            .filter(|s| s.t_ms < -5.0)
+            .map(|s| s.rate_mbps)
+            .collect();
+        let pre_avg = pre.iter().sum::<f64>() / pre.len() as f64;
+        assert!(pre_avg > 500.0, "steady rate {pre_avg} Mb/s");
+        // During the checkpoint the rate collapses.
+        let mid: Vec<f64> = run
+            .samples
+            .iter()
+            .filter(|s| s.t_ms > 12.0 && s.t_ms < run.checkpoint_ms - 2.0)
+            .map(|s| s.rate_mbps)
+            .collect();
+        assert!(!mid.is_empty());
+        assert!(
+            mid.iter().cloned().fold(f64::MAX, f64::min) < pre_avg * 0.2,
+            "rate must collapse during the blackout"
+        );
+        // And it recovers after TCP's backoff.
+        let rec = run.recovery_ms.expect("stream recovers");
+        assert!(
+            rec > run.checkpoint_ms && rec < 600.0,
+            "recovery at {rec} ms (checkpoint {} ms)",
+            run.checkpoint_ms
+        );
+    }
+}

@@ -1,0 +1,19 @@
+//! Experiment harnesses regenerating every table and figure of the paper's
+//! evaluation (§6), plus the ablations DESIGN.md calls out.
+//!
+//! Each module builds the workload, drives the simulated cluster, and
+//! returns the measured series; the `src/bin/*` binaries print them in the
+//! shape the paper reports. `EXPERIMENTS.md` records paper-vs-measured for
+//! every experiment.
+
+#![warn(missing_docs)]
+
+pub mod ablation;
+pub mod compare;
+pub mod fig5;
+pub mod fig6;
+pub mod overhead;
+pub mod util;
+
+pub use fig5::{fig5_params, run_fig5, run_restart_sweep, Fig5Point};
+pub use fig6::{run_fig6, Fig6Sample};

@@ -1,0 +1,123 @@
+//! The runtime-overhead experiment (§6): Cruz's virtualization layer costs
+//! less than 0.5 % because it only virtualizes identifiers on the syscall
+//! path.
+
+use des::SimTime;
+use simnet::addr::{IpAddr, MacAddr};
+use simnet::tcp::TcpConfig;
+use simnet::NetStack;
+use simos::disk::{Disk, DiskParams};
+use simos::fs::NetFs;
+use simos::kernel::{Kernel, KernelParams};
+use simos::proc::ProcState;
+use workloads::ComputeConfig;
+use zap::image::MacMode;
+use zap::{PodConfig, Zap};
+
+/// The result of one overhead comparison.
+#[derive(Debug, Clone, Copy)]
+pub struct OverheadReport {
+    /// Completion time on the bare kernel (no interposition), seconds.
+    pub bare_secs: f64,
+    /// Completion time inside a pod (full interposition), seconds.
+    pub pod_secs: f64,
+}
+
+impl OverheadReport {
+    /// Relative slowdown of the virtualized run, in percent.
+    pub fn overhead_percent(&self) -> f64 {
+        (self.pod_secs - self.bare_secs) / self.bare_secs * 100.0
+    }
+}
+
+fn fresh_kernel() -> Kernel {
+    let net = NetStack::new(
+        MacAddr::from_index(1),
+        IpAddr::from_octets([10, 0, 0, 1]),
+        24,
+        TcpConfig::default(),
+    );
+    Kernel::new(
+        net,
+        NetFs::new(),
+        Disk::new(DiskParams::default()),
+        KernelParams::default(),
+    )
+}
+
+fn run_to_exit(k: &mut Kernel, pid: simos::Pid) -> SimTime {
+    let mut now = SimTime::ZERO;
+    for _ in 0..200_000_000u64 {
+        if matches!(k.process(pid).map(|p| &p.state), Some(ProcState::Zombie(_))) {
+            return now;
+        }
+        if k.has_runnable() {
+            now += k.run_slice(now).elapsed;
+            let _ = k.take_frames();
+        } else if let Some(t) = k.next_timer() {
+            now = now.max(t);
+            k.on_tick(now);
+        } else {
+            break;
+        }
+    }
+    now
+}
+
+/// Runs the compute microbenchmark bare and inside a pod, returning the
+/// two completion times.
+pub fn run_overhead(cfg: ComputeConfig) -> OverheadReport {
+    let prog = cfg.program();
+    // Bare: no hook installed at all.
+    let mut bare = fresh_kernel();
+    let pid = bare.spawn(&prog).expect("spawn bare");
+    let bare_end = run_to_exit(&mut bare, pid);
+
+    // Pod: Zap installed, process confined to a pod.
+    let mut podk = fresh_kernel();
+    let z = Zap::new();
+    z.install(&mut podk);
+    let pod = z
+        .create_pod(
+            &mut podk,
+            PodConfig {
+                name: "bench".into(),
+                ip: IpAddr::from_octets([10, 0, 0, 50]),
+                mac_mode: MacMode::Dedicated(MacAddr::from_index(50)),
+            },
+        )
+        .expect("create pod");
+    let vpid = z.spawn_in_pod(&mut podk, pod, &prog).expect("spawn in pod");
+    let real = z.real_pid(pod, vpid).expect("real pid");
+    let pod_end = run_to_exit(&mut podk, real);
+
+    OverheadReport {
+        bare_secs: bare_end.as_secs_f64(),
+        pod_secs: pod_end.as_secs_f64(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn virtualization_overhead_is_small_for_compute_bound_work() {
+        // Tens of thousands of instructions per syscall, like the paper's
+        // compute-bound applications.
+        let rep = run_overhead(ComputeConfig {
+            outer: 500,
+            inner: 10_000,
+        });
+        let pct = rep.overhead_percent();
+        assert!(pct > 0.0, "interposition is not free");
+        assert!(pct < 0.5, "paper claims < 0.5 %, measured {pct:.3} %");
+    }
+
+    #[test]
+    fn syscall_heavy_work_pays_more() {
+        let light = run_overhead(ComputeConfig { outer: 500, inner: 2_000 });
+        let heavy = run_overhead(ComputeConfig { outer: 2_000, inner: 50 });
+        assert!(heavy.overhead_percent() > light.overhead_percent());
+    }
+}

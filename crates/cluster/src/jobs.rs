@@ -1,0 +1,131 @@
+//! Job specifications and placement (the LSF-integration analogue).
+
+use simnet::addr::IpAddr;
+use simos::program::Program;
+use zap::image::MacMode;
+use zap::pod::PodId;
+
+/// One pod of a job: where it runs and what it executes.
+#[derive(Debug, Clone)]
+pub struct PodSpec {
+    /// Pod name (unique within the job; keys checkpoint images).
+    pub name: String,
+    /// The pod's externally routable IP.
+    pub ip: IpAddr,
+    /// VIF MAC configuration.
+    pub mac_mode: MacMode,
+    /// Node index the pod initially runs on.
+    pub node: usize,
+    /// Guest programs to spawn inside the pod.
+    pub programs: Vec<Program>,
+}
+
+/// A distributed job: a set of pods plus the node hosting the coordinator.
+#[derive(Debug, Clone)]
+pub struct JobSpec {
+    /// Job name.
+    pub name: String,
+    /// The pods.
+    pub pods: Vec<PodSpec>,
+    /// Node the checkpoint coordinator runs on (as in the paper, distinct
+    /// from the application nodes).
+    pub coordinator_node: usize,
+}
+
+/// Live placement of one pod.
+#[derive(Debug, Clone)]
+pub struct PodPlacement {
+    /// Pod name.
+    pub name: String,
+    /// The pod's IP (stable across migration).
+    pub ip: IpAddr,
+    /// MAC configuration.
+    pub mac_mode: MacMode,
+    /// Node currently hosting the pod.
+    pub node: usize,
+    /// The pod's id on that node (`None` while not instantiated, e.g.
+    /// between crash and restart).
+    pub pod_id: Option<PodId>,
+}
+
+/// Runtime state of a launched job.
+#[derive(Debug, Clone)]
+pub struct JobRuntime {
+    /// The job name.
+    pub name: String,
+    /// Current placements.
+    pub placements: Vec<PodPlacement>,
+    /// Coordinator node.
+    pub coordinator_node: usize,
+}
+
+impl JobRuntime {
+    /// Placements hosted on `node`.
+    pub fn pods_on_node(&self, node: usize) -> Vec<&PodPlacement> {
+        self.placements.iter().filter(|p| p.node == node).collect()
+    }
+
+    /// The distinct nodes hosting at least one pod.
+    pub fn app_nodes(&self) -> Vec<usize> {
+        let mut nodes: Vec<usize> = self.placements.iter().map(|p| p.node).collect();
+        nodes.sort_unstable();
+        nodes.dedup();
+        nodes
+    }
+
+    /// Looks up a placement by pod name.
+    pub fn placement(&self, name: &str) -> Option<&PodPlacement> {
+        self.placements.iter().find(|p| p.name == name)
+    }
+
+    /// Mutable lookup by pod name.
+    pub fn placement_mut(&mut self, name: &str) -> Option<&mut PodPlacement> {
+        self.placements.iter_mut().find(|p| p.name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simnet::addr::MacAddr;
+
+    fn runtime() -> JobRuntime {
+        JobRuntime {
+            name: "j".into(),
+            coordinator_node: 9,
+            placements: vec![
+                PodPlacement {
+                    name: "a".into(),
+                    ip: IpAddr::from_octets([10, 0, 1, 1]),
+                    mac_mode: MacMode::Dedicated(MacAddr::from_index(1)),
+                    node: 0,
+                    pod_id: None,
+                },
+                PodPlacement {
+                    name: "b".into(),
+                    ip: IpAddr::from_octets([10, 0, 1, 2]),
+                    mac_mode: MacMode::Dedicated(MacAddr::from_index(2)),
+                    node: 2,
+                    pod_id: None,
+                },
+                PodPlacement {
+                    name: "c".into(),
+                    ip: IpAddr::from_octets([10, 0, 1, 3]),
+                    mac_mode: MacMode::Dedicated(MacAddr::from_index(3)),
+                    node: 0,
+                    pod_id: None,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn placement_queries() {
+        let r = runtime();
+        assert_eq!(r.app_nodes(), vec![0, 2]);
+        assert_eq!(r.pods_on_node(0).len(), 2);
+        assert_eq!(r.pods_on_node(1).len(), 0);
+        assert!(r.placement("b").is_some());
+        assert!(r.placement("zzz").is_none());
+    }
+}

@@ -1,0 +1,26 @@
+//! World assembly: simulated nodes, switch, control plane and job manager.
+//!
+//! This crate wires the pure layers together into one deterministic
+//! discrete-event simulation:
+//!
+//! * [`params`] — cluster-wide timing parameters, calibrated to the paper's
+//!   gigabit-Ethernet / 1 GHz-node / 2005-disk testbed;
+//! * [`jobs`] — job specifications and pod placement (the LSF analogue);
+//! * [`world`] — [`world::World`]: the event loop hosting every node's
+//!   kernel, the learning switch with per-link bandwidth/latency, the Cruz
+//!   coordinator/agent control plane riding real UDP datagrams, coordinated
+//!   checkpoint/restart execution with disk-timed image I/O, single-pod live
+//!   migration, node-crash fault injection and frame-loss injection.
+//!
+//! Benchmarks and examples drive a `World`; everything they measure emerges
+//! from the simulated components rather than from hard-coded results.
+
+#![warn(missing_docs)]
+
+pub mod jobs;
+pub mod params;
+pub mod world;
+
+pub use jobs::{JobRuntime, JobSpec, PodPlacement, PodSpec};
+pub use params::ClusterParams;
+pub use world::{ClusterError, Node, OpReport, World};

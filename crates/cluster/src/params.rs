@@ -1,0 +1,90 @@
+//! Cluster-wide simulation parameters.
+//!
+//! The defaults are calibrated to the paper's testbed (§6): dual 1 GHz
+//! Pentium III nodes, gigabit Ethernet, 2005-era disks. `EXPERIMENTS.md`
+//! documents how each figure depends on these values.
+
+use des::SimDuration;
+use simnet::link::LinkParams;
+use simnet::tcp::TcpConfig;
+use simos::disk::DiskParams;
+use simos::kernel::KernelParams;
+
+/// Tunable parameters of a simulated cluster.
+#[derive(Debug, Clone)]
+pub struct ClusterParams {
+    /// Per-link bandwidth/latency (node NIC to switch port).
+    pub link: LinkParams,
+    /// Kernel timing (instruction cost, syscall overhead, quantum).
+    pub kernel: KernelParams,
+    /// Checkpoint-disk model.
+    pub disk: DiskParams,
+    /// TCP configuration for every stack.
+    pub tcp: TcpConfig,
+    /// Subnet prefix length (nodes and pods share one routing domain).
+    pub subnet_prefix: u8,
+    /// CPU cost of sending or processing one control-plane message. The
+    /// coordinator serializes sends, which is what produces the per-node
+    /// slope of Fig. 5(b).
+    pub ctl_msg_cpu: SimDuration,
+    /// Agent-side cost of acting on a `start`/`continue` message: netfilter
+    /// rule configuration and pod signalling (kernel round trips on a
+    /// 2005-era node). Sits on the coordination critical path but outside
+    /// the measured local-save window, as in the paper.
+    pub agent_op_cpu: SimDuration,
+    /// Memory bandwidth for serializing checkpoint state (bytes/second).
+    pub extract_bps: u64,
+    /// Independent per-frame loss probability (fault injection; 0 for the
+    /// paper's experiments).
+    pub frame_loss: f64,
+    /// Master RNG seed.
+    pub seed: u64,
+    /// Discard older committed epochs whenever a newer one commits (bounds
+    /// checkpoint-store growth during long sweeps).
+    pub prune_old_epochs: bool,
+    /// Control-plane retransmission interval for lossy fabrics. `None`
+    /// (default) disables retries: on a lossless LAN the four-message
+    /// exchange needs none, keeping the O(N) message count exact.
+    pub ctl_retry: Option<SimDuration>,
+}
+
+impl Default for ClusterParams {
+    fn default() -> Self {
+        ClusterParams {
+            link: LinkParams::gigabit(),
+            kernel: KernelParams::default(),
+            disk: DiskParams::era_2005(),
+            tcp: TcpConfig::default(),
+            subnet_prefix: 16,
+            ctl_msg_cpu: SimDuration::from_micros(35),
+            agent_op_cpu: SimDuration::from_micros(120),
+            extract_bps: 2_000_000_000,
+            frame_loss: 0.0,
+            seed: 42,
+            prune_old_epochs: false,
+            ctl_retry: None,
+        }
+    }
+}
+
+impl ClusterParams {
+    /// Time to serialize `bytes` of checkpoint state in memory.
+    pub fn extract_time(&self, bytes: u64) -> SimDuration {
+        SimDuration::from_nanos(bytes.saturating_mul(1_000_000_000) / self.extract_bps)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extraction_scales_with_size() {
+        let p = ClusterParams::default();
+        assert_eq!(
+            p.extract_time(2_000_000_000),
+            SimDuration::from_secs(1)
+        );
+        assert_eq!(p.extract_time(0), SimDuration::ZERO);
+    }
+}

@@ -1,0 +1,1402 @@
+//! The simulated cluster: nodes, switch, control plane and job management,
+//! driven by one deterministic discrete-event loop.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use bytes::Bytes;
+use des::{EventQueue, SimDuration, SimRng, SimTime};
+use simnet::addr::{IpAddr, MacAddr, SockAddr};
+use simnet::link::LinkState;
+use simnet::stack::SocketId;
+use simnet::switch::{PortId, Switch};
+use simnet::{EthFrame, NetStack};
+use simos::disk::Disk;
+use simos::fs::NetFs;
+use simos::kernel::Kernel;
+use simos::proc::ProcState;
+use zap::image::PodImage;
+use zap::pod::Vpid;
+use zap::{PodConfig, Zap, ZapError};
+
+use cruz::agent::{Agent, AgentAction};
+use cruz::coordinator::{CoordEffect, CoordStats, Coordinator};
+use cruz::proto::{CtlMsg, OpKind, ProtocolMode, AGENT_PORT};
+use cruz::store::CheckpointStore;
+
+use crate::jobs::{JobRuntime, JobSpec, PodPlacement};
+use crate::params::ClusterParams;
+
+/// Cluster-level errors.
+#[derive(Debug)]
+pub enum ClusterError {
+    /// Unknown node index.
+    BadNode(usize),
+    /// Unknown job name.
+    NoSuchJob,
+    /// A job with that name already exists.
+    JobExists,
+    /// The requested epoch has no committed checkpoint.
+    NoSuchEpoch(u64),
+    /// Another coordinated operation or migration is in flight for the job;
+    /// operations on one job are serialized, as a job manager would.
+    JobBusy,
+    /// A Zap-layer failure.
+    Zap(ZapError),
+}
+
+impl fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClusterError::BadNode(n) => write!(f, "no node {n}"),
+            ClusterError::NoSuchJob => write!(f, "no such job"),
+            ClusterError::JobExists => write!(f, "job already exists"),
+            ClusterError::NoSuchEpoch(e) => write!(f, "epoch {e} has no committed checkpoint"),
+            ClusterError::JobBusy => write!(f, "an operation is already in flight for this job"),
+            ClusterError::Zap(e) => write!(f, "zap: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {}
+
+impl From<ZapError> for ClusterError {
+    fn from(e: ZapError) -> Self {
+        ClusterError::Zap(e)
+    }
+}
+
+/// One simulated machine.
+pub struct Node {
+    /// The node's kernel (OS, stack, disk).
+    pub kernel: Kernel,
+    /// The node's Zap layer.
+    pub zap: Zap,
+    agent: Agent,
+    agent_sock: SocketId,
+    agent_coord_addr: Option<SockAddr>,
+    alive: bool,
+    run_scheduled: bool,
+    timer_scheduled: Option<SimTime>,
+    /// When this node's control-plane CPU frees up: sending and processing
+    /// coordination messages serialize here (the N-proportional component
+    /// of Fig. 5(b)).
+    ctl_cpu_free: SimTime,
+}
+
+enum Event {
+    NodeRun(usize),
+    NodeTick(usize),
+    FrameAtSwitch { from_port: usize, frame: EthFrame },
+    FrameAtNode { port: usize, frame: EthFrame },
+    AgentCtl { node: usize, msg: CtlMsg, reply_to: SockAddr },
+    AgentLocalDone { node: usize, op: u64 },
+    AgentDurable { node: usize, op: u64 },
+    CoordCtl { op: u64, from: usize, msg: CtlMsg },
+    CoordSend { op: u64, to: usize, msg: CtlMsg },
+    CoordTimeout { op: u64 },
+    CoordRetry { op: u64 },
+    PeriodicCkpt { job: String, interval: SimDuration, mode: ProtocolMode, cow: bool },
+    MigrateFinish { job: String, pod: String, dst: usize, image: Box<PodImage> },
+}
+
+struct OpRuntime {
+    coord: Coordinator,
+    kind: OpKind,
+    cow: bool,
+    /// Base epoch for incremental image capture (`None` = full).
+    incremental_base: Option<u64>,
+    job: String,
+    /// Epoch used for image storage (for restarts: the epoch restored).
+    image_epoch: u64,
+    coord_node: usize,
+    coord_sock: SocketId,
+    agents_nodes: Vec<usize>,
+    pending_ckpt: HashMap<usize, Vec<(String, Vec<u8>)>>,
+    pending_restore: HashMap<usize, Vec<(String, Vec<u8>)>>,
+    local_ops: HashMap<usize, (SimTime, SimTime)>,
+    resumed_at: HashMap<usize, SimTime>,
+    complete: bool,
+    aborted: bool,
+}
+
+/// Options of a coordinated checkpoint.
+#[derive(Debug, Clone, Copy)]
+pub struct CkptOptions {
+    /// Protocol variant (Fig. 2 blocking or Fig. 4 optimized).
+    pub mode: ProtocolMode,
+    /// §5.2 copy-on-write: blackout covers capture only; `durable` gates
+    /// the commit.
+    pub cow: bool,
+    /// Incremental: save only pages dirtied since the job's latest
+    /// committed epoch (falls back to full when none exists).
+    pub incremental: bool,
+    /// Failure-detection timeout (abort + rollback on expiry).
+    pub timeout: Option<SimDuration>,
+}
+
+impl Default for CkptOptions {
+    fn default() -> Self {
+        CkptOptions {
+            mode: ProtocolMode::Blocking,
+            cow: false,
+            incremental: false,
+            timeout: None,
+        }
+    }
+}
+
+/// A report of one finished (or running) coordinated operation.
+#[derive(Debug, Clone)]
+pub struct OpReport {
+    /// Operation kind.
+    pub kind: OpKind,
+    /// Coordinator timing observations.
+    pub stats: CoordStats,
+    /// Per-node local save/restore windows: (node, start, end).
+    pub local_ops: Vec<(usize, SimTime, SimTime)>,
+    /// When each node's pods resumed execution.
+    pub resumed_at: Vec<(usize, SimTime)>,
+    /// Whether the operation completed.
+    pub complete: bool,
+    /// Whether it was aborted.
+    pub aborted: bool,
+}
+
+impl OpReport {
+    /// How long each node's pods were frozen: local-op start to resume.
+    /// The quantity the Fig. 4 optimization shrinks on fast-saving nodes.
+    pub fn blocked_durations(&self) -> Vec<(usize, SimDuration)> {
+        self.local_ops
+            .iter()
+            .filter_map(|&(n, start, _)| {
+                let resumed = self.resumed_at.iter().find(|(rn, _)| *rn == n)?.1;
+                Some((n, resumed.saturating_duration_since(start)))
+            })
+            .collect()
+    }
+
+    /// The Fig. 5(b) quantity: total checkpoint latency minus the largest
+    /// local save time — what coordination itself costs.
+    pub fn coordination_overhead(&self) -> Option<SimDuration> {
+        let latency = self.stats.checkpoint_latency()?;
+        let max_local = self
+            .local_ops
+            .iter()
+            .map(|(_, s, e)| e.duration_since(*s))
+            .max()?;
+        Some(latency.saturating_sub(max_local))
+    }
+}
+
+/// The simulated cluster world.
+pub struct World {
+    /// Current simulated time.
+    pub now: SimTime,
+    queue: EventQueue<Event>,
+    nodes: Vec<Node>,
+    switch: Switch,
+    links_up: Vec<LinkState>,
+    links_down: Vec<LinkState>,
+    /// The shared network filesystem.
+    pub fs: NetFs,
+    /// The parameters this world was built with.
+    pub params: ClusterParams,
+    rng: SimRng,
+    jobs: HashMap<String, JobRuntime>,
+    /// In-flight single-pod migrations per job.
+    migrations: HashMap<String, usize>,
+    ops: HashMap<u64, OpRuntime>,
+    next_op: u64,
+    events_processed: u64,
+}
+
+impl fmt::Debug for World {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("World")
+            .field("now", &self.now)
+            .field("nodes", &self.nodes.len())
+            .field("jobs", &self.jobs.len())
+            .field("pending_events", &self.queue.len())
+            .finish()
+    }
+}
+
+impl World {
+    /// Builds a cluster of `n` nodes on one switch. Node `i` owns IP
+    /// `10.0.0.(i+1)`.
+    pub fn new(n: usize, params: ClusterParams) -> World {
+        assert!(n > 0, "a cluster needs at least one node");
+        let fs = NetFs::new();
+        let mut rng = SimRng::from_seed(params.seed);
+        let mut nodes = Vec::with_capacity(n);
+        for i in 0..n {
+            let net = NetStack::new(
+                MacAddr::from_index(i as u32 + 1),
+                Self::node_ip_static(i),
+                params.subnet_prefix,
+                params.tcp.clone(),
+            );
+            let mut kernel = Kernel::new(
+                net,
+                fs.clone(),
+                Disk::new(params.disk),
+                params.kernel,
+            );
+            let zap = Zap::new();
+            zap.install(&mut kernel);
+            let agent_sock = kernel.net.udp_socket();
+            kernel
+                .net
+                .bind(agent_sock, SockAddr::new(Self::node_ip_static(i), AGENT_PORT))
+                .expect("agent port free on a fresh stack");
+            nodes.push(Node {
+                kernel,
+                zap,
+                agent: Agent::new(),
+                agent_sock,
+                agent_coord_addr: None,
+                alive: true,
+                run_scheduled: false,
+                timer_scheduled: None,
+                ctl_cpu_free: SimTime::ZERO,
+            });
+        }
+        let _ = rng.next_u64();
+        World {
+            now: SimTime::ZERO,
+            queue: EventQueue::new(),
+            nodes,
+            switch: Switch::new(n),
+            links_up: vec![LinkState::new(); n],
+            links_down: vec![LinkState::new(); n],
+            fs,
+            params,
+            rng,
+            jobs: HashMap::new(),
+            migrations: HashMap::new(),
+            ops: HashMap::new(),
+            next_op: 1,
+            events_processed: 0,
+        }
+    }
+
+    /// The IP of node `i`.
+    pub fn node_ip(&self, i: usize) -> IpAddr {
+        Self::node_ip_static(i)
+    }
+
+    fn node_ip_static(i: usize) -> IpAddr {
+        IpAddr::from_octets([10, 0, 0, (i + 1) as u8])
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Read access to a node's kernel.
+    pub fn kernel(&self, n: usize) -> &Kernel {
+        &self.nodes[n].kernel
+    }
+
+    /// Mutable access to a node's kernel. Callers that mutate kernel state
+    /// should follow with [`World::kick_node`].
+    pub fn kernel_mut(&mut self, n: usize) -> &mut Kernel {
+        &mut self.nodes[n].kernel
+    }
+
+    /// A handle to a node's Zap layer.
+    pub fn zap(&self, n: usize) -> Zap {
+        self.nodes[n].zap.clone()
+    }
+
+    /// Re-evaluates a node's scheduling after out-of-band kernel mutation.
+    pub fn kick_node(&mut self, n: usize) {
+        self.postprocess(n);
+    }
+
+    /// Events processed so far (progress metric for run loops).
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// The checkpoint store for a job.
+    pub fn store(&self, job: &str) -> CheckpointStore {
+        CheckpointStore::new(self.fs.clone(), job)
+    }
+
+    /// The runtime state of a job.
+    pub fn job(&self, name: &str) -> Option<&JobRuntime> {
+        self.jobs.get(name)
+    }
+
+    /// True while a coordinated operation or a migration is in flight for
+    /// `job` — new operations are refused until it settles.
+    pub fn job_busy(&self, job: &str) -> bool {
+        self.migrations.get(job).copied().unwrap_or(0) > 0
+            || self
+                .ops
+                .values()
+                .any(|o| o.job == job && !o.complete && !o.aborted)
+    }
+
+    /// Marks a node dead: it stops processing events (fail-stop crash).
+    pub fn crash_node(&mut self, n: usize) {
+        self.nodes[n].alive = false;
+    }
+
+    /// Sets the per-frame loss probability (fault injection).
+    pub fn set_frame_loss(&mut self, p: f64) {
+        self.params.frame_loss = p;
+    }
+
+    // ---- job management --------------------------------------------------
+
+    /// Launches a job: creates its pods and spawns their programs.
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::JobExists`], [`ClusterError::BadNode`] or Zap errors.
+    pub fn launch_job(&mut self, spec: &JobSpec) -> Result<(), ClusterError> {
+        if self.jobs.contains_key(&spec.name) {
+            return Err(ClusterError::JobExists);
+        }
+        if spec.coordinator_node >= self.nodes.len() {
+            return Err(ClusterError::BadNode(spec.coordinator_node));
+        }
+        let mut placements = Vec::new();
+        for pod in &spec.pods {
+            if pod.node >= self.nodes.len() {
+                return Err(ClusterError::BadNode(pod.node));
+            }
+            let slot = &mut self.nodes[pod.node];
+            let pod_id = slot.zap.create_pod(
+                &mut slot.kernel,
+                PodConfig {
+                    name: format!("{}:{}", spec.name, pod.name),
+                    ip: pod.ip,
+                    mac_mode: pod.mac_mode,
+                },
+            )?;
+            for prog in &pod.programs {
+                slot.zap.spawn_in_pod(&mut slot.kernel, pod_id, prog)?;
+            }
+            placements.push(PodPlacement {
+                name: pod.name.clone(),
+                ip: pod.ip,
+                mac_mode: pod.mac_mode,
+                node: pod.node,
+                pod_id: Some(pod_id),
+            });
+        }
+        self.jobs.insert(
+            spec.name.clone(),
+            JobRuntime {
+                name: spec.name.clone(),
+                placements,
+                coordinator_node: spec.coordinator_node,
+            },
+        );
+        for pod in &spec.pods {
+            self.postprocess(pod.node);
+        }
+        Ok(())
+    }
+
+    /// True once every process of every pod of the job has exited.
+    pub fn job_finished(&self, job: &str) -> bool {
+        let Some(jr) = self.jobs.get(job) else {
+            return false;
+        };
+        jr.placements.iter().all(|p| match p.pod_id {
+            Some(pid) => self.nodes[p.node].zap.pod_finished(&self.nodes[p.node].kernel, pid),
+            None => false,
+        })
+    }
+
+    /// The console of a pod process (by pod name and virtual pid).
+    pub fn pod_console(&self, job: &str, pod: &str, vpid: Vpid) -> Option<Vec<String>> {
+        let jr = self.jobs.get(job)?;
+        let p = jr.placement(pod)?;
+        let node = &self.nodes[p.node];
+        node.zap.console_of(&node.kernel, p.pod_id?, vpid)
+    }
+
+    /// The exit code of a pod process, if it has exited.
+    pub fn pod_exit_code(&self, job: &str, pod: &str, vpid: Vpid) -> Option<u64> {
+        let jr = self.jobs.get(job)?;
+        let p = jr.placement(pod)?;
+        let node = &self.nodes[p.node];
+        let real = node.zap.real_pid(p.pod_id?, vpid)?;
+        match node.kernel.process(real)?.state {
+            ProcState::Zombie(code) => Some(code),
+            _ => None,
+        }
+    }
+
+    /// Reads guest memory of a pod process (host-side observation; used by
+    /// benchmarks to sample progress counters).
+    pub fn peek_guest(&self, job: &str, pod: &str, vpid: Vpid, addr: u64, len: usize) -> Option<Vec<u8>> {
+        let jr = self.jobs.get(job)?;
+        let p = jr.placement(pod)?;
+        let node = &self.nodes[p.node];
+        let real = node.zap.real_pid(p.pod_id?, vpid)?;
+        node.kernel.read_guest(real, addr, len).ok()
+    }
+
+    // ---- coordinated operations -------------------------------------------
+
+    /// Starts a coordinated checkpoint of `job`. Returns the operation id
+    /// (also the stored epoch).
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::NoSuchJob`].
+    pub fn start_checkpoint(
+        &mut self,
+        job: &str,
+        mode: ProtocolMode,
+        timeout: Option<SimDuration>,
+    ) -> Result<u64, ClusterError> {
+        self.start_checkpoint_opts(job, mode, false, timeout)
+    }
+
+    /// Like [`World::start_checkpoint`], with the §5.2 copy-on-write
+    /// optimization selectable: when `cow` is true the blackout covers only
+    /// state *capture*; image writes complete in the background and gate
+    /// the commit record via `durable` messages.
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::NoSuchJob`].
+    pub fn start_checkpoint_opts(
+        &mut self,
+        job: &str,
+        mode: ProtocolMode,
+        cow: bool,
+        timeout: Option<SimDuration>,
+    ) -> Result<u64, ClusterError> {
+        self.start_checkpoint_with(
+            job,
+            CkptOptions {
+                mode,
+                cow,
+                timeout,
+                ..CkptOptions::default()
+            },
+        )
+    }
+
+    /// The fully-general checkpoint entry point.
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::NoSuchJob`].
+    pub fn start_checkpoint_with(
+        &mut self,
+        job: &str,
+        opts: CkptOptions,
+    ) -> Result<u64, ClusterError> {
+        if self.job_busy(job) {
+            return Err(ClusterError::JobBusy);
+        }
+        let jr = self.jobs.get(job).ok_or(ClusterError::NoSuchJob)?;
+        let agents_nodes = jr.app_nodes();
+        let coord_node = jr.coordinator_node;
+        let incremental_base = if opts.incremental {
+            self.store(job).latest_committed_epoch()
+        } else {
+            None
+        };
+        let op = self.next_op;
+        self.next_op += 1;
+        let mut coord = Coordinator::new(
+            OpKind::Checkpoint,
+            opts.mode,
+            op,
+            (0..agents_nodes.len()).collect(),
+        );
+        if let Some(t) = opts.timeout {
+            coord = coord.with_timeout(t);
+        }
+        if opts.cow {
+            coord = coord.with_cow();
+        }
+        self.install_op_inc(
+            op,
+            op,
+            OpKind::Checkpoint,
+            job,
+            coord_node,
+            agents_nodes,
+            coord,
+            incremental_base,
+        );
+        Ok(op)
+    }
+
+    /// Starts a coordinated restart of `job` from a committed epoch. The
+    /// `placement` list re-homes pods (pod name → node); unmentioned pods
+    /// keep their previous node assignment.
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::NoSuchJob`], [`ClusterError::NoSuchEpoch`].
+    pub fn start_restart(
+        &mut self,
+        job: &str,
+        epoch: u64,
+        placement: &[(String, usize)],
+        mode: ProtocolMode,
+    ) -> Result<u64, ClusterError> {
+        if !self.store(job).is_committed(epoch) {
+            return Err(ClusterError::NoSuchEpoch(epoch));
+        }
+        if self.job_busy(job) {
+            return Err(ClusterError::JobBusy);
+        }
+        if !self.jobs.contains_key(job) {
+            return Err(ClusterError::NoSuchJob);
+        }
+        // Tear down surviving pods first (restart-in-place, or rolling a
+        // live job back to an earlier epoch): their addresses must be free
+        // before the restore recreates them.
+        let survivors: Vec<(usize, zap::pod::PodId)> = self
+            .jobs
+            .get(job)
+            .expect("checked")
+            .placements
+            .iter()
+            .filter_map(|p| {
+                let pod_id = p.pod_id?;
+                self.nodes[p.node].alive.then_some((p.node, pod_id))
+            })
+            .collect();
+        for (node, pod_id) in survivors {
+            let slot = &mut self.nodes[node];
+            let _ = slot.zap.destroy_pod(&mut slot.kernel, pod_id);
+            self.postprocess(node);
+        }
+        let jr = self.jobs.get_mut(job).expect("checked");
+        for (pod, node) in placement {
+            if let Some(p) = jr.placement_mut(pod) {
+                p.node = *node;
+            }
+        }
+        for p in jr.placements.iter_mut() {
+            p.pod_id = None; // instantiated at restore time
+        }
+        let agents_nodes = jr.app_nodes();
+        let coord_node = jr.coordinator_node;
+        let op = self.next_op;
+        self.next_op += 1;
+        let coord = Coordinator::new(
+            OpKind::Restart,
+            ProtocolMode::Blocking,
+            op,
+            (0..agents_nodes.len()).collect(),
+        );
+        let _ = mode; // restart always blocks until every node restored
+        self.install_op(op, epoch, OpKind::Restart, job, coord_node, agents_nodes, coord);
+        Ok(op)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn install_op(
+        &mut self,
+        op: u64,
+        image_epoch: u64,
+        kind: OpKind,
+        job: &str,
+        coord_node: usize,
+        agents_nodes: Vec<usize>,
+        coord: Coordinator,
+    ) {
+        self.install_op_inc(op, image_epoch, kind, job, coord_node, agents_nodes, coord, None);
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn install_op_inc(
+        &mut self,
+        op: u64,
+        image_epoch: u64,
+        kind: OpKind,
+        job: &str,
+        coord_node: usize,
+        agents_nodes: Vec<usize>,
+        mut coord: Coordinator,
+        incremental_base: Option<u64>,
+    ) {
+        let coord_sock = {
+            let k = &mut self.nodes[coord_node].kernel;
+            let s = k.net.udp_socket();
+            k.net
+                .bind(s, SockAddr::new(Self::node_ip_static(coord_node), 0))
+                .expect("ephemeral bind");
+            s
+        };
+        let (msgs, _) = coord.start(self.now);
+        let deadline = coord.deadline();
+        let cow = coord.cow();
+        self.ops.insert(
+            op,
+            OpRuntime {
+                coord,
+                kind,
+                cow,
+                incremental_base,
+                job: job.to_owned(),
+                image_epoch,
+                coord_node,
+                coord_sock,
+                agents_nodes,
+                pending_ckpt: HashMap::new(),
+                pending_restore: HashMap::new(),
+                local_ops: HashMap::new(),
+                resumed_at: HashMap::new(),
+                complete: false,
+                aborted: false,
+            },
+        );
+        self.schedule_coord_sends(op, msgs);
+        if let Some(d) = deadline {
+            self.queue.push(d, Event::CoordTimeout { op });
+        }
+        if let Some(r) = self.params.ctl_retry {
+            self.queue.push(self.now + r, Event::CoordRetry { op });
+        }
+    }
+
+    /// Reserves one message-processing slot on a node's control-plane CPU,
+    /// returning when the work completes.
+    fn ctl_slot(&mut self, node: usize) -> SimTime {
+        let start = self.nodes[node].ctl_cpu_free.max(self.now);
+        let done = start + self.params.ctl_msg_cpu;
+        self.nodes[node].ctl_cpu_free = done;
+        done
+    }
+
+    fn schedule_coord_sends(&mut self, op: u64, msgs: Vec<(usize, CtlMsg)>) {
+        // The coordinator CPU serializes message transmission. Together with
+        // the serialized receive path in `poll_ctl`, this is the
+        // N-proportional component of the Fig. 5(b) overhead.
+        let Some(coord_node) = self.ops.get(&op).map(|o| o.coord_node) else {
+            return;
+        };
+        for (agent, msg) in msgs {
+            let at = self.ctl_slot(coord_node);
+            self.queue.push(at, Event::CoordSend { op, to: agent, msg });
+        }
+    }
+
+    /// A report of an operation's progress/outcome.
+    pub fn op_report(&self, op: u64) -> Option<OpReport> {
+        let o = self.ops.get(&op)?;
+        Some(OpReport {
+            kind: o.kind,
+            stats: o.coord.stats.clone(),
+            local_ops: o
+                .local_ops
+                .iter()
+                .map(|(&n, &(s, e))| (n, s, e))
+                .collect(),
+            resumed_at: o.resumed_at.iter().map(|(&n, &t)| (n, t)).collect(),
+            complete: o.complete,
+            aborted: o.aborted,
+        })
+    }
+
+    /// True once the operation completed (successfully or by abort).
+    pub fn op_finished(&self, op: u64) -> bool {
+        self.ops
+            .get(&op)
+            .map(|o| o.complete || o.aborted)
+            .unwrap_or(false)
+    }
+
+    /// Arms a periodic checkpoint driver for `job` (the LSF-integration
+    /// analogue): every `interval`, a coordinated checkpoint starts unless
+    /// one is already running; the driver retires itself once the job
+    /// finishes.
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::NoSuchJob`].
+    pub fn schedule_periodic_checkpoints(
+        &mut self,
+        job: &str,
+        interval: SimDuration,
+        mode: ProtocolMode,
+        cow: bool,
+    ) -> Result<(), ClusterError> {
+        if !self.jobs.contains_key(job) {
+            return Err(ClusterError::NoSuchJob);
+        }
+        self.queue.push(
+            self.now + interval,
+            Event::PeriodicCkpt {
+                job: job.to_owned(),
+                interval,
+                mode,
+                cow,
+            },
+        );
+        Ok(())
+    }
+
+    fn on_periodic_ckpt(
+        &mut self,
+        job: &str,
+        interval: SimDuration,
+        mode: ProtocolMode,
+        cow: bool,
+    ) {
+        if !self.jobs.contains_key(job) || self.job_finished(job) {
+            return; // driver retires
+        }
+        if !self.job_busy(job) {
+            let _ = self.start_checkpoint_opts(job, mode, cow, None);
+        }
+        self.queue.push(
+            self.now + interval,
+            Event::PeriodicCkpt {
+                job: job.to_owned(),
+                interval,
+                mode,
+                cow,
+            },
+        );
+    }
+
+    // ---- live migration (single pod, peers untouched) ----------------------
+
+    /// Migrates one pod to `dst` while the rest of the job keeps running —
+    /// the §4.2 scenario (remote endpoints need not be under Zap control).
+    /// The pod is frozen, checkpointed, torn down at the source, and
+    /// restored+resumed at the destination after the modelled transfer
+    /// time.
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::NoSuchJob`]/[`ClusterError::BadNode`]; Zap errors.
+    pub fn migrate_pod(&mut self, job: &str, pod: &str, dst: usize) -> Result<(), ClusterError> {
+        if dst >= self.nodes.len() {
+            return Err(ClusterError::BadNode(dst));
+        }
+        if self.job_busy(job) {
+            return Err(ClusterError::JobBusy);
+        }
+        let (src, pod_id, ip) = {
+            let jr = self.jobs.get(job).ok_or(ClusterError::NoSuchJob)?;
+            let p = jr.placement(pod).ok_or(ClusterError::NoSuchJob)?;
+            (p.node, p.pod_id.ok_or(ClusterError::NoSuchJob)?, p.ip)
+        };
+        // Freeze & extract at the source now; drop traffic meanwhile.
+        {
+            let slot = &mut self.nodes[src];
+            slot.kernel.net.filter_mut().add_drop_rule(ip);
+        }
+        let image = {
+            let slot = &mut self.nodes[src];
+            let img = slot.zap.checkpoint_pod(&mut slot.kernel, pod_id, self.now)?;
+            slot.zap.destroy_pod(&mut slot.kernel, pod_id)?;
+            slot.kernel.net.filter_mut().remove_drop_rule(ip);
+            img
+        };
+        let bytes = image.encoded_len() as u64;
+        // Source disk write, then destination disk read (via the shared fs).
+        let t_extract = self.params.extract_time(bytes);
+        let w = self.nodes[src].kernel.disk.submit_write(self.now + t_extract, bytes);
+        let r = self.nodes[dst].kernel.disk.submit_read(w, bytes);
+        self.queue.push(
+            r,
+            Event::MigrateFinish {
+                job: job.to_owned(),
+                pod: pod.to_owned(),
+                dst,
+                image: Box::new(image),
+            },
+        );
+        *self.migrations.entry(job.to_owned()).or_insert(0) += 1;
+        self.postprocess(src);
+        Ok(())
+    }
+
+    // ---- event loop -------------------------------------------------------
+
+    /// Processes one event. Returns false when the queue is empty.
+    pub fn step(&mut self) -> bool {
+        let Some((at, ev)) = self.queue.pop() else {
+            return false;
+        };
+        debug_assert!(at >= self.now, "time went backwards");
+        self.now = at;
+        self.events_processed += 1;
+        self.dispatch(ev);
+        true
+    }
+
+    /// Runs until simulated time `t` (events at exactly `t` included).
+    pub fn run_until(&mut self, t: SimTime) {
+        while let Some(next) = self.queue.peek_time() {
+            if next > t {
+                break;
+            }
+            self.step();
+        }
+        if self.now < t {
+            self.now = t;
+        }
+    }
+
+    /// Runs for a duration.
+    pub fn run_for(&mut self, d: SimDuration) {
+        let t = self.now + d;
+        self.run_until(t);
+    }
+
+    /// Runs until the predicate holds, within an event budget. Returns
+    /// whether the predicate held.
+    pub fn run_until_pred(&mut self, max_events: u64, pred: impl Fn(&World) -> bool) -> bool {
+        for _ in 0..max_events {
+            if pred(self) {
+                return true;
+            }
+            if !self.step() {
+                return pred(self);
+            }
+        }
+        pred(self)
+    }
+
+    /// Runs until operation `op` finishes (or the event budget runs out).
+    pub fn run_until_op(&mut self, op: u64, max_events: u64) -> bool {
+        self.run_until_pred(max_events, |w| w.op_finished(op))
+    }
+
+    fn dispatch(&mut self, ev: Event) {
+        match ev {
+            Event::NodeRun(n) => self.on_node_run(n),
+            Event::NodeTick(n) => self.on_node_tick(n),
+            Event::FrameAtSwitch { from_port, frame } => self.on_frame_at_switch(from_port, frame),
+            Event::FrameAtNode { port, frame } => self.on_frame_at_node(port, frame),
+            Event::AgentCtl { node, msg, reply_to } => self.on_agent_ctl(node, msg, reply_to),
+            Event::AgentLocalDone { node, op } => self.on_agent_local_done(node, op),
+            Event::AgentDurable { node, op } => self.on_agent_durable(node, op),
+            Event::CoordCtl { op, from, msg } => self.on_coord_ctl(op, from, msg),
+            Event::CoordSend { op, to, msg } => self.on_coord_send(op, to, msg),
+            Event::CoordTimeout { op } => self.on_coord_timeout(op),
+            Event::CoordRetry { op } => self.on_coord_retry(op),
+            Event::PeriodicCkpt { job, interval, mode, cow } => {
+                self.on_periodic_ckpt(&job, interval, mode, cow)
+            }
+            Event::MigrateFinish { job, pod, dst, image } => {
+                self.on_migrate_finish(&job, &pod, dst, &image)
+            }
+        }
+    }
+
+    fn on_node_run(&mut self, n: usize) {
+        self.nodes[n].run_scheduled = false;
+        if !self.nodes[n].alive {
+            return;
+        }
+        let out = self.nodes[n].kernel.run_slice(self.now);
+        let after = self.now + out.elapsed.max(SimDuration::from_nanos(1));
+        self.emit_frames(n, after);
+        self.poll_ctl(n);
+        if self.nodes[n].kernel.has_runnable() {
+            self.nodes[n].run_scheduled = true;
+            self.queue.push(after, Event::NodeRun(n));
+        }
+        self.reschedule_timer(n);
+    }
+
+    fn on_node_tick(&mut self, n: usize) {
+        self.nodes[n].timer_scheduled = None;
+        if !self.nodes[n].alive {
+            return;
+        }
+        self.nodes[n].kernel.on_tick(self.now);
+        self.postprocess(n);
+    }
+
+    fn on_frame_at_switch(&mut self, from_port: usize, frame: EthFrame) {
+        let outs = self.switch.forward(PortId(from_port), &frame);
+        for PortId(p) in outs {
+            let deliver = self.links_down[p].schedule(self.now, frame.wire_len(), &self.params.link);
+            self.queue.push(
+                deliver,
+                Event::FrameAtNode {
+                    port: p,
+                    frame: frame.clone(),
+                },
+            );
+        }
+    }
+
+    fn on_frame_at_node(&mut self, port: usize, frame: EthFrame) {
+        if !self.nodes[port].alive {
+            return;
+        }
+        if self.params.frame_loss > 0.0 && self.rng.chance(self.params.frame_loss) {
+            return;
+        }
+        self.nodes[port].kernel.on_frame(frame, self.now);
+        self.postprocess(port);
+    }
+
+    fn on_agent_ctl(&mut self, node: usize, msg: CtlMsg, reply_to: SockAddr) {
+        if !self.nodes[node].alive {
+            return;
+        }
+        if matches!(msg, CtlMsg::Start { .. }) {
+            self.nodes[node].agent_coord_addr = Some(reply_to);
+        }
+        let op = msg.epoch();
+        let actions = self.nodes[node].agent.on_ctl(msg, self.now);
+        self.run_agent_actions(node, op, actions);
+        self.postprocess(node);
+    }
+
+    fn on_agent_durable(&mut self, node: usize, op: u64) {
+        if !self.nodes[node].alive {
+            return;
+        }
+        let (job, image_epoch, images) = {
+            let Some(o) = self.ops.get_mut(&op) else { return };
+            (
+                o.job.clone(),
+                o.image_epoch,
+                o.pending_ckpt.remove(&node).unwrap_or_default(),
+            )
+        };
+        let store = self.store(&job);
+        for (pod_name, bytes) in images {
+            store.put_image(&pod_name, image_epoch, bytes);
+        }
+        let actions = self.nodes[node].agent.on_local_durable(self.now);
+        self.run_agent_actions(node, op, actions);
+        self.postprocess(node);
+    }
+
+    fn on_agent_local_done(&mut self, node: usize, op: u64) {
+        if !self.nodes[node].alive {
+            return;
+        }
+        // Materialize the pending work at its completion time.
+        let (kind, cow) = match self.ops.get(&op) {
+            Some(o) => (o.kind, o.cow),
+            None => return,
+        };
+        match kind {
+            OpKind::Checkpoint if !cow => {
+                let (job, image_epoch, images) = {
+                    let o = self.ops.get_mut(&op).expect("checked");
+                    (
+                        o.job.clone(),
+                        o.image_epoch,
+                        o.pending_ckpt.remove(&node).unwrap_or_default(),
+                    )
+                };
+                let store = self.store(&job);
+                for (pod_name, bytes) in images {
+                    store.put_image(&pod_name, image_epoch, bytes);
+                }
+            }
+            OpKind::Checkpoint => {} // COW: images persist at AgentDurable
+            OpKind::Restart => {
+                let images = {
+                    let o = self.ops.get_mut(&op).expect("checked");
+                    o.pending_restore.remove(&node).unwrap_or_default()
+                };
+                let job = self.ops.get(&op).expect("checked").job.clone();
+                for (pod_name, bytes) in images {
+                    let image = PodImage::decode(&bytes).expect("stored image is valid");
+                    let slot = &mut self.nodes[node];
+                    let pod_id = slot
+                        .zap
+                        .restart_pod(&mut slot.kernel, &image, self.now)
+                        .expect("restore onto a clean node");
+                    if let Some(jr) = self.jobs.get_mut(&job) {
+                        if let Some(p) = jr.placement_mut(&pod_name) {
+                            p.pod_id = Some(pod_id);
+                            p.node = node;
+                        }
+                    }
+                }
+            }
+        }
+        let actions = self.nodes[node].agent.on_local_done(self.now);
+        self.run_agent_actions(node, op, actions);
+        self.postprocess(node);
+    }
+
+    fn run_agent_actions(&mut self, node: usize, op: u64, actions: Vec<AgentAction>) {
+        for action in actions {
+            match action {
+                AgentAction::DisableComm => self.set_comm(node, op, false),
+                AgentAction::EnableComm => self.set_comm(node, op, true),
+                AgentAction::BeginLocalCheckpoint { .. } => self.begin_local_checkpoint(node, op),
+                AgentAction::BeginLocalRestore { .. } => self.begin_local_restore(node, op),
+                AgentAction::ResumePods => self.resume_pods(node, op),
+                AgentAction::RollBack { .. } => self.roll_back(node, op),
+                AgentAction::Send(msg) => self.agent_send(node, msg),
+            }
+        }
+    }
+
+    fn job_pods_on_node(&self, op: u64, node: usize) -> Vec<PodPlacement> {
+        let Some(o) = self.ops.get(&op) else {
+            return Vec::new();
+        };
+        let Some(jr) = self.jobs.get(&o.job) else {
+            return Vec::new();
+        };
+        jr.pods_on_node(node).into_iter().cloned().collect()
+    }
+
+    fn set_comm(&mut self, node: usize, op: u64, enabled: bool) {
+        for p in self.job_pods_on_node(op, node) {
+            let f = self.nodes[node].kernel.net.filter_mut();
+            if enabled {
+                f.remove_drop_rule(p.ip);
+            } else {
+                f.add_drop_rule(p.ip);
+            }
+        }
+    }
+
+    fn begin_local_checkpoint(&mut self, node: usize, op: u64) {
+        let (cow, base) = self
+            .ops
+            .get(&op)
+            .map(|o| (o.cow, o.incremental_base))
+            .unwrap_or((false, None));
+        let pods = self.job_pods_on_node(op, node);
+        let mut images = Vec::new();
+        let mut total: u64 = 0;
+        for p in &pods {
+            let Some(pod_id) = p.pod_id else { continue };
+            let slot = &mut self.nodes[node];
+            let img = match base {
+                Some(b) => slot
+                    .zap
+                    .checkpoint_pod_incremental(&mut slot.kernel, pod_id, self.now, b)
+                    .expect("incremental pod checkpoint extraction"),
+                None => slot
+                    .zap
+                    .checkpoint_pod(&mut slot.kernel, pod_id, self.now)
+                    .expect("pod checkpoint extraction"),
+            };
+            let bytes = img.encode();
+            total += bytes.len() as u64;
+            images.push((p.name.clone(), bytes));
+        }
+        let t_extract = self.params.extract_time(total);
+        let captured_at = self.now + t_extract;
+        let durable_at = self.nodes[node]
+            .kernel
+            .disk
+            .submit_write(captured_at, total);
+        if cow {
+            // §5.2/COW: the blackout ends when the state is captured; the
+            // disk write proceeds in the background and gates the commit.
+            if let Some(o) = self.ops.get_mut(&op) {
+                o.pending_ckpt.insert(node, images);
+                o.local_ops.insert(node, (self.now, captured_at));
+            }
+            self.queue.push(captured_at, Event::AgentLocalDone { node, op });
+            self.queue.push(durable_at, Event::AgentDurable { node, op });
+        } else {
+            if let Some(o) = self.ops.get_mut(&op) {
+                o.pending_ckpt.insert(node, images);
+                o.local_ops.insert(node, (self.now, durable_at));
+            }
+            self.queue.push(durable_at, Event::AgentLocalDone { node, op });
+        }
+    }
+
+    fn begin_local_restore(&mut self, node: usize, op: u64) {
+        let (job, image_epoch) = match self.ops.get(&op) {
+            Some(o) => (o.job.clone(), o.image_epoch),
+            None => return,
+        };
+        let store = self.store(&job);
+        let pods = self.job_pods_on_node(op, node);
+        let mut images = Vec::new();
+        let mut total: u64 = 0;
+        for p in &pods {
+            // Walk the incremental chain down to the full base image; the
+            // restore reads (and pays for) every link.
+            let mut chain: Vec<Vec<u8>> = Vec::new();
+            let mut epoch = Some(image_epoch);
+            while let Some(e) = epoch {
+                let Some(bytes) = store.get_image(&p.name, e) else { break };
+                total += bytes.len() as u64;
+                let base = PodImage::decode(&bytes)
+                    .expect("stored image decodes")
+                    .base_epoch;
+                chain.push(bytes);
+                epoch = base;
+            }
+            if chain.is_empty() {
+                continue;
+            }
+            // Fold base-first.
+            let mut merged = PodImage::decode(&chain.pop().expect("non-empty"))
+                .expect("base image decodes");
+            assert!(
+                merged.base_epoch.is_none(),
+                "chain must bottom out at a full image"
+            );
+            while let Some(delta_bytes) = chain.pop() {
+                let delta = PodImage::decode(&delta_bytes).expect("delta decodes");
+                merged = merged.apply_delta(&delta).expect("chain folds");
+            }
+            images.push((p.name.clone(), merged.encode()));
+        }
+        let done_at = self.nodes[node].kernel.disk.submit_read(self.now, total);
+        if let Some(o) = self.ops.get_mut(&op) {
+            o.pending_restore.insert(node, images);
+            o.local_ops.insert(node, (self.now, done_at));
+        }
+        self.queue.push(done_at, Event::AgentLocalDone { node, op });
+    }
+
+    fn resume_pods(&mut self, node: usize, op: u64) {
+        for p in self.job_pods_on_node(op, node) {
+            let Some(pod_id) = p.pod_id else { continue };
+            let slot = &mut self.nodes[node];
+            let _ = slot.zap.resume_pod(&mut slot.kernel, pod_id, self.now);
+        }
+        let now = self.now;
+        if let Some(o) = self.ops.get_mut(&op) {
+            o.resumed_at.entry(node).or_insert(now);
+        }
+    }
+
+    fn roll_back(&mut self, node: usize, op: u64) {
+        // Abort path: resume pods, lift filters, discard this epoch's images.
+        self.resume_pods(node, op);
+        self.set_comm(node, op, true);
+        if let Some(o) = self.ops.get(&op) {
+            let store = self.store(&o.job.clone());
+            store.discard_epoch(o.image_epoch);
+        }
+    }
+
+    fn agent_send(&mut self, node: usize, msg: CtlMsg) {
+        let Some(addr) = self.nodes[node].agent_coord_addr else {
+            return;
+        };
+        let sock = self.nodes[node].agent_sock;
+        let _ = self.nodes[node].kernel.net.udp_send_to(
+            sock,
+            addr,
+            Bytes::from(msg.encode()),
+            self.now,
+        );
+    }
+
+    fn on_coord_ctl(&mut self, op: u64, from: usize, msg: CtlMsg) {
+        let Some(o) = self.ops.get_mut(&op) else {
+            return;
+        };
+        let (msgs, effects) = o.coord.on_message(from, msg, self.now);
+        let job = o.job.clone();
+        let image_epoch = o.image_epoch;
+        self.schedule_coord_sends(op, msgs);
+        for fx in effects {
+            match fx {
+                CoordEffect::Commit { .. } => {
+                    let store = self.store(&job);
+                    store.commit(image_epoch);
+                    if self.params.prune_old_epochs {
+                        store.prune_below(image_epoch);
+                    }
+                }
+                CoordEffect::Complete { .. } => {
+                    if let Some(o) = self.ops.get_mut(&op) {
+                        o.complete = true;
+                    }
+                }
+                CoordEffect::Aborted { .. } => {
+                    if let Some(o) = self.ops.get_mut(&op) {
+                        o.aborted = true;
+                    }
+                }
+            }
+        }
+    }
+
+    fn on_coord_send(&mut self, op: u64, to: usize, msg: CtlMsg) {
+        let Some(o) = self.ops.get(&op) else {
+            return;
+        };
+        let node = o.agents_nodes[to];
+        let coord_node = o.coord_node;
+        let sock = o.coord_sock;
+        let dst = SockAddr::new(Self::node_ip_static(node), AGENT_PORT);
+        let _ = self.nodes[coord_node].kernel.net.udp_send_to(
+            sock,
+            dst,
+            Bytes::from(msg.encode()),
+            self.now,
+        );
+        self.postprocess(coord_node);
+    }
+
+    fn on_coord_retry(&mut self, op: u64) {
+        let Some(interval) = self.params.ctl_retry else {
+            return;
+        };
+        let msgs = {
+            let Some(o) = self.ops.get_mut(&op) else {
+                return;
+            };
+            if o.complete || o.aborted {
+                return;
+            }
+            o.coord.on_retry(self.now)
+        };
+        self.schedule_coord_sends(op, msgs);
+        self.queue.push(self.now + interval, Event::CoordRetry { op });
+    }
+
+    fn on_coord_timeout(&mut self, op: u64) {
+        let Some(o) = self.ops.get_mut(&op) else {
+            return;
+        };
+        let (msgs, effects) = o.coord.on_timeout(self.now);
+        self.schedule_coord_sends(op, msgs);
+        for fx in effects {
+            if let CoordEffect::Aborted { .. } = fx {
+                if let Some(o) = self.ops.get_mut(&op) {
+                    o.aborted = true;
+                }
+            }
+        }
+    }
+
+    fn on_migrate_finish(&mut self, job: &str, pod: &str, dst: usize, image: &PodImage) {
+        if let Some(m) = self.migrations.get_mut(job) {
+            *m = m.saturating_sub(1);
+        }
+        if !self.nodes[dst].alive {
+            return;
+        }
+        let slot = &mut self.nodes[dst];
+        let pod_id = slot
+            .zap
+            .restart_pod(&mut slot.kernel, image, self.now)
+            .expect("migration restore onto a clean node");
+        let _ = slot.zap.resume_pod(&mut slot.kernel, pod_id, self.now);
+        if let Some(jr) = self.jobs.get_mut(job) {
+            if let Some(p) = jr.placement_mut(pod) {
+                p.node = dst;
+                p.pod_id = Some(pod_id);
+            }
+        }
+        self.postprocess(dst);
+    }
+
+    // ---- node plumbing ------------------------------------------------------
+
+    /// Drains a node's outgoing frames and re-arms its run/timer events.
+    fn postprocess(&mut self, n: usize) {
+        self.emit_frames(n, self.now);
+        self.poll_ctl(n);
+        if self.nodes[n].kernel.has_runnable() && !self.nodes[n].run_scheduled {
+            self.nodes[n].run_scheduled = true;
+            self.queue.push(self.now, Event::NodeRun(n));
+        }
+        self.reschedule_timer(n);
+    }
+
+    fn emit_frames(&mut self, n: usize, at: SimTime) {
+        let frames = self.nodes[n].kernel.take_frames();
+        for frame in frames {
+            let arrive = self.links_up[n].schedule(at, frame.wire_len(), &self.params.link);
+            self.queue.push(
+                arrive,
+                Event::FrameAtSwitch {
+                    from_port: n,
+                    frame,
+                },
+            );
+        }
+    }
+
+    fn reschedule_timer(&mut self, n: usize) {
+        let Some(t) = self.nodes[n].kernel.next_timer() else {
+            return;
+        };
+        let t = t.max(self.now);
+        match self.nodes[n].timer_scheduled {
+            Some(existing) if existing <= t => {}
+            _ => {
+                self.nodes[n].timer_scheduled = Some(t);
+                self.queue.push(t, Event::NodeTick(n));
+            }
+        }
+    }
+
+    /// Drains control datagrams: the agent port plus any coordinator
+    /// sockets hosted on this node.
+    fn poll_ctl(&mut self, n: usize) {
+        // Agent messages.
+        let sock = self.nodes[n].agent_sock;
+        while let Ok(Some((from, bytes))) = self.nodes[n].kernel.net.udp_recv_from(sock) {
+            if let Some(msg) = CtlMsg::decode(&bytes) {
+                let mut at = self.ctl_slot(n);
+                // Start/continue handling configures the packet filter and
+                // signals pods before anything else runs.
+                if matches!(msg, CtlMsg::Start { .. } | CtlMsg::Continue { .. }) {
+                    at += self.params.agent_op_cpu;
+                    self.nodes[n].ctl_cpu_free = at;
+                }
+                self.queue.push(
+                    at,
+                    Event::AgentCtl {
+                        node: n,
+                        msg,
+                        reply_to: from,
+                    },
+                );
+            }
+        }
+        // Coordinator replies.
+        let op_socks: Vec<(u64, SocketId)> = self
+            .ops
+            .iter()
+            .filter(|(_, o)| o.coord_node == n && !o.complete && !o.aborted)
+            .map(|(&id, o)| (id, o.coord_sock))
+            .collect();
+        for (op, sock) in op_socks {
+            while let Ok(Some((from, bytes))) = self.nodes[n].kernel.net.udp_recv_from(sock) {
+                let Some(msg) = CtlMsg::decode(&bytes) else {
+                    continue;
+                };
+                // Identify the agent by source address.
+                let Some(agent_idx) = self.ops.get(&op).and_then(|o| {
+                    o.agents_nodes
+                        .iter()
+                        .position(|&an| Self::node_ip_static(an) == from.ip)
+                }) else {
+                    continue;
+                };
+                let at = self.ctl_slot(n);
+                self.queue.push(
+                    at,
+                    Event::CoordCtl {
+                        op,
+                        from: agent_idx,
+                        msg,
+                    },
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,514 @@
+//! End-to-end distributed checkpoint-restart tests: live applications on a
+//! multi-node simulated cluster, the full Fig. 2 protocol over the wire.
+
+use cluster::{ClusterParams, JobSpec, PodSpec, World};
+use cruz::proto::ProtocolMode;
+use des::SimDuration;
+use simnet::addr::{IpAddr, MacAddr};
+use workloads::pingpong::PingPongConfig;
+use workloads::slm::SlmConfig;
+use workloads::ComputeConfig;
+use zap::image::MacMode;
+
+fn pingpong_job(rounds: u64, server_node: usize, client_node: usize, coord: usize) -> (JobSpec, PingPongConfig) {
+    let cfg = PingPongConfig {
+        server_ip: IpAddr::from_octets([10, 0, 1, 1]),
+        port: 7300,
+        rounds,
+    };
+    let spec = JobSpec {
+        name: "pp".into(),
+        coordinator_node: coord,
+        pods: vec![
+            PodSpec {
+                name: "server".into(),
+                ip: cfg.server_ip,
+                mac_mode: MacMode::Dedicated(MacAddr::from_index(2001)),
+                node: server_node,
+                programs: vec![cfg.server_program()],
+            },
+            PodSpec {
+                name: "client".into(),
+                ip: IpAddr::from_octets([10, 0, 1, 2]),
+                mac_mode: MacMode::Dedicated(MacAddr::from_index(2002)),
+                node: client_node,
+                programs: vec![cfg.client_program()],
+            },
+        ],
+    };
+    (spec, cfg)
+}
+
+#[test]
+fn cross_node_pingpong_completes() {
+    let mut w = World::new(3, ClusterParams::default());
+    let (spec, _) = pingpong_job(200, 0, 1, 2);
+    w.launch_job(&spec).unwrap();
+    assert!(w.run_until_pred(5_000_000, |w| w.job_finished("pp")));
+    assert_eq!(w.pod_exit_code("pp", "server", 1), Some(0));
+    assert_eq!(w.pod_exit_code("pp", "client", 1), Some(0));
+}
+
+#[test]
+fn checkpoint_mid_run_is_transparent() {
+    let mut w = World::new(3, ClusterParams::default());
+    let (spec, _) = pingpong_job(400, 0, 1, 2);
+    w.launch_job(&spec).unwrap();
+    // Let the exchange get going, then checkpoint.
+    w.run_for(SimDuration::from_millis(5));
+    let op = w
+        .start_checkpoint("pp", ProtocolMode::Blocking, None)
+        .unwrap();
+    assert!(w.run_until_op(op, 5_000_000), "checkpoint completes");
+    let report = w.op_report(op).unwrap();
+    assert!(report.complete && !report.aborted);
+    assert!(w.store("pp").is_committed(op));
+    // The application never notices: every round-trip token checks out.
+    assert!(w.run_until_pred(20_000_000, |w| w.job_finished("pp")));
+    assert_eq!(w.pod_exit_code("pp", "server", 1), Some(0));
+    assert_eq!(w.pod_exit_code("pp", "client", 1), Some(0));
+}
+
+#[test]
+fn optimized_protocol_is_equally_transparent() {
+    let mut w = World::new(3, ClusterParams::default());
+    let (spec, _) = pingpong_job(400, 0, 1, 2);
+    w.launch_job(&spec).unwrap();
+    w.run_for(SimDuration::from_millis(5));
+    let op = w
+        .start_checkpoint("pp", ProtocolMode::Optimized, None)
+        .unwrap();
+    assert!(w.run_until_op(op, 5_000_000));
+    assert!(w.run_until_pred(20_000_000, |w| w.job_finished("pp")));
+    assert_eq!(w.pod_exit_code("pp", "server", 1), Some(0));
+    assert_eq!(w.pod_exit_code("pp", "client", 1), Some(0));
+}
+
+#[test]
+fn restart_on_new_nodes_after_crash() {
+    let mut w = World::new(5, ClusterParams::default());
+    let (spec, _) = pingpong_job(600, 0, 1, 4);
+    w.launch_job(&spec).unwrap();
+    w.run_for(SimDuration::from_millis(8));
+    let ck = w
+        .start_checkpoint("pp", ProtocolMode::Blocking, None)
+        .unwrap();
+    assert!(w.run_until_op(ck, 5_000_000));
+    // Progress continues after the checkpoint, then both app nodes die.
+    w.run_for(SimDuration::from_millis(5));
+    w.crash_node(0);
+    w.crash_node(1);
+    w.run_for(SimDuration::from_millis(5));
+    // Restart the job from the committed epoch on fresh nodes 2 and 3.
+    let rs = w
+        .start_restart(
+            "pp",
+            ck,
+            &[("server".into(), 2), ("client".into(), 3)],
+            ProtocolMode::Blocking,
+        )
+        .unwrap();
+    assert!(w.run_until_op(rs, 5_000_000), "restart completes");
+    // The pods pick up exactly where the checkpoint cut them and finish
+    // with all token checks intact.
+    assert!(w.run_until_pred(30_000_000, |w| w.job_finished("pp")));
+    assert_eq!(w.pod_exit_code("pp", "server", 1), Some(0));
+    assert_eq!(w.pod_exit_code("pp", "client", 1), Some(0));
+    // And they really run on the new nodes.
+    let jr = w.job("pp").unwrap();
+    assert_eq!(jr.placement("server").unwrap().node, 2);
+    assert_eq!(jr.placement("client").unwrap().node, 3);
+}
+
+#[test]
+fn repeated_checkpoints_of_slm_complete_and_app_finishes() {
+    let slm = SlmConfig {
+        ranks: 4,
+        state_bytes: 256 * 1024,
+        iters: 40,
+        compute_ns: 2_000_000,
+        halo_bytes: 4096,
+        port: 7100,
+        state_step_bytes: 0,
+    };
+    let mut w = World::new(5, ClusterParams::default());
+    let spec = slm.job_spec("slm", 4);
+    w.launch_job(&spec).unwrap();
+    let mut ops = Vec::new();
+    for i in 0..3 {
+        w.run_for(SimDuration::from_millis(25));
+        let op = w
+            .start_checkpoint("slm", ProtocolMode::Blocking, None)
+            .unwrap();
+        assert!(w.run_until_op(op, 10_000_000), "checkpoint {i} completes");
+        ops.push(op);
+    }
+    assert!(w.run_until_pred(50_000_000, |w| w.job_finished("slm")));
+    for r in 0..4 {
+        assert_eq!(
+            w.pod_exit_code("slm", &format!("rank{r}"), 1),
+            Some(0),
+            "rank {r} exits cleanly"
+        );
+    }
+    // Every epoch committed; coordination overhead far below local save.
+    for op in ops {
+        let rep = w.op_report(op).unwrap();
+        assert!(rep.complete);
+        let latency = rep.stats.checkpoint_latency().unwrap();
+        let overhead = rep.coordination_overhead().unwrap();
+        assert!(overhead < latency, "overhead {overhead} < latency {latency}");
+        assert!(
+            overhead < SimDuration::from_millis(2),
+            "coordination is sub-millisecond, got {overhead}"
+        );
+    }
+}
+
+#[test]
+fn message_complexity_is_linear() {
+    // 2 messages out + 2 in per agent, regardless of communication pattern.
+    let slm = SlmConfig {
+        ranks: 4,
+        state_bytes: 64 * 1024,
+        iters: 200,
+        compute_ns: 1_000_000,
+        halo_bytes: 1024,
+        port: 7100,
+        state_step_bytes: 0,
+    };
+    let mut w = World::new(5, ClusterParams::default());
+    w.launch_job(&slm.job_spec("slm", 4)).unwrap();
+    w.run_for(SimDuration::from_millis(10));
+    let op = w
+        .start_checkpoint("slm", ProtocolMode::Blocking, None)
+        .unwrap();
+    assert!(w.run_until_op(op, 10_000_000));
+    let rep = w.op_report(op).unwrap();
+    assert_eq!(rep.stats.msgs_sent, 8, "2N messages from the coordinator");
+    assert_eq!(rep.stats.msgs_received, 8, "2N messages to the coordinator");
+}
+
+#[test]
+fn live_migration_keeps_the_connection() {
+    // Migrate the ping-pong server mid-exchange; the client (a remote peer
+    // that is "not under Zap control" of the migration) never notices.
+    let mut w = World::new(4, ClusterParams::default());
+    let (spec, _) = pingpong_job(500, 0, 1, 3);
+    w.launch_job(&spec).unwrap();
+    w.run_for(SimDuration::from_millis(6));
+    assert!(!w.job_finished("pp"), "still mid-exchange");
+    w.migrate_pod("pp", "server", 2).unwrap();
+    assert!(w.run_until_pred(30_000_000, |w| w.job_finished("pp")));
+    assert_eq!(w.pod_exit_code("pp", "server", 1), Some(0));
+    assert_eq!(w.pod_exit_code("pp", "client", 1), Some(0));
+    assert_eq!(w.job("pp").unwrap().placement("server").unwrap().node, 2);
+}
+
+#[test]
+fn timeout_aborts_when_an_agent_node_is_dead() {
+    // Two independent compute pods; one node dies before the checkpoint.
+    let compute = ComputeConfig {
+        outer: 50_000,
+        inner: 200,
+    };
+    let spec = JobSpec {
+        name: "c".into(),
+        coordinator_node: 2,
+        pods: vec![
+            PodSpec {
+                name: "a".into(),
+                ip: IpAddr::from_octets([10, 0, 1, 10]),
+                mac_mode: MacMode::Dedicated(MacAddr::from_index(2010)),
+                node: 0,
+                programs: vec![compute.program()],
+            },
+            PodSpec {
+                name: "b".into(),
+                ip: IpAddr::from_octets([10, 0, 1, 11]),
+                mac_mode: MacMode::Dedicated(MacAddr::from_index(2011)),
+                node: 1,
+                programs: vec![compute.program()],
+            },
+        ],
+    };
+    let mut w = World::new(3, ClusterParams::default());
+    w.launch_job(&spec).unwrap();
+    w.run_for(SimDuration::from_millis(2));
+    w.crash_node(1);
+    let op = w
+        .start_checkpoint("c", ProtocolMode::Blocking, Some(SimDuration::from_millis(50)))
+        .unwrap();
+    assert!(w.run_until_op(op, 10_000_000));
+    let rep = w.op_report(op).unwrap();
+    assert!(rep.aborted, "dead agent must abort the 2PC");
+    assert!(!w.store("c").is_committed(op), "no commit record");
+    // The surviving pod was rolled back (resumed, filter lifted) and
+    // finishes normally.
+    assert!(w.run_until_pred(20_000_000, |w| {
+        w.pod_exit_code("c", "a", 1).is_some()
+    }));
+}
+
+#[test]
+fn checkpoint_latency_tracks_state_size() {
+    // Bigger resident state ⇒ longer local save ⇒ longer total latency;
+    // coordination overhead stays flat (the Fig. 5 structure).
+    let mut latencies = Vec::new();
+    let mut overheads = Vec::new();
+    for state_kb in [128u64, 8192] {
+        let slm = SlmConfig {
+            ranks: 2,
+            state_bytes: state_kb * 1024,
+            iters: 500,
+            compute_ns: 1_000_000,
+            halo_bytes: 1024,
+            port: 7100,
+            state_step_bytes: 0,
+        };
+        let mut w = World::new(3, ClusterParams::default());
+        w.launch_job(&slm.job_spec("slm", 2)).unwrap();
+        w.run_for(SimDuration::from_millis(10));
+        let op = w
+            .start_checkpoint("slm", ProtocolMode::Blocking, None)
+            .unwrap();
+        assert!(w.run_until_op(op, 10_000_000));
+        let rep = w.op_report(op).unwrap();
+        latencies.push(rep.stats.checkpoint_latency().unwrap());
+        overheads.push(rep.coordination_overhead().unwrap());
+    }
+    assert!(
+        latencies[1] > latencies[0] * 5,
+        "8x state should dominate latency: {latencies:?}"
+    );
+    let (a, b) = (overheads[0].as_micros_f64(), overheads[1].as_micros_f64());
+    assert!(
+        (a - b).abs() < a.max(b) * 0.8 + 200.0,
+        "overhead roughly flat: {overheads:?}"
+    );
+}
+
+#[test]
+fn cow_checkpoint_shrinks_blackout_and_still_commits() {
+    // §5.2/COW: same transparency guarantees, but the pods are frozen only
+    // for state *capture*; the disk writes finish in the background before
+    // the commit record appears.
+    let slm = SlmConfig {
+        ranks: 2,
+        state_bytes: 4 * 1024 * 1024,
+        iters: 2_000,
+        compute_ns: 2_000_000,
+        halo_bytes: 2048,
+        port: 7100,
+        state_step_bytes: 0,
+    };
+    let mut w = World::new(3, ClusterParams::default());
+    w.launch_job(&slm.job_spec("slm", 2)).unwrap();
+    w.run_for(SimDuration::from_millis(20));
+
+    let full = w
+        .start_checkpoint_opts("slm", ProtocolMode::Blocking, false, None)
+        .unwrap();
+    assert!(w.run_until_op(full, 20_000_000));
+    let full_rep = w.op_report(full).unwrap();
+
+    w.run_for(SimDuration::from_millis(20));
+    let cow = w
+        .start_checkpoint_opts("slm", ProtocolMode::Blocking, true, None)
+        .unwrap();
+    assert!(w.run_until_op(cow, 20_000_000));
+    let cow_rep = w.op_report(cow).unwrap();
+
+    // Both epochs committed and restorable.
+    assert!(w.store("slm").is_committed(full));
+    assert!(w.store("slm").is_committed(cow));
+    // COW blackout is a small fraction of the full one.
+    let full_block = full_rep.blocked_durations()[0].1;
+    let cow_block = cow_rep.blocked_durations()[0].1;
+    assert!(
+        cow_block.as_millis_f64() < full_block.as_millis_f64() * 0.25,
+        "cow {cow_block} vs full {full_block}"
+    );
+    // And the application is still correct — restart from the COW epoch.
+    w.crash_node(0);
+    w.crash_node(1);
+    // Restart needs spare nodes; rebuild placement onto the same world is
+    // not possible with both app nodes dead and only node 2 spare — so
+    // just verify the images decode and carry the expected pods.
+    let store = w.store("slm");
+    for r in 0..2 {
+        let bytes = store.get_image(&format!("rank{r}"), cow).unwrap();
+        let img = cruz_repro_decode(&bytes);
+        assert_eq!(img.name, format!("slm:rank{r}"));
+    }
+}
+
+fn cruz_repro_decode(bytes: &[u8]) -> zap::image::PodImage {
+    zap::image::PodImage::decode(bytes).expect("stored image decodes")
+}
+
+#[test]
+fn periodic_checkpoint_driver_runs_the_job_to_completion() {
+    let slm = SlmConfig {
+        ranks: 2,
+        state_bytes: 512 * 1024,
+        iters: 120,
+        compute_ns: 2_000_000,
+        halo_bytes: 2048,
+        port: 7100,
+        state_step_bytes: 0,
+    };
+    let mut w = World::new(3, ClusterParams {
+        prune_old_epochs: false,
+        ..ClusterParams::default()
+    });
+    w.launch_job(&slm.job_spec("slm", 2)).unwrap();
+    w.schedule_periodic_checkpoints(
+        "slm",
+        SimDuration::from_millis(60),
+        ProtocolMode::Optimized,
+        true,
+    )
+    .unwrap();
+    assert!(w.run_until_pred(100_000_000, |w| w.job_finished("slm")));
+    for r in 0..2 {
+        assert_eq!(w.pod_exit_code("slm", &format!("rank{r}"), 1), Some(0));
+    }
+    // The ~260 ms run at a 60 ms cadence commits several epochs.
+    let epochs = w.store("slm").committed_epochs();
+    assert!(epochs.len() >= 3, "got {epochs:?}");
+    // Driver retired: advancing time schedules no further checkpoints.
+    let before = epochs.len();
+    w.run_for(SimDuration::from_millis(300));
+    assert_eq!(w.store("slm").committed_epochs().len(), before);
+}
+
+#[test]
+fn incremental_epochs_restore_through_the_full_protocol() {
+    use cluster::world::CkptOptions;
+    let slm = SlmConfig {
+        ranks: 2,
+        state_bytes: 2 * 1024 * 1024,
+        iters: 100_000,
+        compute_ns: 2_000_000,
+        halo_bytes: 2048,
+        port: 7100,
+        state_step_bytes: 0,
+    };
+    let mut w = World::new(5, ClusterParams::default());
+    w.launch_job(&slm.job_spec("slm", 4)).unwrap();
+    w.run_for(SimDuration::from_millis(20));
+
+    // Full epoch, then two incremental epochs.
+    let full = w
+        .start_checkpoint_with("slm", CkptOptions::default())
+        .unwrap();
+    assert!(w.run_until_op(full, 20_000_000));
+    let mut incs = Vec::new();
+    for _ in 0..2 {
+        w.run_for(SimDuration::from_millis(5));
+        let inc = w
+            .start_checkpoint_with(
+                "slm",
+                CkptOptions {
+                    incremental: true,
+                    ..CkptOptions::default()
+                },
+            )
+            .unwrap();
+        assert!(w.run_until_op(inc, 20_000_000));
+        incs.push(inc);
+    }
+    // The incremental images are dramatically smaller than the full one.
+    let store = w.store("slm");
+    let full_len = store.image_len("rank0", full).unwrap();
+    let inc_len = store.image_len("rank0", incs[1]).unwrap();
+    assert!(
+        inc_len * 5 < full_len,
+        "incremental {inc_len} B vs full {full_len} B"
+    );
+
+    // Crash and restart from the LAST incremental epoch: the runtime folds
+    // the chain (full ← inc1 ← inc2) transparently.
+    w.crash_node(0);
+    w.crash_node(1);
+    let rs = w
+        .start_restart(
+            "slm",
+            incs[1],
+            &[("rank0".into(), 2), ("rank1".into(), 3)],
+            ProtocolMode::Blocking,
+        )
+        .unwrap();
+    assert!(w.run_until_op(rs, 20_000_000));
+    // The ring resumes and keeps making progress (halo checks would fail
+    // loudly on any corruption).
+    let progress = |w: &World| {
+        w.peek_guest("slm", "rank0", 1, workloads::slm::ITER_COUNTER_ADDR, 8)
+            .map(|b| u64::from_le_bytes(b.try_into().unwrap()))
+            .unwrap_or(0)
+    };
+    let before = progress(&w);
+    w.run_for(SimDuration::from_millis(60));
+    assert!(progress(&w) > before, "ring advances after chained restore");
+}
+
+#[test]
+fn allreduce_collective_survives_checkpoint_and_restart() {
+    use workloads::allreduce::AllReduceConfig;
+    let cfg = AllReduceConfig {
+        ranks: 3,
+        rounds: 200,
+        port: 7400,
+    };
+    // 3 ranks on nodes 0-2, spares 3-5, coordinator 6.
+    let mut w = World::new(7, ClusterParams::default());
+    w.launch_job(&cfg.job_spec("ar", 6)).unwrap();
+    w.run_for(SimDuration::from_millis(4));
+    let ck = w
+        .start_checkpoint("ar", ProtocolMode::Optimized, None)
+        .unwrap();
+    assert!(w.run_until_op(ck, 20_000_000));
+    w.run_for(SimDuration::from_millis(3));
+    for n in 0..3 {
+        w.crash_node(n);
+    }
+    let placement: Vec<(String, usize)> =
+        (0..3).map(|r| (format!("rank{r}"), 3 + r)).collect();
+    let rs = w
+        .start_restart("ar", ck, &placement, ProtocolMode::Blocking)
+        .unwrap();
+    assert!(w.run_until_op(rs, 20_000_000));
+    assert!(w.run_until_pred(100_000_000, |w| w.job_finished("ar")));
+    for r in 0..3 {
+        assert_eq!(
+            w.pod_exit_code("ar", &format!("rank{r}"), 1),
+            Some(cfg.expected_total()),
+            "collective result exact across crash+restart"
+        );
+    }
+}
+
+#[test]
+fn rollback_in_place_replaces_live_pods() {
+    // No crash at all: roll a RUNNING job back to an earlier epoch on the
+    // same nodes. The restart tears the live pods down first.
+    let mut w = World::new(3, ClusterParams::default());
+    let (spec, _) = pingpong_job(600, 0, 1, 2);
+    w.launch_job(&spec).unwrap();
+    w.run_for(SimDuration::from_millis(6));
+    let ck = w
+        .start_checkpoint("pp", ProtocolMode::Blocking, None)
+        .unwrap();
+    assert!(w.run_until_op(ck, 10_000_000));
+    // Keep running well past the checkpoint...
+    w.run_for(SimDuration::from_millis(10));
+    // ...then rewind the whole job to it, in place.
+    let rs = w
+        .start_restart("pp", ck, &[], ProtocolMode::Blocking)
+        .unwrap();
+    assert!(w.run_until_op(rs, 10_000_000), "in-place rollback completes");
+    assert!(w.run_until_pred(50_000_000, |w| w.job_finished("pp")));
+    assert_eq!(w.pod_exit_code("pp", "server", 1), Some(0));
+    assert_eq!(w.pod_exit_code("pp", "client", 1), Some(0));
+}

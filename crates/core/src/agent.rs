@@ -1,0 +1,354 @@
+//! The per-node Checkpoint Agent (Fig. 2's right-hand column).
+//!
+//! Like the coordinator, the agent is a pure state machine: control
+//! messages and local-completion notifications go in; actions for the
+//! hosting runtime come out. The runtime executes them with real costs —
+//! netfilter-rule installation, pod freeze, state extraction, disk I/O.
+
+use des::SimTime;
+
+use crate::proto::{CtlMsg, OpKind, ProtocolMode};
+
+/// An action the hosting node must perform for its agent.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AgentAction {
+    /// Install filter rules silently dropping all traffic to/from the
+    /// job's local pods (Fig. 2, Agent step 1).
+    DisableComm,
+    /// Remove those rules (Agent step 6).
+    EnableComm,
+    /// Stop the local pods and save their state; report completion via
+    /// [`Agent::on_local_done`] (Agent step 2).
+    BeginLocalCheckpoint {
+        /// Epoch to tag the images with.
+        epoch: u64,
+    },
+    /// Restore the local pods from epoch images; report completion via
+    /// [`Agent::on_local_done`].
+    BeginLocalRestore {
+        /// Epoch to restore.
+        epoch: u64,
+    },
+    /// Resume the stopped/restored pods (Agent step 5).
+    ResumePods,
+    /// Roll back an uncommitted checkpoint (abort path): discard images,
+    /// resume pods, re-enable communication.
+    RollBack {
+        /// Epoch being abandoned.
+        epoch: u64,
+    },
+    /// Send a message to the coordinator.
+    Send(CtlMsg),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    Idle,
+    Saving,
+    Saved,
+    Done,
+}
+
+/// The agent state machine.
+#[derive(Debug)]
+pub struct Agent {
+    epoch: u64,
+    kind: OpKind,
+    mode: ProtocolMode,
+    cow: bool,
+    phase: Phase,
+}
+
+impl Agent {
+    /// Creates an idle agent.
+    pub fn new() -> Self {
+        Agent {
+            epoch: 0,
+            kind: OpKind::Checkpoint,
+            mode: ProtocolMode::Blocking,
+            cow: false,
+            phase: Phase::Idle,
+        }
+    }
+
+    /// The epoch of the operation in progress (meaningless when idle).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// True when no operation is in progress.
+    pub fn is_idle(&self) -> bool {
+        matches!(self.phase, Phase::Idle | Phase::Done)
+    }
+
+    /// Handles a coordinator message.
+    pub fn on_ctl(&mut self, msg: CtlMsg, _now: SimTime) -> Vec<AgentAction> {
+        match msg {
+            CtlMsg::Start { kind, epoch, mode, .. } if epoch == self.epoch && !matches!(self.phase, Phase::Idle) => {
+                let _ = (kind, mode);
+                // Duplicate start (retransmission): never restart the local
+                // operation. If we already saved, our done may have been
+                // lost — repeat it.
+                if self.phase == Phase::Saved {
+                    vec![AgentAction::Send(CtlMsg::Done { epoch })]
+                } else {
+                    Vec::new()
+                }
+            }
+            CtlMsg::Start { kind, epoch, mode, cow } => {
+                self.epoch = epoch;
+                self.kind = kind;
+                self.mode = mode;
+                self.cow = cow && kind == OpKind::Checkpoint;
+                self.phase = Phase::Saving;
+                let mut actions = vec![AgentAction::DisableComm];
+                if mode == ProtocolMode::Optimized && kind == OpKind::Checkpoint {
+                    // Fig. 4: acknowledge the communication cut immediately.
+                    actions.push(AgentAction::Send(CtlMsg::CommDisabled { epoch }));
+                }
+                actions.push(match kind {
+                    OpKind::Checkpoint => AgentAction::BeginLocalCheckpoint { epoch },
+                    OpKind::Restart => AgentAction::BeginLocalRestore { epoch },
+                });
+                actions
+            }
+            CtlMsg::Continue { epoch } if epoch == self.epoch => {
+                if self.phase == Phase::Done {
+                    // Duplicate continue: our continue-done may have been
+                    // lost — repeat it (resuming already happened).
+                    return vec![AgentAction::Send(CtlMsg::ContinueDone { epoch })];
+                }
+                if !matches!(self.phase, Phase::Saved) {
+                    return Vec::new(); // premature
+                }
+                self.phase = Phase::Done;
+                vec![
+                    AgentAction::ResumePods,
+                    AgentAction::EnableComm,
+                    AgentAction::Send(CtlMsg::ContinueDone { epoch }),
+                ]
+            }
+            CtlMsg::Abort { epoch } if epoch == self.epoch => {
+                if matches!(self.phase, Phase::Idle | Phase::Done) {
+                    return Vec::new();
+                }
+                self.phase = Phase::Done;
+                vec![AgentAction::RollBack { epoch }]
+            }
+            _ => Vec::new(),
+        }
+    }
+
+    /// Notifies the agent that its local save/restore finished (state
+    /// *captured*; in COW mode the disk write may still be in flight).
+    pub fn on_local_done(&mut self, _now: SimTime) -> Vec<AgentAction> {
+        if self.phase != Phase::Saving {
+            return Vec::new(); // aborted meanwhile
+        }
+        self.phase = Phase::Saved;
+        vec![AgentAction::Send(CtlMsg::Done { epoch: self.epoch })]
+    }
+
+    /// Notifies the agent that the captured image reached stable storage
+    /// (COW mode only).
+    pub fn on_local_durable(&mut self, _now: SimTime) -> Vec<AgentAction> {
+        if !self.cow || matches!(self.phase, Phase::Idle) {
+            return Vec::new();
+        }
+        vec![AgentAction::Send(CtlMsg::Durable { epoch: self.epoch })]
+    }
+}
+
+impl Default for Agent {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const T: SimTime = SimTime::ZERO;
+
+    #[test]
+    fn blocking_checkpoint_flow_matches_fig2() {
+        let mut a = Agent::new();
+        let actions = a.on_ctl(
+            CtlMsg::Start {
+                kind: OpKind::Checkpoint,
+                epoch: 5,
+                mode: ProtocolMode::Blocking,
+                cow: false,
+            },
+            T,
+        );
+        // Steps 1-2: filter first, then the local checkpoint.
+        assert_eq!(
+            actions,
+            vec![
+                AgentAction::DisableComm,
+                AgentAction::BeginLocalCheckpoint { epoch: 5 }
+            ]
+        );
+        // Step 3: done goes to the coordinator.
+        assert_eq!(
+            a.on_local_done(T),
+            vec![AgentAction::Send(CtlMsg::Done { epoch: 5 })]
+        );
+        // Steps 5-7: resume, re-enable comm, ack.
+        assert_eq!(
+            a.on_ctl(CtlMsg::Continue { epoch: 5 }, T),
+            vec![
+                AgentAction::ResumePods,
+                AgentAction::EnableComm,
+                AgentAction::Send(CtlMsg::ContinueDone { epoch: 5 })
+            ]
+        );
+        assert!(a.is_idle());
+    }
+
+    #[test]
+    fn optimized_mode_acks_comm_disabled_immediately() {
+        let mut a = Agent::new();
+        let actions = a.on_ctl(
+            CtlMsg::Start {
+                kind: OpKind::Checkpoint,
+                epoch: 1,
+                mode: ProtocolMode::Optimized,
+                cow: false,
+            },
+            T,
+        );
+        assert_eq!(
+            actions,
+            vec![
+                AgentAction::DisableComm,
+                AgentAction::Send(CtlMsg::CommDisabled { epoch: 1 }),
+                AgentAction::BeginLocalCheckpoint { epoch: 1 }
+            ]
+        );
+    }
+
+    #[test]
+    fn restart_disables_comm_before_restoring() {
+        // §5: restore without a filter would let restored TCP state emit
+        // segments before peers are ready — comm must be cut first.
+        let mut a = Agent::new();
+        let actions = a.on_ctl(
+            CtlMsg::Start {
+                kind: OpKind::Restart,
+                epoch: 2,
+                mode: ProtocolMode::Blocking,
+                cow: false,
+            },
+            T,
+        );
+        assert_eq!(actions[0], AgentAction::DisableComm);
+        assert_eq!(actions[1], AgentAction::BeginLocalRestore { epoch: 2 });
+    }
+
+    #[test]
+    fn premature_continue_is_ignored() {
+        let mut a = Agent::new();
+        let _ = a.on_ctl(
+            CtlMsg::Start {
+                kind: OpKind::Checkpoint,
+                epoch: 3,
+                mode: ProtocolMode::Blocking,
+                cow: false,
+            },
+            T,
+        );
+        // Continue before local save finished (should not happen with a
+        // correct coordinator, but must be safe).
+        assert!(a.on_ctl(CtlMsg::Continue { epoch: 3 }, T).is_empty());
+        let _ = a.on_local_done(T);
+        assert_eq!(a.on_ctl(CtlMsg::Continue { epoch: 3 }, T).len(), 3);
+        // A duplicate continue only re-acks (idempotent under
+        // retransmission); it must not resume anything twice.
+        assert_eq!(
+            a.on_ctl(CtlMsg::Continue { epoch: 3 }, T),
+            vec![AgentAction::Send(CtlMsg::ContinueDone { epoch: 3 })]
+        );
+    }
+
+    #[test]
+    fn abort_rolls_back() {
+        let mut a = Agent::new();
+        let _ = a.on_ctl(
+            CtlMsg::Start {
+                kind: OpKind::Checkpoint,
+                epoch: 9,
+                mode: ProtocolMode::Blocking,
+                cow: false,
+            },
+            T,
+        );
+        let _ = a.on_local_done(T);
+        assert_eq!(
+            a.on_ctl(CtlMsg::Abort { epoch: 9 }, T),
+            vec![AgentAction::RollBack { epoch: 9 }]
+        );
+        // Local completion after abort is swallowed.
+        assert!(a.on_local_done(T).is_empty());
+    }
+
+    #[test]
+    fn cow_flow_reports_done_then_durable() {
+        let mut a = Agent::new();
+        let actions = a.on_ctl(
+            CtlMsg::Start {
+                kind: OpKind::Checkpoint,
+                epoch: 4,
+                mode: ProtocolMode::Blocking,
+                cow: true,
+            },
+            T,
+        );
+        assert_eq!(actions[0], AgentAction::DisableComm);
+        // Capture finishes first...
+        assert_eq!(
+            a.on_local_done(T),
+            vec![AgentAction::Send(CtlMsg::Done { epoch: 4 })]
+        );
+        // ...the background write lands later (possibly after the resume).
+        let _ = a.on_ctl(CtlMsg::Continue { epoch: 4 }, T);
+        assert_eq!(
+            a.on_local_durable(T),
+            vec![AgentAction::Send(CtlMsg::Durable { epoch: 4 })]
+        );
+    }
+
+    #[test]
+    fn durable_is_suppressed_outside_cow_checkpoints() {
+        let mut a = Agent::new();
+        let _ = a.on_ctl(
+            CtlMsg::Start {
+                kind: OpKind::Checkpoint,
+                epoch: 6,
+                mode: ProtocolMode::Blocking,
+                cow: false,
+            },
+            T,
+        );
+        let _ = a.on_local_done(T);
+        assert!(a.on_local_durable(T).is_empty());
+    }
+
+    #[test]
+    fn wrong_epoch_messages_ignored() {
+        let mut a = Agent::new();
+        let _ = a.on_ctl(
+            CtlMsg::Start {
+                kind: OpKind::Checkpoint,
+                epoch: 1,
+                mode: ProtocolMode::Blocking,
+                cow: false,
+            },
+            T,
+        );
+        assert!(a.on_ctl(CtlMsg::Continue { epoch: 2 }, T).is_empty());
+        assert!(a.on_ctl(CtlMsg::Abort { epoch: 2 }, T).is_empty());
+    }
+}

@@ -1,0 +1,44 @@
+//! Cruz: distributed coordinated checkpoint-restart (the paper's core
+//! contribution).
+//!
+//! The insight the protocol rests on: because the Zap layer checkpoints
+//! **live TCP state** (§4.1), the only uncaptured channel state is packets
+//! in flight — state of the *unreliable* layer, which may be dropped
+//! without violating Chandy-Lamport consistency. So instead of the
+//! O(N²)-message channel flush of MPVM/CoCheck/LAM-MPI, coordination
+//! reduces to the minimum for atomicity:
+//!
+//! 1. coordinator sends `<checkpoint>` to each agent;
+//! 2. each agent installs a packet-filter rule silently dropping its pods'
+//!    traffic, saves its pods locally, replies `<done>`;
+//! 3. coordinator collects all `<done>`s (commit point), sends
+//!    `<continue>`;
+//! 4. agents resume pods, lift the filters, reply `<continue-done>`.
+//!
+//! Dropped packets are retransmitted by the checkpointed TCP state when
+//! execution continues — whether after the checkpoint or after a restart
+//! from it.
+//!
+//! * [`proto`] — the control messages and their wire codec;
+//! * [`coordinator`] — the coordinator state machine (Fig. 2), including
+//!   the Fig. 4 early-release optimization and timeout-driven abort;
+//! * [`agent`] — the per-node agent state machine;
+//! * [`store`] — image paths and two-phase-commit records on the shared
+//!   filesystem.
+//!
+//! The engines are pure: the `cluster` crate hosts them on simulated nodes,
+//! ships their datagrams over the simulated network, and executes their
+//! actions (filter rules, pod freeze, state extraction, disk I/O) with
+//! realistic costs.
+
+#![warn(missing_docs)]
+
+pub mod agent;
+pub mod coordinator;
+pub mod proto;
+pub mod store;
+
+pub use agent::{Agent, AgentAction};
+pub use coordinator::{AgentId, CoordEffect, CoordStats, Coordinator};
+pub use proto::{CtlMsg, OpKind, ProtocolMode, AGENT_PORT, COORD_PORT};
+pub use store::CheckpointStore;

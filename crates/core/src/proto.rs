@@ -1,0 +1,230 @@
+//! The coordination wire protocol (Fig. 2 / Fig. 4 of the paper).
+//!
+//! Messages ride UDP datagrams on the simulated network, so coordination
+//! overhead is *measured* — it includes real link serialization, switch
+//! hops and per-message CPU costs — rather than synthesized.
+
+use std::fmt;
+
+/// Which coordination protocol variant runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ProtocolMode {
+    /// Fig. 2: nodes stay blocked until *all* nodes finished saving.
+    Blocking,
+    /// Fig. 4: each node resumes as soon as communication is disabled
+    /// everywhere and its own save completed.
+    Optimized,
+}
+
+/// Whether an operation saves or restores state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpKind {
+    /// Coordinated checkpoint.
+    Checkpoint,
+    /// Coordinated restart.
+    Restart,
+}
+
+/// A control-plane message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CtlMsg {
+    /// Coordinator → agent: begin the operation for `epoch`.
+    Start {
+        /// Operation kind.
+        kind: OpKind,
+        /// Checkpoint epoch number.
+        epoch: u64,
+        /// Protocol variant in use.
+        mode: ProtocolMode,
+        /// Copy-on-write mode (§5.2 optimization): `done` is sent as soon
+        /// as the state is *captured*; a later `durable` reports the image
+        /// safely on disk and gates the commit.
+        cow: bool,
+    },
+    /// Agent → coordinator: communication is disabled (optimized mode only).
+    CommDisabled {
+        /// Epoch.
+        epoch: u64,
+    },
+    /// Agent → coordinator: local save/restore completed.
+    Done {
+        /// Epoch.
+        epoch: u64,
+    },
+    /// Coordinator → agent: resume execution and re-enable communication.
+    Continue {
+        /// Epoch.
+        epoch: u64,
+    },
+    /// Agent → coordinator: resumed; communication re-enabled.
+    ContinueDone {
+        /// Epoch.
+        epoch: u64,
+    },
+    /// Agent → coordinator (COW mode): the captured image reached stable
+    /// storage; commit may proceed.
+    Durable {
+        /// Epoch.
+        epoch: u64,
+    },
+    /// Coordinator → agent: abandon the operation; roll back local effects.
+    Abort {
+        /// Epoch.
+        epoch: u64,
+    },
+}
+
+impl CtlMsg {
+    /// The epoch this message belongs to.
+    pub fn epoch(&self) -> u64 {
+        match self {
+            CtlMsg::Start { epoch, .. }
+            | CtlMsg::CommDisabled { epoch }
+            | CtlMsg::Done { epoch }
+            | CtlMsg::Continue { epoch }
+            | CtlMsg::ContinueDone { epoch }
+            | CtlMsg::Durable { epoch }
+            | CtlMsg::Abort { epoch } => *epoch,
+        }
+    }
+
+    /// Serializes to a datagram payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut v = Vec::with_capacity(11);
+        match self {
+            CtlMsg::Start { kind, epoch, mode, cow } => {
+                v.push(0);
+                v.extend_from_slice(&epoch.to_le_bytes());
+                v.push(match kind {
+                    OpKind::Checkpoint => 0,
+                    OpKind::Restart => 1,
+                });
+                v.push(match mode {
+                    ProtocolMode::Blocking => 0,
+                    ProtocolMode::Optimized => 1,
+                });
+                v.push(*cow as u8);
+            }
+            CtlMsg::CommDisabled { epoch } => {
+                v.push(1);
+                v.extend_from_slice(&epoch.to_le_bytes());
+            }
+            CtlMsg::Done { epoch } => {
+                v.push(2);
+                v.extend_from_slice(&epoch.to_le_bytes());
+            }
+            CtlMsg::Continue { epoch } => {
+                v.push(3);
+                v.extend_from_slice(&epoch.to_le_bytes());
+            }
+            CtlMsg::ContinueDone { epoch } => {
+                v.push(4);
+                v.extend_from_slice(&epoch.to_le_bytes());
+            }
+            CtlMsg::Abort { epoch } => {
+                v.push(5);
+                v.extend_from_slice(&epoch.to_le_bytes());
+            }
+            CtlMsg::Durable { epoch } => {
+                v.push(6);
+                v.extend_from_slice(&epoch.to_le_bytes());
+            }
+        }
+        v
+    }
+
+    /// Parses a datagram payload.
+    pub fn decode(bytes: &[u8]) -> Option<CtlMsg> {
+        if bytes.len() < 9 {
+            return None;
+        }
+        let epoch = u64::from_le_bytes(bytes[1..9].try_into().ok()?);
+        Some(match bytes[0] {
+            0 => {
+                if bytes.len() < 12 {
+                    return None;
+                }
+                let kind = match bytes[9] {
+                    0 => OpKind::Checkpoint,
+                    1 => OpKind::Restart,
+                    _ => return None,
+                };
+                let mode = match bytes[10] {
+                    0 => ProtocolMode::Blocking,
+                    1 => ProtocolMode::Optimized,
+                    _ => return None,
+                };
+                let cow = bytes[11] != 0;
+                CtlMsg::Start { kind, epoch, mode, cow }
+            }
+            1 => CtlMsg::CommDisabled { epoch },
+            2 => CtlMsg::Done { epoch },
+            3 => CtlMsg::Continue { epoch },
+            4 => CtlMsg::ContinueDone { epoch },
+            5 => CtlMsg::Abort { epoch },
+            6 => CtlMsg::Durable { epoch },
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for CtlMsg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CtlMsg::Start { kind, epoch, mode, cow } => {
+                write!(f, "<start {kind:?} epoch={epoch} {mode:?} cow={cow}>")
+            }
+            CtlMsg::CommDisabled { epoch } => write!(f, "<comm-disabled epoch={epoch}>"),
+            CtlMsg::Done { epoch } => write!(f, "<done epoch={epoch}>"),
+            CtlMsg::Continue { epoch } => write!(f, "<continue epoch={epoch}>"),
+            CtlMsg::ContinueDone { epoch } => write!(f, "<continue-done epoch={epoch}>"),
+            CtlMsg::Abort { epoch } => write!(f, "<abort epoch={epoch}>"),
+            CtlMsg::Durable { epoch } => write!(f, "<durable epoch={epoch}>"),
+        }
+    }
+}
+
+/// The UDP port agents listen on.
+pub const AGENT_PORT: u16 = 7770;
+/// The UDP port the coordinator listens on.
+pub const COORD_PORT: u16 = 7771;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codec_round_trips() {
+        let msgs = [
+            CtlMsg::Start {
+                kind: OpKind::Checkpoint,
+                epoch: 3,
+                mode: ProtocolMode::Blocking,
+                cow: false,
+            },
+            CtlMsg::Start {
+                kind: OpKind::Restart,
+                epoch: 9,
+                mode: ProtocolMode::Optimized,
+                cow: true,
+            },
+            CtlMsg::CommDisabled { epoch: 1 },
+            CtlMsg::Done { epoch: 2 },
+            CtlMsg::Continue { epoch: 3 },
+            CtlMsg::ContinueDone { epoch: 4 },
+            CtlMsg::Durable { epoch: 6 },
+            CtlMsg::Abort { epoch: 5 },
+        ];
+        for m in msgs {
+            assert_eq!(CtlMsg::decode(&m.encode()), Some(m));
+            assert_eq!(m.epoch(), m.epoch());
+        }
+    }
+
+    #[test]
+    fn malformed_rejected() {
+        assert_eq!(CtlMsg::decode(&[]), None);
+        assert_eq!(CtlMsg::decode(&[9; 12]), None);
+        assert_eq!(CtlMsg::decode(&[0, 0, 0, 0, 0, 0, 0, 0, 0]), None); // start too short
+    }
+}

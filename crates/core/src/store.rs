@@ -1,0 +1,214 @@
+//! Checkpoint storage conventions over the network filesystem.
+//!
+//! Images live under `/ckpt/<job>/`; an epoch becomes *committed* — and
+//! thus eligible for restart — only when the coordinator writes its commit
+//! record after collecting every agent's `done` (the two-phase-commit
+//! decision point). A crash mid-checkpoint therefore never leaves a
+//! half-written epoch that restart could pick up.
+
+use simos::fs::NetFs;
+
+/// Path helpers and commit bookkeeping for one job's checkpoints.
+#[derive(Debug, Clone)]
+pub struct CheckpointStore {
+    fs: NetFs,
+    job: String,
+}
+
+impl CheckpointStore {
+    /// Creates a store view for `job` on the shared filesystem.
+    pub fn new(fs: NetFs, job: impl Into<String>) -> Self {
+        CheckpointStore {
+            fs,
+            job: job.into(),
+        }
+    }
+
+    /// The job name.
+    pub fn job(&self) -> &str {
+        &self.job
+    }
+
+    /// Path of a pod's image for an epoch.
+    pub fn image_path(&self, pod_name: &str, epoch: u64) -> String {
+        format!("/ckpt/{}/epoch{:08}/{}.img", self.job, epoch, pod_name)
+    }
+
+    /// Path of the commit record for an epoch.
+    pub fn commit_path(&self, epoch: u64) -> String {
+        format!("/ckpt/{}/epoch{:08}/COMMIT", self.job, epoch)
+    }
+
+    /// Writes a pod image.
+    pub fn put_image(&self, pod_name: &str, epoch: u64, bytes: Vec<u8>) {
+        self.fs.write_file(&self.image_path(pod_name, epoch), bytes);
+    }
+
+    /// Reads a pod image.
+    pub fn get_image(&self, pod_name: &str, epoch: u64) -> Option<Vec<u8>> {
+        self.fs.read_file(&self.image_path(pod_name, epoch))
+    }
+
+    /// Size of a pod image in bytes, if present.
+    pub fn image_len(&self, pod_name: &str, epoch: u64) -> Option<u64> {
+        self.fs.len_of(&self.image_path(pod_name, epoch))
+    }
+
+    /// Writes the commit record, marking `epoch` globally consistent.
+    pub fn commit(&self, epoch: u64) {
+        self.fs
+            .write_file(&self.commit_path(epoch), epoch.to_le_bytes().to_vec());
+    }
+
+    /// True if `epoch` has a commit record.
+    pub fn is_committed(&self, epoch: u64) -> bool {
+        self.fs.exists(&self.commit_path(epoch))
+    }
+
+    /// The newest committed epoch, if any — what restart rolls back to.
+    pub fn latest_committed_epoch(&self) -> Option<u64> {
+        let prefix = format!("/ckpt/{}/", self.job);
+        self.fs
+            .list(&prefix)
+            .into_iter()
+            .filter_map(|p| {
+                let rest = p.strip_prefix(&prefix)?;
+                let (dir, file) = rest.split_once('/')?;
+                if file != "COMMIT" {
+                    return None;
+                }
+                dir.strip_prefix("epoch")?.parse::<u64>().ok()
+            })
+            .max()
+    }
+
+    /// All committed epochs, ascending.
+    pub fn committed_epochs(&self) -> Vec<u64> {
+        let prefix = format!("/ckpt/{}/", self.job);
+        let mut v: Vec<u64> = self
+            .fs
+            .list(&prefix)
+            .into_iter()
+            .filter_map(|p| {
+                let rest = p.strip_prefix(&prefix)?;
+                let (dir, file) = rest.split_once('/')?;
+                if file != "COMMIT" {
+                    return None;
+                }
+                dir.strip_prefix("epoch")?.parse::<u64>().ok()
+            })
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Discards every epoch older than `keep` (garbage collection once a
+    /// newer consistent checkpoint is committed).
+    pub fn prune_below(&self, keep: u64) {
+        for e in self.committed_epochs() {
+            if e < keep {
+                self.discard_epoch(e);
+            }
+        }
+    }
+
+    /// Removes every file of an epoch (the abort rollback).
+    pub fn discard_epoch(&self, epoch: u64) {
+        let prefix = format!("/ckpt/{}/epoch{:08}/", self.job, epoch);
+        for path in self.fs.list(&prefix) {
+            self.fs.remove(&path);
+        }
+    }
+
+    /// Pod names with images in an epoch.
+    pub fn pods_in_epoch(&self, epoch: u64) -> Vec<String> {
+        let prefix = format!("/ckpt/{}/epoch{:08}/", self.job, epoch);
+        self.fs
+            .list(&prefix)
+            .into_iter()
+            .filter_map(|p| {
+                let f = p.strip_prefix(&prefix)?;
+                f.strip_suffix(".img").map(str::to_owned)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn commit_gating() {
+        let fs = NetFs::new();
+        let s = CheckpointStore::new(fs, "job1");
+        s.put_image("pod0", 1, vec![1, 2, 3]);
+        assert!(!s.is_committed(1));
+        assert_eq!(s.latest_committed_epoch(), None, "uncommitted is invisible");
+        s.commit(1);
+        assert!(s.is_committed(1));
+        assert_eq!(s.latest_committed_epoch(), Some(1));
+        assert_eq!(s.get_image("pod0", 1), Some(vec![1, 2, 3]));
+    }
+
+    #[test]
+    fn latest_epoch_wins() {
+        let fs = NetFs::new();
+        let s = CheckpointStore::new(fs, "j");
+        for e in [3u64, 1, 7, 5] {
+            s.put_image("p", e, vec![e as u8]);
+            s.commit(e);
+        }
+        assert_eq!(s.latest_committed_epoch(), Some(7));
+    }
+
+    #[test]
+    fn discard_rolls_back_an_epoch() {
+        let fs = NetFs::new();
+        let s = CheckpointStore::new(fs, "j");
+        s.put_image("a", 2, vec![1]);
+        s.put_image("b", 2, vec![2]);
+        s.commit(2);
+        s.discard_epoch(2);
+        assert!(!s.is_committed(2));
+        assert_eq!(s.get_image("a", 2), None);
+        assert_eq!(s.latest_committed_epoch(), None);
+    }
+
+    #[test]
+    fn pods_in_epoch_lists_images() {
+        let fs = NetFs::new();
+        let s = CheckpointStore::new(fs, "j");
+        s.put_image("x", 4, vec![]);
+        s.put_image("y", 4, vec![]);
+        s.commit(4);
+        let mut pods = s.pods_in_epoch(4);
+        pods.sort();
+        assert_eq!(pods, vec!["x".to_string(), "y".to_string()]);
+    }
+
+    #[test]
+    fn prune_keeps_only_recent_epochs() {
+        let fs = NetFs::new();
+        let s = CheckpointStore::new(fs, "j");
+        for e in [1u64, 2, 3] {
+            s.put_image("p", e, vec![e as u8]);
+            s.commit(e);
+        }
+        assert_eq!(s.committed_epochs(), vec![1, 2, 3]);
+        s.prune_below(3);
+        assert_eq!(s.committed_epochs(), vec![3]);
+        assert_eq!(s.get_image("p", 3), Some(vec![3]));
+        assert_eq!(s.get_image("p", 1), None);
+    }
+
+    #[test]
+    fn jobs_are_isolated() {
+        let fs = NetFs::new();
+        let a = CheckpointStore::new(fs.clone(), "a");
+        let b = CheckpointStore::new(fs, "b");
+        a.put_image("p", 1, vec![]);
+        a.commit(1);
+        assert_eq!(b.latest_committed_epoch(), None);
+    }
+}

@@ -1,0 +1,39 @@
+//! Deterministic discrete-event simulation kernel.
+//!
+//! This crate provides the three primitives every other layer of the Cruz
+//! reproduction is built on:
+//!
+//! * [`time::SimTime`] / [`time::SimDuration`] — an integer-nanosecond virtual
+//!   clock;
+//! * [`queue::EventQueue`] — a pending-event set with deterministic (FIFO)
+//!   tie-breaking;
+//! * [`rng::SimRng`] — a seedable random-number generator with deterministic
+//!   forking, one stream per simulated component.
+//!
+//! The kernel is deliberately free of any notion of "node" or "network": the
+//! `cluster` crate owns the event loop and dispatches typed events itself.
+//!
+//! # Examples
+//!
+//! ```
+//! use des::{EventQueue, SimDuration, SimTime};
+//!
+//! let mut clock = SimTime::ZERO;
+//! let mut queue = EventQueue::new();
+//! queue.push(clock + SimDuration::from_micros(5), "timer fired");
+//! while let Some((at, event)) = queue.pop() {
+//!     clock = at;
+//!     assert_eq!(event, "timer fired");
+//! }
+//! assert_eq!(clock.as_nanos(), 5_000);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod queue;
+pub mod rng;
+pub mod time;
+
+pub use queue::EventQueue;
+pub use rng::SimRng;
+pub use time::{SimDuration, SimTime};

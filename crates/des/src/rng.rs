@@ -1,0 +1,124 @@
+//! Seedable deterministic random numbers for simulations.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A deterministic random-number generator for simulation use.
+///
+/// Two `SimRng` values created from the same seed produce identical streams,
+/// which keeps whole-cluster simulations reproducible.
+///
+/// # Examples
+///
+/// ```
+/// use des::rng::SimRng;
+///
+/// let mut a = SimRng::from_seed(42);
+/// let mut b = SimRng::from_seed(42);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// ```
+#[derive(Debug, Clone)]
+pub struct SimRng {
+    inner: StdRng,
+}
+
+impl SimRng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn from_seed(seed: u64) -> Self {
+        SimRng {
+            inner: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Returns the next value in the stream.
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.gen()
+    }
+
+    /// Returns a uniformly distributed value in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "empty range");
+        self.inner.gen_range(lo..hi)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not within `[0, 1]`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
+        self.inner.gen_bool(p)
+    }
+
+    /// Returns a uniformly distributed `f64` in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        self.inner.gen()
+    }
+
+    /// Derives an independent generator, e.g. one per simulated node.
+    ///
+    /// The derived stream is a pure function of this generator's state, so
+    /// forking is itself deterministic.
+    pub fn fork(&mut self) -> SimRng {
+        SimRng::from_seed(self.next_u64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SimRng::from_seed(7);
+        let mut b = SimRng::from_seed(7);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SimRng::from_seed(1);
+        let mut b = SimRng::from_seed(2);
+        let same = (0..16).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 16);
+    }
+
+    #[test]
+    fn range_respects_bounds() {
+        let mut r = SimRng::from_seed(3);
+        for _ in 0..1000 {
+            let v = r.range(10, 20);
+            assert!((10..20).contains(&v));
+        }
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut r = SimRng::from_seed(4);
+        assert!(!r.chance(0.0));
+        assert!(r.chance(1.0));
+    }
+
+    #[test]
+    fn fork_is_deterministic() {
+        let mut a = SimRng::from_seed(9);
+        let mut b = SimRng::from_seed(9);
+        let mut fa = a.fork();
+        let mut fb = b.fork();
+        assert_eq!(fa.next_u64(), fb.next_u64());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn range_rejects_empty() {
+        let mut r = SimRng::from_seed(5);
+        let _ = r.range(5, 5);
+    }
+}

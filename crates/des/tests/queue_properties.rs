@@ -1,0 +1,66 @@
+//! Property tests on the event queue: total order by (time, insertion).
+
+use des::{EventQueue, SimTime};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Popping yields times in non-decreasing order, same-time entries in
+    /// insertion order, and exactly the pushed multiset.
+    #[test]
+    fn queue_is_a_stable_priority_queue(times in proptest::collection::vec(0u64..1000, 0..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.push(SimTime::from_nanos(t), i);
+        }
+        prop_assert_eq!(q.len(), times.len());
+        let mut popped = Vec::new();
+        while let Some((at, idx)) = q.pop() {
+            popped.push((at.as_nanos(), idx));
+        }
+        prop_assert_eq!(popped.len(), times.len());
+        // Non-decreasing times; FIFO within equal times.
+        for w in popped.windows(2) {
+            prop_assert!(w[0].0 <= w[1].0);
+            if w[0].0 == w[1].0 {
+                prop_assert!(w[0].1 < w[1].1, "FIFO tie-break violated");
+            }
+        }
+        // Each index appears exactly once at its pushed time.
+        let mut seen = vec![false; times.len()];
+        for (t, idx) in popped {
+            prop_assert_eq!(t, times[idx]);
+            prop_assert!(!seen[idx]);
+            seen[idx] = true;
+        }
+    }
+
+    /// Interleaved push/pop maintains the invariant: any pop returns the
+    /// minimum currently queued (ties by insertion order).
+    #[test]
+    fn interleaved_ops_return_current_minimum(
+        ops in proptest::collection::vec((any::<bool>(), 0u64..100), 1..200),
+    ) {
+        let mut q = EventQueue::new();
+        let mut shadow: Vec<(u64, usize)> = Vec::new();
+        let mut seq = 0usize;
+        for (push, t) in ops {
+            if push || shadow.is_empty() {
+                q.push(SimTime::from_nanos(t), seq);
+                shadow.push((t, seq));
+                seq += 1;
+            } else {
+                let (at, idx) = q.pop().expect("shadow says non-empty");
+                // The shadow minimum by (time, insertion seq):
+                let (mi, _) = shadow
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, &(t, s))| (t, s))
+                    .expect("non-empty");
+                let expect = shadow.remove(mi);
+                prop_assert_eq!((at.as_nanos(), idx), expect);
+            }
+        }
+    }
+}

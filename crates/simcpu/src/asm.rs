@@ -1,0 +1,526 @@
+//! A small assembler eDSL for building guest programs from Rust.
+//!
+//! Programs are built instruction-by-instruction with forward-referencable
+//! labels, then assembled to the fixed 16-byte encoding at a chosen base
+//! address.
+//!
+//! Register `r14` is reserved as assembler scratch by the composite helpers
+//! (such as [`Asm::cmp_gt_jump`]); plain instruction emitters never touch it.
+//!
+//! # Examples
+//!
+//! ```
+//! use simcpu::asm::Asm;
+//! use simcpu::isa::{R1, R2};
+//!
+//! let mut asm = Asm::new(0x1000);
+//! let done = asm.label();
+//! asm.movi(R1, 3);
+//! asm.jnz(R1, done);
+//! asm.movi(R2, 0xbad);
+//! asm.bind(done);
+//! asm.halt();
+//! let image = asm.assemble().unwrap();
+//! assert_eq!(image.len() % 16, 0);
+//! ```
+
+use std::fmt;
+
+use crate::isa::{AluOp, CmpOp, FaluOp, FcmpOp, Inst, Reg, INST_SIZE, R14};
+use crate::mem::{MemFault, Memory};
+
+/// A forward-referencable code label.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Label(usize);
+
+/// An assembly error.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AsmError {
+    /// A label was referenced but never bound with [`Asm::bind`].
+    UnboundLabel(usize),
+    /// A label was bound twice.
+    DoubleBind(usize),
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AsmError::UnboundLabel(i) => write!(f, "label {i} referenced but never bound"),
+            AsmError::DoubleBind(i) => write!(f, "label {i} bound more than once"),
+        }
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+#[derive(Debug, Clone, Copy)]
+enum AInst {
+    Fixed(Inst),
+    Jmp(Label),
+    Jz(Reg, Label),
+    Jnz(Reg, Label),
+    Call(Label),
+    MoviLabel(Reg, Label),
+}
+
+/// An incremental program builder.
+#[derive(Debug, Clone)]
+pub struct Asm {
+    base: u64,
+    insts: Vec<AInst>,
+    labels: Vec<Option<usize>>,
+}
+
+impl Asm {
+    /// Creates an assembler that will place its first instruction at `base`.
+    pub fn new(base: u64) -> Self {
+        Asm {
+            base,
+            insts: Vec::new(),
+            labels: Vec::new(),
+        }
+    }
+
+    /// Returns the base address the program assembles at.
+    pub fn base(&self) -> u64 {
+        self.base
+    }
+
+    /// Returns the number of instructions emitted so far.
+    pub fn len(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// Returns true if no instructions have been emitted.
+    pub fn is_empty(&self) -> bool {
+        self.insts.is_empty()
+    }
+
+    /// Returns the address the *next* emitted instruction will occupy.
+    pub fn here(&self) -> u64 {
+        self.base + self.insts.len() as u64 * INST_SIZE
+    }
+
+    /// Creates a fresh, unbound label.
+    pub fn label(&mut self) -> Label {
+        self.labels.push(None);
+        Label(self.labels.len() - 1)
+    }
+
+    /// Binds `label` to the current position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label was already bound (this is a programming error in
+    /// the caller, caught eagerly).
+    pub fn bind(&mut self, label: Label) {
+        assert!(
+            self.labels[label.0].is_none(),
+            "label {} bound more than once",
+            label.0
+        );
+        self.labels[label.0] = Some(self.insts.len());
+    }
+
+    /// Emits a raw instruction.
+    pub fn emit(&mut self, inst: Inst) {
+        self.insts.push(AInst::Fixed(inst));
+    }
+
+    /// Resolves labels and encodes the program.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AsmError::UnboundLabel`] if any referenced label was never
+    /// bound.
+    pub fn assemble(&self) -> Result<Vec<u8>, AsmError> {
+        let resolve = |l: Label| -> Result<u64, AsmError> {
+            let idx = self.labels[l.0].ok_or(AsmError::UnboundLabel(l.0))?;
+            Ok(self.base + idx as u64 * INST_SIZE)
+        };
+        let mut out = Vec::with_capacity(self.insts.len() * INST_SIZE as usize);
+        for ai in &self.insts {
+            let inst = match *ai {
+                AInst::Fixed(i) => i,
+                AInst::Jmp(l) => Inst::Jmp { target: resolve(l)? },
+                AInst::Jz(r, l) => Inst::Jz { rs: r, target: resolve(l)? },
+                AInst::Jnz(r, l) => Inst::Jnz { rs: r, target: resolve(l)? },
+                AInst::Call(l) => Inst::Call { target: resolve(l)? },
+                AInst::MoviLabel(r, l) => Inst::Movi { rd: r, imm: resolve(l)? as i64 },
+            };
+            out.extend_from_slice(&inst.encode());
+        }
+        Ok(out)
+    }
+
+    /// Assembles and writes the program into `mem` at the base address.
+    ///
+    /// # Errors
+    ///
+    /// Returns an assembly error or the memory fault from the write.
+    pub fn load_into<M: Memory + ?Sized>(&self, mem: &mut M) -> Result<(), LoadError> {
+        let bytes = self.assemble()?;
+        mem.store(self.base, &bytes)?;
+        Ok(())
+    }
+
+    // ---- plain emitters -------------------------------------------------
+
+    /// Emits `halt`.
+    pub fn halt(&mut self) {
+        self.emit(Inst::Halt);
+    }
+
+    /// Emits `nop`.
+    pub fn nop(&mut self) {
+        self.emit(Inst::Nop);
+    }
+
+    /// Emits `syscall`.
+    pub fn syscall(&mut self) {
+        self.emit(Inst::Syscall);
+    }
+
+    /// Emits `rd <- imm`.
+    pub fn movi(&mut self, rd: Reg, imm: i64) {
+        self.emit(Inst::Movi { rd, imm });
+    }
+
+    /// Emits `rd <- address of label`.
+    pub fn movi_label(&mut self, rd: Reg, label: Label) {
+        self.insts.push(AInst::MoviLabel(rd, label));
+    }
+
+    /// Emits `rd <- rs`.
+    pub fn mov(&mut self, rd: Reg, rs: Reg) {
+        self.emit(Inst::Mov { rd, rs });
+    }
+
+    /// Emits `rd <- rs + rt`.
+    pub fn add(&mut self, rd: Reg, rs: Reg, rt: Reg) {
+        self.emit(Inst::Alu { op: AluOp::Add, rd, rs, rt });
+    }
+
+    /// Emits `rd <- rs - rt`.
+    pub fn sub(&mut self, rd: Reg, rs: Reg, rt: Reg) {
+        self.emit(Inst::Alu { op: AluOp::Sub, rd, rs, rt });
+    }
+
+    /// Emits `rd <- rs * rt`.
+    pub fn mul(&mut self, rd: Reg, rs: Reg, rt: Reg) {
+        self.emit(Inst::Alu { op: AluOp::Mul, rd, rs, rt });
+    }
+
+    /// Emits `rd <- rs / rt` (unsigned).
+    pub fn div(&mut self, rd: Reg, rs: Reg, rt: Reg) {
+        self.emit(Inst::Alu { op: AluOp::Divu, rd, rs, rt });
+    }
+
+    /// Emits `rd <- rs % rt` (unsigned).
+    pub fn rem(&mut self, rd: Reg, rs: Reg, rt: Reg) {
+        self.emit(Inst::Alu { op: AluOp::Remu, rd, rs, rt });
+    }
+
+    /// Emits `rd <- rs & rt`.
+    pub fn and(&mut self, rd: Reg, rs: Reg, rt: Reg) {
+        self.emit(Inst::Alu { op: AluOp::And, rd, rs, rt });
+    }
+
+    /// Emits `rd <- rs | rt`.
+    pub fn or(&mut self, rd: Reg, rs: Reg, rt: Reg) {
+        self.emit(Inst::Alu { op: AluOp::Or, rd, rs, rt });
+    }
+
+    /// Emits `rd <- rs ^ rt`.
+    pub fn xor(&mut self, rd: Reg, rs: Reg, rt: Reg) {
+        self.emit(Inst::Alu { op: AluOp::Xor, rd, rs, rt });
+    }
+
+    /// Emits `rd <- rs + imm`.
+    pub fn addi(&mut self, rd: Reg, rs: Reg, imm: i64) {
+        self.emit(Inst::Alui { op: AluOp::Add, rd, rs, imm });
+    }
+
+    /// Emits `rd <- rs - imm`.
+    pub fn subi(&mut self, rd: Reg, rs: Reg, imm: i64) {
+        self.emit(Inst::Alui { op: AluOp::Sub, rd, rs, imm });
+    }
+
+    /// Emits `rd <- rs * imm`.
+    pub fn muli(&mut self, rd: Reg, rs: Reg, imm: i64) {
+        self.emit(Inst::Alui { op: AluOp::Mul, rd, rs, imm });
+    }
+
+    /// Emits `rd <- rs / imm` (unsigned).
+    pub fn divi(&mut self, rd: Reg, rs: Reg, imm: i64) {
+        self.emit(Inst::Alui { op: AluOp::Divu, rd, rs, imm });
+    }
+
+    /// Emits `rd <- rs % imm` (unsigned).
+    pub fn remi(&mut self, rd: Reg, rs: Reg, imm: i64) {
+        self.emit(Inst::Alui { op: AluOp::Remu, rd, rs, imm });
+    }
+
+    /// Emits `rd <- rs & imm`.
+    pub fn andi(&mut self, rd: Reg, rs: Reg, imm: i64) {
+        self.emit(Inst::Alui { op: AluOp::And, rd, rs, imm });
+    }
+
+    /// Emits `rd <- rs << imm`.
+    pub fn shli(&mut self, rd: Reg, rs: Reg, imm: i64) {
+        self.emit(Inst::Alui { op: AluOp::Shl, rd, rs, imm });
+    }
+
+    /// Emits `rd <- rs >> imm` (logical).
+    pub fn shri(&mut self, rd: Reg, rs: Reg, imm: i64) {
+        self.emit(Inst::Alui { op: AluOp::Shr, rd, rs, imm });
+    }
+
+    /// Emits `rd <- (rs == rt) ? 1 : 0`.
+    pub fn ceq(&mut self, rd: Reg, rs: Reg, rt: Reg) {
+        self.emit(Inst::Cmp { op: CmpOp::Eq, rd, rs, rt });
+    }
+
+    /// Emits `rd <- (rs != rt) ? 1 : 0`.
+    pub fn cne(&mut self, rd: Reg, rs: Reg, rt: Reg) {
+        self.emit(Inst::Cmp { op: CmpOp::Ne, rd, rs, rt });
+    }
+
+    /// Emits `rd <- (rs < rt) ? 1 : 0` (unsigned).
+    pub fn cltu(&mut self, rd: Reg, rs: Reg, rt: Reg) {
+        self.emit(Inst::Cmp { op: CmpOp::LtU, rd, rs, rt });
+    }
+
+    /// Emits `rd <- (rs < rt) ? 1 : 0` (signed).
+    pub fn clts(&mut self, rd: Reg, rs: Reg, rt: Reg) {
+        self.emit(Inst::Cmp { op: CmpOp::LtS, rd, rs, rt });
+    }
+
+    /// Emits `rd <- (rs <= rt) ? 1 : 0` (unsigned).
+    pub fn cleu(&mut self, rd: Reg, rs: Reg, rt: Reg) {
+        self.emit(Inst::Cmp { op: CmpOp::LeU, rd, rs, rt });
+    }
+
+    /// Emits `rd <- rs + rt` on `f64` bit patterns.
+    pub fn fadd(&mut self, rd: Reg, rs: Reg, rt: Reg) {
+        self.emit(Inst::Falu { op: FaluOp::Add, rd, rs, rt });
+    }
+
+    /// Emits `rd <- rs - rt` on `f64` bit patterns.
+    pub fn fsub(&mut self, rd: Reg, rs: Reg, rt: Reg) {
+        self.emit(Inst::Falu { op: FaluOp::Sub, rd, rs, rt });
+    }
+
+    /// Emits `rd <- rs * rt` on `f64` bit patterns.
+    pub fn fmul(&mut self, rd: Reg, rs: Reg, rt: Reg) {
+        self.emit(Inst::Falu { op: FaluOp::Mul, rd, rs, rt });
+    }
+
+    /// Emits `rd <- rs / rt` on `f64` bit patterns.
+    pub fn fdiv(&mut self, rd: Reg, rs: Reg, rt: Reg) {
+        self.emit(Inst::Falu { op: FaluOp::Div, rd, rs, rt });
+    }
+
+    /// Emits `rd <- (rs < rt) ? 1 : 0` on `f64` bit patterns.
+    pub fn flt(&mut self, rd: Reg, rs: Reg, rt: Reg) {
+        self.emit(Inst::Fcmp { op: FcmpOp::Lt, rd, rs, rt });
+    }
+
+    /// Emits `rd <- sqrt(rs)` on `f64` bit patterns.
+    pub fn fsqrt(&mut self, rd: Reg, rs: Reg) {
+        self.emit(Inst::Fsqrt { rd, rs });
+    }
+
+    /// Emits `rd <- (f64) rs`.
+    pub fn i2f(&mut self, rd: Reg, rs: Reg) {
+        self.emit(Inst::I2f { rd, rs });
+    }
+
+    /// Emits `rd <- (i64) rs` (truncating float-to-int).
+    pub fn f2i(&mut self, rd: Reg, rs: Reg) {
+        self.emit(Inst::F2i { rd, rs });
+    }
+
+    /// Emits `rd <- mem64[base + off]`.
+    pub fn ld(&mut self, rd: Reg, base: Reg, off: i64) {
+        self.emit(Inst::Ld { rd, base, off });
+    }
+
+    /// Emits `mem64[base + off] <- src`.
+    pub fn st(&mut self, base: Reg, src: Reg, off: i64) {
+        self.emit(Inst::St { base, src, off });
+    }
+
+    /// Emits `rd <- mem8[base + off]`.
+    pub fn ldb(&mut self, rd: Reg, base: Reg, off: i64) {
+        self.emit(Inst::Ldb { rd, base, off });
+    }
+
+    /// Emits `mem8[base + off] <- src`.
+    pub fn stb(&mut self, base: Reg, src: Reg, off: i64) {
+        self.emit(Inst::Stb { base, src, off });
+    }
+
+    /// Emits an unconditional jump to `label`.
+    pub fn jmp(&mut self, label: Label) {
+        self.insts.push(AInst::Jmp(label));
+    }
+
+    /// Emits a jump to `label` taken when `rs == 0`.
+    pub fn jz(&mut self, rs: Reg, label: Label) {
+        self.insts.push(AInst::Jz(rs, label));
+    }
+
+    /// Emits a jump to `label` taken when `rs != 0`.
+    pub fn jnz(&mut self, rs: Reg, label: Label) {
+        self.insts.push(AInst::Jnz(rs, label));
+    }
+
+    /// Emits an indirect jump to the address in `rs`.
+    pub fn jmp_r(&mut self, rs: Reg) {
+        self.emit(Inst::JmpR { rs });
+    }
+
+    /// Emits a call to `label`.
+    pub fn call_label(&mut self, label: Label) {
+        self.insts.push(AInst::Call(label));
+    }
+
+    /// Emits `ret`.
+    pub fn ret(&mut self) {
+        self.emit(Inst::Ret);
+    }
+
+    /// Emits `push rs`.
+    pub fn push(&mut self, rs: Reg) {
+        self.emit(Inst::Push { rs });
+    }
+
+    /// Emits `pop rd`.
+    pub fn pop(&mut self, rd: Reg) {
+        self.emit(Inst::Pop { rd });
+    }
+
+    // ---- composite helpers (use scratch register r14) -------------------
+
+    /// Jumps to `label` if `rs > rt` (unsigned). Clobbers `r14`.
+    pub fn cmp_gt_jump(&mut self, rs: Reg, rt: Reg, label: Label) {
+        self.cltu(R14, rt, rs);
+        self.jnz(R14, label);
+    }
+
+    /// Jumps to `label` if `rs < rt` (unsigned). Clobbers `r14`.
+    pub fn cmp_lt_jump(&mut self, rs: Reg, rt: Reg, label: Label) {
+        self.cltu(R14, rs, rt);
+        self.jnz(R14, label);
+    }
+
+    /// Jumps to `label` if `rs == rt`. Clobbers `r14`.
+    pub fn cmp_eq_jump(&mut self, rs: Reg, rt: Reg, label: Label) {
+        self.ceq(R14, rs, rt);
+        self.jnz(R14, label);
+    }
+
+    /// Jumps to `label` if `rs != rt`. Clobbers `r14`.
+    pub fn cmp_ne_jump(&mut self, rs: Reg, rt: Reg, label: Label) {
+        self.cne(R14, rs, rt);
+        self.jnz(R14, label);
+    }
+}
+
+/// A failure while assembling-and-loading a program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LoadError {
+    /// The program failed to assemble.
+    Asm(AsmError),
+    /// The target memory rejected the write.
+    Mem(MemFault),
+}
+
+impl fmt::Display for LoadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LoadError::Asm(e) => write!(f, "{e}"),
+            LoadError::Mem(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for LoadError {}
+
+impl From<AsmError> for LoadError {
+    fn from(e: AsmError) -> Self {
+        LoadError::Asm(e)
+    }
+}
+
+impl From<MemFault> for LoadError {
+    fn from(e: MemFault) -> Self {
+        LoadError::Mem(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::{R1, R2};
+
+    #[test]
+    fn forward_and_backward_labels_resolve() {
+        let mut a = Asm::new(0x100);
+        let fwd = a.label();
+        a.jmp(fwd);
+        let back = a.label();
+        a.bind(back);
+        a.nop();
+        a.bind(fwd);
+        a.jmp(back);
+        let bytes = a.assemble().unwrap();
+        // inst 0: jmp to 0x100 + 2*16 = 0x120
+        let i0 = Inst::decode(bytes[0..16].try_into().unwrap()).unwrap();
+        assert_eq!(i0, Inst::Jmp { target: 0x120 });
+        // inst 2: jmp back to 0x110
+        let i2 = Inst::decode(bytes[32..48].try_into().unwrap()).unwrap();
+        assert_eq!(i2, Inst::Jmp { target: 0x110 });
+    }
+
+    #[test]
+    fn unbound_label_is_an_error() {
+        let mut a = Asm::new(0);
+        let l = a.label();
+        a.jmp(l);
+        assert_eq!(a.assemble(), Err(AsmError::UnboundLabel(0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "bound more than once")]
+    fn double_bind_panics() {
+        let mut a = Asm::new(0);
+        let l = a.label();
+        a.bind(l);
+        a.bind(l);
+    }
+
+    #[test]
+    fn movi_label_materializes_address() {
+        let mut a = Asm::new(0x200);
+        let f = a.label();
+        a.movi_label(R1, f);
+        a.halt();
+        a.bind(f);
+        a.nop();
+        let bytes = a.assemble().unwrap();
+        let i0 = Inst::decode(bytes[0..16].try_into().unwrap()).unwrap();
+        assert_eq!(i0, Inst::Movi { rd: R1, imm: 0x220 });
+    }
+
+    #[test]
+    fn here_tracks_position() {
+        let mut a = Asm::new(0x40);
+        assert_eq!(a.here(), 0x40);
+        a.movi(R2, 0);
+        assert_eq!(a.here(), 0x50);
+        assert_eq!(a.len(), 1);
+        assert!(!a.is_empty());
+    }
+}

@@ -1,0 +1,673 @@
+//! Instruction-set architecture of the guest virtual machine.
+//!
+//! The ISA is a small load/store machine: sixteen 64-bit general-purpose
+//! registers, a byte-addressed flat virtual address space, and fixed-width
+//! 16-byte instructions. Program text is ordinary data in guest memory, which
+//! is what makes checkpoint/restart fully transparent: saving the registers
+//! and the address space captures the complete execution state.
+
+use std::fmt;
+
+/// Size in bytes of every encoded instruction.
+pub const INST_SIZE: u64 = 16;
+
+/// A general-purpose register identifier (`r0`–`r15`).
+///
+/// By convention `r15` is the stack pointer used by [`Inst::Call`],
+/// [`Inst::Ret`], [`Inst::Push`] and [`Inst::Pop`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Reg(u8);
+
+impl Reg {
+    /// Number of general-purpose registers.
+    pub const COUNT: usize = 16;
+
+    /// Creates a register identifier.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 16`.
+    pub const fn new(index: u8) -> Self {
+        assert!(index < 16, "register index out of range");
+        Reg(index)
+    }
+
+    /// Returns the register index (0–15).
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// Register `r0` — syscall number and syscall/return value by convention.
+pub const R0: Reg = Reg(0);
+/// Register `r1` — first syscall argument by convention.
+pub const R1: Reg = Reg(1);
+/// Register `r2` — second syscall argument by convention.
+pub const R2: Reg = Reg(2);
+/// Register `r3` — third syscall argument by convention.
+pub const R3: Reg = Reg(3);
+/// Register `r4` — fourth syscall argument by convention.
+pub const R4: Reg = Reg(4);
+/// Register `r5` — fifth syscall argument by convention.
+pub const R5: Reg = Reg(5);
+/// Register `r6` — caller-saved scratch.
+pub const R6: Reg = Reg(6);
+/// Register `r7` — caller-saved scratch.
+pub const R7: Reg = Reg(7);
+/// Register `r8` — caller-saved scratch.
+pub const R8: Reg = Reg(8);
+/// Register `r9` — caller-saved scratch.
+pub const R9: Reg = Reg(9);
+/// Register `r10` — caller-saved scratch.
+pub const R10: Reg = Reg(10);
+/// Register `r11` — caller-saved scratch.
+pub const R11: Reg = Reg(11);
+/// Register `r12` — caller-saved scratch.
+pub const R12: Reg = Reg(12);
+/// Register `r13` — caller-saved scratch.
+pub const R13: Reg = Reg(13);
+/// Register `r14` — caller-saved scratch.
+pub const R14: Reg = Reg(14);
+/// Register `r15` — the stack pointer.
+pub const SP: Reg = Reg(15);
+
+/// A three-register arithmetic/logic operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AluOp {
+    /// Wrapping addition.
+    Add,
+    /// Wrapping subtraction.
+    Sub,
+    /// Wrapping multiplication.
+    Mul,
+    /// Unsigned division; division by zero faults.
+    Divu,
+    /// Unsigned remainder; division by zero faults.
+    Remu,
+    /// Bitwise AND.
+    And,
+    /// Bitwise OR.
+    Or,
+    /// Bitwise XOR.
+    Xor,
+    /// Logical shift left (modulo 64).
+    Shl,
+    /// Logical shift right (modulo 64).
+    Shr,
+    /// Arithmetic shift right (modulo 64).
+    Sar,
+}
+
+/// An integer comparison producing 0 or 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    /// Equal.
+    Eq,
+    /// Not equal.
+    Ne,
+    /// Unsigned less-than.
+    LtU,
+    /// Signed less-than.
+    LtS,
+    /// Unsigned less-or-equal.
+    LeU,
+    /// Signed less-or-equal.
+    LeS,
+}
+
+/// A double-precision floating-point operation on bit-cast registers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaluOp {
+    /// Addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication.
+    Mul,
+    /// Division.
+    Div,
+}
+
+/// A floating-point comparison producing 0 or 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FcmpOp {
+    /// Less-than.
+    Lt,
+    /// Less-or-equal.
+    Le,
+    /// Equal.
+    Eq,
+}
+
+/// A decoded machine instruction.
+///
+/// Jump/call targets are absolute byte addresses in the guest address space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Inst {
+    /// Stop the CPU permanently.
+    Halt,
+    /// Do nothing.
+    Nop,
+    /// Trap into the kernel; `r0` holds the syscall number, `r1..=r5` the
+    /// arguments, and the result is written to `r0`.
+    Syscall,
+    /// `rd <- imm`.
+    Movi {
+        /// Destination register.
+        rd: Reg,
+        /// Immediate value (sign-extended to 64 bits).
+        imm: i64,
+    },
+    /// `rd <- rs`.
+    Mov {
+        /// Destination register.
+        rd: Reg,
+        /// Source register.
+        rs: Reg,
+    },
+    /// `rd <- rs op rt`.
+    Alu {
+        /// Operation.
+        op: AluOp,
+        /// Destination register.
+        rd: Reg,
+        /// Left operand.
+        rs: Reg,
+        /// Right operand.
+        rt: Reg,
+    },
+    /// `rd <- rs op imm`.
+    Alui {
+        /// Operation.
+        op: AluOp,
+        /// Destination register.
+        rd: Reg,
+        /// Left operand.
+        rs: Reg,
+        /// Immediate right operand.
+        imm: i64,
+    },
+    /// `rd <- (rs op rt) ? 1 : 0`.
+    Cmp {
+        /// Comparison.
+        op: CmpOp,
+        /// Destination register.
+        rd: Reg,
+        /// Left operand.
+        rs: Reg,
+        /// Right operand.
+        rt: Reg,
+    },
+    /// `rd <- rs op rt`, interpreting registers as `f64` bit patterns.
+    Falu {
+        /// Operation.
+        op: FaluOp,
+        /// Destination register.
+        rd: Reg,
+        /// Left operand.
+        rs: Reg,
+        /// Right operand.
+        rt: Reg,
+    },
+    /// `rd <- (rs op rt) ? 1 : 0`, interpreting operands as `f64`.
+    Fcmp {
+        /// Comparison.
+        op: FcmpOp,
+        /// Destination register.
+        rd: Reg,
+        /// Left operand.
+        rs: Reg,
+        /// Right operand.
+        rt: Reg,
+    },
+    /// `rd <- sqrt(rs)` as `f64`.
+    Fsqrt {
+        /// Destination register.
+        rd: Reg,
+        /// Source register.
+        rs: Reg,
+    },
+    /// `rd <- (f64)(i64)rs`.
+    I2f {
+        /// Destination register.
+        rd: Reg,
+        /// Source register.
+        rs: Reg,
+    },
+    /// `rd <- (i64)(f64)rs` (truncating).
+    F2i {
+        /// Destination register.
+        rd: Reg,
+        /// Source register.
+        rs: Reg,
+    },
+    /// `rd <- mem64[rs + off]`.
+    Ld {
+        /// Destination register.
+        rd: Reg,
+        /// Base address register.
+        base: Reg,
+        /// Signed byte offset.
+        off: i64,
+    },
+    /// `mem64[base + off] <- src`.
+    St {
+        /// Base address register.
+        base: Reg,
+        /// Value register.
+        src: Reg,
+        /// Signed byte offset.
+        off: i64,
+    },
+    /// `rd <- zero-extend(mem8[base + off])`.
+    Ldb {
+        /// Destination register.
+        rd: Reg,
+        /// Base address register.
+        base: Reg,
+        /// Signed byte offset.
+        off: i64,
+    },
+    /// `mem8[base + off] <- low byte of src`.
+    Stb {
+        /// Base address register.
+        base: Reg,
+        /// Value register.
+        src: Reg,
+        /// Signed byte offset.
+        off: i64,
+    },
+    /// Unconditional jump to an absolute byte address.
+    Jmp {
+        /// Target address.
+        target: u64,
+    },
+    /// Jump if `rs == 0`.
+    Jz {
+        /// Condition register.
+        rs: Reg,
+        /// Target address.
+        target: u64,
+    },
+    /// Jump if `rs != 0`.
+    Jnz {
+        /// Condition register.
+        rs: Reg,
+        /// Target address.
+        target: u64,
+    },
+    /// Indirect jump to the address in `rs`.
+    JmpR {
+        /// Register holding the target address.
+        rs: Reg,
+    },
+    /// Push the next PC and jump to an absolute address.
+    Call {
+        /// Target address.
+        target: u64,
+    },
+    /// Pop a return address and jump to it.
+    Ret,
+    /// `sp -= 8; mem64[sp] <- rs`.
+    Push {
+        /// Value register.
+        rs: Reg,
+    },
+    /// `rd <- mem64[sp]; sp += 8`.
+    Pop {
+        /// Destination register.
+        rd: Reg,
+    },
+}
+
+/// An instruction that failed to decode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecodeError {
+    /// The offending opcode byte.
+    pub opcode: u8,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid opcode byte {:#04x}", self.opcode)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+// Some immediate-form opcodes are matched via ranges in `decode`, so the
+// individual constants exist for documentation of the encoding table.
+#[allow(dead_code)]
+mod opc {
+    pub const HALT: u8 = 0x00;
+    pub const NOP: u8 = 0x01;
+    pub const SYSCALL: u8 = 0x02;
+    pub const MOVI: u8 = 0x03;
+    pub const MOV: u8 = 0x04;
+
+    pub const ADD: u8 = 0x10;
+    pub const SUB: u8 = 0x11;
+    pub const MUL: u8 = 0x12;
+    pub const DIVU: u8 = 0x13;
+    pub const REMU: u8 = 0x14;
+    pub const AND: u8 = 0x15;
+    pub const OR: u8 = 0x16;
+    pub const XOR: u8 = 0x17;
+    pub const SHL: u8 = 0x18;
+    pub const SHR: u8 = 0x19;
+    pub const SAR: u8 = 0x1a;
+
+    pub const ADDI: u8 = 0x20;
+    pub const SUBI: u8 = 0x21;
+    pub const MULI: u8 = 0x22;
+    pub const DIVUI: u8 = 0x23;
+    pub const REMUI: u8 = 0x24;
+    pub const ANDI: u8 = 0x25;
+    pub const ORI: u8 = 0x26;
+    pub const XORI: u8 = 0x27;
+    pub const SHLI: u8 = 0x28;
+    pub const SHRI: u8 = 0x29;
+    pub const SARI: u8 = 0x2a;
+
+    pub const CEQ: u8 = 0x30;
+    pub const CNE: u8 = 0x31;
+    pub const CLTU: u8 = 0x32;
+    pub const CLTS: u8 = 0x33;
+    pub const CLEU: u8 = 0x34;
+    pub const CLES: u8 = 0x35;
+
+    pub const FADD: u8 = 0x40;
+    pub const FSUB: u8 = 0x41;
+    pub const FMUL: u8 = 0x42;
+    pub const FDIV: u8 = 0x43;
+    pub const FLT: u8 = 0x44;
+    pub const FLE: u8 = 0x45;
+    pub const FEQ: u8 = 0x46;
+    pub const I2F: u8 = 0x47;
+    pub const F2I: u8 = 0x48;
+    pub const FSQRT: u8 = 0x49;
+
+    pub const LD: u8 = 0x50;
+    pub const ST: u8 = 0x51;
+    pub const LDB: u8 = 0x52;
+    pub const STB: u8 = 0x53;
+
+    pub const JMP: u8 = 0x60;
+    pub const JZ: u8 = 0x61;
+    pub const JNZ: u8 = 0x62;
+    pub const CALL: u8 = 0x63;
+    pub const RET: u8 = 0x64;
+    pub const PUSH: u8 = 0x65;
+    pub const POP: u8 = 0x66;
+    pub const JMPR: u8 = 0x67;
+}
+
+fn alu_opcode(op: AluOp, imm: bool) -> u8 {
+    let base = match op {
+        AluOp::Add => opc::ADD,
+        AluOp::Sub => opc::SUB,
+        AluOp::Mul => opc::MUL,
+        AluOp::Divu => opc::DIVU,
+        AluOp::Remu => opc::REMU,
+        AluOp::And => opc::AND,
+        AluOp::Or => opc::OR,
+        AluOp::Xor => opc::XOR,
+        AluOp::Shl => opc::SHL,
+        AluOp::Shr => opc::SHR,
+        AluOp::Sar => opc::SAR,
+    };
+    if imm {
+        base + 0x10
+    } else {
+        base
+    }
+}
+
+fn alu_from_opcode(b: u8) -> AluOp {
+    match b & 0x0f {
+        0x0 => AluOp::Add,
+        0x1 => AluOp::Sub,
+        0x2 => AluOp::Mul,
+        0x3 => AluOp::Divu,
+        0x4 => AluOp::Remu,
+        0x5 => AluOp::And,
+        0x6 => AluOp::Or,
+        0x7 => AluOp::Xor,
+        0x8 => AluOp::Shl,
+        0x9 => AluOp::Shr,
+        0xa => AluOp::Sar,
+        _ => unreachable!("caller checked the opcode range"),
+    }
+}
+
+impl Inst {
+    /// Encodes the instruction into its fixed 16-byte form.
+    pub fn encode(self) -> [u8; 16] {
+        let mut b = [0u8; 16];
+        let (op, a, c, d, imm): (u8, u8, u8, u8, i64) = match self {
+            Inst::Halt => (opc::HALT, 0, 0, 0, 0),
+            Inst::Nop => (opc::NOP, 0, 0, 0, 0),
+            Inst::Syscall => (opc::SYSCALL, 0, 0, 0, 0),
+            Inst::Movi { rd, imm } => (opc::MOVI, rd.0, 0, 0, imm),
+            Inst::Mov { rd, rs } => (opc::MOV, rd.0, rs.0, 0, 0),
+            Inst::Alu { op, rd, rs, rt } => (alu_opcode(op, false), rd.0, rs.0, rt.0, 0),
+            Inst::Alui { op, rd, rs, imm } => (alu_opcode(op, true), rd.0, rs.0, 0, imm),
+            Inst::Cmp { op, rd, rs, rt } => {
+                let o = match op {
+                    CmpOp::Eq => opc::CEQ,
+                    CmpOp::Ne => opc::CNE,
+                    CmpOp::LtU => opc::CLTU,
+                    CmpOp::LtS => opc::CLTS,
+                    CmpOp::LeU => opc::CLEU,
+                    CmpOp::LeS => opc::CLES,
+                };
+                (o, rd.0, rs.0, rt.0, 0)
+            }
+            Inst::Falu { op, rd, rs, rt } => {
+                let o = match op {
+                    FaluOp::Add => opc::FADD,
+                    FaluOp::Sub => opc::FSUB,
+                    FaluOp::Mul => opc::FMUL,
+                    FaluOp::Div => opc::FDIV,
+                };
+                (o, rd.0, rs.0, rt.0, 0)
+            }
+            Inst::Fcmp { op, rd, rs, rt } => {
+                let o = match op {
+                    FcmpOp::Lt => opc::FLT,
+                    FcmpOp::Le => opc::FLE,
+                    FcmpOp::Eq => opc::FEQ,
+                };
+                (o, rd.0, rs.0, rt.0, 0)
+            }
+            Inst::Fsqrt { rd, rs } => (opc::FSQRT, rd.0, rs.0, 0, 0),
+            Inst::I2f { rd, rs } => (opc::I2F, rd.0, rs.0, 0, 0),
+            Inst::F2i { rd, rs } => (opc::F2I, rd.0, rs.0, 0, 0),
+            Inst::Ld { rd, base, off } => (opc::LD, rd.0, base.0, 0, off),
+            Inst::St { base, src, off } => (opc::ST, base.0, src.0, 0, off),
+            Inst::Ldb { rd, base, off } => (opc::LDB, rd.0, base.0, 0, off),
+            Inst::Stb { base, src, off } => (opc::STB, base.0, src.0, 0, off),
+            Inst::Jmp { target } => (opc::JMP, 0, 0, 0, target as i64),
+            Inst::Jz { rs, target } => (opc::JZ, rs.0, 0, 0, target as i64),
+            Inst::Jnz { rs, target } => (opc::JNZ, rs.0, 0, 0, target as i64),
+            Inst::JmpR { rs } => (opc::JMPR, rs.0, 0, 0, 0),
+            Inst::Call { target } => (opc::CALL, 0, 0, 0, target as i64),
+            Inst::Ret => (opc::RET, 0, 0, 0, 0),
+            Inst::Push { rs } => (opc::PUSH, rs.0, 0, 0, 0),
+            Inst::Pop { rd } => (opc::POP, rd.0, 0, 0, 0),
+        };
+        b[0] = op;
+        b[1] = a;
+        b[2] = c;
+        b[3] = d;
+        b[4..12].copy_from_slice(&imm.to_le_bytes());
+        b
+    }
+
+    /// Decodes a 16-byte instruction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError`] if the opcode byte is not a valid instruction.
+    pub fn decode(bytes: &[u8; 16]) -> Result<Inst, DecodeError> {
+        let op = bytes[0];
+        let ra = Reg(bytes[1] & 0x0f);
+        let rb = Reg(bytes[2] & 0x0f);
+        let rc = Reg(bytes[3] & 0x0f);
+        let imm = i64::from_le_bytes(bytes[4..12].try_into().expect("slice is 8 bytes"));
+        let inst = match op {
+            opc::HALT => Inst::Halt,
+            opc::NOP => Inst::Nop,
+            opc::SYSCALL => Inst::Syscall,
+            opc::MOVI => Inst::Movi { rd: ra, imm },
+            opc::MOV => Inst::Mov { rd: ra, rs: rb },
+            opc::ADD..=opc::SAR => Inst::Alu {
+                op: alu_from_opcode(op),
+                rd: ra,
+                rs: rb,
+                rt: rc,
+            },
+            opc::ADDI..=opc::SARI => Inst::Alui {
+                op: alu_from_opcode(op),
+                rd: ra,
+                rs: rb,
+                imm,
+            },
+            opc::CEQ => Inst::Cmp { op: CmpOp::Eq, rd: ra, rs: rb, rt: rc },
+            opc::CNE => Inst::Cmp { op: CmpOp::Ne, rd: ra, rs: rb, rt: rc },
+            opc::CLTU => Inst::Cmp { op: CmpOp::LtU, rd: ra, rs: rb, rt: rc },
+            opc::CLTS => Inst::Cmp { op: CmpOp::LtS, rd: ra, rs: rb, rt: rc },
+            opc::CLEU => Inst::Cmp { op: CmpOp::LeU, rd: ra, rs: rb, rt: rc },
+            opc::CLES => Inst::Cmp { op: CmpOp::LeS, rd: ra, rs: rb, rt: rc },
+            opc::FADD => Inst::Falu { op: FaluOp::Add, rd: ra, rs: rb, rt: rc },
+            opc::FSUB => Inst::Falu { op: FaluOp::Sub, rd: ra, rs: rb, rt: rc },
+            opc::FMUL => Inst::Falu { op: FaluOp::Mul, rd: ra, rs: rb, rt: rc },
+            opc::FDIV => Inst::Falu { op: FaluOp::Div, rd: ra, rs: rb, rt: rc },
+            opc::FLT => Inst::Fcmp { op: FcmpOp::Lt, rd: ra, rs: rb, rt: rc },
+            opc::FLE => Inst::Fcmp { op: FcmpOp::Le, rd: ra, rs: rb, rt: rc },
+            opc::FEQ => Inst::Fcmp { op: FcmpOp::Eq, rd: ra, rs: rb, rt: rc },
+            opc::I2F => Inst::I2f { rd: ra, rs: rb },
+            opc::F2I => Inst::F2i { rd: ra, rs: rb },
+            opc::FSQRT => Inst::Fsqrt { rd: ra, rs: rb },
+            opc::LD => Inst::Ld { rd: ra, base: rb, off: imm },
+            opc::ST => Inst::St { base: ra, src: rb, off: imm },
+            opc::LDB => Inst::Ldb { rd: ra, base: rb, off: imm },
+            opc::STB => Inst::Stb { base: ra, src: rb, off: imm },
+            opc::JMP => Inst::Jmp { target: imm as u64 },
+            opc::JZ => Inst::Jz { rs: ra, target: imm as u64 },
+            opc::JNZ => Inst::Jnz { rs: ra, target: imm as u64 },
+            opc::JMPR => Inst::JmpR { rs: ra },
+            opc::CALL => Inst::Call { target: imm as u64 },
+            opc::RET => Inst::Ret,
+            opc::PUSH => Inst::Push { rs: ra },
+            opc::POP => Inst::Pop { rd: ra },
+            _ => return Err(DecodeError { opcode: op }),
+        };
+        Ok(inst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_sample_insts() -> Vec<Inst> {
+        let mut v = vec![
+            Inst::Halt,
+            Inst::Nop,
+            Inst::Syscall,
+            Inst::Movi { rd: R3, imm: -77 },
+            Inst::Mov { rd: R1, rs: R2 },
+            Inst::Fsqrt { rd: R4, rs: R5 },
+            Inst::I2f { rd: R6, rs: R7 },
+            Inst::F2i { rd: R8, rs: R9 },
+            Inst::Ld { rd: R1, base: R2, off: -8 },
+            Inst::St { base: R3, src: R4, off: 16 },
+            Inst::Ldb { rd: R5, base: R6, off: 1 },
+            Inst::Stb { base: R7, src: R8, off: 0 },
+            Inst::Jmp { target: 0x100 },
+            Inst::Jz { rs: R9, target: 0x200 },
+            Inst::Jnz { rs: R10, target: 0x300 },
+            Inst::JmpR { rs: R11 },
+            Inst::Call { target: 0x400 },
+            Inst::Ret,
+            Inst::Push { rs: R12 },
+            Inst::Pop { rd: R13 },
+        ];
+        for op in [
+            AluOp::Add,
+            AluOp::Sub,
+            AluOp::Mul,
+            AluOp::Divu,
+            AluOp::Remu,
+            AluOp::And,
+            AluOp::Or,
+            AluOp::Xor,
+            AluOp::Shl,
+            AluOp::Shr,
+            AluOp::Sar,
+        ] {
+            v.push(Inst::Alu { op, rd: R1, rs: R2, rt: R3 });
+            v.push(Inst::Alui { op, rd: R4, rs: R5, imm: 1234 });
+        }
+        for op in [CmpOp::Eq, CmpOp::Ne, CmpOp::LtU, CmpOp::LtS, CmpOp::LeU, CmpOp::LeS] {
+            v.push(Inst::Cmp { op, rd: R1, rs: R2, rt: R3 });
+        }
+        for op in [FaluOp::Add, FaluOp::Sub, FaluOp::Mul, FaluOp::Div] {
+            v.push(Inst::Falu { op, rd: R1, rs: R2, rt: R3 });
+        }
+        for op in [FcmpOp::Lt, FcmpOp::Le, FcmpOp::Eq] {
+            v.push(Inst::Fcmp { op, rd: R1, rs: R2, rt: R3 });
+        }
+        v
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        for inst in all_sample_insts() {
+            let bytes = inst.encode();
+            let back = Inst::decode(&bytes).expect("valid encoding");
+            assert_eq!(inst, back, "round trip failed for {inst:?}");
+        }
+    }
+
+    #[test]
+    fn decode_rejects_bad_opcode() {
+        let mut bytes = [0u8; 16];
+        bytes[0] = 0xff;
+        assert_eq!(Inst::decode(&bytes), Err(DecodeError { opcode: 0xff }));
+    }
+
+    #[test]
+    fn opcodes_are_distinct() {
+        use std::collections::HashSet;
+        let mut seen = HashSet::new();
+        for inst in all_sample_insts() {
+            let op = inst.encode()[0];
+            // Distinct *kinds* map to distinct opcode bytes; re-encounters of
+            // the same kind reuse theirs.
+            let back = Inst::decode(&inst.encode()).unwrap();
+            assert_eq!(inst, back);
+            seen.insert(op);
+        }
+        assert!(seen.len() > 40);
+    }
+
+    #[test]
+    #[should_panic(expected = "register index out of range")]
+    fn reg_new_validates() {
+        let _ = Reg::new(16);
+    }
+
+    #[test]
+    fn reg_display() {
+        assert_eq!(SP.to_string(), "r15");
+        assert_eq!(R0.to_string(), "r0");
+    }
+}

@@ -1,0 +1,51 @@
+//! The guest virtual machine of the Cruz reproduction.
+//!
+//! Applications that run inside simulated-OS processes are programs for this
+//! small register machine. Because program text, data, stack and heap all
+//! live in the simulated address space, and the only per-CPU state is the
+//! register file and program counter ([`cpu::Cpu`]), a checkpoint taken by
+//! the OS layer captures execution state **without any cooperation from the
+//! application** — the property the Cruz paper calls application
+//! transparency.
+//!
+//! * [`isa`] — the instruction set and its fixed 16-byte encoding;
+//! * [`cpu`] — the interpreter;
+//! * [`mem`] — the memory interface the interpreter executes against;
+//! * [`asm`] — an assembler eDSL used by the `workloads` crate to build the
+//!   benchmark programs (slm, TCP streaming, …).
+//!
+//! # Examples
+//!
+//! ```
+//! use simcpu::asm::Asm;
+//! use simcpu::cpu::{Cpu, StepOutcome};
+//! use simcpu::isa::{R0, R1};
+//! use simcpu::mem::FlatMem;
+//!
+//! // A program that doubles r1 then issues syscall 0 (exit).
+//! let mut asm = Asm::new(0);
+//! asm.movi(R1, 21);
+//! asm.add(R1, R1, R1);
+//! asm.movi(R0, 0);
+//! asm.syscall();
+//! let mut mem = FlatMem::new(4096);
+//! asm.load_into(&mut mem)?;
+//!
+//! let mut cpu = Cpu::new(0);
+//! let (_, outcome) = cpu.run(&mut mem, 100)?;
+//! assert_eq!(outcome, StepOutcome::Syscall);
+//! assert_eq!(cpu.reg(R1), 42);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod asm;
+pub mod cpu;
+pub mod isa;
+pub mod mem;
+
+pub use asm::Asm;
+pub use cpu::{Cpu, CpuFault, StepOutcome};
+pub use isa::{Inst, Reg, INST_SIZE};
+pub use mem::{FlatMem, MemFault, Memory};

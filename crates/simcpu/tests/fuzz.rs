@@ -1,0 +1,58 @@
+//! Robustness properties of the guest VM: no input — not even garbage
+//! memory executed as code — may panic the interpreter, and the instruction
+//! codec is total over its valid range.
+
+use proptest::prelude::*;
+use simcpu::cpu::Cpu;
+use simcpu::isa::{Inst, INST_SIZE};
+use simcpu::mem::FlatMem;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// decode(encode(decode(x))) == decode(x): decoding any 16 bytes either
+    /// fails or yields an instruction whose encoding decodes identically.
+    #[test]
+    fn decode_encode_idempotent(raw in proptest::array::uniform16(any::<u8>())) {
+        if let Ok(inst) = Inst::decode(&raw) {
+            let re = inst.encode();
+            let inst2 = Inst::decode(&re).expect("round-trip encodings decode");
+            prop_assert_eq!(inst, inst2);
+        }
+    }
+
+    /// Executing arbitrary bytes never panics: every abnormal situation is
+    /// a typed `CpuFault`, and the machine never runs past its step budget.
+    #[test]
+    fn executing_garbage_never_panics(
+        mem_bytes in proptest::collection::vec(any::<u8>(), 256..2048),
+        entry_frac in 0.0f64..1.0,
+        sp in any::<u16>(),
+    ) {
+        let size = mem_bytes.len();
+        let mut mem = FlatMem::new(size);
+        use simcpu::mem::Memory;
+        mem.store(0, &mem_bytes).unwrap();
+        let entry = ((size as f64 * entry_frac) as u64 / INST_SIZE) * INST_SIZE;
+        let mut cpu = Cpu::new(entry);
+        cpu.set_reg(simcpu::isa::SP, sp as u64);
+        // Run a bounded number of steps; faults are fine, panics are not.
+        let _ = cpu.run(&mut mem, 10_000);
+    }
+
+    /// The register file and PC round-trip through checkpoint accessors for
+    /// any state.
+    #[test]
+    fn cpu_state_round_trips(
+        regs in proptest::array::uniform16(any::<u64>()),
+        pc in any::<u64>(),
+        halted in any::<bool>(),
+    ) {
+        let cpu = Cpu::restore(regs, pc, halted);
+        prop_assert_eq!(*cpu.regs(), regs);
+        prop_assert_eq!(cpu.pc(), pc);
+        prop_assert_eq!(cpu.is_halted(), halted);
+        let copy = Cpu::restore(*cpu.regs(), cpu.pc(), cpu.is_halted());
+        prop_assert_eq!(cpu, copy);
+    }
+}

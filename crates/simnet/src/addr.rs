@@ -1,0 +1,208 @@
+//! Link- and network-layer addressing.
+
+use std::fmt;
+
+/// A 48-bit Ethernet MAC address.
+///
+/// # Examples
+///
+/// ```
+/// use simnet::addr::MacAddr;
+///
+/// let mac = MacAddr::new([0x02, 0, 0, 0, 0, 0x1f]);
+/// assert_eq!(mac.to_string(), "02:00:00:00:00:1f");
+/// assert!(!mac.is_broadcast());
+/// assert!(MacAddr::BROADCAST.is_broadcast());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct MacAddr([u8; 6]);
+
+impl MacAddr {
+    /// The all-ones broadcast address.
+    pub const BROADCAST: MacAddr = MacAddr([0xff; 6]);
+
+    /// Creates an address from raw octets.
+    pub const fn new(octets: [u8; 6]) -> Self {
+        MacAddr(octets)
+    }
+
+    /// A locally administered unicast address derived from a small integer,
+    /// convenient for assigning distinct MACs to simulated NICs and VIFs.
+    pub const fn from_index(index: u32) -> Self {
+        let b = index.to_be_bytes();
+        // 0x02 prefix: locally administered, unicast.
+        MacAddr([0x02, 0x00, b[0], b[1], b[2], b[3]])
+    }
+
+    /// Returns the raw octets.
+    pub const fn octets(self) -> [u8; 6] {
+        self.0
+    }
+
+    /// Returns true for the broadcast address.
+    pub fn is_broadcast(self) -> bool {
+        self == Self::BROADCAST
+    }
+}
+
+impl fmt::Display for MacAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let o = self.0;
+        write!(
+            f,
+            "{:02x}:{:02x}:{:02x}:{:02x}:{:02x}:{:02x}",
+            o[0], o[1], o[2], o[3], o[4], o[5]
+        )
+    }
+}
+
+/// A 32-bit IPv4 address.
+///
+/// # Examples
+///
+/// ```
+/// use simnet::addr::IpAddr;
+///
+/// let ip = IpAddr::from_octets([10, 0, 0, 7]);
+/// assert_eq!(ip.to_string(), "10.0.0.7");
+/// assert_eq!(IpAddr::from_bits(ip.to_bits()), ip);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct IpAddr(u32);
+
+impl IpAddr {
+    /// The unspecified address `0.0.0.0`, used by `bind` to mean "any local
+    /// address".
+    pub const UNSPECIFIED: IpAddr = IpAddr(0);
+
+    /// The limited broadcast address `255.255.255.255`.
+    pub const BROADCAST: IpAddr = IpAddr(u32::MAX);
+
+    /// Creates an address from its 32-bit big-endian value.
+    pub const fn from_bits(bits: u32) -> Self {
+        IpAddr(bits)
+    }
+
+    /// Creates an address from dotted-quad octets.
+    pub const fn from_octets(o: [u8; 4]) -> Self {
+        IpAddr(u32::from_be_bytes(o))
+    }
+
+    /// Returns the 32-bit big-endian value.
+    pub const fn to_bits(self) -> u32 {
+        self.0
+    }
+
+    /// Returns the dotted-quad octets.
+    pub const fn octets(self) -> [u8; 4] {
+        self.0.to_be_bytes()
+    }
+
+    /// Returns true for `0.0.0.0`.
+    pub const fn is_unspecified(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Returns true for `255.255.255.255`.
+    pub const fn is_broadcast(self) -> bool {
+        self.0 == u32::MAX
+    }
+
+    /// Returns true if both addresses fall in the same `/prefix_len` subnet.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `prefix_len > 32`.
+    pub fn same_subnet(self, other: IpAddr, prefix_len: u8) -> bool {
+        assert!(prefix_len <= 32, "prefix length out of range");
+        if prefix_len == 0 {
+            return true;
+        }
+        let mask = u32::MAX << (32 - prefix_len as u32);
+        (self.0 & mask) == (other.0 & mask)
+    }
+}
+
+impl fmt::Display for IpAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let o = self.octets();
+        write!(f, "{}.{}.{}.{}", o[0], o[1], o[2], o[3])
+    }
+}
+
+/// A transport endpoint: IPv4 address plus port.
+///
+/// # Examples
+///
+/// ```
+/// use simnet::addr::{IpAddr, SockAddr};
+///
+/// let a = SockAddr::new(IpAddr::from_octets([10, 0, 0, 1]), 80);
+/// assert_eq!(a.to_string(), "10.0.0.1:80");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SockAddr {
+    /// The IPv4 address.
+    pub ip: IpAddr,
+    /// The port number.
+    pub port: u16,
+}
+
+impl SockAddr {
+    /// Creates an endpoint.
+    pub const fn new(ip: IpAddr, port: u16) -> Self {
+        SockAddr { ip, port }
+    }
+}
+
+impl fmt::Display for SockAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.ip, self.port)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mac_from_index_is_unique_and_unicast() {
+        let a = MacAddr::from_index(1);
+        let b = MacAddr::from_index(2);
+        assert_ne!(a, b);
+        assert!(!a.is_broadcast());
+        assert_eq!(a.octets()[0], 0x02);
+    }
+
+    #[test]
+    fn ip_round_trip() {
+        let ip = IpAddr::from_octets([192, 168, 1, 42]);
+        assert_eq!(ip.octets(), [192, 168, 1, 42]);
+        assert_eq!(IpAddr::from_bits(ip.to_bits()), ip);
+    }
+
+    #[test]
+    fn subnet_membership() {
+        let a = IpAddr::from_octets([10, 0, 0, 1]);
+        let b = IpAddr::from_octets([10, 0, 0, 200]);
+        let c = IpAddr::from_octets([10, 0, 1, 1]);
+        assert!(a.same_subnet(b, 24));
+        assert!(!a.same_subnet(c, 24));
+        assert!(a.same_subnet(c, 16));
+        assert!(a.same_subnet(c, 0));
+    }
+
+    #[test]
+    fn special_addresses() {
+        assert!(IpAddr::UNSPECIFIED.is_unspecified());
+        assert!(IpAddr::BROADCAST.is_broadcast());
+        assert_eq!(IpAddr::BROADCAST.to_string(), "255.255.255.255");
+    }
+
+    #[test]
+    #[should_panic(expected = "prefix length out of range")]
+    fn subnet_prefix_validated() {
+        let a = IpAddr::UNSPECIFIED;
+        let _ = a.same_subnet(a, 33);
+    }
+}

@@ -1,0 +1,191 @@
+//! Address Resolution Protocol.
+//!
+//! Cruz's network-address migration (§4.2) relies on ARP in two ways: normal
+//! resolution of pod VIF addresses, and gratuitous ARP announcements after a
+//! migration to re-point an IP at a different host's MAC when the hardware
+//! cannot carry the MAC along.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::addr::{IpAddr, MacAddr};
+
+/// ARP operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ArpOp {
+    /// Who-has request.
+    Request,
+    /// Is-at reply.
+    Reply,
+}
+
+/// An ARP packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ArpPacket {
+    /// Operation.
+    pub op: ArpOp,
+    /// Sender hardware address.
+    pub sender_mac: MacAddr,
+    /// Sender protocol address.
+    pub sender_ip: IpAddr,
+    /// Target hardware address (ignored in requests).
+    pub target_mac: MacAddr,
+    /// Target protocol address.
+    pub target_ip: IpAddr,
+}
+
+impl ArpPacket {
+    /// Builds a who-has request for `target_ip`.
+    pub fn request(sender_mac: MacAddr, sender_ip: IpAddr, target_ip: IpAddr) -> Self {
+        ArpPacket {
+            op: ArpOp::Request,
+            sender_mac,
+            sender_ip,
+            target_mac: MacAddr::default(),
+            target_ip,
+        }
+    }
+
+    /// Builds a reply to `request`.
+    pub fn reply(request: &ArpPacket, sender_mac: MacAddr, sender_ip: IpAddr) -> Self {
+        ArpPacket {
+            op: ArpOp::Reply,
+            sender_mac,
+            sender_ip,
+            target_mac: request.sender_mac,
+            target_ip: request.sender_ip,
+        }
+    }
+
+    /// Builds a gratuitous announcement binding `ip` to `mac`, used after pod
+    /// migration to update every ARP cache on the subnet.
+    pub fn gratuitous(mac: MacAddr, ip: IpAddr) -> Self {
+        ArpPacket {
+            op: ArpOp::Reply,
+            sender_mac: mac,
+            sender_ip: ip,
+            target_mac: MacAddr::BROADCAST,
+            target_ip: ip,
+        }
+    }
+
+    /// Nominal wire size of an ARP frame payload.
+    pub fn wire_len(&self) -> usize {
+        28
+    }
+}
+
+impl fmt::Display for ArpPacket {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.op {
+            ArpOp::Request => write!(f, "arp who-has {} tell {}", self.target_ip, self.sender_ip),
+            ArpOp::Reply => write!(f, "arp {} is-at {}", self.sender_ip, self.sender_mac),
+        }
+    }
+}
+
+/// A host's IP-to-MAC resolution cache.
+///
+/// Entries do not age out (the simulated subnet is stable between explicit
+/// updates); gratuitous ARP replies overwrite existing entries, which is the
+/// mechanism pod migration uses.
+#[derive(Debug, Clone, Default)]
+pub struct ArpCache {
+    entries: HashMap<IpAddr, MacAddr>,
+}
+
+impl ArpCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Looks up the MAC for `ip`.
+    pub fn lookup(&self, ip: IpAddr) -> Option<MacAddr> {
+        self.entries.get(&ip).copied()
+    }
+
+    /// Learns (or overwrites) a binding.
+    pub fn learn(&mut self, ip: IpAddr, mac: MacAddr) {
+        self.entries.insert(ip, mac);
+    }
+
+    /// Removes a binding (e.g. when a VIF is torn down locally).
+    pub fn forget(&mut self, ip: IpAddr) {
+        self.entries.remove(&ip);
+    }
+
+    /// Processes a received ARP packet, learning the sender binding.
+    pub fn observe(&mut self, pkt: &ArpPacket) {
+        if !pkt.sender_ip.is_unspecified() {
+            self.learn(pkt.sender_ip, pkt.sender_mac);
+        }
+    }
+
+    /// Number of cached bindings.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns true if no bindings are cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mac(i: u32) -> MacAddr {
+        MacAddr::from_index(i)
+    }
+
+    fn ip(last: u8) -> IpAddr {
+        IpAddr::from_octets([10, 0, 0, last])
+    }
+
+    #[test]
+    fn request_reply_flow() {
+        let req = ArpPacket::request(mac(1), ip(1), ip(2));
+        assert_eq!(req.op, ArpOp::Request);
+        let rep = ArpPacket::reply(&req, mac(2), ip(2));
+        assert_eq!(rep.op, ArpOp::Reply);
+        assert_eq!(rep.target_mac, mac(1));
+        assert_eq!(rep.target_ip, ip(1));
+    }
+
+    #[test]
+    fn cache_learns_from_observation() {
+        let mut cache = ArpCache::new();
+        assert!(cache.is_empty());
+        let rep = ArpPacket::reply(&ArpPacket::request(mac(1), ip(1), ip(2)), mac(2), ip(2));
+        cache.observe(&rep);
+        assert_eq!(cache.lookup(ip(2)), Some(mac(2)));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn gratuitous_arp_overwrites_binding() {
+        let mut cache = ArpCache::new();
+        cache.learn(ip(7), mac(1));
+        // Pod with IP .7 migrated to the host with MAC 9.
+        let g = ArpPacket::gratuitous(mac(9), ip(7));
+        cache.observe(&g);
+        assert_eq!(cache.lookup(ip(7)), Some(mac(9)));
+    }
+
+    #[test]
+    fn forget_removes_binding() {
+        let mut cache = ArpCache::new();
+        cache.learn(ip(3), mac(3));
+        cache.forget(ip(3));
+        assert_eq!(cache.lookup(ip(3)), None);
+    }
+
+    #[test]
+    fn display_formats() {
+        let req = ArpPacket::request(mac(1), ip(1), ip(2));
+        assert_eq!(req.to_string(), "arp who-has 10.0.0.2 tell 10.0.0.1");
+    }
+}

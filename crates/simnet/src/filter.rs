@@ -1,0 +1,170 @@
+//! Per-host packet filtering — the netfilter analogue.
+//!
+//! The Cruz coordinated checkpoint (§5) disables a pod's communication by
+//! installing a rule that **silently drops** every packet to or from the
+//! pod's IP addresses, at the lowest level of the stack. This module is that
+//! hook: the host stack consults it at both ingress and egress.
+
+use std::collections::HashSet;
+
+use crate::addr::IpAddr;
+use crate::frame::{EthFrame, EthPayload};
+
+/// The filter's decision for a packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// Let the packet through.
+    Accept,
+    /// Silently drop the packet.
+    Drop,
+}
+
+/// A set of drop rules keyed on IP addresses.
+///
+/// # Examples
+///
+/// ```
+/// use simnet::addr::IpAddr;
+/// use simnet::filter::{PacketFilter, Verdict};
+///
+/// let mut f = PacketFilter::new();
+/// let pod_ip = IpAddr::from_octets([10, 0, 0, 50]);
+/// f.add_drop_rule(pod_ip);
+/// assert!(f.is_dropping(pod_ip));
+/// f.remove_drop_rule(pod_ip);
+/// assert!(!f.is_dropping(pod_ip));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct PacketFilter {
+    drop_ips: HashSet<IpAddr>,
+    dropped: u64,
+}
+
+impl PacketFilter {
+    /// Creates a filter with no rules.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Installs a rule dropping all traffic to or from `ip`.
+    pub fn add_drop_rule(&mut self, ip: IpAddr) {
+        self.drop_ips.insert(ip);
+    }
+
+    /// Removes the rule for `ip` (no-op if absent).
+    pub fn remove_drop_rule(&mut self, ip: IpAddr) {
+        self.drop_ips.remove(&ip);
+    }
+
+    /// Removes every rule.
+    pub fn clear(&mut self) {
+        self.drop_ips.clear();
+    }
+
+    /// Returns true if a drop rule for `ip` is installed.
+    pub fn is_dropping(&self, ip: IpAddr) -> bool {
+        self.drop_ips.contains(&ip)
+    }
+
+    /// Returns true if any rule is installed.
+    pub fn has_rules(&self) -> bool {
+        !self.drop_ips.is_empty()
+    }
+
+    /// Judges a frame. IPv4 packets are dropped when either endpoint matches
+    /// a rule; ARP packets are dropped when the sender or target protocol
+    /// address matches (a quiesced pod must not answer ARP either).
+    pub fn check(&mut self, frame: &EthFrame) -> Verdict {
+        if self.drop_ips.is_empty() {
+            return Verdict::Accept;
+        }
+        let hit = match &frame.payload {
+            EthPayload::Ipv4(p) => {
+                self.drop_ips.contains(&p.src) || self.drop_ips.contains(&p.dst)
+            }
+            EthPayload::Arp(a) => {
+                self.drop_ips.contains(&a.sender_ip) || self.drop_ips.contains(&a.target_ip)
+            }
+        };
+        if hit {
+            self.dropped += 1;
+            Verdict::Drop
+        } else {
+            Verdict::Accept
+        }
+    }
+
+    /// Number of packets dropped so far.
+    pub fn dropped_count(&self) -> u64 {
+        self.dropped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::MacAddr;
+    use crate::arp::ArpPacket;
+    use crate::frame::{Ipv4Packet, L4};
+    use crate::udp::UdpDatagram;
+    use bytes::Bytes;
+
+    fn ip(last: u8) -> IpAddr {
+        IpAddr::from_octets([10, 0, 0, last])
+    }
+
+    fn udp_frame(src: IpAddr, dst: IpAddr) -> EthFrame {
+        EthFrame::new(
+            MacAddr::from_index(1),
+            MacAddr::from_index(2),
+            EthPayload::Ipv4(Ipv4Packet {
+                src,
+                dst,
+                payload: L4::Udp(UdpDatagram::new(1, 2, Bytes::new())),
+            }),
+        )
+    }
+
+    #[test]
+    fn drops_both_directions() {
+        let mut f = PacketFilter::new();
+        f.add_drop_rule(ip(5));
+        assert_eq!(f.check(&udp_frame(ip(5), ip(9))), Verdict::Drop);
+        assert_eq!(f.check(&udp_frame(ip(9), ip(5))), Verdict::Drop);
+        assert_eq!(f.check(&udp_frame(ip(8), ip(9))), Verdict::Accept);
+        assert_eq!(f.dropped_count(), 2);
+    }
+
+    #[test]
+    fn arp_for_filtered_ip_is_dropped() {
+        let mut f = PacketFilter::new();
+        f.add_drop_rule(ip(5));
+        let arp = EthFrame::new(
+            MacAddr::from_index(1),
+            MacAddr::BROADCAST,
+            EthPayload::Arp(ArpPacket::request(MacAddr::from_index(1), ip(9), ip(5))),
+        );
+        assert_eq!(f.check(&arp), Verdict::Drop);
+    }
+
+    #[test]
+    fn rules_can_be_removed_and_cleared() {
+        let mut f = PacketFilter::new();
+        f.add_drop_rule(ip(1));
+        f.add_drop_rule(ip(2));
+        assert!(f.has_rules());
+        f.remove_drop_rule(ip(1));
+        assert_eq!(f.check(&udp_frame(ip(1), ip(9))), Verdict::Accept);
+        assert_eq!(f.check(&udp_frame(ip(2), ip(9))), Verdict::Drop);
+        f.clear();
+        assert!(!f.has_rules());
+        assert_eq!(f.check(&udp_frame(ip(2), ip(9))), Verdict::Accept);
+    }
+
+    #[test]
+    fn empty_filter_is_cheap_accept() {
+        let mut f = PacketFilter::new();
+        assert_eq!(f.check(&udp_frame(ip(1), ip(2))), Verdict::Accept);
+        assert_eq!(f.dropped_count(), 0);
+    }
+}

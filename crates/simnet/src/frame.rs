@@ -1,0 +1,151 @@
+//! Ethernet frames and the IPv4 packets they carry.
+
+use std::fmt;
+
+use crate::addr::{IpAddr, MacAddr};
+use crate::arp::ArpPacket;
+use crate::tcp::TcpSegment;
+use crate::udp::UdpDatagram;
+
+/// Ethernet header + FCS overhead in bytes.
+pub const ETH_OVERHEAD: usize = 18;
+
+/// Transport payload of an IPv4 packet.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum L4 {
+    /// A TCP segment.
+    Tcp(TcpSegment),
+    /// A UDP datagram.
+    Udp(UdpDatagram),
+}
+
+/// An IPv4 packet.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Ipv4Packet {
+    /// Source address.
+    pub src: IpAddr,
+    /// Destination address.
+    pub dst: IpAddr,
+    /// Transport payload.
+    pub payload: L4,
+}
+
+impl Ipv4Packet {
+    /// Bytes on the wire including IP and transport headers.
+    pub fn wire_len(&self) -> usize {
+        match &self.payload {
+            L4::Tcp(t) => t.wire_len(),
+            L4::Udp(u) => u.wire_len(),
+        }
+    }
+}
+
+impl fmt::Display for Ipv4Packet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.payload {
+            L4::Tcp(t) => write!(f, "ip {} -> {} {}", self.src, self.dst, t),
+            L4::Udp(u) => write!(f, "ip {} -> {} {}", self.src, self.dst, u),
+        }
+    }
+}
+
+/// Payload of an Ethernet frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EthPayload {
+    /// An ARP packet.
+    Arp(ArpPacket),
+    /// An IPv4 packet.
+    Ipv4(Ipv4Packet),
+}
+
+/// An Ethernet frame: the unit the switch forwards and links serialize.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EthFrame {
+    /// Source MAC.
+    pub src: MacAddr,
+    /// Destination MAC (possibly broadcast).
+    pub dst: MacAddr,
+    /// Payload.
+    pub payload: EthPayload,
+}
+
+impl EthFrame {
+    /// Creates a frame.
+    pub fn new(src: MacAddr, dst: MacAddr, payload: EthPayload) -> Self {
+        EthFrame { src, dst, payload }
+    }
+
+    /// Total bytes on the wire (Ethernet overhead included), used by links
+    /// to compute serialization delay.
+    pub fn wire_len(&self) -> usize {
+        ETH_OVERHEAD
+            + match &self.payload {
+                EthPayload::Arp(a) => a.wire_len(),
+                EthPayload::Ipv4(p) => p.wire_len(),
+            }
+    }
+
+    /// Returns the IPv4 packet if the frame carries one.
+    pub fn ipv4(&self) -> Option<&Ipv4Packet> {
+        match &self.payload {
+            EthPayload::Ipv4(p) => Some(p),
+            EthPayload::Arp(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for EthFrame {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.payload {
+            EthPayload::Arp(a) => write!(f, "[{} -> {}] {}", self.src, self.dst, a),
+            EthPayload::Ipv4(p) => write!(f, "[{} -> {}] {}", self.src, self.dst, p),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tcp::{SeqNum, TcpFlags};
+    use bytes::Bytes;
+
+    #[test]
+    fn wire_len_stacks_up() {
+        let seg = TcpSegment {
+            src_port: 1,
+            dst_port: 2,
+            seq: SeqNum::new(0),
+            ack: SeqNum::new(0),
+            flags: TcpFlags::ACK,
+            window: 0,
+            payload: Bytes::from_static(&[0u8; 100]),
+        };
+        let frame = EthFrame::new(
+            MacAddr::from_index(1),
+            MacAddr::from_index(2),
+            EthPayload::Ipv4(Ipv4Packet {
+                src: IpAddr::from_octets([10, 0, 0, 1]),
+                dst: IpAddr::from_octets([10, 0, 0, 2]),
+                payload: L4::Tcp(seg),
+            }),
+        );
+        // 100 payload + 40 tcp/ip + 18 eth
+        assert_eq!(frame.wire_len(), 158);
+        assert!(frame.ipv4().is_some());
+    }
+
+    #[test]
+    fn arp_frame_len() {
+        let frame = EthFrame::new(
+            MacAddr::from_index(1),
+            MacAddr::BROADCAST,
+            EthPayload::Arp(ArpPacket::request(
+                MacAddr::from_index(1),
+                IpAddr::from_octets([10, 0, 0, 1]),
+                IpAddr::from_octets([10, 0, 0, 2]),
+            )),
+        );
+        assert_eq!(frame.wire_len(), 46);
+        assert!(frame.ipv4().is_none());
+    }
+}

@@ -1,0 +1,96 @@
+//! Link timing: bandwidth serialization and propagation delay.
+
+use des::{SimDuration, SimTime};
+
+/// Static parameters of a full-duplex point-to-point link (host NIC to
+/// switch port).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinkParams {
+    /// Raw bandwidth in bits per second.
+    pub bandwidth_bps: u64,
+    /// One-way propagation plus fixed switching latency.
+    pub latency: SimDuration,
+}
+
+impl LinkParams {
+    /// A gigabit-Ethernet-class link, matching the paper's testbed.
+    pub fn gigabit() -> Self {
+        LinkParams {
+            bandwidth_bps: 1_000_000_000,
+            latency: SimDuration::from_micros(10),
+        }
+    }
+
+    /// Serialization time of `bytes` on this link.
+    pub fn tx_time(&self, bytes: usize) -> SimDuration {
+        SimDuration::from_nanos((bytes as u64 * 8).saturating_mul(1_000_000_000) / self.bandwidth_bps)
+    }
+}
+
+impl Default for LinkParams {
+    fn default() -> Self {
+        Self::gigabit()
+    }
+}
+
+/// The dynamic state of one link direction: when its transmitter frees up.
+///
+/// Frames queue behind each other; a frame handed to a busy link starts
+/// serializing when the previous one finishes.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LinkState {
+    next_free: SimTime,
+}
+
+impl LinkState {
+    /// Creates an idle link.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedules a frame of `bytes` submitted at `now`; returns its delivery
+    /// time at the far end and records the transmitter busy until the end of
+    /// serialization.
+    pub fn schedule(&mut self, now: SimTime, bytes: usize, params: &LinkParams) -> SimTime {
+        let start = if self.next_free > now { self.next_free } else { now };
+        let end_of_tx = start + params.tx_time(bytes);
+        self.next_free = end_of_tx;
+        end_of_tx + params.latency
+    }
+
+    /// The instant this link direction becomes idle.
+    pub fn next_free(&self) -> SimTime {
+        self.next_free
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gigabit_serialization_time() {
+        let p = LinkParams::gigabit();
+        // 1500 bytes at 1 Gb/s = 12 microseconds.
+        assert_eq!(p.tx_time(1500), SimDuration::from_micros(12));
+    }
+
+    #[test]
+    fn frames_queue_behind_each_other() {
+        let p = LinkParams {
+            bandwidth_bps: 8_000_000, // 1 byte per microsecond
+            latency: SimDuration::from_micros(5),
+        };
+        let mut l = LinkState::new();
+        let t0 = SimTime::ZERO;
+        let d1 = l.schedule(t0, 100, &p);
+        assert_eq!(d1, t0 + SimDuration::from_micros(105));
+        // Second frame submitted immediately: waits for the transmitter.
+        let d2 = l.schedule(t0, 100, &p);
+        assert_eq!(d2, t0 + SimDuration::from_micros(205));
+        // After the link idles, a later frame starts immediately.
+        let t1 = t0 + SimDuration::from_micros(1_000);
+        let d3 = l.schedule(t1, 50, &p);
+        assert_eq!(d3, t1 + SimDuration::from_micros(55));
+    }
+}

@@ -1,0 +1,24 @@
+//! A from-scratch TCP implementation.
+//!
+//! The module is layered:
+//!
+//! * [`seq`] — wrapping 32-bit sequence-number arithmetic;
+//! * [`segment`] — the segment representation carried in IPv4 packets;
+//! * [`buffer`] — send/receive buffers, including the packet-boundary
+//!   tracking that checkpoint/restore preserves;
+//! * [`rto`] — RTT estimation and retransmission timeout with backoff;
+//! * [`tcb`] — the per-connection state machine.
+//!
+//! Everything is pure and time-explicit: the host stack (`simos`, via the
+//! [`crate::stack::NetStack`]) feeds in segments and timer expirations and
+//! transmits whatever comes out.
+
+pub mod buffer;
+pub mod rto;
+pub mod segment;
+pub mod seq;
+pub mod tcb;
+
+pub use segment::{TcpFlags, TcpSegment};
+pub use seq::SeqNum;
+pub use tcb::{Tcb, TcpConfig, TcpSnapshot, TcpState};

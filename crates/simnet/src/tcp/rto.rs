@@ -1,0 +1,166 @@
+//! Retransmission-timeout estimation (RFC 6298 style) with exponential
+//! backoff.
+
+use des::SimDuration;
+
+/// RTT estimator and retransmission-timeout calculator.
+///
+/// Maintains the smoothed RTT and RTT variance, applies exponential backoff
+/// while retransmissions are outstanding, and clamps the result between the
+/// configured bounds.
+#[derive(Debug, Clone)]
+pub struct RtoEstimator {
+    srtt: Option<SimDuration>,
+    rttvar: SimDuration,
+    min_rto: SimDuration,
+    max_rto: SimDuration,
+    initial_rto: SimDuration,
+    /// Current backoff multiplier exponent (0 = no backoff).
+    backoff: u32,
+}
+
+impl RtoEstimator {
+    /// Creates an estimator.
+    ///
+    /// `initial_rto` is used before any RTT sample exists; `min_rto` and
+    /// `max_rto` bound the computed timeout.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min_rto > max_rto`.
+    pub fn new(initial_rto: SimDuration, min_rto: SimDuration, max_rto: SimDuration) -> Self {
+        assert!(min_rto <= max_rto, "min_rto must not exceed max_rto");
+        RtoEstimator {
+            srtt: None,
+            rttvar: SimDuration::ZERO,
+            min_rto,
+            max_rto,
+            initial_rto,
+            backoff: 0,
+        }
+    }
+
+    /// Feeds one RTT measurement (from a never-retransmitted segment) and
+    /// clears any backoff.
+    pub fn sample(&mut self, rtt: SimDuration) {
+        match self.srtt {
+            None => {
+                self.srtt = Some(rtt);
+                self.rttvar = rtt / 2;
+            }
+            Some(srtt) => {
+                let err = if rtt > srtt { rtt - srtt } else { srtt - rtt };
+                // rttvar = 3/4 rttvar + 1/4 |err|
+                self.rttvar = (self.rttvar * 3 + err) / 4;
+                // srtt = 7/8 srtt + 1/8 rtt
+                self.srtt = Some((srtt * 7 + rtt) / 8);
+            }
+        }
+        self.backoff = 0;
+    }
+
+    /// Doubles the timeout after a retransmission timer expiry.
+    pub fn backoff(&mut self) {
+        self.backoff = (self.backoff + 1).min(16);
+    }
+
+    /// Clears backoff (e.g. after new data is acknowledged).
+    pub fn reset_backoff(&mut self) {
+        self.backoff = 0;
+    }
+
+    /// The current retransmission timeout.
+    pub fn rto(&self) -> SimDuration {
+        let base = match self.srtt {
+            None => self.initial_rto,
+            Some(srtt) => srtt + self.rttvar * 4,
+        };
+        let base = base.max(self.min_rto);
+        let shifted = SimDuration::from_nanos(
+            base.as_nanos().saturating_mul(1u64 << self.backoff.min(32)),
+        );
+        shifted.min(self.max_rto).max(self.min_rto)
+    }
+
+    /// The current backoff exponent (0 when no retransmissions outstanding).
+    pub fn backoff_level(&self) -> u32 {
+        self.backoff
+    }
+
+    /// The smoothed RTT estimate, if any sample has been taken.
+    pub fn srtt(&self) -> Option<SimDuration> {
+        self.srtt
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn est() -> RtoEstimator {
+        RtoEstimator::new(
+            SimDuration::from_secs(1),
+            SimDuration::from_millis(200),
+            SimDuration::from_secs(60),
+        )
+    }
+
+    #[test]
+    fn initial_rto_used_before_samples() {
+        assert_eq!(est().rto(), SimDuration::from_secs(1));
+    }
+
+    #[test]
+    fn min_rto_clamps_fast_lans() {
+        let mut e = est();
+        e.sample(SimDuration::from_micros(100));
+        assert_eq!(e.rto(), SimDuration::from_millis(200));
+    }
+
+    #[test]
+    fn srtt_converges_toward_samples() {
+        let mut e = est();
+        for _ in 0..50 {
+            e.sample(SimDuration::from_millis(300));
+        }
+        let srtt = e.srtt().unwrap();
+        assert!(srtt >= SimDuration::from_millis(290) && srtt <= SimDuration::from_millis(310));
+        // rto = srtt + 4*rttvar >= srtt
+        assert!(e.rto() >= srtt);
+    }
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let mut e = est();
+        let r0 = e.rto();
+        e.backoff();
+        assert_eq!(e.rto(), r0 * 2);
+        e.backoff();
+        assert_eq!(e.rto(), r0 * 4);
+        for _ in 0..20 {
+            e.backoff();
+        }
+        assert_eq!(e.rto(), SimDuration::from_secs(60));
+        e.reset_backoff();
+        assert_eq!(e.rto(), r0);
+    }
+
+    #[test]
+    fn sample_clears_backoff() {
+        let mut e = est();
+        e.backoff();
+        e.backoff();
+        e.sample(SimDuration::from_millis(250));
+        assert_eq!(e.backoff_level(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "min_rto must not exceed max_rto")]
+    fn bounds_validated() {
+        let _ = RtoEstimator::new(
+            SimDuration::from_secs(1),
+            SimDuration::from_secs(2),
+            SimDuration::from_secs(1),
+        );
+    }
+}

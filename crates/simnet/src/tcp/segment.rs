@@ -1,0 +1,174 @@
+//! TCP segment representation.
+
+use std::fmt;
+
+use bytes::Bytes;
+
+use crate::addr::{IpAddr, SockAddr};
+use crate::tcp::seq::SeqNum;
+
+/// Assumed fixed header overhead of a TCP/IPv4 packet on the wire (IPv4 20 +
+/// TCP 20 bytes, no options modelled).
+pub const TCP_IP_HEADER_LEN: usize = 40;
+
+/// TCP header flags. Only the flags the simulation uses are modelled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Hash)]
+pub struct TcpFlags {
+    /// Synchronize sequence numbers.
+    pub syn: bool,
+    /// Acknowledgement field is valid.
+    pub ack: bool,
+    /// No more data from sender.
+    pub fin: bool,
+    /// Reset the connection.
+    pub rst: bool,
+}
+
+impl TcpFlags {
+    /// Flags for a pure data or acknowledgement segment.
+    pub const ACK: TcpFlags = TcpFlags { syn: false, ack: true, fin: false, rst: false };
+    /// Flags for an initial SYN.
+    pub const SYN: TcpFlags = TcpFlags { syn: true, ack: false, fin: false, rst: false };
+    /// Flags for a SYN-ACK.
+    pub const SYN_ACK: TcpFlags = TcpFlags { syn: true, ack: true, fin: false, rst: false };
+    /// Flags for a FIN-ACK.
+    pub const FIN_ACK: TcpFlags = TcpFlags { syn: false, ack: true, fin: true, rst: false };
+    /// Flags for a RST.
+    pub const RST: TcpFlags = TcpFlags { syn: false, ack: false, fin: false, rst: true };
+}
+
+impl fmt::Display for TcpFlags {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut any = false;
+        for (set, name) in [
+            (self.syn, "SYN"),
+            (self.ack, "ACK"),
+            (self.fin, "FIN"),
+            (self.rst, "RST"),
+        ] {
+            if set {
+                if any {
+                    write!(f, "|")?;
+                }
+                write!(f, "{name}")?;
+                any = true;
+            }
+        }
+        if !any {
+            write!(f, "-")?;
+        }
+        Ok(())
+    }
+}
+
+/// A TCP segment (header fields plus payload), carried inside an IPv4 packet.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TcpSegment {
+    /// Source port.
+    pub src_port: u16,
+    /// Destination port.
+    pub dst_port: u16,
+    /// Sequence number of the first payload byte (or of the SYN/FIN).
+    pub seq: SeqNum,
+    /// Acknowledgement number (valid when `flags.ack`).
+    pub ack: SeqNum,
+    /// Header flags.
+    pub flags: TcpFlags,
+    /// Advertised receive window in bytes.
+    pub window: u32,
+    /// Payload bytes.
+    pub payload: Bytes,
+}
+
+impl TcpSegment {
+    /// The sequence-number length of the segment: payload bytes plus one for
+    /// SYN and one for FIN.
+    pub fn seq_len(&self) -> u32 {
+        self.payload.len() as u32
+            + u32::from(self.flags.syn)
+            + u32::from(self.flags.fin)
+    }
+
+    /// The sequence number just past this segment.
+    pub fn seq_end(&self) -> SeqNum {
+        self.seq + self.seq_len()
+    }
+
+    /// Bytes this segment occupies on the wire (headers included).
+    pub fn wire_len(&self) -> usize {
+        TCP_IP_HEADER_LEN + self.payload.len()
+    }
+}
+
+impl fmt::Display for TcpSegment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "tcp {} -> {} [{}] seq={} ack={} win={} len={}",
+            self.src_port,
+            self.dst_port,
+            self.flags,
+            self.seq,
+            self.ack,
+            self.window,
+            self.payload.len()
+        )
+    }
+}
+
+/// The (source, destination) endpoints of a segment as seen inside an IPv4
+/// packet, used to key connection lookup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SegmentAddrs {
+    /// Sender endpoint.
+    pub src: SockAddr,
+    /// Receiver endpoint.
+    pub dst: SockAddr,
+}
+
+impl SegmentAddrs {
+    /// Builds endpoint addresses from IP header addresses and the segment's
+    /// ports.
+    pub fn new(src_ip: IpAddr, dst_ip: IpAddr, seg: &TcpSegment) -> Self {
+        SegmentAddrs {
+            src: SockAddr::new(src_ip, seg.src_port),
+            dst: SockAddr::new(dst_ip, seg.dst_port),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seg(flags: TcpFlags, payload: &[u8]) -> TcpSegment {
+        TcpSegment {
+            src_port: 10,
+            dst_port: 20,
+            seq: SeqNum::new(100),
+            ack: SeqNum::new(0),
+            flags,
+            window: 65535,
+            payload: Bytes::copy_from_slice(payload),
+        }
+    }
+
+    #[test]
+    fn seq_len_counts_syn_and_fin() {
+        assert_eq!(seg(TcpFlags::SYN, b"").seq_len(), 1);
+        assert_eq!(seg(TcpFlags::ACK, b"abc").seq_len(), 3);
+        assert_eq!(seg(TcpFlags::FIN_ACK, b"ab").seq_len(), 3);
+        assert_eq!(seg(TcpFlags::ACK, b"abc").seq_end(), SeqNum::new(103));
+    }
+
+    #[test]
+    fn wire_len_includes_headers() {
+        assert_eq!(seg(TcpFlags::ACK, b"hello").wire_len(), 45);
+    }
+
+    #[test]
+    fn flags_display() {
+        assert_eq!(TcpFlags::SYN_ACK.to_string(), "SYN|ACK");
+        assert_eq!(TcpFlags::default().to_string(), "-");
+    }
+}

@@ -1,0 +1,122 @@
+//! 32-bit TCP sequence-number arithmetic.
+//!
+//! Sequence numbers wrap modulo 2³²; comparisons are defined on the signed
+//! difference, exactly as in RFC 793 implementations.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A TCP sequence number.
+///
+/// # Examples
+///
+/// ```
+/// use simnet::tcp::seq::SeqNum;
+///
+/// let a = SeqNum::new(u32::MAX);
+/// let b = a + 10; // wraps
+/// assert!(a < b);
+/// assert_eq!(b - a, 10);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct SeqNum(u32);
+
+impl SeqNum {
+    /// Creates a sequence number from its raw value.
+    pub const fn new(v: u32) -> Self {
+        SeqNum(v)
+    }
+
+    /// Returns the raw 32-bit value.
+    pub const fn raw(self) -> u32 {
+        self.0
+    }
+
+    /// Signed distance `self - other` accounting for wraparound.
+    pub fn diff(self, other: SeqNum) -> i32 {
+        self.0.wrapping_sub(other.0) as i32
+    }
+
+    /// Returns true if `self` lies in the half-open window `[start, end)`,
+    /// honouring wraparound.
+    pub fn in_window(self, start: SeqNum, end: SeqNum) -> bool {
+        let len = end.0.wrapping_sub(start.0);
+        let off = self.0.wrapping_sub(start.0);
+        off < len
+    }
+}
+
+impl PartialOrd for SeqNum {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for SeqNum {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.diff(*other).cmp(&0)
+    }
+}
+
+impl Add<u32> for SeqNum {
+    type Output = SeqNum;
+    fn add(self, rhs: u32) -> SeqNum {
+        SeqNum(self.0.wrapping_add(rhs))
+    }
+}
+
+impl AddAssign<u32> for SeqNum {
+    fn add_assign(&mut self, rhs: u32) {
+        self.0 = self.0.wrapping_add(rhs);
+    }
+}
+
+impl Sub<SeqNum> for SeqNum {
+    type Output = u32;
+    fn sub(self, rhs: SeqNum) -> u32 {
+        self.0.wrapping_sub(rhs.0)
+    }
+}
+
+impl fmt::Display for SeqNum {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_handles_wrap() {
+        let a = SeqNum::new(u32::MAX - 1);
+        let b = a + 4;
+        assert!(a < b);
+        assert!(b > a);
+        assert_eq!(b.raw(), 2);
+    }
+
+    #[test]
+    fn diff_is_signed() {
+        let a = SeqNum::new(100);
+        assert_eq!((a + 5).diff(a), 5);
+        assert_eq!(a.diff(a + 5), -5);
+    }
+
+    #[test]
+    fn window_membership_wraps() {
+        let start = SeqNum::new(u32::MAX - 2);
+        let end = start + 10;
+        assert!(start.in_window(start, end));
+        assert!((start + 9).in_window(start, end));
+        assert!(!(start + 10).in_window(start, end));
+        assert!(!SeqNum::new(1000).in_window(start, end));
+    }
+
+    #[test]
+    fn empty_window_contains_nothing() {
+        let s = SeqNum::new(7);
+        assert!(!s.in_window(s, s));
+    }
+}

@@ -1,0 +1,59 @@
+//! UDP datagrams (used by DHCP and the control plane).
+
+use std::fmt;
+
+use bytes::Bytes;
+
+/// Fixed UDP/IPv4 header overhead (IPv4 20 + UDP 8 bytes).
+pub const UDP_IP_HEADER_LEN: usize = 28;
+
+/// A UDP datagram carried inside an IPv4 packet.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UdpDatagram {
+    /// Source port.
+    pub src_port: u16,
+    /// Destination port.
+    pub dst_port: u16,
+    /// Payload bytes.
+    pub payload: Bytes,
+}
+
+impl UdpDatagram {
+    /// Creates a datagram.
+    pub fn new(src_port: u16, dst_port: u16, payload: Bytes) -> Self {
+        UdpDatagram {
+            src_port,
+            dst_port,
+            payload,
+        }
+    }
+
+    /// Bytes this datagram occupies on the wire (headers included).
+    pub fn wire_len(&self) -> usize {
+        UDP_IP_HEADER_LEN + self.payload.len()
+    }
+}
+
+impl fmt::Display for UdpDatagram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "udp {} -> {} len={}",
+            self.src_port,
+            self.dst_port,
+            self.payload.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_len_includes_headers() {
+        let d = UdpDatagram::new(68, 67, Bytes::from_static(b"dhcp"));
+        assert_eq!(d.wire_len(), 32);
+        assert_eq!(d.to_string(), "udp 68 -> 67 len=4");
+    }
+}

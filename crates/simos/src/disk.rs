@@ -1,0 +1,131 @@
+//! Disk timing model.
+//!
+//! Fig. 5(a) of the paper shows checkpoint latency dominated by the time to
+//! write the application's virtual-memory contents to disk. The simulation
+//! reproduces that by charging every checkpoint write against a
+//! bandwidth/seek model of the node's disk.
+
+use des::{SimDuration, SimTime};
+
+/// Static parameters of a disk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DiskParams {
+    /// Sustained sequential bandwidth in bytes per second.
+    pub bandwidth_bps: u64,
+    /// Fixed per-operation overhead (seek + controller).
+    pub op_overhead: SimDuration,
+}
+
+impl DiskParams {
+    /// A 2005-era SCSI disk: ~100 MB/s sequential, 5 ms overhead.
+    pub fn era_2005() -> Self {
+        DiskParams {
+            bandwidth_bps: 100_000_000,
+            op_overhead: SimDuration::from_millis(5),
+        }
+    }
+
+    /// Time to transfer `bytes` in one sequential operation.
+    pub fn io_time(&self, bytes: u64) -> SimDuration {
+        self.op_overhead
+            + SimDuration::from_nanos(bytes.saturating_mul(1_000_000_000) / self.bandwidth_bps)
+    }
+}
+
+impl Default for DiskParams {
+    fn default() -> Self {
+        Self::era_2005()
+    }
+}
+
+/// A disk with a serialized request queue.
+#[derive(Debug, Clone)]
+pub struct Disk {
+    params: DiskParams,
+    busy_until: SimTime,
+    bytes_written: u64,
+    bytes_read: u64,
+}
+
+impl Disk {
+    /// Creates an idle disk.
+    pub fn new(params: DiskParams) -> Self {
+        Disk {
+            params,
+            busy_until: SimTime::ZERO,
+            bytes_written: 0,
+            bytes_read: 0,
+        }
+    }
+
+    /// The disk parameters.
+    pub fn params(&self) -> DiskParams {
+        self.params
+    }
+
+    /// Submits a write of `bytes` at `now`; returns its completion time.
+    pub fn submit_write(&mut self, now: SimTime, bytes: u64) -> SimTime {
+        self.bytes_written += bytes;
+        self.submit(now, bytes)
+    }
+
+    /// Submits a read of `bytes` at `now`; returns its completion time.
+    pub fn submit_read(&mut self, now: SimTime, bytes: u64) -> SimTime {
+        self.bytes_read += bytes;
+        self.submit(now, bytes)
+    }
+
+    fn submit(&mut self, now: SimTime, bytes: u64) -> SimTime {
+        let start = if self.busy_until > now { self.busy_until } else { now };
+        let done = start + self.params.io_time(bytes);
+        self.busy_until = done;
+        done
+    }
+
+    /// Total bytes written so far.
+    pub fn bytes_written(&self) -> u64 {
+        self.bytes_written
+    }
+
+    /// Total bytes read so far.
+    pub fn bytes_read(&self) -> u64 {
+        self.bytes_read
+    }
+}
+
+impl Default for Disk {
+    fn default() -> Self {
+        Disk::new(DiskParams::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn io_time_scales_with_size() {
+        let p = DiskParams::era_2005();
+        // 100 MB at 100 MB/s = 1 s + 5 ms overhead.
+        let t = p.io_time(100_000_000);
+        assert_eq!(t, SimDuration::from_millis(1005));
+    }
+
+    #[test]
+    fn requests_serialize() {
+        let mut d = Disk::new(DiskParams {
+            bandwidth_bps: 1_000_000,
+            op_overhead: SimDuration::from_millis(1),
+        });
+        let t0 = SimTime::ZERO;
+        let d1 = d.submit_write(t0, 1_000_000); // 1s + 1ms
+        let d2 = d.submit_write(t0, 1_000_000);
+        assert_eq!(d1, t0 + SimDuration::from_millis(1001));
+        assert_eq!(d2, t0 + SimDuration::from_millis(2002));
+        assert_eq!(d.bytes_written(), 2_000_000);
+        // After it idles, a new request starts fresh.
+        let later = t0 + SimDuration::from_secs(10);
+        let d3 = d.submit_read(later, 0);
+        assert_eq!(d3, later + SimDuration::from_millis(1));
+    }
+}

@@ -1,0 +1,110 @@
+//! Kernel error numbers returned to guest programs.
+
+use std::fmt;
+
+/// Errors returned by system calls (as negative values in `r0`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Errno {
+    /// Bad file descriptor.
+    Badf = 1,
+    /// Invalid argument.
+    Inval = 2,
+    /// Address already in use.
+    AddrInUse = 3,
+    /// Address not available on this host.
+    AddrNotAvail = 4,
+    /// Connection reset by peer.
+    ConnReset = 5,
+    /// No such file.
+    NoEnt = 6,
+    /// Bad guest memory address.
+    Fault = 7,
+    /// No such process.
+    Srch = 8,
+    /// Operation not supported on this descriptor.
+    NotSup = 9,
+    /// Broken pipe (no readers left).
+    Pipe = 10,
+    /// No such syscall.
+    NoSys = 11,
+    /// Out of resources (ports, pool slots, …).
+    NoBufs = 12,
+    /// No child to wait for.
+    Child = 13,
+    /// Not connected.
+    NotConn = 14,
+    /// Connection refused.
+    ConnRefused = 15,
+}
+
+impl Errno {
+    /// The value placed in `r0`: the negated error number.
+    pub fn to_ret(self) -> u64 {
+        (-(self as i64)) as u64
+    }
+
+    /// Decodes a syscall return value into `Ok(value)` or `Err(errno)`.
+    pub fn decode(ret: u64) -> Result<u64, Errno> {
+        let s = ret as i64;
+        if s >= 0 {
+            return Ok(ret);
+        }
+        Err(match -s {
+            1 => Errno::Badf,
+            2 => Errno::Inval,
+            3 => Errno::AddrInUse,
+            4 => Errno::AddrNotAvail,
+            5 => Errno::ConnReset,
+            6 => Errno::NoEnt,
+            7 => Errno::Fault,
+            8 => Errno::Srch,
+            9 => Errno::NotSup,
+            10 => Errno::Pipe,
+            11 => Errno::NoSys,
+            12 => Errno::NoBufs,
+            13 => Errno::Child,
+            14 => Errno::NotConn,
+            15 => Errno::ConnRefused,
+            _ => Errno::Inval,
+        })
+    }
+}
+
+impl fmt::Display for Errno {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Errno::Badf => "bad file descriptor",
+            Errno::Inval => "invalid argument",
+            Errno::AddrInUse => "address in use",
+            Errno::AddrNotAvail => "address not available",
+            Errno::ConnReset => "connection reset",
+            Errno::NoEnt => "no such file",
+            Errno::Fault => "bad address",
+            Errno::Srch => "no such process",
+            Errno::NotSup => "operation not supported",
+            Errno::Pipe => "broken pipe",
+            Errno::NoSys => "no such syscall",
+            Errno::NoBufs => "no buffer space",
+            Errno::Child => "no child processes",
+            Errno::NotConn => "not connected",
+            Errno::ConnRefused => "connection refused",
+        };
+        f.write_str(s)
+    }
+}
+
+impl std::error::Error for Errno {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ret_encoding_round_trips() {
+        for e in [Errno::Badf, Errno::ConnReset, Errno::NoSys, Errno::ConnRefused] {
+            assert_eq!(Errno::decode(e.to_ret()), Err(e));
+        }
+        assert_eq!(Errno::decode(42), Ok(42));
+        assert_eq!(Errno::decode(0), Ok(0));
+    }
+}

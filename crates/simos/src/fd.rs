@@ -1,0 +1,168 @@
+//! File-descriptor tables.
+
+use std::collections::BTreeMap;
+
+use simnet::stack::SocketId;
+
+/// A file descriptor number.
+pub type Fd = u32;
+
+/// Identifier of a pipe object in the kernel pipe table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PipeId(pub u64);
+
+/// Which end of a pipe a descriptor refers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PipeEnd {
+    /// The reading end.
+    Read,
+    /// The writing end.
+    Write,
+}
+
+/// What a file descriptor refers to.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Desc {
+    /// An open file on the network filesystem.
+    File {
+        /// Path of the file.
+        path: String,
+        /// Current read/write offset.
+        offset: u64,
+    },
+    /// One end of a pipe.
+    Pipe {
+        /// The pipe object.
+        id: PipeId,
+        /// Which end.
+        end: PipeEnd,
+    },
+    /// A network socket (TCP or UDP, resolved by the stack).
+    Socket(SocketId),
+    /// The per-process console (write-only log).
+    Console,
+}
+
+/// A per-process (or per-thread-group) descriptor table.
+#[derive(Debug, Clone, Default)]
+pub struct FdTable {
+    entries: BTreeMap<Fd, Desc>,
+    next: Fd,
+}
+
+impl FdTable {
+    /// Creates an empty table. Descriptor 0 is reserved for the console.
+    pub fn new() -> Self {
+        let mut t = FdTable {
+            entries: BTreeMap::new(),
+            next: 1,
+        };
+        t.entries.insert(0, Desc::Console);
+        t
+    }
+
+    /// Allocates the lowest free descriptor for `desc`.
+    pub fn insert(&mut self, desc: Desc) -> Fd {
+        // Reuse the lowest free slot, like POSIX.
+        let mut fd = 1;
+        while self.entries.contains_key(&fd) {
+            fd += 1;
+        }
+        self.entries.insert(fd, desc);
+        self.next = self.next.max(fd + 1);
+        fd
+    }
+
+    /// Looks up a descriptor.
+    pub fn get(&self, fd: Fd) -> Option<&Desc> {
+        self.entries.get(&fd)
+    }
+
+    /// Mutable lookup.
+    pub fn get_mut(&mut self, fd: Fd) -> Option<&mut Desc> {
+        self.entries.get_mut(&fd)
+    }
+
+    /// Removes a descriptor, returning what it referred to.
+    pub fn remove(&mut self, fd: Fd) -> Option<Desc> {
+        if fd == 0 {
+            return None; // console is permanent
+        }
+        self.entries.remove(&fd)
+    }
+
+    /// Iterates over (fd, desc) pairs in order.
+    pub fn iter(&self) -> impl Iterator<Item = (Fd, &Desc)> {
+        self.entries.iter().map(|(&fd, d)| (fd, d))
+    }
+
+    /// Number of open descriptors (including the console).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns true if only the console descriptor exists.
+    pub fn is_empty(&self) -> bool {
+        self.entries.len() <= 1
+    }
+
+    /// Re-installs a descriptor at a specific number (restore path).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot is already occupied by a different descriptor.
+    pub fn install_at(&mut self, fd: Fd, desc: Desc) {
+        let prev = self.entries.insert(fd, desc);
+        assert!(
+            prev.is_none() || fd == 0,
+            "descriptor {fd} already occupied during restore"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn console_is_fd_zero() {
+        let t = FdTable::new();
+        assert_eq!(t.get(0), Some(&Desc::Console));
+    }
+
+    #[test]
+    fn lowest_free_slot_reused() {
+        let mut t = FdTable::new();
+        let a = t.insert(Desc::Console);
+        let b = t.insert(Desc::Console);
+        assert_eq!((a, b), (1, 2));
+        t.remove(a);
+        let c = t.insert(Desc::Console);
+        assert_eq!(c, 1, "lowest free slot reused");
+    }
+
+    #[test]
+    fn console_cannot_be_removed() {
+        let mut t = FdTable::new();
+        assert!(t.remove(0).is_none());
+        assert_eq!(t.get(0), Some(&Desc::Console));
+    }
+
+    #[test]
+    fn install_at_restores_exact_numbers() {
+        let mut t = FdTable::new();
+        t.install_at(7, Desc::File { path: "x".into(), offset: 3 });
+        assert!(matches!(t.get(7), Some(Desc::File { offset: 3, .. })));
+        // Next dynamic insert avoids the occupied slot.
+        let fd = t.insert(Desc::Console);
+        assert_eq!(fd, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "already occupied")]
+    fn install_at_rejects_collisions() {
+        let mut t = FdTable::new();
+        t.install_at(3, Desc::Console);
+        t.install_at(3, Desc::Console);
+    }
+}

@@ -1,0 +1,145 @@
+//! The network-accessible filesystem.
+//!
+//! Like the paper's setup, checkpoint images and application files live on a
+//! file system reachable from every node, so an application checkpointed on
+//! one machine can be restarted on any other. The store is a single shared
+//! object; each node accesses it through its own handle.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+/// A shared in-memory filesystem.
+///
+/// Cloning the handle shares the same underlying store (this is the
+/// "network" part — every node mounts the same server).
+///
+/// # Examples
+///
+/// ```
+/// use simos::fs::NetFs;
+///
+/// let fs = NetFs::new();
+/// let node_a = fs.clone();
+/// let node_b = fs.clone();
+/// node_a.write_file("/ckpt/pod1.img", b"image".to_vec());
+/// assert_eq!(node_b.read_file("/ckpt/pod1.img").unwrap(), b"image");
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct NetFs {
+    files: Rc<RefCell<BTreeMap<String, Vec<u8>>>>,
+}
+
+impl NetFs {
+    /// Creates an empty filesystem.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates or truncates a file with `data`.
+    pub fn write_file(&self, path: &str, data: Vec<u8>) {
+        self.files.borrow_mut().insert(path.to_owned(), data);
+    }
+
+    /// Appends to a file, creating it if needed. Returns the new length.
+    pub fn append_file(&self, path: &str, data: &[u8]) -> usize {
+        let mut files = self.files.borrow_mut();
+        let f = files.entry(path.to_owned()).or_default();
+        f.extend_from_slice(data);
+        f.len()
+    }
+
+    /// Reads a whole file.
+    pub fn read_file(&self, path: &str) -> Option<Vec<u8>> {
+        self.files.borrow().get(path).cloned()
+    }
+
+    /// Reads up to `len` bytes at `offset`.
+    pub fn read_at(&self, path: &str, offset: u64, len: usize) -> Option<Vec<u8>> {
+        let files = self.files.borrow();
+        let f = files.get(path)?;
+        let start = (offset as usize).min(f.len());
+        let end = (start + len).min(f.len());
+        Some(f[start..end].to_vec())
+    }
+
+    /// Writes `data` at `offset`, extending the file with zeros if needed.
+    pub fn write_at(&self, path: &str, offset: u64, data: &[u8]) {
+        let mut files = self.files.borrow_mut();
+        let f = files.entry(path.to_owned()).or_default();
+        let end = offset as usize + data.len();
+        if f.len() < end {
+            f.resize(end, 0);
+        }
+        f[offset as usize..end].copy_from_slice(data);
+    }
+
+    /// File size, if it exists.
+    pub fn len_of(&self, path: &str) -> Option<u64> {
+        self.files.borrow().get(path).map(|f| f.len() as u64)
+    }
+
+    /// True if the file exists.
+    pub fn exists(&self, path: &str) -> bool {
+        self.files.borrow().contains_key(path)
+    }
+
+    /// Removes a file; returns true if it existed.
+    pub fn remove(&self, path: &str) -> bool {
+        self.files.borrow_mut().remove(path).is_some()
+    }
+
+    /// Lists paths under a prefix.
+    pub fn list(&self, prefix: &str) -> Vec<String> {
+        self.files
+            .borrow()
+            .keys()
+            .filter(|k| k.starts_with(prefix))
+            .cloned()
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shared_across_clones() {
+        let fs = NetFs::new();
+        let other = fs.clone();
+        fs.write_file("/a", vec![1, 2, 3]);
+        assert_eq!(other.read_file("/a"), Some(vec![1, 2, 3]));
+        assert!(other.exists("/a"));
+    }
+
+    #[test]
+    fn positional_io() {
+        let fs = NetFs::new();
+        fs.write_at("/f", 4, b"xy");
+        assert_eq!(fs.read_file("/f").unwrap(), vec![0, 0, 0, 0, b'x', b'y']);
+        assert_eq!(fs.read_at("/f", 4, 10).unwrap(), b"xy");
+        assert_eq!(fs.read_at("/f", 100, 10).unwrap(), b"");
+        assert_eq!(fs.read_at("/missing", 0, 1), None);
+    }
+
+    #[test]
+    fn append_and_len() {
+        let fs = NetFs::new();
+        assert_eq!(fs.append_file("/log", b"ab"), 2);
+        assert_eq!(fs.append_file("/log", b"cd"), 4);
+        assert_eq!(fs.len_of("/log"), Some(4));
+    }
+
+    #[test]
+    fn list_and_remove() {
+        let fs = NetFs::new();
+        fs.write_file("/ckpt/1", vec![]);
+        fs.write_file("/ckpt/2", vec![]);
+        fs.write_file("/data/x", vec![]);
+        assert_eq!(fs.list("/ckpt/").len(), 2);
+        assert!(fs.remove("/ckpt/1"));
+        assert!(!fs.remove("/ckpt/1"));
+        assert_eq!(fs.list("/ckpt/").len(), 1);
+    }
+}

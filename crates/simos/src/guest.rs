@@ -1,0 +1,98 @@
+//! Helpers for writing guest programs against the syscall ABI.
+//!
+//! These are assembler conveniences used by the workload generators and
+//! tests; they emit the `r0 = number; syscall` sequence and small argument
+//! set-up idioms.
+
+use simcpu::asm::Asm;
+use simcpu::isa::{Reg, R0, R1, R2, R3, R4, R5};
+
+/// Assembler extensions for invoking system calls.
+///
+/// # Examples
+///
+/// ```
+/// use simcpu::asm::Asm;
+/// use simos::guest::AsmOs;
+/// use simos::syscall::nr;
+///
+/// let mut asm = Asm::new(0x1_0000);
+/// asm.sys1(nr::EXIT, 0); // exit(0)
+/// assert!(asm.assemble().is_ok());
+/// ```
+pub trait AsmOs {
+    /// Emits `r0 = num; syscall` with whatever is already in `r1..=r5`.
+    fn sys(&mut self, num: u64);
+    /// Emits a syscall with one immediate argument.
+    fn sys1(&mut self, num: u64, a1: i64);
+    /// Emits a syscall with two immediate arguments.
+    fn sys2(&mut self, num: u64, a1: i64, a2: i64);
+    /// Emits a syscall with three immediate arguments.
+    fn sys3(&mut self, num: u64, a1: i64, a2: i64, a3: i64);
+    /// Emits a syscall whose arguments are copied from registers.
+    fn sys_r(&mut self, num: u64, args: &[Reg]);
+}
+
+impl AsmOs for Asm {
+    fn sys(&mut self, num: u64) {
+        self.movi(R0, num as i64);
+        self.syscall();
+    }
+
+    fn sys1(&mut self, num: u64, a1: i64) {
+        self.movi(R1, a1);
+        self.sys(num);
+    }
+
+    fn sys2(&mut self, num: u64, a1: i64, a2: i64) {
+        self.movi(R1, a1);
+        self.movi(R2, a2);
+        self.sys(num);
+    }
+
+    fn sys3(&mut self, num: u64, a1: i64, a2: i64, a3: i64) {
+        self.movi(R1, a1);
+        self.movi(R2, a2);
+        self.movi(R3, a3);
+        self.sys(num);
+    }
+
+    fn sys_r(&mut self, num: u64, args: &[Reg]) {
+        let dst = [R1, R2, R3, R4, R5];
+        assert!(args.len() <= dst.len(), "at most five syscall arguments");
+        // Copy via scratch-free pairwise moves; callers must not pass
+        // destination registers that would be clobbered before being read
+        // (keep sources in r6+ by convention).
+        for (i, &src) in args.iter().enumerate() {
+            if src != dst[i] {
+                self.mov(dst[i], src);
+            }
+        }
+        self.sys(num);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcpu::isa::{Inst, R6, R7};
+
+    #[test]
+    fn sys_emits_number_then_trap() {
+        let mut a = Asm::new(0);
+        a.sys(9);
+        let bytes = a.assemble().unwrap();
+        let i0 = Inst::decode(bytes[0..16].try_into().unwrap()).unwrap();
+        let i1 = Inst::decode(bytes[16..32].try_into().unwrap()).unwrap();
+        assert_eq!(i0, Inst::Movi { rd: R0, imm: 9 });
+        assert_eq!(i1, Inst::Syscall);
+    }
+
+    #[test]
+    fn sys_r_skips_noop_moves() {
+        let mut a = Asm::new(0);
+        a.sys_r(3, &[R1, R6, R7]);
+        // r1 is already in place: expect 2 movs + movi + syscall = 4 insts.
+        assert_eq!(a.len(), 4);
+    }
+}

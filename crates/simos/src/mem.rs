@@ -1,0 +1,479 @@
+//! Per-process virtual memory: mapped areas backed by sparse 4 KiB pages.
+//!
+//! The address space is the bulk of a checkpoint image. As in the paper,
+//! only the non-zero pages are saved: untouched demand-zero pages cost
+//! nothing on disk and are recreated implicitly at restore.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::rc::Rc;
+
+use simcpu::mem::{MemFault, Memory};
+
+/// Page size in bytes.
+pub const PAGE_SIZE: u64 = 4096;
+
+/// What backs a mapped area.
+#[derive(Debug, Clone)]
+pub enum AreaBacking {
+    /// Private demand-zero pages.
+    Private,
+    /// A System-V shared-memory segment, shared between processes.
+    Shared(SharedSeg),
+}
+
+/// A shared-memory segment handle (contents shared by all attachments).
+#[derive(Debug, Clone)]
+pub struct SharedSeg {
+    /// Segment id, as returned by `shmget`.
+    pub id: u64,
+    /// The shared bytes.
+    pub data: Rc<RefCell<Vec<u8>>>,
+}
+
+impl SharedSeg {
+    /// Creates a zero-filled segment.
+    pub fn new(id: u64, size: usize) -> Self {
+        SharedSeg {
+            id,
+            data: Rc::new(RefCell::new(vec![0; size])),
+        }
+    }
+
+    /// Size in bytes.
+    pub fn len(&self) -> usize {
+        self.data.borrow().len()
+    }
+
+    /// Returns true for an empty segment.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// A mapped region of the address space.
+#[derive(Debug, Clone)]
+pub struct VmArea {
+    /// First byte address (page aligned).
+    pub start: u64,
+    /// Length in bytes (page aligned).
+    pub len: u64,
+    /// Backing store.
+    pub backing: AreaBacking,
+    /// Human-readable tag (`text`, `data`, `stack`, `heap`, `shm`).
+    pub tag: String,
+}
+
+impl VmArea {
+    /// One-past-the-end address.
+    pub fn end(&self) -> u64 {
+        self.start + self.len
+    }
+
+    /// True if `addr` falls inside the area.
+    pub fn contains(&self, addr: u64) -> bool {
+        addr >= self.start && addr < self.end()
+    }
+}
+
+/// A process address space.
+///
+/// # Examples
+///
+/// ```
+/// use simos::mem::AddressSpace;
+/// use simcpu::mem::Memory;
+///
+/// let mut space = AddressSpace::new();
+/// space.map(0x1000, 0x2000, "data").unwrap();
+/// space.store_u64(0x1008, 42).unwrap();
+/// assert_eq!(space.load_u64(0x1008).unwrap(), 42);
+/// assert!(space.load_u64(0x5000).is_err(), "unmapped access faults");
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct AddressSpace {
+    areas: Vec<VmArea>,
+    /// Private pages, keyed by page-aligned address.
+    pages: BTreeMap<u64, Box<[u8]>>,
+    /// Pages written since the last [`AddressSpace::clear_dirty`] — the
+    /// book-keeping incremental checkpointing consumes.
+    dirty: std::collections::BTreeSet<u64>,
+}
+
+/// Error mapping a region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MapError {
+    /// The requested range overlaps an existing area.
+    Overlap,
+    /// Start or length is not page aligned, or length is zero.
+    BadAlignment,
+}
+
+impl fmt::Display for MapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MapError::Overlap => write!(f, "mapping overlaps an existing area"),
+            MapError::BadAlignment => write!(f, "mapping not page aligned or empty"),
+        }
+    }
+}
+
+impl std::error::Error for MapError {}
+
+impl AddressSpace {
+    /// Creates an empty address space.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Maps a private demand-zero area.
+    ///
+    /// # Errors
+    ///
+    /// [`MapError`] on misalignment or overlap with an existing area.
+    pub fn map(&mut self, start: u64, len: u64, tag: &str) -> Result<(), MapError> {
+        self.map_area(start, len, AreaBacking::Private, tag)
+    }
+
+    /// Maps a shared segment at `start`.
+    ///
+    /// # Errors
+    ///
+    /// [`MapError`] on misalignment or overlap.
+    pub fn map_shared(&mut self, start: u64, seg: SharedSeg, tag: &str) -> Result<(), MapError> {
+        let len = (seg.len() as u64).div_ceil(PAGE_SIZE) * PAGE_SIZE;
+        self.map_area(start, len, AreaBacking::Shared(seg), tag)
+    }
+
+    fn map_area(&mut self, start: u64, len: u64, backing: AreaBacking, tag: &str) -> Result<(), MapError> {
+        if len == 0 || !start.is_multiple_of(PAGE_SIZE) || !len.is_multiple_of(PAGE_SIZE) {
+            return Err(MapError::BadAlignment);
+        }
+        let end = start + len;
+        if self.areas.iter().any(|a| start < a.end() && a.start < end) {
+            return Err(MapError::Overlap);
+        }
+        self.areas.push(VmArea {
+            start,
+            len,
+            backing,
+            tag: tag.to_owned(),
+        });
+        self.areas.sort_by_key(|a| a.start);
+        Ok(())
+    }
+
+    /// Unmaps the area starting at `start`, dropping its private pages.
+    /// Returns true if an area was removed.
+    pub fn unmap(&mut self, start: u64) -> bool {
+        let Some(pos) = self.areas.iter().position(|a| a.start == start) else {
+            return false;
+        };
+        let area = self.areas.remove(pos);
+        let keys: Vec<u64> = self
+            .pages
+            .range(area.start..area.end())
+            .map(|(&k, _)| k)
+            .collect();
+        for k in keys {
+            self.pages.remove(&k);
+        }
+        true
+    }
+
+    /// The mapped areas, sorted by start address.
+    pub fn areas(&self) -> &[VmArea] {
+        &self.areas
+    }
+
+    /// Finds the area containing `addr`.
+    pub fn area_for(&self, addr: u64) -> Option<&VmArea> {
+        self.areas.iter().find(|a| a.contains(addr))
+    }
+
+    /// Iterates over the resident private pages (page address, contents),
+    /// skipping pages that are entirely zero — the checkpoint's page set.
+    pub fn nonzero_pages(&self) -> impl Iterator<Item = (u64, &[u8])> {
+        self.pages
+            .iter()
+            .filter(|(_, p)| p.iter().any(|&b| b != 0))
+            .map(|(&a, p)| (a, &p[..]))
+    }
+
+    /// Number of resident private pages (zero or not).
+    pub fn resident_pages(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Installs page contents directly (used by program loading and restore).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `page_addr` is not page aligned or `data` is longer than a
+    /// page.
+    pub fn install_page(&mut self, page_addr: u64, data: &[u8]) {
+        assert_eq!(page_addr % PAGE_SIZE, 0, "page address must be aligned");
+        assert!(data.len() <= PAGE_SIZE as usize, "page data too long");
+        let mut page = vec![0u8; PAGE_SIZE as usize].into_boxed_slice();
+        page[..data.len()].copy_from_slice(data);
+        self.pages.insert(page_addr, page);
+        self.dirty.insert(page_addr);
+    }
+
+    /// Pages written since the last [`AddressSpace::clear_dirty`], with
+    /// their current contents (zero-filled pages included — a page that
+    /// *became* zero must still appear in an incremental image).
+    pub fn dirty_pages(&self) -> impl Iterator<Item = (u64, &[u8])> {
+        self.dirty
+            .iter()
+            .filter_map(|&a| self.pages.get(&a).map(|p| (a, &p[..])))
+    }
+
+    /// Number of dirty pages.
+    pub fn dirty_count(&self) -> usize {
+        self.dirty.len()
+    }
+
+    /// Resets dirty tracking (called when a checkpoint captures the space).
+    pub fn clear_dirty(&mut self) {
+        self.dirty.clear();
+    }
+
+    /// Bulk-writes `data` at `addr` ignoring area bounds checks per byte
+    /// (still requires the whole range to be mapped). Convenience for
+    /// loaders.
+    ///
+    /// # Errors
+    ///
+    /// Returns the fault of the first unmapped byte.
+    pub fn write_bytes(&mut self, addr: u64, data: &[u8]) -> Result<(), MemFault> {
+        self.store(addr, data)
+    }
+
+    /// Reads `len` bytes at `addr` into a fresh buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns the fault of the first unmapped byte.
+    pub fn read_bytes(&mut self, addr: u64, len: usize) -> Result<Vec<u8>, MemFault> {
+        let mut buf = vec![0u8; len];
+        self.load(addr, &mut buf)?;
+        Ok(buf)
+    }
+
+    /// Total mapped bytes across areas.
+    pub fn mapped_bytes(&self) -> u64 {
+        self.areas.iter().map(|a| a.len).sum()
+    }
+
+    fn page_of(&mut self, page_addr: u64) -> &mut Box<[u8]> {
+        self.pages
+            .entry(page_addr)
+            .or_insert_with(|| vec![0u8; PAGE_SIZE as usize].into_boxed_slice())
+    }
+
+    /// Performs an access of `len` bytes at `addr`, calling `f` for each
+    /// (area-validated) page-chunk.
+    fn walk<F>(&mut self, addr: u64, len: usize, write: bool, mut f: F) -> Result<(), MemFault>
+    where
+        F: FnMut(&mut AddressSpace, u64, usize, usize),
+    {
+        if len == 0 {
+            return Ok(());
+        }
+        // Validate the whole range against areas first.
+        let mut cursor = addr;
+        let end = addr.checked_add(len as u64).ok_or(MemFault { addr, write })?;
+        while cursor < end {
+            let area = self
+                .area_for(cursor)
+                .ok_or(MemFault { addr: cursor, write })?;
+            cursor = area.end().min(end);
+        }
+        // Then perform page-wise.
+        let mut off = 0usize;
+        while off < len {
+            let a = addr + off as u64;
+            let page_addr = a & !(PAGE_SIZE - 1);
+            let in_page = (a - page_addr) as usize;
+            let chunk = ((PAGE_SIZE as usize) - in_page).min(len - off);
+            f(self, a, off, chunk);
+            off += chunk;
+        }
+        Ok(())
+    }
+}
+
+impl Memory for AddressSpace {
+    fn load(&mut self, addr: u64, buf: &mut [u8]) -> Result<(), MemFault> {
+        let len = buf.len();
+        // Collect chunks via walk; we need interior mutability workaround:
+        // gather into a temp vec of (offset, data).
+        let mut out = vec![0u8; len];
+        self.walk(addr, len, false, |space, a, off, chunk| {
+            let area = space.area_for(a).expect("validated").clone();
+            match &area.backing {
+                AreaBacking::Private => {
+                    let page_addr = a & !(PAGE_SIZE - 1);
+                    if let Some(page) = space.pages.get(&page_addr) {
+                        let in_page = (a - page_addr) as usize;
+                        out[off..off + chunk].copy_from_slice(&page[in_page..in_page + chunk]);
+                    }
+                    // else: demand-zero, already zeroed
+                }
+                AreaBacking::Shared(seg) => {
+                    let data = seg.data.borrow();
+                    let rel = (a - area.start) as usize;
+                    let take = chunk.min(data.len().saturating_sub(rel));
+                    out[off..off + take].copy_from_slice(&data[rel..rel + take]);
+                }
+            }
+        })?;
+        buf.copy_from_slice(&out);
+        Ok(())
+    }
+
+    fn store(&mut self, addr: u64, data: &[u8]) -> Result<(), MemFault> {
+        let owned: Vec<u8> = data.to_vec();
+        self.walk(addr, data.len(), true, |space, a, off, chunk| {
+            let area = space.area_for(a).expect("validated").clone();
+            match &area.backing {
+                AreaBacking::Private => {
+                    let page_addr = a & !(PAGE_SIZE - 1);
+                    let in_page = (a - page_addr) as usize;
+                    let page = space.page_of(page_addr);
+                    page[in_page..in_page + chunk].copy_from_slice(&owned[off..off + chunk]);
+                    space.dirty.insert(page_addr);
+                }
+                AreaBacking::Shared(seg) => {
+                    let mut d = seg.data.borrow_mut();
+                    let rel = (a - area.start) as usize;
+                    let take = chunk.min(d.len().saturating_sub(rel));
+                    d[rel..rel + take].copy_from_slice(&owned[off..off + take]);
+                }
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn demand_zero_reads() {
+        let mut s = AddressSpace::new();
+        s.map(0x1000, PAGE_SIZE, "data").unwrap();
+        assert_eq!(s.load_u64(0x1000).unwrap(), 0);
+        assert_eq!(s.resident_pages(), 0, "reads do not allocate");
+    }
+
+    #[test]
+    fn store_allocates_and_round_trips() {
+        let mut s = AddressSpace::new();
+        s.map(0x1000, PAGE_SIZE * 4, "data").unwrap();
+        s.store_u64(0x2ff8, 0x1122334455667788).unwrap();
+        assert_eq!(s.load_u64(0x2ff8).unwrap(), 0x1122334455667788);
+        assert_eq!(s.resident_pages(), 1);
+    }
+
+    #[test]
+    fn cross_page_access() {
+        let mut s = AddressSpace::new();
+        s.map(0x1000, PAGE_SIZE * 2, "data").unwrap();
+        // Write across a page boundary.
+        s.store_u64(0x1ffc, u64::MAX).unwrap();
+        assert_eq!(s.load_u64(0x1ffc).unwrap(), u64::MAX);
+        assert_eq!(s.resident_pages(), 2);
+    }
+
+    #[test]
+    fn cross_area_contiguous_access_works() {
+        let mut s = AddressSpace::new();
+        s.map(0x1000, PAGE_SIZE, "a").unwrap();
+        s.map(0x1000 + PAGE_SIZE, PAGE_SIZE, "b").unwrap();
+        s.store_u64(0x1000 + PAGE_SIZE - 4, 7).unwrap();
+        assert_eq!(s.load_u64(0x1000 + PAGE_SIZE - 4).unwrap(), 7);
+    }
+
+    #[test]
+    fn unmapped_access_faults() {
+        let mut s = AddressSpace::new();
+        s.map(0x1000, PAGE_SIZE, "data").unwrap();
+        let err = s.store_u64(0x1000 + PAGE_SIZE - 4, 7).unwrap_err();
+        assert!(err.write);
+        assert!(s.load_u64(0x8000).is_err());
+    }
+
+    #[test]
+    fn map_validation() {
+        let mut s = AddressSpace::new();
+        assert_eq!(s.map(0x1001, PAGE_SIZE, "x"), Err(MapError::BadAlignment));
+        assert_eq!(s.map(0x1000, 100, "x"), Err(MapError::BadAlignment));
+        assert_eq!(s.map(0x1000, 0, "x"), Err(MapError::BadAlignment));
+        s.map(0x1000, PAGE_SIZE * 2, "x").unwrap();
+        assert_eq!(s.map(0x1000 + PAGE_SIZE, PAGE_SIZE, "y"), Err(MapError::Overlap));
+    }
+
+    #[test]
+    fn unmap_frees_pages() {
+        let mut s = AddressSpace::new();
+        s.map(0x1000, PAGE_SIZE, "x").unwrap();
+        s.store_u8(0x1000, 1).unwrap();
+        assert!(s.unmap(0x1000));
+        assert_eq!(s.resident_pages(), 0);
+        assert!(s.load_u8(0x1000).is_err());
+        assert!(!s.unmap(0x1000));
+    }
+
+    #[test]
+    fn nonzero_pages_skips_zero_pages() {
+        let mut s = AddressSpace::new();
+        s.map(0x1000, PAGE_SIZE * 3, "x").unwrap();
+        s.store_u8(0x1000, 0).unwrap(); // resident but zero
+        s.store_u8(0x2000, 9).unwrap(); // nonzero
+        let pages: Vec<u64> = s.nonzero_pages().map(|(a, _)| a).collect();
+        assert_eq!(pages, vec![0x2000]);
+    }
+
+    #[test]
+    fn dirty_tracking_follows_writes() {
+        let mut s = AddressSpace::new();
+        s.map(0x1000, PAGE_SIZE * 4, "x").unwrap();
+        assert_eq!(s.dirty_count(), 0);
+        s.store_u64(0x1000, 1).unwrap();
+        s.store_u64(0x3000, 2).unwrap();
+        let dirty: Vec<u64> = s.dirty_pages().map(|(a, _)| a).collect();
+        assert_eq!(dirty, vec![0x1000, 0x3000]);
+        s.clear_dirty();
+        assert_eq!(s.dirty_count(), 0);
+        // Overwriting with zero still dirties (the page changed).
+        s.store_u64(0x1000, 0).unwrap();
+        assert_eq!(s.dirty_count(), 1);
+        // Reads do not dirty.
+        let _ = s.load_u64(0x2000).unwrap();
+        assert_eq!(s.dirty_count(), 1);
+    }
+
+    #[test]
+    fn shared_segment_visible_across_spaces() {
+        let seg = SharedSeg::new(1, PAGE_SIZE as usize);
+        let mut a = AddressSpace::new();
+        let mut b = AddressSpace::new();
+        a.map_shared(0x10000, seg.clone(), "shm").unwrap();
+        b.map_shared(0x20000, seg, "shm").unwrap();
+        a.store_u64(0x10008, 777).unwrap();
+        assert_eq!(b.load_u64(0x20008).unwrap(), 777);
+    }
+
+    #[test]
+    fn install_page_used_by_loader() {
+        let mut s = AddressSpace::new();
+        s.map(0x1000, PAGE_SIZE, "text").unwrap();
+        s.install_page(0x1000, &[1, 2, 3]);
+        assert_eq!(s.load_u8(0x1000).unwrap(), 1);
+        assert_eq!(s.load_u8(0x1002).unwrap(), 3);
+        assert_eq!(s.load_u8(0x1003).unwrap(), 0);
+    }
+}

@@ -1,0 +1,182 @@
+//! Guest program images and the loader.
+
+use std::fmt;
+
+use crate::mem::{AddressSpace, MapError, PAGE_SIZE};
+
+/// Conventional base address for program text.
+pub const CODE_BASE: u64 = 0x1_0000;
+/// Conventional base address for static data.
+pub const DATA_BASE: u64 = 0x10_0000;
+/// Conventional top of the initial stack.
+pub const STACK_TOP: u64 = 0x4000_0000;
+/// Default stack size.
+pub const STACK_SIZE: u64 = 64 * 1024;
+
+/// A loadable guest program: machine code plus initialized data segments.
+///
+/// # Examples
+///
+/// ```
+/// use simcpu::asm::Asm;
+/// use simos::program::Program;
+///
+/// let mut asm = Asm::new(simos::program::CODE_BASE);
+/// asm.halt();
+/// let prog = Program::from_asm(&asm).unwrap();
+/// assert_eq!(prog.entry, simos::program::CODE_BASE);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Program {
+    /// Machine code bytes.
+    pub code: Vec<u8>,
+    /// Address the code is loaded at.
+    pub code_base: u64,
+    /// Initial program counter.
+    pub entry: u64,
+    /// Initialized data segments: (address, bytes).
+    pub data: Vec<(u64, Vec<u8>)>,
+    /// Extra anonymous mappings: (start, len, tag) — e.g. a large heap.
+    pub extra_maps: Vec<(u64, u64, String)>,
+    /// Top of the initial stack (the stack area lies below it).
+    pub stack_top: u64,
+    /// Stack area size.
+    pub stack_size: u64,
+}
+
+/// Errors loading a program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProgramError {
+    /// The program assembles/loads outside its declared areas.
+    Map(MapError),
+    /// A segment write failed.
+    BadSegment,
+}
+
+impl fmt::Display for ProgramError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProgramError::Map(e) => write!(f, "{e}"),
+            ProgramError::BadSegment => write!(f, "segment write out of bounds"),
+        }
+    }
+}
+
+impl std::error::Error for ProgramError {}
+
+impl From<MapError> for ProgramError {
+    fn from(e: MapError) -> Self {
+        ProgramError::Map(e)
+    }
+}
+
+impl Program {
+    /// Builds a program from assembled code at the conventional layout.
+    ///
+    /// # Errors
+    ///
+    /// Returns the assembler's error if a label was left unbound.
+    pub fn from_asm(asm: &simcpu::asm::Asm) -> Result<Program, simcpu::asm::AsmError> {
+        Ok(Program {
+            code: asm.assemble()?,
+            code_base: asm.base(),
+            entry: asm.base(),
+            data: Vec::new(),
+            extra_maps: Vec::new(),
+            stack_top: STACK_TOP,
+            stack_size: STACK_SIZE,
+        })
+    }
+
+    /// Adds an initialized data segment.
+    pub fn with_data(mut self, addr: u64, bytes: Vec<u8>) -> Program {
+        self.data.push((addr, bytes));
+        self
+    }
+
+    /// Adds an anonymous mapping (demand-zero heap/workspace).
+    pub fn with_map(mut self, start: u64, len: u64, tag: &str) -> Program {
+        self.extra_maps.push((start, len, tag.to_owned()));
+        self
+    }
+
+    /// Maps all areas and installs code and data into `space`. Returns the
+    /// initial stack pointer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProgramError`] on overlapping/unaligned areas.
+    pub fn load_into(&self, space: &mut AddressSpace) -> Result<u64, ProgramError> {
+        let code_len = round_up(self.code.len() as u64);
+        space.map(self.code_base, code_len.max(PAGE_SIZE), "text")?;
+        space
+            .write_bytes(self.code_base, &self.code)
+            .map_err(|_| ProgramError::BadSegment)?;
+        for (addr, bytes) in &self.data {
+            let start = addr & !(PAGE_SIZE - 1);
+            let end = round_up(addr + bytes.len() as u64);
+            // Merge-tolerant: map only if not already covered.
+            if space.area_for(start).is_none() {
+                space.map(start, end - start, "data")?;
+            }
+            space
+                .write_bytes(*addr, bytes)
+                .map_err(|_| ProgramError::BadSegment)?;
+        }
+        for (start, len, tag) in &self.extra_maps {
+            space.map(*start, round_up(*len), tag)?;
+        }
+        let stack_base = self.stack_top - self.stack_size;
+        space.map(stack_base, self.stack_size, "stack")?;
+        Ok(self.stack_top)
+    }
+
+    /// Total initialized bytes (code + data), a lower bound on image size.
+    pub fn initialized_bytes(&self) -> usize {
+        self.code.len() + self.data.iter().map(|(_, b)| b.len()).sum::<usize>()
+    }
+}
+
+fn round_up(v: u64) -> u64 {
+    v.div_ceil(PAGE_SIZE) * PAGE_SIZE
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcpu::asm::Asm;
+    use simcpu::isa::R1;
+    use simcpu::mem::Memory;
+
+    #[test]
+    fn load_places_code_data_stack() {
+        let mut asm = Asm::new(CODE_BASE);
+        asm.movi(R1, 1);
+        asm.halt();
+        let prog = Program::from_asm(&asm)
+            .unwrap()
+            .with_data(DATA_BASE, vec![9, 8, 7])
+            .with_map(0x2000_0000, 8192, "heap");
+        let mut space = AddressSpace::new();
+        let sp = prog.load_into(&mut space).unwrap();
+        assert_eq!(sp, STACK_TOP);
+        assert_eq!(space.load_u8(DATA_BASE).unwrap(), 9);
+        assert_eq!(space.load_u8(CODE_BASE).unwrap(), asm.assemble().unwrap()[0]);
+        assert!(space.area_for(0x2000_0000).is_some());
+        assert!(space.area_for(STACK_TOP - 8).is_some());
+        assert_eq!(prog.initialized_bytes(), 32 + 3);
+    }
+
+    #[test]
+    fn data_crossing_mapped_area_is_tolerated() {
+        let mut asm = Asm::new(CODE_BASE);
+        asm.halt();
+        let prog = Program::from_asm(&asm)
+            .unwrap()
+            .with_data(DATA_BASE, vec![1; 100])
+            .with_data(DATA_BASE + 50, vec![2; 10]);
+        let mut space = AddressSpace::new();
+        prog.load_into(&mut space).unwrap();
+        assert_eq!(space.load_u8(DATA_BASE + 55).unwrap(), 2);
+    }
+}

@@ -1,0 +1,129 @@
+//! System-V-style semaphore sets.
+
+use std::collections::HashMap;
+
+/// A semaphore set identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SemId(pub u64);
+
+/// The kernel semaphore table.
+#[derive(Debug, Clone, Default)]
+pub struct SemTable {
+    sets: HashMap<SemId, Vec<i64>>,
+    by_key: HashMap<u64, SemId>,
+    next: u64,
+}
+
+impl SemTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Gets or creates the set for `key` with `n` semaphores (all zero).
+    pub fn get_or_create(&mut self, key: u64, n: u32) -> SemId {
+        if let Some(&id) = self.by_key.get(&key) {
+            return id;
+        }
+        let id = SemId(self.next);
+        self.next += 1;
+        self.sets.insert(id, vec![0; n as usize]);
+        self.by_key.insert(key, id);
+        id
+    }
+
+    /// Restores a set with explicit values (restore path). The key is
+    /// re-registered so `semget` after restart finds the same set.
+    pub fn restore(&mut self, key: u64, values: Vec<i64>) -> SemId {
+        let id = SemId(self.next);
+        self.next += 1;
+        self.sets.insert(id, values);
+        self.by_key.insert(key, id);
+        id
+    }
+
+    /// Current value of one semaphore.
+    pub fn value(&self, id: SemId, idx: u32) -> Option<i64> {
+        self.sets.get(&id)?.get(idx as usize).copied()
+    }
+
+    /// All values of a set (for checkpointing).
+    pub fn values(&self, id: SemId) -> Option<&[i64]> {
+        self.sets.get(&id).map(|v| &v[..])
+    }
+
+    /// The key a set was created under, if any (for checkpointing).
+    pub fn key_of(&self, id: SemId) -> Option<u64> {
+        self.by_key
+            .iter()
+            .find_map(|(&k, &v)| (v == id).then_some(k))
+    }
+
+    /// Applies `delta` if it would not drive the value negative.
+    /// Returns `Some(new_value)` on success, `None` when the caller must
+    /// block (decrement of a zero semaphore).
+    pub fn try_op(&mut self, id: SemId, idx: u32, delta: i64) -> Option<i64> {
+        let v = self.sets.get_mut(&id)?.get_mut(idx as usize)?;
+        let next = *v + delta;
+        if next < 0 {
+            return None;
+        }
+        *v = next;
+        Some(next)
+    }
+
+    /// Removes a set.
+    pub fn remove(&mut self, id: SemId) {
+        self.sets.remove(&id);
+        self.by_key.retain(|_, &mut v| v != id);
+    }
+
+    /// Iterates over the sets (for checkpointing).
+    pub fn iter(&self) -> impl Iterator<Item = (SemId, &[i64])> {
+        self.sets.iter().map(|(&id, v)| (id, &v[..]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn key_identity() {
+        let mut t = SemTable::new();
+        let a = t.get_or_create(42, 2);
+        let b = t.get_or_create(42, 5);
+        assert_eq!(a, b, "same key, same set");
+        assert_eq!(t.values(a).unwrap().len(), 2, "first creation wins");
+        let c = t.get_or_create(43, 1);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn ops_block_at_zero() {
+        let mut t = SemTable::new();
+        let id = t.get_or_create(1, 1);
+        assert_eq!(t.try_op(id, 0, -1), None, "P on zero blocks");
+        assert_eq!(t.try_op(id, 0, 1), Some(1));
+        assert_eq!(t.try_op(id, 0, -1), Some(0));
+    }
+
+    #[test]
+    fn restore_reinstates_key_and_values() {
+        let mut t = SemTable::new();
+        let id = t.restore(99, vec![3, 1]);
+        assert_eq!(t.get_or_create(99, 7), id);
+        assert_eq!(t.values(id).unwrap(), &[3, 1]);
+        assert_eq!(t.key_of(id), Some(99));
+    }
+
+    #[test]
+    fn remove_clears_key() {
+        let mut t = SemTable::new();
+        let id = t.get_or_create(5, 1);
+        t.remove(id);
+        assert_eq!(t.value(id, 0), None);
+        let id2 = t.get_or_create(5, 1);
+        assert_ne!(id, id2);
+    }
+}

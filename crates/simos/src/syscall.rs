@@ -1,0 +1,126 @@
+//! The system-call interface between guest programs and the kernel.
+//!
+//! Calling convention: the guest places the syscall number in `r0` and the
+//! arguments in `r1..=r5`, executes the `syscall` instruction, and receives
+//! the result in `r0` (negative values encode [`crate::error::Errno`]).
+//!
+//! The [`SyscallHook`] trait is the kernel's module-interposition point —
+//! the analogue of the syscall-table wrapping the paper's Zap kernel module
+//! performs. The hook sees every syscall before the kernel does and may
+//! pass it through, rewrite its arguments (e.g. `bind` to the pod VIF
+//! address, §4.2), or service it entirely (e.g. `recv` from the restore-time
+//! alternate buffer, §4.1).
+
+use crate::kernel::Kernel;
+use crate::proc::Pid;
+
+/// Syscall numbers.
+pub mod nr {
+    /// `exit(code)` — terminate the calling process.
+    pub const EXIT: u64 = 0;
+    /// `log(buf, len)` — write a line to the process console.
+    pub const LOG: u64 = 1;
+    /// `getpid() -> pid`.
+    pub const GETPID: u64 = 2;
+    /// `sleep(ns)` — block for a duration.
+    pub const SLEEP: u64 = 3;
+    /// `time() -> ns` — current simulated time.
+    pub const TIME: u64 = 4;
+    /// `yield()` — relinquish the CPU.
+    pub const YIELD: u64 = 5;
+    /// `open(path_ptr, path_len, flags) -> fd` (flags: 1 = create/truncate).
+    pub const OPEN: u64 = 6;
+    /// `close(fd)`.
+    pub const CLOSE: u64 = 7;
+    /// `read(fd, buf, len) -> n` — file, pipe or socket.
+    pub const READ: u64 = 8;
+    /// `write(fd, buf, len) -> n` — file, pipe, socket or console.
+    pub const WRITE: u64 = 9;
+    /// `pipe(fds_ptr)` — writes read fd then write fd as two u64s.
+    pub const PIPE: u64 = 10;
+    /// `socket(proto) -> fd` (0 = TCP, 1 = UDP).
+    pub const SOCKET: u64 = 11;
+    /// `bind(fd, ip, port)`.
+    pub const BIND: u64 = 12;
+    /// `listen(fd, backlog)`.
+    pub const LISTEN: u64 = 13;
+    /// `accept(fd) -> fd`.
+    pub const ACCEPT: u64 = 14;
+    /// `connect(fd, ip, port)`.
+    pub const CONNECT: u64 = 15;
+    /// `send(fd, buf, len) -> n`.
+    pub const SEND: u64 = 16;
+    /// `recv(fd, buf, len) -> n` (0 = EOF).
+    pub const RECV: u64 = 17;
+    /// `setsockopt(fd, opt, val)` (opt 1 = NODELAY, 2 = CORK).
+    pub const SETSOCKOPT: u64 = 18;
+    /// `getsockopt(fd, opt) -> val`.
+    pub const GETSOCKOPT: u64 = 19;
+    /// `kill(pid, sig)`.
+    pub const KILL: u64 = 20;
+    /// `shmget(key, size) -> shmid`.
+    pub const SHMGET: u64 = 21;
+    /// `shmat(shmid, addr) -> addr`.
+    pub const SHMAT: u64 = 22;
+    /// `semget(key, n) -> semid`.
+    pub const SEMGET: u64 = 23;
+    /// `semop(semid, idx, delta)` — blocks if the op would go negative.
+    pub const SEMOP: u64 = 24;
+    /// `spawn(entry, stack_top, arg) -> pid` — thread sharing memory/fds.
+    pub const SPAWN: u64 = 25;
+    /// `waitpid(pid) -> exit_code`.
+    pub const WAITPID: u64 = 26;
+    /// `ioctl(fd, req, ptr)`.
+    pub const IOCTL: u64 = 27;
+    /// `sendto(fd, ip, port, buf, len)` — UDP.
+    pub const SENDTO: u64 = 28;
+    /// `recvfrom(fd, buf, len, src_ptr) -> n` — UDP; writes ip,port u64s.
+    pub const RECVFROM: u64 = 29;
+    /// `fork() -> pid` — clone the process: copied address space, shared
+    /// open objects (pipes/sockets stay open while any copy references
+    /// them). Returns the child pid in the parent and 0 in the child.
+    pub const FORK: u64 = 30;
+}
+
+/// `ioctl` request codes.
+pub mod ioctl {
+    /// `SIOCGIFHWADDR`: write the interface hardware address (6 bytes,
+    /// zero-extended to a u64) to the pointer argument. The Zap layer
+    /// intercepts this to return the pod's *fake* MAC (§4.2).
+    pub const SIOCGIFHWADDR: u64 = 0x8927;
+    /// `SIOCGIFADDR`: write the interface IPv4 address (u64) to the pointer.
+    pub const SIOCGIFADDR: u64 = 0x8915;
+}
+
+/// Signal numbers.
+pub mod sig {
+    /// Terminate immediately.
+    pub const SIGKILL: u64 = 9;
+    /// Freeze the process (checkpoint uses this, like the paper's Zap).
+    pub const SIGSTOP: u64 = 19;
+    /// Resume a stopped process.
+    pub const SIGCONT: u64 = 18;
+    /// Polite termination (same effect as SIGKILL here).
+    pub const SIGTERM: u64 = 15;
+}
+
+/// A hook's decision about an intercepted syscall.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HookDecision {
+    /// Let the kernel handle the call unchanged.
+    Pass,
+    /// Let the kernel handle the call with rewritten arguments.
+    PassArgs([u64; 5]),
+    /// The hook fully serviced the call; return this value to the guest.
+    Done(u64),
+}
+
+/// A syscall interposition layer (the "kernel module" slot).
+///
+/// At most one hook is installed per kernel; the Zap layer's interposer
+/// multiplexes per-pod behaviour internally.
+pub trait SyscallHook {
+    /// Inspects (and possibly services) a syscall before the kernel does.
+    fn on_syscall(&mut self, kernel: &mut Kernel, pid: Pid, num: u64, args: [u64; 5])
+        -> HookDecision;
+}

@@ -1,0 +1,172 @@
+//! Guest-visible error semantics: every failure path returns the right
+//! errno instead of wedging or killing the process.
+
+use des::SimTime;
+use simcpu::asm::Asm;
+use simcpu::isa::{R1, R2, R3, R6, R7};
+use simnet::addr::{IpAddr, MacAddr};
+use simnet::tcp::TcpConfig;
+use simnet::NetStack;
+use simos::guest::AsmOs;
+use simos::program::{Program, CODE_BASE, DATA_BASE};
+use simos::syscall::nr;
+use simos::{Disk, DiskParams, Kernel, KernelParams, NetFs, ProcState};
+
+fn kernel() -> Kernel {
+    let net = NetStack::new(
+        MacAddr::from_index(1),
+        IpAddr::from_octets([10, 0, 0, 1]),
+        24,
+        TcpConfig::default(),
+    );
+    Kernel::new(
+        net,
+        NetFs::new(),
+        Disk::new(DiskParams::default()),
+        KernelParams::default(),
+    )
+}
+
+/// Runs `prog` to completion and returns its exit code.
+fn run_exit(prog: &Program) -> u64 {
+    let mut k = kernel();
+    let pid = k.spawn(prog).unwrap();
+    k.run_to_quiescence(SimTime::ZERO, 2_000_000);
+    match k.process(pid).unwrap().state {
+        ProcState::Zombie(code) => code,
+        ref other => panic!("program did not exit: {other:?}"),
+    }
+}
+
+/// Builds a program that runs `body` and exits with `-r0` (the errno) of
+/// the last syscall.
+fn exit_with_negated_r0(mut a: Asm) -> Program {
+    a.mov(R6, simcpu::isa::R0);
+    a.movi(R7, 0);
+    a.sub(R1, R7, R6);
+    a.sys(nr::EXIT);
+    Program::from_asm(&a)
+        .unwrap()
+        .with_data(DATA_BASE, vec![0u8; 4096])
+}
+
+#[test]
+fn read_from_bad_fd_is_ebadf() {
+    let mut a = Asm::new(CODE_BASE);
+    a.sys3(nr::READ, 42, DATA_BASE as i64, 8);
+    assert_eq!(run_exit(&exit_with_negated_r0(a)), 1); // Errno::Badf
+}
+
+#[test]
+fn open_missing_file_is_enoent() {
+    let mut a = Asm::new(CODE_BASE);
+    a.movi(R1, DATA_BASE as i64);
+    a.movi(R2, 2);
+    a.movi(R3, 0); // no create
+    a.sys(nr::OPEN);
+    let p = exit_with_negated_r0(a);
+    let p = Program {
+        data: {
+            let mut d = p.data.clone();
+            d[0].1[..2].copy_from_slice(b"/x");
+            d
+        },
+        ..p
+    };
+    assert_eq!(run_exit(&p), 6); // Errno::NoEnt
+}
+
+#[test]
+fn connect_refused_when_nobody_listens() {
+    let mut a = Asm::new(CODE_BASE);
+    a.sys1(nr::SOCKET, 0);
+    a.mov(R6, simcpu::isa::R0);
+    a.mov(R1, R6);
+    a.movi(R2, IpAddr::from_octets([10, 0, 0, 1]).to_bits() as i64);
+    a.movi(R3, 9999);
+    a.sys(nr::CONNECT);
+    assert_eq!(run_exit(&exit_with_negated_r0(a)), 15); // Errno::ConnRefused
+}
+
+#[test]
+fn write_to_pipe_with_closed_reader_is_epipe() {
+    let fds = DATA_BASE as i64;
+    let mut a = Asm::new(CODE_BASE);
+    a.sys1(nr::PIPE, fds);
+    a.movi(R6, fds);
+    a.ld(R7, R6, 0); // read end
+    a.sys_r(nr::CLOSE, &[R7]);
+    a.ld(R7, R6, 8); // write end
+    a.mov(R1, R7);
+    a.movi(R2, fds);
+    a.movi(R3, 4);
+    a.sys(nr::WRITE);
+    assert_eq!(run_exit(&exit_with_negated_r0(a)), 10); // Errno::Pipe
+}
+
+#[test]
+fn kill_unknown_pid_is_esrch() {
+    let mut a = Asm::new(CODE_BASE);
+    a.sys2(nr::KILL, 4096, 9);
+    assert_eq!(run_exit(&exit_with_negated_r0(a)), 8); // Errno::Srch
+}
+
+#[test]
+fn waitpid_on_nonexistent_child_is_echild() {
+    let mut a = Asm::new(CODE_BASE);
+    a.sys1(nr::WAITPID, 4096);
+    assert_eq!(run_exit(&exit_with_negated_r0(a)), 13); // Errno::Child
+}
+
+#[test]
+fn listen_without_bind_is_einval() {
+    let mut a = Asm::new(CODE_BASE);
+    a.sys1(nr::SOCKET, 0);
+    a.mov(R6, simcpu::isa::R0);
+    a.mov(R1, R6);
+    a.movi(R2, 1);
+    a.sys(nr::LISTEN);
+    assert_eq!(run_exit(&exit_with_negated_r0(a)), 2); // Errno::Inval
+}
+
+#[test]
+fn send_on_non_socket_is_enotsup() {
+    let mut a = Asm::new(CODE_BASE);
+    a.sys3(nr::SEND, 0 /* console */, DATA_BASE as i64, 4);
+    assert_eq!(run_exit(&exit_with_negated_r0(a)), 9); // Errno::NotSup
+}
+
+#[test]
+fn guest_buffer_fault_is_efault_not_a_crash() {
+    // A recv into unmapped memory must fail with EFAULT, not kill the
+    // process or corrupt the kernel.
+    let mut a = Asm::new(CODE_BASE);
+    a.sys2(nr::LOG, 0x7000_0000, 16); // unmapped buffer
+    assert_eq!(run_exit(&exit_with_negated_r0(a)), 7); // Errno::Fault
+}
+
+#[test]
+fn double_close_is_ebadf() {
+    let path = DATA_BASE as i64;
+    let mut a = Asm::new(CODE_BASE);
+    a.sys3(nr::OPEN, path, 2, 1);
+    a.mov(R6, simcpu::isa::R0);
+    a.sys_r(nr::CLOSE, &[R6]);
+    a.sys_r(nr::CLOSE, &[R6]);
+    let mut p = exit_with_negated_r0(a);
+    p.data[0].1[..2].copy_from_slice(b"/f");
+    assert_eq!(run_exit(&p), 1); // Errno::Badf
+}
+
+#[test]
+fn recv_on_fresh_socket_is_einval() {
+    // A TCP socket that never connected has no connection to read.
+    let mut a = Asm::new(CODE_BASE);
+    a.sys1(nr::SOCKET, 0);
+    a.mov(R6, simcpu::isa::R0);
+    a.mov(R1, R6);
+    a.movi(R2, DATA_BASE as i64);
+    a.movi(R3, 8);
+    a.sys(nr::RECV);
+    assert_eq!(run_exit(&exit_with_negated_r0(a)), 2); // Errno::Inval
+}

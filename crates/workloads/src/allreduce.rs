@@ -1,0 +1,166 @@
+//! A ring all-reduce over TCP — the MPI-collective-style communication
+//! pattern the paper's "works for MPI applications without modifying the
+//! library" claim is about. Every rank contributes a value; after a reduce
+//! pass and a broadcast pass around the ring, every rank holds the global
+//! sum and exits with it, so any byte lost or duplicated across a
+//! checkpoint breaks the exit code.
+
+use simcpu::asm::Asm;
+use simcpu::isa::{R1, R11, R12, R6, R7, R8, R9};
+use simnet::addr::{IpAddr, MacAddr};
+use simos::guest::AsmOs;
+use simos::program::{Program, CODE_BASE, DATA_BASE};
+use simos::syscall::nr;
+use zap::image::MacMode;
+
+use crate::common::{emit_accept, emit_connect_retry, emit_listen, emit_recv_exact, emit_send_all};
+
+/// Guest address of the 8-byte message buffer.
+const MSG: i64 = DATA_BASE as i64 + 0x100;
+/// Guest address of the completed-rounds counter.
+pub const ROUND_COUNTER_ADDR: u64 = DATA_BASE;
+
+/// Configuration of a ring all-reduce job.
+#[derive(Debug, Clone)]
+pub struct AllReduceConfig {
+    /// Ranks in the ring.
+    pub ranks: usize,
+    /// Collective rounds to run.
+    pub rounds: u64,
+    /// TCP port of the ring links.
+    pub port: u16,
+}
+
+impl AllReduceConfig {
+    /// The contribution of a rank.
+    pub fn value_of(rank: usize) -> u64 {
+        (rank as u64 + 1) * 10
+    }
+
+    /// The expected global sum (every rank's exit code).
+    pub fn expected_total(&self) -> u64 {
+        (1..=self.ranks as u64).map(|r| r * 10).sum()
+    }
+
+    /// The pod IP of a rank.
+    pub fn rank_ip(&self, rank: usize) -> IpAddr {
+        IpAddr::from_octets([10, 0, 2, (rank + 1) as u8])
+    }
+
+    /// The guest program of one rank.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a ring of fewer than two ranks.
+    pub fn rank_program(&self, rank: usize) -> Program {
+        assert!(self.ranks >= 2, "a ring needs at least two ranks");
+        let right = self.rank_ip((rank + 1) % self.ranks);
+        let own = Self::value_of(rank) as i64;
+        let mut a = Asm::new(CODE_BASE);
+        let fail = a.label();
+        let mismatch = a.label();
+        // r6 = listen fd, r7 = right fd, r8 = left fd, r9 = round,
+        // r11 = scratch value, r12 = pointer scratch.
+        emit_listen(&mut a, self.port, R6);
+        a.sys1(nr::SLEEP, 2_000_000);
+        emit_connect_retry(&mut a, right, self.port, R7);
+        emit_accept(&mut a, R6, R8);
+        a.movi(R9, 0);
+        let round_top = a.label();
+        a.bind(round_top);
+        if rank == 0 {
+            // Reduce: seed the ring with our value...
+            a.movi(R12, MSG);
+            a.movi(R11, own);
+            a.st(R12, R11, 0);
+            emit_send_all(&mut a, R7, MSG, 8, fail);
+            // ...and collect the global sum from the left.
+            emit_recv_exact(&mut a, R8, MSG, 8, fail);
+            // Broadcast it, then absorb the echo.
+            emit_send_all(&mut a, R7, MSG, 8, fail);
+            a.movi(R12, MSG);
+            a.ld(R11, R12, 0); // the total
+            emit_recv_exact(&mut a, R8, MSG, 8, fail);
+            a.movi(R12, MSG);
+            a.ld(R12, R12, 0);
+            a.cmp_ne_jump(R11, R12, mismatch);
+        } else {
+            // Reduce: add our value to the partial sum passing through.
+            emit_recv_exact(&mut a, R8, MSG, 8, fail);
+            a.movi(R12, MSG);
+            a.ld(R11, R12, 0);
+            a.addi(R11, R11, own);
+            a.st(R12, R11, 0);
+            emit_send_all(&mut a, R7, MSG, 8, fail);
+            // Broadcast: receive the total and forward it.
+            emit_recv_exact(&mut a, R8, MSG, 8, fail);
+            a.movi(R12, MSG);
+            a.ld(R11, R12, 0); // the total
+            emit_send_all(&mut a, R7, MSG, 8, fail);
+        }
+        // Round bookkeeping (r11 holds this round's total).
+        a.addi(R9, R9, 1);
+        a.movi(R12, ROUND_COUNTER_ADDR as i64);
+        a.st(R12, R9, 0);
+        a.movi(simcpu::isa::R5, self.rounds as i64);
+        a.cltu(simcpu::isa::R14, R9, simcpu::isa::R5);
+        a.jnz(simcpu::isa::R14, round_top);
+        a.mov(R1, R11);
+        a.sys(nr::EXIT); // exit(total)
+        a.bind(mismatch);
+        a.sys1(nr::EXIT, 7);
+        a.bind(fail);
+        a.sys1(nr::EXIT, 9);
+        Program::from_asm(&a)
+            .expect("allreduce rank assembles")
+            .with_data(DATA_BASE, vec![0u8; 0x1000])
+    }
+
+    /// The job spec: rank `i` on node `i`, coordinator on
+    /// `coordinator_node`.
+    pub fn job_spec(&self, name: &str, coordinator_node: usize) -> cluster::JobSpec {
+        let pods = (0..self.ranks)
+            .map(|r| cluster::PodSpec {
+                name: format!("rank{r}"),
+                ip: self.rank_ip(r),
+                mac_mode: MacMode::Dedicated(MacAddr::from_index(2200 + r as u32)),
+                node: r,
+                programs: vec![self.rank_program(r)],
+            })
+            .collect();
+        cluster::JobSpec {
+            name: name.to_owned(),
+            pods,
+            coordinator_node,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_and_programs() {
+        let cfg = AllReduceConfig {
+            ranks: 4,
+            rounds: 3,
+            port: 7400,
+        };
+        assert_eq!(cfg.expected_total(), 100);
+        for r in 0..4 {
+            assert!(!cfg.rank_program(r).code.is_empty());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two ranks")]
+    fn tiny_ring_rejected() {
+        let cfg = AllReduceConfig {
+            ranks: 1,
+            rounds: 1,
+            port: 7400,
+        };
+        let _ = cfg.rank_program(0);
+    }
+}

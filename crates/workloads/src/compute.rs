@@ -1,0 +1,65 @@
+//! A CPU-bound microbenchmark for the runtime-overhead experiment (§6: the
+//! virtualization layer costs < 0.5 %).
+
+use simcpu::asm::Asm;
+use simcpu::isa::{R1, R6, R7, R8};
+use simos::guest::AsmOs;
+use simos::program::{Program, CODE_BASE};
+use simos::syscall::nr;
+
+/// Configuration of the compute microbenchmark.
+#[derive(Debug, Clone, Copy)]
+pub struct ComputeConfig {
+    /// Outer iterations; each issues one `getpid` syscall (the interposed
+    /// path) and runs the inner arithmetic loop.
+    pub outer: u64,
+    /// Inner arithmetic iterations per outer step.
+    pub inner: u64,
+}
+
+impl Default for ComputeConfig {
+    fn default() -> Self {
+        ComputeConfig {
+            outer: 1_000,
+            inner: 1_000,
+        }
+    }
+}
+
+impl ComputeConfig {
+    /// The program: `outer` rounds of (`inner` adds + one `getpid`), then
+    /// exit with an accumulator-derived code so the work cannot be elided.
+    pub fn program(&self) -> Program {
+        let mut a = Asm::new(CODE_BASE);
+        a.movi(R6, 0); // acc
+        a.movi(R7, 0); // outer counter
+        let outer_top = a.label();
+        a.bind(outer_top);
+        a.movi(R8, 0);
+        let inner_top = a.label();
+        a.bind(inner_top);
+        a.add(R6, R6, R8);
+        a.addi(R8, R8, 1);
+        a.movi(simcpu::isa::R5, self.inner as i64);
+        a.cltu(simcpu::isa::R14, R8, simcpu::isa::R5);
+        a.jnz(simcpu::isa::R14, inner_top);
+        a.sys(nr::GETPID); // the syscall path the hook intercepts
+        a.addi(R7, R7, 1);
+        a.movi(simcpu::isa::R5, self.outer as i64);
+        a.cltu(simcpu::isa::R14, R7, simcpu::isa::R5);
+        a.jnz(simcpu::isa::R14, outer_top);
+        a.remi(R1, R6, 251);
+        a.sys(nr::EXIT);
+        Program::from_asm(&a).expect("compute benchmark assembles")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assembles() {
+        assert!(!ComputeConfig::default().program().code.is_empty());
+    }
+}

@@ -1,0 +1,35 @@
+//! Guest benchmark programs for the Cruz reproduction.
+//!
+//! Everything here is an ordinary application for the simulated OS — built
+//! with the `simcpu` assembler, speaking the `simos` syscall ABI, with *no*
+//! checkpoint awareness whatsoever (that is the point of the paper):
+//!
+//! * [`slm`] — the parallel atmospheric-model stand-in used for Figs. 5(a)
+//!   and 5(b): a ring of ranks with a large resident state and a
+//!   nearest-neighbour TCP halo exchange per timestep;
+//! * [`streaming`] — the maximum-rate TCP stream of Fig. 6;
+//! * [`pingpong`] — a token round-trip pair whose lock-step token values
+//!   make any lost/duplicated/reordered byte after a checkpoint or restart
+//!   immediately visible;
+//! * [`allreduce`] — a ring all-reduce collective, the MPI-style pattern
+//!   behind the paper's "general TCP-based applications (including MPI and
+//!   PVM applications)" claim;
+//! * [`compute`] — the CPU-bound microbenchmark behind the < 0.5 %
+//!   virtualization-overhead claim;
+//! * [`common`] — shared assembly idioms (listen/accept/connect-with-retry,
+//!   exact-count send/receive loops).
+
+#![warn(missing_docs)]
+
+pub mod allreduce;
+pub mod common;
+pub mod compute;
+pub mod pingpong;
+pub mod slm;
+pub mod streaming;
+
+pub use allreduce::AllReduceConfig;
+pub use compute::ComputeConfig;
+pub use pingpong::PingPongConfig;
+pub use slm::SlmConfig;
+pub use streaming::StreamingConfig;

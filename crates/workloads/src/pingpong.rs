@@ -1,0 +1,126 @@
+//! A two-pod token exchange: the strictest correctness check for
+//! checkpoint/restart under live traffic — every round trip must survive,
+//! exactly once, in order.
+
+use simcpu::asm::Asm;
+use simcpu::isa::{R11, R6, R7, R8, R9};
+use simnet::addr::IpAddr;
+use simos::guest::AsmOs;
+use simos::program::{Program, CODE_BASE, DATA_BASE};
+use simos::syscall::nr;
+
+use crate::common::{emit_accept, emit_connect_retry, emit_listen, emit_recv_exact, emit_send_all};
+
+/// Guest address of the 8-byte token buffer.
+const TOKEN: i64 = DATA_BASE as i64 + 0x100;
+/// Guest address of the round-trip progress counter.
+pub const ROUND_COUNTER_ADDR: u64 = DATA_BASE;
+
+/// Configuration of a ping-pong pair.
+#[derive(Debug, Clone)]
+pub struct PingPongConfig {
+    /// The server pod's IP.
+    pub server_ip: IpAddr,
+    /// TCP port.
+    pub port: u16,
+    /// Number of round trips.
+    pub rounds: u64,
+}
+
+impl PingPongConfig {
+    /// The server: accepts, then for each round receives the 8-byte token,
+    /// verifies it equals the round number, increments it and sends it
+    /// back. Exits 0 on success, 7 on a token mismatch.
+    pub fn server_program(&self) -> Program {
+        let mut a = Asm::new(CODE_BASE);
+        let fail = a.label();
+        let mismatch = a.label();
+        emit_listen(&mut a, self.port, R6);
+        emit_accept(&mut a, R6, R7);
+        a.movi(R9, 0); // round
+        let top = a.label();
+        a.bind(top);
+        emit_recv_exact(&mut a, R7, TOKEN, 8, fail);
+        // token must equal 2*round (client sends even values).
+        a.movi(R8, TOKEN);
+        a.ld(R11, R8, 0);
+        a.mov(R8, R9);
+        a.muli(R8, R8, 2);
+        a.cmp_ne_jump(R11, R8, mismatch);
+        // reply with token+1
+        a.addi(R11, R11, 1);
+        a.movi(R8, TOKEN);
+        a.st(R8, R11, 0);
+        emit_send_all(&mut a, R7, TOKEN, 8, fail);
+        a.addi(R9, R9, 1);
+        a.movi(R8, ROUND_COUNTER_ADDR as i64);
+        a.st(R8, R9, 0);
+        a.movi(simcpu::isa::R5, self.rounds as i64);
+        a.cltu(simcpu::isa::R14, R9, simcpu::isa::R5);
+        a.jnz(simcpu::isa::R14, top);
+        a.sys1(nr::EXIT, 0);
+        a.bind(mismatch);
+        a.sys1(nr::EXIT, 7);
+        a.bind(fail);
+        a.sys1(nr::EXIT, 9);
+        Program::from_asm(&a)
+            .expect("pingpong server assembles")
+            .with_data(DATA_BASE, vec![0u8; 0x1000])
+    }
+
+    /// The client: connects, then for each round sends `2*round` and
+    /// expects `2*round + 1` back. Exits 0 on success, 7 on mismatch.
+    pub fn client_program(&self) -> Program {
+        let mut a = Asm::new(CODE_BASE);
+        let fail = a.label();
+        let mismatch = a.label();
+        emit_connect_retry(&mut a, self.server_ip, self.port, R7);
+        a.movi(R9, 0);
+        let top = a.label();
+        a.bind(top);
+        // send 2*round
+        a.mov(R11, R9);
+        a.muli(R11, R11, 2);
+        a.movi(R8, TOKEN);
+        a.st(R8, R11, 0);
+        emit_send_all(&mut a, R7, TOKEN, 8, fail);
+        emit_recv_exact(&mut a, R7, TOKEN, 8, fail);
+        // expect 2*round + 1
+        a.movi(R8, TOKEN);
+        a.ld(R11, R8, 0);
+        a.mov(R8, R9);
+        a.muli(R8, R8, 2);
+        a.addi(R8, R8, 1);
+        a.cmp_ne_jump(R11, R8, mismatch);
+        a.addi(R9, R9, 1);
+        a.movi(R8, ROUND_COUNTER_ADDR as i64);
+        a.st(R8, R9, 0);
+        a.movi(simcpu::isa::R5, self.rounds as i64);
+        a.cltu(simcpu::isa::R14, R9, simcpu::isa::R5);
+        a.jnz(simcpu::isa::R14, top);
+        a.sys1(nr::EXIT, 0);
+        a.bind(mismatch);
+        a.sys1(nr::EXIT, 7);
+        a.bind(fail);
+        a.sys1(nr::EXIT, 9);
+        Program::from_asm(&a)
+            .expect("pingpong client assembles")
+            .with_data(DATA_BASE, vec![0u8; 0x1000])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn programs_assemble() {
+        let cfg = PingPongConfig {
+            server_ip: IpAddr::from_octets([10, 0, 1, 1]),
+            port: 7300,
+            rounds: 100,
+        };
+        assert!(!cfg.server_program().code.is_empty());
+        assert!(!cfg.client_program().code.is_empty());
+    }
+}

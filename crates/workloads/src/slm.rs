@@ -1,0 +1,216 @@
+//! The `slm` benchmark stand-in: a bulk-synchronous parallel computation
+//! with nearest-neighbour exchange over TCP, modelled on the paper's
+//! semi-Lagrangian atmospheric model (§6).
+//!
+//! Each rank holds a large resident state array (which dominates the
+//! checkpoint image, as in the paper), and per timestep: dirties a rotating
+//! window of that state, "computes" for a configurable interval, then
+//! exchanges a halo with its ring neighbours. Compute is modelled as a
+//! sleep so that simulated runs of hundreds of timesteps stay tractable;
+//! see `EXPERIMENTS.md` for the calibration argument.
+
+use simcpu::asm::Asm;
+use simcpu::isa::{R11, R12, R13, R5, R6, R7, R8, R9};
+use simnet::addr::{IpAddr, MacAddr};
+use simos::guest::AsmOs;
+use simos::mem::PAGE_SIZE;
+use simos::program::{Program, CODE_BASE, DATA_BASE};
+use simos::syscall::nr;
+use zap::image::MacMode;
+
+use crate::common::{emit_accept, emit_connect_retry, emit_listen, emit_recv_exact, emit_send_all};
+
+/// Guest address of the resident state array.
+pub const STATE_BASE: u64 = 0x0200_0000;
+/// Guest address of the outgoing halo buffer.
+const SEND_BUF: i64 = DATA_BASE as i64 + 0x2_0000;
+/// Guest address of the incoming halo buffer.
+const RECV_BUF: i64 = DATA_BASE as i64 + 0x4_0000;
+/// Guest address of the iteration-progress counter (sampled by benches).
+pub const ITER_COUNTER_ADDR: u64 = DATA_BASE;
+
+/// Configuration of one slm run.
+#[derive(Debug, Clone)]
+pub struct SlmConfig {
+    /// Number of ranks (pods) in the ring.
+    pub ranks: usize,
+    /// Resident state bytes per rank (the checkpoint payload).
+    pub state_bytes: u64,
+    /// Number of timesteps.
+    pub iters: u64,
+    /// Modelled compute time per timestep, in nanoseconds.
+    pub compute_ns: u64,
+    /// Halo bytes exchanged with each neighbour per timestep.
+    pub halo_bytes: u64,
+    /// Base TCP port for ring links.
+    pub port: u16,
+    /// Extra state bytes per rank index (rank r holds `state_bytes +
+    /// r * state_step_bytes`); non-zero values make local save times
+    /// heterogeneous, which is what the Fig. 4 optimization exploits.
+    pub state_step_bytes: u64,
+}
+
+impl Default for SlmConfig {
+    fn default() -> Self {
+        SlmConfig {
+            ranks: 2,
+            state_bytes: 4 * 1024 * 1024,
+            iters: 50,
+            compute_ns: 5_000_000, // 5 ms per timestep
+            halo_bytes: 8 * 1024,
+            port: 7100,
+            state_step_bytes: 0,
+        }
+    }
+}
+
+impl SlmConfig {
+    /// The pod IP of a rank.
+    pub fn rank_ip(&self, rank: usize) -> IpAddr {
+        IpAddr::from_octets([10, 0, 1, (rank + 1) as u8])
+    }
+
+    /// The program of one rank.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is degenerate (zero ranks, halo larger
+    /// than the scratch buffers).
+    pub fn rank_program(&self, rank: usize) -> Program {
+        assert!(self.ranks >= 2, "the ring needs at least two ranks");
+        assert!(rank < self.ranks, "rank out of range");
+        assert!(self.halo_bytes <= 0x2_0000, "halo exceeds scratch buffers");
+        let right = self.rank_ip((rank + 1) % self.ranks);
+        let halo = self.halo_bytes as i64;
+        let rank_state = self.state_bytes + rank as u64 * self.state_step_bytes;
+        let pages = (rank_state / PAGE_SIZE).max(1);
+        // Dirty 16 pages per timestep, rotating through the state.
+        let pages_per_step: i64 = 16.min(pages as i64);
+        let windows = (pages / pages_per_step as u64).max(1) as i64;
+
+        let mut a = Asm::new(CODE_BASE);
+        let fail = a.label();
+        // r6 = listen fd, r7 = right fd, r8 = left fd, r9 = iter.
+        emit_listen(&mut a, self.port, R6);
+        a.sys1(nr::SLEEP, 2_000_000); // let every rank reach listen
+        emit_connect_retry(&mut a, right, self.port, R7);
+        emit_accept(&mut a, R6, R8);
+        a.movi(R9, 0);
+        let iter_top = a.label();
+        a.bind(iter_top);
+        {
+            // Window base: STATE_BASE + (iter % windows) * pages_per_step * 4096.
+            a.mov(R11, R9);
+            a.remi(R11, R11, windows);
+            a.muli(R11, R11, pages_per_step * PAGE_SIZE as i64);
+            a.addi(R11, R11, STATE_BASE as i64);
+            // Dirty the window: one store per page plus a little FP work.
+            a.movi(R12, 0);
+            let touch = a.label();
+            a.bind(touch);
+            a.mov(R13, R12);
+            a.shli(R13, R13, 12);
+            a.add(R13, R13, R11);
+            a.st(R13, R9, 0);
+            a.addi(R12, R12, 1);
+            a.movi(R5, pages_per_step);
+            a.cltu(simcpu::isa::R14, R12, R5);
+            a.jnz(simcpu::isa::R14, touch);
+            // FP: state[0] = sqrt(state[0] * 1.5 + iter)
+            a.ld(R13, R11, 0);
+            a.i2f(R12, R9);
+            a.fadd(R13, R13, R12);
+            a.fsqrt(R13, R13);
+            a.st(R11, R13, 0);
+        }
+        // Modelled compute interval.
+        a.sys1(nr::SLEEP, self.compute_ns as i64);
+        // Halo exchange: send right, receive from left.
+        emit_send_all(&mut a, R7, SEND_BUF, halo, fail);
+        emit_recv_exact(&mut a, R8, RECV_BUF, halo, fail);
+        // Progress counter for external observation.
+        a.addi(R9, R9, 1);
+        a.movi(R12, ITER_COUNTER_ADDR as i64);
+        a.st(R12, R9, 0);
+        a.movi(R5, self.iters as i64);
+        a.cltu(simcpu::isa::R14, R9, R5);
+        a.jnz(simcpu::isa::R14, iter_top);
+        a.sys1(nr::EXIT, 0);
+        a.bind(fail);
+        a.sys1(nr::EXIT, 9);
+
+        // Non-zero resident state so the checkpoint really carries it.
+        let state: Vec<u8> = (0..rank_state).map(|i| (i % 251) as u8 | 1).collect();
+        Program::from_asm(&a)
+            .expect("slm rank assembles")
+            .with_data(DATA_BASE, vec![0u8; 0x1000])
+            .with_data(SEND_BUF as u64, vec![0x33; self.halo_bytes as usize])
+            .with_data(RECV_BUF as u64, vec![0u8; self.halo_bytes as usize])
+            .with_data(STATE_BASE, state)
+    }
+
+    /// Builds the job spec placing rank `i` on node `i`, coordinator on
+    /// `coordinator_node`.
+    pub fn job_spec(&self, name: &str, coordinator_node: usize) -> cluster::JobSpec {
+        let pods = (0..self.ranks)
+            .map(|r| cluster::PodSpec {
+                name: format!("rank{r}"),
+                ip: self.rank_ip(r),
+                mac_mode: MacMode::Dedicated(MacAddr::from_index(2000 + r as u32)),
+                node: r,
+                programs: vec![self.rank_program(r)],
+            })
+            .collect();
+        cluster::JobSpec {
+            name: name.to_owned(),
+            pods,
+            coordinator_node,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rank_programs_assemble_for_various_ring_sizes() {
+        for ranks in [2, 4, 8] {
+            let cfg = SlmConfig {
+                ranks,
+                state_bytes: 64 * 1024,
+                ..SlmConfig::default()
+            };
+            for r in 0..ranks {
+                let p = cfg.rank_program(r);
+                assert!(p.initialized_bytes() as u64 >= cfg.state_bytes);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two ranks")]
+    fn single_rank_rejected() {
+        let cfg = SlmConfig {
+            ranks: 1,
+            ..SlmConfig::default()
+        };
+        let _ = cfg.rank_program(0);
+    }
+
+    #[test]
+    fn job_spec_places_one_rank_per_node() {
+        let cfg = SlmConfig {
+            ranks: 4,
+            state_bytes: 4096,
+            ..SlmConfig::default()
+        };
+        let spec = cfg.job_spec("slm", 4);
+        assert_eq!(spec.pods.len(), 4);
+        assert_eq!(spec.coordinator_node, 4);
+        for (i, p) in spec.pods.iter().enumerate() {
+            assert_eq!(p.node, i);
+            assert_eq!(p.ip, cfg.rank_ip(i));
+        }
+    }
+}

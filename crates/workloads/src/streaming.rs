@@ -1,0 +1,142 @@
+//! The TCP streaming benchmark (paper §6, Fig. 6): one node sends data to
+//! another at maximum rate.
+
+use simcpu::asm::Asm;
+use simcpu::isa::{R0, R1, R2, R3, R6, R7, R8, R9};
+use simnet::addr::IpAddr;
+use simos::guest::AsmOs;
+use simos::program::{Program, CODE_BASE, DATA_BASE};
+use simos::syscall::nr;
+
+use crate::common::{emit_accept, emit_connect_retry, emit_listen};
+
+/// Guest address of the receiver's cumulative byte counter; benchmarks
+/// sample it from the host to compute the received-rate timeline.
+pub const RECV_COUNTER_ADDR: u64 = DATA_BASE;
+
+/// Guest address of the transfer buffer both sides use.
+const BUF_ADDR: i64 = DATA_BASE as i64 + 0x1_0000;
+
+/// Size of each send/recv call.
+const CHUNK: i64 = 64 * 1024;
+
+/// Guest address of the resident filler state.
+const STATE_ADDR: u64 = 0x0300_0000;
+
+fn filler(state_bytes: u64) -> Vec<u8> {
+    (0..state_bytes).map(|i| (i % 249) as u8 | 1).collect()
+}
+
+/// Configuration of a streaming pair.
+#[derive(Debug, Clone)]
+pub struct StreamingConfig {
+    /// Receiver pod IP (the sender connects to it).
+    pub receiver_ip: IpAddr,
+    /// TCP port.
+    pub port: u16,
+    /// Total bytes the sender transmits before closing; `None` streams
+    /// forever.
+    pub total_bytes: Option<u64>,
+    /// Extra resident (non-zero) state each side carries, so checkpoints
+    /// have realistic application payloads (sets the Fig. 6 checkpoint
+    /// window).
+    pub state_bytes: u64,
+}
+
+impl StreamingConfig {
+    /// The sender program: connect, then send as fast as the socket accepts.
+    pub fn sender_program(&self) -> Program {
+        let mut a = Asm::new(CODE_BASE);
+        emit_connect_retry(&mut a, self.receiver_ip, self.port, R6);
+        // r7 = bytes remaining (or effectively infinite).
+        a.movi(R7, self.total_bytes.map(|b| b as i64).unwrap_or(i64::MAX));
+        let top = a.label();
+        let done = a.label();
+        a.bind(top);
+        a.mov(R1, R6);
+        a.movi(R2, BUF_ADDR);
+        // chunk = min(CHUNK, remaining)
+        a.movi(R3, CHUNK);
+        a.cltu(simcpu::isa::R14, R7, R3);
+        let use_chunk = a.label();
+        a.jz(simcpu::isa::R14, use_chunk);
+        a.mov(R3, R7);
+        a.bind(use_chunk);
+        a.sys(nr::SEND);
+        // error → exit(9)
+        a.movi(R8, 1);
+        a.clts(simcpu::isa::R14, R0, R8);
+        let fail = a.label();
+        a.jnz(simcpu::isa::R14, fail);
+        a.sub(R7, R7, R0);
+        a.jnz(R7, top);
+        a.jmp(done);
+        a.bind(fail);
+        a.sys1(nr::EXIT, 9);
+        a.bind(done);
+        a.mov(R1, R6);
+        a.sys(nr::CLOSE);
+        a.sys1(nr::EXIT, 0);
+        Program::from_asm(&a)
+            .expect("streaming sender assembles")
+            .with_data(DATA_BASE, vec![0u8; 0x1_0000])
+            .with_data(BUF_ADDR as u64, vec![0x5a; CHUNK as usize])
+            .with_data(STATE_ADDR, filler(self.state_bytes))
+    }
+
+    /// The receiver program: accept, then drain the stream, maintaining the
+    /// cumulative byte counter at [`RECV_COUNTER_ADDR`]. Exits 0 on orderly
+    /// EOF.
+    pub fn receiver_program(&self) -> Program {
+        let mut a = Asm::new(CODE_BASE);
+        emit_listen(&mut a, self.port, R6);
+        emit_accept(&mut a, R6, R7);
+        a.movi(R8, 0); // cumulative bytes
+        a.movi(R9, RECV_COUNTER_ADDR as i64);
+        let top = a.label();
+        let eof = a.label();
+        a.bind(top);
+        a.mov(R1, R7);
+        a.movi(R2, BUF_ADDR);
+        a.movi(R3, CHUNK);
+        a.sys(nr::RECV);
+        a.jz(R0, eof);
+        // error → exit(9)
+        a.movi(R2, 1);
+        a.clts(simcpu::isa::R14, R0, R2);
+        let fail = a.label();
+        a.jnz(simcpu::isa::R14, fail);
+        a.add(R8, R8, R0);
+        a.st(R9, R8, 0);
+        a.jmp(top);
+        a.bind(fail);
+        a.sys1(nr::EXIT, 9);
+        a.bind(eof);
+        a.sys1(nr::EXIT, 0);
+        Program::from_asm(&a)
+            .expect("streaming receiver assembles")
+            .with_data(DATA_BASE, vec![0u8; 0x1_0000])
+            .with_data(BUF_ADDR as u64, vec![0u8; CHUNK as usize])
+            .with_data(STATE_ADDR, filler(self.state_bytes))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn programs_assemble() {
+        let cfg = StreamingConfig {
+            receiver_ip: IpAddr::from_octets([10, 0, 1, 2]),
+            port: 7200,
+            total_bytes: Some(1_000_000),
+            state_bytes: 4096,
+        };
+        let s = cfg.sender_program();
+        let r = cfg.receiver_program();
+        assert!(!s.code.is_empty());
+        assert!(!r.code.is_empty());
+        assert!(s.initialized_bytes() > CHUNK as usize);
+    }
+}

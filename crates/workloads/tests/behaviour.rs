@@ -1,0 +1,189 @@
+//! Behavioural tests of the workload programs on a real cluster: each
+//! benchmark must do exactly what its harness assumes.
+
+use cluster::{ClusterParams, JobSpec, PodSpec, World};
+use des::SimDuration;
+use simnet::addr::{IpAddr, MacAddr};
+use workloads::pingpong::{PingPongConfig, ROUND_COUNTER_ADDR};
+use workloads::slm::{SlmConfig, ITER_COUNTER_ADDR};
+use workloads::streaming::{StreamingConfig, RECV_COUNTER_ADDR};
+use zap::image::MacMode;
+
+fn counter(w: &World, job: &str, pod: &str, addr: u64) -> u64 {
+    w.peek_guest(job, pod, 1, addr, 8)
+        .map(|b| u64::from_le_bytes(b.try_into().unwrap()))
+        .unwrap_or(0)
+}
+
+#[test]
+fn streaming_transfers_exactly_total_bytes() {
+    let total = 3_333_333u64;
+    let cfg = StreamingConfig {
+        receiver_ip: IpAddr::from_octets([10, 0, 1, 2]),
+        port: 7200,
+        total_bytes: Some(total),
+        state_bytes: 4096,
+    };
+    let spec = JobSpec {
+        name: "stream".into(),
+        coordinator_node: 2,
+        pods: vec![
+            PodSpec {
+                name: "sender".into(),
+                ip: IpAddr::from_octets([10, 0, 1, 1]),
+                mac_mode: MacMode::Dedicated(MacAddr::from_index(2101)),
+                node: 0,
+                programs: vec![cfg.sender_program()],
+            },
+            PodSpec {
+                name: "receiver".into(),
+                ip: cfg.receiver_ip,
+                mac_mode: MacMode::Dedicated(MacAddr::from_index(2102)),
+                node: 1,
+                programs: vec![cfg.receiver_program()],
+            },
+        ],
+    };
+    let mut w = World::new(3, ClusterParams::default());
+    w.launch_job(&spec).unwrap();
+    assert!(w.run_until_pred(20_000_000, |w| w.job_finished("stream")));
+    assert_eq!(w.pod_exit_code("stream", "sender", 1), Some(0));
+    assert_eq!(
+        w.pod_exit_code("stream", "receiver", 1),
+        Some(0),
+        "receiver sees orderly EOF"
+    );
+    assert_eq!(
+        counter(&w, "stream", "receiver", RECV_COUNTER_ADDR),
+        total,
+        "every byte delivered exactly once"
+    );
+}
+
+#[test]
+fn streaming_rate_is_near_line_rate() {
+    let cfg = StreamingConfig {
+        receiver_ip: IpAddr::from_octets([10, 0, 1, 2]),
+        port: 7200,
+        total_bytes: None,
+        state_bytes: 4096,
+    };
+    let spec = JobSpec {
+        name: "stream".into(),
+        coordinator_node: 2,
+        pods: vec![
+            PodSpec {
+                name: "sender".into(),
+                ip: IpAddr::from_octets([10, 0, 1, 1]),
+                mac_mode: MacMode::Dedicated(MacAddr::from_index(2101)),
+                node: 0,
+                programs: vec![cfg.sender_program()],
+            },
+            PodSpec {
+                name: "receiver".into(),
+                ip: cfg.receiver_ip,
+                mac_mode: MacMode::Dedicated(MacAddr::from_index(2102)),
+                node: 1,
+                programs: vec![cfg.receiver_program()],
+            },
+        ],
+    };
+    let mut w = World::new(3, ClusterParams::default());
+    w.launch_job(&spec).unwrap();
+    w.run_for(SimDuration::from_millis(100));
+    let b0 = counter(&w, "stream", "receiver", RECV_COUNTER_ADDR);
+    w.run_for(SimDuration::from_millis(100));
+    let b1 = counter(&w, "stream", "receiver", RECV_COUNTER_ADDR);
+    let mbps = (b1 - b0) as f64 * 8.0 / 0.1 / 1e6;
+    assert!(
+        mbps > 850.0 && mbps < 1000.0,
+        "gigabit link should carry ~960 Mb/s, measured {mbps:.0}"
+    );
+}
+
+#[test]
+fn slm_ring_advances_in_lockstep() {
+    let slm = SlmConfig {
+        ranks: 3,
+        state_bytes: 64 * 1024,
+        iters: 50,
+        compute_ns: 2_000_000,
+        halo_bytes: 1024,
+        port: 7100,
+        state_step_bytes: 0,
+    };
+    let mut w = World::new(4, ClusterParams::default());
+    w.launch_job(&slm.job_spec("slm", 3)).unwrap();
+    w.run_for(SimDuration::from_millis(60));
+    // Mid-run: every rank is within one timestep of its neighbours (the
+    // halo exchange is a synchronisation point).
+    let iters: Vec<u64> = (0..3)
+        .map(|r| counter(&w, "slm", &format!("rank{r}"), ITER_COUNTER_ADDR))
+        .collect();
+    let min = *iters.iter().min().unwrap();
+    let max = *iters.iter().max().unwrap();
+    assert!(min > 0, "the ring is running: {iters:?}");
+    assert!(max - min <= 1, "bulk-synchronous lockstep: {iters:?}");
+    assert!(w.run_until_pred(50_000_000, |w| w.job_finished("slm")));
+    for r in 0..3 {
+        assert_eq!(w.pod_exit_code("slm", &format!("rank{r}"), 1), Some(0));
+        assert_eq!(
+            counter(&w, "slm", &format!("rank{r}"), ITER_COUNTER_ADDR),
+            50
+        );
+    }
+}
+
+#[test]
+fn pingpong_counts_every_round() {
+    let cfg = PingPongConfig {
+        server_ip: IpAddr::from_octets([10, 0, 1, 1]),
+        port: 7300,
+        rounds: 77,
+    };
+    let spec = JobSpec {
+        name: "pp".into(),
+        coordinator_node: 2,
+        pods: vec![
+            PodSpec {
+                name: "server".into(),
+                ip: cfg.server_ip,
+                mac_mode: MacMode::Dedicated(MacAddr::from_index(2001)),
+                node: 0,
+                programs: vec![cfg.server_program()],
+            },
+            PodSpec {
+                name: "client".into(),
+                ip: IpAddr::from_octets([10, 0, 1, 2]),
+                mac_mode: MacMode::Dedicated(MacAddr::from_index(2002)),
+                node: 1,
+                programs: vec![cfg.client_program()],
+            },
+        ],
+    };
+    let mut w = World::new(3, ClusterParams::default());
+    w.launch_job(&spec).unwrap();
+    assert!(w.run_until_pred(20_000_000, |w| w.job_finished("pp")));
+    assert_eq!(counter(&w, "pp", "server", ROUND_COUNTER_ADDR), 77);
+    assert_eq!(counter(&w, "pp", "client", ROUND_COUNTER_ADDR), 77);
+}
+
+#[test]
+fn allreduce_ring_converges_every_round() {
+    use workloads::allreduce::AllReduceConfig;
+    let cfg = AllReduceConfig {
+        ranks: 4,
+        rounds: 25,
+        port: 7400,
+    };
+    let mut w = World::new(5, ClusterParams::default());
+    w.launch_job(&cfg.job_spec("ar", 4)).unwrap();
+    assert!(w.run_until_pred(30_000_000, |w| w.job_finished("ar")));
+    for r in 0..4 {
+        assert_eq!(
+            w.pod_exit_code("ar", &format!("rank{r}"), 1),
+            Some(cfg.expected_total()),
+            "rank {r} holds the global sum"
+        );
+    }
+}

@@ -1,0 +1,31 @@
+//! Pod virtualization and single-node checkpoint/restart — the Zap layer.
+//!
+//! This crate reproduces the substrate the Cruz paper builds on: a thin
+//! virtualization layer ("pods") interposed between applications and an
+//! unmodified OS, plus a comprehensive checkpoint/restart of user-level and
+//! kernel-level state:
+//!
+//! * [`pod`] — pods and virtual-pid namespaces;
+//! * [`interpose`] — the syscall hook (vpid translation, VIF confinement of
+//!   `bind`/`connect`, `SIOCGIFHWADDR` fake-MAC virtualization, alternate
+//!   receive buffers);
+//! * [`image`] — the checkpoint image format with an explicit byte codec;
+//! * [`manager`] — [`manager::Zap`]: pod lifecycle, §4.1 checkpoint (freeze,
+//!   socket-state capture with rewritten sequence numbers and preserved
+//!   packet boundaries, memory/pipe/shm/semaphore extraction) and restart
+//!   (fresh real pids behind stable vpids, send-replay with Nagle/CORK
+//!   disabled, alternate-buffer delivery).
+//!
+//! Distributed coordination lives one layer up, in the `cruz` crate.
+
+#![warn(missing_docs)]
+
+pub mod image;
+pub mod interpose;
+pub mod manager;
+pub mod pod;
+
+pub use image::{MacMode, PodImage};
+pub use interpose::ZapState;
+pub use manager::{Zap, ZapError};
+pub use pod::{Pod, PodConfig, PodId, Vpid};

@@ -1,0 +1,86 @@
+//! Fault tolerance: periodic coordinated checkpoints bound how much work a
+//! node failure can destroy.
+//!
+//! ```sh
+//! cargo run --example fault_tolerance
+//! ```
+
+use cruz_repro::cluster::{ClusterParams, World};
+use cruz_repro::cruz::proto::ProtocolMode;
+use cruz_repro::des::SimDuration;
+use cruz_repro::workloads::slm::{SlmConfig, ITER_COUNTER_ADDR};
+
+fn iteration(world: &World, rank: usize) -> u64 {
+    world
+        .peek_guest("slm", &format!("rank{rank}"), 1, ITER_COUNTER_ADDR, 8)
+        .map(|b| u64::from_le_bytes(b.try_into().unwrap()))
+        .unwrap_or(0)
+}
+
+fn main() {
+    // A four-rank parallel computation with continuous TCP halo exchange.
+    let slm = SlmConfig {
+        ranks: 4,
+        state_bytes: 2 * 1024 * 1024,
+        iters: 400,
+        compute_ns: 2_000_000,
+        halo_bytes: 4096,
+        port: 7100,
+        state_step_bytes: 0,
+    };
+    let params = ClusterParams {
+        prune_old_epochs: true,
+        ..ClusterParams::default()
+    };
+    // Ranks on nodes 0-3, spares on 4-7, coordinator on node 8.
+    let mut world = World::new(9, params);
+    world.launch_job(&slm.job_spec("slm", 8)).expect("launch");
+
+    // Checkpoint every 150 ms of execution.
+    let mut last_epoch = None;
+    for i in 0..3 {
+        world.run_for(SimDuration::from_millis(150));
+        let op = world
+            .start_checkpoint("slm", ProtocolMode::Optimized, None)
+            .expect("checkpoint");
+        assert!(world.run_until_op(op, 50_000_000));
+        println!(
+            "t={} checkpoint {} committed at iteration {}",
+            world.now,
+            i,
+            iteration(&world, 0)
+        );
+        last_epoch = Some(op);
+    }
+
+    // All four application nodes fail at once.
+    world.run_for(SimDuration::from_millis(60));
+    let lost_at = iteration(&world, 0);
+    for n in 0..4 {
+        world.crash_node(n);
+    }
+    println!("t={} nodes 0-3 failed at iteration {}", world.now, lost_at);
+
+    // Recover on the spare nodes from the newest committed epoch.
+    let epoch = last_epoch.unwrap();
+    assert_eq!(world.store("slm").latest_committed_epoch(), Some(epoch));
+    let placement: Vec<(String, usize)> =
+        (0..4).map(|r| (format!("rank{r}"), 4 + r)).collect();
+    let rs = world
+        .start_restart("slm", epoch, &placement, ProtocolMode::Blocking)
+        .expect("restart");
+    assert!(world.run_until_op(rs, 50_000_000));
+    println!(
+        "t={} restarted on nodes 4-7 from iteration {}",
+        world.now,
+        iteration(&world, 0)
+    );
+
+    // The computation completes; every rank exits cleanly (the halo
+    // exchange would wedge or fail loudly had any byte been lost).
+    assert!(world.run_until_pred(200_000_000, |w| w.job_finished("slm")));
+    for r in 0..4 {
+        assert_eq!(world.pod_exit_code("slm", &format!("rank{r}"), 1), Some(0));
+    }
+    println!("t={} all 400 iterations done; every rank exited 0", world.now);
+}

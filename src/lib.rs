@@ -1,0 +1,26 @@
+//! Umbrella crate for the Cruz distributed checkpoint-restart reproduction.
+//!
+//! This crate re-exports the workspace's layers so that examples and
+//! integration tests can depend on a single package:
+//!
+//! * [`des`] — deterministic discrete-event simulation kernel;
+//! * [`simcpu`] — the guest virtual machine applications run on;
+//! * [`simnet`] — Ethernet/ARP/DHCP/IP/UDP/TCP network substrate;
+//! * [`simos`] — the simulated per-node operating system;
+//! * [`zap`] — pod virtualization and single-node checkpoint/restart;
+//! * [`cruz`] — the distributed coordinated checkpoint-restart protocols;
+//! * [`cluster`] — world assembly: nodes, switch, control plane, job manager;
+//! * [`baseline`] — the flush-based coordinated CR comparator;
+//! * [`workloads`] — guest benchmark programs (slm, TCP streaming, …).
+//!
+//! See `README.md` for a tour and `DESIGN.md` for the system inventory.
+
+pub use baseline;
+pub use cluster;
+pub use cruz;
+pub use des;
+pub use simcpu;
+pub use simnet;
+pub use simos;
+pub use workloads;
+pub use zap;
