@@ -1,0 +1,28 @@
+#!/bin/sh
+# The full gate, in fail-fast order: cheap checks first.
+#
+#   1. rustfmt          — formatting drift
+#   2. cruz-lint        — the determinism auditor (see DESIGN.md)
+#   3. release build    — the whole workspace compiles
+#   4. tests            — every suite, including the same-seed
+#                         byte-identical-images regression test
+#
+# Everything runs offline: the only dependencies are the vendored stubs
+# under vendor/ (see DESIGN.md, "Offline builds").
+set -eu
+
+cd "$(dirname "$0")"
+
+echo "== cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "== cruz-lint --workspace"
+cargo run --offline -q -p cruz-lint -- --workspace
+
+echo "== cargo build --release"
+cargo build --offline --release --workspace
+
+echo "== cargo test"
+cargo test --offline --workspace -q
+
+echo "ci: all green"

@@ -146,10 +146,8 @@ impl FlushSim {
                     saved_at[i] = Some(now);
                     // done message back to the coordinator.
                     messages += 1;
-                    let done_arrive = now
-                        + self.ctl_msg_cpu
-                        + self.link.tx_time(64)
-                        + self.link.latency * 2;
+                    let done_arrive =
+                        now + self.ctl_msg_cpu + self.link.tx_time(64) + self.link.latency * 2;
                     if done_arrive > last_saved {
                         last_saved = done_arrive;
                     }

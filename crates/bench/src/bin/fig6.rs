@@ -5,7 +5,10 @@ use bench::fig6::run_fig6;
 fn main() {
     let run = run_fig6(10 * 1024 * 1024, 50, 500, 2, 10);
     println!("# Fig 6: TCP streaming rate across a checkpoint");
-    println!("# checkpoint (local save) window: {:.1} ms", run.checkpoint_ms);
+    println!(
+        "# checkpoint (local save) window: {:.1} ms",
+        run.checkpoint_ms
+    );
     match run.recovery_ms {
         Some(r) => println!("# stream back at >=50% rate: t = {r:.1} ms"),
         None => println!("# stream did not recover in the sampled window"),

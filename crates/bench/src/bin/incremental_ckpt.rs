@@ -103,8 +103,13 @@ fn main() {
         }
     };
 
-    println!("# Incremental checkpointing: {state_mib} MiB resident, ~160 pages dirtied per interval");
-    println!("{:>8} {:>14} {:>14} {:>10}", "epoch", "kind", "bytes", "vs_full%");
+    println!(
+        "# Incremental checkpointing: {state_mib} MiB resident, ~160 pages dirtied per interval"
+    );
+    println!(
+        "{:>8} {:>14} {:>14} {:>10}",
+        "epoch", "kind", "bytes", "vs_full%"
+    );
     run_for(&mut k, &mut now, SimDuration::from_millis(20));
     let full = z.checkpoint_pod(&mut k, pod, now).unwrap();
     z.resume_pod(&mut k, pod, now).unwrap();

@@ -33,11 +33,17 @@ fn main() {
         last = c;
     }
     println!("# Live migration of the streaming receiver (sender untouched)");
-    println!("receiver now on node {}", w.job("stream").unwrap().placement("receiver").unwrap().node);
+    println!(
+        "receiver now on node {}",
+        w.job("stream").unwrap().placement("receiver").unwrap().node
+    );
     println!("bytes before migration: {before}");
     println!("bytes after window:     {last}");
     match resumed_at {
-        Some(d) => println!("delivery resumed {:.1} ms after migration started", d.as_millis_f64()),
+        Some(d) => println!(
+            "delivery resumed {:.1} ms after migration started",
+            d.as_millis_f64()
+        ),
         None => println!("stream did NOT resume (connection lost)"),
     }
     assert!(last > before, "stream must survive the migration");

@@ -10,7 +10,12 @@ fn main() {
         "{:>22} {:>12} {:>12} {:>10}",
         "instr_per_syscall", "bare_s", "pod_s", "overhead%"
     );
-    for (outer, inner) in [(200u64, 50_000u64), (500, 10_000), (2_000, 2_000), (10_000, 200)] {
+    for (outer, inner) in [
+        (200u64, 50_000u64),
+        (500, 10_000),
+        (2_000, 2_000),
+        (10_000, 200),
+    ] {
         let rep = run_overhead(ComputeConfig { outer, inner });
         // inner loop is ~4 instructions per iteration plus loop overhead
         let ips = inner * 4 + 6;

@@ -96,7 +96,8 @@ pub fn run_restart_sweep(n: usize) -> (OpReport, OpReport) {
     // Nodes 0..n run the job; nodes n..2n receive the restart; node 2n
     // hosts the coordinator.
     let mut w = World::new(2 * n + 1, fig5_params());
-    w.launch_job(&slm.job_spec("slm", 2 * n)).expect("launch slm");
+    w.launch_job(&slm.job_spec("slm", 2 * n))
+        .expect("launch slm");
     w.run_for(SimDuration::from_millis(100));
     w.run_for(SimDuration::from_secs(1));
     let ck = w
@@ -109,9 +110,7 @@ pub fn run_restart_sweep(n: usize) -> (OpReport, OpReport) {
     for node in 0..n {
         w.crash_node(node);
     }
-    let placement: Vec<(String, usize)> = (0..n)
-        .map(|r| (format!("rank{r}"), n + r))
-        .collect();
+    let placement: Vec<(String, usize)> = (0..n).map(|r| (format!("rank{r}"), n + r)).collect();
     let rs = w
         .start_restart("slm", ck, &placement, ProtocolMode::Blocking)
         .expect("start restart");
@@ -162,7 +161,10 @@ mod tests {
         assert_eq!(p.reports.len(), 2);
         for lat in p.latencies() {
             let s = lat.as_secs_f64();
-            assert!((0.8..1.4).contains(&s), "latency {s} s outside Fig 5(a) band");
+            assert!(
+                (0.8..1.4).contains(&s),
+                "latency {s} s outside Fig 5(a) band"
+            );
         }
         for ov in p.overheads() {
             assert!(

@@ -134,7 +134,10 @@ pub fn run_fig6(
         let db = bytes.saturating_sub(earlier.1) as f64;
         let rate = if dt > 0.0 { db * 8.0 / dt / 1e6 } else { 0.0 };
         let t_ms = (at.as_nanos() as f64 - t_ckpt.as_nanos() as f64) / 1e6;
-        samples.push(Fig6Sample { t_ms, rate_mbps: rate });
+        samples.push(Fig6Sample {
+            t_ms,
+            rate_mbps: rate,
+        });
     }
 
     // Pre-checkpoint steady rate and recovery point.

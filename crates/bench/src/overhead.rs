@@ -116,8 +116,14 @@ mod tests {
 
     #[test]
     fn syscall_heavy_work_pays_more() {
-        let light = run_overhead(ComputeConfig { outer: 500, inner: 2_000 });
-        let heavy = run_overhead(ComputeConfig { outer: 2_000, inner: 50 });
+        let light = run_overhead(ComputeConfig {
+            outer: 500,
+            inner: 2_000,
+        });
+        let heavy = run_overhead(ComputeConfig {
+            outer: 2_000,
+            inner: 50,
+        });
         assert!(heavy.overhead_percent() > light.overhead_percent());
     }
 }

@@ -81,10 +81,7 @@ mod tests {
     #[test]
     fn extraction_scales_with_size() {
         let p = ClusterParams::default();
-        assert_eq!(
-            p.extract_time(2_000_000_000),
-            SimDuration::from_secs(1)
-        );
+        assert_eq!(p.extract_time(2_000_000_000), SimDuration::from_secs(1));
         assert_eq!(p.extract_time(0), SimDuration::ZERO);
     }
 }

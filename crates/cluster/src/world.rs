@@ -1,7 +1,7 @@
 //! The simulated cluster: nodes, switch, control plane and job management,
 //! driven by one deterministic discrete-event loop.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 
 use bytes::Bytes;
@@ -21,6 +21,7 @@ use zap::{PodConfig, Zap, ZapError};
 
 use cruz::agent::{Agent, AgentAction};
 use cruz::coordinator::{CoordEffect, CoordStats, Coordinator};
+use cruz::error::CruzError;
 use cruz::proto::{CtlMsg, OpKind, ProtocolMode, AGENT_PORT};
 use cruz::store::CheckpointStore;
 
@@ -43,6 +44,9 @@ pub enum ClusterError {
     JobBusy,
     /// A Zap-layer failure.
     Zap(ZapError),
+    /// A control-plane failure (bad stored image, socket exhaustion,
+    /// violated protocol invariant). Aborts the operation, not the world.
+    Protocol(CruzError),
 }
 
 impl fmt::Display for ClusterError {
@@ -54,6 +58,7 @@ impl fmt::Display for ClusterError {
             ClusterError::NoSuchEpoch(e) => write!(f, "epoch {e} has no committed checkpoint"),
             ClusterError::JobBusy => write!(f, "an operation is already in flight for this job"),
             ClusterError::Zap(e) => write!(f, "zap: {e}"),
+            ClusterError::Protocol(e) => write!(f, "control plane: {e}"),
         }
     }
 }
@@ -63,6 +68,12 @@ impl std::error::Error for ClusterError {}
 impl From<ZapError> for ClusterError {
     fn from(e: ZapError) -> Self {
         ClusterError::Zap(e)
+    }
+}
+
+impl From<CruzError> for ClusterError {
+    fn from(e: CruzError) -> Self {
+        ClusterError::Protocol(e)
     }
 }
 
@@ -87,17 +98,55 @@ pub struct Node {
 enum Event {
     NodeRun(usize),
     NodeTick(usize),
-    FrameAtSwitch { from_port: usize, frame: EthFrame },
-    FrameAtNode { port: usize, frame: EthFrame },
-    AgentCtl { node: usize, msg: CtlMsg, reply_to: SockAddr },
-    AgentLocalDone { node: usize, op: u64 },
-    AgentDurable { node: usize, op: u64 },
-    CoordCtl { op: u64, from: usize, msg: CtlMsg },
-    CoordSend { op: u64, to: usize, msg: CtlMsg },
-    CoordTimeout { op: u64 },
-    CoordRetry { op: u64 },
-    PeriodicCkpt { job: String, interval: SimDuration, mode: ProtocolMode, cow: bool },
-    MigrateFinish { job: String, pod: String, dst: usize, image: Box<PodImage> },
+    FrameAtSwitch {
+        from_port: usize,
+        frame: EthFrame,
+    },
+    FrameAtNode {
+        port: usize,
+        frame: EthFrame,
+    },
+    AgentCtl {
+        node: usize,
+        msg: CtlMsg,
+        reply_to: SockAddr,
+    },
+    AgentLocalDone {
+        node: usize,
+        op: u64,
+    },
+    AgentDurable {
+        node: usize,
+        op: u64,
+    },
+    CoordCtl {
+        op: u64,
+        from: usize,
+        msg: CtlMsg,
+    },
+    CoordSend {
+        op: u64,
+        to: usize,
+        msg: CtlMsg,
+    },
+    CoordTimeout {
+        op: u64,
+    },
+    CoordRetry {
+        op: u64,
+    },
+    PeriodicCkpt {
+        job: String,
+        interval: SimDuration,
+        mode: ProtocolMode,
+        cow: bool,
+    },
+    MigrateFinish {
+        job: String,
+        pod: String,
+        dst: usize,
+        image: Box<PodImage>,
+    },
 }
 
 struct OpRuntime {
@@ -112,12 +161,15 @@ struct OpRuntime {
     coord_node: usize,
     coord_sock: SocketId,
     agents_nodes: Vec<usize>,
-    pending_ckpt: HashMap<usize, Vec<(String, Vec<u8>)>>,
-    pending_restore: HashMap<usize, Vec<(String, Vec<u8>)>>,
-    local_ops: HashMap<usize, (SimTime, SimTime)>,
-    resumed_at: HashMap<usize, SimTime>,
+    pending_ckpt: BTreeMap<usize, Vec<(String, Vec<u8>)>>,
+    pending_restore: BTreeMap<usize, Vec<(String, Vec<u8>)>>,
+    local_ops: BTreeMap<usize, (SimTime, SimTime)>,
+    resumed_at: BTreeMap<usize, SimTime>,
     complete: bool,
     aborted: bool,
+    /// First control-plane failure hit while driving this operation; set
+    /// when the op is force-aborted instead of panicking the world.
+    error: Option<CruzError>,
 }
 
 /// Options of a coordinated checkpoint.
@@ -203,12 +255,31 @@ pub struct World {
     /// The parameters this world was built with.
     pub params: ClusterParams,
     rng: SimRng,
-    jobs: HashMap<String, JobRuntime>,
+    jobs: BTreeMap<String, JobRuntime>,
     /// In-flight single-pod migrations per job.
-    migrations: HashMap<String, usize>,
-    ops: HashMap<u64, OpRuntime>,
+    migrations: BTreeMap<String, usize>,
+    /// Migrations whose destination refused the restore: (job, pod, error).
+    migration_failures: Vec<(String, String, CruzError)>,
+    ops: BTreeMap<u64, OpRuntime>,
     next_op: u64,
     events_processed: u64,
+    /// FNV-1a fold over (time, event fingerprint) of every dispatched
+    /// event — a cheap witness of the whole execution order. Two runs
+    /// with the same seed must end with the same digest; a divergence
+    /// pinpoints the first source of nondeterminism.
+    trace_digest: u64,
+}
+
+/// FNV-1a offset basis / prime (64-bit).
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv_fold(mut h: u64, word: u64) -> u64 {
+    for byte in word.to_le_bytes() {
+        h ^= byte as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
 }
 
 impl fmt::Debug for World {
@@ -237,19 +308,17 @@ impl World {
                 params.subnet_prefix,
                 params.tcp.clone(),
             );
-            let mut kernel = Kernel::new(
-                net,
-                fs.clone(),
-                Disk::new(params.disk),
-                params.kernel,
-            );
+            let mut kernel = Kernel::new(net, fs.clone(), Disk::new(params.disk), params.kernel);
             let zap = Zap::new();
             zap.install(&mut kernel);
             let agent_sock = kernel.net.udp_socket();
             kernel
                 .net
-                .bind(agent_sock, SockAddr::new(Self::node_ip_static(i), AGENT_PORT))
-                .expect("agent port free on a fresh stack");
+                .bind(
+                    agent_sock,
+                    SockAddr::new(Self::node_ip_static(i), AGENT_PORT),
+                )
+                .expect("agent port free on a fresh stack"); // cruz-lint: allow(silent-unwrap)
             nodes.push(Node {
                 kernel,
                 zap,
@@ -273,11 +342,13 @@ impl World {
             fs,
             params,
             rng,
-            jobs: HashMap::new(),
-            migrations: HashMap::new(),
-            ops: HashMap::new(),
+            jobs: BTreeMap::new(),
+            migrations: BTreeMap::new(),
+            migration_failures: Vec::new(),
+            ops: BTreeMap::new(),
             next_op: 1,
             events_processed: 0,
+            trace_digest: FNV_OFFSET,
         }
     }
 
@@ -410,7 +481,9 @@ impl World {
             return false;
         };
         jr.placements.iter().all(|p| match p.pod_id {
-            Some(pid) => self.nodes[p.node].zap.pod_finished(&self.nodes[p.node].kernel, pid),
+            Some(pid) => self.nodes[p.node]
+                .zap
+                .pod_finished(&self.nodes[p.node].kernel, pid),
             None => false,
         })
     }
@@ -437,7 +510,14 @@ impl World {
 
     /// Reads guest memory of a pod process (host-side observation; used by
     /// benchmarks to sample progress counters).
-    pub fn peek_guest(&self, job: &str, pod: &str, vpid: Vpid, addr: u64, len: usize) -> Option<Vec<u8>> {
+    pub fn peek_guest(
+        &self,
+        job: &str,
+        pod: &str,
+        vpid: Vpid,
+        addr: u64,
+        len: usize,
+    ) -> Option<Vec<u8>> {
         let jr = self.jobs.get(job)?;
         let p = jr.placement(pod)?;
         let node = &self.nodes[p.node];
@@ -532,7 +612,7 @@ impl World {
             agents_nodes,
             coord,
             incremental_base,
-        );
+        )?;
         Ok(op)
     }
 
@@ -565,7 +645,7 @@ impl World {
         let survivors: Vec<(usize, zap::pod::PodId)> = self
             .jobs
             .get(job)
-            .expect("checked")
+            .ok_or(ClusterError::NoSuchJob)?
             .placements
             .iter()
             .filter_map(|p| {
@@ -578,7 +658,7 @@ impl World {
             let _ = slot.zap.destroy_pod(&mut slot.kernel, pod_id);
             self.postprocess(node);
         }
-        let jr = self.jobs.get_mut(job).expect("checked");
+        let jr = self.jobs.get_mut(job).ok_or(ClusterError::NoSuchJob)?;
         for (pod, node) in placement {
             if let Some(p) = jr.placement_mut(pod) {
                 p.node = *node;
@@ -598,7 +678,15 @@ impl World {
             (0..agents_nodes.len()).collect(),
         );
         let _ = mode; // restart always blocks until every node restored
-        self.install_op(op, epoch, OpKind::Restart, job, coord_node, agents_nodes, coord);
+        self.install_op(
+            op,
+            epoch,
+            OpKind::Restart,
+            job,
+            coord_node,
+            agents_nodes,
+            coord,
+        )?;
         Ok(op)
     }
 
@@ -612,8 +700,17 @@ impl World {
         coord_node: usize,
         agents_nodes: Vec<usize>,
         coord: Coordinator,
-    ) {
-        self.install_op_inc(op, image_epoch, kind, job, coord_node, agents_nodes, coord, None);
+    ) -> Result<(), ClusterError> {
+        self.install_op_inc(
+            op,
+            image_epoch,
+            kind,
+            job,
+            coord_node,
+            agents_nodes,
+            coord,
+            None,
+        )
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -627,13 +724,13 @@ impl World {
         agents_nodes: Vec<usize>,
         mut coord: Coordinator,
         incremental_base: Option<u64>,
-    ) {
+    ) -> Result<(), ClusterError> {
         let coord_sock = {
             let k = &mut self.nodes[coord_node].kernel;
             let s = k.net.udp_socket();
             k.net
                 .bind(s, SockAddr::new(Self::node_ip_static(coord_node), 0))
-                .expect("ephemeral bind");
+                .map_err(CruzError::ControlSocket)?;
             s
         };
         let (msgs, _) = coord.start(self.now);
@@ -651,12 +748,13 @@ impl World {
                 coord_node,
                 coord_sock,
                 agents_nodes,
-                pending_ckpt: HashMap::new(),
-                pending_restore: HashMap::new(),
-                local_ops: HashMap::new(),
-                resumed_at: HashMap::new(),
+                pending_ckpt: BTreeMap::new(),
+                pending_restore: BTreeMap::new(),
+                local_ops: BTreeMap::new(),
+                resumed_at: BTreeMap::new(),
                 complete: false,
                 aborted: false,
+                error: None,
             },
         );
         self.schedule_coord_sends(op, msgs);
@@ -666,6 +764,7 @@ impl World {
         if let Some(r) = self.params.ctl_retry {
             self.queue.push(self.now + r, Event::CoordRetry { op });
         }
+        Ok(())
     }
 
     /// Reserves one message-processing slot on a node's control-plane CPU,
@@ -696,11 +795,7 @@ impl World {
         Some(OpReport {
             kind: o.kind,
             stats: o.coord.stats.clone(),
-            local_ops: o
-                .local_ops
-                .iter()
-                .map(|(&n, &(s, e))| (n, s, e))
-                .collect(),
+            local_ops: o.local_ops.iter().map(|(&n, &(s, e))| (n, s, e)).collect(),
             resumed_at: o.resumed_at.iter().map(|(&n, &t)| (n, t)).collect(),
             complete: o.complete,
             aborted: o.aborted,
@@ -713,6 +808,31 @@ impl World {
             .get(&op)
             .map(|o| o.complete || o.aborted)
             .unwrap_or(false)
+    }
+
+    /// The control-plane error that force-aborted an operation, if any.
+    pub fn op_error(&self, op: u64) -> Option<&CruzError> {
+        self.ops.get(&op)?.error.as_ref()
+    }
+
+    /// Migrations whose destination refused the restore: (job, pod, error).
+    pub fn migration_failures(&self) -> &[(String, String, CruzError)] {
+        &self.migration_failures
+    }
+
+    /// Force-aborts an operation on a control-plane failure: the op is
+    /// marked aborted, the error recorded, and the cluster keeps running.
+    /// One corrupt image or refused Zap action kills one operation, not
+    /// the whole world.
+    fn fail_op(&mut self, op: u64, err: CruzError) {
+        if let Some(o) = self.ops.get_mut(&op) {
+            if !o.aborted && !o.complete {
+                o.aborted = true;
+            }
+            if o.error.is_none() {
+                o.error = Some(err);
+            }
+        }
     }
 
     /// Arms a periodic checkpoint driver for `job` (the LSF-integration
@@ -799,7 +919,9 @@ impl World {
         }
         let image = {
             let slot = &mut self.nodes[src];
-            let img = slot.zap.checkpoint_pod(&mut slot.kernel, pod_id, self.now)?;
+            let img = slot
+                .zap
+                .checkpoint_pod(&mut slot.kernel, pod_id, self.now)?;
             slot.zap.destroy_pod(&mut slot.kernel, pod_id)?;
             slot.kernel.net.filter_mut().remove_drop_rule(ip);
             img
@@ -807,7 +929,10 @@ impl World {
         let bytes = image.encoded_len() as u64;
         // Source disk write, then destination disk read (via the shared fs).
         let t_extract = self.params.extract_time(bytes);
-        let w = self.nodes[src].kernel.disk.submit_write(self.now + t_extract, bytes);
+        let w = self.nodes[src]
+            .kernel
+            .disk
+            .submit_write(self.now + t_extract, bytes);
         let r = self.nodes[dst].kernel.disk.submit_read(w, bytes);
         self.queue.push(
             r,
@@ -833,8 +958,54 @@ impl World {
         debug_assert!(at >= self.now, "time went backwards");
         self.now = at;
         self.events_processed += 1;
+        self.trace_digest = fnv_fold(self.trace_digest, at.as_nanos());
+        self.trace_digest = fnv_fold(self.trace_digest, Self::event_fingerprint(&ev));
         self.dispatch(ev);
         true
+    }
+
+    /// A cheap per-event fingerprint folded into [`trace_digest`]: the
+    /// variant tag plus its routing fields. Enough to distinguish any two
+    /// event orderings without hashing payload bytes on the hot path.
+    ///
+    /// [`trace_digest`]: World::trace_digest
+    fn event_fingerprint(ev: &Event) -> u64 {
+        let mix = |tag: u64, a: u64, b: u64| fnv_fold(fnv_fold(fnv_fold(FNV_OFFSET, tag), a), b);
+        match ev {
+            Event::NodeRun(n) => mix(1, *n as u64, 0),
+            Event::NodeTick(n) => mix(2, *n as u64, 0),
+            Event::FrameAtSwitch { from_port, frame } => {
+                mix(3, *from_port as u64, frame.wire_len() as u64)
+            }
+            Event::FrameAtNode { port, frame } => mix(4, *port as u64, frame.wire_len() as u64),
+            Event::AgentCtl { node, msg, .. } => mix(5, *node as u64, msg.epoch()),
+            Event::AgentLocalDone { node, op } => mix(6, *node as u64, *op),
+            Event::AgentDurable { node, op } => mix(7, *node as u64, *op),
+            Event::CoordCtl { op, from, msg } => fnv_fold(mix(8, *op, *from as u64), msg.epoch()),
+            Event::CoordSend { op, to, msg } => fnv_fold(mix(9, *op, *to as u64), msg.epoch()),
+            Event::CoordTimeout { op } => mix(10, *op, 0),
+            Event::CoordRetry { op } => mix(11, *op, 0),
+            Event::PeriodicCkpt { job, interval, .. } => {
+                let mut h = mix(12, interval.as_nanos(), 0);
+                for b in job.bytes() {
+                    h = fnv_fold(h, b as u64);
+                }
+                h
+            }
+            Event::MigrateFinish { job, pod, dst, .. } => {
+                let mut h = mix(13, *dst as u64, 0);
+                for b in job.bytes().chain(pod.bytes()) {
+                    h = fnv_fold(h, b as u64);
+                }
+                h
+            }
+        }
+    }
+
+    /// The running event-trace digest (see the field docs). Equal seeds
+    /// must yield equal digests at equal points in the run.
+    pub fn trace_digest(&self) -> u64 {
+        self.trace_digest
     }
 
     /// Runs until simulated time `t` (events at exactly `t` included).
@@ -881,19 +1052,29 @@ impl World {
             Event::NodeTick(n) => self.on_node_tick(n),
             Event::FrameAtSwitch { from_port, frame } => self.on_frame_at_switch(from_port, frame),
             Event::FrameAtNode { port, frame } => self.on_frame_at_node(port, frame),
-            Event::AgentCtl { node, msg, reply_to } => self.on_agent_ctl(node, msg, reply_to),
+            Event::AgentCtl {
+                node,
+                msg,
+                reply_to,
+            } => self.on_agent_ctl(node, msg, reply_to),
             Event::AgentLocalDone { node, op } => self.on_agent_local_done(node, op),
             Event::AgentDurable { node, op } => self.on_agent_durable(node, op),
             Event::CoordCtl { op, from, msg } => self.on_coord_ctl(op, from, msg),
             Event::CoordSend { op, to, msg } => self.on_coord_send(op, to, msg),
             Event::CoordTimeout { op } => self.on_coord_timeout(op),
             Event::CoordRetry { op } => self.on_coord_retry(op),
-            Event::PeriodicCkpt { job, interval, mode, cow } => {
-                self.on_periodic_ckpt(&job, interval, mode, cow)
-            }
-            Event::MigrateFinish { job, pod, dst, image } => {
-                self.on_migrate_finish(&job, &pod, dst, &image)
-            }
+            Event::PeriodicCkpt {
+                job,
+                interval,
+                mode,
+                cow,
+            } => self.on_periodic_ckpt(&job, interval, mode, cow),
+            Event::MigrateFinish {
+                job,
+                pod,
+                dst,
+                image,
+            } => self.on_migrate_finish(&job, &pod, dst, &image),
         }
     }
 
@@ -925,7 +1106,8 @@ impl World {
     fn on_frame_at_switch(&mut self, from_port: usize, frame: EthFrame) {
         let outs = self.switch.forward(PortId(from_port), &frame);
         for PortId(p) in outs {
-            let deliver = self.links_down[p].schedule(self.now, frame.wire_len(), &self.params.link);
+            let deliver =
+                self.links_down[p].schedule(self.now, frame.wire_len(), &self.params.link);
             self.queue.push(
                 deliver,
                 Event::FrameAtNode {
@@ -965,7 +1147,9 @@ impl World {
             return;
         }
         let (job, image_epoch, images) = {
-            let Some(o) = self.ops.get_mut(&op) else { return };
+            let Some(o) = self.ops.get_mut(&op) else {
+                return;
+            };
             (
                 o.job.clone(),
                 o.image_epoch,
@@ -992,13 +1176,14 @@ impl World {
         };
         match kind {
             OpKind::Checkpoint if !cow => {
-                let (job, image_epoch, images) = {
-                    let o = self.ops.get_mut(&op).expect("checked");
+                let Some((job, image_epoch, images)) = self.ops.get_mut(&op).map(|o| {
                     (
                         o.job.clone(),
                         o.image_epoch,
                         o.pending_ckpt.remove(&node).unwrap_or_default(),
                     )
+                }) else {
+                    return;
                 };
                 let store = self.store(&job);
                 for (pod_name, bytes) in images {
@@ -1007,18 +1192,30 @@ impl World {
             }
             OpKind::Checkpoint => {} // COW: images persist at AgentDurable
             OpKind::Restart => {
-                let images = {
-                    let o = self.ops.get_mut(&op).expect("checked");
-                    o.pending_restore.remove(&node).unwrap_or_default()
+                let Some((job, images)) = self.ops.get_mut(&op).map(|o| {
+                    (
+                        o.job.clone(),
+                        o.pending_restore.remove(&node).unwrap_or_default(),
+                    )
+                }) else {
+                    return;
                 };
-                let job = self.ops.get(&op).expect("checked").job.clone();
                 for (pod_name, bytes) in images {
-                    let image = PodImage::decode(&bytes).expect("stored image is valid");
+                    let image = match PodImage::decode(&bytes) {
+                        Ok(img) => img,
+                        Err(e) => {
+                            self.fail_op(op, CruzError::BadImage(e));
+                            return;
+                        }
+                    };
                     let slot = &mut self.nodes[node];
-                    let pod_id = slot
-                        .zap
-                        .restart_pod(&mut slot.kernel, &image, self.now)
-                        .expect("restore onto a clean node");
+                    let pod_id = match slot.zap.restart_pod(&mut slot.kernel, &image, self.now) {
+                        Ok(id) => id,
+                        Err(e) => {
+                            self.fail_op(op, CruzError::Zap(e));
+                            return;
+                        }
+                    };
                     if let Some(jr) = self.jobs.get_mut(&job) {
                         if let Some(p) = jr.placement_mut(&pod_name) {
                             p.pod_id = Some(pod_id);
@@ -1080,15 +1277,19 @@ impl World {
         for p in &pods {
             let Some(pod_id) = p.pod_id else { continue };
             let slot = &mut self.nodes[node];
-            let img = match base {
-                Some(b) => slot
-                    .zap
-                    .checkpoint_pod_incremental(&mut slot.kernel, pod_id, self.now, b)
-                    .expect("incremental pod checkpoint extraction"),
-                None => slot
-                    .zap
-                    .checkpoint_pod(&mut slot.kernel, pod_id, self.now)
-                    .expect("pod checkpoint extraction"),
+            let extracted = match base {
+                Some(b) => {
+                    slot.zap
+                        .checkpoint_pod_incremental(&mut slot.kernel, pod_id, self.now, b)
+                }
+                None => slot.zap.checkpoint_pod(&mut slot.kernel, pod_id, self.now),
+            };
+            let img = match extracted {
+                Ok(img) => img,
+                Err(e) => {
+                    self.fail_op(op, CruzError::Zap(e));
+                    return;
+                }
             };
             let bytes = img.encode();
             total += bytes.len() as u64;
@@ -1107,14 +1308,17 @@ impl World {
                 o.pending_ckpt.insert(node, images);
                 o.local_ops.insert(node, (self.now, captured_at));
             }
-            self.queue.push(captured_at, Event::AgentLocalDone { node, op });
-            self.queue.push(durable_at, Event::AgentDurable { node, op });
+            self.queue
+                .push(captured_at, Event::AgentLocalDone { node, op });
+            self.queue
+                .push(durable_at, Event::AgentDurable { node, op });
         } else {
             if let Some(o) = self.ops.get_mut(&op) {
                 o.pending_ckpt.insert(node, images);
                 o.local_ops.insert(node, (self.now, durable_at));
             }
-            self.queue.push(durable_at, Event::AgentLocalDone { node, op });
+            self.queue
+                .push(durable_at, Event::AgentLocalDone { node, op });
         }
     }
 
@@ -1133,28 +1337,48 @@ impl World {
             let mut chain: Vec<Vec<u8>> = Vec::new();
             let mut epoch = Some(image_epoch);
             while let Some(e) = epoch {
-                let Some(bytes) = store.get_image(&p.name, e) else { break };
+                let Some(bytes) = store.get_image(&p.name, e) else {
+                    break;
+                };
                 total += bytes.len() as u64;
-                let base = PodImage::decode(&bytes)
-                    .expect("stored image decodes")
-                    .base_epoch;
+                let base = match PodImage::decode(&bytes) {
+                    Ok(img) => img.base_epoch,
+                    Err(e) => {
+                        self.fail_op(op, CruzError::BadImage(e));
+                        return;
+                    }
+                };
                 chain.push(bytes);
                 epoch = base;
             }
             if chain.is_empty() {
                 continue;
             }
-            // Fold base-first.
-            let mut merged = PodImage::decode(&chain.pop().expect("non-empty"))
-                .expect("base image decodes");
-            assert!(
-                merged.base_epoch.is_none(),
-                "chain must bottom out at a full image"
-            );
-            while let Some(delta_bytes) = chain.pop() {
-                let delta = PodImage::decode(&delta_bytes).expect("delta decodes");
-                merged = merged.apply_delta(&delta).expect("chain folds");
-            }
+            // Fold base-first. The chain is non-empty, so the fold seed is
+            // the bottom (full) image.
+            let merged = chain
+                .pop()
+                .ok_or(CruzError::Protocol("image chain emptied mid-fold"))
+                .and_then(|base_bytes| PodImage::decode(&base_bytes).map_err(CruzError::from))
+                .and_then(|mut merged| {
+                    if merged.base_epoch.is_some() {
+                        return Err(CruzError::Protocol(
+                            "image chain does not bottom out at a full image",
+                        ));
+                    }
+                    while let Some(delta_bytes) = chain.pop() {
+                        let delta = PodImage::decode(&delta_bytes)?;
+                        merged = merged.apply_delta(&delta)?;
+                    }
+                    Ok(merged)
+                });
+            let merged = match merged {
+                Ok(m) => m,
+                Err(e) => {
+                    self.fail_op(op, e);
+                    return;
+                }
+            };
             images.push((p.name.clone(), merged.encode()));
         }
         let done_at = self.nodes[node].kernel.disk.submit_read(self.now, total);
@@ -1262,7 +1486,8 @@ impl World {
             o.coord.on_retry(self.now)
         };
         self.schedule_coord_sends(op, msgs);
-        self.queue.push(self.now + interval, Event::CoordRetry { op });
+        self.queue
+            .push(self.now + interval, Event::CoordRetry { op });
     }
 
     fn on_coord_timeout(&mut self, op: u64) {
@@ -1288,10 +1513,16 @@ impl World {
             return;
         }
         let slot = &mut self.nodes[dst];
-        let pod_id = slot
-            .zap
-            .restart_pod(&mut slot.kernel, image, self.now)
-            .expect("migration restore onto a clean node");
+        let pod_id = match slot.zap.restart_pod(&mut slot.kernel, image, self.now) {
+            Ok(id) => id,
+            Err(e) => {
+                // The destination refused the restore; the pod stays where
+                // it was and the failure is reported, not panicked.
+                self.migration_failures
+                    .push((job.to_string(), pod.to_string(), CruzError::Zap(e)));
+                return;
+            }
+        };
         let _ = slot.zap.resume_pod(&mut slot.kernel, pod_id, self.now);
         if let Some(jr) = self.jobs.get_mut(job) {
             if let Some(p) = jr.placement_mut(pod) {

@@ -10,7 +10,12 @@ use workloads::slm::SlmConfig;
 use workloads::ComputeConfig;
 use zap::image::MacMode;
 
-fn pingpong_job(rounds: u64, server_node: usize, client_node: usize, coord: usize) -> (JobSpec, PingPongConfig) {
+fn pingpong_job(
+    rounds: u64,
+    server_node: usize,
+    client_node: usize,
+    coord: usize,
+) -> (JobSpec, PingPongConfig) {
     let cfg = PingPongConfig {
         server_ip: IpAddr::from_octets([10, 0, 1, 1]),
         port: 7300,
@@ -157,7 +162,10 @@ fn repeated_checkpoints_of_slm_complete_and_app_finishes() {
         assert!(rep.complete);
         let latency = rep.stats.checkpoint_latency().unwrap();
         let overhead = rep.coordination_overhead().unwrap();
-        assert!(overhead < latency, "overhead {overhead} < latency {latency}");
+        assert!(
+            overhead < latency,
+            "overhead {overhead} < latency {latency}"
+        );
         assert!(
             overhead < SimDuration::from_millis(2),
             "coordination is sub-millisecond, got {overhead}"
@@ -237,7 +245,11 @@ fn timeout_aborts_when_an_agent_node_is_dead() {
     w.run_for(SimDuration::from_millis(2));
     w.crash_node(1);
     let op = w
-        .start_checkpoint("c", ProtocolMode::Blocking, Some(SimDuration::from_millis(50)))
+        .start_checkpoint(
+            "c",
+            ProtocolMode::Blocking,
+            Some(SimDuration::from_millis(50)),
+        )
         .unwrap();
     assert!(w.run_until_op(op, 10_000_000));
     let rep = w.op_report(op).unwrap();
@@ -245,9 +257,7 @@ fn timeout_aborts_when_an_agent_node_is_dead() {
     assert!(!w.store("c").is_committed(op), "no commit record");
     // The surviving pod was rolled back (resumed, filter lifted) and
     // finishes normally.
-    assert!(w.run_until_pred(20_000_000, |w| {
-        w.pod_exit_code("c", "a", 1).is_some()
-    }));
+    assert!(w.run_until_pred(20_000_000, |w| { w.pod_exit_code("c", "a", 1).is_some() }));
 }
 
 #[test]
@@ -358,10 +368,13 @@ fn periodic_checkpoint_driver_runs_the_job_to_completion() {
         port: 7100,
         state_step_bytes: 0,
     };
-    let mut w = World::new(3, ClusterParams {
-        prune_old_epochs: false,
-        ..ClusterParams::default()
-    });
+    let mut w = World::new(
+        3,
+        ClusterParams {
+            prune_old_epochs: false,
+            ..ClusterParams::default()
+        },
+    );
     w.launch_job(&slm.job_spec("slm", 2)).unwrap();
     w.schedule_periodic_checkpoints(
         "slm",
@@ -473,8 +486,7 @@ fn allreduce_collective_survives_checkpoint_and_restart() {
     for n in 0..3 {
         w.crash_node(n);
     }
-    let placement: Vec<(String, usize)> =
-        (0..3).map(|r| (format!("rank{r}"), 3 + r)).collect();
+    let placement: Vec<(String, usize)> = (0..3).map(|r| (format!("rank{r}"), 3 + r)).collect();
     let rs = w
         .start_restart("ar", ck, &placement, ProtocolMode::Blocking)
         .unwrap();
@@ -507,7 +519,10 @@ fn rollback_in_place_replaces_live_pods() {
     let rs = w
         .start_restart("pp", ck, &[], ProtocolMode::Blocking)
         .unwrap();
-    assert!(w.run_until_op(rs, 10_000_000), "in-place rollback completes");
+    assert!(
+        w.run_until_op(rs, 10_000_000),
+        "in-place rollback completes"
+    );
     assert!(w.run_until_pred(50_000_000, |w| w.job_finished("pp")));
     assert_eq!(w.pod_exit_code("pp", "server", 1), Some(0));
     assert_eq!(w.pod_exit_code("pp", "client", 1), Some(0));

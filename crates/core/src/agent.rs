@@ -84,7 +84,9 @@ impl Agent {
     /// Handles a coordinator message.
     pub fn on_ctl(&mut self, msg: CtlMsg, _now: SimTime) -> Vec<AgentAction> {
         match msg {
-            CtlMsg::Start { kind, epoch, mode, .. } if epoch == self.epoch && !matches!(self.phase, Phase::Idle) => {
+            CtlMsg::Start {
+                kind, epoch, mode, ..
+            } if epoch == self.epoch && !matches!(self.phase, Phase::Idle) => {
                 let _ = (kind, mode);
                 // Duplicate start (retransmission): never restart the local
                 // operation. If we already saved, our done may have been
@@ -95,7 +97,12 @@ impl Agent {
                     Vec::new()
                 }
             }
-            CtlMsg::Start { kind, epoch, mode, cow } => {
+            CtlMsg::Start {
+                kind,
+                epoch,
+                mode,
+                cow,
+            } => {
                 self.epoch = epoch;
                 self.kind = kind;
                 self.mode = mode;

@@ -193,8 +193,7 @@ impl Coordinator {
             mode: self.mode,
             cow: self.cow,
         };
-        let out: Vec<(AgentId, CtlMsg)> =
-            self.agents.iter().map(|&a| (a, msg)).collect();
+        let out: Vec<(AgentId, CtlMsg)> = self.agents.iter().map(|&a| (a, msg)).collect();
         self.stats.msgs_sent += out.len() as u64;
         (out, Vec::new())
     }
@@ -263,9 +262,7 @@ impl Coordinator {
     }
 
     fn commit_ready(&self) -> bool {
-        self.kind != OpKind::Checkpoint
-            || !self.cow
-            || self.durable.len() == self.agents.len()
+        self.kind != OpKind::Checkpoint || !self.cow || self.durable.len() == self.agents.len()
     }
 
     fn maybe_commit(&mut self, effects: &mut Vec<CoordEffect>) {
@@ -368,9 +365,14 @@ mod tests {
         // Third done: commit + continue to everyone.
         let (m, fx) = c.on_message(2, CtlMsg::Done { epoch: 1 }, t(30));
         assert_eq!(m.len(), 3);
-        assert!(m.iter().all(|(_, msg)| matches!(msg, CtlMsg::Continue { epoch: 1 })));
+        assert!(m
+            .iter()
+            .all(|(_, msg)| matches!(msg, CtlMsg::Continue { epoch: 1 })));
         assert_eq!(fx, vec![CoordEffect::Commit { epoch: 1 }]);
-        assert_eq!(c.stats.checkpoint_latency(), Some(SimDuration::from_micros(30)));
+        assert_eq!(
+            c.stats.checkpoint_latency(),
+            Some(SimDuration::from_micros(30))
+        );
         // Continue-dones complete the op.
         for a in 0..3 {
             let (_, fx) = c.on_message(a, CtlMsg::ContinueDone { epoch: 1 }, t(40 + a as u64));
@@ -443,7 +445,9 @@ mod tests {
         // Deadline passes: abort to everyone.
         let (m, fx) = c.on_timeout(t(100_000));
         assert_eq!(m.len(), 2);
-        assert!(m.iter().all(|(_, msg)| matches!(msg, CtlMsg::Abort { epoch: 4 })));
+        assert!(m
+            .iter()
+            .all(|(_, msg)| matches!(msg, CtlMsg::Abort { epoch: 4 })));
         assert_eq!(fx, vec![CoordEffect::Aborted { epoch: 4 }]);
         assert!(c.is_aborted());
         // Post-abort messages are ignored.
@@ -454,8 +458,8 @@ mod tests {
 
     #[test]
     fn cow_mode_delays_commit_until_durable() {
-        let mut c = Coordinator::new(OpKind::Checkpoint, ProtocolMode::Blocking, 8, vec![0, 1])
-            .with_cow();
+        let mut c =
+            Coordinator::new(OpKind::Checkpoint, ProtocolMode::Blocking, 8, vec![0, 1]).with_cow();
         let (msgs, _) = c.start(T);
         assert!(msgs
             .iter()
@@ -487,8 +491,8 @@ mod tests {
 
     #[test]
     fn cow_durable_before_last_done_still_commits_once() {
-        let mut c = Coordinator::new(OpKind::Checkpoint, ProtocolMode::Blocking, 9, vec![0, 1])
-            .with_cow();
+        let mut c =
+            Coordinator::new(OpKind::Checkpoint, ProtocolMode::Blocking, 9, vec![0, 1]).with_cow();
         let _ = c.start(T);
         let _ = c.on_message(0, CtlMsg::Done { epoch: 9 }, t(1));
         let _ = c.on_message(0, CtlMsg::Durable { epoch: 9 }, t(2));

@@ -35,10 +35,12 @@
 
 pub mod agent;
 pub mod coordinator;
+pub mod error;
 pub mod proto;
 pub mod store;
 
 pub use agent::{Agent, AgentAction};
 pub use coordinator::{AgentId, CoordEffect, CoordStats, Coordinator};
+pub use error::CruzError;
 pub use proto::{CtlMsg, OpKind, ProtocolMode, AGENT_PORT, COORD_PORT};
 pub use store::CheckpointStore;

@@ -92,7 +92,12 @@ impl CtlMsg {
     pub fn encode(&self) -> Vec<u8> {
         let mut v = Vec::with_capacity(11);
         match self {
-            CtlMsg::Start { kind, epoch, mode, cow } => {
+            CtlMsg::Start {
+                kind,
+                epoch,
+                mode,
+                cow,
+            } => {
                 v.push(0);
                 v.extend_from_slice(&epoch.to_le_bytes());
                 v.push(match kind {
@@ -155,7 +160,12 @@ impl CtlMsg {
                     _ => return None,
                 };
                 let cow = bytes[11] != 0;
-                CtlMsg::Start { kind, epoch, mode, cow }
+                CtlMsg::Start {
+                    kind,
+                    epoch,
+                    mode,
+                    cow,
+                }
             }
             1 => CtlMsg::CommDisabled { epoch },
             2 => CtlMsg::Done { epoch },
@@ -171,7 +181,12 @@ impl CtlMsg {
 impl fmt::Display for CtlMsg {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            CtlMsg::Start { kind, epoch, mode, cow } => {
+            CtlMsg::Start {
+                kind,
+                epoch,
+                mode,
+                cow,
+            } => {
                 write!(f, "<start {kind:?} epoch={epoch} {mode:?} cow={cow}>")
             }
             CtlMsg::CommDisabled { epoch } => write!(f, "<comm-disabled epoch={epoch}>"),

@@ -1,7 +1,10 @@
 //! Seedable deterministic random numbers for simulations.
-
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+//!
+//! The generator is a self-contained xoshiro256++ implementation (public
+//! domain algorithm by Blackman & Vigna) seeded through SplitMix64. Keeping
+//! it dependency-free means the whole simulation stack builds offline and,
+//! more importantly, that the stream is a pure function of the seed — no
+//! ambient entropy can ever leak into a simulation run.
 
 /// A deterministic random-number generator for simulation use.
 ///
@@ -19,20 +22,45 @@ use rand::{Rng, SeedableRng};
 /// ```
 #[derive(Debug, Clone)]
 pub struct SimRng {
-    inner: StdRng,
+    state: [u64; 4],
+}
+
+/// SplitMix64 step, used only to expand the 64-bit seed into the 256-bit
+/// xoshiro state (the recommended seeding procedure).
+fn splitmix64(x: &mut u64) -> u64 {
+    *x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 impl SimRng {
     /// Creates a generator from a 64-bit seed.
     pub fn from_seed(seed: u64) -> Self {
+        let mut s = seed;
         SimRng {
-            inner: StdRng::seed_from_u64(seed),
+            state: [
+                splitmix64(&mut s),
+                splitmix64(&mut s),
+                splitmix64(&mut s),
+                splitmix64(&mut s),
+            ],
         }
     }
 
     /// Returns the next value in the stream.
     pub fn next_u64(&mut self) -> u64 {
-        self.inner.gen()
+        let s = &mut self.state;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
     }
 
     /// Returns a uniformly distributed value in `[lo, hi)`.
@@ -42,7 +70,21 @@ impl SimRng {
     /// Panics if `lo >= hi`.
     pub fn range(&mut self, lo: u64, hi: u64) -> u64 {
         assert!(lo < hi, "empty range");
-        self.inner.gen_range(lo..hi)
+        let span = hi - lo;
+        // Debiased multiply-shift (Lemire): draw until the low word clears
+        // the rejection zone, so every value in the span is exactly uniform.
+        let mut x = self.next_u64();
+        let mut m = (x as u128).wrapping_mul(span as u128);
+        let mut low = m as u64;
+        if low < span {
+            let threshold = span.wrapping_neg() % span;
+            while low < threshold {
+                x = self.next_u64();
+                m = (x as u128).wrapping_mul(span as u128);
+                low = m as u64;
+            }
+        }
+        lo + (m >> 64) as u64
     }
 
     /// Returns `true` with probability `p`.
@@ -52,12 +94,18 @@ impl SimRng {
     /// Panics if `p` is not within `[0, 1]`.
     pub fn chance(&mut self, p: f64) -> bool {
         assert!((0.0..=1.0).contains(&p), "probability out of range");
-        self.inner.gen_bool(p)
+        if p == 1.0 {
+            // unit_f64 never returns 1.0, so compare would be strict-false.
+            let _ = self.next_u64();
+            return true;
+        }
+        self.unit_f64() < p
     }
 
     /// Returns a uniformly distributed `f64` in `[0, 1)`.
     pub fn unit_f64(&mut self) -> f64 {
-        self.inner.gen()
+        // 53 high-quality bits into the mantissa range.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Derives an independent generator, e.g. one per simulated node.
@@ -96,6 +144,25 @@ mod tests {
         for _ in 0..1000 {
             let v = r.range(10, 20);
             assert!((10..20).contains(&v));
+        }
+    }
+
+    #[test]
+    fn range_covers_every_value() {
+        let mut r = SimRng::from_seed(11);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            seen[r.range(0, 10) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all values in span reachable");
+    }
+
+    #[test]
+    fn unit_f64_stays_in_unit_interval() {
+        let mut r = SimRng::from_seed(12);
+        for _ in 0..1000 {
+            let v = r.unit_f64();
+            assert!((0.0..1.0).contains(&v));
         }
     }
 

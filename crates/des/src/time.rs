@@ -240,7 +240,10 @@ mod tests {
         assert_eq!(SimDuration::from_secs(1), SimDuration::from_millis(1_000));
         assert_eq!(SimDuration::from_millis(1), SimDuration::from_micros(1_000));
         assert_eq!(SimDuration::from_micros(1), SimDuration::from_nanos(1_000));
-        assert_eq!(SimDuration::from_secs_f64(0.25), SimDuration::from_millis(250));
+        assert_eq!(
+            SimDuration::from_secs_f64(0.25),
+            SimDuration::from_millis(250)
+        );
     }
 
     #[test]
@@ -267,8 +270,14 @@ mod tests {
 
     #[test]
     fn scalar_ops() {
-        assert_eq!(SimDuration::from_micros(5) * 3, SimDuration::from_micros(15));
-        assert_eq!(SimDuration::from_micros(15) / 3, SimDuration::from_micros(5));
+        assert_eq!(
+            SimDuration::from_micros(5) * 3,
+            SimDuration::from_micros(15)
+        );
+        assert_eq!(
+            SimDuration::from_micros(15) / 3,
+            SimDuration::from_micros(5)
+        );
         assert!(SimDuration::ZERO.is_zero());
     }
 }

@@ -142,11 +142,24 @@ impl Asm {
         for ai in &self.insts {
             let inst = match *ai {
                 AInst::Fixed(i) => i,
-                AInst::Jmp(l) => Inst::Jmp { target: resolve(l)? },
-                AInst::Jz(r, l) => Inst::Jz { rs: r, target: resolve(l)? },
-                AInst::Jnz(r, l) => Inst::Jnz { rs: r, target: resolve(l)? },
-                AInst::Call(l) => Inst::Call { target: resolve(l)? },
-                AInst::MoviLabel(r, l) => Inst::Movi { rd: r, imm: resolve(l)? as i64 },
+                AInst::Jmp(l) => Inst::Jmp {
+                    target: resolve(l)?,
+                },
+                AInst::Jz(r, l) => Inst::Jz {
+                    rs: r,
+                    target: resolve(l)?,
+                },
+                AInst::Jnz(r, l) => Inst::Jnz {
+                    rs: r,
+                    target: resolve(l)?,
+                },
+                AInst::Call(l) => Inst::Call {
+                    target: resolve(l)?,
+                },
+                AInst::MoviLabel(r, l) => Inst::Movi {
+                    rd: r,
+                    imm: resolve(l)? as i64,
+                },
             };
             out.extend_from_slice(&inst.encode());
         }
@@ -198,132 +211,262 @@ impl Asm {
 
     /// Emits `rd <- rs + rt`.
     pub fn add(&mut self, rd: Reg, rs: Reg, rt: Reg) {
-        self.emit(Inst::Alu { op: AluOp::Add, rd, rs, rt });
+        self.emit(Inst::Alu {
+            op: AluOp::Add,
+            rd,
+            rs,
+            rt,
+        });
     }
 
     /// Emits `rd <- rs - rt`.
     pub fn sub(&mut self, rd: Reg, rs: Reg, rt: Reg) {
-        self.emit(Inst::Alu { op: AluOp::Sub, rd, rs, rt });
+        self.emit(Inst::Alu {
+            op: AluOp::Sub,
+            rd,
+            rs,
+            rt,
+        });
     }
 
     /// Emits `rd <- rs * rt`.
     pub fn mul(&mut self, rd: Reg, rs: Reg, rt: Reg) {
-        self.emit(Inst::Alu { op: AluOp::Mul, rd, rs, rt });
+        self.emit(Inst::Alu {
+            op: AluOp::Mul,
+            rd,
+            rs,
+            rt,
+        });
     }
 
     /// Emits `rd <- rs / rt` (unsigned).
     pub fn div(&mut self, rd: Reg, rs: Reg, rt: Reg) {
-        self.emit(Inst::Alu { op: AluOp::Divu, rd, rs, rt });
+        self.emit(Inst::Alu {
+            op: AluOp::Divu,
+            rd,
+            rs,
+            rt,
+        });
     }
 
     /// Emits `rd <- rs % rt` (unsigned).
     pub fn rem(&mut self, rd: Reg, rs: Reg, rt: Reg) {
-        self.emit(Inst::Alu { op: AluOp::Remu, rd, rs, rt });
+        self.emit(Inst::Alu {
+            op: AluOp::Remu,
+            rd,
+            rs,
+            rt,
+        });
     }
 
     /// Emits `rd <- rs & rt`.
     pub fn and(&mut self, rd: Reg, rs: Reg, rt: Reg) {
-        self.emit(Inst::Alu { op: AluOp::And, rd, rs, rt });
+        self.emit(Inst::Alu {
+            op: AluOp::And,
+            rd,
+            rs,
+            rt,
+        });
     }
 
     /// Emits `rd <- rs | rt`.
     pub fn or(&mut self, rd: Reg, rs: Reg, rt: Reg) {
-        self.emit(Inst::Alu { op: AluOp::Or, rd, rs, rt });
+        self.emit(Inst::Alu {
+            op: AluOp::Or,
+            rd,
+            rs,
+            rt,
+        });
     }
 
     /// Emits `rd <- rs ^ rt`.
     pub fn xor(&mut self, rd: Reg, rs: Reg, rt: Reg) {
-        self.emit(Inst::Alu { op: AluOp::Xor, rd, rs, rt });
+        self.emit(Inst::Alu {
+            op: AluOp::Xor,
+            rd,
+            rs,
+            rt,
+        });
     }
 
     /// Emits `rd <- rs + imm`.
     pub fn addi(&mut self, rd: Reg, rs: Reg, imm: i64) {
-        self.emit(Inst::Alui { op: AluOp::Add, rd, rs, imm });
+        self.emit(Inst::Alui {
+            op: AluOp::Add,
+            rd,
+            rs,
+            imm,
+        });
     }
 
     /// Emits `rd <- rs - imm`.
     pub fn subi(&mut self, rd: Reg, rs: Reg, imm: i64) {
-        self.emit(Inst::Alui { op: AluOp::Sub, rd, rs, imm });
+        self.emit(Inst::Alui {
+            op: AluOp::Sub,
+            rd,
+            rs,
+            imm,
+        });
     }
 
     /// Emits `rd <- rs * imm`.
     pub fn muli(&mut self, rd: Reg, rs: Reg, imm: i64) {
-        self.emit(Inst::Alui { op: AluOp::Mul, rd, rs, imm });
+        self.emit(Inst::Alui {
+            op: AluOp::Mul,
+            rd,
+            rs,
+            imm,
+        });
     }
 
     /// Emits `rd <- rs / imm` (unsigned).
     pub fn divi(&mut self, rd: Reg, rs: Reg, imm: i64) {
-        self.emit(Inst::Alui { op: AluOp::Divu, rd, rs, imm });
+        self.emit(Inst::Alui {
+            op: AluOp::Divu,
+            rd,
+            rs,
+            imm,
+        });
     }
 
     /// Emits `rd <- rs % imm` (unsigned).
     pub fn remi(&mut self, rd: Reg, rs: Reg, imm: i64) {
-        self.emit(Inst::Alui { op: AluOp::Remu, rd, rs, imm });
+        self.emit(Inst::Alui {
+            op: AluOp::Remu,
+            rd,
+            rs,
+            imm,
+        });
     }
 
     /// Emits `rd <- rs & imm`.
     pub fn andi(&mut self, rd: Reg, rs: Reg, imm: i64) {
-        self.emit(Inst::Alui { op: AluOp::And, rd, rs, imm });
+        self.emit(Inst::Alui {
+            op: AluOp::And,
+            rd,
+            rs,
+            imm,
+        });
     }
 
     /// Emits `rd <- rs << imm`.
     pub fn shli(&mut self, rd: Reg, rs: Reg, imm: i64) {
-        self.emit(Inst::Alui { op: AluOp::Shl, rd, rs, imm });
+        self.emit(Inst::Alui {
+            op: AluOp::Shl,
+            rd,
+            rs,
+            imm,
+        });
     }
 
     /// Emits `rd <- rs >> imm` (logical).
     pub fn shri(&mut self, rd: Reg, rs: Reg, imm: i64) {
-        self.emit(Inst::Alui { op: AluOp::Shr, rd, rs, imm });
+        self.emit(Inst::Alui {
+            op: AluOp::Shr,
+            rd,
+            rs,
+            imm,
+        });
     }
 
     /// Emits `rd <- (rs == rt) ? 1 : 0`.
     pub fn ceq(&mut self, rd: Reg, rs: Reg, rt: Reg) {
-        self.emit(Inst::Cmp { op: CmpOp::Eq, rd, rs, rt });
+        self.emit(Inst::Cmp {
+            op: CmpOp::Eq,
+            rd,
+            rs,
+            rt,
+        });
     }
 
     /// Emits `rd <- (rs != rt) ? 1 : 0`.
     pub fn cne(&mut self, rd: Reg, rs: Reg, rt: Reg) {
-        self.emit(Inst::Cmp { op: CmpOp::Ne, rd, rs, rt });
+        self.emit(Inst::Cmp {
+            op: CmpOp::Ne,
+            rd,
+            rs,
+            rt,
+        });
     }
 
     /// Emits `rd <- (rs < rt) ? 1 : 0` (unsigned).
     pub fn cltu(&mut self, rd: Reg, rs: Reg, rt: Reg) {
-        self.emit(Inst::Cmp { op: CmpOp::LtU, rd, rs, rt });
+        self.emit(Inst::Cmp {
+            op: CmpOp::LtU,
+            rd,
+            rs,
+            rt,
+        });
     }
 
     /// Emits `rd <- (rs < rt) ? 1 : 0` (signed).
     pub fn clts(&mut self, rd: Reg, rs: Reg, rt: Reg) {
-        self.emit(Inst::Cmp { op: CmpOp::LtS, rd, rs, rt });
+        self.emit(Inst::Cmp {
+            op: CmpOp::LtS,
+            rd,
+            rs,
+            rt,
+        });
     }
 
     /// Emits `rd <- (rs <= rt) ? 1 : 0` (unsigned).
     pub fn cleu(&mut self, rd: Reg, rs: Reg, rt: Reg) {
-        self.emit(Inst::Cmp { op: CmpOp::LeU, rd, rs, rt });
+        self.emit(Inst::Cmp {
+            op: CmpOp::LeU,
+            rd,
+            rs,
+            rt,
+        });
     }
 
     /// Emits `rd <- rs + rt` on `f64` bit patterns.
     pub fn fadd(&mut self, rd: Reg, rs: Reg, rt: Reg) {
-        self.emit(Inst::Falu { op: FaluOp::Add, rd, rs, rt });
+        self.emit(Inst::Falu {
+            op: FaluOp::Add,
+            rd,
+            rs,
+            rt,
+        });
     }
 
     /// Emits `rd <- rs - rt` on `f64` bit patterns.
     pub fn fsub(&mut self, rd: Reg, rs: Reg, rt: Reg) {
-        self.emit(Inst::Falu { op: FaluOp::Sub, rd, rs, rt });
+        self.emit(Inst::Falu {
+            op: FaluOp::Sub,
+            rd,
+            rs,
+            rt,
+        });
     }
 
     /// Emits `rd <- rs * rt` on `f64` bit patterns.
     pub fn fmul(&mut self, rd: Reg, rs: Reg, rt: Reg) {
-        self.emit(Inst::Falu { op: FaluOp::Mul, rd, rs, rt });
+        self.emit(Inst::Falu {
+            op: FaluOp::Mul,
+            rd,
+            rs,
+            rt,
+        });
     }
 
     /// Emits `rd <- rs / rt` on `f64` bit patterns.
     pub fn fdiv(&mut self, rd: Reg, rs: Reg, rt: Reg) {
-        self.emit(Inst::Falu { op: FaluOp::Div, rd, rs, rt });
+        self.emit(Inst::Falu {
+            op: FaluOp::Div,
+            rd,
+            rs,
+            rt,
+        });
     }
 
     /// Emits `rd <- (rs < rt) ? 1 : 0` on `f64` bit patterns.
     pub fn flt(&mut self, rd: Reg, rs: Reg, rt: Reg) {
-        self.emit(Inst::Fcmp { op: FcmpOp::Lt, rd, rs, rt });
+        self.emit(Inst::Fcmp {
+            op: FcmpOp::Lt,
+            rd,
+            rs,
+            rt,
+        });
     }
 
     /// Emits `rd <- sqrt(rs)` on `f64` bit patterns.

@@ -42,7 +42,10 @@ impl fmt::Display for CpuFault {
         match self {
             CpuFault::Mem(m) => write!(f, "{m}"),
             CpuFault::BadInstruction { pc, opcode } => {
-                write!(f, "undecodable instruction at {pc:#x} (opcode {opcode:#04x})")
+                write!(
+                    f,
+                    "undecodable instruction at {pc:#x} (opcode {opcode:#04x})"
+                )
             }
             CpuFault::DivByZero { pc } => write!(f, "division by zero at {pc:#x}"),
         }
@@ -451,7 +454,13 @@ mod tests {
         mem.store(0, &[0xff; 16]).unwrap();
         let mut cpu = Cpu::new(0);
         let err = cpu.step(&mut mem).unwrap_err();
-        assert!(matches!(err, CpuFault::BadInstruction { pc: 0, opcode: 0xff }));
+        assert!(matches!(
+            err,
+            CpuFault::BadInstruction {
+                pc: 0,
+                opcode: 0xff
+            }
+        ));
     }
 
     #[test]

@@ -539,29 +539,116 @@ impl Inst {
                 rs: rb,
                 imm,
             },
-            opc::CEQ => Inst::Cmp { op: CmpOp::Eq, rd: ra, rs: rb, rt: rc },
-            opc::CNE => Inst::Cmp { op: CmpOp::Ne, rd: ra, rs: rb, rt: rc },
-            opc::CLTU => Inst::Cmp { op: CmpOp::LtU, rd: ra, rs: rb, rt: rc },
-            opc::CLTS => Inst::Cmp { op: CmpOp::LtS, rd: ra, rs: rb, rt: rc },
-            opc::CLEU => Inst::Cmp { op: CmpOp::LeU, rd: ra, rs: rb, rt: rc },
-            opc::CLES => Inst::Cmp { op: CmpOp::LeS, rd: ra, rs: rb, rt: rc },
-            opc::FADD => Inst::Falu { op: FaluOp::Add, rd: ra, rs: rb, rt: rc },
-            opc::FSUB => Inst::Falu { op: FaluOp::Sub, rd: ra, rs: rb, rt: rc },
-            opc::FMUL => Inst::Falu { op: FaluOp::Mul, rd: ra, rs: rb, rt: rc },
-            opc::FDIV => Inst::Falu { op: FaluOp::Div, rd: ra, rs: rb, rt: rc },
-            opc::FLT => Inst::Fcmp { op: FcmpOp::Lt, rd: ra, rs: rb, rt: rc },
-            opc::FLE => Inst::Fcmp { op: FcmpOp::Le, rd: ra, rs: rb, rt: rc },
-            opc::FEQ => Inst::Fcmp { op: FcmpOp::Eq, rd: ra, rs: rb, rt: rc },
+            opc::CEQ => Inst::Cmp {
+                op: CmpOp::Eq,
+                rd: ra,
+                rs: rb,
+                rt: rc,
+            },
+            opc::CNE => Inst::Cmp {
+                op: CmpOp::Ne,
+                rd: ra,
+                rs: rb,
+                rt: rc,
+            },
+            opc::CLTU => Inst::Cmp {
+                op: CmpOp::LtU,
+                rd: ra,
+                rs: rb,
+                rt: rc,
+            },
+            opc::CLTS => Inst::Cmp {
+                op: CmpOp::LtS,
+                rd: ra,
+                rs: rb,
+                rt: rc,
+            },
+            opc::CLEU => Inst::Cmp {
+                op: CmpOp::LeU,
+                rd: ra,
+                rs: rb,
+                rt: rc,
+            },
+            opc::CLES => Inst::Cmp {
+                op: CmpOp::LeS,
+                rd: ra,
+                rs: rb,
+                rt: rc,
+            },
+            opc::FADD => Inst::Falu {
+                op: FaluOp::Add,
+                rd: ra,
+                rs: rb,
+                rt: rc,
+            },
+            opc::FSUB => Inst::Falu {
+                op: FaluOp::Sub,
+                rd: ra,
+                rs: rb,
+                rt: rc,
+            },
+            opc::FMUL => Inst::Falu {
+                op: FaluOp::Mul,
+                rd: ra,
+                rs: rb,
+                rt: rc,
+            },
+            opc::FDIV => Inst::Falu {
+                op: FaluOp::Div,
+                rd: ra,
+                rs: rb,
+                rt: rc,
+            },
+            opc::FLT => Inst::Fcmp {
+                op: FcmpOp::Lt,
+                rd: ra,
+                rs: rb,
+                rt: rc,
+            },
+            opc::FLE => Inst::Fcmp {
+                op: FcmpOp::Le,
+                rd: ra,
+                rs: rb,
+                rt: rc,
+            },
+            opc::FEQ => Inst::Fcmp {
+                op: FcmpOp::Eq,
+                rd: ra,
+                rs: rb,
+                rt: rc,
+            },
             opc::I2F => Inst::I2f { rd: ra, rs: rb },
             opc::F2I => Inst::F2i { rd: ra, rs: rb },
             opc::FSQRT => Inst::Fsqrt { rd: ra, rs: rb },
-            opc::LD => Inst::Ld { rd: ra, base: rb, off: imm },
-            opc::ST => Inst::St { base: ra, src: rb, off: imm },
-            opc::LDB => Inst::Ldb { rd: ra, base: rb, off: imm },
-            opc::STB => Inst::Stb { base: ra, src: rb, off: imm },
+            opc::LD => Inst::Ld {
+                rd: ra,
+                base: rb,
+                off: imm,
+            },
+            opc::ST => Inst::St {
+                base: ra,
+                src: rb,
+                off: imm,
+            },
+            opc::LDB => Inst::Ldb {
+                rd: ra,
+                base: rb,
+                off: imm,
+            },
+            opc::STB => Inst::Stb {
+                base: ra,
+                src: rb,
+                off: imm,
+            },
             opc::JMP => Inst::Jmp { target: imm as u64 },
-            opc::JZ => Inst::Jz { rs: ra, target: imm as u64 },
-            opc::JNZ => Inst::Jnz { rs: ra, target: imm as u64 },
+            opc::JZ => Inst::Jz {
+                rs: ra,
+                target: imm as u64,
+            },
+            opc::JNZ => Inst::Jnz {
+                rs: ra,
+                target: imm as u64,
+            },
             opc::JMPR => Inst::JmpR { rs: ra },
             opc::CALL => Inst::Call { target: imm as u64 },
             opc::RET => Inst::Ret,
@@ -587,13 +674,35 @@ mod tests {
             Inst::Fsqrt { rd: R4, rs: R5 },
             Inst::I2f { rd: R6, rs: R7 },
             Inst::F2i { rd: R8, rs: R9 },
-            Inst::Ld { rd: R1, base: R2, off: -8 },
-            Inst::St { base: R3, src: R4, off: 16 },
-            Inst::Ldb { rd: R5, base: R6, off: 1 },
-            Inst::Stb { base: R7, src: R8, off: 0 },
+            Inst::Ld {
+                rd: R1,
+                base: R2,
+                off: -8,
+            },
+            Inst::St {
+                base: R3,
+                src: R4,
+                off: 16,
+            },
+            Inst::Ldb {
+                rd: R5,
+                base: R6,
+                off: 1,
+            },
+            Inst::Stb {
+                base: R7,
+                src: R8,
+                off: 0,
+            },
             Inst::Jmp { target: 0x100 },
-            Inst::Jz { rs: R9, target: 0x200 },
-            Inst::Jnz { rs: R10, target: 0x300 },
+            Inst::Jz {
+                rs: R9,
+                target: 0x200,
+            },
+            Inst::Jnz {
+                rs: R10,
+                target: 0x300,
+            },
             Inst::JmpR { rs: R11 },
             Inst::Call { target: 0x400 },
             Inst::Ret,
@@ -613,17 +722,49 @@ mod tests {
             AluOp::Shr,
             AluOp::Sar,
         ] {
-            v.push(Inst::Alu { op, rd: R1, rs: R2, rt: R3 });
-            v.push(Inst::Alui { op, rd: R4, rs: R5, imm: 1234 });
+            v.push(Inst::Alu {
+                op,
+                rd: R1,
+                rs: R2,
+                rt: R3,
+            });
+            v.push(Inst::Alui {
+                op,
+                rd: R4,
+                rs: R5,
+                imm: 1234,
+            });
         }
-        for op in [CmpOp::Eq, CmpOp::Ne, CmpOp::LtU, CmpOp::LtS, CmpOp::LeU, CmpOp::LeS] {
-            v.push(Inst::Cmp { op, rd: R1, rs: R2, rt: R3 });
+        for op in [
+            CmpOp::Eq,
+            CmpOp::Ne,
+            CmpOp::LtU,
+            CmpOp::LtS,
+            CmpOp::LeU,
+            CmpOp::LeS,
+        ] {
+            v.push(Inst::Cmp {
+                op,
+                rd: R1,
+                rs: R2,
+                rt: R3,
+            });
         }
         for op in [FaluOp::Add, FaluOp::Sub, FaluOp::Mul, FaluOp::Div] {
-            v.push(Inst::Falu { op, rd: R1, rs: R2, rt: R3 });
+            v.push(Inst::Falu {
+                op,
+                rd: R1,
+                rs: R2,
+                rt: R3,
+            });
         }
         for op in [FcmpOp::Lt, FcmpOp::Le, FcmpOp::Eq] {
-            v.push(Inst::Fcmp { op, rd: R1, rs: R2, rt: R3 });
+            v.push(Inst::Fcmp {
+                op,
+                rd: R1,
+                rs: R2,
+                rt: R3,
+            });
         }
         v
     }
@@ -646,8 +787,8 @@ mod tests {
 
     #[test]
     fn opcodes_are_distinct() {
-        use std::collections::HashSet;
-        let mut seen = HashSet::new();
+        use std::collections::BTreeSet;
+        let mut seen = BTreeSet::new();
         for inst in all_sample_insts() {
             let op = inst.encode()[0];
             // Distinct *kinds* map to distinct opcode bytes; re-encounters of

@@ -163,9 +163,18 @@ mod tests {
         assert!(m.store_u64(8, 1).is_ok());
         assert_eq!(
             m.store_u64(9, 1),
-            Err(MemFault { addr: 9, write: true })
+            Err(MemFault {
+                addr: 9,
+                write: true
+            })
         );
-        assert_eq!(m.load_u64(9), Err(MemFault { addr: 9, write: false }));
+        assert_eq!(
+            m.load_u64(9),
+            Err(MemFault {
+                addr: 9,
+                write: false
+            })
+        );
     }
 
     #[test]
@@ -178,7 +187,10 @@ mod tests {
 
     #[test]
     fn fault_display() {
-        let f = MemFault { addr: 0x20, write: true };
+        let f = MemFault {
+            addr: 0x20,
+            write: true,
+        };
         assert_eq!(f.to_string(), "memory fault on write at 0x20");
     }
 }

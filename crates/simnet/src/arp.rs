@@ -5,7 +5,7 @@
 //! migration to re-point an IP at a different host's MAC when the hardware
 //! cannot carry the MAC along.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 
 use crate::addr::{IpAddr, MacAddr};
@@ -91,7 +91,7 @@ impl fmt::Display for ArpPacket {
 /// mechanism pod migration uses.
 #[derive(Debug, Clone, Default)]
 pub struct ArpCache {
-    entries: HashMap<IpAddr, MacAddr>,
+    entries: BTreeMap<IpAddr, MacAddr>,
 }
 
 impl ArpCache {

@@ -7,7 +7,7 @@
 //! its new host, even though the frames now come from a different physical
 //! MAC. This module implements both ends with exactly that keying.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 
 use bytes::Bytes;
@@ -114,7 +114,7 @@ pub struct DhcpServer {
     pool_len: u32,
     lease_time: SimDuration,
     /// Lease table keyed by the payload `chaddr`.
-    leases: HashMap<MacAddr, Lease>,
+    leases: BTreeMap<MacAddr, Lease>,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -136,7 +136,7 @@ impl DhcpServer {
             pool_start: pool_start.to_bits(),
             pool_len,
             lease_time,
-            leases: HashMap::new(),
+            leases: BTreeMap::new(),
         }
     }
 
@@ -203,7 +203,7 @@ impl DhcpServer {
             return Some(l.ip);
         }
         // Reclaim the first free (or expired) pool slot.
-        let in_use: HashMap<u32, MacAddr> = self
+        let in_use: BTreeMap<u32, MacAddr> = self
             .leases
             .iter()
             .filter(|(_, l)| l.expires > now)
@@ -299,7 +299,12 @@ impl DhcpClient {
     }
 
     /// Handles a server message, optionally returning a message to send.
-    pub fn on_message(&mut self, msg: &DhcpMessage, now: SimTime, lease_time: SimDuration) -> Option<DhcpMessage> {
+    pub fn on_message(
+        &mut self,
+        msg: &DhcpMessage,
+        now: SimTime,
+        lease_time: SimDuration,
+    ) -> Option<DhcpMessage> {
         if msg.chaddr != self.chaddr || msg.xid != self.xid {
             return None;
         }
@@ -482,9 +487,7 @@ mod tests {
             chaddr: MacAddr::from_index(99),
             yiaddr: IpAddr::from_octets([10, 0, 0, 100]),
         };
-        assert!(c
-            .on_message(&msg, T0, SimDuration::from_secs(1))
-            .is_none());
+        assert!(c.on_message(&msg, T0, SimDuration::from_secs(1)).is_none());
         assert_eq!(c.state(), DhcpClientState::Selecting);
     }
 }

@@ -5,7 +5,7 @@
 //! pod's IP addresses, at the lowest level of the stack. This module is that
 //! hook: the host stack consults it at both ingress and egress.
 
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 use crate::addr::IpAddr;
 use crate::frame::{EthFrame, EthPayload};
@@ -36,7 +36,7 @@ pub enum Verdict {
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct PacketFilter {
-    drop_ips: HashSet<IpAddr>,
+    drop_ips: BTreeSet<IpAddr>,
     dropped: u64,
 }
 
@@ -79,9 +79,7 @@ impl PacketFilter {
             return Verdict::Accept;
         }
         let hit = match &frame.payload {
-            EthPayload::Ipv4(p) => {
-                self.drop_ips.contains(&p.src) || self.drop_ips.contains(&p.dst)
-            }
+            EthPayload::Ipv4(p) => self.drop_ips.contains(&p.src) || self.drop_ips.contains(&p.dst),
             EthPayload::Arp(a) => {
                 self.drop_ips.contains(&a.sender_ip) || self.drop_ips.contains(&a.target_ip)
             }

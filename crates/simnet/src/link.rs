@@ -23,7 +23,9 @@ impl LinkParams {
 
     /// Serialization time of `bytes` on this link.
     pub fn tx_time(&self, bytes: usize) -> SimDuration {
-        SimDuration::from_nanos((bytes as u64 * 8).saturating_mul(1_000_000_000) / self.bandwidth_bps)
+        SimDuration::from_nanos(
+            (bytes as u64 * 8).saturating_mul(1_000_000_000) / self.bandwidth_bps,
+        )
     }
 }
 
@@ -52,7 +54,11 @@ impl LinkState {
     /// time at the far end and records the transmitter busy until the end of
     /// serialization.
     pub fn schedule(&mut self, now: SimTime, bytes: usize, params: &LinkParams) -> SimTime {
-        let start = if self.next_free > now { self.next_free } else { now };
+        let start = if self.next_free > now {
+            self.next_free
+        } else {
+            now
+        };
         let end_of_tx = start + params.tx_time(bytes);
         self.next_free = end_of_tx;
         end_of_tx + params.latency

@@ -7,7 +7,7 @@
 //! in; outgoing frames accumulate in [`NetStack::take_outgoing`] and
 //! readiness transitions in [`NetStack::take_wakes`].
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 use std::fmt;
 
 use bytes::Bytes;
@@ -17,8 +17,8 @@ use crate::addr::{IpAddr, MacAddr, SockAddr};
 use crate::arp::{ArpCache, ArpOp, ArpPacket};
 use crate::filter::{PacketFilter, Verdict};
 use crate::frame::{EthFrame, EthPayload, Ipv4Packet, L4};
-use crate::tcp::{Tcb, TcpConfig, TcpSegment, TcpSnapshot, TcpState};
 use crate::tcp::seq::SeqNum;
+use crate::tcp::{Tcb, TcpConfig, TcpSegment, TcpSnapshot, TcpState};
 use crate::udp::UdpDatagram;
 
 /// Identifier of a socket within one stack.
@@ -130,10 +130,10 @@ pub struct NetStack {
     tcp_cfg: TcpConfig,
     subnet_prefix: u8,
 
-    socks: HashMap<SocketId, SockEntry>,
-    conn_index: HashMap<(SockAddr, SockAddr), SocketId>,
-    listen_index: HashMap<SockAddr, SocketId>,
-    udp_index: HashMap<u16, Vec<SocketId>>,
+    socks: BTreeMap<SocketId, SockEntry>,
+    conn_index: BTreeMap<(SockAddr, SockAddr), SocketId>,
+    listen_index: BTreeMap<SockAddr, SocketId>,
+    udp_index: BTreeMap<u16, Vec<SocketId>>,
 
     next_sock: u64,
     next_eph_port: u16,
@@ -142,7 +142,7 @@ pub struct NetStack {
     out: Vec<EthFrame>,
     wakes: Vec<SockEvent>,
     /// Unresolved destinations: last ARP request time and queued packets.
-    pending_arp: HashMap<IpAddr, (SimTime, Vec<Ipv4Packet>)>,
+    pending_arp: BTreeMap<IpAddr, (SimTime, Vec<Ipv4Packet>)>,
     loopback: VecDeque<Ipv4Packet>,
 
     /// Frames dropped because the egress filter matched.
@@ -174,16 +174,16 @@ impl NetStack {
             filter: PacketFilter::new(),
             tcp_cfg,
             subnet_prefix,
-            socks: HashMap::new(),
-            conn_index: HashMap::new(),
-            listen_index: HashMap::new(),
-            udp_index: HashMap::new(),
+            socks: BTreeMap::new(),
+            conn_index: BTreeMap::new(),
+            listen_index: BTreeMap::new(),
+            udp_index: BTreeMap::new(),
             next_sock: 1,
             next_eph_port: 32768,
             next_iss: 1000,
             out: Vec::new(),
             wakes: Vec::new(),
-            pending_arp: HashMap::new(),
+            pending_arp: BTreeMap::new(),
             loopback: VecDeque::new(),
             egress_drops: 0,
         }
@@ -228,7 +228,12 @@ impl NetStack {
     // ---- interface management (VIF support) ------------------------------
 
     /// Attaches a new interface (a pod VIF). Returns its id.
-    pub fn add_iface(&mut self, name: impl Into<String>, mac: MacAddr, ips: Vec<IpAddr>) -> IfaceId {
+    pub fn add_iface(
+        &mut self,
+        name: impl Into<String>,
+        mac: MacAddr,
+        ips: Vec<IpAddr>,
+    ) -> IfaceId {
         self.ifaces.push(Iface {
             name: name.into(),
             mac,
@@ -255,7 +260,10 @@ impl NetStack {
 
     /// All local IPs across interfaces.
     pub fn local_ips(&self) -> Vec<IpAddr> {
-        self.ifaces.iter().flat_map(|i| i.ips.iter().copied()).collect()
+        self.ifaces
+            .iter()
+            .flat_map(|i| i.ips.iter().copied())
+            .collect()
     }
 
     /// True if `ip` is bound to any local interface.
@@ -387,7 +395,14 @@ impl NetStack {
                 let replies = tcb.on_segment(&seg, now);
                 let after = readiness(tcb);
                 let newly_connected = !was_connected && tcb.is_connected();
-                (replies, tcb.local(), tcb.remote(), before, after, newly_connected)
+                (
+                    replies,
+                    tcb.local(),
+                    tcb.remote(),
+                    before,
+                    after,
+                    newly_connected,
+                )
             };
             self.push_readiness_wakes(sid, before, after);
             if newly_connected {
@@ -403,7 +418,10 @@ impl NetStack {
         let listener = self
             .listen_index
             .get(&local)
-            .or_else(|| self.listen_index.get(&SockAddr::new(IpAddr::UNSPECIFIED, seg.dst_port)))
+            .or_else(|| {
+                self.listen_index
+                    .get(&SockAddr::new(IpAddr::UNSPECIFIED, seg.dst_port))
+            })
             .copied();
         if let Some(lsid) = listener {
             if seg.flags.syn && !seg.flags.ack {
@@ -442,7 +460,10 @@ impl NetStack {
         now: SimTime,
     ) {
         // Check backlog capacity.
-        let Some(SockEntry::TcpListen { backlog, pending, .. }) = self.socks.get(&lsid) else {
+        let Some(SockEntry::TcpListen {
+            backlog, pending, ..
+        }) = self.socks.get(&lsid)
+        else {
             return;
         };
         if pending.len() >= *backlog {
@@ -697,8 +718,16 @@ impl NetStack {
         let local = match bound {
             Some(b) if !b.ip.is_unspecified() && b.port != 0 => *b,
             Some(b) => {
-                let ip = if b.ip.is_unspecified() { self.primary_ip() } else { b.ip };
-                let port = if b.port == 0 { self.alloc_ephemeral_port()? } else { b.port };
+                let ip = if b.ip.is_unspecified() {
+                    self.primary_ip()
+                } else {
+                    b.ip
+                };
+                let port = if b.port == 0 {
+                    self.alloc_ephemeral_port()?
+                } else {
+                    b.port
+                };
                 SockAddr::new(ip, port)
             }
             None => SockAddr::new(self.primary_ip(), self.alloc_ephemeral_port()?),
@@ -721,7 +750,12 @@ impl NetStack {
     ///
     /// [`NetError::ConnectionReset`] after a reset;
     /// [`NetError::InvalidState`] if not a connection.
-    pub fn tcp_send(&mut self, sid: SocketId, data: &[u8], now: SimTime) -> Result<usize, NetError> {
+    pub fn tcp_send(
+        &mut self,
+        sid: SocketId,
+        data: &[u8],
+        now: SimTime,
+    ) -> Result<usize, NetError> {
         let (n, segs, l, r) = {
             let tcb = self.conn_mut(sid)?;
             if tcb.is_reset() {
@@ -741,7 +775,12 @@ impl NetStack {
     ///
     /// [`NetError::ConnectionReset`] if the connection was reset with no
     /// data left; [`NetError::InvalidState`] if not a connection.
-    pub fn tcp_recv(&mut self, sid: SocketId, max: usize, now: SimTime) -> Result<RecvOutcome, NetError> {
+    pub fn tcp_recv(
+        &mut self,
+        sid: SocketId,
+        max: usize,
+        now: SimTime,
+    ) -> Result<RecvOutcome, NetError> {
         let (out, segs, l, r) = {
             let tcb = self.conn_mut(sid)?;
             let (data, segs) = tcb.read(max, now);
@@ -776,7 +815,12 @@ impl NetStack {
     /// # Errors
     ///
     /// [`NetError::InvalidState`] if not a connection.
-    pub fn tcp_set_nodelay(&mut self, sid: SocketId, on: bool, now: SimTime) -> Result<(), NetError> {
+    pub fn tcp_set_nodelay(
+        &mut self,
+        sid: SocketId,
+        on: bool,
+        now: SimTime,
+    ) -> Result<(), NetError> {
         let (segs, l, r) = {
             let tcb = self.conn_mut(sid)?;
             let segs = tcb.set_nodelay(on, now);
@@ -867,7 +911,11 @@ impl NetStack {
                 self.bind(sid, b)?
             }
         };
-        let src_ip = if local.ip.is_unspecified() { self.primary_ip() } else { local.ip };
+        let src_ip = if local.ip.is_unspecified() {
+            self.primary_ip()
+        } else {
+            local.ip
+        };
         let dgram = UdpDatagram::new(local.port, dst.port, payload);
         self.send_ip(
             Ipv4Packet {
@@ -933,7 +981,11 @@ impl NetStack {
     /// # Errors
     ///
     /// [`NetError::AddrInUse`] if the address already has a listener.
-    pub fn tcp_restore_listener(&mut self, local: SockAddr, backlog: usize) -> Result<SocketId, NetError> {
+    pub fn tcp_restore_listener(
+        &mut self,
+        local: SockAddr,
+        backlog: usize,
+    ) -> Result<SocketId, NetError> {
         if self.listen_index.contains_key(&local) {
             return Err(NetError::AddrInUse);
         }
@@ -991,9 +1043,7 @@ impl NetStack {
             .iter()
             .filter_map(|child| match self.socks.get(child) {
                 Some(SockEntry::TcpConn(tcb))
-                    if tcb.is_connected()
-                        && !tcb.is_reset()
-                        && tcb.state() != TcpState::Closed =>
+                    if tcb.is_connected() && !tcb.is_reset() && tcb.state() != TcpState::Closed =>
                 {
                     Some(tcb.snapshot())
                 }

@@ -1,6 +1,6 @@
 //! A learning Ethernet switch.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 
 use crate::addr::MacAddr;
@@ -26,7 +26,7 @@ impl fmt::Display for PortId {
 #[derive(Debug, Clone)]
 pub struct Switch {
     ports: usize,
-    table: HashMap<MacAddr, PortId>,
+    table: BTreeMap<MacAddr, PortId>,
 }
 
 impl Switch {
@@ -39,7 +39,7 @@ impl Switch {
         assert!(ports > 0, "a switch needs at least one port");
         Switch {
             ports,
-            table: HashMap::new(),
+            table: BTreeMap::new(),
         }
     }
 

@@ -439,7 +439,10 @@ mod tests {
         rb.insert(SeqNum::new(0), &b(b"abcd"), nxt);
         assert_eq!(rb.window(), 4);
         // Beyond capacity gets truncated.
-        assert_eq!(rb.insert(SeqNum::new(4), &b(b"efghIJKL"), SeqNum::new(4)), 4);
+        assert_eq!(
+            rb.insert(SeqNum::new(4), &b(b"efghIJKL"), SeqNum::new(4)),
+            4
+        );
         assert_eq!(rb.window(), 0);
         assert_eq!(rb.read(100), b"abcdefgh");
         assert_eq!(rb.window(), 8);

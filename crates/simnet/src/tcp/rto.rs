@@ -76,9 +76,8 @@ impl RtoEstimator {
             Some(srtt) => srtt + self.rttvar * 4,
         };
         let base = base.max(self.min_rto);
-        let shifted = SimDuration::from_nanos(
-            base.as_nanos().saturating_mul(1u64 << self.backoff.min(32)),
-        );
+        let shifted =
+            SimDuration::from_nanos(base.as_nanos().saturating_mul(1u64 << self.backoff.min(32)));
         shifted.min(self.max_rto).max(self.min_rto)
     }
 

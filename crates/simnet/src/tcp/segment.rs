@@ -26,15 +26,40 @@ pub struct TcpFlags {
 
 impl TcpFlags {
     /// Flags for a pure data or acknowledgement segment.
-    pub const ACK: TcpFlags = TcpFlags { syn: false, ack: true, fin: false, rst: false };
+    pub const ACK: TcpFlags = TcpFlags {
+        syn: false,
+        ack: true,
+        fin: false,
+        rst: false,
+    };
     /// Flags for an initial SYN.
-    pub const SYN: TcpFlags = TcpFlags { syn: true, ack: false, fin: false, rst: false };
+    pub const SYN: TcpFlags = TcpFlags {
+        syn: true,
+        ack: false,
+        fin: false,
+        rst: false,
+    };
     /// Flags for a SYN-ACK.
-    pub const SYN_ACK: TcpFlags = TcpFlags { syn: true, ack: true, fin: false, rst: false };
+    pub const SYN_ACK: TcpFlags = TcpFlags {
+        syn: true,
+        ack: true,
+        fin: false,
+        rst: false,
+    };
     /// Flags for a FIN-ACK.
-    pub const FIN_ACK: TcpFlags = TcpFlags { syn: false, ack: true, fin: true, rst: false };
+    pub const FIN_ACK: TcpFlags = TcpFlags {
+        syn: false,
+        ack: true,
+        fin: true,
+        rst: false,
+    };
     /// Flags for a RST.
-    pub const RST: TcpFlags = TcpFlags { syn: false, ack: false, fin: false, rst: true };
+    pub const RST: TcpFlags = TcpFlags {
+        syn: false,
+        ack: false,
+        fin: false,
+        rst: true,
+    };
 }
 
 impl fmt::Display for TcpFlags {
@@ -84,9 +109,7 @@ impl TcpSegment {
     /// The sequence-number length of the segment: payload bytes plus one for
     /// SYN and one for FIN.
     pub fn seq_len(&self) -> u32 {
-        self.payload.len() as u32
-            + u32::from(self.flags.syn)
-            + u32::from(self.flags.fin)
+        self.payload.len() as u32 + u32::from(self.flags.syn) + u32::from(self.flags.fin)
     }
 
     /// The sequence number just past this segment.

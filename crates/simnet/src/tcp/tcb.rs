@@ -836,9 +836,21 @@ mod tests {
     /// Drives a full handshake and returns (client, server).
     fn established() -> (Tcb, Tcb) {
         let cfg = TcpConfig::default();
-        let (mut c, syns) = Tcb::connect(cfg.clone(), addr(1, 4000), addr(2, 80), SeqNum::new(100), T0);
-        let (mut s, synacks) =
-            Tcb::accept_syn(cfg, addr(2, 80), addr(1, 4000), SeqNum::new(900), &syns[0], T0);
+        let (mut c, syns) = Tcb::connect(
+            cfg.clone(),
+            addr(1, 4000),
+            addr(2, 80),
+            SeqNum::new(100),
+            T0,
+        );
+        let (mut s, synacks) = Tcb::accept_syn(
+            cfg,
+            addr(2, 80),
+            addr(1, 4000),
+            SeqNum::new(900),
+            &syns[0],
+            T0,
+        );
         let acks = c.on_segment(&synacks[0], T0);
         assert_eq!(c.state(), TcpState::Established);
         for a in &acks {
@@ -1064,7 +1076,8 @@ mod tests {
             ..TcpConfig::default()
         };
         let (mut c, syns) = Tcb::connect(cfg.clone(), addr(1, 1), addr(2, 2), SeqNum::new(0), T0);
-        let (mut s, synacks) = Tcb::accept_syn(cfg, addr(2, 2), addr(1, 1), SeqNum::new(0), &syns[0], T0);
+        let (mut s, synacks) =
+            Tcb::accept_syn(cfg, addr(2, 2), addr(1, 1), SeqNum::new(0), &syns[0], T0);
         let acks = c.on_segment(&synacks[0], T0);
         let _ = deliver(&mut s, &acks, T0);
 
@@ -1170,7 +1183,13 @@ mod tests {
     #[test]
     #[should_panic(expected = "cannot snapshot")]
     fn snapshot_rejects_handshake_states() {
-        let (c, _syn) = Tcb::connect(TcpConfig::default(), addr(1, 1), addr(2, 2), SeqNum::new(0), T0);
+        let (c, _syn) = Tcb::connect(
+            TcpConfig::default(),
+            addr(1, 1),
+            addr(2, 2),
+            SeqNum::new(0),
+            T0,
+        );
         let _ = c.snapshot();
     }
 

@@ -60,11 +60,7 @@ impl Wire {
         let horizon = self.now + SimDuration::from_secs(2);
         for _ in 0..100_000 {
             self.pump_outgoing();
-            let next_timer = self
-                .stacks
-                .iter()
-                .filter_map(|s| s.next_timer())
-                .min();
+            let next_timer = self.stacks.iter().filter_map(|s| s.next_timer()).min();
             match (self.queue.peek_time(), next_timer) {
                 (Some(ft), Some(tt)) if tt < ft => {
                     self.now = tt;
@@ -257,7 +253,10 @@ fn udp_unicast_and_broadcast() {
         .unwrap();
     w.settle();
     assert_eq!(
-        w.stacks[1].udp_recv_from(r1).unwrap().map(|(_, d)| d.to_vec()),
+        w.stacks[1]
+            .udp_recv_from(r1)
+            .unwrap()
+            .map(|(_, d)| d.to_vec()),
         Some(b"uni".to_vec())
     );
     assert_eq!(w.stacks[2].udp_recv_from(r2).unwrap(), None);
@@ -286,7 +285,9 @@ fn bind_errors_are_reported() {
         Err(NetError::AddrNotAvailable)
     );
     // Listener conflict is caught at bind time.
-    w.stacks[0].bind(s1, SockAddr::new(IpAddr::UNSPECIFIED, 80)).unwrap();
+    w.stacks[0]
+        .bind(s1, SockAddr::new(IpAddr::UNSPECIFIED, 80))
+        .unwrap();
     w.stacks[0].tcp_listen(s1, 1).unwrap();
     let s2 = w.stacks[0].tcp_socket();
     assert_eq!(
@@ -388,7 +389,9 @@ fn checkpoint_snapshot_survives_stack_round_trip() {
     if !snap.unsent.is_empty() {
         w.stacks[2].tcp_send(restored, &snap.unsent, w.now).unwrap();
     }
-    w.stacks[2].tcp_set_nodelay(restored, snap.nodelay, w.now).unwrap();
+    w.stacks[2]
+        .tcp_set_nodelay(restored, snap.nodelay, w.now)
+        .unwrap();
     w.stacks[2].send_gratuitous_arp(pod_ip, mac_new);
     w.settle();
 
@@ -424,7 +427,10 @@ fn dhcp_over_the_wire_preserves_identity_across_hosts() {
     );
     let srv_sock = w.stacks[0].udp_socket();
     w.stacks[0]
-        .bind(srv_sock, SockAddr::new(IpAddr::UNSPECIFIED, DHCP_SERVER_PORT))
+        .bind(
+            srv_sock,
+            SockAddr::new(IpAddr::UNSPECIFIED, DHCP_SERVER_PORT),
+        )
         .unwrap();
 
     let fake_mac = MacAddr::from_index(4242);
@@ -434,7 +440,10 @@ fn dhcp_over_the_wire_preserves_identity_across_hosts() {
     let acquire = |w: &mut Wire, server: &mut DhcpServer, host: usize, xid: u32| -> IpAddr {
         let cli_sock = w.stacks[host].udp_socket();
         w.stacks[host]
-            .bind(cli_sock, SockAddr::new(IpAddr::UNSPECIFIED, DHCP_CLIENT_PORT))
+            .bind(
+                cli_sock,
+                SockAddr::new(IpAddr::UNSPECIFIED, DHCP_CLIENT_PORT),
+            )
             .unwrap();
         let mut client = DhcpClient::new(fake_mac, xid);
         let discover = client.start();

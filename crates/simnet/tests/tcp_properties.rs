@@ -1,7 +1,6 @@
 //! Property tests for the TCP implementation: the reliable-delivery contract
 //! the Cruz coordinated checkpoint protocol (§5.1) depends on.
 
-
 use des::{EventQueue, SimDuration, SimTime};
 use proptest::prelude::*;
 use simnet::addr::{IpAddr, SockAddr};
@@ -88,7 +87,11 @@ impl Harness {
     fn fate(&mut self) -> Fate {
         // After the scripted schedule runs out, the network behaves — this
         // guarantees every run terminates with full delivery.
-        let f = self.fates.get(self.next_fate).copied().unwrap_or(Fate::Deliver);
+        let f = self
+            .fates
+            .get(self.next_fate)
+            .copied()
+            .unwrap_or(Fate::Deliver);
         self.next_fate += 1;
         f
     }
@@ -114,7 +117,12 @@ impl Harness {
         let mut events = 0;
         loop {
             // Schedule timer ticks so retransmissions fire.
-            let timer = self.a.next_timer().into_iter().chain(self.b.next_timer()).min();
+            let timer = self
+                .a
+                .next_timer()
+                .into_iter()
+                .chain(self.b.next_timer())
+                .min();
             let next_seg_at = self.queue.peek_time();
             let next = match (next_seg_at, timer) {
                 (Some(s), Some(t)) => Some(s.min(t)),

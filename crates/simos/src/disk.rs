@@ -76,7 +76,11 @@ impl Disk {
     }
 
     fn submit(&mut self, now: SimTime, bytes: u64) -> SimTime {
-        let start = if self.busy_until > now { self.busy_until } else { now };
+        let start = if self.busy_until > now {
+            self.busy_until
+        } else {
+            now
+        };
         let done = start + self.params.io_time(bytes);
         self.busy_until = done;
         done

@@ -101,7 +101,12 @@ mod tests {
 
     #[test]
     fn ret_encoding_round_trips() {
-        for e in [Errno::Badf, Errno::ConnReset, Errno::NoSys, Errno::ConnRefused] {
+        for e in [
+            Errno::Badf,
+            Errno::ConnReset,
+            Errno::NoSys,
+            Errno::ConnRefused,
+        ] {
             assert_eq!(Errno::decode(e.to_ret()), Err(e));
         }
         assert_eq!(Errno::decode(42), Ok(42));

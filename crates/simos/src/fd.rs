@@ -8,7 +8,7 @@ use simnet::stack::SocketId;
 pub type Fd = u32;
 
 /// Identifier of a pipe object in the kernel pipe table.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct PipeId(pub u64);
 
 /// Which end of a pipe a descriptor refers to.
@@ -151,7 +151,13 @@ mod tests {
     #[test]
     fn install_at_restores_exact_numbers() {
         let mut t = FdTable::new();
-        t.install_at(7, Desc::File { path: "x".into(), offset: 3 });
+        t.install_at(
+            7,
+            Desc::File {
+                path: "x".into(),
+                offset: 3,
+            },
+        );
         assert!(matches!(t.get(7), Some(Desc::File { offset: 3, .. })));
         // Next dynamic insert avoids the occupied slot.
         let fd = t.insert(Desc::Console);

@@ -9,7 +9,7 @@
 //! a kernel module could reach.
 
 use std::cell::RefCell;
-use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 use std::rc::Rc;
 
 use des::{SimDuration, SimTime};
@@ -101,8 +101,8 @@ pub struct Kernel {
     /// Semaphore table (public for checkpoint extraction).
     pub sems: SemTable,
 
-    shm_by_key: HashMap<u64, SharedSeg>,
-    shm_by_id: HashMap<u64, SharedSeg>,
+    shm_by_key: BTreeMap<u64, SharedSeg>,
+    shm_by_id: BTreeMap<u64, SharedSeg>,
     next_shm: u64,
 
     procs: BTreeMap<Pid, Process>,
@@ -131,8 +131,8 @@ impl Kernel {
             disk,
             pipes: PipeTable::new(),
             sems: SemTable::new(),
-            shm_by_key: HashMap::new(),
-            shm_by_id: HashMap::new(),
+            shm_by_key: BTreeMap::new(),
+            shm_by_id: BTreeMap::new(),
             next_shm: 1,
             procs: BTreeMap::new(),
             run_queue: VecDeque::new(),
@@ -606,8 +606,18 @@ impl Kernel {
             },
             nr::WAITPID => self.sys_waitpid(pid, args[0] as Pid),
             nr::IOCTL => self.sys_ioctl(pid, args[0] as Fd, args[1], args[2]),
-            nr::SENDTO => self.sys_sendto(pid, args[0] as Fd, args[1], args[2], args[3], args[4] as usize, now),
-            nr::RECVFROM => self.sys_recvfrom(pid, args[0] as Fd, args[1], args[2] as usize, args[3]),
+            nr::SENDTO => self.sys_sendto(
+                pid,
+                args[0] as Fd,
+                args[1],
+                args[2],
+                args[3],
+                args[4] as usize,
+                now,
+            ),
+            nr::RECVFROM => {
+                self.sys_recvfrom(pid, args[0] as Fd, args[1], args[2] as usize, args[3])
+            }
             _ => Outcome::Ret(Errno::NoSys.to_ret()),
         }
     }
@@ -745,7 +755,10 @@ impl Kernel {
                 }
                 Outcome::Ret(n)
             }
-            Desc::Pipe { id, end: PipeEnd::Read } => {
+            Desc::Pipe {
+                id,
+                end: PipeEnd::Read,
+            } => {
                 let data = self.pipes.read(id, len);
                 if !data.is_empty() {
                     if let Err(e) = self.write_guest(pid, buf, &data) {
@@ -786,7 +799,10 @@ impl Kernel {
                 }
                 Outcome::Ret(len as u64)
             }
-            Desc::Pipe { id, end: PipeEnd::Write } => {
+            Desc::Pipe {
+                id,
+                end: PipeEnd::Write,
+            } => {
                 let data = match self.read_guest(pid, buf, len) {
                     Ok(d) => d,
                     Err(e) => return Outcome::Ret(e.to_ret()),
@@ -808,8 +824,14 @@ impl Kernel {
     fn sys_pipe(&mut self, pid: Pid, out_ptr: u64) -> Outcome {
         let id = self.pipes.create();
         let p = self.procs.get(&pid).expect("caller exists");
-        let rfd = p.fds.borrow_mut().insert(Desc::Pipe { id, end: PipeEnd::Read });
-        let wfd = p.fds.borrow_mut().insert(Desc::Pipe { id, end: PipeEnd::Write });
+        let rfd = p.fds.borrow_mut().insert(Desc::Pipe {
+            id,
+            end: PipeEnd::Read,
+        });
+        let wfd = p.fds.borrow_mut().insert(Desc::Pipe {
+            id,
+            end: PipeEnd::Write,
+        });
         let mut bytes = Vec::with_capacity(16);
         bytes.extend_from_slice(&(rfd as u64).to_le_bytes());
         bytes.extend_from_slice(&(wfd as u64).to_le_bytes());
@@ -1012,9 +1034,9 @@ impl Kernel {
         match self.sems.try_op(id, idx, delta) {
             Some(_) => {
                 if delta > 0 {
-                    self.wake_matching(&|w| {
-                        matches!(w, WaitFor::Sem { id: i, idx: j } if *i == id && *j == idx)
-                    });
+                    self.wake_matching(
+                        &|w| matches!(w, WaitFor::Sem { id: i, idx: j } if *i == id && *j == idx),
+                    );
                 }
                 Outcome::Ret(0)
             }
@@ -1048,7 +1070,11 @@ impl Kernel {
     pub fn fork_process(&mut self, parent: Pid) -> Result<Pid, Errno> {
         let (mem_copy, fds_copy, mut cpu) = {
             let p = self.procs.get(&parent).ok_or(Errno::Srch)?;
-            (p.mem.borrow().clone(), p.fds.borrow().clone(), p.cpu.clone())
+            (
+                p.mem.borrow().clone(),
+                p.fds.borrow().clone(),
+                p.cpu.clone(),
+            )
         };
         // New references to shared pipe ends.
         for (_fd, desc) in fds_copy.iter() {
@@ -1077,7 +1103,11 @@ impl Kernel {
     /// True if any descriptor other than those in `excluding_table` still
     /// refers to `sid` (fork shares sockets across distinct tables; a
     /// socket closes only when the last copy does).
-    fn socket_referenced_elsewhere(&self, sid: SocketId, excluding_table: &Rc<RefCell<FdTable>>) -> bool {
+    fn socket_referenced_elsewhere(
+        &self,
+        sid: SocketId,
+        excluding_table: &Rc<RefCell<FdTable>>,
+    ) -> bool {
         self.procs.values().any(|p| {
             if Rc::ptr_eq(&p.fds, excluding_table) {
                 return false;
@@ -1164,7 +1194,16 @@ impl Kernel {
     }
 
     #[allow(clippy::too_many_arguments)] // mirrors the guest ABI argument list
-    fn sys_sendto(&mut self, pid: Pid, fd: Fd, ip: u64, port: u64, buf: u64, len: usize, now: SimTime) -> Outcome {
+    fn sys_sendto(
+        &mut self,
+        pid: Pid,
+        fd: Fd,
+        ip: u64,
+        port: u64,
+        buf: u64,
+        len: usize,
+        now: SimTime,
+    ) -> Outcome {
         let sid = match self.sock_of(pid, fd) {
             Ok(s) => s,
             Err(e) => return Outcome::Ret(e.to_ret()),
@@ -1174,7 +1213,10 @@ impl Kernel {
             Err(e) => return Outcome::Ret(e.to_ret()),
         };
         let dst = SockAddr::new(IpAddr::from_bits(ip as u32), port as u16);
-        match self.net.udp_send_to(sid, dst, bytes::Bytes::from(data), now) {
+        match self
+            .net
+            .udp_send_to(sid, dst, bytes::Bytes::from(data), now)
+        {
             Ok(()) => {
                 self.process_net_wakes();
                 Outcome::Ret(len as u64)
@@ -1228,11 +1270,8 @@ impl Kernel {
         if last_of_group {
             // Drain the table as it closes, so the zombie's descriptors do
             // not count as live references for fork-shared objects.
-            let entries: Vec<(Fd, Desc)> = fds
-                .borrow()
-                .iter()
-                .map(|(fd, d)| (fd, d.clone()))
-                .collect();
+            let entries: Vec<(Fd, Desc)> =
+                fds.borrow().iter().map(|(fd, d)| (fd, d.clone())).collect();
             for (fd, _) in &entries {
                 let _ = fds.borrow_mut().remove(*fd);
             }

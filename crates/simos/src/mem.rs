@@ -146,7 +146,13 @@ impl AddressSpace {
         self.map_area(start, len, AreaBacking::Shared(seg), tag)
     }
 
-    fn map_area(&mut self, start: u64, len: u64, backing: AreaBacking, tag: &str) -> Result<(), MapError> {
+    fn map_area(
+        &mut self,
+        start: u64,
+        len: u64,
+        backing: AreaBacking,
+        tag: &str,
+    ) -> Result<(), MapError> {
         if len == 0 || !start.is_multiple_of(PAGE_SIZE) || !len.is_multiple_of(PAGE_SIZE) {
             return Err(MapError::BadAlignment);
         }
@@ -284,11 +290,14 @@ impl AddressSpace {
         }
         // Validate the whole range against areas first.
         let mut cursor = addr;
-        let end = addr.checked_add(len as u64).ok_or(MemFault { addr, write })?;
+        let end = addr
+            .checked_add(len as u64)
+            .ok_or(MemFault { addr, write })?;
         while cursor < end {
-            let area = self
-                .area_for(cursor)
-                .ok_or(MemFault { addr: cursor, write })?;
+            let area = self.area_for(cursor).ok_or(MemFault {
+                addr: cursor,
+                write,
+            })?;
             cursor = area.end().min(end);
         }
         // Then perform page-wise.
@@ -413,7 +422,10 @@ mod tests {
         assert_eq!(s.map(0x1000, 100, "x"), Err(MapError::BadAlignment));
         assert_eq!(s.map(0x1000, 0, "x"), Err(MapError::BadAlignment));
         s.map(0x1000, PAGE_SIZE * 2, "x").unwrap();
-        assert_eq!(s.map(0x1000 + PAGE_SIZE, PAGE_SIZE, "y"), Err(MapError::Overlap));
+        assert_eq!(
+            s.map(0x1000 + PAGE_SIZE, PAGE_SIZE, "y"),
+            Err(MapError::Overlap)
+        );
     }
 
     #[test]

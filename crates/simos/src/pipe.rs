@@ -1,6 +1,6 @@
 //! Kernel pipe objects.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 use crate::fd::PipeId;
 
@@ -61,7 +61,7 @@ impl Pipe {
 /// The kernel's table of pipe objects.
 #[derive(Debug, Clone, Default)]
 pub struct PipeTable {
-    pipes: HashMap<PipeId, Pipe>,
+    pipes: BTreeMap<PipeId, Pipe>,
     next: u64,
 }
 

@@ -161,7 +161,10 @@ mod tests {
         let sp = prog.load_into(&mut space).unwrap();
         assert_eq!(sp, STACK_TOP);
         assert_eq!(space.load_u8(DATA_BASE).unwrap(), 9);
-        assert_eq!(space.load_u8(CODE_BASE).unwrap(), asm.assemble().unwrap()[0]);
+        assert_eq!(
+            space.load_u8(CODE_BASE).unwrap(),
+            asm.assemble().unwrap()[0]
+        );
         assert!(space.area_for(0x2000_0000).is_some());
         assert!(space.area_for(STACK_TOP - 8).is_some());
         assert_eq!(prog.initialized_bytes(), 32 + 3);

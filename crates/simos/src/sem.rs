@@ -1,16 +1,16 @@
 //! System-V-style semaphore sets.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// A semaphore set identifier.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct SemId(pub u64);
 
 /// The kernel semaphore table.
 #[derive(Debug, Clone, Default)]
 pub struct SemTable {
-    sets: HashMap<SemId, Vec<i64>>,
-    by_key: HashMap<u64, SemId>,
+    sets: BTreeMap<SemId, Vec<i64>>,
+    by_key: BTreeMap<u64, SemId>,
     next: u64,
 }
 

@@ -121,6 +121,11 @@ pub enum HookDecision {
 /// multiplexes per-pod behaviour internally.
 pub trait SyscallHook {
     /// Inspects (and possibly services) a syscall before the kernel does.
-    fn on_syscall(&mut self, kernel: &mut Kernel, pid: Pid, num: u64, args: [u64; 5])
-        -> HookDecision;
+    fn on_syscall(
+        &mut self,
+        kernel: &mut Kernel,
+        pid: Pid,
+        num: u64,
+        args: [u64; 5],
+    ) -> HookDecision;
 }

@@ -2,7 +2,7 @@
 
 use des::{SimDuration, SimTime};
 use simcpu::asm::Asm;
-use simcpu::isa::{R1, R2, R3, R6, R7, R8, R9, R10};
+use simcpu::isa::{R1, R10, R2, R3, R6, R7, R8, R9};
 use simnet::addr::{IpAddr, MacAddr};
 use simnet::tcp::TcpConfig;
 use simnet::NetStack;
@@ -44,7 +44,9 @@ fn hello_world_logs_and_exits() {
     let mut a = Asm::new(CODE_BASE);
     a.sys2(nr::LOG, DATA_BASE as i64, 5);
     a.sys1(nr::EXIT, 7);
-    let prog = Program::from_asm(&a).unwrap().with_data(DATA_BASE, b"hello".to_vec());
+    let prog = Program::from_asm(&a)
+        .unwrap()
+        .with_data(DATA_BASE, b"hello".to_vec());
     let mut k = kernel();
     let pid = k.spawn(&prog).unwrap();
     run(&mut k);
@@ -151,13 +153,13 @@ fn pipe_between_threads() {
     a.movi(R6, fds_ptr);
     a.ld(R7, R6, 0); // rfd
     a.ld(R8, R6, 8); // wfd
-    // spawn(reader_entry, stack2 top, rfd)
+                     // spawn(reader_entry, stack2 top, rfd)
     a.movi_label(R1, reader);
     a.movi(R2, (stack2 + 0x4000) as i64);
     a.mov(R3, R7);
     a.sys(nr::SPAWN);
     a.mov(R9, simcpu::isa::R0); // child pid
-    // write(wfd, msg, 4)
+                                // write(wfd, msg, 4)
     a.mov(R1, R8);
     a.movi(R2, msg);
     a.movi(R3, 4);
@@ -204,7 +206,7 @@ fn semaphores_synchronize_threads() {
     a.mov(R6, simcpu::isa::R0); // s0
     a.sys2(nr::SEMGET, 2, 1);
     a.mov(R7, simcpu::isa::R0); // s1
-    // spawn worker
+                                // spawn worker
     a.movi_label(R1, worker);
     a.movi(R2, (stack2 + 0x4000) as i64);
     a.mov(R3, R6);
@@ -362,7 +364,10 @@ fn tcp_echo_over_loopback() {
     run(&mut k);
     assert_eq!(exit_code(&k, server), Some(0));
     assert_eq!(exit_code(&k, client), Some(0));
-    assert_eq!(k.process(client).unwrap().console, vec!["echo me".to_string()]);
+    assert_eq!(
+        k.process(client).unwrap().console,
+        vec!["echo me".to_string()]
+    );
 }
 
 #[test]
@@ -388,7 +393,9 @@ fn udp_round_trip_over_loopback() {
     r.mov(R2, R7);
     r.sys(nr::LOG);
     r.sys1(nr::EXIT, 0);
-    let recv_prog = Program::from_asm(&r).unwrap().with_data(DATA_BASE, vec![0u8; 256]);
+    let recv_prog = Program::from_asm(&r)
+        .unwrap()
+        .with_data(DATA_BASE, vec![0u8; 256]);
 
     // Sender: sendto(ip:5353, "dgram").
     let msg_addr = DATA_BASE as i64;
@@ -403,7 +410,9 @@ fn udp_round_trip_over_loopback() {
     s.movi(simcpu::isa::R5, 5);
     s.sys(nr::SENDTO);
     s.sys1(nr::EXIT, 0);
-    let send_prog = Program::from_asm(&s).unwrap().with_data(DATA_BASE, b"dgram".to_vec());
+    let send_prog = Program::from_asm(&s)
+        .unwrap()
+        .with_data(DATA_BASE, b"dgram".to_vec());
 
     let mut k = kernel();
     let receiver = k.spawn(&recv_prog).unwrap();
@@ -411,7 +420,10 @@ fn udp_round_trip_over_loopback() {
     run(&mut k);
     assert_eq!(exit_code(&k, sender), Some(0));
     assert_eq!(exit_code(&k, receiver), Some(0));
-    assert_eq!(k.process(receiver).unwrap().console, vec!["dgram".to_string()]);
+    assert_eq!(
+        k.process(receiver).unwrap().console,
+        vec!["dgram".to_string()]
+    );
 }
 
 #[test]
@@ -465,7 +477,9 @@ fn waitpid_blocks_until_child_exits() {
     a.bind(child);
     a.sys1(nr::SLEEP, 2_000_000);
     a.sys1(nr::EXIT, 55);
-    let prog = Program::from_asm(&a).unwrap().with_map(stack2, 0x4000, "stack2");
+    let prog = Program::from_asm(&a)
+        .unwrap()
+        .with_map(stack2, 0x4000, "stack2");
     let mut k = kernel();
     let pid = k.spawn(&prog).unwrap();
     run(&mut k);
@@ -539,7 +553,7 @@ fn fork_copies_memory_but_does_not_share_it() {
     a.mov(R8, simcpu::isa::R0); // child's exit code (its view: 2)
     a.movi(R6, cell);
     a.ld(R7, R6, 0); // parent's view
-    // exit(child_view * 10 + parent_view) => 21
+                     // exit(child_view * 10 + parent_view) => 21
     a.muli(R8, R8, 10);
     a.add(R1, R8, R7);
     a.sys(nr::EXIT);
@@ -549,7 +563,9 @@ fn fork_copies_memory_but_does_not_share_it() {
     a.st(R6, R7, 0);
     a.ld(R1, R6, 0);
     a.sys(nr::EXIT);
-    let prog = Program::from_asm(&a).unwrap().with_data(DATA_BASE, vec![0u8; 16]);
+    let prog = Program::from_asm(&a)
+        .unwrap()
+        .with_data(DATA_BASE, vec![0u8; 16]);
     let mut k = kernel();
     let pid = k.spawn(&prog).unwrap();
     run(&mut k);
@@ -616,5 +632,8 @@ fn forked_child_shares_sockets_until_last_close() {
     let pid = k.spawn(&prog).unwrap();
     run(&mut k);
     assert_eq!(exit_code(&k, pid), Some(0));
-    assert_eq!(k.process(pid).unwrap().console, vec!["from fork".to_string()]);
+    assert_eq!(
+        k.process(pid).unwrap().console,
+        vec!["from fork".to_string()]
+    );
 }

@@ -5,7 +5,7 @@
 //! and `r11`–`r13`.
 
 use simcpu::asm::Asm;
-use simcpu::isa::{Reg, R0, R1, R2, R3, R4, R5, R10};
+use simcpu::isa::{Reg, R0, R1, R10, R2, R3, R4, R5};
 use simnet::addr::IpAddr;
 use simos::guest::AsmOs;
 use simos::syscall::nr;

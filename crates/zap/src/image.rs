@@ -604,7 +604,9 @@ impl PodImage {
         let ip = IpAddr::from_bits(r.u32()?);
         let mac_mode = match r.u8()? {
             0 => MacMode::Dedicated(read_mac(&mut r)?),
-            1 => MacMode::SharedPhysical { fake_mac: read_mac(&mut r)? },
+            1 => MacMode::SharedPhysical {
+                fake_mac: read_mac(&mut r)?,
+            },
             t => return Err(ImageError::BadTag(t)),
         };
         let next_vpid = r.u32()?;
@@ -690,11 +692,8 @@ impl PodImage {
         let mut merged = delta.clone();
         merged.base_epoch = None;
         for (gi, group) in merged.groups.iter_mut().enumerate() {
-            let mut pages: std::collections::BTreeMap<u64, Vec<u8>> = self.groups[gi]
-                .pages
-                .iter()
-                .cloned()
-                .collect();
+            let mut pages: std::collections::BTreeMap<u64, Vec<u8>> =
+                self.groups[gi].pages.iter().cloned().collect();
             for (addr, data) in &delta.groups[gi].pages {
                 pages.insert(*addr, data.clone());
             }
@@ -730,7 +729,11 @@ fn read_sockaddr(r: &mut ImageReader<'_>) -> Result<SockAddr, ImageError> {
 
 fn encode_sock(w: &mut ImageWriter, s: &SockImage) {
     match s {
-        SockImage::Listen { local, backlog, pending } => {
+        SockImage::Listen {
+            local,
+            backlog,
+            pending,
+        } => {
             w.u8(0);
             write_sockaddr(w, *local);
             w.u32(*backlog);
@@ -829,7 +832,11 @@ fn decode_sock(r: &mut ImageReader<'_>) -> Result<SockImage, ImageError> {
                 let snap = decode_conn(r)?;
                 pending.push((snap, r.bytes()?));
             }
-            SockImage::Listen { local, backlog, pending }
+            SockImage::Listen {
+                local,
+                backlog,
+                pending,
+            }
         }
         1 => {
             let snap = decode_conn(r)?;
@@ -837,7 +844,11 @@ fn decode_sock(r: &mut ImageReader<'_>) -> Result<SockImage, ImageError> {
             SockImage::Conn { snap, alt_recv }
         }
         2 => {
-            let bound = if r.bool()? { Some(read_sockaddr(r)?) } else { None };
+            let bound = if r.bool()? {
+                Some(read_sockaddr(r)?)
+            } else {
+                None
+            };
             let n = r.u32()?;
             let mut queue = Vec::with_capacity(n as usize);
             for _ in 0..n {
@@ -847,7 +858,11 @@ fn decode_sock(r: &mut ImageReader<'_>) -> Result<SockImage, ImageError> {
             SockImage::Udp { bound, queue }
         }
         3 => {
-            let bound = if r.bool()? { Some(read_sockaddr(r)?) } else { None };
+            let bound = if r.bool()? {
+                Some(read_sockaddr(r)?)
+            } else {
+                None
+            };
             SockImage::Fresh { bound }
         }
         t => return Err(ImageError::BadTag(t)),
@@ -1032,9 +1047,19 @@ mod tests {
                 fake_mac: MacAddr::from_index(1000),
             },
             next_vpid: 5,
-            shm: vec![ShmImage { key: 7, data: vec![1, 2, 3] }],
-            sems: vec![SemImage { key: 9, values: vec![0, 2, -0] }],
-            pipes: vec![PipeImage { data: b"buffered".to_vec(), readers: 1, writers: 1 }],
+            shm: vec![ShmImage {
+                key: 7,
+                data: vec![1, 2, 3],
+            }],
+            sems: vec![SemImage {
+                key: 9,
+                values: vec![0, 2, -0],
+            }],
+            pipes: vec![PipeImage {
+                data: b"buffered".to_vec(),
+                readers: 1,
+                writers: 1,
+            }],
             sockets: vec![
                 SockImage::Listen {
                     local: SockAddr::new(IpAddr::from_octets([10, 0, 0, 50]), 80),
@@ -1072,20 +1097,45 @@ mod tests {
                 },
                 SockImage::Udp {
                     bound: Some(SockAddr::new(IpAddr::UNSPECIFIED, 53)),
-                    queue: vec![(SockAddr::new(IpAddr::from_octets([10, 0, 0, 9]), 5), vec![9])],
+                    queue: vec![(
+                        SockAddr::new(IpAddr::from_octets([10, 0, 0, 9]), 5),
+                        vec![9],
+                    )],
                 },
                 SockImage::Fresh { bound: None },
             ],
             groups: vec![GroupImage {
                 areas: vec![
-                    AreaImage { start: 0x1000, len: 0x1000, tag: "text".into(), shm_index: None },
-                    AreaImage { start: 0x8000, len: 0x1000, tag: "shm".into(), shm_index: Some(0) },
+                    AreaImage {
+                        start: 0x1000,
+                        len: 0x1000,
+                        tag: "text".into(),
+                        shm_index: None,
+                    },
+                    AreaImage {
+                        start: 0x8000,
+                        len: 0x1000,
+                        tag: "shm".into(),
+                        shm_index: Some(0),
+                    },
                 ],
                 pages: vec![(0x1000, vec![0xaa; 4096])],
                 fds: vec![
                     (0, DescImage::Console),
-                    (1, DescImage::File { path: "/x".into(), offset: 12 }),
-                    (2, DescImage::Pipe { index: 0, write_end: true }),
+                    (
+                        1,
+                        DescImage::File {
+                            path: "/x".into(),
+                            offset: 12,
+                        },
+                    ),
+                    (
+                        2,
+                        DescImage::Pipe {
+                            index: 0,
+                            write_end: true,
+                        },
+                    ),
                     (3, DescImage::Socket { index: 1 }),
                 ],
             }],
@@ -1218,9 +1268,6 @@ mod tests {
     fn mac_mode_visible_mac() {
         let m = MacAddr::from_index(3);
         assert_eq!(MacMode::Dedicated(m).pod_visible_mac(), m);
-        assert_eq!(
-            MacMode::SharedPhysical { fake_mac: m }.pod_visible_mac(),
-            m
-        );
+        assert_eq!(MacMode::SharedPhysical { fake_mac: m }.pod_visible_mac(), m);
     }
 }

@@ -16,7 +16,6 @@
 //!   checkpoint knows exactly which kernel objects belong to the pod.
 
 use std::collections::BTreeMap;
-use std::collections::HashMap;
 
 use simnet::addr::SockAddr;
 use simos::kernel::Kernel;
@@ -35,7 +34,7 @@ pub struct ZapState {
     /// Pods by id.
     pub pods: BTreeMap<PodId, Pod>,
     /// Which pod owns each real pid.
-    pub pid_owner: HashMap<Pid, PodId>,
+    pub pid_owner: BTreeMap<Pid, PodId>,
     /// Next pod id.
     pub next_pod: u64,
 }

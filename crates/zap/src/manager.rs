@@ -20,7 +20,7 @@
 //! data in the alternate buffers served by the interposer.
 
 use std::cell::RefCell;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 use std::rc::Rc;
 
@@ -151,7 +151,9 @@ impl Zap {
         st.next_pod += 1;
         let vif_name = format!("vif{}", id.0);
         let vif_mac = vif_mac(&cfg.mac_mode, kernel.net.primary_mac());
-        kernel.net.add_iface(vif_name.clone(), vif_mac, vec![cfg.ip]);
+        kernel
+            .net
+            .add_iface(vif_name.clone(), vif_mac, vec![cfg.ip]);
         kernel.net.send_gratuitous_arp(cfg.ip, vif_mac);
         st.pods.insert(id, Pod::new(id, cfg, vif_name));
         Ok(id)
@@ -246,7 +248,12 @@ impl Zap {
     /// # Errors
     ///
     /// [`ZapError::NoSuchPod`].
-    pub fn resume_pod(&self, kernel: &mut Kernel, pod: PodId, now: SimTime) -> Result<(), ZapError> {
+    pub fn resume_pod(
+        &self,
+        kernel: &mut Kernel,
+        pod: PodId,
+        now: SimTime,
+    ) -> Result<(), ZapError> {
         let (pids, ip, mode) = {
             let st = self.state.borrow();
             let p = st.pods.get(&pod).ok_or(ZapError::NoSuchPod)?;
@@ -313,7 +320,7 @@ impl Zap {
 
         // Kernel objects the pod uses, discovered through its namespaces.
         let mut shm_images: Vec<ShmImage> = Vec::new();
-        let mut shm_index_by_id: HashMap<u64, u32> = HashMap::new();
+        let mut shm_index_by_id: BTreeMap<u64, u32> = BTreeMap::new();
         for (key, seg) in kernel.shm_iter() {
             if p.shm_keys.contains(&key) {
                 shm_index_by_id.insert(seg.id, shm_images.len() as u32);
@@ -337,10 +344,10 @@ impl Zap {
 
         // Thread groups: unique address-space/fd-table pairs.
         let mut groups: Vec<GroupImage> = Vec::new();
-        let mut group_index_by_leader: HashMap<Pid, u32> = HashMap::new();
-        let mut pipe_index: HashMap<PipeId, u32> = HashMap::new();
+        let mut group_index_by_leader: BTreeMap<Pid, u32> = BTreeMap::new();
+        let mut pipe_index: BTreeMap<PipeId, u32> = BTreeMap::new();
         let mut pipe_images: Vec<PipeImage> = Vec::new();
-        let mut sock_index: HashMap<SocketId, u32> = HashMap::new();
+        let mut sock_index: BTreeMap<SocketId, u32> = BTreeMap::new();
         let mut sock_images: Vec<SockImage> = Vec::new();
 
         let pids = p.pids();
@@ -660,7 +667,11 @@ impl Zap {
                         id: *pipe_ids
                             .get(*index as usize)
                             .ok_or(ZapError::Inconsistent("pipe index out of range"))?,
-                        end: if *write_end { PipeEnd::Write } else { PipeEnd::Read },
+                        end: if *write_end {
+                            PipeEnd::Write
+                        } else {
+                            PipeEnd::Read
+                        },
                     },
                     DescImage::Socket { index } => Desc::Socket(
                         *sock_ids
@@ -674,14 +685,16 @@ impl Zap {
         }
 
         // Processes, with fresh real pids behind the virtual-pid namespace.
-        let mut group_leader_pid: HashMap<u32, Pid> = HashMap::new();
+        let mut group_leader_pid: BTreeMap<u32, Pid> = BTreeMap::new();
         {
             let mut st = self.state.borrow_mut();
             let pod_entry = st.pods.get_mut(&pod).expect("just created");
             pod_entry.next_vpid = image.next_vpid;
             for (sid, data) in &alt_bufs {
                 if !data.is_empty() {
-                    pod_entry.alt_recv.insert(*sid, data.iter().copied().collect());
+                    pod_entry
+                        .alt_recv
+                        .insert(*sid, data.iter().copied().collect());
                 }
             }
             pod_entry.intercepting = pod_entry.any_alt_recv();
@@ -732,10 +745,9 @@ impl Zap {
                 if pi.parent_vpid == 0 {
                     continue;
                 }
-                let (Some(child), Some(parent)) = (
-                    pod_entry.pid_of(pi.vpid),
-                    pod_entry.pid_of(pi.parent_vpid),
-                ) else {
+                let (Some(child), Some(parent)) =
+                    (pod_entry.pid_of(pi.vpid), pod_entry.pid_of(pi.parent_vpid))
+                else {
                     continue;
                 };
                 if let Some(p) = kernel.process_mut(child) {
@@ -831,7 +843,9 @@ fn restore_conn(
     if !conn.unsent.is_empty() {
         let n = kernel.net.tcp_send(sid, &conn.unsent, now)?;
         if n != conn.unsent.len() {
-            return Err(ZapError::Inconsistent("unsent replay overflowed the buffer"));
+            return Err(ZapError::Inconsistent(
+                "unsent replay overflowed the buffer",
+            ));
         }
     }
     kernel.net.tcp_set_nodelay(sid, conn.nodelay, now)?;

@@ -1,6 +1,6 @@
 //! Pods: private process domains with virtualized identifiers.
 
-use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::fmt;
 
 use simnet::addr::IpAddr;
@@ -46,21 +46,21 @@ pub struct Pod {
     /// Virtual-to-real pid mapping.
     pub vpid_to_pid: BTreeMap<Vpid, Pid>,
     /// Real-to-virtual pid mapping.
-    pub pid_to_vpid: HashMap<Pid, Vpid>,
+    pub pid_to_vpid: BTreeMap<Pid, Vpid>,
     /// Next virtual pid to hand out.
     pub next_vpid: Vpid,
     /// Restore-time alternate receive buffers, keyed by socket (§4.1): data
     /// delivered through the interposed `recv` before the real kernel
     /// buffers are consulted.
-    pub alt_recv: HashMap<SocketId, VecDeque<u8>>,
+    pub alt_recv: BTreeMap<SocketId, VecDeque<u8>>,
     /// Whether the `recv` interception fast-path check is active. Cleared
     /// once every alternate buffer has drained (the paper's optimization).
     pub intercepting: bool,
     /// Shared-memory keys this pod has used (tracked by the interposer so
     /// checkpoint knows what to save).
-    pub shm_keys: HashSet<u64>,
+    pub shm_keys: BTreeSet<u64>,
     /// Semaphore keys this pod has used.
-    pub sem_keys: HashSet<u64>,
+    pub sem_keys: BTreeSet<u64>,
 }
 
 impl Pod {
@@ -71,12 +71,12 @@ impl Pod {
             cfg,
             vif_name,
             vpid_to_pid: BTreeMap::new(),
-            pid_to_vpid: HashMap::new(),
+            pid_to_vpid: BTreeMap::new(),
             next_vpid: 1,
-            alt_recv: HashMap::new(),
+            alt_recv: BTreeMap::new(),
             intercepting: false,
-            shm_keys: HashSet::new(),
-            sem_keys: HashSet::new(),
+            shm_keys: BTreeSet::new(),
+            sem_keys: BTreeSet::new(),
         }
     }
 

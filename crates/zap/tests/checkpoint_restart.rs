@@ -202,7 +202,9 @@ fn spawn_in_pod_returns_vpids_and_kill_translates() {
     a.bind(spin);
     a.sys(nr::YIELD);
     a.jmp(spin);
-    let prog = Program::from_asm(&a).unwrap().with_map(stack2, 0x4000, "stack2");
+    let prog = Program::from_asm(&a)
+        .unwrap()
+        .with_map(stack2, 0x4000, "stack2");
 
     let vpid = z.spawn_in_pod(&mut k, pod, &prog).unwrap();
     let mut now = SimTime::ZERO;
@@ -247,7 +249,9 @@ fn bind_is_confined_to_pod_ip_and_ioctl_reports_fake_mac() {
     a.sys2(nr::LOG, buf, 6);
     a.sys1(nr::SLEEP, 10_000_000); // stay alive so the listener can be inspected
     a.sys1(nr::EXIT, 0);
-    let prog = Program::from_asm(&a).unwrap().with_data(DATA_BASE, vec![0u8; 64]);
+    let prog = Program::from_asm(&a)
+        .unwrap()
+        .with_data(DATA_BASE, vec![0u8; 64]);
     let vpid = z.spawn_in_pod(&mut k, pod, &prog).unwrap();
     let mut now = SimTime::ZERO;
     run_until(&mut k, &mut now, 100_000, |k| {
@@ -290,7 +294,9 @@ fn sender_program(dst: IpAddr, port: i64, payload: &[u8]) -> Program {
     a.sys(nr::SEND);
     a.sys1(nr::SLEEP, 1_000_000_000); // keep the connection alive
     a.sys1(nr::EXIT, 0);
-    Program::from_asm(&a).unwrap().with_data(DATA_BASE, payload.to_vec())
+    Program::from_asm(&a)
+        .unwrap()
+        .with_data(DATA_BASE, payload.to_vec())
 }
 
 /// Receiver pod program: accept one connection, sleep (so data queues in the
@@ -319,7 +325,9 @@ fn receiver_program(port: i64) -> Program {
     a.mov(R2, R9);
     a.sys(nr::LOG);
     a.sys1(nr::EXIT, 0);
-    Program::from_asm(&a).unwrap().with_data(DATA_BASE, vec![0u8; 128])
+    Program::from_asm(&a)
+        .unwrap()
+        .with_data(DATA_BASE, vec![0u8; 128])
 }
 
 #[test]
@@ -338,14 +346,20 @@ fn undelivered_socket_data_survives_restart_via_alternate_buffer() {
     let vs = z
         .spawn_in_pod(&mut k, pod_s, &sender_program(recv_ip, 9000, payload))
         .unwrap();
-    let vr = z.spawn_in_pod(&mut k, pod_r, &receiver_program(9000)).unwrap();
+    let vr = z
+        .spawn_in_pod(&mut k, pod_r, &receiver_program(9000))
+        .unwrap();
     let _ = vs;
 
     // Run until the data sits in the receiver's kernel buffers (sender has
     // sent; receiver is still sleeping). 5 ms is comfortably inside the
     // receiver's 20 ms nap and after the sender's 1 ms delay.
     let mut now = SimTime::ZERO;
-    run_for(&mut k, &mut now, SimTime::ZERO + SimDuration::from_millis(5));
+    run_for(
+        &mut k,
+        &mut now,
+        SimTime::ZERO + SimDuration::from_millis(5),
+    );
     assert!(now < SimTime::ZERO + SimDuration::from_millis(20));
 
     // Checkpoint + destroy + restart the receiver pod on the same node.
@@ -355,7 +369,10 @@ fn undelivered_socket_data_survives_restart_via_alternate_buffer() {
         zap::image::SockImage::Conn { alt_recv, .. } => alt_recv == payload,
         _ => false,
     });
-    assert!(has_alt, "checkpoint must capture the undelivered receive data");
+    assert!(
+        has_alt,
+        "checkpoint must capture the undelivered receive data"
+    );
 
     z.destroy_pod(&mut k, pod_r).unwrap();
     let pod_r2 = z.restart_pod(&mut k, &image, now).unwrap();
@@ -497,7 +514,9 @@ fn checkpoint_preserves_zombies_for_waitpid() {
     a.sys(nr::EXIT);
     a.bind(child);
     a.sys1(nr::EXIT, 44);
-    let prog = Program::from_asm(&a).unwrap().with_map(stack2, 0x4000, "stack2");
+    let prog = Program::from_asm(&a)
+        .unwrap()
+        .with_map(stack2, 0x4000, "stack2");
 
     let vpid = z1.spawn_in_pod(&mut k1, pod, &prog).unwrap();
     let mut now = SimTime::ZERO;
@@ -526,7 +545,7 @@ fn counter_program(big_bytes: usize) -> Program {
     a.movi(R7, 5);
     a.st(R6, R7, 0);
     a.sys1(nr::SLEEP, 10_000_000); // full checkpoint lands here
-    // counter += 2  (dirties exactly one data page)
+                                   // counter += 2  (dirties exactly one data page)
     a.movi(R6, counter);
     a.ld(R7, R6, 0);
     a.addi(R7, R7, 2);
@@ -550,7 +569,9 @@ fn incremental_checkpoint_chain_restores_correctly() {
     let (mut k2, z2) = node(2, 2, &fs);
     let pod = z1.create_pod(&mut k1, pod_cfg("inc", 70)).unwrap();
     let big = 1024 * 1024;
-    let vpid = z1.spawn_in_pod(&mut k1, pod, &counter_program(big)).unwrap();
+    let vpid = z1
+        .spawn_in_pod(&mut k1, pod, &counter_program(big))
+        .unwrap();
 
     // Into the first sleep: full checkpoint.
     let mut now = SimTime::ZERO;
@@ -565,14 +586,11 @@ fn incremental_checkpoint_chain_restores_correctly() {
     let resumed_at = now;
     run_until(&mut k1, &mut now, 1_000_000, |k| {
         !k.has_runnable()
-            && k
-                .next_timer()
+            && k.next_timer()
                 .map(|t| t > resumed_at + SimDuration::from_millis(5))
                 .unwrap_or(false)
     });
-    let delta = z1
-        .checkpoint_pod_incremental(&mut k1, pod, now, 1)
-        .unwrap();
+    let delta = z1.checkpoint_pod_incremental(&mut k1, pod, now, 1).unwrap();
     assert_eq!(delta.base_epoch, Some(1));
 
     // The delta is a tiny fraction of the full image: the 1 MiB array was
@@ -780,7 +798,9 @@ fn pending_accept_queue_survives_restart() {
     sa.mov(R2, R8);
     sa.sys(nr::LOG);
     sa.sys1(nr::EXIT, 0);
-    let server = Program::from_asm(&sa).unwrap().with_data(DATA_BASE, vec![0u8; 128]);
+    let server = Program::from_asm(&sa)
+        .unwrap()
+        .with_data(DATA_BASE, vec![0u8; 128]);
 
     // Client: connect early, send, keep living.
     let msg = DATA_BASE as i64 + 64;
@@ -808,7 +828,11 @@ fn pending_accept_queue_survives_restart() {
 
     // Run 5 ms: client connected and sent; server still asleep.
     let mut now = SimTime::ZERO;
-    run_for(&mut k, &mut now, SimTime::ZERO + SimDuration::from_millis(5));
+    run_for(
+        &mut k,
+        &mut now,
+        SimTime::ZERO + SimDuration::from_millis(5),
+    );
 
     let image = z.checkpoint_pod(&mut k, pod_s, now).unwrap();
     // The image's listener carries exactly one pending connection.
@@ -864,7 +888,9 @@ fn queued_udp_datagrams_survive_restart() {
     ra.mov(R2, R7);
     ra.sys(nr::LOG);
     ra.sys1(nr::EXIT, 0);
-    let receiver = Program::from_asm(&ra).unwrap().with_data(DATA_BASE, vec![0u8; 128]);
+    let receiver = Program::from_asm(&ra)
+        .unwrap()
+        .with_data(DATA_BASE, vec![0u8; 128]);
 
     let msg = DATA_BASE as i64;
     let mut ta = Asm::new(CODE_BASE);
@@ -885,7 +911,11 @@ fn queued_udp_datagrams_survive_restart() {
     let rv = z.spawn_in_pod(&mut k, pod_rx, &receiver).unwrap();
     let _tv = z.spawn_in_pod(&mut k, pod_tx, &sender).unwrap();
     let mut now = SimTime::ZERO;
-    run_for(&mut k, &mut now, SimTime::ZERO + SimDuration::from_millis(5));
+    run_for(
+        &mut k,
+        &mut now,
+        SimTime::ZERO + SimDuration::from_millis(5),
+    );
 
     let image = z.checkpoint_pod(&mut k, pod_rx, now).unwrap();
     let queued = image
@@ -952,7 +982,9 @@ fn forked_processes_in_a_pod_checkpoint_as_separate_groups() {
     a.movi(R6, cell);
     a.ld(R1, R6, 0);
     a.sys(nr::EXIT);
-    let prog = Program::from_asm(&a).unwrap().with_data(DATA_BASE, vec![0u8; 16]);
+    let prog = Program::from_asm(&a)
+        .unwrap()
+        .with_data(DATA_BASE, vec![0u8; 16]);
 
     let vpid = z1.spawn_in_pod(&mut k1, pod, &prog).unwrap();
     let mut now = SimTime::ZERO;

@@ -64,8 +64,7 @@ fn main() {
     // Recover on the spare nodes from the newest committed epoch.
     let epoch = last_epoch.unwrap();
     assert_eq!(world.store("slm").latest_committed_epoch(), Some(epoch));
-    let placement: Vec<(String, usize)> =
-        (0..4).map(|r| (format!("rank{r}"), 4 + r)).collect();
+    let placement: Vec<(String, usize)> = (0..4).map(|r| (format!("rank{r}"), 4 + r)).collect();
     let rs = world
         .start_restart("slm", epoch, &placement, ProtocolMode::Blocking)
         .expect("restart");
@@ -82,5 +81,8 @@ fn main() {
     for r in 0..4 {
         assert_eq!(world.pod_exit_code("slm", &format!("rank{r}"), 1), Some(0));
     }
-    println!("t={} all 400 iterations done; every rank exited 0", world.now);
+    println!(
+        "t={} all 400 iterations done; every rank exited 0",
+        world.now
+    );
 }

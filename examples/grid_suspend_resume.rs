@@ -31,7 +31,11 @@ fn main() {
     let mut world = World::new(3, ClusterParams::default());
     world.launch_job(&slm.job_spec("batch", 2)).expect("launch");
     world.run_for(SimDuration::from_millis(120));
-    println!("t={} batch job at iteration {}", world.now, iteration(&world));
+    println!(
+        "t={} batch job at iteration {}",
+        world.now,
+        iteration(&world)
+    );
 
     // Suspend: checkpoint to the shared filesystem, then evict the pods.
     let epoch = world

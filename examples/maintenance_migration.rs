@@ -34,7 +34,10 @@ fn main() {
     // Node 1 needs maintenance: migrate the receiver pod to node 2. Its IP
     // and MAC move with it; the sender keeps its connection and simply
     // retransmits what was in flight.
-    println!("t={} migrating receiver pod from node 1 to node 2", world.now);
+    println!(
+        "t={} migrating receiver pod from node 1 to node 2",
+        world.now
+    );
     let t0 = world.now;
     world.migrate_pod("stream", "receiver", 2).expect("migrate");
 
@@ -53,7 +56,12 @@ fn main() {
         "t={} stream resumed after a {:.0} ms pause; receiver now on node {}",
         world.now,
         pause.as_millis_f64(),
-        world.job("stream").unwrap().placement("receiver").unwrap().node
+        world
+            .job("stream")
+            .unwrap()
+            .placement("receiver")
+            .unwrap()
+            .node
     );
     println!(
         "delivered {} MB more after migration — connection survived intact",

@@ -1,0 +1,1 @@
+/root/repo/target/debug/cruz-lint: /root/repo/crates/lint/src/main.rs

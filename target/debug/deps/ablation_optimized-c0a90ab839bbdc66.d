@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_optimized-c0a90ab839bbdc66.d: crates/bench/src/bin/ablation_optimized.rs
+
+/root/repo/target/debug/deps/ablation_optimized-c0a90ab839bbdc66: crates/bench/src/bin/ablation_optimized.rs
+
+crates/bench/src/bin/ablation_optimized.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/baseline-82ff5f5147d8116d.d: crates/baseline/src/lib.rs crates/baseline/src/flush.rs crates/baseline/src/logging.rs
+
+/root/repo/target/debug/deps/libbaseline-82ff5f5147d8116d.rlib: crates/baseline/src/lib.rs crates/baseline/src/flush.rs crates/baseline/src/logging.rs
+
+/root/repo/target/debug/deps/libbaseline-82ff5f5147d8116d.rmeta: crates/baseline/src/lib.rs crates/baseline/src/flush.rs crates/baseline/src/logging.rs
+
+crates/baseline/src/lib.rs:
+crates/baseline/src/flush.rs:
+crates/baseline/src/logging.rs:

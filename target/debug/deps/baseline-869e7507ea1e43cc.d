@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/baseline-869e7507ea1e43cc.d: crates/baseline/src/lib.rs crates/baseline/src/flush.rs crates/baseline/src/logging.rs
+
+/root/repo/target/debug/deps/baseline-869e7507ea1e43cc: crates/baseline/src/lib.rs crates/baseline/src/flush.rs crates/baseline/src/logging.rs
+
+crates/baseline/src/lib.rs:
+crates/baseline/src/flush.rs:
+crates/baseline/src/logging.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/baseline_compare-9f23ac48752f28e3.d: crates/bench/src/bin/baseline_compare.rs
+
+/root/repo/target/debug/deps/baseline_compare-9f23ac48752f28e3: crates/bench/src/bin/baseline_compare.rs
+
+crates/bench/src/bin/baseline_compare.rs:

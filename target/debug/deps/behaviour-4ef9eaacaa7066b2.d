@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/behaviour-4ef9eaacaa7066b2.d: crates/workloads/tests/behaviour.rs
+
+/root/repo/target/debug/deps/behaviour-4ef9eaacaa7066b2: crates/workloads/tests/behaviour.rs
+
+crates/workloads/tests/behaviour.rs:

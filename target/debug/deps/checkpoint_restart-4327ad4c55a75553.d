@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/checkpoint_restart-4327ad4c55a75553.d: crates/zap/tests/checkpoint_restart.rs
+
+/root/repo/target/debug/deps/checkpoint_restart-4327ad4c55a75553: crates/zap/tests/checkpoint_restart.rs
+
+crates/zap/tests/checkpoint_restart.rs:

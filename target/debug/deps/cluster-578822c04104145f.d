@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/cluster-578822c04104145f.d: crates/cluster/src/lib.rs crates/cluster/src/jobs.rs crates/cluster/src/params.rs crates/cluster/src/world.rs
+
+/root/repo/target/debug/deps/libcluster-578822c04104145f.rlib: crates/cluster/src/lib.rs crates/cluster/src/jobs.rs crates/cluster/src/params.rs crates/cluster/src/world.rs
+
+/root/repo/target/debug/deps/libcluster-578822c04104145f.rmeta: crates/cluster/src/lib.rs crates/cluster/src/jobs.rs crates/cluster/src/params.rs crates/cluster/src/world.rs
+
+crates/cluster/src/lib.rs:
+crates/cluster/src/jobs.rs:
+crates/cluster/src/params.rs:
+crates/cluster/src/world.rs:

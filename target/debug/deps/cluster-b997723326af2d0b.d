@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/cluster-b997723326af2d0b.d: crates/cluster/src/lib.rs crates/cluster/src/jobs.rs crates/cluster/src/params.rs crates/cluster/src/world.rs
+
+/root/repo/target/debug/deps/cluster-b997723326af2d0b: crates/cluster/src/lib.rs crates/cluster/src/jobs.rs crates/cluster/src/params.rs crates/cluster/src/world.rs
+
+crates/cluster/src/lib.rs:
+crates/cluster/src/jobs.rs:
+crates/cluster/src/params.rs:
+crates/cluster/src/world.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/comm_window-8601e422493f1e91.d: crates/bench/src/bin/comm_window.rs
+
+/root/repo/target/debug/deps/comm_window-8601e422493f1e91: crates/bench/src/bin/comm_window.rs
+
+crates/bench/src/bin/comm_window.rs:

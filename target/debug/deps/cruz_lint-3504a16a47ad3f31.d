@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cruz_lint-3504a16a47ad3f31.d: crates/lint/src/main.rs
+
+/root/repo/target/debug/deps/cruz_lint-3504a16a47ad3f31: crates/lint/src/main.rs
+
+crates/lint/src/main.rs:

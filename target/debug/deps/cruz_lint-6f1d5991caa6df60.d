@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cruz_lint-6f1d5991caa6df60.d: crates/lint/src/main.rs
+
+/root/repo/target/debug/deps/cruz_lint-6f1d5991caa6df60: crates/lint/src/main.rs
+
+crates/lint/src/main.rs:

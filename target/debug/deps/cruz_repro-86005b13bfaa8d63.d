@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cruz_repro-86005b13bfaa8d63.d: src/lib.rs
+
+/root/repo/target/debug/deps/libcruz_repro-86005b13bfaa8d63.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libcruz_repro-86005b13bfaa8d63.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cruz_repro-b2dae75ab7adf480.d: src/lib.rs
+
+/root/repo/target/debug/deps/cruz_repro-b2dae75ab7adf480: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/des-b02b1b3b2c78428d.d: crates/des/src/lib.rs crates/des/src/queue.rs crates/des/src/rng.rs crates/des/src/time.rs
+
+/root/repo/target/debug/deps/des-b02b1b3b2c78428d: crates/des/src/lib.rs crates/des/src/queue.rs crates/des/src/rng.rs crates/des/src/time.rs
+
+crates/des/src/lib.rs:
+crates/des/src/queue.rs:
+crates/des/src/rng.rs:
+crates/des/src/time.rs:

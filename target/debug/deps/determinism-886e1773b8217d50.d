@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-886e1773b8217d50.d: tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-886e1773b8217d50: tests/determinism.rs
+
+tests/determinism.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/distributed_cr-257e1a67011da675.d: crates/cluster/tests/distributed_cr.rs
+
+/root/repo/target/debug/deps/distributed_cr-257e1a67011da675: crates/cluster/tests/distributed_cr.rs
+
+crates/cluster/tests/distributed_cr.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-5880729000395341.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-5880729000395341: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/error_paths-4f653c8503d3fa09.d: crates/simos/tests/error_paths.rs
+
+/root/repo/target/debug/deps/error_paths-4f653c8503d3fa09: crates/simos/tests/error_paths.rs
+
+crates/simos/tests/error_paths.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5a-27f7272be2ca1207.d: crates/bench/src/bin/fig5a.rs
+
+/root/repo/target/debug/deps/fig5a-27f7272be2ca1207: crates/bench/src/bin/fig5a.rs
+
+crates/bench/src/bin/fig5a.rs:

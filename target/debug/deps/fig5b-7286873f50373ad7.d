@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5b-7286873f50373ad7.d: crates/bench/src/bin/fig5b.rs
+
+/root/repo/target/debug/deps/fig5b-7286873f50373ad7: crates/bench/src/bin/fig5b.rs
+
+crates/bench/src/bin/fig5b.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6-20b15121ff73397c.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/debug/deps/fig6-20b15121ff73397c: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

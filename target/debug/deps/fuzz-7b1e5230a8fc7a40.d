@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fuzz-7b1e5230a8fc7a40.d: crates/simcpu/tests/fuzz.rs
+
+/root/repo/target/debug/deps/fuzz-7b1e5230a8fc7a40: crates/simcpu/tests/fuzz.rs
+
+crates/simcpu/tests/fuzz.rs:

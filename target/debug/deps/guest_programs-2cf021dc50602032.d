@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/guest_programs-2cf021dc50602032.d: crates/simos/tests/guest_programs.rs
+
+/root/repo/target/debug/deps/guest_programs-2cf021dc50602032: crates/simos/tests/guest_programs.rs
+
+crates/simos/tests/guest_programs.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/image_properties-41fc6e5faa7a81c3.d: tests/image_properties.rs
+
+/root/repo/target/debug/deps/image_properties-41fc6e5faa7a81c3: tests/image_properties.rs
+
+tests/image_properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/incremental_ckpt-20e886bc8b1040ed.d: crates/bench/src/bin/incremental_ckpt.rs
+
+/root/repo/target/debug/deps/incremental_ckpt-20e886bc8b1040ed: crates/bench/src/bin/incremental_ckpt.rs
+
+crates/bench/src/bin/incremental_ckpt.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/migration-749a10390b74a220.d: crates/bench/src/bin/migration.rs
+
+/root/repo/target/debug/deps/migration-749a10390b74a220: crates/bench/src/bin/migration.rs
+
+crates/bench/src/bin/migration.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/overhead-1041371b54ee5db7.d: crates/bench/src/bin/overhead.rs
+
+/root/repo/target/debug/deps/overhead-1041371b54ee5db7: crates/bench/src/bin/overhead.rs
+
+crates/bench/src/bin/overhead.rs:

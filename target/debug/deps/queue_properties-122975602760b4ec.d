@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/queue_properties-122975602760b4ec.d: crates/des/tests/queue_properties.rs
+
+/root/repo/target/debug/deps/queue_properties-122975602760b4ec: crates/des/tests/queue_properties.rs
+
+crates/des/tests/queue_properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/restart_latency-07e6c132d6917cbb.d: crates/bench/src/bin/restart_latency.rs
+
+/root/repo/target/debug/deps/restart_latency-07e6c132d6917cbb: crates/bench/src/bin/restart_latency.rs
+
+crates/bench/src/bin/restart_latency.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/scalability-7dd8c50faf552dac.d: crates/bench/src/bin/scalability.rs
+
+/root/repo/target/debug/deps/scalability-7dd8c50faf552dac: crates/bench/src/bin/scalability.rs
+
+crates/bench/src/bin/scalability.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/simcpu-8bc71ba532336a8d.d: crates/simcpu/src/lib.rs crates/simcpu/src/asm.rs crates/simcpu/src/cpu.rs crates/simcpu/src/isa.rs crates/simcpu/src/mem.rs
+
+/root/repo/target/debug/deps/simcpu-8bc71ba532336a8d: crates/simcpu/src/lib.rs crates/simcpu/src/asm.rs crates/simcpu/src/cpu.rs crates/simcpu/src/isa.rs crates/simcpu/src/mem.rs
+
+crates/simcpu/src/lib.rs:
+crates/simcpu/src/asm.rs:
+crates/simcpu/src/cpu.rs:
+crates/simcpu/src/isa.rs:
+crates/simcpu/src/mem.rs:

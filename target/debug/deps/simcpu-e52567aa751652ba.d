@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/simcpu-e52567aa751652ba.d: crates/simcpu/src/lib.rs crates/simcpu/src/asm.rs crates/simcpu/src/cpu.rs crates/simcpu/src/isa.rs crates/simcpu/src/mem.rs
+
+/root/repo/target/debug/deps/libsimcpu-e52567aa751652ba.rlib: crates/simcpu/src/lib.rs crates/simcpu/src/asm.rs crates/simcpu/src/cpu.rs crates/simcpu/src/isa.rs crates/simcpu/src/mem.rs
+
+/root/repo/target/debug/deps/libsimcpu-e52567aa751652ba.rmeta: crates/simcpu/src/lib.rs crates/simcpu/src/asm.rs crates/simcpu/src/cpu.rs crates/simcpu/src/isa.rs crates/simcpu/src/mem.rs
+
+crates/simcpu/src/lib.rs:
+crates/simcpu/src/asm.rs:
+crates/simcpu/src/cpu.rs:
+crates/simcpu/src/isa.rs:
+crates/simcpu/src/mem.rs:

@@ -1,0 +1,22 @@
+/root/repo/target/debug/deps/simnet-0ca94f1be2aecb16.d: crates/simnet/src/lib.rs crates/simnet/src/addr.rs crates/simnet/src/arp.rs crates/simnet/src/dhcp.rs crates/simnet/src/filter.rs crates/simnet/src/frame.rs crates/simnet/src/link.rs crates/simnet/src/stack.rs crates/simnet/src/switch.rs crates/simnet/src/tcp/mod.rs crates/simnet/src/tcp/buffer.rs crates/simnet/src/tcp/rto.rs crates/simnet/src/tcp/segment.rs crates/simnet/src/tcp/seq.rs crates/simnet/src/tcp/tcb.rs crates/simnet/src/udp.rs
+
+/root/repo/target/debug/deps/libsimnet-0ca94f1be2aecb16.rlib: crates/simnet/src/lib.rs crates/simnet/src/addr.rs crates/simnet/src/arp.rs crates/simnet/src/dhcp.rs crates/simnet/src/filter.rs crates/simnet/src/frame.rs crates/simnet/src/link.rs crates/simnet/src/stack.rs crates/simnet/src/switch.rs crates/simnet/src/tcp/mod.rs crates/simnet/src/tcp/buffer.rs crates/simnet/src/tcp/rto.rs crates/simnet/src/tcp/segment.rs crates/simnet/src/tcp/seq.rs crates/simnet/src/tcp/tcb.rs crates/simnet/src/udp.rs
+
+/root/repo/target/debug/deps/libsimnet-0ca94f1be2aecb16.rmeta: crates/simnet/src/lib.rs crates/simnet/src/addr.rs crates/simnet/src/arp.rs crates/simnet/src/dhcp.rs crates/simnet/src/filter.rs crates/simnet/src/frame.rs crates/simnet/src/link.rs crates/simnet/src/stack.rs crates/simnet/src/switch.rs crates/simnet/src/tcp/mod.rs crates/simnet/src/tcp/buffer.rs crates/simnet/src/tcp/rto.rs crates/simnet/src/tcp/segment.rs crates/simnet/src/tcp/seq.rs crates/simnet/src/tcp/tcb.rs crates/simnet/src/udp.rs
+
+crates/simnet/src/lib.rs:
+crates/simnet/src/addr.rs:
+crates/simnet/src/arp.rs:
+crates/simnet/src/dhcp.rs:
+crates/simnet/src/filter.rs:
+crates/simnet/src/frame.rs:
+crates/simnet/src/link.rs:
+crates/simnet/src/stack.rs:
+crates/simnet/src/switch.rs:
+crates/simnet/src/tcp/mod.rs:
+crates/simnet/src/tcp/buffer.rs:
+crates/simnet/src/tcp/rto.rs:
+crates/simnet/src/tcp/segment.rs:
+crates/simnet/src/tcp/seq.rs:
+crates/simnet/src/tcp/tcb.rs:
+crates/simnet/src/udp.rs:

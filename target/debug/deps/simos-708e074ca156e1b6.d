@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/simos-708e074ca156e1b6.d: crates/simos/src/lib.rs crates/simos/src/disk.rs crates/simos/src/error.rs crates/simos/src/fd.rs crates/simos/src/fs.rs crates/simos/src/guest.rs crates/simos/src/kernel.rs crates/simos/src/mem.rs crates/simos/src/pipe.rs crates/simos/src/proc.rs crates/simos/src/program.rs crates/simos/src/sem.rs crates/simos/src/syscall.rs
+
+/root/repo/target/debug/deps/libsimos-708e074ca156e1b6.rlib: crates/simos/src/lib.rs crates/simos/src/disk.rs crates/simos/src/error.rs crates/simos/src/fd.rs crates/simos/src/fs.rs crates/simos/src/guest.rs crates/simos/src/kernel.rs crates/simos/src/mem.rs crates/simos/src/pipe.rs crates/simos/src/proc.rs crates/simos/src/program.rs crates/simos/src/sem.rs crates/simos/src/syscall.rs
+
+/root/repo/target/debug/deps/libsimos-708e074ca156e1b6.rmeta: crates/simos/src/lib.rs crates/simos/src/disk.rs crates/simos/src/error.rs crates/simos/src/fd.rs crates/simos/src/fs.rs crates/simos/src/guest.rs crates/simos/src/kernel.rs crates/simos/src/mem.rs crates/simos/src/pipe.rs crates/simos/src/proc.rs crates/simos/src/program.rs crates/simos/src/sem.rs crates/simos/src/syscall.rs
+
+crates/simos/src/lib.rs:
+crates/simos/src/disk.rs:
+crates/simos/src/error.rs:
+crates/simos/src/fd.rs:
+crates/simos/src/fs.rs:
+crates/simos/src/guest.rs:
+crates/simos/src/kernel.rs:
+crates/simos/src/mem.rs:
+crates/simos/src/pipe.rs:
+crates/simos/src/proc.rs:
+crates/simos/src/program.rs:
+crates/simos/src/sem.rs:
+crates/simos/src/syscall.rs:

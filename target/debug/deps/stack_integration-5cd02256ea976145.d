@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/stack_integration-5cd02256ea976145.d: crates/simnet/tests/stack_integration.rs
+
+/root/repo/target/debug/deps/stack_integration-5cd02256ea976145: crates/simnet/tests/stack_integration.rs
+
+crates/simnet/tests/stack_integration.rs:

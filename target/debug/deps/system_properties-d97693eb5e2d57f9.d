@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/system_properties-d97693eb5e2d57f9.d: tests/system_properties.rs
+
+/root/repo/target/debug/deps/system_properties-d97693eb5e2d57f9: tests/system_properties.rs
+
+tests/system_properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tcp_properties-9c4774c9979e94fd.d: crates/simnet/tests/tcp_properties.rs
+
+/root/repo/target/debug/deps/tcp_properties-9c4774c9979e94fd: crates/simnet/tests/tcp_properties.rs
+
+crates/simnet/tests/tcp_properties.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/workloads-7208baac8674d18a.d: crates/workloads/src/lib.rs crates/workloads/src/allreduce.rs crates/workloads/src/common.rs crates/workloads/src/compute.rs crates/workloads/src/pingpong.rs crates/workloads/src/slm.rs crates/workloads/src/streaming.rs
+
+/root/repo/target/debug/deps/workloads-7208baac8674d18a: crates/workloads/src/lib.rs crates/workloads/src/allreduce.rs crates/workloads/src/common.rs crates/workloads/src/compute.rs crates/workloads/src/pingpong.rs crates/workloads/src/slm.rs crates/workloads/src/streaming.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/allreduce.rs:
+crates/workloads/src/common.rs:
+crates/workloads/src/compute.rs:
+crates/workloads/src/pingpong.rs:
+crates/workloads/src/slm.rs:
+crates/workloads/src/streaming.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/workloads-94f17cc6d181a620.d: crates/workloads/src/lib.rs crates/workloads/src/allreduce.rs crates/workloads/src/common.rs crates/workloads/src/compute.rs crates/workloads/src/pingpong.rs crates/workloads/src/slm.rs crates/workloads/src/streaming.rs
+
+/root/repo/target/debug/deps/libworkloads-94f17cc6d181a620.rlib: crates/workloads/src/lib.rs crates/workloads/src/allreduce.rs crates/workloads/src/common.rs crates/workloads/src/compute.rs crates/workloads/src/pingpong.rs crates/workloads/src/slm.rs crates/workloads/src/streaming.rs
+
+/root/repo/target/debug/deps/libworkloads-94f17cc6d181a620.rmeta: crates/workloads/src/lib.rs crates/workloads/src/allreduce.rs crates/workloads/src/common.rs crates/workloads/src/compute.rs crates/workloads/src/pingpong.rs crates/workloads/src/slm.rs crates/workloads/src/streaming.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/allreduce.rs:
+crates/workloads/src/common.rs:
+crates/workloads/src/compute.rs:
+crates/workloads/src/pingpong.rs:
+crates/workloads/src/slm.rs:
+crates/workloads/src/streaming.rs:

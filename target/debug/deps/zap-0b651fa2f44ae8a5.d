@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/zap-0b651fa2f44ae8a5.d: crates/zap/src/lib.rs crates/zap/src/image.rs crates/zap/src/interpose.rs crates/zap/src/manager.rs crates/zap/src/pod.rs
+
+/root/repo/target/debug/deps/zap-0b651fa2f44ae8a5: crates/zap/src/lib.rs crates/zap/src/image.rs crates/zap/src/interpose.rs crates/zap/src/manager.rs crates/zap/src/pod.rs
+
+crates/zap/src/lib.rs:
+crates/zap/src/image.rs:
+crates/zap/src/interpose.rs:
+crates/zap/src/manager.rs:
+crates/zap/src/pod.rs:

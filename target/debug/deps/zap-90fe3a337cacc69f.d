@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/zap-90fe3a337cacc69f.d: crates/zap/src/lib.rs crates/zap/src/image.rs crates/zap/src/interpose.rs crates/zap/src/manager.rs crates/zap/src/pod.rs
+
+/root/repo/target/debug/deps/libzap-90fe3a337cacc69f.rlib: crates/zap/src/lib.rs crates/zap/src/image.rs crates/zap/src/interpose.rs crates/zap/src/manager.rs crates/zap/src/pod.rs
+
+/root/repo/target/debug/deps/libzap-90fe3a337cacc69f.rmeta: crates/zap/src/lib.rs crates/zap/src/image.rs crates/zap/src/interpose.rs crates/zap/src/manager.rs crates/zap/src/pod.rs
+
+crates/zap/src/lib.rs:
+crates/zap/src/image.rs:
+crates/zap/src/interpose.rs:
+crates/zap/src/manager.rs:
+crates/zap/src/pod.rs:

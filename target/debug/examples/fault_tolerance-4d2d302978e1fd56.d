@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/fault_tolerance-4d2d302978e1fd56.d: examples/fault_tolerance.rs
+
+/root/repo/target/debug/examples/fault_tolerance-4d2d302978e1fd56: examples/fault_tolerance.rs
+
+examples/fault_tolerance.rs:

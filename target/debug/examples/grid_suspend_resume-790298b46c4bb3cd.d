@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/grid_suspend_resume-790298b46c4bb3cd.d: examples/grid_suspend_resume.rs
+
+/root/repo/target/debug/examples/grid_suspend_resume-790298b46c4bb3cd: examples/grid_suspend_resume.rs
+
+examples/grid_suspend_resume.rs:

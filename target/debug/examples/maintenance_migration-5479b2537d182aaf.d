@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/maintenance_migration-5479b2537d182aaf.d: examples/maintenance_migration.rs
+
+/root/repo/target/debug/examples/maintenance_migration-5479b2537d182aaf: examples/maintenance_migration.rs
+
+examples/maintenance_migration.rs:

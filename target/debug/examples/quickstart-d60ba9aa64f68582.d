@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-d60ba9aa64f68582.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-d60ba9aa64f68582: examples/quickstart.rs
+
+examples/quickstart.rs:

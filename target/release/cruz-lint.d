@@ -1,0 +1,1 @@
+/root/repo/target/release/cruz-lint: /root/repo/crates/lint/src/main.rs

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_optimized-1de2b58cdd457cf3.d: crates/bench/src/bin/ablation_optimized.rs
+
+/root/repo/target/release/deps/ablation_optimized-1de2b58cdd457cf3: crates/bench/src/bin/ablation_optimized.rs
+
+crates/bench/src/bin/ablation_optimized.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/baseline-22ce97405e863437.d: crates/baseline/src/lib.rs crates/baseline/src/flush.rs crates/baseline/src/logging.rs
+
+/root/repo/target/release/deps/libbaseline-22ce97405e863437.rlib: crates/baseline/src/lib.rs crates/baseline/src/flush.rs crates/baseline/src/logging.rs
+
+/root/repo/target/release/deps/libbaseline-22ce97405e863437.rmeta: crates/baseline/src/lib.rs crates/baseline/src/flush.rs crates/baseline/src/logging.rs
+
+crates/baseline/src/lib.rs:
+crates/baseline/src/flush.rs:
+crates/baseline/src/logging.rs:

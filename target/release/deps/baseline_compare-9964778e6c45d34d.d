@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/baseline_compare-9964778e6c45d34d.d: crates/bench/src/bin/baseline_compare.rs
+
+/root/repo/target/release/deps/baseline_compare-9964778e6c45d34d: crates/bench/src/bin/baseline_compare.rs
+
+crates/bench/src/bin/baseline_compare.rs:

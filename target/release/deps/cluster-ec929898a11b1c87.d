@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/cluster-ec929898a11b1c87.d: crates/cluster/src/lib.rs crates/cluster/src/jobs.rs crates/cluster/src/params.rs crates/cluster/src/world.rs
+
+/root/repo/target/release/deps/libcluster-ec929898a11b1c87.rlib: crates/cluster/src/lib.rs crates/cluster/src/jobs.rs crates/cluster/src/params.rs crates/cluster/src/world.rs
+
+/root/repo/target/release/deps/libcluster-ec929898a11b1c87.rmeta: crates/cluster/src/lib.rs crates/cluster/src/jobs.rs crates/cluster/src/params.rs crates/cluster/src/world.rs
+
+crates/cluster/src/lib.rs:
+crates/cluster/src/jobs.rs:
+crates/cluster/src/params.rs:
+crates/cluster/src/world.rs:

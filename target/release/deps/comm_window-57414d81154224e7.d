@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/comm_window-57414d81154224e7.d: crates/bench/src/bin/comm_window.rs
+
+/root/repo/target/release/deps/comm_window-57414d81154224e7: crates/bench/src/bin/comm_window.rs
+
+crates/bench/src/bin/comm_window.rs:

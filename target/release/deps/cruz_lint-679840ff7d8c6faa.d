@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/cruz_lint-679840ff7d8c6faa.d: crates/lint/src/main.rs
+
+/root/repo/target/release/deps/cruz_lint-679840ff7d8c6faa: crates/lint/src/main.rs
+
+crates/lint/src/main.rs:

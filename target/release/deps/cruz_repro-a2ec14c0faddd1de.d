@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/cruz_repro-a2ec14c0faddd1de.d: src/lib.rs
+
+/root/repo/target/release/deps/libcruz_repro-a2ec14c0faddd1de.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libcruz_repro-a2ec14c0faddd1de.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig5a-b36be2b4f774220b.d: crates/bench/src/bin/fig5a.rs
+
+/root/repo/target/release/deps/fig5a-b36be2b4f774220b: crates/bench/src/bin/fig5a.rs
+
+crates/bench/src/bin/fig5a.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig5b-9d4fd58fa0424831.d: crates/bench/src/bin/fig5b.rs
+
+/root/repo/target/release/deps/fig5b-9d4fd58fa0424831: crates/bench/src/bin/fig5b.rs
+
+crates/bench/src/bin/fig5b.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6-fa5dca7f6a4276c3.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/release/deps/fig6-fa5dca7f6a4276c3: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/incremental_ckpt-097e4903a7d5ffda.d: crates/bench/src/bin/incremental_ckpt.rs
+
+/root/repo/target/release/deps/incremental_ckpt-097e4903a7d5ffda: crates/bench/src/bin/incremental_ckpt.rs
+
+crates/bench/src/bin/incremental_ckpt.rs:

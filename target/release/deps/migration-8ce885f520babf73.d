@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/migration-8ce885f520babf73.d: crates/bench/src/bin/migration.rs
+
+/root/repo/target/release/deps/migration-8ce885f520babf73: crates/bench/src/bin/migration.rs
+
+crates/bench/src/bin/migration.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/overhead-d70b83629453f24e.d: crates/bench/src/bin/overhead.rs
+
+/root/repo/target/release/deps/overhead-d70b83629453f24e: crates/bench/src/bin/overhead.rs
+
+crates/bench/src/bin/overhead.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/restart_latency-7c82afb1180c7489.d: crates/bench/src/bin/restart_latency.rs
+
+/root/repo/target/release/deps/restart_latency-7c82afb1180c7489: crates/bench/src/bin/restart_latency.rs
+
+crates/bench/src/bin/restart_latency.rs:

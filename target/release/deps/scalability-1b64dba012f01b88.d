@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/scalability-1b64dba012f01b88.d: crates/bench/src/bin/scalability.rs
+
+/root/repo/target/release/deps/scalability-1b64dba012f01b88: crates/bench/src/bin/scalability.rs
+
+crates/bench/src/bin/scalability.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/simcpu-e4d0c436fe080e7e.d: crates/simcpu/src/lib.rs crates/simcpu/src/asm.rs crates/simcpu/src/cpu.rs crates/simcpu/src/isa.rs crates/simcpu/src/mem.rs
+
+/root/repo/target/release/deps/libsimcpu-e4d0c436fe080e7e.rlib: crates/simcpu/src/lib.rs crates/simcpu/src/asm.rs crates/simcpu/src/cpu.rs crates/simcpu/src/isa.rs crates/simcpu/src/mem.rs
+
+/root/repo/target/release/deps/libsimcpu-e4d0c436fe080e7e.rmeta: crates/simcpu/src/lib.rs crates/simcpu/src/asm.rs crates/simcpu/src/cpu.rs crates/simcpu/src/isa.rs crates/simcpu/src/mem.rs
+
+crates/simcpu/src/lib.rs:
+crates/simcpu/src/asm.rs:
+crates/simcpu/src/cpu.rs:
+crates/simcpu/src/isa.rs:
+crates/simcpu/src/mem.rs:

@@ -1,0 +1,22 @@
+/root/repo/target/release/deps/simnet-f34b2376759d76e2.d: crates/simnet/src/lib.rs crates/simnet/src/addr.rs crates/simnet/src/arp.rs crates/simnet/src/dhcp.rs crates/simnet/src/filter.rs crates/simnet/src/frame.rs crates/simnet/src/link.rs crates/simnet/src/stack.rs crates/simnet/src/switch.rs crates/simnet/src/tcp/mod.rs crates/simnet/src/tcp/buffer.rs crates/simnet/src/tcp/rto.rs crates/simnet/src/tcp/segment.rs crates/simnet/src/tcp/seq.rs crates/simnet/src/tcp/tcb.rs crates/simnet/src/udp.rs
+
+/root/repo/target/release/deps/libsimnet-f34b2376759d76e2.rlib: crates/simnet/src/lib.rs crates/simnet/src/addr.rs crates/simnet/src/arp.rs crates/simnet/src/dhcp.rs crates/simnet/src/filter.rs crates/simnet/src/frame.rs crates/simnet/src/link.rs crates/simnet/src/stack.rs crates/simnet/src/switch.rs crates/simnet/src/tcp/mod.rs crates/simnet/src/tcp/buffer.rs crates/simnet/src/tcp/rto.rs crates/simnet/src/tcp/segment.rs crates/simnet/src/tcp/seq.rs crates/simnet/src/tcp/tcb.rs crates/simnet/src/udp.rs
+
+/root/repo/target/release/deps/libsimnet-f34b2376759d76e2.rmeta: crates/simnet/src/lib.rs crates/simnet/src/addr.rs crates/simnet/src/arp.rs crates/simnet/src/dhcp.rs crates/simnet/src/filter.rs crates/simnet/src/frame.rs crates/simnet/src/link.rs crates/simnet/src/stack.rs crates/simnet/src/switch.rs crates/simnet/src/tcp/mod.rs crates/simnet/src/tcp/buffer.rs crates/simnet/src/tcp/rto.rs crates/simnet/src/tcp/segment.rs crates/simnet/src/tcp/seq.rs crates/simnet/src/tcp/tcb.rs crates/simnet/src/udp.rs
+
+crates/simnet/src/lib.rs:
+crates/simnet/src/addr.rs:
+crates/simnet/src/arp.rs:
+crates/simnet/src/dhcp.rs:
+crates/simnet/src/filter.rs:
+crates/simnet/src/frame.rs:
+crates/simnet/src/link.rs:
+crates/simnet/src/stack.rs:
+crates/simnet/src/switch.rs:
+crates/simnet/src/tcp/mod.rs:
+crates/simnet/src/tcp/buffer.rs:
+crates/simnet/src/tcp/rto.rs:
+crates/simnet/src/tcp/segment.rs:
+crates/simnet/src/tcp/seq.rs:
+crates/simnet/src/tcp/tcb.rs:
+crates/simnet/src/udp.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/workloads-2d32a94b23b7826f.d: crates/workloads/src/lib.rs crates/workloads/src/allreduce.rs crates/workloads/src/common.rs crates/workloads/src/compute.rs crates/workloads/src/pingpong.rs crates/workloads/src/slm.rs crates/workloads/src/streaming.rs
+
+/root/repo/target/release/deps/libworkloads-2d32a94b23b7826f.rlib: crates/workloads/src/lib.rs crates/workloads/src/allreduce.rs crates/workloads/src/common.rs crates/workloads/src/compute.rs crates/workloads/src/pingpong.rs crates/workloads/src/slm.rs crates/workloads/src/streaming.rs
+
+/root/repo/target/release/deps/libworkloads-2d32a94b23b7826f.rmeta: crates/workloads/src/lib.rs crates/workloads/src/allreduce.rs crates/workloads/src/common.rs crates/workloads/src/compute.rs crates/workloads/src/pingpong.rs crates/workloads/src/slm.rs crates/workloads/src/streaming.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/allreduce.rs:
+crates/workloads/src/common.rs:
+crates/workloads/src/compute.rs:
+crates/workloads/src/pingpong.rs:
+crates/workloads/src/slm.rs:
+crates/workloads/src/streaming.rs:

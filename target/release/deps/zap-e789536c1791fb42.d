@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/zap-e789536c1791fb42.d: crates/zap/src/lib.rs crates/zap/src/image.rs crates/zap/src/interpose.rs crates/zap/src/manager.rs crates/zap/src/pod.rs
+
+/root/repo/target/release/deps/libzap-e789536c1791fb42.rlib: crates/zap/src/lib.rs crates/zap/src/image.rs crates/zap/src/interpose.rs crates/zap/src/manager.rs crates/zap/src/pod.rs
+
+/root/repo/target/release/deps/libzap-e789536c1791fb42.rmeta: crates/zap/src/lib.rs crates/zap/src/image.rs crates/zap/src/interpose.rs crates/zap/src/manager.rs crates/zap/src/pod.rs
+
+crates/zap/src/lib.rs:
+crates/zap/src/image.rs:
+crates/zap/src/interpose.rs:
+crates/zap/src/manager.rs:
+crates/zap/src/pod.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/fault_tolerance-78d3ada44578f715.d: examples/fault_tolerance.rs
+
+/root/repo/target/release/examples/fault_tolerance-78d3ada44578f715: examples/fault_tolerance.rs
+
+examples/fault_tolerance.rs:

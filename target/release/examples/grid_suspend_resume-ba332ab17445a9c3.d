@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/grid_suspend_resume-ba332ab17445a9c3.d: examples/grid_suspend_resume.rs
+
+/root/repo/target/release/examples/grid_suspend_resume-ba332ab17445a9c3: examples/grid_suspend_resume.rs
+
+examples/grid_suspend_resume.rs:

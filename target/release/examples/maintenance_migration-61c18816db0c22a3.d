@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/maintenance_migration-61c18816db0c22a3.d: examples/maintenance_migration.rs
+
+/root/repo/target/release/examples/maintenance_migration-61c18816db0c22a3: examples/maintenance_migration.rs
+
+examples/maintenance_migration.rs:

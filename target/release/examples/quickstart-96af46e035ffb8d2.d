@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-96af46e035ffb8d2.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-96af46e035ffb8d2: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,1 @@
+/root/repo/target/release/libdes.rlib: /root/repo/crates/des/src/lib.rs /root/repo/crates/des/src/queue.rs /root/repo/crates/des/src/rng.rs /root/repo/crates/des/src/time.rs

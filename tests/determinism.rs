@@ -1,0 +1,171 @@
+//! The determinism regression test: the invariant `cruz-lint` exists to
+//! protect, checked end to end.
+//!
+//! Two runs of the same scenario with the same seed must be
+//! indistinguishable: the same event trace (witnessed by the world's
+//! FNV fold over every dispatched event) and **byte-identical**
+//! checkpoint images. This is what makes simulated experiments
+//! reproducible, and it is exactly what a stray `HashMap` iteration
+//! breaks — `RandomState` reseeds per process, so iteration order (and
+//! everything downstream of it) diverges between runs.
+
+use cruz_repro::cluster::{ClusterParams, JobSpec, PodSpec, World};
+use cruz_repro::cruz::proto::ProtocolMode;
+use cruz_repro::des::SimDuration;
+use cruz_repro::simnet::addr::{IpAddr, MacAddr};
+use cruz_repro::workloads::pingpong::PingPongConfig;
+use cruz_repro::zap::image::MacMode;
+
+fn pingpong_spec(rounds: u64) -> JobSpec {
+    let cfg = PingPongConfig {
+        server_ip: IpAddr::from_octets([10, 0, 1, 1]),
+        port: 7300,
+        rounds,
+    };
+    JobSpec {
+        name: "pp".into(),
+        coordinator_node: 4,
+        pods: vec![
+            PodSpec {
+                name: "server".into(),
+                ip: cfg.server_ip,
+                mac_mode: MacMode::Dedicated(MacAddr::from_index(2001)),
+                node: 0,
+                programs: vec![cfg.server_program()],
+            },
+            PodSpec {
+                name: "client".into(),
+                ip: IpAddr::from_octets([10, 0, 1, 2]),
+                mac_mode: MacMode::Dedicated(MacAddr::from_index(2002)),
+                node: 1,
+                programs: vec![cfg.client_program()],
+            },
+        ],
+    }
+}
+
+/// Everything one run leaves behind that a divergent twin could differ
+/// in: trace digest, event count, final clock, and every stored image.
+#[derive(Debug, PartialEq, Eq)]
+struct RunOutcome {
+    trace_digest: u64,
+    events: u64,
+    final_nanos: u64,
+    /// (pod, epoch, image bytes) for every committed epoch, in order.
+    images: Vec<(String, u64, Vec<u8>)>,
+    exit_codes: (Option<u64>, Option<u64>),
+}
+
+fn run_scenario(seed: u64) -> RunOutcome {
+    let mut w = World::new(
+        5,
+        ClusterParams {
+            seed,
+            ..ClusterParams::default()
+        },
+    );
+    w.launch_job(&pingpong_spec(200)).expect("job launches");
+    w.run_for(SimDuration::from_millis(2));
+
+    // Checkpoint mid-run, keep going, checkpoint again (so the store holds
+    // several epochs' worth of images), then let the job finish.
+    let op1 = w
+        .start_checkpoint("pp", ProtocolMode::Blocking, None)
+        .expect("first checkpoint starts");
+    assert!(w.run_until_op(op1, 20_000_000), "first checkpoint finishes");
+    w.run_for(SimDuration::from_millis(2));
+    let op2 = w
+        .start_checkpoint("pp", ProtocolMode::Optimized, None)
+        .expect("second checkpoint starts");
+    assert!(
+        w.run_until_op(op2, 20_000_000),
+        "second checkpoint finishes"
+    );
+    assert!(
+        w.run_until_pred(100_000_000, |w| w.job_finished("pp")),
+        "job runs to completion"
+    );
+
+    let store = w.store("pp");
+    let mut images = Vec::new();
+    for epoch in store.committed_epochs() {
+        for pod in store.pods_in_epoch(epoch) {
+            let bytes = store
+                .get_image(&pod, epoch)
+                .expect("committed image exists");
+            images.push((pod, epoch, bytes));
+        }
+    }
+    assert!(
+        !images.is_empty(),
+        "the scenario must actually store images"
+    );
+
+    RunOutcome {
+        trace_digest: w.trace_digest(),
+        events: w.events_processed(),
+        final_nanos: w.now.as_nanos(),
+        images,
+        exit_codes: (
+            w.pod_exit_code("pp", "server", 1),
+            w.pod_exit_code("pp", "client", 1),
+        ),
+    }
+}
+
+#[test]
+fn same_seed_same_trace_and_byte_identical_images() {
+    let a = run_scenario(0xC0FFEE);
+    let b = run_scenario(0xC0FFEE);
+    assert_eq!(
+        a.trace_digest, b.trace_digest,
+        "event traces diverged: some event source is nondeterministic"
+    );
+    assert_eq!(a.events, b.events, "event counts diverged");
+    assert_eq!(a.final_nanos, b.final_nanos, "final clocks diverged");
+    assert_eq!(a.exit_codes, b.exit_codes, "workload outcomes diverged");
+    assert_eq!(
+        a.images.len(),
+        b.images.len(),
+        "different number of stored images"
+    );
+    for ((pod_a, epoch_a, bytes_a), (pod_b, epoch_b, bytes_b)) in
+        a.images.iter().zip(b.images.iter())
+    {
+        assert_eq!(
+            (pod_a, epoch_a),
+            (pod_b, epoch_b),
+            "image inventory diverged"
+        );
+        assert_eq!(
+            bytes_a, bytes_b,
+            "checkpoint image for pod `{pod_a}` epoch {epoch_a} is not byte-identical"
+        );
+    }
+}
+
+#[test]
+fn different_seeds_diverge() {
+    // The digest must be a meaningful witness: runs that *should* differ
+    // must not collide. The seed only feeds fault injection, so give it
+    // something to decide: a lossy fabric (TCP retransmits carry the
+    // workload through).
+    let run = |seed: u64| -> u64 {
+        let mut w = World::new(
+            5,
+            ClusterParams {
+                seed,
+                frame_loss: 0.05,
+                ..ClusterParams::default()
+            },
+        );
+        w.launch_job(&pingpong_spec(50)).expect("job launches");
+        w.run_for(SimDuration::from_millis(40));
+        w.trace_digest()
+    };
+    assert_ne!(
+        run(1),
+        run(2),
+        "different seeds produced identical traces; the digest is vacuous"
+    );
+}

@@ -166,11 +166,14 @@ fn frame_loss_does_not_break_checkpointing() {
     // A lossy fabric: TCP absorbs the loss; the coordination datagrams are
     // unreliable, so give the checkpoint a generous completion budget but
     // require the *application* to stay correct regardless.
-    let mut w = World::new(3, ClusterParams {
-        frame_loss: 0.02,
-        ctl_retry: Some(SimDuration::from_millis(100)),
-        ..ClusterParams::default()
-    });
+    let mut w = World::new(
+        3,
+        ClusterParams {
+            frame_loss: 0.02,
+            ctl_retry: Some(SimDuration::from_millis(100)),
+            ..ClusterParams::default()
+        },
+    );
     let (spec, _) = pingpong_on(300, 2);
     w.launch_job(&spec).unwrap();
     w.run_for(SimDuration::from_millis(10));

@@ -26,7 +26,18 @@ fn arb_conn() -> impl Strategy<Value = TcpConnImage> {
         proptest::collection::vec(any::<u8>(), 0..64),
     )
         .prop_map(
-            |(local, remote, state, snd_una, rcv_nxt, peer_window, nodelay, cork, inflight, unsent)| {
+            |(
+                local,
+                remote,
+                state,
+                snd_una,
+                rcv_nxt,
+                peer_window,
+                nodelay,
+                cork,
+                inflight,
+                unsent,
+            )| {
                 TcpConnImage {
                     local,
                     remote,
@@ -45,11 +56,31 @@ fn arb_conn() -> impl Strategy<Value = TcpConnImage> {
 
 fn arb_sock() -> impl Strategy<Value = SockImage> {
     prop_oneof![
-        (arb_sockaddr(), 1u32..16, proptest::collection::vec((arb_conn(), proptest::collection::vec(any::<u8>(), 0..32)), 0..3))
-            .prop_map(|(local, backlog, pending)| SockImage::Listen { local, backlog, pending }),
+        (
+            arb_sockaddr(),
+            1u32..16,
+            proptest::collection::vec(
+                (arb_conn(), proptest::collection::vec(any::<u8>(), 0..32)),
+                0..3
+            )
+        )
+            .prop_map(|(local, backlog, pending)| SockImage::Listen {
+                local,
+                backlog,
+                pending
+            }),
         (arb_conn(), proptest::collection::vec(any::<u8>(), 0..64))
             .prop_map(|(snap, alt_recv)| SockImage::Conn { snap, alt_recv }),
-        (proptest::option::of(arb_sockaddr()), proptest::collection::vec((arb_sockaddr(), proptest::collection::vec(any::<u8>(), 0..32)), 0..3))
+        (
+            proptest::option::of(arb_sockaddr()),
+            proptest::collection::vec(
+                (
+                    arb_sockaddr(),
+                    proptest::collection::vec(any::<u8>(), 0..32)
+                ),
+                0..3
+            )
+        )
             .prop_map(|(bound, queue)| SockImage::Udp { bound, queue }),
         proptest::option::of(arb_sockaddr()).prop_map(|bound| SockImage::Fresh { bound }),
     ]
@@ -59,7 +90,8 @@ fn arb_desc() -> impl Strategy<Value = DescImage> {
     prop_oneof![
         Just(DescImage::Console),
         ("[a-z/]{1,12}", any::<u64>()).prop_map(|(path, offset)| DescImage::File { path, offset }),
-        (0u32..4, any::<bool>()).prop_map(|(index, write_end)| DescImage::Pipe { index, write_end }),
+        (0u32..4, any::<bool>())
+            .prop_map(|(index, write_end)| DescImage::Pipe { index, write_end }),
         (0u32..4).prop_map(|index| DescImage::Socket { index }),
     ]
 }
@@ -67,18 +99,25 @@ fn arb_desc() -> impl Strategy<Value = DescImage> {
 fn arb_group() -> impl Strategy<Value = GroupImage> {
     (
         proptest::collection::vec(
-            (0u64..1u64 << 20, 1u64..16, "[a-z]{1,8}", proptest::option::of(0u32..2)).prop_map(
-                |(page, pages, tag, shm_index)| AreaImage {
+            (
+                0u64..1u64 << 20,
+                1u64..16,
+                "[a-z]{1,8}",
+                proptest::option::of(0u32..2),
+            )
+                .prop_map(|(page, pages, tag, shm_index)| AreaImage {
                     start: page * 4096,
                     len: pages * 4096,
                     tag,
                     shm_index,
-                },
-            ),
+                }),
             0..4,
         ),
         proptest::collection::vec(
-            (0u64..1u64 << 20, proptest::collection::vec(any::<u8>(), 1..64))
+            (
+                0u64..1u64 << 20,
+                proptest::collection::vec(any::<u8>(), 1..64),
+            )
                 .prop_map(|(page, data)| (page * 4096, data)),
             0..4,
         ),
@@ -124,9 +163,11 @@ fn arb_image() -> impl Strategy<Value = PodImage> {
         "[a-z0-9:]{1,16}",
         any::<u32>(),
         prop_oneof![
-            proptest::array::uniform6(any::<u8>()).prop_map(|m| MacMode::Dedicated(MacAddr::new(m))),
             proptest::array::uniform6(any::<u8>())
-                .prop_map(|m| MacMode::SharedPhysical { fake_mac: MacAddr::new(m) }),
+                .prop_map(|m| MacMode::Dedicated(MacAddr::new(m))),
+            proptest::array::uniform6(any::<u8>()).prop_map(|m| MacMode::SharedPhysical {
+                fake_mac: MacAddr::new(m)
+            }),
         ],
         1u32..1000,
         proptest::collection::vec(
@@ -140,8 +181,16 @@ fn arb_image() -> impl Strategy<Value = PodImage> {
             0..3,
         ),
         proptest::collection::vec(
-            (proptest::collection::vec(any::<u8>(), 0..64), 0u32..4, 0u32..4)
-                .prop_map(|(data, readers, writers)| PipeImage { data, readers, writers }),
+            (
+                proptest::collection::vec(any::<u8>(), 0..64),
+                0u32..4,
+                0u32..4,
+            )
+                .prop_map(|(data, readers, writers)| PipeImage {
+                    data,
+                    readers,
+                    writers,
+                }),
             0..3,
         ),
         proptest::collection::vec(arb_sock(), 0..4),
@@ -149,7 +198,19 @@ fn arb_image() -> impl Strategy<Value = PodImage> {
         proptest::collection::vec(arb_proc(), 0..4),
     )
         .prop_map(
-            |(base_epoch, name, ip, mac_mode, next_vpid, shm, sems, pipes, sockets, groups, procs)| PodImage {
+            |(
+                base_epoch,
+                name,
+                ip,
+                mac_mode,
+                next_vpid,
+                shm,
+                sems,
+                pipes,
+                sockets,
+                groups,
+                procs,
+            )| PodImage {
                 base_epoch,
                 name,
                 ip: IpAddr::from_bits(ip),

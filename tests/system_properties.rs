@@ -170,10 +170,18 @@ proptest! {
 #[test]
 fn determinism_same_seed_same_world() {
     let run = |seed: u64| -> (SimTime, Option<u64>, Option<u64>) {
-        let mut w = World::new(5, ClusterParams { seed, ..ClusterParams::default() });
+        let mut w = World::new(
+            5,
+            ClusterParams {
+                seed,
+                ..ClusterParams::default()
+            },
+        );
         w.launch_job(&pingpong_spec(120)).unwrap();
         w.run_for(SimDuration::from_millis(3));
-        let op = w.start_checkpoint("pp", ProtocolMode::Blocking, None).unwrap();
+        let op = w
+            .start_checkpoint("pp", ProtocolMode::Blocking, None)
+            .unwrap();
         assert!(w.run_until_op(op, 20_000_000));
         assert!(w.run_until_pred(100_000_000, |w| w.job_finished("pp")));
         (

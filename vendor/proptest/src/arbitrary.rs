@@ -1,0 +1,86 @@
+//! `any::<T>()` for the primitive types the workspace generates.
+
+use std::fmt::Debug;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Types with a canonical full-domain generation strategy.
+pub trait Arbitrary: Sized + Debug {
+    /// Draws an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        rng.unit_f64()
+    }
+}
+
+impl Arbitrary for f32 {
+    fn arbitrary(rng: &mut TestRng) -> f32 {
+        rng.unit_f64() as f32
+    }
+}
+
+impl Arbitrary for char {
+    fn arbitrary(rng: &mut TestRng) -> char {
+        // Printable ASCII keeps generated text debuggable.
+        (b' ' + rng.below(95) as u8) as char
+    }
+}
+
+/// The strategy returned by [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct AnyStrategy<A> {
+    _marker: std::marker::PhantomData<A>,
+}
+
+impl<A: Arbitrary> Strategy for AnyStrategy<A> {
+    type Value = A;
+
+    fn generate(&self, rng: &mut TestRng) -> A {
+        A::arbitrary(rng)
+    }
+}
+
+/// Generates unconstrained values of `A`.
+pub fn any<A: Arbitrary>() -> AnyStrategy<A> {
+    AnyStrategy {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn any_is_deterministic_per_rng_state() {
+        let mut a = TestRng::for_case(9, 3);
+        let mut b = TestRng::for_case(9, 3);
+        assert_eq!(any::<u64>().generate(&mut a), any::<u64>().generate(&mut b));
+        assert_eq!(
+            any::<bool>().generate(&mut a),
+            any::<bool>().generate(&mut b)
+        );
+    }
+}

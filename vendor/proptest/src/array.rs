@@ -1,0 +1,54 @@
+//! `proptest::array::uniformN` fixed-size array strategies.
+
+use std::fmt::Debug;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// A strategy producing `[S::Value; N]` from one element strategy.
+pub struct UniformArray<S, const N: usize> {
+    element: S,
+}
+
+impl<S: Strategy, const N: usize> Strategy for UniformArray<S, N>
+where
+    S::Value: Debug,
+{
+    type Value = [S::Value; N];
+
+    fn generate(&self, rng: &mut TestRng) -> [S::Value; N] {
+        std::array::from_fn(|_| self.element.generate(rng))
+    }
+}
+
+macro_rules! uniform_fn {
+    ($($name:ident => $n:literal),* $(,)?) => {$(
+        /// Generates a fixed-size array, each element drawn independently.
+        pub fn $name<S: Strategy>(element: S) -> UniformArray<S, $n> {
+            UniformArray { element }
+        }
+    )*};
+}
+
+uniform_fn! {
+    uniform4 => 4,
+    uniform5 => 5,
+    uniform6 => 6,
+    uniform8 => 8,
+    uniform16 => 16,
+    uniform32 => 32,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arbitrary::any;
+
+    #[test]
+    fn arrays_have_fixed_size_and_vary() {
+        let mut rng = TestRng::for_case(5, 5);
+        let a: [u64; 16] = uniform16(any::<u64>()).generate(&mut rng);
+        let b: [u64; 16] = uniform16(any::<u64>()).generate(&mut rng);
+        assert_ne!(a, b, "independent draws should differ");
+    }
+}

@@ -1,0 +1,167 @@
+//! Vendored stand-in for the `proptest` crate.
+//!
+//! The workspace builds in environments with no crates.io access, so the
+//! strategy/runner subset its property tests use is reimplemented here as a
+//! small, fully deterministic generate-and-check engine:
+//!
+//! * every test's case stream is a pure function of the test's module path
+//!   and name, so runs are reproducible across machines and never inject
+//!   ambient entropy into the suite;
+//! * there is no shrinking — a failing case reports its generated inputs
+//!   (all strategies produce `Debug` values) so it can be turned into a
+//!   hand-written regression test;
+//! * supported surface: `proptest!`, `prop_assert!`, `prop_assert_eq!`,
+//!   `prop_oneof!` (weighted and unweighted), `any::<T>()`, integer and
+//!   float range strategies, `&str` character-class patterns like
+//!   `"[a-z0-9]{1,8}"`, `Just`, `.prop_map`, tuple strategies,
+//!   `collection::vec`, `array::uniformN`, and `option::of`.
+
+pub mod arbitrary;
+pub mod array;
+pub mod collection;
+pub mod option;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+/// The glob import every property test starts with.
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+}
+
+/// Declares property tests.
+///
+/// Each `fn name(arg in strategy, ...) { body }` item becomes a `#[test]`
+/// that draws `config.cases` input tuples from the strategies and runs the
+/// body on each. The body may use `prop_assert!`/`prop_assert_eq!` (early
+/// `Err` returns) or ordinary asserts (panics are caught, inputs printed,
+/// and the panic re-raised).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            cfg = $crate::test_runner::ProptestConfig::default();
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (cfg = $cfg:expr;
+     $($(#[$meta:meta])*
+       fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                let seed = $crate::test_runner::seed_from_name(concat!(
+                    module_path!(),
+                    "::",
+                    stringify!($name)
+                ));
+                for case in 0..config.cases {
+                    let mut rng = $crate::test_runner::TestRng::for_case(seed, case);
+                    $(
+                        let $arg = $crate::strategy::Strategy::generate(&$strat, &mut rng);
+                    )+
+                    let inputs = format!(
+                        concat!($(stringify!($arg), " = {:?}; "),+),
+                        $(&$arg),+
+                    );
+                    let outcome = ::std::panic::catch_unwind(
+                        ::std::panic::AssertUnwindSafe(
+                            || -> ::core::result::Result<(), $crate::test_runner::TestCaseError> {
+                                $body;
+                                ::core::result::Result::Ok(())
+                            },
+                        ),
+                    );
+                    match outcome {
+                        ::core::result::Result::Ok(::core::result::Result::Ok(())) => {}
+                        ::core::result::Result::Ok(::core::result::Result::Err(e)) => {
+                            panic!(
+                                "property `{}` failed at case {}: {}\n  inputs: {}",
+                                stringify!($name),
+                                case,
+                                e,
+                                inputs
+                            );
+                        }
+                        ::core::result::Result::Err(cause) => {
+                            eprintln!(
+                                "property `{}` panicked at case {}\n  inputs: {}",
+                                stringify!($name),
+                                case,
+                                inputs
+                            );
+                            ::std::panic::resume_unwind(cause);
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Fallible assertion: fails the current case without unwinding.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Fallible equality assertion: fails the current case without unwinding.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "assertion failed: `{:?}` == `{:?}`",
+            __l,
+            __r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "{} (`{:?}` != `{:?}`)",
+            format!($($fmt)+),
+            __l,
+            __r
+        );
+    }};
+}
+
+/// Chooses among several strategies producing the same value type, with
+/// optional `weight => strategy` arms.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:literal => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $((1u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+}

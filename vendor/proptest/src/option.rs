@@ -1,0 +1,47 @@
+//! `proptest::option::of`.
+
+use std::fmt::Debug;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// The strategy returned by [`of`].
+pub struct OptionStrategy<S> {
+    inner: S,
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S>
+where
+    S::Value: Debug,
+{
+    type Value = Option<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+        // Bias toward Some (4:1), matching real proptest's spirit of mostly
+        // exercising the populated case.
+        if rng.below(5) == 0 {
+            None
+        } else {
+            Some(self.inner.generate(rng))
+        }
+    }
+}
+
+/// Generates `None` sometimes and `Some(inner)` most of the time.
+pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy { inner }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn produces_both_variants() {
+        let s = of(0u8..10);
+        let mut rng = TestRng::for_case(2, 2);
+        let draws: Vec<_> = (0..100).map(|_| s.generate(&mut rng)).collect();
+        assert!(draws.iter().any(|d| d.is_none()));
+        assert!(draws.iter().any(|d| d.is_some()));
+    }
+}

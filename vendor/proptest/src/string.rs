@@ -1,0 +1,164 @@
+//! String strategies from character-class patterns.
+//!
+//! A `&'static str` used as a strategy is parsed as a tiny regex subset:
+//! a sequence of items, where each item is a character class `[...]`
+//! (supporting literal characters and `a-z` style ranges) or a literal
+//! character, optionally followed by a `{n}` or `{m,n}` repetition. This
+//! covers the patterns the workspace's tests use, e.g. `"[a-z0-9:]{1,16}"`.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+#[derive(Debug, Clone)]
+struct Item {
+    choices: Vec<char>,
+    min: usize,
+    max_inclusive: usize,
+}
+
+fn parse_class(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> Vec<char> {
+    let mut out = Vec::new();
+    let mut prev: Option<char> = None;
+    loop {
+        let c = chars.next().expect("unterminated character class");
+        match c {
+            ']' => break,
+            '-' if prev.is_some() && chars.peek().is_some_and(|&n| n != ']') => {
+                let start = prev.take().expect("range start");
+                let end = chars.next().expect("range end");
+                assert!(start <= end, "descending character range");
+                // `start` is already in `out`; append the rest of the range.
+                for code in (start as u32 + 1)..=(end as u32) {
+                    out.push(char::from_u32(code).expect("valid range char"));
+                }
+            }
+            '\\' => {
+                let esc = chars.next().expect("dangling escape");
+                out.push(esc);
+                prev = Some(esc);
+            }
+            _ => {
+                out.push(c);
+                prev = Some(c);
+            }
+        }
+    }
+    assert!(!out.is_empty(), "empty character class");
+    out
+}
+
+fn parse_repeat(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> (usize, usize) {
+    if chars.peek() != Some(&'{') {
+        return (1, 1);
+    }
+    chars.next();
+    let mut spec = String::new();
+    loop {
+        let c = chars.next().expect("unterminated repetition");
+        if c == '}' {
+            break;
+        }
+        spec.push(c);
+    }
+    match spec.split_once(',') {
+        Some((lo, hi)) => (
+            lo.trim().parse().expect("repetition lower bound"),
+            hi.trim().parse().expect("repetition upper bound"),
+        ),
+        None => {
+            let n = spec.trim().parse().expect("repetition count");
+            (n, n)
+        }
+    }
+}
+
+fn parse_pattern(pattern: &str) -> Vec<Item> {
+    let mut chars = pattern.chars().peekable();
+    let mut items = Vec::new();
+    while let Some(&c) = chars.peek() {
+        let choices = if c == '[' {
+            chars.next();
+            parse_class(&mut chars)
+        } else {
+            chars.next();
+            if c == '\\' {
+                vec![chars.next().expect("dangling escape")]
+            } else {
+                vec![c]
+            }
+        };
+        let (min, max_inclusive) = parse_repeat(&mut chars);
+        assert!(min <= max_inclusive, "descending repetition bounds");
+        items.push(Item {
+            choices,
+            min,
+            max_inclusive,
+        });
+    }
+    items
+}
+
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for item in parse_pattern(self) {
+            let span = (item.max_inclusive - item.min + 1) as u64;
+            let count = item.min + rng.below(span) as usize;
+            for _ in 0..count {
+                out.push(item.choices[rng.below(item.choices.len() as u64) as usize]);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::for_case(3, 3)
+    }
+
+    #[test]
+    fn class_with_ranges_and_literals() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = "[a-z0-9:]{1,16}".generate(&mut r);
+            assert!((1..=16).contains(&s.len()));
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == ':'));
+        }
+    }
+
+    #[test]
+    fn printable_ascii_range() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = "[ -~]{0,20}".generate(&mut r);
+            assert!(s.len() <= 20);
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn literal_runs_and_fixed_counts() {
+        let mut r = rng();
+        let s = "ab[01]{3}".generate(&mut r);
+        assert_eq!(s.len(), 5);
+        assert!(s.starts_with("ab"));
+        assert!(s[2..].chars().all(|c| c == '0' || c == '1'));
+    }
+
+    #[test]
+    fn slash_in_class_is_literal() {
+        let mut r = rng();
+        for _ in 0..100 {
+            let s = "[a-z/]{1,12}".generate(&mut r);
+            assert!(s.chars().all(|c| c.is_ascii_lowercase() || c == '/'));
+        }
+    }
+}
