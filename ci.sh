@@ -6,6 +6,8 @@
 #   3. release build    — the whole workspace compiles
 #   4. tests            — every suite, including the same-seed
 #                         byte-identical-images regression test
+#   5. bench smoke      — `--quick` runs of the store-ablation and
+#                         Fig 5(a) binaries (their asserts are the check)
 #
 # Everything runs offline: the only dependencies are the vendored stubs
 # under vendor/ (see DESIGN.md, "Offline builds").
@@ -24,5 +26,9 @@ cargo build --offline --release --workspace
 
 echo "== cargo test"
 cargo test --offline --workspace -q
+
+echo "== bench smoke (--quick)"
+cargo run --offline -q --release -p bench --bin store_dedup -- --quick
+cargo run --offline -q --release -p bench --bin fig5a -- --quick
 
 echo "ci: all green"

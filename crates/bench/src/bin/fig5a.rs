@@ -1,15 +1,18 @@
 //! Regenerates Fig. 5(a): total checkpoint latency of the slm benchmark
-//! vs. node count.
+//! vs. node count. `--quick` runs only the smallest point (CI smoke test).
 
 use bench::fig5::run_fig5;
 use bench::util::mean_std_secs;
 use des::SimDuration;
 
 fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (sizes, checkpoints): (&[usize], usize) =
+        if quick { (&[2], 1) } else { (&[2, 4, 6, 8], 3) };
     println!("# Fig 5(a): total checkpoint latency (slm)");
     println!("{:>6} {:>14} {:>10}", "nodes", "latency_s", "std_s");
-    for n in [2usize, 4, 6, 8] {
-        let p = run_fig5(n, 3, SimDuration::from_secs(2));
+    for &n in sizes {
+        let p = run_fig5(n, checkpoints, SimDuration::from_secs(2));
         let (mean, std) = mean_std_secs(&p.latencies());
         println!("{n:>6} {mean:>14.3} {std:>10.4}");
     }

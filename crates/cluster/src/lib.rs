@@ -21,6 +21,7 @@ pub mod jobs;
 pub mod params;
 pub mod world;
 
+pub use cruz::store::StoreConfig;
 pub use jobs::{JobRuntime, JobSpec, PodPlacement, PodSpec};
 pub use params::ClusterParams;
 pub use world::{ClusterError, Node, OpReport, World};

@@ -4,6 +4,7 @@
 //! Pentium III nodes, gigabit Ethernet, 2005-era disks. `EXPERIMENTS.md`
 //! documents how each figure depends on these values.
 
+use cruz::store::StoreConfig;
 use des::SimDuration;
 use simnet::link::LinkParams;
 use simnet::tcp::TcpConfig;
@@ -46,6 +47,13 @@ pub struct ClusterParams {
     /// (default) disables retries: on a lossless LAN the four-message
     /// exchange needs none, keeping the O(N) message count exact.
     pub ctl_retry: Option<SimDuration>,
+    /// Checkpoint-store representation: plain monolithic images (default,
+    /// the paper's testbed behavior) or the content-addressed
+    /// deduplicating store, with chunk size and per-chunk compression
+    /// selectable for ablation. When dedup is on, manifests are
+    /// full-fidelity, so it subsumes (and disables) incremental
+    /// delta-chain capture.
+    pub store: StoreConfig,
 }
 
 impl Default for ClusterParams {
@@ -63,6 +71,7 @@ impl Default for ClusterParams {
             seed: 42,
             prune_old_epochs: false,
             ctl_retry: None,
+            store: StoreConfig::default(),
         }
     }
 }

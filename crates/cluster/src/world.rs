@@ -23,7 +23,7 @@ use cruz::agent::{Agent, AgentAction};
 use cruz::coordinator::{CoordEffect, CoordStats, Coordinator};
 use cruz::error::CruzError;
 use cruz::proto::{CtlMsg, OpKind, ProtocolMode, AGENT_PORT};
-use cruz::store::CheckpointStore;
+use cruz::store::{CheckpointStore, PreparedPut};
 
 use crate::jobs::{JobRuntime, JobSpec, PodPlacement};
 use crate::params::ClusterParams;
@@ -161,7 +161,7 @@ struct OpRuntime {
     coord_node: usize,
     coord_sock: SocketId,
     agents_nodes: Vec<usize>,
-    pending_ckpt: BTreeMap<usize, Vec<(String, Vec<u8>)>>,
+    pending_ckpt: BTreeMap<usize, Vec<(String, PreparedPut)>>,
     pending_restore: BTreeMap<usize, Vec<(String, Vec<u8>)>>,
     local_ops: BTreeMap<usize, (SimTime, SimTime)>,
     resumed_at: BTreeMap<usize, SimTime>,
@@ -584,7 +584,9 @@ impl World {
         let jr = self.jobs.get(job).ok_or(ClusterError::NoSuchJob)?;
         let agents_nodes = jr.app_nodes();
         let coord_node = jr.coordinator_node;
-        let incremental_base = if opts.incremental {
+        // The dedup store makes every epoch full-fidelity while writing only
+        // novel chunks, so it subsumes incremental delta chains.
+        let incremental_base = if opts.incremental && !self.params.store.dedup {
             self.store(job).latest_committed_epoch()
         } else {
             None
@@ -1157,8 +1159,8 @@ impl World {
             )
         };
         let store = self.store(&job);
-        for (pod_name, bytes) in images {
-            store.put_image(&pod_name, image_epoch, bytes);
+        for (pod_name, put) in images {
+            store.put_prepared(&pod_name, image_epoch, &put);
         }
         let actions = self.nodes[node].agent.on_local_durable(self.now);
         self.run_agent_actions(node, op, actions);
@@ -1186,8 +1188,8 @@ impl World {
                     return;
                 };
                 let store = self.store(&job);
-                for (pod_name, bytes) in images {
-                    store.put_image(&pod_name, image_epoch, bytes);
+                for (pod_name, put) in images {
+                    store.put_prepared(&pod_name, image_epoch, &put);
                 }
             }
             OpKind::Checkpoint => {} // COW: images persist at AgentDurable
@@ -1266,13 +1268,21 @@ impl World {
     }
 
     fn begin_local_checkpoint(&mut self, node: usize, op: u64) {
-        let (cow, base) = self
+        let Some((cow, base, job)) = self
             .ops
             .get(&op)
-            .map(|o| (o.cow, o.incremental_base))
-            .unwrap_or((false, None));
+            .map(|o| (o.cow, o.incremental_base, o.job.clone()))
+        else {
+            return;
+        };
         let pods = self.job_pods_on_node(op, node);
-        let mut images = Vec::new();
+        let dedup = self.params.store.dedup;
+        let store = self.store(&job);
+        let mut images: Vec<(String, PreparedPut)> = Vec::new();
+        // Pipelined write-out schedule for the dedup path: each novel chunk
+        // becomes available when capture has serialized up to it, and the
+        // manifest when the pod's image is complete.
+        let mut batch: Vec<(SimTime, u64)> = Vec::new();
         let mut total: u64 = 0;
         for p in &pods {
             let Some(pod_id) = p.pod_id else { continue };
@@ -1291,16 +1301,43 @@ impl World {
                     return;
                 }
             };
-            let bytes = img.encode();
-            total += bytes.len() as u64;
-            images.push((p.name.clone(), bytes));
+            if dedup {
+                let (bytes, cuts) = img.encode_with_page_cuts();
+                let prepared = store.prepare_chunked(&bytes, &cuts, &self.params.store);
+                let pod_base = total;
+                for (raw_end, stored) in prepared.novel_writes() {
+                    let ready = self.now + self.params.extract_time(pod_base + raw_end);
+                    batch.push((ready, stored));
+                }
+                total += bytes.len() as u64;
+                batch.push((
+                    self.now + self.params.extract_time(total),
+                    prepared.manifest_len(),
+                ));
+                images.push((p.name.clone(), PreparedPut::Chunked(prepared)));
+            } else {
+                let bytes = img.encode();
+                total += bytes.len() as u64;
+                images.push((p.name.clone(), PreparedPut::Plain(bytes)));
+            }
         }
         let t_extract = self.params.extract_time(total);
         let captured_at = self.now + t_extract;
-        let durable_at = self.nodes[node]
-            .kernel
-            .disk
-            .submit_write(captured_at, total);
+        // Plain: one write of the whole image, starting once capture ends.
+        // Dedup: one batched operation (single seek) streaming novel chunks
+        // as capture produces them; the trailing manifest is ready at
+        // capture end, so the batch never completes before `captured_at`.
+        let durable_at = if dedup {
+            self.nodes[node]
+                .kernel
+                .disk
+                .submit_write_batch(self.now, &batch)
+        } else {
+            self.nodes[node]
+                .kernel
+                .disk
+                .submit_write(captured_at, total)
+        };
         if cow {
             // §5.2/COW: the blackout ends when the state is captured; the
             // disk write proceeds in the background and gates the commit.
@@ -1340,7 +1377,9 @@ impl World {
                 let Some(bytes) = store.get_image(&p.name, e) else {
                     break;
                 };
-                total += bytes.len() as u64;
+                // Charge what the disk actually serves: the plain file, or
+                // the manifest plus every distinct chunk it references.
+                total += store.stored_len(&p.name, e).unwrap_or(bytes.len() as u64);
                 let base = match PodImage::decode(&bytes) {
                     Ok(img) => img.base_epoch,
                     Err(e) => {

@@ -23,8 +23,10 @@
 //! * [`coordinator`] — the coordinator state machine (Fig. 2), including
 //!   the Fig. 4 early-release optimization and timeout-driven abort;
 //! * [`agent`] — the per-node agent state machine;
-//! * [`store`] — image paths and two-phase-commit records on the shared
-//!   filesystem.
+//! * [`store`] — image paths, two-phase-commit records and the
+//!   content-addressed deduplicating chunk store on the shared filesystem;
+//! * [`chunk`] — deterministic content addressing and the per-chunk
+//!   RLE+LZ codec the store builds on.
 //!
 //! The engines are pure: the `cluster` crate hosts them on simulated nodes,
 //! ships their datagrams over the simulated network, and executes their
@@ -34,13 +36,15 @@
 #![warn(missing_docs)]
 
 pub mod agent;
+pub mod chunk;
 pub mod coordinator;
 pub mod error;
 pub mod proto;
 pub mod store;
 
 pub use agent::{Agent, AgentAction};
+pub use chunk::ChunkId;
 pub use coordinator::{AgentId, CoordEffect, CoordStats, Coordinator};
 pub use error::CruzError;
 pub use proto::{CtlMsg, OpKind, ProtocolMode, AGENT_PORT, COORD_PORT};
-pub use store::CheckpointStore;
+pub use store::{CheckpointStore, PreparedPut, StoreConfig};

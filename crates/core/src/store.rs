@@ -5,10 +5,183 @@
 //! record after collecting every agent's `done` (the two-phase-commit
 //! decision point). A crash mid-checkpoint therefore never leaves a
 //! half-written epoch that restart could pick up.
+//!
+//! # Two image representations
+//!
+//! * **Plain** — one monolithic `<pod>.img` per pod per epoch (the seed
+//!   layout, and what the paper's testbed wrote).
+//! * **Deduplicated** — the serialized image is split into
+//!   content-addressed chunks (see [`crate::chunk`]) stored once per job
+//!   under `/ckpt/<job>/chunks/`, and the epoch holds only a small
+//!   `<pod>.manifest` referencing them by hash. Unchanged pages re-hash to
+//!   chunks that already exist, so a steady-state epoch writes only the
+//!   pages that actually changed (plus the manifest) — the optimization
+//!   that attacks the disk-write term dominating Fig. 5(a).
+//!
+//! Reads are representation-transparent: [`CheckpointStore::get_image`]
+//! returns the full image bytes either way, so a restart from a dedup
+//! epoch is byte-equivalent to a restart from a plain image. Manifests are
+//! always *full-fidelity* (they describe the complete image), which is why
+//! the dedup store subsumes incremental checkpointing: there is no delta
+//! chain to fold at restore time.
+//!
+//! Chunks are garbage-collected by reference counting: every manifest
+//! reference bumps the chunk's count in the job's `chunks/REFS` table, and
+//! discarding an epoch releases its manifests' references, deleting chunks
+//! that hit zero. Retiring old epochs therefore reclaims exactly the
+//! chunks no retained epoch shares.
+
+use std::collections::{BTreeMap, BTreeSet};
 
 use simos::fs::NetFs;
+use zap::image::{ImageReader, ImageWriter};
 
-/// Path helpers and commit bookkeeping for one job's checkpoints.
+use crate::chunk::{self, ChunkId};
+
+/// Magic number of a chunk manifest (`CRZM`).
+pub const MANIFEST_MAGIC: u32 = 0x4352_5a4d;
+/// Magic number of the chunk refcount table (`CRZR`).
+pub const REFS_MAGIC: u32 = 0x4352_5a52;
+/// Current manifest / refcount-table format version.
+pub const STORE_VERSION: u16 = 1;
+
+/// Knobs of the deduplicating store (threaded from `ClusterParams` for
+/// ablation: plain vs. dedup vs. dedup+compress).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StoreConfig {
+    /// Maximum chunk payload size. Page payloads get their own chunk
+    /// boundaries regardless, so the default of one page keeps page-granular
+    /// dedup exact.
+    pub chunk_bytes: usize,
+    /// Store images as content-addressed chunk manifests instead of
+    /// monolithic files.
+    pub dedup: bool,
+    /// Apply the per-chunk RLE+LZ codec (only meaningful with `dedup`).
+    pub compress: bool,
+}
+
+impl Default for StoreConfig {
+    fn default() -> Self {
+        StoreConfig {
+            chunk_bytes: 4096,
+            dedup: false,
+            compress: false,
+        }
+    }
+}
+
+impl StoreConfig {
+    /// Dedup without compression (the ablation midpoint).
+    pub fn dedup() -> Self {
+        StoreConfig {
+            dedup: true,
+            ..StoreConfig::default()
+        }
+    }
+
+    /// Dedup with per-chunk compression (the full optimization).
+    pub fn dedup_compress() -> Self {
+        StoreConfig {
+            dedup: true,
+            compress: true,
+            ..StoreConfig::default()
+        }
+    }
+}
+
+/// One chunk of a prepared (not yet applied) dedup write.
+#[derive(Debug, Clone)]
+pub struct PreparedChunk {
+    /// Content address.
+    pub id: ChunkId,
+    /// Exclusive end offset of this chunk's raw bytes within the image.
+    pub raw_end: u64,
+    /// The encoded chunk container (what the chunk file will hold).
+    pub stored: Vec<u8>,
+    /// True if the store lacked this chunk when the write was prepared —
+    /// the bytes that actually hit the disk.
+    pub novel: bool,
+}
+
+/// A dedup image write split into its cheap (hash/dedup, done at capture
+/// time) and effectful (filesystem mutation, done when the simulated disk
+/// write completes) halves, so the cluster can model the disk cost of
+/// exactly the novel bytes while deferring store mutation to the
+/// event that represents durability.
+#[derive(Debug, Clone)]
+pub struct PreparedChunked {
+    raw_len: u64,
+    manifest: Vec<u8>,
+    chunks: Vec<PreparedChunk>,
+}
+
+impl PreparedChunked {
+    /// Length of the original serialized image.
+    pub fn raw_len(&self) -> u64 {
+        self.raw_len
+    }
+
+    /// Length of the manifest file.
+    pub fn manifest_len(&self) -> u64 {
+        self.manifest.len() as u64
+    }
+
+    /// The chunk writes the store will actually perform: `(raw_end,
+    /// stored_bytes)` per novel chunk, in image order. `raw_end` lets the
+    /// caller pipeline each write against the capture progress that
+    /// produces it.
+    pub fn novel_writes(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.chunks
+            .iter()
+            .filter(|c| c.novel)
+            .map(|c| (c.raw_end, c.stored.len() as u64))
+    }
+
+    /// Total bytes this write sends to disk (novel chunks + manifest).
+    pub fn new_bytes(&self) -> u64 {
+        self.novel_writes().map(|(_, b)| b).sum::<u64>() + self.manifest_len()
+    }
+
+    /// Total chunks the image splits into.
+    pub fn chunk_count(&self) -> usize {
+        self.chunks.len()
+    }
+
+    /// Chunks absent from the store at prepare time.
+    pub fn novel_count(&self) -> usize {
+        self.chunks.iter().filter(|c| c.novel).count()
+    }
+}
+
+/// A pod-image write prepared for a specific store representation.
+#[derive(Debug, Clone)]
+pub enum PreparedPut {
+    /// Monolithic image bytes.
+    Plain(Vec<u8>),
+    /// Chunked, deduplicated write.
+    Chunked(PreparedChunked),
+}
+
+impl PreparedPut {
+    /// Length of the serialized image this write represents.
+    pub fn raw_len(&self) -> u64 {
+        match self {
+            PreparedPut::Plain(b) => b.len() as u64,
+            PreparedPut::Chunked(c) => c.raw_len(),
+        }
+    }
+
+    /// Bytes this write sends to disk.
+    pub fn new_bytes(&self) -> u64 {
+        match self {
+            PreparedPut::Plain(b) => b.len() as u64,
+            PreparedPut::Chunked(c) => c.new_bytes(),
+        }
+    }
+}
+
+/// Path helpers, commit bookkeeping and the dedup chunk store for one
+/// job's checkpoints.
 #[derive(Debug, Clone)]
 pub struct CheckpointStore {
     fs: NetFs,
@@ -29,9 +202,29 @@ impl CheckpointStore {
         &self.job
     }
 
-    /// Path of a pod's image for an epoch.
+    /// Path of a pod's plain image for an epoch.
     pub fn image_path(&self, pod_name: &str, epoch: u64) -> String {
         format!("/ckpt/{}/epoch{:08}/{}.img", self.job, epoch, pod_name)
+    }
+
+    /// Path of a pod's chunk manifest for an epoch.
+    pub fn manifest_path(&self, pod_name: &str, epoch: u64) -> String {
+        format!("/ckpt/{}/epoch{:08}/{}.manifest", self.job, epoch, pod_name)
+    }
+
+    /// Path of a chunk file.
+    pub fn chunk_path(&self, id: ChunkId) -> String {
+        format!("/ckpt/{}/chunks/{}.c", self.job, id.hex())
+    }
+
+    /// Path of the chunk refcount table.
+    fn refs_path(&self) -> String {
+        format!("/ckpt/{}/chunks/REFS", self.job)
+    }
+
+    /// Path of the committed high-water-mark cache.
+    fn latest_path(&self) -> String {
+        format!("/ckpt/{}/LATEST", self.job)
     }
 
     /// Path of the commit record for an epoch.
@@ -39,25 +232,154 @@ impl CheckpointStore {
         format!("/ckpt/{}/epoch{:08}/COMMIT", self.job, epoch)
     }
 
-    /// Writes a pod image.
+    // ---- writes -------------------------------------------------------------
+
+    /// Writes a pod image in the plain (monolithic) representation.
     pub fn put_image(&self, pod_name: &str, epoch: u64, bytes: Vec<u8>) {
         self.fs.write_file(&self.image_path(pod_name, epoch), bytes);
     }
 
-    /// Reads a pod image.
+    /// Splits a serialized image into content-addressed chunks and computes
+    /// which of them the store already holds. Pure with respect to the
+    /// store: nothing is written until [`CheckpointStore::put_prepared`].
+    /// `cuts` are the page-payload regions of `raw` (see
+    /// `PodImage::encode_with_page_cuts`), which pin chunk boundaries so
+    /// unchanged pages dedup across epochs.
+    pub fn prepare_chunked(
+        &self,
+        raw: &[u8],
+        cuts: &[(usize, usize)],
+        cfg: &StoreConfig,
+    ) -> PreparedChunked {
+        let ranges = chunk::split_ranges(raw.len(), cuts, cfg.chunk_bytes);
+        let mut seen = BTreeSet::new();
+        let mut chunks = Vec::with_capacity(ranges.len());
+        let mut mw = ImageWriter::new();
+        mw.u32(MANIFEST_MAGIC);
+        mw.u16(STORE_VERSION);
+        mw.u64(raw.len() as u64);
+        mw.u32(ranges.len() as u32);
+        for (start, len) in ranges {
+            let seg = &raw[start..start + len];
+            let id = ChunkId::of(seg);
+            let stored = chunk::encode_chunk(seg, cfg.compress);
+            // Size accounting prefers the bytes already on disk: a chunk
+            // written earlier (possibly under another codec setting) is
+            // what a restore will actually read.
+            let stored_len = self
+                .fs
+                .len_of(&self.chunk_path(id))
+                .unwrap_or(stored.len() as u64);
+            mw.u64(id.0);
+            mw.u64(id.1);
+            mw.u32(len as u32);
+            mw.u32(stored_len as u32);
+            let novel = seen.insert(id) && !self.fs.exists(&self.chunk_path(id));
+            chunks.push(PreparedChunk {
+                id,
+                raw_end: (start + len) as u64,
+                stored,
+                novel,
+            });
+        }
+        PreparedChunked {
+            raw_len: raw.len() as u64,
+            manifest: mw.finish(),
+            chunks,
+        }
+    }
+
+    /// Applies a prepared write: stores absent chunks, writes the manifest
+    /// (or the plain image), and bumps chunk refcounts.
+    pub fn put_prepared(&self, pod_name: &str, epoch: u64, put: &PreparedPut) {
+        match put {
+            PreparedPut::Plain(bytes) => self.put_image(pod_name, epoch, bytes.clone()),
+            PreparedPut::Chunked(c) => {
+                for ch in &c.chunks {
+                    let path = self.chunk_path(ch.id);
+                    if !self.fs.exists(&path) {
+                        self.fs.write_file(&path, ch.stored.clone());
+                    }
+                }
+                self.fs
+                    .write_file(&self.manifest_path(pod_name, epoch), c.manifest.clone());
+                let mut refs = self.read_refs();
+                for ch in &c.chunks {
+                    *refs.entry(ch.id).or_insert(0) += 1;
+                }
+                self.write_refs(&refs);
+            }
+        }
+    }
+
+    // ---- reads --------------------------------------------------------------
+
+    /// Reads a pod image, reassembling it from chunks when the epoch holds
+    /// a manifest. The returned bytes are identical to what `put` received,
+    /// whichever representation stored them. Returns `None` if the image
+    /// (or any chunk it references) is missing or structurally corrupt —
+    /// the end-to-end image checksum still guards the contents.
     pub fn get_image(&self, pod_name: &str, epoch: u64) -> Option<Vec<u8>> {
-        self.fs.read_file(&self.image_path(pod_name, epoch))
+        if let Some(bytes) = self.fs.read_file(&self.image_path(pod_name, epoch)) {
+            return Some(bytes);
+        }
+        let manifest = self.fs.read_file(&self.manifest_path(pod_name, epoch))?;
+        self.reconstruct(&manifest)
     }
 
-    /// Size of a pod image in bytes, if present.
+    /// Logical size of a pod image in bytes (the size of the serialized
+    /// image, not of its on-disk representation), if present.
     pub fn image_len(&self, pod_name: &str, epoch: u64) -> Option<u64> {
-        self.fs.len_of(&self.image_path(pod_name, epoch))
+        if let Some(len) = self.fs.len_of(&self.image_path(pod_name, epoch)) {
+            return Some(len);
+        }
+        let manifest = self.fs.read_file(&self.manifest_path(pod_name, epoch))?;
+        decode_manifest(&manifest).map(|(raw_len, _)| raw_len)
     }
 
-    /// Writes the commit record, marking `epoch` globally consistent.
+    /// Physical bytes a restart must read for a pod image: the plain file,
+    /// or the manifest plus every distinct chunk it references.
+    pub fn stored_len(&self, pod_name: &str, epoch: u64) -> Option<u64> {
+        if let Some(len) = self.fs.len_of(&self.image_path(pod_name, epoch)) {
+            return Some(len);
+        }
+        let manifest = self.fs.read_file(&self.manifest_path(pod_name, epoch))?;
+        let (_, recs) = decode_manifest(&manifest)?;
+        let mut seen = BTreeSet::new();
+        let mut total = manifest.len() as u64;
+        for (id, _, stored_len) in recs {
+            if seen.insert(id) {
+                total += stored_len as u64;
+            }
+        }
+        Some(total)
+    }
+
+    fn reconstruct(&self, manifest: &[u8]) -> Option<Vec<u8>> {
+        let (raw_len, recs) = decode_manifest(manifest)?;
+        let mut out = Vec::with_capacity(raw_len as usize);
+        for (id, seg_len, _) in recs {
+            let stored = self.fs.read_file(&self.chunk_path(id))?;
+            let raw = chunk::decode_chunk(&stored).ok()?;
+            if raw.len() != seg_len as usize {
+                return None;
+            }
+            out.extend_from_slice(&raw);
+        }
+        (out.len() as u64 == raw_len).then_some(out)
+    }
+
+    // ---- commit bookkeeping -------------------------------------------------
+
+    /// Writes the commit record, marking `epoch` globally consistent, and
+    /// advances the cached high-water mark.
     pub fn commit(&self, epoch: u64) {
         self.fs
             .write_file(&self.commit_path(epoch), epoch.to_le_bytes().to_vec());
+        if self.read_latest_file().is_none_or(|cur| epoch > cur) {
+            self.fs
+                .write_file(&self.latest_path(), epoch.to_le_bytes().to_vec());
+        }
     }
 
     /// True if `epoch` has a commit record.
@@ -65,21 +387,22 @@ impl CheckpointStore {
         self.fs.exists(&self.commit_path(epoch))
     }
 
+    fn read_latest_file(&self) -> Option<u64> {
+        let bytes = self.fs.read_file(&self.latest_path())?;
+        let arr: [u8; 8] = bytes.try_into().ok()?;
+        Some(u64::from_le_bytes(arr))
+    }
+
     /// The newest committed epoch, if any — what restart rolls back to.
+    /// Served from the high-water-mark cache maintained by
+    /// [`CheckpointStore::commit`] and invalidated by epoch discard; the
+    /// full directory scan runs only when the cache is absent.
     pub fn latest_committed_epoch(&self) -> Option<u64> {
-        let prefix = format!("/ckpt/{}/", self.job);
-        self.fs
-            .list(&prefix)
-            .into_iter()
-            .filter_map(|p| {
-                let rest = p.strip_prefix(&prefix)?;
-                let (dir, file) = rest.split_once('/')?;
-                if file != "COMMIT" {
-                    return None;
-                }
-                dir.strip_prefix("epoch")?.parse::<u64>().ok()
-            })
-            .max()
+        self.read_latest_file().or_else(|| self.scan_latest())
+    }
+
+    fn scan_latest(&self) -> Option<u64> {
+        self.committed_epochs().into_iter().max()
     }
 
     /// All committed epochs, ascending.
@@ -103,7 +426,8 @@ impl CheckpointStore {
     }
 
     /// Discards every epoch older than `keep` (garbage collection once a
-    /// newer consistent checkpoint is committed).
+    /// newer consistent checkpoint is committed). Chunks left unreferenced
+    /// by the retained epochs are reclaimed.
     pub fn prune_below(&self, keep: u64) {
         for e in self.committed_epochs() {
             if e < keep {
@@ -112,15 +436,135 @@ impl CheckpointStore {
         }
     }
 
-    /// Removes every file of an epoch (the abort rollback).
+    /// Removes every file of an epoch (the abort rollback), releasing its
+    /// manifests' chunk references and deleting chunks that drop to zero.
     pub fn discard_epoch(&self, epoch: u64) {
+        let was_committed = self.is_committed(epoch);
         let prefix = format!("/ckpt/{}/epoch{:08}/", self.job, epoch);
         for path in self.fs.list(&prefix) {
+            if path.ends_with(".manifest") {
+                if let Some(manifest) = self.fs.read_file(&path) {
+                    self.release_manifest(&manifest);
+                }
+            }
             self.fs.remove(&path);
+        }
+        if was_committed && self.read_latest_file() == Some(epoch) {
+            // The cached high-water mark pointed at the discarded epoch:
+            // recompute it from the surviving commit records.
+            match self.scan_latest() {
+                Some(m) => self
+                    .fs
+                    .write_file(&self.latest_path(), m.to_le_bytes().to_vec()),
+                None => {
+                    self.fs.remove(&self.latest_path());
+                }
+            }
         }
     }
 
-    /// Pod names with images in an epoch.
+    fn release_manifest(&self, manifest: &[u8]) {
+        let Some((_, recs)) = decode_manifest(manifest) else {
+            return;
+        };
+        let mut refs = self.read_refs();
+        for (id, _, _) in recs {
+            match refs.get_mut(&id) {
+                Some(count) if *count > 1 => *count -= 1,
+                _ => {
+                    refs.remove(&id);
+                    self.fs.remove(&self.chunk_path(id));
+                }
+            }
+        }
+        self.write_refs(&refs);
+    }
+
+    // ---- chunk bookkeeping --------------------------------------------------
+
+    fn read_refs(&self) -> BTreeMap<ChunkId, u64> {
+        let Some(bytes) = self.fs.read_file(&self.refs_path()) else {
+            return BTreeMap::new();
+        };
+        let mut refs = BTreeMap::new();
+        let Ok(mut r) = ImageReader::verify(&bytes) else {
+            return refs;
+        };
+        let ok = (|| -> Result<(), zap::image::ImageError> {
+            if r.u32()? != REFS_MAGIC || r.u16()? != STORE_VERSION {
+                return Ok(());
+            }
+            let n = r.u32()?;
+            for _ in 0..n {
+                let id = ChunkId(r.u64()?, r.u64()?);
+                let count = r.u64()?;
+                refs.insert(id, count);
+            }
+            Ok(())
+        })();
+        if ok.is_err() {
+            refs.clear();
+        }
+        refs
+    }
+
+    fn write_refs(&self, refs: &BTreeMap<ChunkId, u64>) {
+        if refs.is_empty() {
+            self.fs.remove(&self.refs_path());
+            return;
+        }
+        let mut w = ImageWriter::new();
+        w.u32(REFS_MAGIC);
+        w.u16(STORE_VERSION);
+        w.u32(refs.len() as u32);
+        for (id, count) in refs {
+            w.u64(id.0);
+            w.u64(id.1);
+            w.u64(*count);
+        }
+        self.fs.write_file(&self.refs_path(), w.finish());
+    }
+
+    /// Every chunk file currently stored for the job, ascending by id.
+    pub fn live_chunks(&self) -> Vec<ChunkId> {
+        let prefix = format!("/ckpt/{}/chunks/", self.job);
+        self.fs
+            .list(&prefix)
+            .into_iter()
+            .filter_map(|p| {
+                let name = p.strip_prefix(&prefix)?.strip_suffix(".c")?;
+                if name.len() != 32 {
+                    return None;
+                }
+                let (lo, hi) = name.split_at(16);
+                Some(ChunkId(
+                    u64::from_str_radix(lo, 16).ok()?,
+                    u64::from_str_radix(hi, 16).ok()?,
+                ))
+            })
+            .collect()
+    }
+
+    /// Chunk ids referenced by an epoch's manifests (deduplicated).
+    pub fn chunks_referenced_by(&self, epoch: u64) -> BTreeSet<ChunkId> {
+        let prefix = format!("/ckpt/{}/epoch{:08}/", self.job, epoch);
+        let mut ids = BTreeSet::new();
+        for path in self.fs.list(&prefix) {
+            if !path.ends_with(".manifest") {
+                continue;
+            }
+            let Some(manifest) = self.fs.read_file(&path) else {
+                continue;
+            };
+            let Some((_, recs)) = decode_manifest(&manifest) else {
+                continue;
+            };
+            ids.extend(recs.into_iter().map(|(id, _, _)| id));
+        }
+        ids
+    }
+
+    /// Pod names with images (plain or chunked) in an epoch.
     pub fn pods_in_epoch(&self, epoch: u64) -> Vec<String> {
         let prefix = format!("/ckpt/{}/epoch{:08}/", self.job, epoch);
         self.fs
@@ -128,10 +572,33 @@ impl CheckpointStore {
             .into_iter()
             .filter_map(|p| {
                 let f = p.strip_prefix(&prefix)?;
-                f.strip_suffix(".img").map(str::to_owned)
+                f.strip_suffix(".img")
+                    .or_else(|| f.strip_suffix(".manifest"))
+                    .map(str::to_owned)
             })
             .collect()
     }
+}
+
+/// Parses a manifest into `(raw_len, [(id, seg_len, stored_len)])`.
+fn decode_manifest(bytes: &[u8]) -> Option<(u64, Vec<(ChunkId, u32, u32)>)> {
+    let mut r = ImageReader::verify(bytes).ok()?;
+    let parsed = (|| -> Result<Option<(u64, Vec<(ChunkId, u32, u32)>)>, zap::image::ImageError> {
+        if r.u32()? != MANIFEST_MAGIC || r.u16()? != STORE_VERSION {
+            return Ok(None);
+        }
+        let raw_len = r.u64()?;
+        let n = r.u32()?;
+        let mut recs = Vec::with_capacity(n as usize);
+        for _ in 0..n {
+            let id = ChunkId(r.u64()?, r.u64()?);
+            let seg_len = r.u32()?;
+            let stored_len = r.u32()?;
+            recs.push((id, seg_len, stored_len));
+        }
+        Ok(Some((raw_len, recs)))
+    })();
+    parsed.ok().flatten()
 }
 
 #[cfg(test)]
@@ -160,6 +627,25 @@ mod tests {
             s.commit(e);
         }
         assert_eq!(s.latest_committed_epoch(), Some(7));
+    }
+
+    #[test]
+    fn latest_cache_tracks_discard() {
+        let fs = NetFs::new();
+        let s = CheckpointStore::new(fs, "j");
+        for e in [1u64, 2, 3] {
+            s.put_image("p", e, vec![e as u8]);
+            s.commit(e);
+        }
+        assert_eq!(s.latest_committed_epoch(), Some(3));
+        // Discarding the newest epoch must roll the cached mark back.
+        s.discard_epoch(3);
+        assert_eq!(s.latest_committed_epoch(), Some(2));
+        // Discarding an older epoch leaves the mark alone.
+        s.discard_epoch(1);
+        assert_eq!(s.latest_committed_epoch(), Some(2));
+        s.discard_epoch(2);
+        assert_eq!(s.latest_committed_epoch(), None);
     }
 
     #[test]
@@ -210,5 +696,133 @@ mod tests {
         a.put_image("p", 1, vec![]);
         a.commit(1);
         assert_eq!(b.latest_committed_epoch(), None);
+    }
+
+    // ---- dedup store --------------------------------------------------------
+
+    /// A toy "image": `reps` distinct page-sized blocks of periodic
+    /// (compressible) content, with block `hot` overwritten by `fill`.
+    fn toy_image(reps: usize, hot: usize, fill: u8) -> (Vec<u8>, Vec<(usize, usize)>) {
+        let block = 256usize;
+        let mut raw = Vec::with_capacity(reps * block);
+        let mut cuts = Vec::new();
+        for b in 0..reps {
+            cuts.push((raw.len(), block));
+            if b == hot {
+                raw.extend(std::iter::repeat(fill).take(block));
+            } else {
+                raw.extend((0..block).map(|i| (((b * 31) + (i % 7)) % 251) as u8 | 1));
+            }
+        }
+        (raw, cuts)
+    }
+
+    fn cfg() -> StoreConfig {
+        StoreConfig {
+            chunk_bytes: 256,
+            dedup: true,
+            compress: true,
+        }
+    }
+
+    #[test]
+    fn chunked_round_trip_is_byte_identical() {
+        let fs = NetFs::new();
+        let s = CheckpointStore::new(fs, "j");
+        let (raw, cuts) = toy_image(32, 3, 0xaa);
+        let put = s.prepare_chunked(&raw, &cuts, &cfg());
+        s.put_prepared("p", 1, &PreparedPut::Chunked(put));
+        s.commit(1);
+        assert_eq!(s.get_image("p", 1), Some(raw.clone()));
+        assert_eq!(s.image_len("p", 1), Some(raw.len() as u64));
+        assert!(
+            s.stored_len("p", 1).unwrap() < raw.len() as u64,
+            "compression + in-image dedup shrink the stored form"
+        );
+        assert_eq!(s.pods_in_epoch(1), vec!["p".to_string()]);
+    }
+
+    #[test]
+    fn second_epoch_writes_only_changed_chunks() {
+        let fs = NetFs::new();
+        let s = CheckpointStore::new(fs, "j");
+        let (raw1, cuts1) = toy_image(32, 3, 0xaa);
+        let put1 = s.prepare_chunked(&raw1, &cuts1, &cfg());
+        let first_bytes = put1.new_bytes();
+        s.put_prepared("p", 1, &PreparedPut::Chunked(put1));
+        s.commit(1);
+        // Epoch 2: one block changed.
+        let (raw2, cuts2) = toy_image(32, 3, 0xbb);
+        let put2 = s.prepare_chunked(&raw2, &cuts2, &cfg());
+        assert_eq!(put2.novel_count(), 1, "only the hot block is novel");
+        // The steady-state write is far below the plain store's full image
+        // and below even the first (all-novel) dedup epoch.
+        assert!(put2.new_bytes() * 5 < raw2.len() as u64);
+        assert!(put2.new_bytes() < first_bytes);
+        s.put_prepared("p", 2, &PreparedPut::Chunked(put2));
+        s.commit(2);
+        assert_eq!(s.get_image("p", 2), Some(raw2));
+        assert_eq!(s.get_image("p", 1), Some(raw1), "old epoch still intact");
+    }
+
+    #[test]
+    fn gc_reclaims_exactly_unshared_chunks() {
+        let fs = NetFs::new();
+        let s = CheckpointStore::new(fs, "j");
+        let (raw1, cuts1) = toy_image(16, 2, 0xaa);
+        let (raw2, cuts2) = toy_image(16, 2, 0xbb);
+        let put1 = PreparedPut::Chunked(s.prepare_chunked(&raw1, &cuts1, &cfg()));
+        s.put_prepared("p", 1, &put1);
+        s.commit(1);
+        let put2 = PreparedPut::Chunked(s.prepare_chunked(&raw2, &cuts2, &cfg()));
+        s.put_prepared("p", 2, &put2);
+        s.commit(2);
+        // Both epochs alive: the chunk set is the union of their manifests.
+        let want: BTreeSet<ChunkId> = s
+            .chunks_referenced_by(1)
+            .union(&s.chunks_referenced_by(2))
+            .copied()
+            .collect();
+        let live: BTreeSet<ChunkId> = s.live_chunks().into_iter().collect();
+        assert_eq!(live, want);
+        // Retire epoch 1: only epoch 2's chunks survive (shared ones stay).
+        s.prune_below(2);
+        let live: BTreeSet<ChunkId> = s.live_chunks().into_iter().collect();
+        assert_eq!(live, s.chunks_referenced_by(2));
+        assert_eq!(s.get_image("p", 2), Some(raw2), "survivor reconstructs");
+        // Retire everything: the chunk store empties completely.
+        s.discard_epoch(2);
+        assert!(s.live_chunks().is_empty());
+        assert!(!s.fs.exists(&s.refs_path()), "refcount table reclaimed");
+    }
+
+    #[test]
+    fn repeated_chunks_within_one_image_refcount_correctly() {
+        let fs = NetFs::new();
+        let s = CheckpointStore::new(fs, "j");
+        // Four identical blocks → one chunk, referenced four times.
+        let raw = vec![7u8; 1024];
+        let put = s.prepare_chunked(&raw, &[], &cfg());
+        assert_eq!(put.chunk_count(), 4);
+        assert_eq!(put.novel_count(), 1);
+        s.put_prepared("p", 1, &PreparedPut::Chunked(put));
+        assert_eq!(s.live_chunks().len(), 1);
+        s.discard_epoch(1);
+        assert!(s.live_chunks().is_empty(), "all four references released");
+    }
+
+    #[test]
+    fn missing_chunk_fails_closed() {
+        let fs = NetFs::new();
+        let s = CheckpointStore::new(fs, "j");
+        let (raw, cuts) = toy_image(8, 1, 0xaa);
+        s.put_prepared(
+            "p",
+            1,
+            &PreparedPut::Chunked(s.prepare_chunked(&raw, &cuts, &cfg())),
+        );
+        let victim = s.live_chunks()[0];
+        s.fs.remove(&s.chunk_path(victim));
+        assert_eq!(s.get_image("p", 1), None, "a torn image is not served");
     }
 }

@@ -27,8 +27,14 @@ impl DiskParams {
 
     /// Time to transfer `bytes` in one sequential operation.
     pub fn io_time(&self, bytes: u64) -> SimDuration {
-        self.op_overhead
-            + SimDuration::from_nanos(bytes.saturating_mul(1_000_000_000) / self.bandwidth_bps)
+        self.op_overhead + self.transfer_time(bytes)
+    }
+
+    /// Pure transfer time of `bytes` at sequential bandwidth, without the
+    /// per-operation overhead (what each item of an already-seeked batch
+    /// costs).
+    pub fn transfer_time(&self, bytes: u64) -> SimDuration {
+        SimDuration::from_nanos(bytes.saturating_mul(1_000_000_000) / self.bandwidth_bps)
     }
 }
 
@@ -73,6 +79,34 @@ impl Disk {
     pub fn submit_read(&mut self, now: SimTime, bytes: u64) -> SimTime {
         self.bytes_read += bytes;
         self.submit(now, bytes)
+    }
+
+    /// Submits a pipelined batch of writes: `(ready, bytes)` items, each
+    /// becoming available for write-out at its `ready` time (ascending).
+    /// The batch pays the per-operation overhead **once** — chunked
+    /// checkpoint write-out is one logical operation streaming chunks as
+    /// capture produces them — and each item then costs pure transfer
+    /// time, starting no earlier than its `ready` time (the pipeline
+    /// stalls when capture is the bottleneck). Returns the completion time
+    /// of the last item; an empty batch completes at `now`.
+    pub fn submit_write_batch(&mut self, now: SimTime, items: &[(SimTime, u64)]) -> SimTime {
+        let Some(&(first_ready, _)) = items.first() else {
+            return now;
+        };
+        let start = [now, first_ready, self.busy_until]
+            .into_iter()
+            .max()
+            .unwrap_or(now);
+        let mut t = start + self.params.op_overhead;
+        for &(ready, bytes) in items {
+            if ready > t {
+                t = ready;
+            }
+            t = t + self.params.transfer_time(bytes);
+            self.bytes_written += bytes;
+        }
+        self.busy_until = t;
+        t
     }
 
     fn submit(&mut self, now: SimTime, bytes: u64) -> SimTime {
@@ -131,5 +165,63 @@ mod tests {
         let later = t0 + SimDuration::from_secs(10);
         let d3 = d.submit_read(later, 0);
         assert_eq!(d3, later + SimDuration::from_millis(1));
+    }
+
+    #[test]
+    fn batch_pays_overhead_once() {
+        let p = DiskParams {
+            bandwidth_bps: 1_000_000, // 1 B/µs
+            op_overhead: SimDuration::from_millis(5),
+        };
+        let t0 = SimTime::ZERO;
+        // Four 1000-byte chunks, all ready immediately: 5 ms seek + 4 ms.
+        let mut batched = Disk::new(p);
+        let items: Vec<(SimTime, u64)> = (0..4).map(|_| (t0, 1000)).collect();
+        assert_eq!(
+            batched.submit_write_batch(t0, &items),
+            t0 + SimDuration::from_millis(9)
+        );
+        assert_eq!(batched.bytes_written(), 4000);
+        // The same chunks as separate ops pay the seek four times.
+        let mut split = Disk::new(p);
+        let mut done = t0;
+        for _ in 0..4 {
+            done = split.submit_write(t0, 1000);
+        }
+        assert_eq!(done, t0 + SimDuration::from_millis(24));
+    }
+
+    #[test]
+    fn batch_pipeline_stalls_on_late_items() {
+        let p = DiskParams {
+            bandwidth_bps: 1_000_000,
+            op_overhead: SimDuration::from_millis(5),
+        };
+        let mut d = Disk::new(p);
+        let t0 = SimTime::ZERO;
+        // Second chunk only materializes at t=20 ms: the disk waits for it,
+        // then streams without a second seek.
+        let items = [(t0, 1000u64), (t0 + SimDuration::from_millis(20), 1000u64)];
+        assert_eq!(
+            d.submit_write_batch(t0, &items),
+            t0 + SimDuration::from_millis(21)
+        );
+        // An empty batch is free and leaves the disk untouched.
+        let mut idle = Disk::new(p);
+        assert_eq!(idle.submit_write_batch(t0, &[]), t0);
+        assert_eq!(idle.bytes_written(), 0);
+    }
+
+    #[test]
+    fn batch_queues_behind_prior_io() {
+        let p = DiskParams {
+            bandwidth_bps: 1_000_000,
+            op_overhead: SimDuration::from_millis(5),
+        };
+        let mut d = Disk::new(p);
+        let t0 = SimTime::ZERO;
+        let first = d.submit_write(t0, 1000); // done at 6 ms
+        let done = d.submit_write_batch(t0, &[(t0, 1000)]);
+        assert_eq!(done, first + SimDuration::from_millis(6));
     }
 }

@@ -526,6 +526,23 @@ pub struct PodImage {
 impl PodImage {
     /// Serializes the image (with header and checksum).
     pub fn encode(&self) -> Vec<u8> {
+        let mut cuts = Vec::new();
+        self.encode_impl(&mut cuts)
+    }
+
+    /// Serializes the image and reports the `(offset, len)` of every bulk
+    /// payload — private pages and shared-memory segments — within the
+    /// returned bytes. The deduplicating store pins chunk boundaries to
+    /// these regions so an unchanged page re-hashes to the same chunk id
+    /// even when the variable-length metadata around it shifts between
+    /// epochs. Cuts are ascending and non-overlapping.
+    pub fn encode_with_page_cuts(&self) -> (Vec<u8>, Vec<(usize, usize)>) {
+        let mut cuts = Vec::new();
+        let bytes = self.encode_impl(&mut cuts);
+        (bytes, cuts)
+    }
+
+    fn encode_impl(&self, cuts: &mut Vec<(usize, usize)>) -> Vec<u8> {
         let mut w = ImageWriter::new();
         w.u32(MAGIC);
         w.u16(VERSION);
@@ -553,6 +570,8 @@ impl PodImage {
         w.u32(self.shm.len() as u32);
         for s in &self.shm {
             w.u64(s.key);
+            // The payload starts after the 8-byte length prefix.
+            cuts.push((w.len() + 8, s.data.len()));
             w.bytes(&s.data);
         }
         w.u32(self.sems.len() as u32);
@@ -575,7 +594,7 @@ impl PodImage {
         }
         w.u32(self.groups.len() as u32);
         for g in &self.groups {
-            encode_group(&mut w, g);
+            encode_group(&mut w, g, cuts);
         }
         w.u32(self.procs.len() as u32);
         for p in &self.procs {
@@ -869,7 +888,7 @@ fn decode_sock(r: &mut ImageReader<'_>) -> Result<SockImage, ImageError> {
     })
 }
 
-fn encode_group(w: &mut ImageWriter, g: &GroupImage) {
+fn encode_group(w: &mut ImageWriter, g: &GroupImage, cuts: &mut Vec<(usize, usize)>) {
     w.u32(g.areas.len() as u32);
     for a in &g.areas {
         w.u64(a.start);
@@ -886,6 +905,7 @@ fn encode_group(w: &mut ImageWriter, g: &GroupImage) {
     w.u32(g.pages.len() as u32);
     for (addr, data) in &g.pages {
         w.u64(*addr);
+        cuts.push((w.len() + 8, data.len()));
         w.bytes(data);
     }
     w.u32(g.fds.len() as u32);
@@ -1262,6 +1282,34 @@ mod tests {
         let mut bad = delta.clone();
         bad.groups.clear();
         assert!(base.apply_delta(&bad).is_err());
+    }
+
+    #[test]
+    fn page_cuts_locate_every_bulk_payload() {
+        let mut img = sample_image();
+        img.groups[0]
+            .pages
+            .push((0x5000, (0..4096u32).map(|i| i as u8).collect()));
+        let (bytes, cuts) = img.encode_with_page_cuts();
+        assert_eq!(
+            bytes,
+            img.encode(),
+            "cut tracking must not perturb encoding"
+        );
+        // One cut per shm segment plus one per page, in ascending order.
+        let n_payloads = img.shm.len() + img.groups.iter().map(|g| g.pages.len()).sum::<usize>();
+        assert_eq!(cuts.len(), n_payloads);
+        assert!(cuts.windows(2).all(|w| w[0].0 + w[0].1 <= w[1].0));
+        // Each cut points at exactly one payload's bytes.
+        let mut payloads: Vec<&[u8]> = img.shm.iter().map(|s| s.data.as_slice()).collect();
+        payloads.extend(
+            img.groups
+                .iter()
+                .flat_map(|g| g.pages.iter().map(|(_, d)| d.as_slice())),
+        );
+        for (&(off, len), payload) in cuts.iter().zip(payloads) {
+            assert_eq!(&bytes[off..off + len], payload);
+        }
     }
 
     #[test]

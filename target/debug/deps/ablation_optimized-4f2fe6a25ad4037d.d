@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_optimized-4f2fe6a25ad4037d.d: crates/bench/src/bin/ablation_optimized.rs
+
+/root/repo/target/debug/deps/ablation_optimized-4f2fe6a25ad4037d: crates/bench/src/bin/ablation_optimized.rs
+
+crates/bench/src/bin/ablation_optimized.rs:

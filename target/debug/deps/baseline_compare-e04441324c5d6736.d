@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/baseline_compare-e04441324c5d6736.d: crates/bench/src/bin/baseline_compare.rs
+
+/root/repo/target/debug/deps/baseline_compare-e04441324c5d6736: crates/bench/src/bin/baseline_compare.rs
+
+crates/bench/src/bin/baseline_compare.rs:

@@ -1,12 +1,13 @@
-/root/repo/target/debug/deps/bench-0a461aedfc95fa32.d: crates/bench/src/lib.rs crates/bench/src/ablation.rs crates/bench/src/compare.rs crates/bench/src/fig5.rs crates/bench/src/fig6.rs crates/bench/src/overhead.rs crates/bench/src/util.rs
+/root/repo/target/debug/deps/bench-0a461aedfc95fa32.d: crates/bench/src/lib.rs crates/bench/src/ablation.rs crates/bench/src/compare.rs crates/bench/src/dedup.rs crates/bench/src/fig5.rs crates/bench/src/fig6.rs crates/bench/src/overhead.rs crates/bench/src/util.rs
 
-/root/repo/target/debug/deps/libbench-0a461aedfc95fa32.rlib: crates/bench/src/lib.rs crates/bench/src/ablation.rs crates/bench/src/compare.rs crates/bench/src/fig5.rs crates/bench/src/fig6.rs crates/bench/src/overhead.rs crates/bench/src/util.rs
+/root/repo/target/debug/deps/libbench-0a461aedfc95fa32.rlib: crates/bench/src/lib.rs crates/bench/src/ablation.rs crates/bench/src/compare.rs crates/bench/src/dedup.rs crates/bench/src/fig5.rs crates/bench/src/fig6.rs crates/bench/src/overhead.rs crates/bench/src/util.rs
 
-/root/repo/target/debug/deps/libbench-0a461aedfc95fa32.rmeta: crates/bench/src/lib.rs crates/bench/src/ablation.rs crates/bench/src/compare.rs crates/bench/src/fig5.rs crates/bench/src/fig6.rs crates/bench/src/overhead.rs crates/bench/src/util.rs
+/root/repo/target/debug/deps/libbench-0a461aedfc95fa32.rmeta: crates/bench/src/lib.rs crates/bench/src/ablation.rs crates/bench/src/compare.rs crates/bench/src/dedup.rs crates/bench/src/fig5.rs crates/bench/src/fig6.rs crates/bench/src/overhead.rs crates/bench/src/util.rs
 
 crates/bench/src/lib.rs:
 crates/bench/src/ablation.rs:
 crates/bench/src/compare.rs:
+crates/bench/src/dedup.rs:
 crates/bench/src/fig5.rs:
 crates/bench/src/fig6.rs:
 crates/bench/src/overhead.rs:

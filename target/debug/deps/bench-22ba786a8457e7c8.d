@@ -1,10 +1,11 @@
-/root/repo/target/debug/deps/bench-22ba786a8457e7c8.d: crates/bench/src/lib.rs crates/bench/src/ablation.rs crates/bench/src/compare.rs crates/bench/src/fig5.rs crates/bench/src/fig6.rs crates/bench/src/overhead.rs crates/bench/src/util.rs
+/root/repo/target/debug/deps/bench-22ba786a8457e7c8.d: crates/bench/src/lib.rs crates/bench/src/ablation.rs crates/bench/src/compare.rs crates/bench/src/dedup.rs crates/bench/src/fig5.rs crates/bench/src/fig6.rs crates/bench/src/overhead.rs crates/bench/src/util.rs
 
-/root/repo/target/debug/deps/bench-22ba786a8457e7c8: crates/bench/src/lib.rs crates/bench/src/ablation.rs crates/bench/src/compare.rs crates/bench/src/fig5.rs crates/bench/src/fig6.rs crates/bench/src/overhead.rs crates/bench/src/util.rs
+/root/repo/target/debug/deps/bench-22ba786a8457e7c8: crates/bench/src/lib.rs crates/bench/src/ablation.rs crates/bench/src/compare.rs crates/bench/src/dedup.rs crates/bench/src/fig5.rs crates/bench/src/fig6.rs crates/bench/src/overhead.rs crates/bench/src/util.rs
 
 crates/bench/src/lib.rs:
 crates/bench/src/ablation.rs:
 crates/bench/src/compare.rs:
+crates/bench/src/dedup.rs:
 crates/bench/src/fig5.rs:
 crates/bench/src/fig6.rs:
 crates/bench/src/overhead.rs:

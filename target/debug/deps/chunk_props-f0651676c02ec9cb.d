@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/chunk_props-f0651676c02ec9cb.d: crates/core/tests/chunk_props.rs
+
+/root/repo/target/debug/deps/chunk_props-f0651676c02ec9cb: crates/core/tests/chunk_props.rs
+
+crates/core/tests/chunk_props.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/comm_window-7c8389e5128f9e66.d: crates/bench/src/bin/comm_window.rs
+
+/root/repo/target/debug/deps/comm_window-7c8389e5128f9e66: crates/bench/src/bin/comm_window.rs
+
+crates/bench/src/bin/comm_window.rs:

@@ -1,11 +1,12 @@
-/root/repo/target/debug/deps/cruz-722950d358e6c099.d: crates/core/src/lib.rs crates/core/src/agent.rs crates/core/src/coordinator.rs crates/core/src/error.rs crates/core/src/proto.rs crates/core/src/store.rs
+/root/repo/target/debug/deps/cruz-722950d358e6c099.d: crates/core/src/lib.rs crates/core/src/agent.rs crates/core/src/chunk.rs crates/core/src/coordinator.rs crates/core/src/error.rs crates/core/src/proto.rs crates/core/src/store.rs
 
-/root/repo/target/debug/deps/libcruz-722950d358e6c099.rlib: crates/core/src/lib.rs crates/core/src/agent.rs crates/core/src/coordinator.rs crates/core/src/error.rs crates/core/src/proto.rs crates/core/src/store.rs
+/root/repo/target/debug/deps/libcruz-722950d358e6c099.rlib: crates/core/src/lib.rs crates/core/src/agent.rs crates/core/src/chunk.rs crates/core/src/coordinator.rs crates/core/src/error.rs crates/core/src/proto.rs crates/core/src/store.rs
 
-/root/repo/target/debug/deps/libcruz-722950d358e6c099.rmeta: crates/core/src/lib.rs crates/core/src/agent.rs crates/core/src/coordinator.rs crates/core/src/error.rs crates/core/src/proto.rs crates/core/src/store.rs
+/root/repo/target/debug/deps/libcruz-722950d358e6c099.rmeta: crates/core/src/lib.rs crates/core/src/agent.rs crates/core/src/chunk.rs crates/core/src/coordinator.rs crates/core/src/error.rs crates/core/src/proto.rs crates/core/src/store.rs
 
 crates/core/src/lib.rs:
 crates/core/src/agent.rs:
+crates/core/src/chunk.rs:
 crates/core/src/coordinator.rs:
 crates/core/src/error.rs:
 crates/core/src/proto.rs:

@@ -1,9 +1,10 @@
-/root/repo/target/debug/deps/cruz-8227a9621196dfea.d: crates/core/src/lib.rs crates/core/src/agent.rs crates/core/src/coordinator.rs crates/core/src/error.rs crates/core/src/proto.rs crates/core/src/store.rs
+/root/repo/target/debug/deps/cruz-8227a9621196dfea.d: crates/core/src/lib.rs crates/core/src/agent.rs crates/core/src/chunk.rs crates/core/src/coordinator.rs crates/core/src/error.rs crates/core/src/proto.rs crates/core/src/store.rs
 
-/root/repo/target/debug/deps/cruz-8227a9621196dfea: crates/core/src/lib.rs crates/core/src/agent.rs crates/core/src/coordinator.rs crates/core/src/error.rs crates/core/src/proto.rs crates/core/src/store.rs
+/root/repo/target/debug/deps/cruz-8227a9621196dfea: crates/core/src/lib.rs crates/core/src/agent.rs crates/core/src/chunk.rs crates/core/src/coordinator.rs crates/core/src/error.rs crates/core/src/proto.rs crates/core/src/store.rs
 
 crates/core/src/lib.rs:
 crates/core/src/agent.rs:
+crates/core/src/chunk.rs:
 crates/core/src/coordinator.rs:
 crates/core/src/error.rs:
 crates/core/src/proto.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5a-91bb261e607f1ad6.d: crates/bench/src/bin/fig5a.rs
+
+/root/repo/target/debug/deps/fig5a-91bb261e607f1ad6: crates/bench/src/bin/fig5a.rs
+
+crates/bench/src/bin/fig5a.rs:

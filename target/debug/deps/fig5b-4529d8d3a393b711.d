@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5b-4529d8d3a393b711.d: crates/bench/src/bin/fig5b.rs
+
+/root/repo/target/debug/deps/fig5b-4529d8d3a393b711: crates/bench/src/bin/fig5b.rs
+
+crates/bench/src/bin/fig5b.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6-8dc181a55ed1bb31.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/debug/deps/fig6-8dc181a55ed1bb31: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

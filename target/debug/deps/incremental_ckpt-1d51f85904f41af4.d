@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/incremental_ckpt-1d51f85904f41af4.d: crates/bench/src/bin/incremental_ckpt.rs
+
+/root/repo/target/debug/deps/incremental_ckpt-1d51f85904f41af4: crates/bench/src/bin/incremental_ckpt.rs
+
+crates/bench/src/bin/incremental_ckpt.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/migration-db0be7f247e454fc.d: crates/bench/src/bin/migration.rs
+
+/root/repo/target/debug/deps/migration-db0be7f247e454fc: crates/bench/src/bin/migration.rs
+
+crates/bench/src/bin/migration.rs:

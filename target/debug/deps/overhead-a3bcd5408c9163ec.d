@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/overhead-a3bcd5408c9163ec.d: crates/bench/src/bin/overhead.rs
+
+/root/repo/target/debug/deps/overhead-a3bcd5408c9163ec: crates/bench/src/bin/overhead.rs
+
+crates/bench/src/bin/overhead.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/restart_latency-4193ce08f53b8dfa.d: crates/bench/src/bin/restart_latency.rs
+
+/root/repo/target/debug/deps/restart_latency-4193ce08f53b8dfa: crates/bench/src/bin/restart_latency.rs
+
+crates/bench/src/bin/restart_latency.rs:

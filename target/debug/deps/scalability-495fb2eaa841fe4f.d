@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/scalability-495fb2eaa841fe4f.d: crates/bench/src/bin/scalability.rs
+
+/root/repo/target/debug/deps/scalability-495fb2eaa841fe4f: crates/bench/src/bin/scalability.rs
+
+crates/bench/src/bin/scalability.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/store_dedup-a7d9870c8c88ceb4.d: crates/bench/src/bin/store_dedup.rs
+
+/root/repo/target/debug/deps/store_dedup-a7d9870c8c88ceb4: crates/bench/src/bin/store_dedup.rs
+
+crates/bench/src/bin/store_dedup.rs:

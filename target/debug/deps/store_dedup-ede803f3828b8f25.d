@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/store_dedup-ede803f3828b8f25.d: crates/bench/src/bin/store_dedup.rs
+
+/root/repo/target/debug/deps/store_dedup-ede803f3828b8f25: crates/bench/src/bin/store_dedup.rs
+
+crates/bench/src/bin/store_dedup.rs:

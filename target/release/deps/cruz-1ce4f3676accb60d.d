@@ -1,11 +1,12 @@
-/root/repo/target/release/deps/cruz-1ce4f3676accb60d.d: crates/core/src/lib.rs crates/core/src/agent.rs crates/core/src/coordinator.rs crates/core/src/error.rs crates/core/src/proto.rs crates/core/src/store.rs
+/root/repo/target/release/deps/cruz-1ce4f3676accb60d.d: crates/core/src/lib.rs crates/core/src/agent.rs crates/core/src/chunk.rs crates/core/src/coordinator.rs crates/core/src/error.rs crates/core/src/proto.rs crates/core/src/store.rs
 
-/root/repo/target/release/deps/libcruz-1ce4f3676accb60d.rlib: crates/core/src/lib.rs crates/core/src/agent.rs crates/core/src/coordinator.rs crates/core/src/error.rs crates/core/src/proto.rs crates/core/src/store.rs
+/root/repo/target/release/deps/libcruz-1ce4f3676accb60d.rlib: crates/core/src/lib.rs crates/core/src/agent.rs crates/core/src/chunk.rs crates/core/src/coordinator.rs crates/core/src/error.rs crates/core/src/proto.rs crates/core/src/store.rs
 
-/root/repo/target/release/deps/libcruz-1ce4f3676accb60d.rmeta: crates/core/src/lib.rs crates/core/src/agent.rs crates/core/src/coordinator.rs crates/core/src/error.rs crates/core/src/proto.rs crates/core/src/store.rs
+/root/repo/target/release/deps/libcruz-1ce4f3676accb60d.rmeta: crates/core/src/lib.rs crates/core/src/agent.rs crates/core/src/chunk.rs crates/core/src/coordinator.rs crates/core/src/error.rs crates/core/src/proto.rs crates/core/src/store.rs
 
 crates/core/src/lib.rs:
 crates/core/src/agent.rs:
+crates/core/src/chunk.rs:
 crates/core/src/coordinator.rs:
 crates/core/src/error.rs:
 crates/core/src/proto.rs:

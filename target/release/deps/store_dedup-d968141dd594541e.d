@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/store_dedup-d968141dd594541e.d: crates/bench/src/bin/store_dedup.rs
+
+/root/repo/target/release/deps/store_dedup-d968141dd594541e: crates/bench/src/bin/store_dedup.rs
+
+crates/bench/src/bin/store_dedup.rs:

@@ -9,7 +9,7 @@
 //! breaks — `RandomState` reseeds per process, so iteration order (and
 //! everything downstream of it) diverges between runs.
 
-use cruz_repro::cluster::{ClusterParams, JobSpec, PodSpec, World};
+use cruz_repro::cluster::{ClusterParams, JobSpec, PodSpec, StoreConfig, World};
 use cruz_repro::cruz::proto::ProtocolMode;
 use cruz_repro::des::SimDuration;
 use cruz_repro::simnet::addr::{IpAddr, MacAddr};
@@ -57,10 +57,15 @@ struct RunOutcome {
 }
 
 fn run_scenario(seed: u64) -> RunOutcome {
+    run_scenario_with(seed, StoreConfig::default())
+}
+
+fn run_scenario_with(seed: u64, store: StoreConfig) -> RunOutcome {
     let mut w = World::new(
         5,
         ClusterParams {
             seed,
+            store,
             ..ClusterParams::default()
         },
     );
@@ -113,10 +118,7 @@ fn run_scenario(seed: u64) -> RunOutcome {
     }
 }
 
-#[test]
-fn same_seed_same_trace_and_byte_identical_images() {
-    let a = run_scenario(0xC0FFEE);
-    let b = run_scenario(0xC0FFEE);
+fn assert_outcomes_identical(a: &RunOutcome, b: &RunOutcome) {
     assert_eq!(
         a.trace_digest, b.trace_digest,
         "event traces diverged: some event source is nondeterministic"
@@ -142,6 +144,113 @@ fn same_seed_same_trace_and_byte_identical_images() {
             "checkpoint image for pod `{pod_a}` epoch {epoch_a} is not byte-identical"
         );
     }
+}
+
+#[test]
+fn same_seed_same_trace_and_byte_identical_images() {
+    let a = run_scenario(0xC0FFEE);
+    let b = run_scenario(0xC0FFEE);
+    assert_outcomes_identical(&a, &b);
+}
+
+#[test]
+fn dedup_store_runs_are_deterministic() {
+    // The content-addressed store threads extra state through checkpoint
+    // write-out (chunk hashing, refcounts, batched disk submission); two
+    // same-seed runs over it must still be indistinguishable.
+    let a = run_scenario_with(0xC0FFEE, StoreConfig::dedup_compress());
+    let b = run_scenario_with(0xC0FFEE, StoreConfig::dedup_compress());
+    assert_outcomes_identical(&a, &b);
+}
+
+/// What survives a crash-and-restart leg: whether the job completed, how
+/// its programs exited, and the restored view of the first epoch's images.
+#[derive(Debug)]
+struct RestartOutcome {
+    finished: bool,
+    exit_codes: (Option<u64>, Option<u64>),
+    /// (pod, reassembled image bytes) for the epoch the job restarts from.
+    epoch_images: Vec<(String, Vec<u8>)>,
+}
+
+fn run_restart_scenario(store: StoreConfig) -> RestartOutcome {
+    let mut w = World::new(
+        5,
+        ClusterParams {
+            seed: 7,
+            store,
+            ..ClusterParams::default()
+        },
+    );
+    w.launch_job(&pingpong_spec(200)).expect("job launches");
+    w.run_for(SimDuration::from_millis(2));
+    let op = w
+        .start_checkpoint("pp", ProtocolMode::Blocking, None)
+        .expect("checkpoint starts");
+    assert!(w.run_until_op(op, 20_000_000), "checkpoint finishes");
+
+    // Snapshot the store's view of the epoch before timing diverges
+    // between store variants (later sim times depend on disk traffic).
+    let store_handle = w.store("pp");
+    let mut epoch_images = Vec::new();
+    for pod in store_handle.pods_in_epoch(op) {
+        let bytes = store_handle
+            .get_image(&pod, op)
+            .expect("committed image reconstructs");
+        epoch_images.push((pod, bytes));
+    }
+
+    // Lose both worker nodes and restart the job on the spares from the
+    // epoch just taken.
+    w.run_for(SimDuration::from_millis(1));
+    w.crash_node(0);
+    w.crash_node(1);
+    let placement = vec![("server".to_string(), 2), ("client".to_string(), 3)];
+    let rs = w
+        .start_restart("pp", op, &placement, ProtocolMode::Blocking)
+        .expect("restart starts");
+    assert!(w.run_until_op(rs, 20_000_000), "restart completes");
+    let finished = w.run_until_pred(100_000_000, |w| w.job_finished("pp"));
+    RestartOutcome {
+        finished,
+        exit_codes: (
+            w.pod_exit_code("pp", "server", 1),
+            w.pod_exit_code("pp", "client", 1),
+        ),
+        epoch_images,
+    }
+}
+
+#[test]
+fn restart_from_dedup_store_matches_plain_full_image() {
+    // The store representation must be invisible above the store API: a
+    // world restarted from chunked+compressed manifests sees exactly the
+    // bytes a plain full image would hand it, and the application reaches
+    // the same outcome. (Traces are *not* compared — disk timing legitimately
+    // differs between representations.)
+    let plain = run_restart_scenario(StoreConfig::default());
+    let dedup = run_restart_scenario(StoreConfig::dedup_compress());
+
+    assert_eq!(
+        plain.epoch_images.len(),
+        dedup.epoch_images.len(),
+        "stores disagree on the pods in the restart epoch"
+    );
+    for ((pod_p, bytes_p), (pod_d, bytes_d)) in
+        plain.epoch_images.iter().zip(dedup.epoch_images.iter())
+    {
+        assert_eq!(pod_p, pod_d, "pod inventory diverged");
+        assert_eq!(
+            bytes_p, bytes_d,
+            "restored image for pod `{pod_p}` differs between plain and dedup stores"
+        );
+    }
+    assert!(plain.finished, "plain-store restart did not finish the job");
+    assert!(dedup.finished, "dedup-store restart did not finish the job");
+    assert_eq!(
+        plain.exit_codes, dedup.exit_codes,
+        "application outcomes diverged across store representations"
+    );
 }
 
 #[test]
