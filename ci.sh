@@ -6,14 +6,22 @@
 #   3. release build    — the whole workspace compiles
 #   4. tests            — every suite, including the same-seed
 #                         byte-identical-images regression test
-#   5. bench smoke      — `--quick` runs of the store-ablation and
-#                         Fig 5(a) binaries (their asserts are the check)
+#   5. bench smoke      — `--quick` runs of the store-ablation,
+#                         Fig 5(a) and COW-downtime binaries (their
+#                         asserts are the check)
 #
 # Everything runs offline: the only dependencies are the vendored stubs
 # under vendor/ (see DESIGN.md, "Offline builds").
 set -eu
 
 cd "$(dirname "$0")"
+
+echo "== no build artifacts tracked"
+if git ls-files -- 'target/' '*/target/' | grep -q .; then
+    echo "error: target/ build artifacts are tracked by git:" >&2
+    git ls-files -- 'target/' '*/target/' | head >&2
+    exit 1
+fi
 
 echo "== cargo fmt --check"
 cargo fmt --all -- --check
@@ -30,5 +38,6 @@ cargo test --offline --workspace -q
 echo "== bench smoke (--quick)"
 cargo run --offline -q --release -p bench --bin store_dedup -- --quick
 cargo run --offline -q --release -p bench --bin fig5a -- --quick
+cargo run --offline -q --release -p bench --bin cow_downtime -- --quick
 
 echo "ci: all green"

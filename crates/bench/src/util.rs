@@ -12,6 +12,17 @@ pub fn mean_std_micros(xs: &[SimDuration]) -> (f64, f64) {
     mean_std(&xs.iter().map(|d| d.as_micros_f64()).collect::<Vec<_>>())
 }
 
+/// The `p`-th percentile (nearest-rank) of a set of durations.
+pub fn percentile_duration(xs: &[SimDuration], p: f64) -> SimDuration {
+    if xs.is_empty() {
+        return SimDuration::ZERO;
+    }
+    let mut sorted: Vec<SimDuration> = xs.to_vec();
+    sorted.sort();
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
 /// Mean and (population) standard deviation.
 pub fn mean_std(xs: &[f64]) -> (f64, f64) {
     if xs.is_empty() {
@@ -33,5 +44,19 @@ mod tests {
         assert!((m - 2.0).abs() < 1e-12);
         assert!((s - (2.0f64 / 3.0).sqrt()).abs() < 1e-12);
         assert_eq!(mean_std(&[]), (0.0, 0.0));
+    }
+
+    #[test]
+    fn nearest_rank_percentiles() {
+        let xs: Vec<SimDuration> = (1..=100).map(SimDuration::from_micros).collect();
+        assert_eq!(percentile_duration(&xs, 50.0), SimDuration::from_micros(50));
+        assert_eq!(percentile_duration(&xs, 99.0), SimDuration::from_micros(99));
+        assert_eq!(
+            percentile_duration(&xs, 100.0),
+            SimDuration::from_micros(100)
+        );
+        let one = [SimDuration::from_micros(7)];
+        assert_eq!(percentile_duration(&one, 50.0), SimDuration::from_micros(7));
+        assert_eq!(percentile_duration(&[], 50.0), SimDuration::ZERO);
     }
 }

@@ -23,5 +23,5 @@ pub mod world;
 
 pub use cruz::store::StoreConfig;
 pub use jobs::{JobRuntime, JobSpec, PodPlacement, PodSpec};
-pub use params::ClusterParams;
+pub use params::{CkptCaptureMode, ClusterParams};
 pub use world::{ClusterError, Node, OpReport, World};

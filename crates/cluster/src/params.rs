@@ -11,6 +11,21 @@ use simnet::tcp::TcpConfig;
 use simos::disk::DiskParams;
 use simos::kernel::KernelParams;
 
+/// How checkpoint images are captured from frozen pods (§6's copy-on-write
+/// future optimization vs. the paper's measured stop-the-world behavior).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CkptCaptureMode {
+    /// Pods stay frozen until the full image is extracted — downtime scales
+    /// with image size. This is what the paper's testbed measured.
+    #[default]
+    StopTheWorld,
+    /// Pods resume as soon as the memory snapshot is armed (copy-on-write);
+    /// pages drain to the store in the background, so downtime scales with
+    /// the arm cost plus non-memory state, at the price of bounded extra
+    /// page copies proportional to the post-resume write rate.
+    Cow,
+}
+
 /// Tunable parameters of a simulated cluster.
 #[derive(Debug, Clone)]
 pub struct ClusterParams {
@@ -54,6 +69,9 @@ pub struct ClusterParams {
     /// full-fidelity, so it subsumes (and disables) incremental
     /// delta-chain capture.
     pub store: StoreConfig,
+    /// Default capture mode for checkpoint operations (overridable per-op
+    /// via `CkptOptions::capture`).
+    pub capture: CkptCaptureMode,
 }
 
 impl Default for ClusterParams {
@@ -72,6 +90,7 @@ impl Default for ClusterParams {
             prune_old_epochs: false,
             ctl_retry: None,
             store: StoreConfig::default(),
+            capture: CkptCaptureMode::default(),
         }
     }
 }

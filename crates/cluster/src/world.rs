@@ -17,7 +17,7 @@ use simos::kernel::Kernel;
 use simos::proc::ProcState;
 use zap::image::PodImage;
 use zap::pod::Vpid;
-use zap::{PodConfig, Zap, ZapError};
+use zap::{ArmedPodCheckpoint, PodConfig, Zap, ZapError};
 
 use cruz::agent::{Agent, AgentAction};
 use cruz::coordinator::{CoordEffect, CoordStats, Coordinator};
@@ -26,7 +26,7 @@ use cruz::proto::{CtlMsg, OpKind, ProtocolMode, AGENT_PORT};
 use cruz::store::{CheckpointStore, PreparedPut};
 
 use crate::jobs::{JobRuntime, JobSpec, PodPlacement};
-use crate::params::ClusterParams;
+use crate::params::{CkptCaptureMode, ClusterParams};
 
 /// Cluster-level errors.
 #[derive(Debug)]
@@ -119,6 +119,12 @@ enum Event {
         node: usize,
         op: u64,
     },
+    /// COW capture: the background drain of a node's armed memory snapshots
+    /// completes (pages encoded, chunked, and handed to the disk).
+    CkptDrain {
+        node: usize,
+        op: u64,
+    },
     CoordCtl {
         op: u64,
         from: usize,
@@ -153,6 +159,8 @@ struct OpRuntime {
     coord: Coordinator,
     kind: OpKind,
     cow: bool,
+    /// How this checkpoint captures memory (stop-the-world or COW arm/drain).
+    capture: CkptCaptureMode,
     /// Base epoch for incremental image capture (`None` = full).
     incremental_base: Option<u64>,
     job: String,
@@ -162,6 +170,12 @@ struct OpRuntime {
     coord_sock: SocketId,
     agents_nodes: Vec<usize>,
     pending_ckpt: BTreeMap<usize, Vec<(String, PreparedPut)>>,
+    /// COW capture: snapshots armed at freeze, awaiting their background
+    /// drain — (arm-complete time, per-pod armed checkpoints).
+    pending_arm: BTreeMap<usize, (SimTime, Vec<(String, ArmedPodCheckpoint)>)>,
+    /// COW capture: pre-image bytes copied on each node because post-resume
+    /// guest writes raced the drain.
+    cow_copied: BTreeMap<usize, u64>,
     pending_restore: BTreeMap<usize, Vec<(String, Vec<u8>)>>,
     local_ops: BTreeMap<usize, (SimTime, SimTime)>,
     resumed_at: BTreeMap<usize, SimTime>,
@@ -183,6 +197,10 @@ pub struct CkptOptions {
     /// Incremental: save only pages dirtied since the job's latest
     /// committed epoch (falls back to full when none exists).
     pub incremental: bool,
+    /// Memory-capture mode override; `None` uses `ClusterParams::capture`.
+    /// [`CkptCaptureMode::Cow`] shrinks the freeze to the snapshot-arm
+    /// window and implies the §5.2 durability split (`cow` above).
+    pub capture: Option<CkptCaptureMode>,
     /// Failure-detection timeout (abort + rollback on expiry).
     pub timeout: Option<SimDuration>,
 }
@@ -193,6 +211,7 @@ impl Default for CkptOptions {
             mode: ProtocolMode::Blocking,
             cow: false,
             incremental: false,
+            capture: None,
             timeout: None,
         }
     }
@@ -213,6 +232,10 @@ pub struct OpReport {
     pub complete: bool,
     /// Whether it was aborted.
     pub aborted: bool,
+    /// COW capture only: per-node pre-image bytes copied because guest
+    /// writes raced the background drain — the bounded extra cost COW pays
+    /// for shrinking the freeze window.
+    pub cow_copied_bytes: Vec<(usize, u64)>,
 }
 
 impl OpReport {
@@ -591,6 +614,7 @@ impl World {
         } else {
             None
         };
+        let capture = opts.capture.unwrap_or(self.params.capture);
         let op = self.next_op;
         self.next_op += 1;
         let mut coord = Coordinator::new(
@@ -602,7 +626,10 @@ impl World {
         if let Some(t) = opts.timeout {
             coord = coord.with_timeout(t);
         }
-        if opts.cow {
+        // COW capture needs the §5.2 message flow: `done` at arm-complete
+        // resumes pods early, `durable` after the background drain gates the
+        // commit record.
+        if opts.cow || capture == CkptCaptureMode::Cow {
             coord = coord.with_cow();
         }
         self.install_op_inc(
@@ -614,6 +641,7 @@ impl World {
             agents_nodes,
             coord,
             incremental_base,
+            capture,
         )?;
         Ok(op)
     }
@@ -712,6 +740,7 @@ impl World {
             agents_nodes,
             coord,
             None,
+            CkptCaptureMode::StopTheWorld,
         )
     }
 
@@ -726,6 +755,7 @@ impl World {
         agents_nodes: Vec<usize>,
         mut coord: Coordinator,
         incremental_base: Option<u64>,
+        capture: CkptCaptureMode,
     ) -> Result<(), ClusterError> {
         let coord_sock = {
             let k = &mut self.nodes[coord_node].kernel;
@@ -744,6 +774,7 @@ impl World {
                 coord,
                 kind,
                 cow,
+                capture,
                 incremental_base,
                 job: job.to_owned(),
                 image_epoch,
@@ -751,6 +782,8 @@ impl World {
                 coord_sock,
                 agents_nodes,
                 pending_ckpt: BTreeMap::new(),
+                pending_arm: BTreeMap::new(),
+                cow_copied: BTreeMap::new(),
                 pending_restore: BTreeMap::new(),
                 local_ops: BTreeMap::new(),
                 resumed_at: BTreeMap::new(),
@@ -801,6 +834,7 @@ impl World {
             resumed_at: o.resumed_at.iter().map(|(&n, &t)| (n, t)).collect(),
             complete: o.complete,
             aborted: o.aborted,
+            cow_copied_bytes: o.cow_copied.iter().map(|(&n, &b)| (n, b)).collect(),
         })
     }
 
@@ -983,6 +1017,7 @@ impl World {
             Event::AgentCtl { node, msg, .. } => mix(5, *node as u64, msg.epoch()),
             Event::AgentLocalDone { node, op } => mix(6, *node as u64, *op),
             Event::AgentDurable { node, op } => mix(7, *node as u64, *op),
+            Event::CkptDrain { node, op } => mix(14, *node as u64, *op),
             Event::CoordCtl { op, from, msg } => fnv_fold(mix(8, *op, *from as u64), msg.epoch()),
             Event::CoordSend { op, to, msg } => fnv_fold(mix(9, *op, *to as u64), msg.epoch()),
             Event::CoordTimeout { op } => mix(10, *op, 0),
@@ -1061,6 +1096,7 @@ impl World {
             } => self.on_agent_ctl(node, msg, reply_to),
             Event::AgentLocalDone { node, op } => self.on_agent_local_done(node, op),
             Event::AgentDurable { node, op } => self.on_agent_durable(node, op),
+            Event::CkptDrain { node, op } => self.on_ckpt_drain(node, op),
             Event::CoordCtl { op, from, msg } => self.on_coord_ctl(op, from, msg),
             Event::CoordSend { op, to, msg } => self.on_coord_send(op, to, msg),
             Event::CoordTimeout { op } => self.on_coord_timeout(op),
@@ -1152,6 +1188,12 @@ impl World {
             let Some(o) = self.ops.get_mut(&op) else {
                 return;
             };
+            if o.aborted {
+                // The epoch was already discarded by the rollback; persisting
+                // now would leave orphan images the store can never commit.
+                o.pending_ckpt.remove(&node);
+                return;
+            }
             (
                 o.job.clone(),
                 o.image_epoch,
@@ -1268,13 +1310,17 @@ impl World {
     }
 
     fn begin_local_checkpoint(&mut self, node: usize, op: u64) {
-        let Some((cow, base, job)) = self
+        let Some((cow, capture, base, job)) = self
             .ops
             .get(&op)
-            .map(|o| (o.cow, o.incremental_base, o.job.clone()))
+            .map(|o| (o.cow, o.capture, o.incremental_base, o.job.clone()))
         else {
             return;
         };
+        if capture == CkptCaptureMode::Cow {
+            self.begin_local_checkpoint_cow(node, op, base);
+            return;
+        }
         let pods = self.job_pods_on_node(op, node);
         let dedup = self.params.store.dedup;
         let store = self.store(&job);
@@ -1359,6 +1405,126 @@ impl World {
         }
     }
 
+    /// COW capture, arm phase: freeze covers only arming the memory
+    /// snapshots and serializing the image skeletons (registers, sockets,
+    /// pipes, shm) — O(non-memory state) instead of O(image bytes). Pages
+    /// drain in the background at [`Event::CkptDrain`].
+    fn begin_local_checkpoint_cow(&mut self, node: usize, op: u64, base: Option<u64>) {
+        let pods = self.job_pods_on_node(op, node);
+        let mut armed: Vec<(String, ArmedPodCheckpoint)> = Vec::new();
+        let mut arm_bytes: u64 = 0;
+        let mut page_bytes: u64 = 0;
+        for p in &pods {
+            let Some(pod_id) = p.pod_id else { continue };
+            let slot = &mut self.nodes[node];
+            match slot
+                .zap
+                .checkpoint_pod_arm(&mut slot.kernel, pod_id, self.now, base)
+            {
+                Ok(a) => {
+                    arm_bytes += a.arm_bytes();
+                    page_bytes += a.pending_page_bytes();
+                    armed.push((p.name.clone(), a));
+                }
+                Err(e) => {
+                    for (_, a) in armed {
+                        a.cancel();
+                    }
+                    self.fail_op(op, CruzError::Zap(e));
+                    return;
+                }
+            }
+        }
+        let t_arm = self.now + self.params.extract_time(arm_bytes);
+        // Arming pins the page set, so the drain length is known now even
+        // though page *contents* are only materialized at the drain event —
+        // after resumed guests have raced it with writes.
+        let t_drain = t_arm + self.params.extract_time(page_bytes);
+        if let Some(o) = self.ops.get_mut(&op) {
+            o.pending_arm.insert(node, (t_arm, armed));
+            o.local_ops.insert(node, (self.now, t_arm));
+        }
+        self.queue.push(t_arm, Event::AgentLocalDone { node, op });
+        self.queue.push(t_drain, Event::CkptDrain { node, op });
+    }
+
+    /// COW capture, drain phase: materialize each armed snapshot (the
+    /// frozen-instant memory, reconstructed from preserved pre-images where
+    /// resumed guests overwrote pages), encode/chunk it, and hand it to the
+    /// disk. The write-out is submitted retroactively at arm time so it
+    /// overlaps the background encode exactly as the eager path overlaps
+    /// capture; the batch can never complete before its last ready time,
+    /// which is at or after this event.
+    fn on_ckpt_drain(&mut self, node: usize, op: u64) {
+        if !self.nodes[node].alive {
+            return;
+        }
+        let (job, t_arm, armed, aborted) = {
+            let Some(o) = self.ops.get_mut(&op) else {
+                return;
+            };
+            let Some((t_arm, armed)) = o.pending_arm.remove(&node) else {
+                return;
+            };
+            (o.job.clone(), t_arm, armed, o.aborted)
+        };
+        if aborted {
+            // A failed drain (or any abort while draining) discards the
+            // epoch exactly like a stop-the-world abort: drop the snapshots
+            // without materializing anything.
+            for (_, a) in armed {
+                a.cancel();
+            }
+            return;
+        }
+        let dedup = self.params.store.dedup;
+        let store = self.store(&job);
+        let mut images: Vec<(String, PreparedPut)> = Vec::new();
+        let mut batch: Vec<(SimTime, u64)> = Vec::new();
+        let mut total: u64 = 0;
+        let mut copied: u64 = 0;
+        for (pod_name, a) in armed {
+            let (img, pre_copied) = a.drain();
+            copied += pre_copied;
+            if dedup {
+                let (bytes, cuts) = img.encode_with_page_cuts();
+                let prepared = store.prepare_chunked(&bytes, &cuts, &self.params.store);
+                let pod_base = total;
+                for (raw_end, stored) in prepared.novel_writes() {
+                    let ready = t_arm + self.params.extract_time(pod_base + raw_end);
+                    batch.push((ready, stored));
+                }
+                total += bytes.len() as u64;
+                batch.push((
+                    t_arm + self.params.extract_time(total),
+                    prepared.manifest_len(),
+                ));
+                images.push((pod_name, PreparedPut::Chunked(prepared)));
+            } else {
+                let bytes = img.encode();
+                total += bytes.len() as u64;
+                images.push((pod_name, PreparedPut::Plain(bytes)));
+            }
+        }
+        let durable_at = if dedup {
+            self.nodes[node]
+                .kernel
+                .disk
+                .submit_write_batch(t_arm, &batch)
+        } else {
+            self.nodes[node]
+                .kernel
+                .disk
+                .submit_write(t_arm + self.params.extract_time(total), total)
+        };
+        if let Some(o) = self.ops.get_mut(&op) {
+            o.pending_ckpt.insert(node, images);
+            *o.cow_copied.entry(node).or_insert(0) += copied;
+        }
+        self.queue
+            .push(durable_at, Event::AgentDurable { node, op });
+    }
+
     fn begin_local_restore(&mut self, node: usize, op: u64) {
         let (job, image_epoch) = match self.ops.get(&op) {
             Some(o) => (o.job.clone(), o.image_epoch),
@@ -1441,7 +1607,15 @@ impl World {
     }
 
     fn roll_back(&mut self, node: usize, op: u64) {
-        // Abort path: resume pods, lift filters, discard this epoch's images.
+        // Abort path: disarm any undrained COW snapshot, resume pods, lift
+        // filters, discard this epoch's images.
+        if let Some(o) = self.ops.get_mut(&op) {
+            if let Some((_, armed)) = o.pending_arm.remove(&node) {
+                for (_, a) in armed {
+                    a.cancel();
+                }
+            }
+        }
         self.resume_pods(node, op);
         self.set_comm(node, op, true);
         if let Some(o) = self.ops.get(&op) {

@@ -185,7 +185,22 @@ fn message_complexity_is_linear() {
         port: 7100,
         state_step_bytes: 0,
     };
-    let mut w = World::new(5, ClusterParams::default());
+    // A snappy retransmission timer: the freeze drops in-flight halo frames,
+    // and the ranks must recover and resume computing *within* the drain
+    // window for the COW race to be exercised (with the default 200 ms
+    // min-RTO they would idle until long after the drain).
+    let tcp = simnet::tcp::TcpConfig {
+        initial_rto: SimDuration::from_millis(2),
+        min_rto: SimDuration::from_millis(1),
+        ..simnet::tcp::TcpConfig::default()
+    };
+    let mut w = World::new(
+        5,
+        ClusterParams {
+            tcp,
+            ..ClusterParams::default()
+        },
+    );
     w.launch_job(&slm.job_spec("slm", 4)).unwrap();
     w.run_for(SimDuration::from_millis(10));
     let op = w
@@ -408,7 +423,22 @@ fn incremental_epochs_restore_through_the_full_protocol() {
         port: 7100,
         state_step_bytes: 0,
     };
-    let mut w = World::new(5, ClusterParams::default());
+    // A snappy retransmission timer: the freeze drops in-flight halo frames,
+    // and the ranks must recover and resume computing *within* the drain
+    // window for the COW race to be exercised (with the default 200 ms
+    // min-RTO they would idle until long after the drain).
+    let tcp = simnet::tcp::TcpConfig {
+        initial_rto: SimDuration::from_millis(2),
+        min_rto: SimDuration::from_millis(1),
+        ..simnet::tcp::TcpConfig::default()
+    };
+    let mut w = World::new(
+        5,
+        ClusterParams {
+            tcp,
+            ..ClusterParams::default()
+        },
+    );
     w.launch_job(&slm.job_spec("slm", 4)).unwrap();
     w.run_for(SimDuration::from_millis(20));
 
@@ -526,4 +556,158 @@ fn rollback_in_place_replaces_live_pods() {
     assert!(w.run_until_pred(50_000_000, |w| w.job_finished("pp")));
     assert_eq!(w.pod_exit_code("pp", "server", 1), Some(0));
     assert_eq!(w.pod_exit_code("pp", "client", 1), Some(0));
+}
+
+#[test]
+fn cow_capture_shrinks_freeze_to_arm_window() {
+    // The tentpole claim: with CkptCaptureMode::Cow the per-epoch pod freeze
+    // is O(arm + non-memory state) instead of O(image bytes), while the
+    // stored epoch stays fully restorable.
+    use cluster::world::CkptOptions;
+    use cluster::CkptCaptureMode;
+    let slm = SlmConfig {
+        ranks: 2,
+        state_bytes: 16 * 1024 * 1024,
+        iters: 100_000,
+        compute_ns: 500_000,
+        halo_bytes: 2048,
+        port: 7100,
+        state_step_bytes: 0,
+    };
+    // A snappy retransmission timer: the freeze drops in-flight halo frames,
+    // and the ranks must recover and resume computing *within* the drain
+    // window for the COW race to be exercised (with the default 200 ms
+    // min-RTO they would idle until long after the drain).
+    let tcp = simnet::tcp::TcpConfig {
+        initial_rto: SimDuration::from_millis(2),
+        min_rto: SimDuration::from_millis(1),
+        ..simnet::tcp::TcpConfig::default()
+    };
+    let mut w = World::new(
+        5,
+        ClusterParams {
+            tcp,
+            ..ClusterParams::default()
+        },
+    );
+    w.launch_job(&slm.job_spec("slm", 4)).unwrap();
+    w.run_for(SimDuration::from_millis(20));
+
+    let stw = w
+        .start_checkpoint_with(
+            "slm",
+            CkptOptions {
+                mode: ProtocolMode::Optimized,
+                ..CkptOptions::default()
+            },
+        )
+        .unwrap();
+    assert!(w.run_until_op(stw, 20_000_000));
+    let stw_rep = w.op_report(stw).unwrap();
+    assert!(stw_rep.complete && !stw_rep.aborted);
+
+    w.run_for(SimDuration::from_millis(20));
+    let cow = w
+        .start_checkpoint_with(
+            "slm",
+            CkptOptions {
+                mode: ProtocolMode::Optimized,
+                capture: Some(CkptCaptureMode::Cow),
+                ..CkptOptions::default()
+            },
+        )
+        .unwrap();
+    assert!(w.run_until_op(cow, 20_000_000));
+    let cow_rep = w.op_report(cow).unwrap();
+    assert!(cow_rep.complete && !cow_rep.aborted);
+    assert!(w.store("slm").is_committed(cow));
+
+    let max_freeze = |rep: &cluster::world::OpReport| {
+        rep.blocked_durations()
+            .iter()
+            .map(|&(_, d)| d)
+            .max()
+            .unwrap()
+    };
+    let stw_freeze = max_freeze(&stw_rep);
+    let cow_freeze = max_freeze(&cow_rep);
+    assert!(
+        cow_freeze.as_micros_f64() * 5.0 < stw_freeze.as_micros_f64(),
+        "cow freeze {cow_freeze} not ≥5× shorter than stop-the-world {stw_freeze}"
+    );
+    // The resumed guests raced the background drain, so COW really paid its
+    // bounded extra copies — the snapshot was defended, not untouched.
+    let copied: u64 = cow_rep.cow_copied_bytes.iter().map(|&(_, b)| b).sum();
+    assert!(
+        copied > 0,
+        "no pre-image copies: the drain never raced writes"
+    );
+
+    // The COW epoch restores through the full protocol.
+    w.crash_node(0);
+    w.crash_node(1);
+    let rs = w
+        .start_restart(
+            "slm",
+            cow,
+            &[("rank0".into(), 2), ("rank1".into(), 3)],
+            ProtocolMode::Blocking,
+        )
+        .unwrap();
+    assert!(w.run_until_op(rs, 20_000_000));
+    let progress = |w: &World| {
+        w.peek_guest("slm", "rank0", 1, workloads::slm::ITER_COUNTER_ADDR, 8)
+            .map(|b| u64::from_le_bytes(b.try_into().unwrap()))
+            .unwrap_or(0)
+    };
+    let before = progress(&w);
+    w.run_for(SimDuration::from_millis(60));
+    assert!(
+        progress(&w) > before,
+        "ring advances after COW-epoch restore"
+    );
+}
+
+#[test]
+fn cow_abort_cancels_armed_snapshots() {
+    // Abort while the drain is still pending: the rollback must disarm the
+    // snapshots and discard the epoch, and the late CkptDrain event must be
+    // a no-op — exactly the stop-the-world abort semantics.
+    use cluster::world::CkptOptions;
+    use cluster::CkptCaptureMode;
+    let slm = SlmConfig {
+        ranks: 2,
+        state_bytes: 8 * 1024 * 1024,
+        iters: 100_000,
+        compute_ns: 1_000_000,
+        halo_bytes: 2048,
+        port: 7100,
+        state_step_bytes: 0,
+    };
+    let mut w = World::new(3, ClusterParams::default());
+    w.launch_job(&slm.job_spec("slm", 2)).unwrap();
+    w.run_for(SimDuration::from_millis(20));
+    w.crash_node(1);
+    // 8 MiB of pages drain in ~4 ms at extract bandwidth; the 2 ms timeout
+    // aborts first, so the survivor's rollback finds an undrained arm.
+    let op = w
+        .start_checkpoint_with(
+            "slm",
+            CkptOptions {
+                capture: Some(CkptCaptureMode::Cow),
+                timeout: Some(SimDuration::from_millis(2)),
+                ..CkptOptions::default()
+            },
+        )
+        .unwrap();
+    assert!(w.run_until_op(op, 20_000_000));
+    let rep = w.op_report(op).unwrap();
+    assert!(rep.aborted, "dead agent must abort the 2PC");
+    assert!(!w.store("slm").is_committed(op), "no commit record");
+    // Let the now-orphaned CkptDrain event fire against the cancelled arm.
+    w.run_for(SimDuration::from_millis(20));
+    assert!(
+        w.store("slm").get_image("rank0", op).is_none(),
+        "aborted epoch must leave no orphan images"
+    );
 }

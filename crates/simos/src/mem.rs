@@ -99,6 +99,30 @@ pub struct AddressSpace {
     /// Pages written since the last [`AddressSpace::clear_dirty`] — the
     /// book-keeping incremental checkpointing consumes.
     dirty: std::collections::BTreeSet<u64>,
+    /// An armed copy-on-write snapshot, if a checkpoint drain is pending.
+    cow: Option<CowSnapshot>,
+}
+
+/// The state of one armed copy-on-write snapshot: everything needed to
+/// reconstruct the private pages exactly as they were at
+/// [`AddressSpace::cow_arm`] time, while the owning process keeps writing.
+///
+/// Arming is O(dirty set): no page is copied up front. The first
+/// post-arm write to a page preserves its pre-image here (the write-protect
+/// fault of a real COW implementation); pages never written again are read
+/// straight from the live page table at drain time.
+#[derive(Debug, Clone)]
+struct CowSnapshot {
+    /// Pre-images of pages mutated (or dropped) since arm. `Some(page)` is
+    /// the page's contents at arm time; `None` records that the page was
+    /// not resident (demand-zero) at arm time and must not appear in the
+    /// snapshot even though it is resident now.
+    preserved: BTreeMap<u64, Option<Box<[u8]>>>,
+    /// The dirty set at arm time (what an incremental drain captures).
+    dirty_at_arm: std::collections::BTreeSet<u64>,
+    /// Bytes of pre-image copies forced by post-arm writes — the extra
+    /// copy cost COW trades for a short freeze.
+    copied_bytes: u64,
 }
 
 /// Error mapping a region.
@@ -183,6 +207,7 @@ impl AddressSpace {
             .map(|(&k, _)| k)
             .collect();
         for k in keys {
+            self.cow_preserve(k);
             self.pages.remove(&k);
         }
         true
@@ -221,6 +246,7 @@ impl AddressSpace {
     pub fn install_page(&mut self, page_addr: u64, data: &[u8]) {
         assert_eq!(page_addr % PAGE_SIZE, 0, "page address must be aligned");
         assert!(data.len() <= PAGE_SIZE as usize, "page data too long");
+        self.cow_preserve(page_addr);
         let mut page = vec![0u8; PAGE_SIZE as usize].into_boxed_slice();
         page[..data.len()].copy_from_slice(data);
         self.pages.insert(page_addr, page);
@@ -271,6 +297,141 @@ impl AddressSpace {
     /// Total mapped bytes across areas.
     pub fn mapped_bytes(&self) -> u64 {
         self.areas.iter().map(|a| a.len).sum()
+    }
+
+    // ---- copy-on-write snapshots ---------------------------------------
+
+    /// Arms a copy-on-write snapshot of the private pages: cheap
+    /// (no page is copied), equivalent to write-protecting every page. From
+    /// now until [`AddressSpace::cow_disarm`], the first write to any page
+    /// preserves its pre-image, so the drain methods below reconstruct the
+    /// pages exactly as they are at this instant — however long the owner
+    /// keeps executing in between.
+    ///
+    /// Only private pages are covered: shared segments ([`SharedSeg`]) are
+    /// kernel objects visible to other processes and must be captured
+    /// eagerly while the whole pod is frozen. Re-arming replaces any
+    /// previous snapshot.
+    pub fn cow_arm(&mut self) {
+        self.cow = Some(CowSnapshot {
+            preserved: BTreeMap::new(),
+            dirty_at_arm: self.dirty.clone(),
+            copied_bytes: 0,
+        });
+    }
+
+    /// True while a snapshot is armed.
+    pub fn cow_armed(&self) -> bool {
+        self.cow.is_some()
+    }
+
+    /// Bytes of pre-image copies the armed snapshot has accumulated.
+    pub fn cow_copied_bytes(&self) -> u64 {
+        self.cow.as_ref().map(|c| c.copied_bytes).unwrap_or(0)
+    }
+
+    /// Drops the armed snapshot (drain complete, or checkpoint aborted),
+    /// returning the pre-image copy bytes it accumulated.
+    pub fn cow_disarm(&mut self) -> u64 {
+        self.cow.take().map(|c| c.copied_bytes).unwrap_or(0)
+    }
+
+    /// The snapshot's view of one page: the preserved pre-image if the
+    /// page was written since arm, the live page otherwise.
+    fn cow_page_at_arm(&self, addr: u64) -> Option<&[u8]> {
+        let snap = self.cow.as_ref()?;
+        match snap.preserved.get(&addr) {
+            Some(Some(pre)) => Some(&pre[..]),
+            Some(None) => None, // not resident at arm time
+            None => self.pages.get(&addr).map(|p| &p[..]),
+        }
+    }
+
+    /// Every page address the snapshot may contain: live pages plus
+    /// preserved pre-images (a page unmapped since arm is only in the
+    /// latter).
+    fn cow_candidate_addrs(&self) -> Vec<u64> {
+        let Some(snap) = self.cow.as_ref() else {
+            return Vec::new();
+        };
+        let mut addrs: Vec<u64> = self.pages.keys().copied().collect();
+        addrs.extend(snap.preserved.keys().copied());
+        addrs.sort_unstable();
+        addrs.dedup();
+        addrs
+    }
+
+    /// Drains the non-zero pages as of arm time — the full-image
+    /// counterpart of [`AddressSpace::nonzero_pages`]. The snapshot stays
+    /// armed; call [`AddressSpace::cow_disarm`] when done with it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no snapshot is armed.
+    pub fn cow_snapshot_pages(&self) -> Vec<(u64, Vec<u8>)> {
+        assert!(self.cow.is_some(), "no armed snapshot to drain");
+        self.cow_candidate_addrs()
+            .into_iter()
+            .filter_map(|a| self.cow_page_at_arm(a).map(|p| (a, p)))
+            .filter(|(_, p)| p.iter().any(|&b| b != 0))
+            .map(|(a, p)| (a, p.to_vec()))
+            .collect()
+    }
+
+    /// Drains the pages that were dirty at arm time, with their arm-time
+    /// contents — the incremental counterpart of
+    /// [`AddressSpace::dirty_pages`] (zero pages included, non-resident
+    /// ones skipped, exactly as there).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no snapshot is armed.
+    pub fn cow_snapshot_dirty_pages(&self) -> Vec<(u64, Vec<u8>)> {
+        let snap = self.cow.as_ref().expect("no armed snapshot to drain");
+        snap.dirty_at_arm
+            .iter()
+            .filter_map(|&a| self.cow_page_at_arm(a).map(|p| (a, p.to_vec())))
+            .collect()
+    }
+
+    /// Payload bytes a drain will produce (`dirty_only` selects the
+    /// incremental page set), without materializing any copy — what the
+    /// checkpoint scheduler needs at arm time to plan the background
+    /// encode.
+    pub fn cow_pending_bytes(&self, dirty_only: bool) -> u64 {
+        let Some(snap) = self.cow.as_ref() else {
+            return 0;
+        };
+        if dirty_only {
+            snap.dirty_at_arm
+                .iter()
+                .filter(|&&a| self.cow_page_at_arm(a).is_some())
+                .count() as u64
+                * PAGE_SIZE
+        } else {
+            self.cow_candidate_addrs()
+                .into_iter()
+                .filter_map(|a| self.cow_page_at_arm(a))
+                .filter(|p| p.iter().any(|&b| b != 0))
+                .count() as u64
+                * PAGE_SIZE
+        }
+    }
+
+    /// Preserves a page's pre-image before its first post-arm mutation
+    /// (the write-protect fault handler of a real COW implementation).
+    fn cow_preserve(&mut self, page_addr: u64) {
+        let Some(snap) = self.cow.as_mut() else {
+            return;
+        };
+        if snap.preserved.contains_key(&page_addr) {
+            return; // already preserved by an earlier write
+        }
+        let pre = self.pages.get(&page_addr).cloned();
+        if pre.is_some() {
+            snap.copied_bytes += PAGE_SIZE;
+        }
+        snap.preserved.insert(page_addr, pre);
     }
 
     fn page_of(&mut self, page_addr: u64) -> &mut Box<[u8]> {
@@ -351,6 +512,7 @@ impl Memory for AddressSpace {
                 AreaBacking::Private => {
                     let page_addr = a & !(PAGE_SIZE - 1);
                     let in_page = (a - page_addr) as usize;
+                    space.cow_preserve(page_addr);
                     let page = space.page_of(page_addr);
                     page[in_page..in_page + chunk].copy_from_slice(&owned[off..off + chunk]);
                     space.dirty.insert(page_addr);
@@ -477,6 +639,84 @@ mod tests {
         b.map_shared(0x20000, seg, "shm").unwrap();
         a.store_u64(0x10008, 777).unwrap();
         assert_eq!(b.load_u64(0x20008).unwrap(), 777);
+    }
+
+    /// The snapshot drained from an armed space must equal an eager capture
+    /// of the same instant, whatever happened in between.
+    fn assert_snapshot_matches(space: &AddressSpace, frozen: &AddressSpace) {
+        let expect: Vec<(u64, Vec<u8>)> = frozen
+            .nonzero_pages()
+            .map(|(a, p)| (a, p.to_vec()))
+            .collect();
+        assert_eq!(space.cow_snapshot_pages(), expect);
+    }
+
+    #[test]
+    fn cow_snapshot_survives_racing_writes() {
+        let mut s = AddressSpace::new();
+        s.map(0x1000, PAGE_SIZE * 4, "data").unwrap();
+        s.store_u64(0x1000, 0x11).unwrap();
+        s.store_u64(0x2000, 0x22).unwrap();
+        let frozen = s.clone();
+        s.cow_arm();
+        assert!(s.cow_armed());
+        // Overwrite an armed page, dirty a fresh one, and zero another.
+        s.store_u64(0x1000, 0x99).unwrap();
+        s.store_u64(0x3000, 0x33).unwrap();
+        s.store_u64(0x2000, 0).unwrap();
+        assert_snapshot_matches(&s, &frozen);
+        // Live reads still see the new values.
+        assert_eq!(s.load_u64(0x1000).unwrap(), 0x99);
+        // Only the two pre-existing pages forced a pre-image copy; the
+        // fresh page was demand-zero at arm.
+        assert_eq!(s.cow_copied_bytes(), 2 * PAGE_SIZE);
+        assert_eq!(s.cow_disarm(), 2 * PAGE_SIZE);
+        assert!(!s.cow_armed());
+    }
+
+    #[test]
+    fn cow_snapshot_survives_unmap_and_install() {
+        let mut s = AddressSpace::new();
+        s.map(0x1000, PAGE_SIZE, "a").unwrap();
+        s.map(0x5000, PAGE_SIZE, "b").unwrap();
+        s.store_u8(0x1000, 7).unwrap();
+        s.store_u8(0x5000, 8).unwrap();
+        let frozen = s.clone();
+        s.cow_arm();
+        // Unmap one armed area, remap it, and loader-install over the other.
+        s.unmap(0x1000);
+        s.map(0x1000, PAGE_SIZE, "a2").unwrap();
+        s.store_u8(0x1000, 42).unwrap();
+        s.install_page(0x5000, &[9, 9]);
+        assert_snapshot_matches(&s, &frozen);
+    }
+
+    #[test]
+    fn cow_pending_bytes_sizes_the_drain() {
+        let mut s = AddressSpace::new();
+        s.map(0x1000, PAGE_SIZE * 4, "data").unwrap();
+        s.store_u8(0x1000, 1).unwrap();
+        s.store_u8(0x2000, 2).unwrap();
+        s.clear_dirty();
+        s.store_u8(0x2000, 3).unwrap(); // dirty again
+        s.cow_arm();
+        s.store_u8(0x3000, 4).unwrap(); // post-arm: excluded everywhere
+        assert_eq!(s.cow_pending_bytes(false), 2 * PAGE_SIZE);
+        assert_eq!(s.cow_pending_bytes(true), PAGE_SIZE);
+        assert_eq!(
+            s.cow_snapshot_dirty_pages()
+                .iter()
+                .map(|(a, _)| *a)
+                .collect::<Vec<_>>(),
+            vec![0x2000]
+        );
+        assert_eq!(
+            s.cow_pending_bytes(false),
+            s.cow_snapshot_pages()
+                .iter()
+                .map(|(_, p)| p.len() as u64)
+                .sum::<u64>()
+        );
     }
 
     #[test]

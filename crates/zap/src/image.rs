@@ -693,6 +693,18 @@ impl PodImage {
         self.encode().len()
     }
 
+    /// Private-page payload bytes across all thread groups — the part of
+    /// the image a copy-on-write checkpoint defers to the background
+    /// drain; everything else ([`PodImage::encoded_len`] minus this) must
+    /// be serialized inside the freeze window.
+    pub fn page_payload_bytes(&self) -> u64 {
+        self.groups
+            .iter()
+            .flat_map(|g| g.pages.iter())
+            .map(|(_, data)| data.len() as u64)
+            .sum()
+    }
+
     /// Applies an incremental `delta` on top of this (full) image,
     /// producing the full image the delta represents: every small object
     /// (processes, sockets, pipes, semaphores, shared memory, identity)

@@ -27,5 +27,5 @@ pub mod pod;
 
 pub use image::{MacMode, PodImage};
 pub use interpose::ZapState;
-pub use manager::{Zap, ZapError};
+pub use manager::{ArmedPodCheckpoint, Zap, ZapError};
 pub use pod::{Pod, PodConfig, PodId, Vpid};

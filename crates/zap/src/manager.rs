@@ -283,7 +283,8 @@ impl Zap {
         pod: PodId,
         now: SimTime,
     ) -> Result<PodImage, ZapError> {
-        self.checkpoint_pod_opts(kernel, pod, now, None)
+        let (image, _) = self.capture_pod(kernel, pod, now, None, false)?;
+        Ok(image)
     }
 
     /// Like [`Zap::checkpoint_pod`], but when `base_epoch` is given the
@@ -304,16 +305,51 @@ impl Zap {
         now: SimTime,
         base_epoch: u64,
     ) -> Result<PodImage, ZapError> {
-        self.checkpoint_pod_opts(kernel, pod, now, Some(base_epoch))
+        let (image, _) = self.capture_pod(kernel, pod, now, Some(base_epoch), false)?;
+        Ok(image)
     }
 
-    fn checkpoint_pod_opts(
+    /// The **arm** half of a copy-on-write checkpoint: freezes the pod,
+    /// captures every piece of non-memory state (sockets, pipes, shared
+    /// memory, semaphores, descriptor tables, CPU state) and arms a COW
+    /// snapshot on each thread group's address space instead of copying
+    /// its pages. The freeze therefore costs O(non-memory state), not
+    /// O(image bytes). The pod is left stopped; resume it as soon as
+    /// coordination allows and call [`ArmedPodCheckpoint::drain`] any time
+    /// later — the drained image is byte-identical to an eager
+    /// [`Zap::checkpoint_pod`] taken at this instant, whatever the pod
+    /// wrote in between.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Zap::checkpoint_pod`].
+    pub fn checkpoint_pod_arm(
         &self,
         kernel: &mut Kernel,
         pod: PodId,
         now: SimTime,
         base_epoch: Option<u64>,
-    ) -> Result<PodImage, ZapError> {
+    ) -> Result<ArmedPodCheckpoint, ZapError> {
+        let (skeleton, spaces) = self.capture_pod(kernel, pod, now, base_epoch, true)?;
+        Ok(ArmedPodCheckpoint {
+            skeleton,
+            spaces,
+            incremental: base_epoch.is_some(),
+        })
+    }
+
+    /// Captures a pod. With `arm` false this is the eager §4.1 checkpoint;
+    /// with `arm` true the private pages are left to a COW drain and the
+    /// per-group address-space handles are returned alongside the page-less
+    /// skeleton image.
+    fn capture_pod(
+        &self,
+        kernel: &mut Kernel,
+        pod: PodId,
+        now: SimTime,
+        base_epoch: Option<u64>,
+        arm: bool,
+    ) -> Result<(PodImage, Vec<Rc<RefCell<AddressSpace>>>), ZapError> {
         self.stop_pod(kernel, pod, now)?;
         let st = self.state.borrow();
         let p = st.pods.get(&pod).ok_or(ZapError::NoSuchPod)?;
@@ -344,6 +380,7 @@ impl Zap {
 
         // Thread groups: unique address-space/fd-table pairs.
         let mut groups: Vec<GroupImage> = Vec::new();
+        let mut group_spaces: Vec<Rc<RefCell<AddressSpace>>> = Vec::new();
         let mut group_index_by_leader: BTreeMap<Pid, u32> = BTreeMap::new();
         let mut pipe_index: BTreeMap<PipeId, u32> = BTreeMap::new();
         let mut pipe_images: Vec<PipeImage> = Vec::new();
@@ -381,7 +418,12 @@ impl Zap {
                     shm_index,
                 });
             }
-            let pages: Vec<(u64, Vec<u8>)> = if base_epoch.is_some() {
+            let pages: Vec<(u64, Vec<u8>)> = if arm {
+                // COW: no page copied here — the snapshot (which records
+                // the dirty set for incremental drains) stands in for them.
+                mem.cow_arm();
+                Vec::new()
+            } else if base_epoch.is_some() {
                 mem.dirty_pages()
                     .map(|(addr, data)| (addr, data.to_vec()))
                     .collect()
@@ -393,6 +435,9 @@ impl Zap {
             // Either kind of checkpoint re-baselines the dirty set.
             mem.clear_dirty();
             drop(mem);
+            if arm {
+                group_spaces.push(mem_rc.clone());
+            }
 
             // Descriptor table.
             let fds_rc = proc.fds.clone();
@@ -500,19 +545,22 @@ impl Zap {
             });
         }
 
-        Ok(PodImage {
-            base_epoch,
-            name: p.cfg.name.clone(),
-            ip: p.cfg.ip,
-            mac_mode: p.cfg.mac_mode,
-            next_vpid: p.next_vpid,
-            shm: shm_images,
-            sems: sem_images,
-            pipes: pipe_images,
-            sockets: sock_images,
-            groups,
-            procs: proc_images,
-        })
+        Ok((
+            PodImage {
+                base_epoch,
+                name: p.cfg.name.clone(),
+                ip: p.cfg.ip,
+                mac_mode: p.cfg.mac_mode,
+                next_vpid: p.next_vpid,
+                shm: shm_images,
+                sems: sem_images,
+                pipes: pipe_images,
+                sockets: sock_images,
+                groups,
+                procs: proc_images,
+            },
+            group_spaces,
+        ))
     }
 
     /// Tears a pod down without running exit paths: sockets are silently
@@ -756,6 +804,81 @@ impl Zap {
             }
         }
         Ok(pod)
+    }
+}
+
+/// A pod checkpoint whose arm phase has completed: the non-memory state is
+/// captured in a page-less skeleton image, and every thread group's address
+/// space carries an armed COW snapshot standing in for its pages. Produced
+/// by [`Zap::checkpoint_pod_arm`]; finish with
+/// [`ArmedPodCheckpoint::drain`] or discard with
+/// [`ArmedPodCheckpoint::cancel`] (the abort path) — either way the
+/// snapshots are disarmed exactly once.
+#[derive(Debug)]
+pub struct ArmedPodCheckpoint {
+    /// Everything except private pages, captured at freeze time.
+    skeleton: PodImage,
+    /// Armed address spaces, aligned with `skeleton.groups`.
+    spaces: Vec<Rc<RefCell<AddressSpace>>>,
+    /// Whether the drain emits the dirty-at-arm page set (incremental).
+    incremental: bool,
+}
+
+impl ArmedPodCheckpoint {
+    /// The pod's name (image identity in the checkpoint store).
+    pub fn pod_name(&self) -> &str {
+        &self.skeleton.name
+    }
+
+    /// Bytes the freeze window had to serialize: the encoded non-memory
+    /// state. This — not the image size — is what the arm phase costs.
+    pub fn arm_bytes(&self) -> u64 {
+        self.skeleton.encoded_len() as u64
+    }
+
+    /// Page payload bytes the drain will emit, computable at arm time
+    /// without copying anything (the COW snapshot pins the page set): what
+    /// the background encode/write-out schedule is planned from.
+    pub fn pending_page_bytes(&self) -> u64 {
+        self.spaces
+            .iter()
+            .map(|s| s.borrow().cow_pending_bytes(self.incremental))
+            .sum()
+    }
+
+    /// Pre-image copy bytes forced so far by post-resume writes.
+    pub fn copied_bytes(&self) -> u64 {
+        self.spaces
+            .iter()
+            .map(|s| s.borrow().cow_copied_bytes())
+            .sum()
+    }
+
+    /// The **drain** half: reconstructs each group's pages as of the arm
+    /// instant from the COW snapshots, disarms them, and returns the
+    /// completed image plus the pre-image copy bytes the snapshot window
+    /// cost. Byte-identical to an eager checkpoint taken at arm time.
+    pub fn drain(self) -> (PodImage, u64) {
+        let mut image = self.skeleton;
+        let mut copied = 0;
+        for (group, space) in image.groups.iter_mut().zip(&self.spaces) {
+            let mut mem = space.borrow_mut();
+            group.pages = if self.incremental {
+                mem.cow_snapshot_dirty_pages()
+            } else {
+                mem.cow_snapshot_pages()
+            };
+            copied += mem.cow_disarm();
+        }
+        (image, copied)
+    }
+
+    /// Abandons the checkpoint (abort path): disarms every snapshot
+    /// without materializing any page.
+    pub fn cancel(self) {
+        for space in &self.spaces {
+            space.borrow_mut().cow_disarm();
+        }
     }
 }
 

@@ -3,7 +3,7 @@
 
 use des::{SimDuration, SimTime};
 use simcpu::asm::Asm;
-use simcpu::isa::{R1, R2, R3, R6, R7, R8, R9};
+use simcpu::isa::{R1, R10, R2, R3, R6, R7, R8, R9};
 use simnet::addr::{IpAddr, MacAddr};
 use simnet::tcp::TcpConfig;
 use simnet::NetStack;
@@ -1005,4 +1005,120 @@ fn forked_processes_in_a_pod_checkpoint_as_separate_groups() {
     }));
     // child vpid = 2 → 200; child exit = its view (8); parent cell = 5.
     assert_eq!(zombie_code(&k2, &z2, pod2, vpid), Some(213));
+}
+
+/// A program that sums 1..=n while scribbling its accumulator through a data
+/// buffer, dirtying a fresh cache line (and eventually fresh pages) every
+/// iteration — a worst case for post-arm copy-on-write traffic.
+fn scribbling_program(n: i64) -> Program {
+    const BUF_BYTES: i64 = 0x1_0000; // 16 pages of writable scratch
+    let mut a = Asm::new(CODE_BASE);
+    a.movi(R6, 0); // acc
+    a.movi(R7, 1); // i
+    a.movi(R8, n);
+    a.movi(R9, DATA_BASE as i64); // write cursor
+    a.movi(R10, DATA_BASE as i64 + BUF_BYTES); // cursor limit
+    let top = a.label();
+    let no_wrap = a.label();
+    let done = a.label();
+    a.bind(top);
+    a.add(R6, R6, R7);
+    a.st(R9, R6, 0);
+    a.addi(R9, R9, 64);
+    a.cmp_lt_jump(R9, R10, no_wrap);
+    a.movi(R9, DATA_BASE as i64);
+    a.bind(no_wrap);
+    a.addi(R7, R7, 1);
+    a.cmp_gt_jump(R7, R8, done);
+    a.jmp(top);
+    a.bind(done);
+    a.mov(R1, R6);
+    a.sys(nr::EXIT);
+    Program::from_asm(&a)
+        .unwrap()
+        .with_data(DATA_BASE, vec![0u8; BUF_BYTES as usize])
+}
+
+#[test]
+fn cow_arm_drain_matches_eager_capture() {
+    // Twin deterministic kernels reach the identical instant; node 1 takes a
+    // stop-the-world checkpoint, node 2 arms a COW snapshot, resumes, keeps
+    // computing (overwriting armed pages), and only then drains. The drained
+    // image must be byte-identical to the eager one.
+    let fs = NetFs::new();
+    let (mut k1, z1) = node(1, 1, &fs);
+    let (mut k2, z2) = node(2, 2, &fs);
+    let pod1 = z1.create_pod(&mut k1, pod_cfg("job", 50)).unwrap();
+    let pod2 = z2.create_pod(&mut k2, pod_cfg("job", 50)).unwrap();
+    let n = 100_000i64;
+    let vpid1 = z1
+        .spawn_in_pod(&mut k1, pod1, &scribbling_program(n))
+        .unwrap();
+    let vpid2 = z2
+        .spawn_in_pod(&mut k2, pod2, &scribbling_program(n))
+        .unwrap();
+    assert_eq!(vpid1, vpid2);
+
+    let mut now1 = SimTime::ZERO;
+    let mut now2 = SimTime::ZERO;
+    for _ in 0..3 {
+        now1 += k1.run_slice(now1).elapsed;
+        now2 += k2.run_slice(now2).elapsed;
+    }
+    assert_eq!(now1, now2, "twin kernels diverged before capture");
+
+    let eager = z1.checkpoint_pod(&mut k1, pod1, now1).unwrap();
+    let armed = z2.checkpoint_pod_arm(&mut k2, pod2, now2, None).unwrap();
+
+    // The arm phase hands back only the image skeleton: far smaller than the
+    // full image, with the page payload still pending.
+    assert!(armed.arm_bytes() < eager.encoded_len() as u64 / 4);
+    assert!(armed.pending_page_bytes() >= eager.page_payload_bytes());
+    assert_eq!(armed.copied_bytes(), 0, "no writes raced yet");
+
+    // Resume the armed pod and let the guest scribble over snapshot pages.
+    z2.resume_pod(&mut k2, pod2, now2).unwrap();
+    for _ in 0..5 {
+        now2 += k2.run_slice(now2).elapsed;
+    }
+
+    let (drained, copied) = armed.drain();
+    assert!(
+        copied > 0,
+        "racing guest writes must force pre-image copies"
+    );
+    assert_eq!(
+        drained.encode(),
+        eager.encode(),
+        "drained COW image differs from the stop-the-world capture"
+    );
+
+    // The armed pod is unharmed by the drain: it still finishes the job.
+    assert!(run_until(&mut k2, &mut now2, 2_000_000, |k| {
+        zombie_code(k, &z2, pod2, vpid2).is_some()
+    }));
+    let expected = (n as u64) * (n as u64 + 1) / 2;
+    assert_eq!(zombie_code(&k2, &z2, pod2, vpid2), Some(expected));
+}
+
+#[test]
+fn cow_arm_cancel_leaves_pod_running() {
+    let fs = NetFs::new();
+    let (mut k, z) = node(1, 1, &fs);
+    let pod = z.create_pod(&mut k, pod_cfg("job", 50)).unwrap();
+    let n = 50_000i64;
+    let vpid = z.spawn_in_pod(&mut k, pod, &scribbling_program(n)).unwrap();
+    let mut now = SimTime::ZERO;
+    for _ in 0..3 {
+        now += k.run_slice(now).elapsed;
+    }
+    let armed = z.checkpoint_pod_arm(&mut k, pod, now, None).unwrap();
+    z.resume_pod(&mut k, pod, now).unwrap();
+    now += k.run_slice(now).elapsed;
+    armed.cancel();
+    assert!(run_until(&mut k, &mut now, 2_000_000, |k| {
+        zombie_code(k, &z, pod, vpid).is_some()
+    }));
+    let expected = (n as u64) * (n as u64 + 1) / 2;
+    assert_eq!(zombie_code(&k, &z, pod, vpid), Some(expected));
 }

@@ -9,7 +9,7 @@
 //! breaks — `RandomState` reseeds per process, so iteration order (and
 //! everything downstream of it) diverges between runs.
 
-use cruz_repro::cluster::{ClusterParams, JobSpec, PodSpec, StoreConfig, World};
+use cruz_repro::cluster::{CkptCaptureMode, ClusterParams, JobSpec, PodSpec, StoreConfig, World};
 use cruz_repro::cruz::proto::ProtocolMode;
 use cruz_repro::des::SimDuration;
 use cruz_repro::simnet::addr::{IpAddr, MacAddr};
@@ -61,14 +61,15 @@ fn run_scenario(seed: u64) -> RunOutcome {
 }
 
 fn run_scenario_with(seed: u64, store: StoreConfig) -> RunOutcome {
-    let mut w = World::new(
-        5,
-        ClusterParams {
-            seed,
-            store,
-            ..ClusterParams::default()
-        },
-    );
+    run_scenario_params(ClusterParams {
+        seed,
+        store,
+        ..ClusterParams::default()
+    })
+}
+
+fn run_scenario_params(params: ClusterParams) -> RunOutcome {
+    let mut w = World::new(5, params);
     w.launch_job(&pingpong_spec(200)).expect("job launches");
     w.run_for(SimDuration::from_millis(2));
 
@@ -150,6 +151,22 @@ fn assert_outcomes_identical(a: &RunOutcome, b: &RunOutcome) {
 fn same_seed_same_trace_and_byte_identical_images() {
     let a = run_scenario(0xC0FFEE);
     let b = run_scenario(0xC0FFEE);
+    assert_outcomes_identical(&a, &b);
+}
+
+#[test]
+fn cow_capture_runs_are_deterministic() {
+    // COW capture adds a whole new event flow — snapshot arming, the
+    // deferred CkptDrain materialization, retroactive disk batches and
+    // pre-image copies taken by resumed guests — all of which must replay
+    // identically under the same seed.
+    let params = |seed| ClusterParams {
+        seed,
+        capture: CkptCaptureMode::Cow,
+        ..ClusterParams::default()
+    };
+    let a = run_scenario_params(params(0xC0FFEE));
+    let b = run_scenario_params(params(0xC0FFEE));
     assert_outcomes_identical(&a, &b);
 }
 
