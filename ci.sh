@@ -7,8 +7,10 @@
 #   4. tests            — every suite, including the same-seed
 #                         byte-identical-images regression test
 #   5. bench smoke      — `--quick` runs of the store-ablation,
-#                         Fig 5(a) and COW-downtime binaries (their
-#                         asserts are the check)
+#                         Fig 5(a), COW-downtime and recovery binaries
+#                         (their asserts are the check)
+#   6. chaos smoke      — replays three pinned fault-plan seeds and
+#                         demands byte-identical event traces
 #
 # Everything runs offline: the only dependencies are the vendored stubs
 # under vendor/ (see DESIGN.md, "Offline builds").
@@ -39,5 +41,9 @@ echo "== bench smoke (--quick)"
 cargo run --offline -q --release -p bench --bin store_dedup -- --quick
 cargo run --offline -q --release -p bench --bin fig5a -- --quick
 cargo run --offline -q --release -p bench --bin cow_downtime -- --quick
+cargo run --offline -q --release -p bench --bin recovery -- --quick
+
+echo "== chaos smoke (pinned fault-plan replay)"
+cargo run --offline -q --release -p bench --bin chaos
 
 echo "ci: all green"

@@ -1,0 +1,38 @@
+//! CI chaos smoke: replay pinned fault-plan seeds and demand byte-identical
+//! event traces.
+//!
+//! Each pinned `(world_seed, plan_seed)` pair drives the full chaos
+//! scenario twice — clean baseline checkpoint, a random [`FaultPlan`]
+//! round-tripped through its wire encoding, periodic checkpoints under
+//! crashes/disk faults/frame faults — and the two runs must produce the
+//! same trace digest and event count. The underlying harness additionally
+//! asserts the world quiesces and the chunk pool leaks no orphans.
+//!
+//! [`FaultPlan`]: cluster::FaultPlan
+
+use bench::recovery::replay_fingerprints;
+
+const PINNED: [(u64, u64); 3] = [(1, 7), (2, 19), (9, 104)];
+
+fn main() {
+    println!(
+        "# chaos replay smoke: {} pinned fault-plan seeds",
+        PINNED.len()
+    );
+    println!(
+        "{:>11} {:>10} {:>20} {:>12}",
+        "world_seed", "plan_seed", "trace_digest", "events"
+    );
+    for (world_seed, plan_seed) in PINNED {
+        let (a, b) = replay_fingerprints(world_seed, plan_seed);
+        assert_eq!(
+            a, b,
+            "replay of plan seed {plan_seed} (world {world_seed}) diverged"
+        );
+        println!(
+            "{:>11} {:>10} {:>#20x} {:>12}",
+            world_seed, plan_seed, a.0, a.1
+        );
+    }
+    println!("# all pinned plans replay byte-for-byte");
+}

@@ -15,9 +15,11 @@ pub mod dedup;
 pub mod fig5;
 pub mod fig6;
 pub mod overhead;
+pub mod recovery;
 pub mod util;
 
 pub use cow::{run_cow_sweep, run_cow_variant, CowRow};
 pub use dedup::{run_dedup_sweep, run_dedup_variant, DedupRow};
 pub use fig5::{fig5_params, run_fig5, run_restart_sweep, Fig5Point};
 pub use fig6::{run_fig6, Fig6Sample};
+pub use recovery::{replay_fingerprints, run_recovery_point, run_recovery_sweep, RecoveryRow};

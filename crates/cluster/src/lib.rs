@@ -6,22 +6,30 @@
 //! * [`params`] — cluster-wide timing parameters, calibrated to the paper's
 //!   gigabit-Ethernet / 1 GHz-node / 2005-disk testbed;
 //! * [`jobs`] — job specifications and pod placement (the LSF analogue);
+//! * [`fault`] — seeded, replayable fault plans (protocol-point crashes,
+//!   disk-write faults, control-frame drop/duplicate/reorder);
+//! * [`recovery`] — recovery reports emitted by the self-healing manager;
 //! * [`world`] — [`world::World`]: the event loop hosting every node's
 //!   kernel, the learning switch with per-link bandwidth/latency, the Cruz
 //!   coordinator/agent control plane riding real UDP datagrams, coordinated
 //!   checkpoint/restart execution with disk-timed image I/O, single-pod live
-//!   migration, node-crash fault injection and frame-loss injection.
+//!   migration, heartbeat failure detection with automatic restart from the
+//!   last committed epoch, and deterministic fault injection.
 //!
 //! Benchmarks and examples drive a `World`; everything they measure emerges
 //! from the simulated components rather than from hard-coded results.
 
 #![warn(missing_docs)]
 
+pub mod fault;
 pub mod jobs;
 pub mod params;
+pub mod recovery;
 pub mod world;
 
 pub use cruz::store::StoreConfig;
+pub use fault::{CrashFault, DiskFault, FaultPlan, ProtocolPoint};
 pub use jobs::{JobRuntime, JobSpec, PodPlacement, PodSpec};
-pub use params::{CkptCaptureMode, ClusterParams};
+pub use params::{CkptCaptureMode, ClusterParams, RecoveryParams, RetryPolicy, SparePolicy};
+pub use recovery::{RecoveryCause, RecoveryOutcome, RecoveryReport};
 pub use world::{ClusterError, Node, OpReport, World};

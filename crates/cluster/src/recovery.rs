@@ -1,0 +1,118 @@
+//! Recovery reports: what the self-healing manager detected and did.
+//!
+//! Every automatic recovery pass produces one [`RecoveryReport`] recording
+//! detection, rollback and restart timing, so benchmarks can compute
+//! detection latency and MTTR directly from the world instead of
+//! re-deriving them from traces.
+
+use des::{SimDuration, SimTime};
+
+/// What triggered a recovery pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecoveryCause {
+    /// One or more pinged agent nodes missed the heartbeat deadline.
+    HeartbeatTimeout,
+    /// The job's coordinator node itself was found dead and the control
+    /// plane was re-homed.
+    CoordinatorFailover,
+}
+
+/// Terminal (or in-flight) status of a recovery pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecoveryOutcome {
+    /// The restart operation is still running.
+    InProgress,
+    /// The job was restarted from the rollback epoch and completed the
+    /// restore protocol.
+    Recovered,
+    /// The restart operation aborted or could not be installed; a later
+    /// heartbeat round may retry.
+    Failed,
+    /// No committed epoch (or no eligible spare, or the per-job recovery
+    /// budget is exhausted) — the manager gave up on this job.
+    Unrecoverable,
+}
+
+/// One automatic recovery pass, from detection to restart completion.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecoveryReport {
+    /// Job the pass acted on.
+    pub job: String,
+    /// What triggered the pass.
+    pub cause: RecoveryCause,
+    /// Nodes declared dead (missed heartbeats — includes fenced false
+    /// positives whose pongs were lost).
+    pub dead_nodes: Vec<usize>,
+    /// When the first of the dead nodes actually crashed, if the world saw
+    /// the crash happen (`None` for fenced-but-alive nodes).
+    pub crashed_at: Option<SimTime>,
+    /// When the unanswered heartbeat round was sent.
+    pub ping_sent_at: SimTime,
+    /// When the manager declared the nodes dead.
+    pub detected_at: SimTime,
+    /// In-flight operations force-aborted by the pass.
+    pub aborted_ops: Vec<u64>,
+    /// Committed epoch the job was rolled back to (`None` if none existed).
+    pub rollback_epoch: Option<u64>,
+    /// Restart operation id, when one was installed.
+    pub restart_op: Option<u64>,
+    /// When the restart operation completed (pods running again).
+    pub recovered_at: Option<SimTime>,
+    /// Status of the pass.
+    pub outcome: RecoveryOutcome,
+}
+
+impl RecoveryReport {
+    /// Crash-to-detection latency. Falls back to the ping send time when
+    /// the crash instant is unknown (fenced false positives).
+    pub fn detection_latency(&self) -> SimDuration {
+        self.detected_at
+            .saturating_duration_since(self.crashed_at.unwrap_or(self.ping_sent_at))
+    }
+
+    /// Mean-time-to-repair for this pass: crash (or detection, when the
+    /// crash instant is unknown) to restart completion. `None` until the
+    /// restart finishes.
+    pub fn mttr(&self) -> Option<SimDuration> {
+        let end = self.recovered_at?;
+        Some(end.saturating_duration_since(self.crashed_at.unwrap_or(self.detected_at)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> RecoveryReport {
+        RecoveryReport {
+            job: "j".into(),
+            cause: RecoveryCause::HeartbeatTimeout,
+            dead_nodes: vec![1],
+            crashed_at: Some(SimTime::ZERO + SimDuration::from_millis(10)),
+            ping_sent_at: SimTime::ZERO + SimDuration::from_millis(25),
+            detected_at: SimTime::ZERO + SimDuration::from_millis(35),
+            aborted_ops: vec![3],
+            rollback_epoch: Some(2),
+            restart_op: Some(4),
+            recovered_at: Some(SimTime::ZERO + SimDuration::from_millis(90)),
+            outcome: RecoveryOutcome::Recovered,
+        }
+    }
+
+    #[test]
+    fn latency_and_mttr_measure_from_the_crash() {
+        let r = report();
+        assert_eq!(r.detection_latency(), SimDuration::from_millis(25));
+        assert_eq!(r.mttr(), Some(SimDuration::from_millis(80)));
+    }
+
+    #[test]
+    fn unknown_crash_instant_falls_back_gracefully() {
+        let mut r = report();
+        r.crashed_at = None;
+        assert_eq!(r.detection_latency(), SimDuration::from_millis(10));
+        assert_eq!(r.mttr(), Some(SimDuration::from_millis(55)));
+        r.recovered_at = None;
+        assert_eq!(r.mttr(), None);
+    }
+}

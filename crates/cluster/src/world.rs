@@ -7,11 +7,12 @@ use std::fmt;
 use bytes::Bytes;
 use des::{EventQueue, SimDuration, SimRng, SimTime};
 use simnet::addr::{IpAddr, MacAddr, SockAddr};
+use simnet::fault::FrameFate;
 use simnet::link::LinkState;
 use simnet::stack::SocketId;
 use simnet::switch::{PortId, Switch};
 use simnet::{EthFrame, NetStack};
-use simos::disk::Disk;
+use simos::disk::{Disk, WriteFault};
 use simos::fs::NetFs;
 use simos::kernel::Kernel;
 use simos::proc::ProcState;
@@ -25,8 +26,10 @@ use cruz::error::CruzError;
 use cruz::proto::{CtlMsg, OpKind, ProtocolMode, AGENT_PORT};
 use cruz::store::{CheckpointStore, PreparedPut};
 
+use crate::fault::{FaultPlan, ProtocolPoint};
 use crate::jobs::{JobRuntime, JobSpec, PodPlacement};
-use crate::params::{CkptCaptureMode, ClusterParams};
+use crate::params::{CkptCaptureMode, ClusterParams, SparePolicy};
+use crate::recovery::{RecoveryCause, RecoveryOutcome, RecoveryReport};
 
 /// Cluster-level errors.
 #[derive(Debug)]
@@ -140,6 +143,24 @@ enum Event {
     },
     CoordRetry {
         op: u64,
+        attempt: u32,
+    },
+    /// One heartbeat round for a job: ping every app node, arm the timeout.
+    Heartbeat {
+        job: String,
+    },
+    /// The deadline of one heartbeat round: any pinged node that has not
+    /// ponged since `sent_at` is declared dead.
+    HeartbeatTimeout {
+        job: String,
+        sent_at: SimTime,
+        pinged: Vec<usize>,
+    },
+    /// A duplicated or reordered frame copy re-entering a node's NIC; never
+    /// re-rolled against the fault plan (one fate per original frame).
+    FrameAtNodeInjected {
+        port: usize,
+        frame: EthFrame,
     },
     PeriodicCkpt {
         job: String,
@@ -264,6 +285,24 @@ impl OpReport {
     }
 }
 
+/// Per-job heartbeat bookkeeping (socket on the coordinator node, ping
+/// sequence, last pong time per node).
+struct HeartbeatState {
+    sock: SocketId,
+    seq: u64,
+    last_pong: BTreeMap<usize, SimTime>,
+}
+
+/// An installed fault plan plus its dedicated RNG stream and per-point hit
+/// counters. A separate stream means arming faults never perturbs the
+/// world's own RNG, so a faulted run and a clean run share every decision
+/// up to the first injected fault.
+struct FaultState {
+    plan: FaultPlan,
+    rng: SimRng,
+    crash_hits: BTreeMap<(usize, u8), u32>,
+}
+
 /// The simulated cluster world.
 pub struct World {
     /// Current simulated time.
@@ -291,6 +330,20 @@ pub struct World {
     /// with the same seed must end with the same digest; a divergence
     /// pinpoints the first source of nondeterminism.
     trace_digest: u64,
+    /// Per-job heartbeat state (present only while recovery watches a job).
+    hb: BTreeMap<String, HeartbeatState>,
+    /// The installed fault plan, if any.
+    fault: Option<FaultState>,
+    /// Every recovery pass the self-healing manager has run.
+    recovery_reports: Vec<RecoveryReport>,
+    /// Restart op → index into `recovery_reports`, stamped on completion.
+    pending_recovery: BTreeMap<u64, usize>,
+    /// Automatic recoveries performed per job (bounded by
+    /// `RecoveryParams::max_recoveries`).
+    recoveries: BTreeMap<String, u32>,
+    /// Every node crash the world has seen: (node, time). Lets recovery
+    /// reports measure detection latency from the true crash instant.
+    crash_log: Vec<(usize, SimTime)>,
 }
 
 /// FNV-1a offset basis / prime (64-bit).
@@ -372,6 +425,12 @@ impl World {
             next_op: 1,
             events_processed: 0,
             trace_digest: FNV_OFFSET,
+            hb: BTreeMap::new(),
+            fault: None,
+            recovery_reports: Vec::new(),
+            pending_recovery: BTreeMap::new(),
+            recoveries: BTreeMap::new(),
+            crash_log: Vec::new(),
         }
     }
 
@@ -437,12 +496,69 @@ impl World {
 
     /// Marks a node dead: it stops processing events (fail-stop crash).
     pub fn crash_node(&mut self, n: usize) {
-        self.nodes[n].alive = false;
+        if self.nodes[n].alive {
+            self.nodes[n].alive = false;
+            self.crash_log.push((n, self.now));
+        }
+    }
+
+    /// Whether a node is alive (false for out-of-range indices).
+    pub fn node_alive(&self, n: usize) -> bool {
+        self.nodes.get(n).map(|x| x.alive).unwrap_or(false)
     }
 
     /// Sets the per-frame loss probability (fault injection).
     pub fn set_frame_loss(&mut self, p: f64) {
         self.params.frame_loss = p;
+    }
+
+    /// Installs a fault plan: disk faults are armed on their nodes now;
+    /// crash and frame faults strike as the run reaches them. The plan's
+    /// own seed drives a dedicated RNG stream, so the same plan against the
+    /// same world seed replays the identical trace.
+    pub fn install_fault_plan(&mut self, plan: &FaultPlan) {
+        for d in &plan.disk {
+            if let Some(node) = self.nodes.get_mut(d.node) {
+                node.kernel.disk.inject_write_fault(d.nth_write, d.fault);
+            }
+        }
+        self.fault = Some(FaultState {
+            plan: plan.clone(),
+            rng: SimRng::from_seed(plan.seed),
+            crash_hits: BTreeMap::new(),
+        });
+    }
+
+    /// The installed fault plan, if any.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.fault.as_ref().map(|f| &f.plan)
+    }
+
+    /// Every recovery pass the self-healing manager has run so far.
+    pub fn recovery_reports(&self) -> &[RecoveryReport] {
+        &self.recovery_reports
+    }
+
+    /// Crashes the plan says should fire at `point` on `node`: counts the
+    /// occurrence and kills the node when a [`crate::fault::CrashFault`]
+    /// names it. Returns true when the node just died.
+    fn maybe_crash(&mut self, node: usize, point: ProtocolPoint) -> bool {
+        let fire = match self.fault.as_mut() {
+            Some(f) => {
+                let hits = f.crash_hits.entry((node, point as u8)).or_insert(0);
+                let nth = *hits;
+                *hits += 1;
+                f.plan
+                    .crashes
+                    .iter()
+                    .any(|c| c.node == node && c.point == point && c.nth == nth)
+            }
+            None => false,
+        };
+        if fire {
+            self.crash_node(node);
+        }
+        fire
     }
 
     // ---- job management --------------------------------------------------
@@ -495,6 +611,45 @@ impl World {
         for pod in &spec.pods {
             self.postprocess(pod.node);
         }
+        if self.params.recovery.enabled {
+            self.enable_recovery(&spec.name)?;
+        }
+        Ok(())
+    }
+
+    /// Puts a job under the self-healing recovery manager: the coordinator
+    /// node pings every app node each heartbeat interval; nodes that miss
+    /// the deadline are declared dead, in-flight operations are aborted,
+    /// uncommitted epochs discarded, and the job restarts from its last
+    /// committed epoch on spare nodes. Jobs launched while
+    /// `params.recovery.enabled` is set are enrolled automatically.
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::NoSuchJob`]; socket-exhaustion protocol errors.
+    pub fn enable_recovery(&mut self, job: &str) -> Result<(), ClusterError> {
+        let Some(jr) = self.jobs.get(job) else {
+            return Err(ClusterError::NoSuchJob);
+        };
+        if self.hb.contains_key(job) {
+            return Ok(());
+        }
+        let coord_node = jr.coordinator_node;
+        let sock = self.bind_ctl_sock(coord_node)?;
+        self.hb.insert(
+            job.to_owned(),
+            HeartbeatState {
+                sock,
+                seq: 0,
+                last_pong: BTreeMap::new(),
+            },
+        );
+        self.queue.push(
+            self.now + self.params.recovery.heartbeat_interval,
+            Event::Heartbeat {
+                job: job.to_owned(),
+            },
+        );
         Ok(())
     }
 
@@ -623,7 +778,16 @@ impl World {
             op,
             (0..agents_nodes.len()).collect(),
         );
-        if let Some(t) = opts.timeout {
+        // With recovery on, every operation gets a failure-detection
+        // timeout even if the caller set none: a crashed participant must
+        // abort the op, not hang it forever.
+        let timeout = opts.timeout.or_else(|| {
+            self.params
+                .recovery
+                .enabled
+                .then_some(self.params.recovery.op_timeout)
+        });
+        if let Some(t) = timeout {
             coord = coord.with_timeout(t);
         }
         // COW capture needs the §5.2 message flow: `done` at arm-complete
@@ -701,12 +865,15 @@ impl World {
         let coord_node = jr.coordinator_node;
         let op = self.next_op;
         self.next_op += 1;
-        let coord = Coordinator::new(
+        let mut coord = Coordinator::new(
             OpKind::Restart,
             ProtocolMode::Blocking,
             op,
             (0..agents_nodes.len()).collect(),
         );
+        if self.params.recovery.enabled {
+            coord = coord.with_timeout(self.params.recovery.op_timeout);
+        }
         let _ = mode; // restart always blocks until every node restored
         self.install_op(
             op,
@@ -757,14 +924,7 @@ impl World {
         incremental_base: Option<u64>,
         capture: CkptCaptureMode,
     ) -> Result<(), ClusterError> {
-        let coord_sock = {
-            let k = &mut self.nodes[coord_node].kernel;
-            let s = k.net.udp_socket();
-            k.net
-                .bind(s, SockAddr::new(Self::node_ip_static(coord_node), 0))
-                .map_err(CruzError::ControlSocket)?;
-            s
-        };
+        let coord_sock = self.bind_ctl_sock(coord_node)?;
         let (msgs, _) = coord.start(self.now);
         let deadline = coord.deadline();
         let cow = coord.cow();
@@ -796,10 +956,23 @@ impl World {
         if let Some(d) = deadline {
             self.queue.push(d, Event::CoordTimeout { op });
         }
-        if let Some(r) = self.params.ctl_retry {
-            self.queue.push(self.now + r, Event::CoordRetry { op });
+        if let Some(p) = self.params.ctl_retry {
+            if let Some(d) = p.delay(0) {
+                self.queue
+                    .push(self.now + d, Event::CoordRetry { op, attempt: 0 });
+            }
         }
         Ok(())
+    }
+
+    /// Binds an ephemeral control-plane UDP socket on a node.
+    fn bind_ctl_sock(&mut self, node: usize) -> Result<SocketId, ClusterError> {
+        let k = &mut self.nodes[node].kernel;
+        let s = k.net.udp_socket();
+        k.net
+            .bind(s, SockAddr::new(Self::node_ip_static(node), 0))
+            .map_err(CruzError::ControlSocket)?;
+        Ok(s)
     }
 
     /// Reserves one message-processing slot on a node's control-plane CPU,
@@ -857,16 +1030,56 @@ impl World {
     }
 
     /// Force-aborts an operation on a control-plane failure: the op is
-    /// marked aborted, the error recorded, and the cluster keeps running.
-    /// One corrupt image or refused Zap action kills one operation, not
-    /// the whole world.
+    /// marked aborted, the error recorded, abort messages broadcast to
+    /// every participant (so frozen pods resume rather than hang), and the
+    /// epoch's partial images discarded. One corrupt image or refused Zap
+    /// action kills one operation, not the whole world.
     fn fail_op(&mut self, op: u64, err: CruzError) {
-        if let Some(o) = self.ops.get_mut(&op) {
-            if !o.aborted && !o.complete {
-                o.aborted = true;
-            }
+        let msgs = {
+            let Some(o) = self.ops.get_mut(&op) else {
+                return;
+            };
             if o.error.is_none() {
                 o.error = Some(err);
+            }
+            if o.complete || o.aborted {
+                return;
+            }
+            o.aborted = true;
+            o.coord.force_abort().0
+        };
+        self.schedule_coord_sends(op, msgs);
+        self.op_aborted_cleanup(op);
+    }
+
+    /// Post-abort bookkeeping shared by every abort path: a checkpoint's
+    /// uncommitted epoch is discarded and any chunks stranded by a torn or
+    /// interrupted write are reclaimed; a pending recovery pass waiting on
+    /// this op is marked failed.
+    fn op_aborted_cleanup(&mut self, op: u64) {
+        if let Some(o) = self.ops.get(&op) {
+            if o.kind == OpKind::Checkpoint {
+                let store = self.store(&o.job.clone());
+                store.discard_epoch(o.image_epoch);
+                store.gc_orphan_chunks();
+            }
+        }
+        if let Some(idx) = self.pending_recovery.remove(&op) {
+            if let Some(r) = self.recovery_reports.get_mut(idx) {
+                if r.outcome == RecoveryOutcome::InProgress {
+                    r.outcome = RecoveryOutcome::Failed;
+                }
+            }
+        }
+    }
+
+    /// Stamps a recovery pass whose restart operation just completed.
+    fn op_completed(&mut self, op: u64) {
+        let now = self.now;
+        if let Some(idx) = self.pending_recovery.remove(&op) {
+            if let Some(r) = self.recovery_reports.get_mut(idx) {
+                r.recovered_at = Some(now);
+                r.outcome = RecoveryOutcome::Recovered;
             }
         }
     }
@@ -969,6 +1182,25 @@ impl World {
             .kernel
             .disk
             .submit_write(self.now + t_extract, bytes);
+        if self.nodes[src].kernel.disk.take_write_fault().is_some() {
+            // The spool write failed or tore: the transfer never reaches the
+            // destination and the pod (already torn down at the source) is
+            // lost. The job manager sees a migration failure; with recovery
+            // enabled the heartbeat plane restarts the job from its last
+            // committed epoch.
+            if let Some(jr) = self.jobs.get_mut(job) {
+                if let Some(p) = jr.placement_mut(pod) {
+                    p.pod_id = None;
+                }
+            }
+            self.migration_failures.push((
+                job.to_string(),
+                pod.to_string(),
+                CruzError::Protocol("injected disk fault tore the migration spool"),
+            ));
+            self.postprocess(src);
+            return Ok(());
+        }
         let r = self.nodes[dst].kernel.disk.submit_read(w, bytes);
         self.queue.push(
             r,
@@ -1021,7 +1253,28 @@ impl World {
             Event::CoordCtl { op, from, msg } => fnv_fold(mix(8, *op, *from as u64), msg.epoch()),
             Event::CoordSend { op, to, msg } => fnv_fold(mix(9, *op, *to as u64), msg.epoch()),
             Event::CoordTimeout { op } => mix(10, *op, 0),
-            Event::CoordRetry { op } => mix(11, *op, 0),
+            Event::CoordRetry { op, attempt } => mix(11, *op, *attempt as u64),
+            Event::Heartbeat { job } => {
+                let mut h = mix(15, 0, 0);
+                for b in job.bytes() {
+                    h = fnv_fold(h, b as u64);
+                }
+                h
+            }
+            Event::HeartbeatTimeout {
+                job,
+                sent_at,
+                pinged,
+            } => {
+                let mut h = mix(16, sent_at.as_nanos(), pinged.len() as u64);
+                for b in job.bytes() {
+                    h = fnv_fold(h, b as u64);
+                }
+                h
+            }
+            Event::FrameAtNodeInjected { port, frame } => {
+                mix(17, *port as u64, frame.wire_len() as u64)
+            }
             Event::PeriodicCkpt { job, interval, .. } => {
                 let mut h = mix(12, interval.as_nanos(), 0);
                 for b in job.bytes() {
@@ -1100,7 +1353,14 @@ impl World {
             Event::CoordCtl { op, from, msg } => self.on_coord_ctl(op, from, msg),
             Event::CoordSend { op, to, msg } => self.on_coord_send(op, to, msg),
             Event::CoordTimeout { op } => self.on_coord_timeout(op),
-            Event::CoordRetry { op } => self.on_coord_retry(op),
+            Event::CoordRetry { op, attempt } => self.on_coord_retry(op, attempt),
+            Event::Heartbeat { job } => self.on_heartbeat(&job),
+            Event::HeartbeatTimeout {
+                job,
+                sent_at,
+                pinged,
+            } => self.on_heartbeat_timeout(&job, sent_at, pinged),
+            Event::FrameAtNodeInjected { port, frame } => self.on_frame_injected(port, frame),
             Event::PeriodicCkpt {
                 job,
                 interval,
@@ -1163,12 +1423,69 @@ impl World {
         if self.params.frame_loss > 0.0 && self.rng.chance(self.params.frame_loss) {
             return;
         }
+        if let Some(f) = self.fault.as_mut() {
+            if !f.plan.frames.is_none() {
+                match f.plan.frames.decide(&mut f.rng) {
+                    FrameFate::Deliver => {}
+                    FrameFate::Drop => return,
+                    FrameFate::Duplicate { delay } => {
+                        self.queue.push(
+                            self.now + delay,
+                            Event::FrameAtNodeInjected {
+                                port,
+                                frame: frame.clone(),
+                            },
+                        );
+                    }
+                    FrameFate::Reorder { delay } => {
+                        // Held back: later frames overtake it on the wire.
+                        self.queue
+                            .push(self.now + delay, Event::FrameAtNodeInjected { port, frame });
+                        return;
+                    }
+                }
+            }
+        }
+        self.deliver_frame(port, frame);
+    }
+
+    fn on_frame_injected(&mut self, port: usize, frame: EthFrame) {
+        if !self.nodes[port].alive {
+            return;
+        }
+        self.deliver_frame(port, frame);
+    }
+
+    fn deliver_frame(&mut self, port: usize, frame: EthFrame) {
         self.nodes[port].kernel.on_frame(frame, self.now);
         self.postprocess(port);
     }
 
     fn on_agent_ctl(&mut self, node: usize, msg: CtlMsg, reply_to: SockAddr) {
         if !self.nodes[node].alive {
+            return;
+        }
+        // Liveness probes answer from the node itself — a pong proves the
+        // whole receive path (NIC, kernel, control CPU), not just the wire.
+        if let CtlMsg::Ping { seq } = msg {
+            let sock = self.nodes[node].agent_sock;
+            let _ = self.nodes[node].kernel.net.udp_send_to(
+                sock,
+                reply_to,
+                Bytes::from(CtlMsg::Pong { seq }.encode()),
+                self.now,
+            );
+            self.postprocess(node);
+            return;
+        }
+        if matches!(
+            msg,
+            CtlMsg::Start {
+                kind: OpKind::Checkpoint,
+                ..
+            }
+        ) && self.maybe_crash(node, ProtocolPoint::CheckpointReceived)
+        {
             return;
         }
         if matches!(msg, CtlMsg::Start { .. }) {
@@ -1218,17 +1535,34 @@ impl World {
             Some(o) => (o.kind, o.cow),
             None => return,
         };
+        // Fault plan: kill the node right at the protocol point — local
+        // work finished but neither reported nor durable (checkpoint), or
+        // mid-restore (restart).
+        let point = match kind {
+            OpKind::Checkpoint => ProtocolPoint::LocalDoneToDurable,
+            OpKind::Restart => ProtocolPoint::Restore,
+        };
+        if self.maybe_crash(node, point) {
+            return;
+        }
         match kind {
             OpKind::Checkpoint if !cow => {
-                let Some((job, image_epoch, images)) = self.ops.get_mut(&op).map(|o| {
+                let Some((job, image_epoch, images, aborted)) = self.ops.get_mut(&op).map(|o| {
                     (
                         o.job.clone(),
                         o.image_epoch,
                         o.pending_ckpt.remove(&node).unwrap_or_default(),
+                        o.aborted,
                     )
                 }) else {
                     return;
                 };
+                if aborted {
+                    // The epoch was already discarded by the abort path;
+                    // persisting this straggler would strand orphan chunks
+                    // and dangling refs the store can never commit.
+                    return;
+                }
                 let store = self.store(&job);
                 for (pod_name, put) in images {
                     store.put_prepared(&pod_name, image_epoch, &put);
@@ -1384,6 +1718,10 @@ impl World {
                 .disk
                 .submit_write(captured_at, total)
         };
+        if let Some(fault) = self.nodes[node].kernel.disk.take_write_fault() {
+            self.apply_ckpt_disk_fault(op, fault, images);
+            return;
+        }
         if cow {
             // §5.2/COW: the blackout ends when the state is captured; the
             // disk write proceeds in the background and gates the commit.
@@ -1477,6 +1815,14 @@ impl World {
             }
             return;
         }
+        // Fault plan: die mid-drain — pods already resumed, pages still
+        // flowing to the store. The armed snapshots die with the node.
+        if self.maybe_crash(node, ProtocolPoint::CowDrain) {
+            for (_, a) in armed {
+                a.cancel();
+            }
+            return;
+        }
         let dedup = self.params.store.dedup;
         let store = self.store(&job);
         let mut images: Vec<(String, PreparedPut)> = Vec::new();
@@ -1517,12 +1863,38 @@ impl World {
                 .disk
                 .submit_write(t_arm + self.params.extract_time(total), total)
         };
+        if let Some(fault) = self.nodes[node].kernel.disk.take_write_fault() {
+            self.apply_ckpt_disk_fault(op, fault, images);
+            return;
+        }
         if let Some(o) = self.ops.get_mut(&op) {
             o.pending_ckpt.insert(node, images);
             *o.cow_copied.entry(node).or_insert(0) += copied;
         }
         self.queue
             .push(durable_at, Event::AgentDurable { node, op });
+    }
+
+    /// An injected disk fault struck a checkpoint write: the write syscall
+    /// reports the failure, durability is never claimed, and the operation
+    /// force-aborts. A torn write additionally leaves a partial prefix of
+    /// the image on disk — chunks with no manifest referencing them — which
+    /// the abort path's orphan-chunk garbage collection reclaims.
+    fn apply_ckpt_disk_fault(
+        &mut self,
+        op: u64,
+        fault: WriteFault,
+        images: Vec<(String, PreparedPut)>,
+    ) {
+        if let WriteFault::Torn(frac) = fault {
+            if let Some(o) = self.ops.get(&op) {
+                let store = self.store(&o.job.clone());
+                for (pod_name, put) in &images {
+                    store.put_torn(pod_name, o.image_epoch, put, frac);
+                }
+            }
+        }
+        self.fail_op(op, CruzError::Protocol("injected disk write fault"));
     }
 
     fn begin_local_restore(&mut self, node: usize, op: u64) {
@@ -1619,8 +1991,13 @@ impl World {
         self.resume_pods(node, op);
         self.set_comm(node, op, true);
         if let Some(o) = self.ops.get(&op) {
-            let store = self.store(&o.job.clone());
-            store.discard_epoch(o.image_epoch);
+            // Only a checkpoint abort owns its epoch. An aborted *restart*
+            // is reading a committed epoch — discarding it would destroy
+            // the very checkpoint recovery needs to retry from.
+            if o.kind == OpKind::Checkpoint {
+                let store = self.store(&o.job.clone());
+                store.discard_epoch(o.image_epoch);
+            }
         }
     }
 
@@ -1658,11 +2035,13 @@ impl World {
                     if let Some(o) = self.ops.get_mut(&op) {
                         o.complete = true;
                     }
+                    self.op_completed(op);
                 }
                 CoordEffect::Aborted { .. } => {
                     if let Some(o) = self.ops.get_mut(&op) {
                         o.aborted = true;
                     }
+                    self.op_aborted_cleanup(op);
                 }
             }
         }
@@ -1685,22 +2064,27 @@ impl World {
         self.postprocess(coord_node);
     }
 
-    fn on_coord_retry(&mut self, op: u64) {
-        let Some(interval) = self.params.ctl_retry else {
+    fn on_coord_retry(&mut self, op: u64, attempt: u32) {
+        let Some(policy) = self.params.ctl_retry else {
             return;
         };
         let msgs = {
             let Some(o) = self.ops.get_mut(&op) else {
                 return;
             };
+            // An op that settled (or was force-aborted) stops retrying:
+            // backed-off retransmissions never outlive their operation.
             if o.complete || o.aborted {
                 return;
             }
             o.coord.on_retry(self.now)
         };
         self.schedule_coord_sends(op, msgs);
-        self.queue
-            .push(self.now + interval, Event::CoordRetry { op });
+        let next = attempt + 1;
+        if let Some(d) = policy.delay(next) {
+            self.queue
+                .push(self.now + d, Event::CoordRetry { op, attempt: next });
+        }
     }
 
     fn on_coord_timeout(&mut self, op: u64) {
@@ -1714,6 +2098,7 @@ impl World {
                 if let Some(o) = self.ops.get_mut(&op) {
                     o.aborted = true;
                 }
+                self.op_aborted_cleanup(op);
             }
         }
     }
@@ -1744,6 +2129,339 @@ impl World {
             }
         }
         self.postprocess(dst);
+    }
+
+    // ---- self-healing recovery ---------------------------------------------
+
+    /// One heartbeat round: ping every app node from the coordinator, arm
+    /// the round's timeout, reschedule. The driver retires itself when the
+    /// job finishes or recovery gives the job up.
+    fn on_heartbeat(&mut self, job: &str) {
+        if !self.hb.contains_key(job) {
+            return;
+        }
+        if !self.jobs.contains_key(job) || self.job_finished(job) {
+            self.hb.remove(job);
+            return;
+        }
+        // The heartbeat driver doubles as the watchdog for the control
+        // plane itself: a dead coordinator node is re-homed first.
+        let coord_node = match self.jobs.get(job) {
+            Some(jr) => jr.coordinator_node,
+            None => return,
+        };
+        if !self.nodes[coord_node].alive {
+            self.coordinator_failover(job);
+            if !self.hb.contains_key(job) {
+                return; // failover gave up (no alive node to re-home to)
+            }
+        }
+        let (sock, seq, coord_node) = {
+            let Some(jr) = self.jobs.get(job) else { return };
+            let Some(hb) = self.hb.get_mut(job) else {
+                return;
+            };
+            hb.seq += 1;
+            (hb.sock, hb.seq, jr.coordinator_node)
+        };
+        let pinged = self
+            .jobs
+            .get(job)
+            .map(|jr| jr.app_nodes())
+            .unwrap_or_default();
+        for &n in &pinged {
+            let dst = SockAddr::new(Self::node_ip_static(n), AGENT_PORT);
+            let _ = self.nodes[coord_node].kernel.net.udp_send_to(
+                sock,
+                dst,
+                Bytes::from(CtlMsg::Ping { seq }.encode()),
+                self.now,
+            );
+        }
+        self.postprocess(coord_node);
+        self.queue.push(
+            self.now + self.params.recovery.heartbeat_timeout,
+            Event::HeartbeatTimeout {
+                job: job.to_owned(),
+                sent_at: self.now,
+                pinged,
+            },
+        );
+        self.queue.push(
+            self.now + self.params.recovery.heartbeat_interval,
+            Event::Heartbeat {
+                job: job.to_owned(),
+            },
+        );
+    }
+
+    /// The deadline of one heartbeat round: pinged nodes that have not
+    /// ponged since the round was sent — and still host this job's pods —
+    /// are declared dead and handed to the recovery manager.
+    fn on_heartbeat_timeout(&mut self, job: &str, sent_at: SimTime, pinged: Vec<usize>) {
+        let Some(hb) = self.hb.get(job) else {
+            return;
+        };
+        if !self.jobs.contains_key(job) || self.job_finished(job) {
+            return;
+        }
+        let dead: Vec<usize> = pinged
+            .into_iter()
+            .filter(|&n| {
+                let answered = hb.last_pong.get(&n).map(|&t| t >= sent_at).unwrap_or(false);
+                let hosting = self
+                    .jobs
+                    .get(job)
+                    .map(|jr| jr.placements.iter().any(|p| p.node == n))
+                    .unwrap_or(false);
+                !answered && hosting
+            })
+            .collect();
+        if dead.is_empty() {
+            return;
+        }
+        self.recover_job(job, &dead, sent_at);
+    }
+
+    /// The recovery pass: abort in-flight operations, fence the declared
+    /// dead (a lost pong must not leave two copies of a pod running), roll
+    /// the store back to its last committed epoch, pick spares, restart.
+    fn recover_job(&mut self, job: &str, dead: &[usize], sent_at: SimTime) {
+        let detected_at = self.now;
+        let crashed_at = self
+            .crash_log
+            .iter()
+            .filter(|(n, _)| dead.contains(n))
+            .map(|&(_, t)| t)
+            .min();
+        let base_report = RecoveryReport {
+            job: job.to_owned(),
+            cause: RecoveryCause::HeartbeatTimeout,
+            dead_nodes: dead.to_vec(),
+            crashed_at,
+            ping_sent_at: sent_at,
+            detected_at,
+            aborted_ops: Vec::new(),
+            rollback_epoch: None,
+            restart_op: None,
+            recovered_at: None,
+            outcome: RecoveryOutcome::InProgress,
+        };
+        let spent = self.recoveries.entry(job.to_owned()).or_insert(0);
+        if *spent >= self.params.recovery.max_recoveries {
+            self.hb.remove(job);
+            self.recovery_reports.push(RecoveryReport {
+                outcome: RecoveryOutcome::Unrecoverable,
+                ..base_report
+            });
+            return;
+        }
+        *spent += 1;
+        // Abort everything in flight for the job: a dead participant can
+        // never answer, and the restart needs the job quiescent.
+        let inflight: Vec<u64> = self
+            .ops
+            .iter()
+            .filter(|(_, o)| o.job == job && !o.complete && !o.aborted)
+            .map(|(&id, _)| id)
+            .collect();
+        for &op in &inflight {
+            self.fail_op(op, CruzError::Protocol("participant declared dead"));
+        }
+        // Fence: destroy this job's pods on declared-dead nodes that are in
+        // fact alive (lost pongs) — the STONITH analogue — and unbind every
+        // placement on a dead node so the restart re-homes it.
+        let fenced: Vec<(usize, zap::pod::PodId)> = self
+            .jobs
+            .get(job)
+            .map(|jr| {
+                jr.placements
+                    .iter()
+                    .filter(|p| dead.contains(&p.node))
+                    .filter_map(|p| {
+                        let pid = p.pod_id?;
+                        self.nodes[p.node].alive.then_some((p.node, pid))
+                    })
+                    .collect()
+            })
+            .unwrap_or_default();
+        for (n, pid) in fenced {
+            let slot = &mut self.nodes[n];
+            let _ = slot.zap.destroy_pod(&mut slot.kernel, pid);
+            self.postprocess(n);
+        }
+        if let Some(jr) = self.jobs.get_mut(job) {
+            for p in jr.placements.iter_mut() {
+                if dead.contains(&p.node) {
+                    p.pod_id = None;
+                }
+            }
+        }
+        // Roll the store back: half-written epochs can never commit now,
+        // and chunks stranded by torn writes or mid-drain crashes are
+        // reclaimed before the restart reads the store.
+        let store = self.store(job);
+        for e in store.uncommitted_epochs() {
+            store.discard_epoch(e);
+        }
+        store.gc_orphan_chunks();
+        let Some(rollback) = store.latest_committed_epoch() else {
+            self.hb.remove(job);
+            self.recovery_reports.push(RecoveryReport {
+                aborted_ops: inflight,
+                outcome: RecoveryOutcome::Unrecoverable,
+                ..base_report
+            });
+            return;
+        };
+        let Some(placement) = self.pick_spares(job, dead) else {
+            self.hb.remove(job);
+            self.recovery_reports.push(RecoveryReport {
+                aborted_ops: inflight,
+                rollback_epoch: Some(rollback),
+                outcome: RecoveryOutcome::Unrecoverable,
+                ..base_report
+            });
+            return;
+        };
+        match self.start_restart(job, rollback, &placement, ProtocolMode::Blocking) {
+            Ok(restart_op) => {
+                let idx = self.recovery_reports.len();
+                self.recovery_reports.push(RecoveryReport {
+                    aborted_ops: inflight,
+                    rollback_epoch: Some(rollback),
+                    restart_op: Some(restart_op),
+                    ..base_report
+                });
+                self.pending_recovery.insert(restart_op, idx);
+            }
+            Err(_) => {
+                // e.g. a migration still in flight; the next heartbeat
+                // round retries with a fresh pass.
+                self.recovery_reports.push(RecoveryReport {
+                    aborted_ops: inflight,
+                    rollback_epoch: Some(rollback),
+                    outcome: RecoveryOutcome::Failed,
+                    ..base_report
+                });
+            }
+        }
+    }
+
+    /// Picks replacement nodes for pods displaced off `dead` nodes, per the
+    /// configured [`SparePolicy`]. Returns `None` when no eligible spare
+    /// exists (every alive non-coordinator node already hosts the job).
+    fn pick_spares(&self, job: &str, dead: &[usize]) -> Option<Vec<(String, usize)>> {
+        let jr = self.jobs.get(job)?;
+        let coord = jr.coordinator_node;
+        let occupied: Vec<usize> = jr
+            .placements
+            .iter()
+            .filter(|p| !dead.contains(&p.node))
+            .map(|p| p.node)
+            .collect();
+        let eligible: Vec<usize> = (0..self.nodes.len())
+            .filter(|&n| {
+                self.nodes[n].alive && n != coord && !dead.contains(&n) && !occupied.contains(&n)
+            })
+            .collect();
+        if eligible.is_empty() {
+            return None;
+        }
+        let displaced: Vec<String> = jr
+            .placements
+            .iter()
+            .filter(|p| dead.contains(&p.node))
+            .map(|p| p.name.clone())
+            .collect();
+        let out = match self.params.recovery.spare_policy {
+            SparePolicy::Pack => displaced
+                .into_iter()
+                .map(|name| (name, eligible[0]))
+                .collect(),
+            SparePolicy::FirstFree => displaced
+                .into_iter()
+                .enumerate()
+                .map(|(i, name)| (name, eligible[i.min(eligible.len() - 1)]))
+                .collect(),
+        };
+        Some(out)
+    }
+
+    /// Re-homes a job's control plane after its coordinator node died: new
+    /// heartbeat socket on the lowest-index alive node, and every operation
+    /// orphaned by the dead coordinator is aborted from the new home so
+    /// frozen pods resume. The agents accept the abort because it carries
+    /// the orphaned op's epoch; a stale one arriving after a later restart
+    /// is ignored by their epoch guard.
+    fn coordinator_failover(&mut self, job: &str) {
+        let Some(old) = self.jobs.get(job).map(|jr| jr.coordinator_node) else {
+            return;
+        };
+        let Some(new) = (0..self.nodes.len()).find(|&n| self.nodes[n].alive) else {
+            self.hb.remove(job);
+            return;
+        };
+        let Ok(sock) = self.bind_ctl_sock(new) else {
+            self.hb.remove(job);
+            return;
+        };
+        if let Some(jr) = self.jobs.get_mut(job) {
+            jr.coordinator_node = new;
+        }
+        if let Some(hb) = self.hb.get_mut(job) {
+            hb.sock = sock;
+            hb.last_pong.clear();
+        }
+        let orphans: Vec<u64> = self
+            .ops
+            .iter()
+            .filter(|(_, o)| o.job == job && o.coord_node == old && !o.complete && !o.aborted)
+            .map(|(&id, _)| id)
+            .collect();
+        for &op in &orphans {
+            let agents = self
+                .ops
+                .get(&op)
+                .map(|o| o.agents_nodes.clone())
+                .unwrap_or_default();
+            for n in agents {
+                let dst = SockAddr::new(Self::node_ip_static(n), AGENT_PORT);
+                let _ = self.nodes[new].kernel.net.udp_send_to(
+                    sock,
+                    dst,
+                    Bytes::from(CtlMsg::Abort { epoch: op }.encode()),
+                    self.now,
+                );
+            }
+            if let Some(o) = self.ops.get_mut(&op) {
+                o.aborted = true;
+                if o.error.is_none() {
+                    o.error = Some(CruzError::Protocol("coordinator failed over"));
+                }
+            }
+            self.op_aborted_cleanup(op);
+        }
+        self.postprocess(new);
+        let crashed_at = self
+            .crash_log
+            .iter()
+            .filter(|&&(n, _)| n == old)
+            .map(|&(_, t)| t)
+            .min();
+        self.recovery_reports.push(RecoveryReport {
+            job: job.to_owned(),
+            cause: RecoveryCause::CoordinatorFailover,
+            dead_nodes: vec![old],
+            crashed_at,
+            ping_sent_at: self.now,
+            detected_at: self.now,
+            aborted_ops: orphans,
+            rollback_epoch: None,
+            restart_op: None,
+            recovered_at: Some(self.now),
+            outcome: RecoveryOutcome::Recovered,
+        });
     }
 
     // ---- node plumbing ------------------------------------------------------
@@ -1809,6 +2527,31 @@ impl World {
                         reply_to: from,
                     },
                 );
+            }
+        }
+        // Heartbeat pongs, for jobs whose coordinator lives here. The
+        // responder is identified by source IP (node i owns 10.0.0.(i+1)).
+        let hb_socks: Vec<(String, SocketId)> = self
+            .hb
+            .iter()
+            .filter(|(job, _)| {
+                self.jobs
+                    .get(job.as_str())
+                    .map(|jr| jr.coordinator_node == n)
+                    .unwrap_or(false)
+            })
+            .map(|(job, h)| (job.clone(), h.sock))
+            .collect();
+        for (job, sock) in hb_socks {
+            while let Ok(Some((from, bytes))) = self.nodes[n].kernel.net.udp_recv_from(sock) {
+                if let Some(CtlMsg::Pong { .. }) = CtlMsg::decode(&bytes) {
+                    let octet = from.ip.octets()[3] as usize;
+                    if octet >= 1 {
+                        if let Some(h) = self.hb.get_mut(&job) {
+                            h.last_pong.insert(octet - 1, self.now);
+                        }
+                    }
+                }
             }
         }
         // Coordinator replies.

@@ -330,6 +330,16 @@ impl Coordinator {
         if now < deadline {
             return (Vec::new(), Vec::new());
         }
+        self.force_abort()
+    }
+
+    /// Aborts the operation unconditionally (no deadline check): the
+    /// recovery manager calls this when it learns out-of-band that a
+    /// participant is dead. Idempotent once the operation settled.
+    pub fn force_abort(&mut self) -> (Vec<(AgentId, CtlMsg)>, Vec<CoordEffect>) {
+        if matches!(self.phase, Phase::Done | Phase::Aborted) {
+            return (Vec::new(), Vec::new());
+        }
         self.phase = Phase::Aborted;
         let out: Vec<(AgentId, CtlMsg)> = self
             .agents
@@ -454,6 +464,25 @@ mod tests {
         let (m, fx) = c.on_message(1, CtlMsg::Done { epoch: 4 }, t(110_000));
         assert!(m.is_empty() && fx.is_empty());
         assert_eq!(c.deadline(), None);
+    }
+
+    #[test]
+    fn force_abort_needs_no_deadline_and_is_idempotent() {
+        // No timeout armed: on_timeout can never fire, force_abort still can.
+        let mut c = Coordinator::new(OpKind::Checkpoint, ProtocolMode::Blocking, 6, vec![0, 1]);
+        let _ = c.start(T);
+        let (m, _) = c.on_timeout(t(1));
+        assert!(m.is_empty(), "no deadline armed");
+        let (m, fx) = c.force_abort();
+        assert_eq!(m.len(), 2);
+        assert!(m
+            .iter()
+            .all(|(_, msg)| matches!(msg, CtlMsg::Abort { epoch: 6 })));
+        assert_eq!(fx, vec![CoordEffect::Aborted { epoch: 6 }]);
+        assert!(c.is_aborted());
+        // Second call is a no-op.
+        let (m, fx) = c.force_abort();
+        assert!(m.is_empty() && fx.is_empty());
     }
 
     #[test]

@@ -72,6 +72,17 @@ pub enum CtlMsg {
         /// Epoch.
         epoch: u64,
     },
+    /// Coordinator → agent: liveness probe (recovery manager heartbeat).
+    /// The `seq` field rides the epoch slot of the wire format.
+    Ping {
+        /// Heartbeat sequence number.
+        seq: u64,
+    },
+    /// Agent → coordinator: liveness reply echoing the probe's sequence.
+    Pong {
+        /// Heartbeat sequence number.
+        seq: u64,
+    },
 }
 
 impl CtlMsg {
@@ -85,6 +96,7 @@ impl CtlMsg {
             | CtlMsg::ContinueDone { epoch }
             | CtlMsg::Durable { epoch }
             | CtlMsg::Abort { epoch } => *epoch,
+            CtlMsg::Ping { seq } | CtlMsg::Pong { seq } => *seq,
         }
     }
 
@@ -134,6 +146,14 @@ impl CtlMsg {
                 v.push(6);
                 v.extend_from_slice(&epoch.to_le_bytes());
             }
+            CtlMsg::Ping { seq } => {
+                v.push(7);
+                v.extend_from_slice(&seq.to_le_bytes());
+            }
+            CtlMsg::Pong { seq } => {
+                v.push(8);
+                v.extend_from_slice(&seq.to_le_bytes());
+            }
         }
         v
     }
@@ -173,6 +193,8 @@ impl CtlMsg {
             4 => CtlMsg::ContinueDone { epoch },
             5 => CtlMsg::Abort { epoch },
             6 => CtlMsg::Durable { epoch },
+            7 => CtlMsg::Ping { seq: epoch },
+            8 => CtlMsg::Pong { seq: epoch },
             _ => return None,
         })
     }
@@ -195,6 +217,8 @@ impl fmt::Display for CtlMsg {
             CtlMsg::ContinueDone { epoch } => write!(f, "<continue-done epoch={epoch}>"),
             CtlMsg::Abort { epoch } => write!(f, "<abort epoch={epoch}>"),
             CtlMsg::Durable { epoch } => write!(f, "<durable epoch={epoch}>"),
+            CtlMsg::Ping { seq } => write!(f, "<ping seq={seq}>"),
+            CtlMsg::Pong { seq } => write!(f, "<pong seq={seq}>"),
         }
     }
 }
@@ -229,6 +253,8 @@ mod tests {
             CtlMsg::ContinueDone { epoch: 4 },
             CtlMsg::Durable { epoch: 6 },
             CtlMsg::Abort { epoch: 5 },
+            CtlMsg::Ping { seq: 77 },
+            CtlMsg::Pong { seq: 78 },
         ];
         for m in msgs {
             assert_eq!(CtlMsg::decode(&m.encode()), Some(m));

@@ -312,6 +312,39 @@ impl CheckpointStore {
         }
     }
 
+    /// Applies only a torn prefix of a prepared write, modeling a disk
+    /// write that failed partway: the first `frac/256` of the image's
+    /// bytes reach disk, the manifest (or the plain image's tail) never
+    /// does, and no chunk references are taken. A torn chunked write
+    /// therefore strands orphan chunk files — exactly what
+    /// [`CheckpointStore::orphan_chunks`] audits and
+    /// [`CheckpointStore::gc_orphan_chunks`] reclaims. The epoch can never
+    /// be committed through this path: no durability is ever reported for
+    /// a torn write.
+    pub fn put_torn(&self, pod_name: &str, epoch: u64, put: &PreparedPut, frac: u8) {
+        match put {
+            PreparedPut::Plain(bytes) => {
+                let keep = (bytes.len() as u64 * frac as u64 / 256) as usize;
+                if keep > 0 {
+                    self.fs
+                        .write_file(&self.image_path(pod_name, epoch), bytes[..keep].to_vec());
+                }
+            }
+            PreparedPut::Chunked(c) => {
+                let cutoff = c.raw_len * frac as u64 / 256;
+                for ch in &c.chunks {
+                    if !ch.novel || ch.raw_end > cutoff {
+                        continue;
+                    }
+                    let path = self.chunk_path(ch.id);
+                    if !self.fs.exists(&path) {
+                        self.fs.write_file(&path, ch.stored.clone());
+                    }
+                }
+            }
+        }
+    }
+
     // ---- reads --------------------------------------------------------------
 
     /// Reads a pod image, reassembling it from chunks when the epoch holds
@@ -403,6 +436,34 @@ impl CheckpointStore {
 
     fn scan_latest(&self) -> Option<u64> {
         self.committed_epochs().into_iter().max()
+    }
+
+    /// Every epoch with any file on disk (committed or not), ascending.
+    pub fn all_epochs(&self) -> Vec<u64> {
+        let prefix = format!("/ckpt/{}/", self.job);
+        let mut v: Vec<u64> = self
+            .fs
+            .list(&prefix)
+            .into_iter()
+            .filter_map(|p| {
+                let rest = p.strip_prefix(&prefix)?;
+                let (dir, _) = rest.split_once('/')?;
+                dir.strip_prefix("epoch")?.parse::<u64>().ok()
+            })
+            .collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    /// Epochs with files on disk but no commit record — the half-written
+    /// leftovers of crashed or aborted operations, which recovery must
+    /// discard before restarting.
+    pub fn uncommitted_epochs(&self) -> Vec<u64> {
+        self.all_epochs()
+            .into_iter()
+            .filter(|&e| !self.is_committed(e))
+            .collect()
     }
 
     /// All committed epochs, ascending.
@@ -543,6 +604,36 @@ impl CheckpointStore {
                 ))
             })
             .collect()
+    }
+
+    /// Chunk files referenced by **no** epoch's manifest — garbage left by
+    /// a write that persisted chunks but never landed (or lost) its
+    /// manifest, e.g. a torn disk write or a node crash between the two.
+    /// A healthy store always returns an empty set.
+    pub fn orphan_chunks(&self) -> Vec<ChunkId> {
+        let mut referenced = BTreeSet::new();
+        for e in self.all_epochs() {
+            referenced.extend(self.chunks_referenced_by(e));
+        }
+        self.live_chunks()
+            .into_iter()
+            .filter(|id| !referenced.contains(id))
+            .collect()
+    }
+
+    /// Deletes orphan chunk files and scrubs their refcount entries (and
+    /// any refcount entry whose chunk file is gone). Returns the number of
+    /// chunk files reclaimed.
+    pub fn gc_orphan_chunks(&self) -> usize {
+        let orphans = self.orphan_chunks();
+        let mut refs = self.read_refs();
+        for id in &orphans {
+            self.fs.remove(&self.chunk_path(*id));
+            refs.remove(id);
+        }
+        refs.retain(|id, _| self.fs.exists(&self.chunk_path(*id)));
+        self.write_refs(&refs);
+        orphans.len()
     }
 
     /// Chunk ids referenced by an epoch's manifests (deduplicated).
@@ -794,6 +885,70 @@ mod tests {
         s.discard_epoch(2);
         assert!(s.live_chunks().is_empty());
         assert!(!s.fs.exists(&s.refs_path()), "refcount table reclaimed");
+        assert!(
+            s.orphan_chunks().is_empty(),
+            "refcount GC never strands a chunk"
+        );
+    }
+
+    #[test]
+    fn orphan_audit_finds_and_reclaims_strays() {
+        let fs = NetFs::new();
+        let s = CheckpointStore::new(fs, "j");
+        let (raw, cuts) = toy_image(8, 1, 0xaa);
+        let put = PreparedPut::Chunked(s.prepare_chunked(&raw, &cuts, &cfg()));
+        s.put_prepared("p", 1, &put);
+        s.commit(1);
+        assert!(s.orphan_chunks().is_empty(), "healthy store has no orphans");
+        // Simulate a crash that persisted chunks but lost the manifest.
+        s.fs.remove(&s.manifest_path("p", 1));
+        let orphans = s.orphan_chunks();
+        assert!(!orphans.is_empty(), "manifest loss strands its chunks");
+        assert_eq!(s.gc_orphan_chunks(), orphans.len());
+        assert!(s.live_chunks().is_empty());
+        assert!(s.orphan_chunks().is_empty());
+        assert!(
+            !s.fs.exists(&s.refs_path()),
+            "dangling REFS entries scrubbed"
+        );
+    }
+
+    #[test]
+    fn torn_writes_strand_only_a_prefix_and_never_commit() {
+        let fs = NetFs::new();
+        let s = CheckpointStore::new(fs, "j");
+        let (raw, cuts) = toy_image(8, 1, 0x5a);
+        let full = s.prepare_chunked(&raw, &cuts, &cfg());
+        let novel = full.novel_count();
+        // Half the image reaches disk; the manifest never does.
+        s.put_torn("p", 1, &PreparedPut::Chunked(full), 128);
+        let stranded = s.live_chunks().len();
+        assert!(stranded > 0, "a torn write leaves a chunk prefix");
+        assert!(stranded < novel, "but not the whole image");
+        assert_eq!(s.orphan_chunks().len(), stranded, "all of it is orphaned");
+        assert_eq!(s.get_image("p", 1), None, "no manifest, no image");
+        assert!(!s.is_committed(1));
+        assert_eq!(s.gc_orphan_chunks(), stranded);
+        assert!(s.live_chunks().is_empty());
+        // Torn plain writes truncate: frac 0 writes nothing at all.
+        s.put_torn("p", 2, &PreparedPut::Plain(vec![9; 100]), 64);
+        assert_eq!(s.fs.len_of(&s.image_path("p", 2)), Some(25));
+        s.put_torn("p", 3, &PreparedPut::Plain(vec![9; 100]), 0);
+        assert!(!s.fs.exists(&s.image_path("p", 3)));
+    }
+
+    #[test]
+    fn uncommitted_epochs_surface_half_written_state() {
+        let fs = NetFs::new();
+        let s = CheckpointStore::new(fs, "j");
+        s.put_image("p", 1, vec![1]);
+        s.commit(1);
+        s.put_image("p", 2, vec![2]); // no commit record: crashed mid-write
+        assert_eq!(s.all_epochs(), vec![1, 2]);
+        assert_eq!(s.uncommitted_epochs(), vec![2]);
+        s.discard_epoch(2);
+        assert!(s.uncommitted_epochs().is_empty());
+        assert_eq!(s.latest_committed_epoch(), Some(1));
     }
 
     #[test]

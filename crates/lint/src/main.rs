@@ -14,9 +14,12 @@
 //! * `ambient-entropy` — `thread_rng` / `from_entropy` / `rand::random`
 //!   are banned everywhere. All randomness flows from the run's seed.
 //! * `silent-unwrap` — `.unwrap()` / `.expect(` are flagged on the
-//!   protocol paths (`core::coordinator`, `core::agent`,
-//!   `cluster::world`): a corrupt image must abort one operation, not
-//!   panic the whole cluster.
+//!   protocol paths (everything under `crates/core/src/` and
+//!   `crates/cluster/src/`): a corrupt image must abort one operation,
+//!   not panic the whole cluster.
+//! * `protocol-panic` — `panic!` on those same protocol paths: the
+//!   self-healing manager can only recover from failures that surface as
+//!   errors, never from a process-wide panic.
 //! * `unsuppressed-todo` — `todo!` / `unimplemented!` in non-test code.
 //!
 //! Suppress a finding with a trailing or preceding line comment:
@@ -35,13 +38,10 @@ use std::process::ExitCode;
 /// a hash collection in any of these is a determinism bug.
 const SIM_CRATES: &[&str] = &["cluster", "core", "des", "simcpu", "simnet", "simos", "zap"];
 
-/// Files hosting the checkpoint-restart control plane, where a panic
-/// takes down the whole simulated cluster instead of one operation.
-const PROTOCOL_PATHS: &[&str] = &[
-    "crates/core/src/coordinator.rs",
-    "crates/core/src/agent.rs",
-    "crates/cluster/src/world.rs",
-];
+/// Directories hosting the checkpoint-restart control plane, where a
+/// panic takes down the whole simulated cluster instead of one operation.
+/// Every non-test `.rs` file under these prefixes is a protocol path.
+const PROTOCOL_PREFIXES: &[&str] = &["crates/core/src/", "crates/cluster/src/"];
 
 /// Methods that iterate a collection in storage order.
 const ITER_METHODS: &[&str] = &[
@@ -63,6 +63,7 @@ enum Rule {
     WallClock,
     AmbientEntropy,
     SilentUnwrap,
+    ProtocolPanic,
     UnsuppressedTodo,
 }
 
@@ -73,6 +74,7 @@ impl Rule {
             Rule::WallClock => "wall-clock",
             Rule::AmbientEntropy => "ambient-entropy",
             Rule::SilentUnwrap => "silent-unwrap",
+            Rule::ProtocolPanic => "protocol-panic",
             Rule::UnsuppressedTodo => "unsuppressed-todo",
         }
     }
@@ -83,6 +85,7 @@ impl Rule {
             "wall-clock" => Some(Rule::WallClock),
             "ambient-entropy" => Some(Rule::AmbientEntropy),
             "silent-unwrap" => Some(Rule::SilentUnwrap),
+            "protocol-panic" => Some(Rule::ProtocolPanic),
             "unsuppressed-todo" => Some(Rule::UnsuppressedTodo),
             _ => None,
         }
@@ -503,7 +506,8 @@ struct FileKind {
     crate_dir: Option<String>,
     /// Test or bench source — exempt from every rule.
     is_test_code: bool,
-    /// One of the protocol-path files (`silent-unwrap` applies).
+    /// Under a protocol-path prefix (`silent-unwrap` and `protocol-panic`
+    /// apply).
     is_protocol: bool,
 }
 
@@ -513,7 +517,7 @@ fn classify(rel: &str) -> FileKind {
         .and_then(|r| r.split('/').next())
         .map(str::to_string);
     let is_test_code = rel.split('/').any(|seg| seg == "tests" || seg == "benches");
-    let is_protocol = PROTOCOL_PATHS.contains(&rel);
+    let is_protocol = PROTOCOL_PREFIXES.iter().any(|p| rel.starts_with(p));
     FileKind {
         crate_dir,
         is_test_code,
@@ -602,6 +606,16 @@ fn analyze_file(rel: &str, src: &str) -> Vec<Finding> {
                         &allow,
                     );
                 }
+            }
+            if line.contains("panic!") {
+                push(
+                    ln,
+                    Rule::ProtocolPanic,
+                    "`panic!` on a protocol path kills the whole cluster; surface a CruzError so \
+                     the recovery manager can heal the operation"
+                        .to_string(),
+                    &allow,
+                );
             }
         }
         for pat in ["todo!", "unimplemented!"] {
@@ -706,7 +720,7 @@ const USAGE: &str = "usage: cruz-lint --workspace [--root <dir>] [--baseline <fi
        cruz-lint <file.rs>...
 
 Rules: unordered-iteration, wall-clock, ambient-entropy, silent-unwrap,
-unsuppressed-todo. Suppress one line with `// cruz-lint: allow(<rule>)`;
+protocol-panic, unsuppressed-todo. Suppress one line with `// cruz-lint: allow(<rule>)`;
 record stragglers in lint-baseline.txt (path:line:rule, `*` = any line).";
 
 /// Prints to stdout, swallowing `EPIPE` so `cruz-lint ... | head` exits
@@ -930,7 +944,33 @@ mod tests {
             rules_hit("crates/core/src/agent.rs", src),
             vec![(1, Rule::SilentUnwrap)]
         );
-        assert!(rules_hit("crates/core/src/proto.rs", src).is_empty());
+        // Every non-test file under the protocol prefixes is covered...
+        assert_eq!(
+            rules_hit("crates/core/src/proto.rs", src),
+            vec![(1, Rule::SilentUnwrap)]
+        );
+        assert_eq!(
+            rules_hit("crates/cluster/src/recovery.rs", src),
+            vec![(1, Rule::SilentUnwrap)]
+        );
+        // ...but crates outside them are not.
+        assert!(rules_hit("crates/des/src/queue.rs", src).is_empty());
+    }
+
+    #[test]
+    fn panic_banned_on_protocol_paths() {
+        let src = "fn f() { panic!(\"boom\") }\n";
+        assert_eq!(
+            rules_hit("crates/cluster/src/world.rs", src),
+            vec![(1, Rule::ProtocolPanic)]
+        );
+        assert!(rules_hit("crates/des/src/queue.rs", src).is_empty());
+        let allowed = "fn f() { panic!(\"boom\") } // cruz-lint: allow(protocol-panic)\n";
+        assert!(rules_hit("crates/cluster/src/world.rs", allowed).is_empty());
+        // `#[cfg(test)]` modules inside protocol files stay exempt.
+        let test_mod =
+            "#[cfg(test)]\nmod tests {\n    fn t() { panic!(\"x\"); None::<u32>.unwrap(); }\n}\n";
+        assert!(rules_hit("crates/core/src/store.rs", test_mod).is_empty());
     }
 
     #[test]

@@ -27,6 +27,7 @@
 pub mod addr;
 pub mod arp;
 pub mod dhcp;
+pub mod fault;
 pub mod filter;
 pub mod frame;
 pub mod link;
@@ -36,6 +37,7 @@ pub mod tcp;
 pub mod udp;
 
 pub use addr::{IpAddr, MacAddr, SockAddr};
+pub use fault::{FrameFate, FrameFaults};
 pub use frame::{EthFrame, EthPayload, Ipv4Packet, L4};
 pub use stack::{NetError, NetStack, RecvOutcome, SockEvent, SocketId};
 pub use tcp::{Tcb, TcpConfig, TcpSegment, TcpSnapshot, TcpState};

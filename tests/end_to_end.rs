@@ -1,7 +1,7 @@
 //! Whole-stack smoke tests through the umbrella crate: the public API a
 //! downstream user sees.
 
-use cruz_repro::cluster::{ClusterParams, JobSpec, PodSpec, World};
+use cruz_repro::cluster::{ClusterParams, JobSpec, PodSpec, RetryPolicy, World};
 use cruz_repro::cruz::proto::ProtocolMode;
 use cruz_repro::des::SimDuration;
 use cruz_repro::simnet::addr::{IpAddr, MacAddr};
@@ -170,7 +170,7 @@ fn frame_loss_does_not_break_checkpointing() {
         3,
         ClusterParams {
             frame_loss: 0.02,
-            ctl_retry: Some(SimDuration::from_millis(100)),
+            ctl_retry: Some(RetryPolicy::fixed(SimDuration::from_millis(100), 16)),
             ..ClusterParams::default()
         },
     );
