@@ -2,14 +2,17 @@
 # The full gate, in fail-fast order: cheap checks first.
 #
 #   1. rustfmt          — formatting drift
-#   2. cruz-lint        — the determinism auditor (see DESIGN.md)
+#   2. cruz-lint        — the determinism auditor plus the god-file
+#                         module budget (see DESIGN.md)
 #   3. release build    — the whole workspace compiles
-#   4. tests            — every suite, including the same-seed
+#   4. cluster docs     — `cargo doc -p cluster` stays warning-free
+#                         (the layered-engine seams are documented API)
+#   5. tests            — every suite, including the same-seed
 #                         byte-identical-images regression test
-#   5. bench smoke      — `--quick` runs of the store-ablation,
+#   6. bench smoke      — `--quick` runs of the store-ablation,
 #                         Fig 5(a), COW-downtime and recovery binaries
 #                         (their asserts are the check)
-#   6. chaos smoke      — replays three pinned fault-plan seeds and
+#   7. chaos smoke      — replays three pinned fault-plan seeds and
 #                         demands byte-identical event traces
 #
 # Everything runs offline: the only dependencies are the vendored stubs
@@ -33,6 +36,9 @@ cargo run --offline -q -p cruz-lint -- --workspace
 
 echo "== cargo build --release"
 cargo build --offline --release --workspace
+
+echo "== cargo doc -p cluster"
+RUSTDOCFLAGS="-D warnings" cargo doc --offline --no-deps -q -p cluster
 
 echo "== cargo test"
 cargo test --offline --workspace -q

@@ -19,6 +19,7 @@
 
 use cluster::world::CkptOptions;
 use cluster::{CkptCaptureMode, ClusterParams, World};
+use cruz::digest;
 use cruz::proto::ProtocolMode;
 use des::SimDuration;
 use simnet::tcp::TcpConfig;
@@ -105,14 +106,6 @@ pub fn cow_params() -> ClusterParams {
     }
 }
 
-fn fnv_digest(mut h: u64, data: &[u8]) -> u64 {
-    for &b in data {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    h
-}
-
 /// Runs one variant: an `ranks`-rank slm ring with `state_bytes` of
 /// resident state per rank, checkpointed `checkpoints` times ~100 ms of
 /// execution apart. Returns the freeze/latency distributions and the
@@ -136,7 +129,7 @@ pub fn run_cow_variant(
     let mut freezes = Vec::new();
     let mut epoch_latencies = Vec::new();
     let mut extra_copy_bytes = 0u64;
-    let mut digest = 0xcbf2_9ce4_8422_2325u64;
+    let mut digest = digest::OFFSET;
     for i in 0..checkpoints {
         w.run_for(SimDuration::from_millis(100));
         let started = w.now;
@@ -167,8 +160,8 @@ pub fn run_cow_variant(
                 let bytes = store
                     .get_image(&pod, op)
                     .expect("committed image reconstructs");
-                digest = fnv_digest(digest, pod.as_bytes());
-                digest = fnv_digest(digest, &bytes);
+                digest = digest::fold(digest, pod.as_bytes());
+                digest = digest::fold(digest, &bytes);
             }
         }
     }

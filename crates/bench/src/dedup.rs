@@ -16,6 +16,7 @@
 //! and tests can check it.
 
 use cluster::{ClusterParams, StoreConfig, World};
+use cruz::digest;
 use cruz::proto::ProtocolMode;
 use des::{SimDuration, SimTime};
 
@@ -54,14 +55,6 @@ pub fn variants() -> Vec<(&'static str, StoreConfig)> {
     ]
 }
 
-fn fnv_digest(mut h: u64, data: &[u8]) -> u64 {
-    for &b in data {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    h
-}
-
 /// Runs one variant: an `ranks`-rank slm ring with `state_bytes` of
 /// resident state per rank, checkpointed `checkpoints` times ~100 ms of
 /// execution apart, then crashed and restarted from the final epoch onto
@@ -95,7 +88,7 @@ pub fn run_dedup_variant(
     let mut epoch_bytes = Vec::with_capacity(checkpoints);
     let mut latencies = Vec::with_capacity(checkpoints);
     let mut last_epoch = 0;
-    let mut digest = 0xcbf2_9ce4_8422_2325u64;
+    let mut digest = digest::OFFSET;
     for i in 0..checkpoints {
         w.run_for(SimDuration::from_millis(100));
         let before = written(&w);
@@ -122,8 +115,8 @@ pub fn run_dedup_variant(
                 let bytes = store_handle
                     .get_image(&pod, op)
                     .expect("committed image reconstructs");
-                digest = fnv_digest(digest, pod.as_bytes());
-                digest = fnv_digest(digest, &bytes);
+                digest = digest::fold(digest, pod.as_bytes());
+                digest = digest::fold(digest, &bytes);
             }
         }
     }

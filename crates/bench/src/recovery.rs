@@ -14,6 +14,7 @@ use cluster::{
     ClusterParams, CrashFault, FaultPlan, JobSpec, PodSpec, ProtocolPoint, RecoveryOutcome,
     RecoveryReport, StoreConfig, World,
 };
+use cruz::digest;
 use cruz::proto::ProtocolMode;
 use des::SimDuration;
 use simnet::addr::{IpAddr, MacAddr};
@@ -76,20 +77,14 @@ fn chaos_params(seed: u64) -> ClusterParams {
     p
 }
 
-fn fnv(h: u64, bytes: &[u8]) -> u64 {
-    bytes.iter().fold(h, |h, &b| {
-        (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01b3)
-    })
-}
-
 /// Digest over every pod image of one committed epoch, in pod order.
 fn epoch_digest(w: &World, job: &str, epoch: u64) -> u64 {
     let store = w.store(job);
-    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    let mut h = digest::OFFSET;
     for pod in store.pods_in_epoch(epoch) {
-        h = fnv(h, pod.as_bytes());
+        h = digest::fold(h, pod.as_bytes());
         if let Some(img) = store.get_image(&pod, epoch) {
-            h = fnv(h, &img);
+            h = digest::fold(h, &img);
         }
     }
     h

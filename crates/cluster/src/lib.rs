@@ -1,35 +1,59 @@
 //! World assembly: simulated nodes, switch, control plane and job manager.
 //!
 //! This crate wires the pure layers together into one deterministic
-//! discrete-event simulation:
+//! discrete-event simulation, as a layered protocol engine with an
+//! explicit transport seam (the DMTCP lesson: the coordinator protocol
+//! must not know what carries its messages):
+//!
+//! ```text
+//!                 world (DES loop + node table)
+//!            ops ─── drain ─── heartbeat ─── recovery
+//!                      transport (CtlTransport)
+//! ```
 //!
 //! * [`params`] — cluster-wide timing parameters, calibrated to the paper's
 //!   gigabit-Ethernet / 1 GHz-node / 2005-disk testbed;
 //! * [`jobs`] — job specifications and pod placement (the LSF analogue);
 //! * [`fault`] — seeded, replayable fault plans (protocol-point crashes,
 //!   disk-write faults, control-frame drop/duplicate/reorder);
+//! * [`transport`] — the [`transport::CtlTransport`] seam: bind/send/recv
+//!   of control frames, with the simulated-UDP backend as its first
+//!   implementation (a real async backend slots in here);
+//! * [`events`] — the engine's DES event vocabulary and the per-event
+//!   fingerprint folded into the trace digest;
+//! * [`ops`] — coordinated-operation runtime: install, message flow,
+//!   retry/timeout, abort, persistence, migration;
+//! * [`drain`] — COW capture scheduling (snapshot arm, background drain,
+//!   retroactive disk batches);
+//! * [`heartbeat`] — failure detection, the self-healing recovery pass and
+//!   coordinator failover;
 //! * [`recovery`] — recovery reports emitted by the self-healing manager;
-//! * [`world`] — [`world::World`]: the event loop hosting every node's
-//!   kernel, the learning switch with per-link bandwidth/latency, the Cruz
-//!   coordinator/agent control plane riding real UDP datagrams, coordinated
-//!   checkpoint/restart execution with disk-timed image I/O, single-pod live
-//!   migration, heartbeat failure detection with automatic restart from the
-//!   last committed epoch, and deterministic fault injection.
+//! * [`world`] — [`world::World`]: the thin driver that owns the event
+//!   loop, the node table and the switch, and dispatches to the layers
+//!   above.
 //!
 //! Benchmarks and examples drive a `World`; everything they measure emerges
 //! from the simulated components rather than from hard-coded results.
 
 #![warn(missing_docs)]
 
+pub mod drain;
+pub mod events;
 pub mod fault;
+pub mod heartbeat;
 pub mod jobs;
+pub mod ops;
 pub mod params;
 pub mod recovery;
+pub mod transport;
 pub mod world;
 
 pub use cruz::store::StoreConfig;
+pub use events::Event;
 pub use fault::{CrashFault, DiskFault, FaultPlan, ProtocolPoint};
 pub use jobs::{JobRuntime, JobSpec, PodPlacement, PodSpec};
+pub use ops::{CkptOptions, OpReport};
 pub use params::{CkptCaptureMode, ClusterParams, RecoveryParams, RetryPolicy, SparePolicy};
 pub use recovery::{RecoveryCause, RecoveryOutcome, RecoveryReport};
-pub use world::{ClusterError, Node, OpReport, World};
+pub use transport::{CtlSock, CtlTransport, SimnetCtl};
+pub use world::{ClusterError, Node, World};

@@ -1,0 +1,1127 @@
+//! Coordinated-operation runtime: install, message flow, retry/timeout,
+//! abort and persistence.
+//!
+//! This layer owns the lifetime of one coordinated checkpoint or restart:
+//! binding the coordinator's control socket (through the
+//! [`crate::transport::CtlTransport`] seam), serializing its
+//! sends on the control-plane CPU, executing agent actions against the Zap
+//! layer and the disk, and tearing the operation down on commit, abort or
+//! injected failure. The stop-the-world capture path lives here; the COW
+//! arm/drain schedule is in [`crate::drain`].
+
+use std::collections::BTreeMap;
+
+use des::{SimDuration, SimTime};
+use simnet::addr::SockAddr;
+use simos::disk::WriteFault;
+use zap::image::PodImage;
+use zap::ArmedPodCheckpoint;
+
+use cruz::agent::AgentAction;
+use cruz::coordinator::{CoordEffect, CoordStats, Coordinator};
+use cruz::error::CruzError;
+use cruz::proto::{CtlMsg, OpKind, ProtocolMode};
+use cruz::store::PreparedPut;
+
+use crate::events::Event;
+use crate::fault::ProtocolPoint;
+use crate::jobs::PodPlacement;
+use crate::params::CkptCaptureMode;
+use crate::recovery::RecoveryOutcome;
+use crate::transport::{CtlSock, CtlTransport};
+use crate::world::{ClusterError, World};
+
+/// Per-operation state the engine tracks from install to completion.
+pub(crate) struct OpRuntime {
+    pub(crate) coord: Coordinator,
+    pub(crate) kind: OpKind,
+    pub(crate) cow: bool,
+    /// How this checkpoint captures memory (stop-the-world or COW arm/drain).
+    pub(crate) capture: CkptCaptureMode,
+    /// Base epoch for incremental image capture (`None` = full).
+    pub(crate) incremental_base: Option<u64>,
+    pub(crate) job: String,
+    /// Epoch used for image storage (for restarts: the epoch restored).
+    pub(crate) image_epoch: u64,
+    pub(crate) coord_node: usize,
+    pub(crate) coord_sock: CtlSock,
+    pub(crate) agents_nodes: Vec<usize>,
+    pub(crate) pending_ckpt: BTreeMap<usize, Vec<(String, PreparedPut)>>,
+    /// COW capture: snapshots armed at freeze, awaiting their background
+    /// drain — (arm-complete time, per-pod armed checkpoints).
+    pub(crate) pending_arm: BTreeMap<usize, (SimTime, Vec<(String, ArmedPodCheckpoint)>)>,
+    /// COW capture: pre-image bytes copied on each node because post-resume
+    /// guest writes raced the drain.
+    pub(crate) cow_copied: BTreeMap<usize, u64>,
+    pub(crate) pending_restore: BTreeMap<usize, Vec<(String, Vec<u8>)>>,
+    pub(crate) local_ops: BTreeMap<usize, (SimTime, SimTime)>,
+    pub(crate) resumed_at: BTreeMap<usize, SimTime>,
+    pub(crate) complete: bool,
+    pub(crate) aborted: bool,
+    /// First control-plane failure hit while driving this operation; set
+    /// when the op is force-aborted instead of panicking the world.
+    pub(crate) error: Option<CruzError>,
+}
+
+/// Options of a coordinated checkpoint.
+#[derive(Debug, Clone, Copy)]
+pub struct CkptOptions {
+    /// Protocol variant (Fig. 2 blocking or Fig. 4 optimized).
+    pub mode: ProtocolMode,
+    /// §5.2 copy-on-write: blackout covers capture only; `durable` gates
+    /// the commit.
+    pub cow: bool,
+    /// Incremental: save only pages dirtied since the job's latest
+    /// committed epoch (falls back to full when none exists).
+    pub incremental: bool,
+    /// Memory-capture mode override; `None` uses `ClusterParams::capture`.
+    /// [`CkptCaptureMode::Cow`] shrinks the freeze to the snapshot-arm
+    /// window and implies the §5.2 durability split (`cow` above).
+    pub capture: Option<CkptCaptureMode>,
+    /// Failure-detection timeout (abort + rollback on expiry).
+    pub timeout: Option<SimDuration>,
+}
+
+impl Default for CkptOptions {
+    fn default() -> Self {
+        CkptOptions {
+            mode: ProtocolMode::Blocking,
+            cow: false,
+            incremental: false,
+            capture: None,
+            timeout: None,
+        }
+    }
+}
+
+/// A report of one finished (or running) coordinated operation.
+#[derive(Debug, Clone)]
+pub struct OpReport {
+    /// Operation kind.
+    pub kind: OpKind,
+    /// Coordinator timing observations.
+    pub stats: CoordStats,
+    /// Per-node local save/restore windows: (node, start, end).
+    pub local_ops: Vec<(usize, SimTime, SimTime)>,
+    /// When each node's pods resumed execution.
+    pub resumed_at: Vec<(usize, SimTime)>,
+    /// Whether the operation completed.
+    pub complete: bool,
+    /// Whether it was aborted.
+    pub aborted: bool,
+    /// COW capture only: per-node pre-image bytes copied because guest
+    /// writes raced the background drain — the bounded extra cost COW pays
+    /// for shrinking the freeze window.
+    pub cow_copied_bytes: Vec<(usize, u64)>,
+}
+
+impl OpReport {
+    /// How long each node's pods were frozen: local-op start to resume.
+    /// The quantity the Fig. 4 optimization shrinks on fast-saving nodes.
+    pub fn blocked_durations(&self) -> Vec<(usize, SimDuration)> {
+        self.local_ops
+            .iter()
+            .filter_map(|&(n, start, _)| {
+                let resumed = self.resumed_at.iter().find(|(rn, _)| *rn == n)?.1;
+                Some((n, resumed.saturating_duration_since(start)))
+            })
+            .collect()
+    }
+
+    /// The Fig. 5(b) quantity: total checkpoint latency minus the largest
+    /// local save time — what coordination itself costs.
+    pub fn coordination_overhead(&self) -> Option<SimDuration> {
+        let latency = self.stats.checkpoint_latency()?;
+        let max_local = self
+            .local_ops
+            .iter()
+            .map(|(_, s, e)| e.duration_since(*s))
+            .max()?;
+        Some(latency.saturating_sub(max_local))
+    }
+}
+
+impl World {
+    // ---- coordinated operations -------------------------------------------
+
+    /// Starts a coordinated checkpoint of `job`. Returns the operation id
+    /// (also the stored epoch).
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::NoSuchJob`].
+    pub fn start_checkpoint(
+        &mut self,
+        job: &str,
+        mode: ProtocolMode,
+        timeout: Option<SimDuration>,
+    ) -> Result<u64, ClusterError> {
+        self.start_checkpoint_opts(job, mode, false, timeout)
+    }
+
+    /// Like [`World::start_checkpoint`], with the §5.2 copy-on-write
+    /// optimization selectable: when `cow` is true the blackout covers only
+    /// state *capture*; image writes complete in the background and gate
+    /// the commit record via `durable` messages.
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::NoSuchJob`].
+    pub fn start_checkpoint_opts(
+        &mut self,
+        job: &str,
+        mode: ProtocolMode,
+        cow: bool,
+        timeout: Option<SimDuration>,
+    ) -> Result<u64, ClusterError> {
+        self.start_checkpoint_with(
+            job,
+            CkptOptions {
+                mode,
+                cow,
+                timeout,
+                ..CkptOptions::default()
+            },
+        )
+    }
+
+    /// The fully-general checkpoint entry point.
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::NoSuchJob`].
+    pub fn start_checkpoint_with(
+        &mut self,
+        job: &str,
+        opts: CkptOptions,
+    ) -> Result<u64, ClusterError> {
+        if self.job_busy(job) {
+            return Err(ClusterError::JobBusy);
+        }
+        let jr = self.jobs.get(job).ok_or(ClusterError::NoSuchJob)?;
+        let agents_nodes = jr.app_nodes();
+        let coord_node = jr.coordinator_node;
+        // The dedup store makes every epoch full-fidelity while writing only
+        // novel chunks, so it subsumes incremental delta chains.
+        let incremental_base = if opts.incremental && !self.params.store.dedup {
+            self.store(job).latest_committed_epoch()
+        } else {
+            None
+        };
+        let capture = opts.capture.unwrap_or(self.params.capture);
+        let op = self.next_op;
+        self.next_op += 1;
+        let mut coord = Coordinator::new(
+            OpKind::Checkpoint,
+            opts.mode,
+            op,
+            (0..agents_nodes.len()).collect(),
+        );
+        // With recovery on, every operation gets a failure-detection
+        // timeout even if the caller set none: a crashed participant must
+        // abort the op, not hang it forever.
+        let timeout = opts.timeout.or_else(|| {
+            self.params
+                .recovery
+                .enabled
+                .then_some(self.params.recovery.op_timeout)
+        });
+        if let Some(t) = timeout {
+            coord = coord.with_timeout(t);
+        }
+        // COW capture needs the §5.2 message flow: `done` at arm-complete
+        // resumes pods early, `durable` after the background drain gates the
+        // commit record.
+        if opts.cow || capture == CkptCaptureMode::Cow {
+            coord = coord.with_cow();
+        }
+        self.install_op_inc(
+            op,
+            op,
+            OpKind::Checkpoint,
+            job,
+            coord_node,
+            agents_nodes,
+            coord,
+            incremental_base,
+            capture,
+        )?;
+        Ok(op)
+    }
+
+    /// Starts a coordinated restart of `job` from a committed epoch. The
+    /// `placement` list re-homes pods (pod name → node); unmentioned pods
+    /// keep their previous node assignment.
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::NoSuchJob`], [`ClusterError::NoSuchEpoch`].
+    pub fn start_restart(
+        &mut self,
+        job: &str,
+        epoch: u64,
+        placement: &[(String, usize)],
+        mode: ProtocolMode,
+    ) -> Result<u64, ClusterError> {
+        if !self.store(job).is_committed(epoch) {
+            return Err(ClusterError::NoSuchEpoch(epoch));
+        }
+        if self.job_busy(job) {
+            return Err(ClusterError::JobBusy);
+        }
+        if !self.jobs.contains_key(job) {
+            return Err(ClusterError::NoSuchJob);
+        }
+        // Tear down surviving pods first (restart-in-place, or rolling a
+        // live job back to an earlier epoch): their addresses must be free
+        // before the restore recreates them.
+        let survivors: Vec<(usize, zap::pod::PodId)> = self
+            .jobs
+            .get(job)
+            .ok_or(ClusterError::NoSuchJob)?
+            .placements
+            .iter()
+            .filter_map(|p| {
+                let pod_id = p.pod_id?;
+                self.nodes[p.node].alive.then_some((p.node, pod_id))
+            })
+            .collect();
+        for (node, pod_id) in survivors {
+            let slot = &mut self.nodes[node];
+            let _ = slot.zap.destroy_pod(&mut slot.kernel, pod_id);
+            self.postprocess(node);
+        }
+        let jr = self.jobs.get_mut(job).ok_or(ClusterError::NoSuchJob)?;
+        for (pod, node) in placement {
+            if let Some(p) = jr.placement_mut(pod) {
+                p.node = *node;
+            }
+        }
+        for p in jr.placements.iter_mut() {
+            p.pod_id = None; // instantiated at restore time
+        }
+        let agents_nodes = jr.app_nodes();
+        let coord_node = jr.coordinator_node;
+        let op = self.next_op;
+        self.next_op += 1;
+        let mut coord = Coordinator::new(
+            OpKind::Restart,
+            ProtocolMode::Blocking,
+            op,
+            (0..agents_nodes.len()).collect(),
+        );
+        if self.params.recovery.enabled {
+            coord = coord.with_timeout(self.params.recovery.op_timeout);
+        }
+        let _ = mode; // restart always blocks until every node restored
+        self.install_op(
+            op,
+            epoch,
+            OpKind::Restart,
+            job,
+            coord_node,
+            agents_nodes,
+            coord,
+        )?;
+        Ok(op)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn install_op(
+        &mut self,
+        op: u64,
+        image_epoch: u64,
+        kind: OpKind,
+        job: &str,
+        coord_node: usize,
+        agents_nodes: Vec<usize>,
+        coord: Coordinator,
+    ) -> Result<(), ClusterError> {
+        self.install_op_inc(
+            op,
+            image_epoch,
+            kind,
+            job,
+            coord_node,
+            agents_nodes,
+            coord,
+            None,
+            CkptCaptureMode::StopTheWorld,
+        )
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn install_op_inc(
+        &mut self,
+        op: u64,
+        image_epoch: u64,
+        kind: OpKind,
+        job: &str,
+        coord_node: usize,
+        agents_nodes: Vec<usize>,
+        mut coord: Coordinator,
+        incremental_base: Option<u64>,
+        capture: CkptCaptureMode,
+    ) -> Result<(), ClusterError> {
+        let coord_sock = self.bind_ctl_sock(coord_node)?;
+        let (msgs, _) = coord.start(self.now);
+        let deadline = coord.deadline();
+        let cow = coord.cow();
+        self.ops.insert(
+            op,
+            OpRuntime {
+                coord,
+                kind,
+                cow,
+                capture,
+                incremental_base,
+                job: job.to_owned(),
+                image_epoch,
+                coord_node,
+                coord_sock,
+                agents_nodes,
+                pending_ckpt: BTreeMap::new(),
+                pending_arm: BTreeMap::new(),
+                cow_copied: BTreeMap::new(),
+                pending_restore: BTreeMap::new(),
+                local_ops: BTreeMap::new(),
+                resumed_at: BTreeMap::new(),
+                complete: false,
+                aborted: false,
+                error: None,
+            },
+        );
+        self.schedule_coord_sends(op, msgs);
+        if let Some(d) = deadline {
+            self.queue.push(d, Event::CoordTimeout { op });
+        }
+        if let Some(p) = self.params.ctl_retry {
+            if let Some(d) = p.delay(0) {
+                self.queue
+                    .push(self.now + d, Event::CoordRetry { op, attempt: 0 });
+            }
+        }
+        Ok(())
+    }
+
+    /// Binds an ephemeral control-plane endpoint on a node, through the
+    /// transport seam.
+    pub(crate) fn bind_ctl_sock(&mut self, node: usize) -> Result<CtlSock, ClusterError> {
+        Ok(self.ctl().bind(node, 0)?)
+    }
+
+    pub(crate) fn schedule_coord_sends(&mut self, op: u64, msgs: Vec<(usize, CtlMsg)>) {
+        // The coordinator CPU serializes message transmission. Together with
+        // the serialized receive path in `poll_ctl`, this is the
+        // N-proportional component of the Fig. 5(b) overhead.
+        let Some(coord_node) = self.ops.get(&op).map(|o| o.coord_node) else {
+            return;
+        };
+        for (agent, msg) in msgs {
+            let at = self.ctl_slot(coord_node);
+            self.queue.push(at, Event::CoordSend { op, to: agent, msg });
+        }
+    }
+
+    /// A report of an operation's progress/outcome.
+    pub fn op_report(&self, op: u64) -> Option<OpReport> {
+        let o = self.ops.get(&op)?;
+        Some(OpReport {
+            kind: o.kind,
+            stats: o.coord.stats.clone(),
+            local_ops: o.local_ops.iter().map(|(&n, &(s, e))| (n, s, e)).collect(),
+            resumed_at: o.resumed_at.iter().map(|(&n, &t)| (n, t)).collect(),
+            complete: o.complete,
+            aborted: o.aborted,
+            cow_copied_bytes: o.cow_copied.iter().map(|(&n, &b)| (n, b)).collect(),
+        })
+    }
+
+    /// True once the operation completed (successfully or by abort).
+    pub fn op_finished(&self, op: u64) -> bool {
+        self.ops
+            .get(&op)
+            .map(|o| o.complete || o.aborted)
+            .unwrap_or(false)
+    }
+
+    /// The control-plane error that force-aborted an operation, if any.
+    pub fn op_error(&self, op: u64) -> Option<&CruzError> {
+        self.ops.get(&op)?.error.as_ref()
+    }
+
+    /// Migrations whose destination refused the restore: (job, pod, error).
+    pub fn migration_failures(&self) -> &[(String, String, CruzError)] {
+        &self.migration_failures
+    }
+
+    /// Force-aborts an operation on a control-plane failure: the op is
+    /// marked aborted, the error recorded, abort messages broadcast to
+    /// every participant (so frozen pods resume rather than hang), and the
+    /// epoch's partial images discarded. One corrupt image or refused Zap
+    /// action kills one operation, not the whole world.
+    pub(crate) fn fail_op(&mut self, op: u64, err: CruzError) {
+        let msgs = {
+            let Some(o) = self.ops.get_mut(&op) else {
+                return;
+            };
+            if o.error.is_none() {
+                o.error = Some(err);
+            }
+            if o.complete || o.aborted {
+                return;
+            }
+            o.aborted = true;
+            o.coord.force_abort().0
+        };
+        self.schedule_coord_sends(op, msgs);
+        self.op_aborted_cleanup(op);
+    }
+
+    /// Post-abort bookkeeping shared by every abort path: a checkpoint's
+    /// uncommitted epoch is discarded and any chunks stranded by a torn or
+    /// interrupted write are reclaimed; a pending recovery pass waiting on
+    /// this op is marked failed.
+    pub(crate) fn op_aborted_cleanup(&mut self, op: u64) {
+        if let Some(o) = self.ops.get(&op) {
+            if o.kind == OpKind::Checkpoint {
+                let store = self.store(&o.job.clone());
+                store.discard_epoch(o.image_epoch);
+                store.gc_orphan_chunks();
+            }
+        }
+        if let Some(idx) = self.pending_recovery.remove(&op) {
+            if let Some(r) = self.recovery_reports.get_mut(idx) {
+                if r.outcome == RecoveryOutcome::InProgress {
+                    r.outcome = RecoveryOutcome::Failed;
+                }
+            }
+        }
+    }
+
+    /// Stamps a recovery pass whose restart operation just completed.
+    fn op_completed(&mut self, op: u64) {
+        let now = self.now;
+        if let Some(idx) = self.pending_recovery.remove(&op) {
+            if let Some(r) = self.recovery_reports.get_mut(idx) {
+                r.recovered_at = Some(now);
+                r.outcome = RecoveryOutcome::Recovered;
+            }
+        }
+    }
+
+    /// Arms a periodic checkpoint driver for `job` (the LSF-integration
+    /// analogue): every `interval`, a coordinated checkpoint starts unless
+    /// one is already running; the driver retires itself once the job
+    /// finishes.
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::NoSuchJob`].
+    pub fn schedule_periodic_checkpoints(
+        &mut self,
+        job: &str,
+        interval: SimDuration,
+        mode: ProtocolMode,
+        cow: bool,
+    ) -> Result<(), ClusterError> {
+        if !self.jobs.contains_key(job) {
+            return Err(ClusterError::NoSuchJob);
+        }
+        self.queue.push(
+            self.now + interval,
+            Event::PeriodicCkpt {
+                job: job.to_owned(),
+                interval,
+                mode,
+                cow,
+            },
+        );
+        Ok(())
+    }
+
+    pub(crate) fn on_periodic_ckpt(
+        &mut self,
+        job: &str,
+        interval: SimDuration,
+        mode: ProtocolMode,
+        cow: bool,
+    ) {
+        if !self.jobs.contains_key(job) || self.job_finished(job) {
+            return; // driver retires
+        }
+        if !self.job_busy(job) {
+            let _ = self.start_checkpoint_opts(job, mode, cow, None);
+        }
+        self.queue.push(
+            self.now + interval,
+            Event::PeriodicCkpt {
+                job: job.to_owned(),
+                interval,
+                mode,
+                cow,
+            },
+        );
+    }
+
+    // ---- agent wiring -------------------------------------------------------
+
+    pub(crate) fn on_agent_ctl(&mut self, node: usize, msg: CtlMsg, reply_to: SockAddr) {
+        if !self.nodes[node].alive {
+            return;
+        }
+        // Liveness probes answer from the node itself — a pong proves the
+        // whole receive path (NIC, kernel, control CPU), not just the wire.
+        if let CtlMsg::Ping { seq } = msg {
+            let sock = self.nodes[node].agent_sock;
+            let now = self.now;
+            self.ctl()
+                .send(node, sock, reply_to, &CtlMsg::Pong { seq }, now);
+            self.postprocess(node);
+            return;
+        }
+        if matches!(
+            msg,
+            CtlMsg::Start {
+                kind: OpKind::Checkpoint,
+                ..
+            }
+        ) && self.maybe_crash(node, ProtocolPoint::CheckpointReceived)
+        {
+            return;
+        }
+        if matches!(msg, CtlMsg::Start { .. }) {
+            self.nodes[node].agent_coord_addr = Some(reply_to);
+        }
+        let op = msg.epoch();
+        let actions = self.nodes[node].agent.on_ctl(msg, self.now);
+        self.run_agent_actions(node, op, actions);
+        self.postprocess(node);
+    }
+
+    pub(crate) fn on_agent_durable(&mut self, node: usize, op: u64) {
+        if !self.nodes[node].alive {
+            return;
+        }
+        let (job, image_epoch, images) = {
+            let Some(o) = self.ops.get_mut(&op) else {
+                return;
+            };
+            if o.aborted {
+                // The epoch was already discarded by the rollback; persisting
+                // now would leave orphan images the store can never commit.
+                o.pending_ckpt.remove(&node);
+                return;
+            }
+            (
+                o.job.clone(),
+                o.image_epoch,
+                o.pending_ckpt.remove(&node).unwrap_or_default(),
+            )
+        };
+        let store = self.store(&job);
+        for (pod_name, put) in images {
+            store.put_prepared(&pod_name, image_epoch, &put);
+        }
+        let actions = self.nodes[node].agent.on_local_durable(self.now);
+        self.run_agent_actions(node, op, actions);
+        self.postprocess(node);
+    }
+
+    pub(crate) fn on_agent_local_done(&mut self, node: usize, op: u64) {
+        if !self.nodes[node].alive {
+            return;
+        }
+        // Materialize the pending work at its completion time.
+        let (kind, cow) = match self.ops.get(&op) {
+            Some(o) => (o.kind, o.cow),
+            None => return,
+        };
+        // Fault plan: kill the node right at the protocol point — local
+        // work finished but neither reported nor durable (checkpoint), or
+        // mid-restore (restart).
+        let point = match kind {
+            OpKind::Checkpoint => ProtocolPoint::LocalDoneToDurable,
+            OpKind::Restart => ProtocolPoint::Restore,
+        };
+        if self.maybe_crash(node, point) {
+            return;
+        }
+        match kind {
+            OpKind::Checkpoint if !cow => {
+                let Some((job, image_epoch, images, aborted)) = self.ops.get_mut(&op).map(|o| {
+                    (
+                        o.job.clone(),
+                        o.image_epoch,
+                        o.pending_ckpt.remove(&node).unwrap_or_default(),
+                        o.aborted,
+                    )
+                }) else {
+                    return;
+                };
+                if aborted {
+                    // The epoch was already discarded by the abort path;
+                    // persisting this straggler would strand orphan chunks
+                    // and dangling refs the store can never commit.
+                    return;
+                }
+                let store = self.store(&job);
+                for (pod_name, put) in images {
+                    store.put_prepared(&pod_name, image_epoch, &put);
+                }
+            }
+            OpKind::Checkpoint => {} // COW: images persist at AgentDurable
+            OpKind::Restart => {
+                let Some((job, images)) = self.ops.get_mut(&op).map(|o| {
+                    (
+                        o.job.clone(),
+                        o.pending_restore.remove(&node).unwrap_or_default(),
+                    )
+                }) else {
+                    return;
+                };
+                for (pod_name, bytes) in images {
+                    let image = match PodImage::decode(&bytes) {
+                        Ok(img) => img,
+                        Err(e) => {
+                            self.fail_op(op, CruzError::BadImage(e));
+                            return;
+                        }
+                    };
+                    let slot = &mut self.nodes[node];
+                    let pod_id = match slot.zap.restart_pod(&mut slot.kernel, &image, self.now) {
+                        Ok(id) => id,
+                        Err(e) => {
+                            self.fail_op(op, CruzError::Zap(e));
+                            return;
+                        }
+                    };
+                    if let Some(jr) = self.jobs.get_mut(&job) {
+                        if let Some(p) = jr.placement_mut(&pod_name) {
+                            p.pod_id = Some(pod_id);
+                            p.node = node;
+                        }
+                    }
+                }
+            }
+        }
+        let actions = self.nodes[node].agent.on_local_done(self.now);
+        self.run_agent_actions(node, op, actions);
+        self.postprocess(node);
+    }
+
+    fn run_agent_actions(&mut self, node: usize, op: u64, actions: Vec<AgentAction>) {
+        for action in actions {
+            match action {
+                AgentAction::DisableComm => self.set_comm(node, op, false),
+                AgentAction::EnableComm => self.set_comm(node, op, true),
+                AgentAction::BeginLocalCheckpoint { .. } => self.begin_local_checkpoint(node, op),
+                AgentAction::BeginLocalRestore { .. } => self.begin_local_restore(node, op),
+                AgentAction::ResumePods => self.resume_pods(node, op),
+                AgentAction::RollBack { .. } => self.roll_back(node, op),
+                AgentAction::Send(msg) => self.agent_send(node, msg),
+            }
+        }
+    }
+
+    pub(crate) fn job_pods_on_node(&self, op: u64, node: usize) -> Vec<PodPlacement> {
+        let Some(o) = self.ops.get(&op) else {
+            return Vec::new();
+        };
+        let Some(jr) = self.jobs.get(&o.job) else {
+            return Vec::new();
+        };
+        jr.pods_on_node(node).into_iter().cloned().collect()
+    }
+
+    pub(crate) fn set_comm(&mut self, node: usize, op: u64, enabled: bool) {
+        for p in self.job_pods_on_node(op, node) {
+            let f = self.nodes[node].kernel.net.filter_mut();
+            if enabled {
+                f.remove_drop_rule(p.ip);
+            } else {
+                f.add_drop_rule(p.ip);
+            }
+        }
+    }
+
+    fn begin_local_checkpoint(&mut self, node: usize, op: u64) {
+        let Some((cow, capture, base, job)) = self
+            .ops
+            .get(&op)
+            .map(|o| (o.cow, o.capture, o.incremental_base, o.job.clone()))
+        else {
+            return;
+        };
+        if capture == CkptCaptureMode::Cow {
+            self.begin_local_checkpoint_cow(node, op, base);
+            return;
+        }
+        let pods = self.job_pods_on_node(op, node);
+        let dedup = self.params.store.dedup;
+        let store = self.store(&job);
+        let mut images: Vec<(String, PreparedPut)> = Vec::new();
+        // Pipelined write-out schedule for the dedup path: each novel chunk
+        // becomes available when capture has serialized up to it, and the
+        // manifest when the pod's image is complete.
+        let mut batch: Vec<(SimTime, u64)> = Vec::new();
+        let mut total: u64 = 0;
+        for p in &pods {
+            let Some(pod_id) = p.pod_id else { continue };
+            let slot = &mut self.nodes[node];
+            let extracted = match base {
+                Some(b) => {
+                    slot.zap
+                        .checkpoint_pod_incremental(&mut slot.kernel, pod_id, self.now, b)
+                }
+                None => slot.zap.checkpoint_pod(&mut slot.kernel, pod_id, self.now),
+            };
+            let img = match extracted {
+                Ok(img) => img,
+                Err(e) => {
+                    self.fail_op(op, CruzError::Zap(e));
+                    return;
+                }
+            };
+            if dedup {
+                let (bytes, cuts) = img.encode_with_page_cuts();
+                let prepared = store.prepare_chunked(&bytes, &cuts, &self.params.store);
+                let pod_base = total;
+                for (raw_end, stored) in prepared.novel_writes() {
+                    let ready = self.now + self.params.extract_time(pod_base + raw_end);
+                    batch.push((ready, stored));
+                }
+                total += bytes.len() as u64;
+                batch.push((
+                    self.now + self.params.extract_time(total),
+                    prepared.manifest_len(),
+                ));
+                images.push((p.name.clone(), PreparedPut::Chunked(prepared)));
+            } else {
+                let bytes = img.encode();
+                total += bytes.len() as u64;
+                images.push((p.name.clone(), PreparedPut::Plain(bytes)));
+            }
+        }
+        let t_extract = self.params.extract_time(total);
+        let captured_at = self.now + t_extract;
+        // Plain: one write of the whole image, starting once capture ends.
+        // Dedup: one batched operation (single seek) streaming novel chunks
+        // as capture produces them; the trailing manifest is ready at
+        // capture end, so the batch never completes before `captured_at`.
+        let durable_at = if dedup {
+            self.nodes[node]
+                .kernel
+                .disk
+                .submit_write_batch(self.now, &batch)
+        } else {
+            self.nodes[node]
+                .kernel
+                .disk
+                .submit_write(captured_at, total)
+        };
+        if let Some(fault) = self.nodes[node].kernel.disk.take_write_fault() {
+            self.apply_ckpt_disk_fault(op, fault, images);
+            return;
+        }
+        if cow {
+            // §5.2/COW: the blackout ends when the state is captured; the
+            // disk write proceeds in the background and gates the commit.
+            if let Some(o) = self.ops.get_mut(&op) {
+                o.pending_ckpt.insert(node, images);
+                o.local_ops.insert(node, (self.now, captured_at));
+            }
+            self.queue
+                .push(captured_at, Event::AgentLocalDone { node, op });
+            self.queue
+                .push(durable_at, Event::AgentDurable { node, op });
+        } else {
+            if let Some(o) = self.ops.get_mut(&op) {
+                o.pending_ckpt.insert(node, images);
+                o.local_ops.insert(node, (self.now, durable_at));
+            }
+            self.queue
+                .push(durable_at, Event::AgentLocalDone { node, op });
+        }
+    }
+
+    /// An injected disk fault struck a checkpoint write: the write syscall
+    /// reports the failure, durability is never claimed, and the operation
+    /// force-aborts. A torn write additionally leaves a partial prefix of
+    /// the image on disk — chunks with no manifest referencing them — which
+    /// the abort path's orphan-chunk garbage collection reclaims.
+    pub(crate) fn apply_ckpt_disk_fault(
+        &mut self,
+        op: u64,
+        fault: WriteFault,
+        images: Vec<(String, PreparedPut)>,
+    ) {
+        if let WriteFault::Torn(frac) = fault {
+            if let Some(o) = self.ops.get(&op) {
+                let store = self.store(&o.job.clone());
+                for (pod_name, put) in &images {
+                    store.put_torn(pod_name, o.image_epoch, put, frac);
+                }
+            }
+        }
+        self.fail_op(op, CruzError::Protocol("injected disk write fault"));
+    }
+
+    fn begin_local_restore(&mut self, node: usize, op: u64) {
+        let (job, image_epoch) = match self.ops.get(&op) {
+            Some(o) => (o.job.clone(), o.image_epoch),
+            None => return,
+        };
+        let store = self.store(&job);
+        let pods = self.job_pods_on_node(op, node);
+        let mut images = Vec::new();
+        let mut total: u64 = 0;
+        for p in &pods {
+            // Walk the incremental chain down to the full base image; the
+            // restore reads (and pays for) every link.
+            let mut chain: Vec<Vec<u8>> = Vec::new();
+            let mut epoch = Some(image_epoch);
+            while let Some(e) = epoch {
+                let Some(bytes) = store.get_image(&p.name, e) else {
+                    break;
+                };
+                // Charge what the disk actually serves: the plain file, or
+                // the manifest plus every distinct chunk it references.
+                total += store.stored_len(&p.name, e).unwrap_or(bytes.len() as u64);
+                let base = match PodImage::decode(&bytes) {
+                    Ok(img) => img.base_epoch,
+                    Err(e) => {
+                        self.fail_op(op, CruzError::BadImage(e));
+                        return;
+                    }
+                };
+                chain.push(bytes);
+                epoch = base;
+            }
+            if chain.is_empty() {
+                continue;
+            }
+            // Fold base-first. The chain is non-empty, so the fold seed is
+            // the bottom (full) image.
+            let merged = chain
+                .pop()
+                .ok_or(CruzError::Protocol("image chain emptied mid-fold"))
+                .and_then(|base_bytes| PodImage::decode(&base_bytes).map_err(CruzError::from))
+                .and_then(|mut merged| {
+                    if merged.base_epoch.is_some() {
+                        return Err(CruzError::Protocol(
+                            "image chain does not bottom out at a full image",
+                        ));
+                    }
+                    while let Some(delta_bytes) = chain.pop() {
+                        let delta = PodImage::decode(&delta_bytes)?;
+                        merged = merged.apply_delta(&delta)?;
+                    }
+                    Ok(merged)
+                });
+            let merged = match merged {
+                Ok(m) => m,
+                Err(e) => {
+                    self.fail_op(op, e);
+                    return;
+                }
+            };
+            images.push((p.name.clone(), merged.encode()));
+        }
+        let done_at = self.nodes[node].kernel.disk.submit_read(self.now, total);
+        if let Some(o) = self.ops.get_mut(&op) {
+            o.pending_restore.insert(node, images);
+            o.local_ops.insert(node, (self.now, done_at));
+        }
+        self.queue.push(done_at, Event::AgentLocalDone { node, op });
+    }
+
+    pub(crate) fn resume_pods(&mut self, node: usize, op: u64) {
+        for p in self.job_pods_on_node(op, node) {
+            let Some(pod_id) = p.pod_id else { continue };
+            let slot = &mut self.nodes[node];
+            let _ = slot.zap.resume_pod(&mut slot.kernel, pod_id, self.now);
+        }
+        let now = self.now;
+        if let Some(o) = self.ops.get_mut(&op) {
+            o.resumed_at.entry(node).or_insert(now);
+        }
+    }
+
+    fn roll_back(&mut self, node: usize, op: u64) {
+        // Abort path: disarm any undrained COW snapshot, resume pods, lift
+        // filters, discard this epoch's images.
+        if let Some(o) = self.ops.get_mut(&op) {
+            if let Some((_, armed)) = o.pending_arm.remove(&node) {
+                for (_, a) in armed {
+                    a.cancel();
+                }
+            }
+        }
+        self.resume_pods(node, op);
+        self.set_comm(node, op, true);
+        if let Some(o) = self.ops.get(&op) {
+            // Only a checkpoint abort owns its epoch. An aborted *restart*
+            // is reading a committed epoch — discarding it would destroy
+            // the very checkpoint recovery needs to retry from.
+            if o.kind == OpKind::Checkpoint {
+                let store = self.store(&o.job.clone());
+                store.discard_epoch(o.image_epoch);
+            }
+        }
+    }
+
+    fn agent_send(&mut self, node: usize, msg: CtlMsg) {
+        let Some(addr) = self.nodes[node].agent_coord_addr else {
+            return;
+        };
+        let sock = self.nodes[node].agent_sock;
+        let now = self.now;
+        self.ctl().send(node, sock, addr, &msg, now);
+    }
+
+    // ---- coordinator wiring -------------------------------------------------
+
+    pub(crate) fn on_coord_ctl(&mut self, op: u64, from: usize, msg: CtlMsg) {
+        let Some(o) = self.ops.get_mut(&op) else {
+            return;
+        };
+        let (msgs, effects) = o.coord.on_message(from, msg, self.now);
+        let job = o.job.clone();
+        let image_epoch = o.image_epoch;
+        self.schedule_coord_sends(op, msgs);
+        for fx in effects {
+            match fx {
+                CoordEffect::Commit { .. } => {
+                    let store = self.store(&job);
+                    store.commit(image_epoch);
+                    if self.params.prune_old_epochs {
+                        store.prune_below(image_epoch);
+                    }
+                }
+                CoordEffect::Complete { .. } => {
+                    if let Some(o) = self.ops.get_mut(&op) {
+                        o.complete = true;
+                    }
+                    self.op_completed(op);
+                }
+                CoordEffect::Aborted { .. } => {
+                    if let Some(o) = self.ops.get_mut(&op) {
+                        o.aborted = true;
+                    }
+                    self.op_aborted_cleanup(op);
+                }
+            }
+        }
+    }
+
+    pub(crate) fn on_coord_send(&mut self, op: u64, to: usize, msg: CtlMsg) {
+        let Some(o) = self.ops.get(&op) else {
+            return;
+        };
+        let node = o.agents_nodes[to];
+        let coord_node = o.coord_node;
+        let sock = o.coord_sock;
+        let now = self.now;
+        let mut ctl = self.ctl();
+        let dst = ctl.agent_addr(node);
+        ctl.send(coord_node, sock, dst, &msg, now);
+        self.postprocess(coord_node);
+    }
+
+    pub(crate) fn on_coord_retry(&mut self, op: u64, attempt: u32) {
+        let Some(policy) = self.params.ctl_retry else {
+            return;
+        };
+        let msgs = {
+            let Some(o) = self.ops.get_mut(&op) else {
+                return;
+            };
+            // An op that settled (or was force-aborted) stops retrying:
+            // backed-off retransmissions never outlive their operation.
+            if o.complete || o.aborted {
+                return;
+            }
+            o.coord.on_retry(self.now)
+        };
+        self.schedule_coord_sends(op, msgs);
+        let next = attempt + 1;
+        if let Some(d) = policy.delay(next) {
+            self.queue
+                .push(self.now + d, Event::CoordRetry { op, attempt: next });
+        }
+    }
+
+    pub(crate) fn on_coord_timeout(&mut self, op: u64) {
+        let Some(o) = self.ops.get_mut(&op) else {
+            return;
+        };
+        let (msgs, effects) = o.coord.on_timeout(self.now);
+        self.schedule_coord_sends(op, msgs);
+        for fx in effects {
+            if let CoordEffect::Aborted { .. } = fx {
+                if let Some(o) = self.ops.get_mut(&op) {
+                    o.aborted = true;
+                }
+                self.op_aborted_cleanup(op);
+            }
+        }
+    }
+
+    // ---- receive pumps ------------------------------------------------------
+
+    /// Drains a node's agent endpoint: each decodable control frame costs
+    /// one control-CPU slot and becomes an [`Event::AgentCtl`].
+    pub(crate) fn pump_agent(&mut self, n: usize) {
+        let sock = self.nodes[n].agent_sock;
+        while let Some((from, msg)) = self.ctl().recv(n, sock) {
+            let mut at = self.ctl_slot(n);
+            // Start/continue handling configures the packet filter and
+            // signals pods before anything else runs.
+            if matches!(msg, CtlMsg::Start { .. } | CtlMsg::Continue { .. }) {
+                at += self.params.agent_op_cpu;
+                self.nodes[n].ctl_cpu_free = at;
+            }
+            self.queue.push(
+                at,
+                Event::AgentCtl {
+                    node: n,
+                    msg,
+                    reply_to: from,
+                },
+            );
+        }
+    }
+
+    /// Drains coordinator sockets hosted on a node: each agent reply costs
+    /// one control-CPU slot and becomes an [`Event::CoordCtl`].
+    pub(crate) fn pump_coord(&mut self, n: usize) {
+        let op_socks: Vec<(u64, CtlSock)> = self
+            .ops
+            .iter()
+            .filter(|(_, o)| o.coord_node == n && !o.complete && !o.aborted)
+            .map(|(&id, o)| (id, o.coord_sock))
+            .collect();
+        for (op, sock) in op_socks {
+            while let Some((from, msg)) = self.ctl().recv(n, sock) {
+                // Identify the agent by source address.
+                let Some(agent_idx) = self.ops.get(&op).and_then(|o| {
+                    o.agents_nodes
+                        .iter()
+                        .position(|&an| World::node_ip(an) == from.ip)
+                }) else {
+                    continue;
+                };
+                let at = self.ctl_slot(n);
+                self.queue.push(
+                    at,
+                    Event::CoordCtl {
+                        op,
+                        from: agent_idx,
+                        msg,
+                    },
+                );
+            }
+        }
+    }
+}

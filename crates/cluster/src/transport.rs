@@ -1,0 +1,125 @@
+//! The control-plane transport seam.
+//!
+//! Everything above this module — coordinator wiring, agent wiring,
+//! heartbeats, failover — moves [`CtlMsg`] frames through the
+//! [`CtlTransport`] trait and never touches a node's network stack
+//! directly. That is the layering DMTCP's coordinator/plugin split proved
+//! out (and its InfiniBand port exploited: swap the transport, keep the
+//! protocol): the protocol engine is written once against this seam, and
+//! a backend is free to carry frames however it likes.
+//!
+//! The first backend is [`SimnetCtl`]: unreliable datagrams over the
+//! simulated UDP/IP/Ethernet substrate. Frames it sends are subject to
+//! everything the fabric does to real traffic — link serialization delay,
+//! switch forwarding, seeded loss, and the fault plane's
+//! drop/duplicate/reorder injections — which is exactly why the protocol
+//! layers must tolerate delivery faults rather than assume a reliable
+//! channel. A future async-socket backend implements these four methods
+//! and the engine above compiles unchanged.
+
+use bytes::Bytes;
+use des::SimTime;
+use simnet::addr::SockAddr;
+use simnet::stack::SocketId;
+
+use cruz::error::CruzError;
+use cruz::proto::{CtlMsg, AGENT_PORT};
+
+use crate::world::{Node, World};
+
+/// An opaque handle to one bound control-plane endpoint on one node.
+///
+/// Backends map it onto whatever their socket notion is; holders can only
+/// pass it back into the [`CtlTransport`] that issued it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct CtlSock(u64);
+
+impl CtlSock {
+    /// A handle that no transport ever issues — the pre-bind placeholder.
+    pub(crate) const UNBOUND: CtlSock = CtlSock(u64::MAX);
+}
+
+/// Bind/send/receive of control-plane frames on behalf of a node.
+///
+/// The contract is deliberately minimal and datagram-shaped:
+///
+/// * **Unreliable** — `send` is fire-and-forget. Frames may be dropped,
+///   duplicated or reordered in flight (the simnet backend subjects them
+///   to the seeded fault plane); the protocol layers above own retry and
+///   idempotence.
+/// * **Non-blocking** — `recv` drains at most one decodable frame and
+///   never waits; the event loop polls it at node-service points.
+/// * **Addressed** — nodes are named by index; [`CtlTransport::agent_addr`]
+///   maps an index to the well-known agent endpoint so callers never
+///   derive wire addresses themselves.
+pub trait CtlTransport {
+    /// Binds a fresh control endpoint on `node` at `port` (`0` requests an
+    /// ephemeral port).
+    ///
+    /// # Errors
+    ///
+    /// [`CruzError::ControlSocket`] when the node's stack refuses the bind
+    /// (port taken, sockets exhausted).
+    fn bind(&mut self, node: usize, port: u16) -> Result<CtlSock, CruzError>;
+
+    /// Sends one control frame from `sock` on `node` to `dst`,
+    /// fire-and-forget. A refused or unroutable send is dropped silently —
+    /// indistinguishable, to the protocol, from loss in flight.
+    fn send(&mut self, node: usize, sock: CtlSock, dst: SockAddr, msg: &CtlMsg, now: SimTime);
+
+    /// Receives the next decodable control frame queued on `sock`, with
+    /// its source address. Undecodable datagrams are discarded. `None`
+    /// when the queue is empty.
+    fn recv(&mut self, node: usize, sock: CtlSock) -> Option<(SockAddr, CtlMsg)>;
+
+    /// The well-known control-plane address of `node`'s agent endpoint.
+    fn agent_addr(&self, node: usize) -> SockAddr;
+}
+
+/// The simulated-UDP backend: control frames ride real datagrams through
+/// each node's [`simnet`] stack, the switch, and the per-link
+/// bandwidth/latency model — so control-plane cost and control-plane loss
+/// are emergent, not modelled.
+pub struct SimnetCtl<'a> {
+    nodes: &'a mut [Node],
+}
+
+impl<'a> SimnetCtl<'a> {
+    pub(crate) fn new(nodes: &'a mut [Node]) -> SimnetCtl<'a> {
+        SimnetCtl { nodes }
+    }
+}
+
+impl CtlTransport for SimnetCtl<'_> {
+    fn bind(&mut self, node: usize, port: u16) -> Result<CtlSock, CruzError> {
+        let k = &mut self.nodes[node].kernel;
+        let s = k.net.udp_socket();
+        k.net
+            .bind(s, SockAddr::new(World::node_ip(node), port))
+            .map_err(CruzError::ControlSocket)?;
+        Ok(CtlSock(s.0))
+    }
+
+    fn send(&mut self, node: usize, sock: CtlSock, dst: SockAddr, msg: &CtlMsg, now: SimTime) {
+        let _ = self.nodes[node].kernel.net.udp_send_to(
+            SocketId(sock.0),
+            dst,
+            Bytes::from(msg.encode()),
+            now,
+        );
+    }
+
+    fn recv(&mut self, node: usize, sock: CtlSock) -> Option<(SockAddr, CtlMsg)> {
+        let net = &mut self.nodes[node].kernel.net;
+        while let Ok(Some((from, bytes))) = net.udp_recv_from(SocketId(sock.0)) {
+            if let Some(msg) = CtlMsg::decode(&bytes) {
+                return Some((from, msg));
+            }
+        }
+        None
+    }
+
+    fn agent_addr(&self, node: usize) -> SockAddr {
+        SockAddr::new(World::node_ip(node), AGENT_PORT)
+    }
+}

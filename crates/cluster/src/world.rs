@@ -1,35 +1,42 @@
-//! The simulated cluster: nodes, switch, control plane and job management,
-//! driven by one deterministic discrete-event loop.
+//! The thin world driver: the deterministic event loop, the node table,
+//! the switch, and nothing else.
+//!
+//! Protocol behavior lives in the layers above — [`crate::ops`],
+//! [`crate::drain`], [`crate::heartbeat`] and [`crate::jobs`] each extend
+//! [`World`] with their own `impl` block, and every control frame they
+//! move goes through the [`crate::transport`] seam. This module only pops
+//! events, stamps the trace digest, routes frames between nodes and the
+//! switch, and re-arms per-node run/timer scheduling.
 
 use std::collections::BTreeMap;
 use std::fmt;
 
-use bytes::Bytes;
-use des::{EventQueue, SimDuration, SimRng, SimTime};
+use des::{digest, EventQueue, SimDuration, SimRng, SimTime};
 use simnet::addr::{IpAddr, MacAddr, SockAddr};
 use simnet::fault::FrameFate;
 use simnet::link::LinkState;
-use simnet::stack::SocketId;
 use simnet::switch::{PortId, Switch};
 use simnet::{EthFrame, NetStack};
-use simos::disk::{Disk, WriteFault};
+use simos::disk::Disk;
 use simos::fs::NetFs;
 use simos::kernel::Kernel;
-use simos::proc::ProcState;
-use zap::image::PodImage;
-use zap::pod::Vpid;
-use zap::{ArmedPodCheckpoint, PodConfig, Zap, ZapError};
+use zap::{Zap, ZapError};
 
-use cruz::agent::{Agent, AgentAction};
-use cruz::coordinator::{CoordEffect, CoordStats, Coordinator};
+use cruz::agent::Agent;
 use cruz::error::CruzError;
-use cruz::proto::{CtlMsg, OpKind, ProtocolMode, AGENT_PORT};
-use cruz::store::{CheckpointStore, PreparedPut};
+use cruz::proto::AGENT_PORT;
+use cruz::store::CheckpointStore;
 
+use crate::events::Event;
 use crate::fault::{FaultPlan, ProtocolPoint};
-use crate::jobs::{JobRuntime, JobSpec, PodPlacement};
-use crate::params::{CkptCaptureMode, ClusterParams, SparePolicy};
-use crate::recovery::{RecoveryCause, RecoveryOutcome, RecoveryReport};
+use crate::heartbeat::HeartbeatState;
+use crate::jobs::JobRuntime;
+use crate::ops::OpRuntime;
+use crate::params::ClusterParams;
+use crate::recovery::RecoveryReport;
+use crate::transport::{CtlSock, CtlTransport, SimnetCtl};
+
+pub use crate::ops::{CkptOptions, OpReport};
 
 /// Cluster-level errors.
 #[derive(Debug)]
@@ -86,211 +93,16 @@ pub struct Node {
     pub kernel: Kernel,
     /// The node's Zap layer.
     pub zap: Zap,
-    agent: Agent,
-    agent_sock: SocketId,
-    agent_coord_addr: Option<SockAddr>,
-    alive: bool,
+    pub(crate) agent: Agent,
+    pub(crate) agent_sock: CtlSock,
+    pub(crate) agent_coord_addr: Option<SockAddr>,
+    pub(crate) alive: bool,
     run_scheduled: bool,
     timer_scheduled: Option<SimTime>,
     /// When this node's control-plane CPU frees up: sending and processing
     /// coordination messages serialize here (the N-proportional component
     /// of Fig. 5(b)).
-    ctl_cpu_free: SimTime,
-}
-
-enum Event {
-    NodeRun(usize),
-    NodeTick(usize),
-    FrameAtSwitch {
-        from_port: usize,
-        frame: EthFrame,
-    },
-    FrameAtNode {
-        port: usize,
-        frame: EthFrame,
-    },
-    AgentCtl {
-        node: usize,
-        msg: CtlMsg,
-        reply_to: SockAddr,
-    },
-    AgentLocalDone {
-        node: usize,
-        op: u64,
-    },
-    AgentDurable {
-        node: usize,
-        op: u64,
-    },
-    /// COW capture: the background drain of a node's armed memory snapshots
-    /// completes (pages encoded, chunked, and handed to the disk).
-    CkptDrain {
-        node: usize,
-        op: u64,
-    },
-    CoordCtl {
-        op: u64,
-        from: usize,
-        msg: CtlMsg,
-    },
-    CoordSend {
-        op: u64,
-        to: usize,
-        msg: CtlMsg,
-    },
-    CoordTimeout {
-        op: u64,
-    },
-    CoordRetry {
-        op: u64,
-        attempt: u32,
-    },
-    /// One heartbeat round for a job: ping every app node, arm the timeout.
-    Heartbeat {
-        job: String,
-    },
-    /// The deadline of one heartbeat round: any pinged node that has not
-    /// ponged since `sent_at` is declared dead.
-    HeartbeatTimeout {
-        job: String,
-        sent_at: SimTime,
-        pinged: Vec<usize>,
-    },
-    /// A duplicated or reordered frame copy re-entering a node's NIC; never
-    /// re-rolled against the fault plan (one fate per original frame).
-    FrameAtNodeInjected {
-        port: usize,
-        frame: EthFrame,
-    },
-    PeriodicCkpt {
-        job: String,
-        interval: SimDuration,
-        mode: ProtocolMode,
-        cow: bool,
-    },
-    MigrateFinish {
-        job: String,
-        pod: String,
-        dst: usize,
-        image: Box<PodImage>,
-    },
-}
-
-struct OpRuntime {
-    coord: Coordinator,
-    kind: OpKind,
-    cow: bool,
-    /// How this checkpoint captures memory (stop-the-world or COW arm/drain).
-    capture: CkptCaptureMode,
-    /// Base epoch for incremental image capture (`None` = full).
-    incremental_base: Option<u64>,
-    job: String,
-    /// Epoch used for image storage (for restarts: the epoch restored).
-    image_epoch: u64,
-    coord_node: usize,
-    coord_sock: SocketId,
-    agents_nodes: Vec<usize>,
-    pending_ckpt: BTreeMap<usize, Vec<(String, PreparedPut)>>,
-    /// COW capture: snapshots armed at freeze, awaiting their background
-    /// drain — (arm-complete time, per-pod armed checkpoints).
-    pending_arm: BTreeMap<usize, (SimTime, Vec<(String, ArmedPodCheckpoint)>)>,
-    /// COW capture: pre-image bytes copied on each node because post-resume
-    /// guest writes raced the drain.
-    cow_copied: BTreeMap<usize, u64>,
-    pending_restore: BTreeMap<usize, Vec<(String, Vec<u8>)>>,
-    local_ops: BTreeMap<usize, (SimTime, SimTime)>,
-    resumed_at: BTreeMap<usize, SimTime>,
-    complete: bool,
-    aborted: bool,
-    /// First control-plane failure hit while driving this operation; set
-    /// when the op is force-aborted instead of panicking the world.
-    error: Option<CruzError>,
-}
-
-/// Options of a coordinated checkpoint.
-#[derive(Debug, Clone, Copy)]
-pub struct CkptOptions {
-    /// Protocol variant (Fig. 2 blocking or Fig. 4 optimized).
-    pub mode: ProtocolMode,
-    /// §5.2 copy-on-write: blackout covers capture only; `durable` gates
-    /// the commit.
-    pub cow: bool,
-    /// Incremental: save only pages dirtied since the job's latest
-    /// committed epoch (falls back to full when none exists).
-    pub incremental: bool,
-    /// Memory-capture mode override; `None` uses `ClusterParams::capture`.
-    /// [`CkptCaptureMode::Cow`] shrinks the freeze to the snapshot-arm
-    /// window and implies the §5.2 durability split (`cow` above).
-    pub capture: Option<CkptCaptureMode>,
-    /// Failure-detection timeout (abort + rollback on expiry).
-    pub timeout: Option<SimDuration>,
-}
-
-impl Default for CkptOptions {
-    fn default() -> Self {
-        CkptOptions {
-            mode: ProtocolMode::Blocking,
-            cow: false,
-            incremental: false,
-            capture: None,
-            timeout: None,
-        }
-    }
-}
-
-/// A report of one finished (or running) coordinated operation.
-#[derive(Debug, Clone)]
-pub struct OpReport {
-    /// Operation kind.
-    pub kind: OpKind,
-    /// Coordinator timing observations.
-    pub stats: CoordStats,
-    /// Per-node local save/restore windows: (node, start, end).
-    pub local_ops: Vec<(usize, SimTime, SimTime)>,
-    /// When each node's pods resumed execution.
-    pub resumed_at: Vec<(usize, SimTime)>,
-    /// Whether the operation completed.
-    pub complete: bool,
-    /// Whether it was aborted.
-    pub aborted: bool,
-    /// COW capture only: per-node pre-image bytes copied because guest
-    /// writes raced the background drain — the bounded extra cost COW pays
-    /// for shrinking the freeze window.
-    pub cow_copied_bytes: Vec<(usize, u64)>,
-}
-
-impl OpReport {
-    /// How long each node's pods were frozen: local-op start to resume.
-    /// The quantity the Fig. 4 optimization shrinks on fast-saving nodes.
-    pub fn blocked_durations(&self) -> Vec<(usize, SimDuration)> {
-        self.local_ops
-            .iter()
-            .filter_map(|&(n, start, _)| {
-                let resumed = self.resumed_at.iter().find(|(rn, _)| *rn == n)?.1;
-                Some((n, resumed.saturating_duration_since(start)))
-            })
-            .collect()
-    }
-
-    /// The Fig. 5(b) quantity: total checkpoint latency minus the largest
-    /// local save time — what coordination itself costs.
-    pub fn coordination_overhead(&self) -> Option<SimDuration> {
-        let latency = self.stats.checkpoint_latency()?;
-        let max_local = self
-            .local_ops
-            .iter()
-            .map(|(_, s, e)| e.duration_since(*s))
-            .max()?;
-        Some(latency.saturating_sub(max_local))
-    }
-}
-
-/// Per-job heartbeat bookkeeping (socket on the coordinator node, ping
-/// sequence, last pong time per node).
-struct HeartbeatState {
-    sock: SocketId,
-    seq: u64,
-    last_pong: BTreeMap<usize, SimTime>,
+    pub(crate) ctl_cpu_free: SimTime,
 }
 
 /// An installed fault plan plus its dedicated RNG stream and per-point hit
@@ -307,8 +119,8 @@ struct FaultState {
 pub struct World {
     /// Current simulated time.
     pub now: SimTime,
-    queue: EventQueue<Event>,
-    nodes: Vec<Node>,
+    pub(crate) queue: EventQueue<Event>,
+    pub(crate) nodes: Vec<Node>,
     switch: Switch,
     links_up: Vec<LinkState>,
     links_down: Vec<LinkState>,
@@ -317,13 +129,13 @@ pub struct World {
     /// The parameters this world was built with.
     pub params: ClusterParams,
     rng: SimRng,
-    jobs: BTreeMap<String, JobRuntime>,
+    pub(crate) jobs: BTreeMap<String, JobRuntime>,
     /// In-flight single-pod migrations per job.
-    migrations: BTreeMap<String, usize>,
+    pub(crate) migrations: BTreeMap<String, usize>,
     /// Migrations whose destination refused the restore: (job, pod, error).
-    migration_failures: Vec<(String, String, CruzError)>,
-    ops: BTreeMap<u64, OpRuntime>,
-    next_op: u64,
+    pub(crate) migration_failures: Vec<(String, String, CruzError)>,
+    pub(crate) ops: BTreeMap<u64, OpRuntime>,
+    pub(crate) next_op: u64,
     events_processed: u64,
     /// FNV-1a fold over (time, event fingerprint) of every dispatched
     /// event — a cheap witness of the whole execution order. Two runs
@@ -331,31 +143,19 @@ pub struct World {
     /// pinpoints the first source of nondeterminism.
     trace_digest: u64,
     /// Per-job heartbeat state (present only while recovery watches a job).
-    hb: BTreeMap<String, HeartbeatState>,
+    pub(crate) hb: BTreeMap<String, HeartbeatState>,
     /// The installed fault plan, if any.
     fault: Option<FaultState>,
     /// Every recovery pass the self-healing manager has run.
-    recovery_reports: Vec<RecoveryReport>,
+    pub(crate) recovery_reports: Vec<RecoveryReport>,
     /// Restart op → index into `recovery_reports`, stamped on completion.
-    pending_recovery: BTreeMap<u64, usize>,
+    pub(crate) pending_recovery: BTreeMap<u64, usize>,
     /// Automatic recoveries performed per job (bounded by
     /// `RecoveryParams::max_recoveries`).
-    recoveries: BTreeMap<String, u32>,
+    pub(crate) recoveries: BTreeMap<String, u32>,
     /// Every node crash the world has seen: (node, time). Lets recovery
     /// reports measure detection latency from the true crash instant.
-    crash_log: Vec<(usize, SimTime)>,
-}
-
-/// FNV-1a offset basis / prime (64-bit).
-const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
-
-fn fnv_fold(mut h: u64, word: u64) -> u64 {
-    for byte in word.to_le_bytes() {
-        h ^= byte as u64;
-        h = h.wrapping_mul(FNV_PRIME);
-    }
-    h
+    pub(crate) crash_log: Vec<(usize, SimTime)>,
 }
 
 impl fmt::Debug for World {
@@ -380,32 +180,28 @@ impl World {
         for i in 0..n {
             let net = NetStack::new(
                 MacAddr::from_index(i as u32 + 1),
-                Self::node_ip_static(i),
+                Self::node_ip(i),
                 params.subnet_prefix,
                 params.tcp.clone(),
             );
             let mut kernel = Kernel::new(net, fs.clone(), Disk::new(params.disk), params.kernel);
             let zap = Zap::new();
             zap.install(&mut kernel);
-            let agent_sock = kernel.net.udp_socket();
-            kernel
-                .net
-                .bind(
-                    agent_sock,
-                    SockAddr::new(Self::node_ip_static(i), AGENT_PORT),
-                )
-                .expect("agent port free on a fresh stack"); // cruz-lint: allow(silent-unwrap)
             nodes.push(Node {
                 kernel,
                 zap,
                 agent: Agent::new(),
-                agent_sock,
+                agent_sock: CtlSock::UNBOUND,
                 agent_coord_addr: None,
                 alive: true,
                 run_scheduled: false,
                 timer_scheduled: None,
                 ctl_cpu_free: SimTime::ZERO,
             });
+            let sock = SimnetCtl::new(&mut nodes)
+                .bind(i, AGENT_PORT)
+                .expect("agent port free on a fresh stack"); // cruz-lint: allow(silent-unwrap)
+            nodes[i].agent_sock = sock;
         }
         let _ = rng.next_u64();
         World {
@@ -424,7 +220,7 @@ impl World {
             ops: BTreeMap::new(),
             next_op: 1,
             events_processed: 0,
-            trace_digest: FNV_OFFSET,
+            trace_digest: digest::OFFSET,
             hb: BTreeMap::new(),
             fault: None,
             recovery_reports: Vec::new(),
@@ -434,13 +230,16 @@ impl World {
         }
     }
 
-    /// The IP of node `i`.
-    pub fn node_ip(&self, i: usize) -> IpAddr {
-        Self::node_ip_static(i)
+    /// The IP of node `i`: `10.0.0.(i+1)`.
+    pub fn node_ip(i: usize) -> IpAddr {
+        IpAddr::from_octets([10, 0, 0, (i + 1) as u8])
     }
 
-    fn node_ip_static(i: usize) -> IpAddr {
-        IpAddr::from_octets([10, 0, 0, (i + 1) as u8])
+    /// The world's control-plane transport: every protocol layer binds,
+    /// sends and receives [`cruz::proto::CtlMsg`] frames through this seam
+    /// rather than touching a node's network stack directly.
+    pub fn ctl(&mut self) -> SimnetCtl<'_> {
+        SimnetCtl::new(&mut self.nodes)
     }
 
     /// Number of nodes.
@@ -542,7 +341,7 @@ impl World {
     /// Crashes the plan says should fire at `point` on `node`: counts the
     /// occurrence and kills the node when a [`crate::fault::CrashFault`]
     /// names it. Returns true when the node just died.
-    fn maybe_crash(&mut self, node: usize, point: ProtocolPoint) -> bool {
+    pub(crate) fn maybe_crash(&mut self, node: usize, point: ProtocolPoint) -> bool {
         let fire = match self.fault.as_mut() {
             Some(f) => {
                 let hits = f.crash_hits.entry((node, point as u8)).or_insert(0);
@@ -561,659 +360,13 @@ impl World {
         fire
     }
 
-    // ---- job management --------------------------------------------------
-
-    /// Launches a job: creates its pods and spawns their programs.
-    ///
-    /// # Errors
-    ///
-    /// [`ClusterError::JobExists`], [`ClusterError::BadNode`] or Zap errors.
-    pub fn launch_job(&mut self, spec: &JobSpec) -> Result<(), ClusterError> {
-        if self.jobs.contains_key(&spec.name) {
-            return Err(ClusterError::JobExists);
-        }
-        if spec.coordinator_node >= self.nodes.len() {
-            return Err(ClusterError::BadNode(spec.coordinator_node));
-        }
-        let mut placements = Vec::new();
-        for pod in &spec.pods {
-            if pod.node >= self.nodes.len() {
-                return Err(ClusterError::BadNode(pod.node));
-            }
-            let slot = &mut self.nodes[pod.node];
-            let pod_id = slot.zap.create_pod(
-                &mut slot.kernel,
-                PodConfig {
-                    name: format!("{}:{}", spec.name, pod.name),
-                    ip: pod.ip,
-                    mac_mode: pod.mac_mode,
-                },
-            )?;
-            for prog in &pod.programs {
-                slot.zap.spawn_in_pod(&mut slot.kernel, pod_id, prog)?;
-            }
-            placements.push(PodPlacement {
-                name: pod.name.clone(),
-                ip: pod.ip,
-                mac_mode: pod.mac_mode,
-                node: pod.node,
-                pod_id: Some(pod_id),
-            });
-        }
-        self.jobs.insert(
-            spec.name.clone(),
-            JobRuntime {
-                name: spec.name.clone(),
-                placements,
-                coordinator_node: spec.coordinator_node,
-            },
-        );
-        for pod in &spec.pods {
-            self.postprocess(pod.node);
-        }
-        if self.params.recovery.enabled {
-            self.enable_recovery(&spec.name)?;
-        }
-        Ok(())
-    }
-
-    /// Puts a job under the self-healing recovery manager: the coordinator
-    /// node pings every app node each heartbeat interval; nodes that miss
-    /// the deadline are declared dead, in-flight operations are aborted,
-    /// uncommitted epochs discarded, and the job restarts from its last
-    /// committed epoch on spare nodes. Jobs launched while
-    /// `params.recovery.enabled` is set are enrolled automatically.
-    ///
-    /// # Errors
-    ///
-    /// [`ClusterError::NoSuchJob`]; socket-exhaustion protocol errors.
-    pub fn enable_recovery(&mut self, job: &str) -> Result<(), ClusterError> {
-        let Some(jr) = self.jobs.get(job) else {
-            return Err(ClusterError::NoSuchJob);
-        };
-        if self.hb.contains_key(job) {
-            return Ok(());
-        }
-        let coord_node = jr.coordinator_node;
-        let sock = self.bind_ctl_sock(coord_node)?;
-        self.hb.insert(
-            job.to_owned(),
-            HeartbeatState {
-                sock,
-                seq: 0,
-                last_pong: BTreeMap::new(),
-            },
-        );
-        self.queue.push(
-            self.now + self.params.recovery.heartbeat_interval,
-            Event::Heartbeat {
-                job: job.to_owned(),
-            },
-        );
-        Ok(())
-    }
-
-    /// True once every process of every pod of the job has exited.
-    pub fn job_finished(&self, job: &str) -> bool {
-        let Some(jr) = self.jobs.get(job) else {
-            return false;
-        };
-        jr.placements.iter().all(|p| match p.pod_id {
-            Some(pid) => self.nodes[p.node]
-                .zap
-                .pod_finished(&self.nodes[p.node].kernel, pid),
-            None => false,
-        })
-    }
-
-    /// The console of a pod process (by pod name and virtual pid).
-    pub fn pod_console(&self, job: &str, pod: &str, vpid: Vpid) -> Option<Vec<String>> {
-        let jr = self.jobs.get(job)?;
-        let p = jr.placement(pod)?;
-        let node = &self.nodes[p.node];
-        node.zap.console_of(&node.kernel, p.pod_id?, vpid)
-    }
-
-    /// The exit code of a pod process, if it has exited.
-    pub fn pod_exit_code(&self, job: &str, pod: &str, vpid: Vpid) -> Option<u64> {
-        let jr = self.jobs.get(job)?;
-        let p = jr.placement(pod)?;
-        let node = &self.nodes[p.node];
-        let real = node.zap.real_pid(p.pod_id?, vpid)?;
-        match node.kernel.process(real)?.state {
-            ProcState::Zombie(code) => Some(code),
-            _ => None,
-        }
-    }
-
-    /// Reads guest memory of a pod process (host-side observation; used by
-    /// benchmarks to sample progress counters).
-    pub fn peek_guest(
-        &self,
-        job: &str,
-        pod: &str,
-        vpid: Vpid,
-        addr: u64,
-        len: usize,
-    ) -> Option<Vec<u8>> {
-        let jr = self.jobs.get(job)?;
-        let p = jr.placement(pod)?;
-        let node = &self.nodes[p.node];
-        let real = node.zap.real_pid(p.pod_id?, vpid)?;
-        node.kernel.read_guest(real, addr, len).ok()
-    }
-
-    // ---- coordinated operations -------------------------------------------
-
-    /// Starts a coordinated checkpoint of `job`. Returns the operation id
-    /// (also the stored epoch).
-    ///
-    /// # Errors
-    ///
-    /// [`ClusterError::NoSuchJob`].
-    pub fn start_checkpoint(
-        &mut self,
-        job: &str,
-        mode: ProtocolMode,
-        timeout: Option<SimDuration>,
-    ) -> Result<u64, ClusterError> {
-        self.start_checkpoint_opts(job, mode, false, timeout)
-    }
-
-    /// Like [`World::start_checkpoint`], with the §5.2 copy-on-write
-    /// optimization selectable: when `cow` is true the blackout covers only
-    /// state *capture*; image writes complete in the background and gate
-    /// the commit record via `durable` messages.
-    ///
-    /// # Errors
-    ///
-    /// [`ClusterError::NoSuchJob`].
-    pub fn start_checkpoint_opts(
-        &mut self,
-        job: &str,
-        mode: ProtocolMode,
-        cow: bool,
-        timeout: Option<SimDuration>,
-    ) -> Result<u64, ClusterError> {
-        self.start_checkpoint_with(
-            job,
-            CkptOptions {
-                mode,
-                cow,
-                timeout,
-                ..CkptOptions::default()
-            },
-        )
-    }
-
-    /// The fully-general checkpoint entry point.
-    ///
-    /// # Errors
-    ///
-    /// [`ClusterError::NoSuchJob`].
-    pub fn start_checkpoint_with(
-        &mut self,
-        job: &str,
-        opts: CkptOptions,
-    ) -> Result<u64, ClusterError> {
-        if self.job_busy(job) {
-            return Err(ClusterError::JobBusy);
-        }
-        let jr = self.jobs.get(job).ok_or(ClusterError::NoSuchJob)?;
-        let agents_nodes = jr.app_nodes();
-        let coord_node = jr.coordinator_node;
-        // The dedup store makes every epoch full-fidelity while writing only
-        // novel chunks, so it subsumes incremental delta chains.
-        let incremental_base = if opts.incremental && !self.params.store.dedup {
-            self.store(job).latest_committed_epoch()
-        } else {
-            None
-        };
-        let capture = opts.capture.unwrap_or(self.params.capture);
-        let op = self.next_op;
-        self.next_op += 1;
-        let mut coord = Coordinator::new(
-            OpKind::Checkpoint,
-            opts.mode,
-            op,
-            (0..agents_nodes.len()).collect(),
-        );
-        // With recovery on, every operation gets a failure-detection
-        // timeout even if the caller set none: a crashed participant must
-        // abort the op, not hang it forever.
-        let timeout = opts.timeout.or_else(|| {
-            self.params
-                .recovery
-                .enabled
-                .then_some(self.params.recovery.op_timeout)
-        });
-        if let Some(t) = timeout {
-            coord = coord.with_timeout(t);
-        }
-        // COW capture needs the §5.2 message flow: `done` at arm-complete
-        // resumes pods early, `durable` after the background drain gates the
-        // commit record.
-        if opts.cow || capture == CkptCaptureMode::Cow {
-            coord = coord.with_cow();
-        }
-        self.install_op_inc(
-            op,
-            op,
-            OpKind::Checkpoint,
-            job,
-            coord_node,
-            agents_nodes,
-            coord,
-            incremental_base,
-            capture,
-        )?;
-        Ok(op)
-    }
-
-    /// Starts a coordinated restart of `job` from a committed epoch. The
-    /// `placement` list re-homes pods (pod name → node); unmentioned pods
-    /// keep their previous node assignment.
-    ///
-    /// # Errors
-    ///
-    /// [`ClusterError::NoSuchJob`], [`ClusterError::NoSuchEpoch`].
-    pub fn start_restart(
-        &mut self,
-        job: &str,
-        epoch: u64,
-        placement: &[(String, usize)],
-        mode: ProtocolMode,
-    ) -> Result<u64, ClusterError> {
-        if !self.store(job).is_committed(epoch) {
-            return Err(ClusterError::NoSuchEpoch(epoch));
-        }
-        if self.job_busy(job) {
-            return Err(ClusterError::JobBusy);
-        }
-        if !self.jobs.contains_key(job) {
-            return Err(ClusterError::NoSuchJob);
-        }
-        // Tear down surviving pods first (restart-in-place, or rolling a
-        // live job back to an earlier epoch): their addresses must be free
-        // before the restore recreates them.
-        let survivors: Vec<(usize, zap::pod::PodId)> = self
-            .jobs
-            .get(job)
-            .ok_or(ClusterError::NoSuchJob)?
-            .placements
-            .iter()
-            .filter_map(|p| {
-                let pod_id = p.pod_id?;
-                self.nodes[p.node].alive.then_some((p.node, pod_id))
-            })
-            .collect();
-        for (node, pod_id) in survivors {
-            let slot = &mut self.nodes[node];
-            let _ = slot.zap.destroy_pod(&mut slot.kernel, pod_id);
-            self.postprocess(node);
-        }
-        let jr = self.jobs.get_mut(job).ok_or(ClusterError::NoSuchJob)?;
-        for (pod, node) in placement {
-            if let Some(p) = jr.placement_mut(pod) {
-                p.node = *node;
-            }
-        }
-        for p in jr.placements.iter_mut() {
-            p.pod_id = None; // instantiated at restore time
-        }
-        let agents_nodes = jr.app_nodes();
-        let coord_node = jr.coordinator_node;
-        let op = self.next_op;
-        self.next_op += 1;
-        let mut coord = Coordinator::new(
-            OpKind::Restart,
-            ProtocolMode::Blocking,
-            op,
-            (0..agents_nodes.len()).collect(),
-        );
-        if self.params.recovery.enabled {
-            coord = coord.with_timeout(self.params.recovery.op_timeout);
-        }
-        let _ = mode; // restart always blocks until every node restored
-        self.install_op(
-            op,
-            epoch,
-            OpKind::Restart,
-            job,
-            coord_node,
-            agents_nodes,
-            coord,
-        )?;
-        Ok(op)
-    }
-
-    #[allow(clippy::too_many_arguments)]
-    fn install_op(
-        &mut self,
-        op: u64,
-        image_epoch: u64,
-        kind: OpKind,
-        job: &str,
-        coord_node: usize,
-        agents_nodes: Vec<usize>,
-        coord: Coordinator,
-    ) -> Result<(), ClusterError> {
-        self.install_op_inc(
-            op,
-            image_epoch,
-            kind,
-            job,
-            coord_node,
-            agents_nodes,
-            coord,
-            None,
-            CkptCaptureMode::StopTheWorld,
-        )
-    }
-
-    #[allow(clippy::too_many_arguments)]
-    fn install_op_inc(
-        &mut self,
-        op: u64,
-        image_epoch: u64,
-        kind: OpKind,
-        job: &str,
-        coord_node: usize,
-        agents_nodes: Vec<usize>,
-        mut coord: Coordinator,
-        incremental_base: Option<u64>,
-        capture: CkptCaptureMode,
-    ) -> Result<(), ClusterError> {
-        let coord_sock = self.bind_ctl_sock(coord_node)?;
-        let (msgs, _) = coord.start(self.now);
-        let deadline = coord.deadline();
-        let cow = coord.cow();
-        self.ops.insert(
-            op,
-            OpRuntime {
-                coord,
-                kind,
-                cow,
-                capture,
-                incremental_base,
-                job: job.to_owned(),
-                image_epoch,
-                coord_node,
-                coord_sock,
-                agents_nodes,
-                pending_ckpt: BTreeMap::new(),
-                pending_arm: BTreeMap::new(),
-                cow_copied: BTreeMap::new(),
-                pending_restore: BTreeMap::new(),
-                local_ops: BTreeMap::new(),
-                resumed_at: BTreeMap::new(),
-                complete: false,
-                aborted: false,
-                error: None,
-            },
-        );
-        self.schedule_coord_sends(op, msgs);
-        if let Some(d) = deadline {
-            self.queue.push(d, Event::CoordTimeout { op });
-        }
-        if let Some(p) = self.params.ctl_retry {
-            if let Some(d) = p.delay(0) {
-                self.queue
-                    .push(self.now + d, Event::CoordRetry { op, attempt: 0 });
-            }
-        }
-        Ok(())
-    }
-
-    /// Binds an ephemeral control-plane UDP socket on a node.
-    fn bind_ctl_sock(&mut self, node: usize) -> Result<SocketId, ClusterError> {
-        let k = &mut self.nodes[node].kernel;
-        let s = k.net.udp_socket();
-        k.net
-            .bind(s, SockAddr::new(Self::node_ip_static(node), 0))
-            .map_err(CruzError::ControlSocket)?;
-        Ok(s)
-    }
-
     /// Reserves one message-processing slot on a node's control-plane CPU,
     /// returning when the work completes.
-    fn ctl_slot(&mut self, node: usize) -> SimTime {
+    pub(crate) fn ctl_slot(&mut self, node: usize) -> SimTime {
         let start = self.nodes[node].ctl_cpu_free.max(self.now);
         let done = start + self.params.ctl_msg_cpu;
         self.nodes[node].ctl_cpu_free = done;
         done
-    }
-
-    fn schedule_coord_sends(&mut self, op: u64, msgs: Vec<(usize, CtlMsg)>) {
-        // The coordinator CPU serializes message transmission. Together with
-        // the serialized receive path in `poll_ctl`, this is the
-        // N-proportional component of the Fig. 5(b) overhead.
-        let Some(coord_node) = self.ops.get(&op).map(|o| o.coord_node) else {
-            return;
-        };
-        for (agent, msg) in msgs {
-            let at = self.ctl_slot(coord_node);
-            self.queue.push(at, Event::CoordSend { op, to: agent, msg });
-        }
-    }
-
-    /// A report of an operation's progress/outcome.
-    pub fn op_report(&self, op: u64) -> Option<OpReport> {
-        let o = self.ops.get(&op)?;
-        Some(OpReport {
-            kind: o.kind,
-            stats: o.coord.stats.clone(),
-            local_ops: o.local_ops.iter().map(|(&n, &(s, e))| (n, s, e)).collect(),
-            resumed_at: o.resumed_at.iter().map(|(&n, &t)| (n, t)).collect(),
-            complete: o.complete,
-            aborted: o.aborted,
-            cow_copied_bytes: o.cow_copied.iter().map(|(&n, &b)| (n, b)).collect(),
-        })
-    }
-
-    /// True once the operation completed (successfully or by abort).
-    pub fn op_finished(&self, op: u64) -> bool {
-        self.ops
-            .get(&op)
-            .map(|o| o.complete || o.aborted)
-            .unwrap_or(false)
-    }
-
-    /// The control-plane error that force-aborted an operation, if any.
-    pub fn op_error(&self, op: u64) -> Option<&CruzError> {
-        self.ops.get(&op)?.error.as_ref()
-    }
-
-    /// Migrations whose destination refused the restore: (job, pod, error).
-    pub fn migration_failures(&self) -> &[(String, String, CruzError)] {
-        &self.migration_failures
-    }
-
-    /// Force-aborts an operation on a control-plane failure: the op is
-    /// marked aborted, the error recorded, abort messages broadcast to
-    /// every participant (so frozen pods resume rather than hang), and the
-    /// epoch's partial images discarded. One corrupt image or refused Zap
-    /// action kills one operation, not the whole world.
-    fn fail_op(&mut self, op: u64, err: CruzError) {
-        let msgs = {
-            let Some(o) = self.ops.get_mut(&op) else {
-                return;
-            };
-            if o.error.is_none() {
-                o.error = Some(err);
-            }
-            if o.complete || o.aborted {
-                return;
-            }
-            o.aborted = true;
-            o.coord.force_abort().0
-        };
-        self.schedule_coord_sends(op, msgs);
-        self.op_aborted_cleanup(op);
-    }
-
-    /// Post-abort bookkeeping shared by every abort path: a checkpoint's
-    /// uncommitted epoch is discarded and any chunks stranded by a torn or
-    /// interrupted write are reclaimed; a pending recovery pass waiting on
-    /// this op is marked failed.
-    fn op_aborted_cleanup(&mut self, op: u64) {
-        if let Some(o) = self.ops.get(&op) {
-            if o.kind == OpKind::Checkpoint {
-                let store = self.store(&o.job.clone());
-                store.discard_epoch(o.image_epoch);
-                store.gc_orphan_chunks();
-            }
-        }
-        if let Some(idx) = self.pending_recovery.remove(&op) {
-            if let Some(r) = self.recovery_reports.get_mut(idx) {
-                if r.outcome == RecoveryOutcome::InProgress {
-                    r.outcome = RecoveryOutcome::Failed;
-                }
-            }
-        }
-    }
-
-    /// Stamps a recovery pass whose restart operation just completed.
-    fn op_completed(&mut self, op: u64) {
-        let now = self.now;
-        if let Some(idx) = self.pending_recovery.remove(&op) {
-            if let Some(r) = self.recovery_reports.get_mut(idx) {
-                r.recovered_at = Some(now);
-                r.outcome = RecoveryOutcome::Recovered;
-            }
-        }
-    }
-
-    /// Arms a periodic checkpoint driver for `job` (the LSF-integration
-    /// analogue): every `interval`, a coordinated checkpoint starts unless
-    /// one is already running; the driver retires itself once the job
-    /// finishes.
-    ///
-    /// # Errors
-    ///
-    /// [`ClusterError::NoSuchJob`].
-    pub fn schedule_periodic_checkpoints(
-        &mut self,
-        job: &str,
-        interval: SimDuration,
-        mode: ProtocolMode,
-        cow: bool,
-    ) -> Result<(), ClusterError> {
-        if !self.jobs.contains_key(job) {
-            return Err(ClusterError::NoSuchJob);
-        }
-        self.queue.push(
-            self.now + interval,
-            Event::PeriodicCkpt {
-                job: job.to_owned(),
-                interval,
-                mode,
-                cow,
-            },
-        );
-        Ok(())
-    }
-
-    fn on_periodic_ckpt(
-        &mut self,
-        job: &str,
-        interval: SimDuration,
-        mode: ProtocolMode,
-        cow: bool,
-    ) {
-        if !self.jobs.contains_key(job) || self.job_finished(job) {
-            return; // driver retires
-        }
-        if !self.job_busy(job) {
-            let _ = self.start_checkpoint_opts(job, mode, cow, None);
-        }
-        self.queue.push(
-            self.now + interval,
-            Event::PeriodicCkpt {
-                job: job.to_owned(),
-                interval,
-                mode,
-                cow,
-            },
-        );
-    }
-
-    // ---- live migration (single pod, peers untouched) ----------------------
-
-    /// Migrates one pod to `dst` while the rest of the job keeps running —
-    /// the §4.2 scenario (remote endpoints need not be under Zap control).
-    /// The pod is frozen, checkpointed, torn down at the source, and
-    /// restored+resumed at the destination after the modelled transfer
-    /// time.
-    ///
-    /// # Errors
-    ///
-    /// [`ClusterError::NoSuchJob`]/[`ClusterError::BadNode`]; Zap errors.
-    pub fn migrate_pod(&mut self, job: &str, pod: &str, dst: usize) -> Result<(), ClusterError> {
-        if dst >= self.nodes.len() {
-            return Err(ClusterError::BadNode(dst));
-        }
-        if self.job_busy(job) {
-            return Err(ClusterError::JobBusy);
-        }
-        let (src, pod_id, ip) = {
-            let jr = self.jobs.get(job).ok_or(ClusterError::NoSuchJob)?;
-            let p = jr.placement(pod).ok_or(ClusterError::NoSuchJob)?;
-            (p.node, p.pod_id.ok_or(ClusterError::NoSuchJob)?, p.ip)
-        };
-        // Freeze & extract at the source now; drop traffic meanwhile.
-        {
-            let slot = &mut self.nodes[src];
-            slot.kernel.net.filter_mut().add_drop_rule(ip);
-        }
-        let image = {
-            let slot = &mut self.nodes[src];
-            let img = slot
-                .zap
-                .checkpoint_pod(&mut slot.kernel, pod_id, self.now)?;
-            slot.zap.destroy_pod(&mut slot.kernel, pod_id)?;
-            slot.kernel.net.filter_mut().remove_drop_rule(ip);
-            img
-        };
-        let bytes = image.encoded_len() as u64;
-        // Source disk write, then destination disk read (via the shared fs).
-        let t_extract = self.params.extract_time(bytes);
-        let w = self.nodes[src]
-            .kernel
-            .disk
-            .submit_write(self.now + t_extract, bytes);
-        if self.nodes[src].kernel.disk.take_write_fault().is_some() {
-            // The spool write failed or tore: the transfer never reaches the
-            // destination and the pod (already torn down at the source) is
-            // lost. The job manager sees a migration failure; with recovery
-            // enabled the heartbeat plane restarts the job from its last
-            // committed epoch.
-            if let Some(jr) = self.jobs.get_mut(job) {
-                if let Some(p) = jr.placement_mut(pod) {
-                    p.pod_id = None;
-                }
-            }
-            self.migration_failures.push((
-                job.to_string(),
-                pod.to_string(),
-                CruzError::Protocol("injected disk fault tore the migration spool"),
-            ));
-            self.postprocess(src);
-            return Ok(());
-        }
-        let r = self.nodes[dst].kernel.disk.submit_read(w, bytes);
-        self.queue.push(
-            r,
-            Event::MigrateFinish {
-                job: job.to_owned(),
-                pod: pod.to_owned(),
-                dst,
-                image: Box::new(image),
-            },
-        );
-        *self.migrations.entry(job.to_owned()).or_insert(0) += 1;
-        self.postprocess(src);
-        Ok(())
     }
 
     // ---- event loop -------------------------------------------------------
@@ -1226,70 +379,10 @@ impl World {
         debug_assert!(at >= self.now, "time went backwards");
         self.now = at;
         self.events_processed += 1;
-        self.trace_digest = fnv_fold(self.trace_digest, at.as_nanos());
-        self.trace_digest = fnv_fold(self.trace_digest, Self::event_fingerprint(&ev));
+        self.trace_digest = digest::fold_u64(self.trace_digest, at.as_nanos());
+        self.trace_digest = digest::fold_u64(self.trace_digest, ev.fingerprint());
         self.dispatch(ev);
         true
-    }
-
-    /// A cheap per-event fingerprint folded into [`trace_digest`]: the
-    /// variant tag plus its routing fields. Enough to distinguish any two
-    /// event orderings without hashing payload bytes on the hot path.
-    ///
-    /// [`trace_digest`]: World::trace_digest
-    fn event_fingerprint(ev: &Event) -> u64 {
-        let mix = |tag: u64, a: u64, b: u64| fnv_fold(fnv_fold(fnv_fold(FNV_OFFSET, tag), a), b);
-        match ev {
-            Event::NodeRun(n) => mix(1, *n as u64, 0),
-            Event::NodeTick(n) => mix(2, *n as u64, 0),
-            Event::FrameAtSwitch { from_port, frame } => {
-                mix(3, *from_port as u64, frame.wire_len() as u64)
-            }
-            Event::FrameAtNode { port, frame } => mix(4, *port as u64, frame.wire_len() as u64),
-            Event::AgentCtl { node, msg, .. } => mix(5, *node as u64, msg.epoch()),
-            Event::AgentLocalDone { node, op } => mix(6, *node as u64, *op),
-            Event::AgentDurable { node, op } => mix(7, *node as u64, *op),
-            Event::CkptDrain { node, op } => mix(14, *node as u64, *op),
-            Event::CoordCtl { op, from, msg } => fnv_fold(mix(8, *op, *from as u64), msg.epoch()),
-            Event::CoordSend { op, to, msg } => fnv_fold(mix(9, *op, *to as u64), msg.epoch()),
-            Event::CoordTimeout { op } => mix(10, *op, 0),
-            Event::CoordRetry { op, attempt } => mix(11, *op, *attempt as u64),
-            Event::Heartbeat { job } => {
-                let mut h = mix(15, 0, 0);
-                for b in job.bytes() {
-                    h = fnv_fold(h, b as u64);
-                }
-                h
-            }
-            Event::HeartbeatTimeout {
-                job,
-                sent_at,
-                pinged,
-            } => {
-                let mut h = mix(16, sent_at.as_nanos(), pinged.len() as u64);
-                for b in job.bytes() {
-                    h = fnv_fold(h, b as u64);
-                }
-                h
-            }
-            Event::FrameAtNodeInjected { port, frame } => {
-                mix(17, *port as u64, frame.wire_len() as u64)
-            }
-            Event::PeriodicCkpt { job, interval, .. } => {
-                let mut h = mix(12, interval.as_nanos(), 0);
-                for b in job.bytes() {
-                    h = fnv_fold(h, b as u64);
-                }
-                h
-            }
-            Event::MigrateFinish { job, pod, dst, .. } => {
-                let mut h = mix(13, *dst as u64, 0);
-                for b in job.bytes().chain(pod.bytes()) {
-                    h = fnv_fold(h, b as u64);
-                }
-                h
-            }
-        }
     }
 
     /// The running event-trace digest (see the field docs). Equal seeds
@@ -1461,1013 +554,10 @@ impl World {
         self.postprocess(port);
     }
 
-    fn on_agent_ctl(&mut self, node: usize, msg: CtlMsg, reply_to: SockAddr) {
-        if !self.nodes[node].alive {
-            return;
-        }
-        // Liveness probes answer from the node itself — a pong proves the
-        // whole receive path (NIC, kernel, control CPU), not just the wire.
-        if let CtlMsg::Ping { seq } = msg {
-            let sock = self.nodes[node].agent_sock;
-            let _ = self.nodes[node].kernel.net.udp_send_to(
-                sock,
-                reply_to,
-                Bytes::from(CtlMsg::Pong { seq }.encode()),
-                self.now,
-            );
-            self.postprocess(node);
-            return;
-        }
-        if matches!(
-            msg,
-            CtlMsg::Start {
-                kind: OpKind::Checkpoint,
-                ..
-            }
-        ) && self.maybe_crash(node, ProtocolPoint::CheckpointReceived)
-        {
-            return;
-        }
-        if matches!(msg, CtlMsg::Start { .. }) {
-            self.nodes[node].agent_coord_addr = Some(reply_to);
-        }
-        let op = msg.epoch();
-        let actions = self.nodes[node].agent.on_ctl(msg, self.now);
-        self.run_agent_actions(node, op, actions);
-        self.postprocess(node);
-    }
-
-    fn on_agent_durable(&mut self, node: usize, op: u64) {
-        if !self.nodes[node].alive {
-            return;
-        }
-        let (job, image_epoch, images) = {
-            let Some(o) = self.ops.get_mut(&op) else {
-                return;
-            };
-            if o.aborted {
-                // The epoch was already discarded by the rollback; persisting
-                // now would leave orphan images the store can never commit.
-                o.pending_ckpt.remove(&node);
-                return;
-            }
-            (
-                o.job.clone(),
-                o.image_epoch,
-                o.pending_ckpt.remove(&node).unwrap_or_default(),
-            )
-        };
-        let store = self.store(&job);
-        for (pod_name, put) in images {
-            store.put_prepared(&pod_name, image_epoch, &put);
-        }
-        let actions = self.nodes[node].agent.on_local_durable(self.now);
-        self.run_agent_actions(node, op, actions);
-        self.postprocess(node);
-    }
-
-    fn on_agent_local_done(&mut self, node: usize, op: u64) {
-        if !self.nodes[node].alive {
-            return;
-        }
-        // Materialize the pending work at its completion time.
-        let (kind, cow) = match self.ops.get(&op) {
-            Some(o) => (o.kind, o.cow),
-            None => return,
-        };
-        // Fault plan: kill the node right at the protocol point — local
-        // work finished but neither reported nor durable (checkpoint), or
-        // mid-restore (restart).
-        let point = match kind {
-            OpKind::Checkpoint => ProtocolPoint::LocalDoneToDurable,
-            OpKind::Restart => ProtocolPoint::Restore,
-        };
-        if self.maybe_crash(node, point) {
-            return;
-        }
-        match kind {
-            OpKind::Checkpoint if !cow => {
-                let Some((job, image_epoch, images, aborted)) = self.ops.get_mut(&op).map(|o| {
-                    (
-                        o.job.clone(),
-                        o.image_epoch,
-                        o.pending_ckpt.remove(&node).unwrap_or_default(),
-                        o.aborted,
-                    )
-                }) else {
-                    return;
-                };
-                if aborted {
-                    // The epoch was already discarded by the abort path;
-                    // persisting this straggler would strand orphan chunks
-                    // and dangling refs the store can never commit.
-                    return;
-                }
-                let store = self.store(&job);
-                for (pod_name, put) in images {
-                    store.put_prepared(&pod_name, image_epoch, &put);
-                }
-            }
-            OpKind::Checkpoint => {} // COW: images persist at AgentDurable
-            OpKind::Restart => {
-                let Some((job, images)) = self.ops.get_mut(&op).map(|o| {
-                    (
-                        o.job.clone(),
-                        o.pending_restore.remove(&node).unwrap_or_default(),
-                    )
-                }) else {
-                    return;
-                };
-                for (pod_name, bytes) in images {
-                    let image = match PodImage::decode(&bytes) {
-                        Ok(img) => img,
-                        Err(e) => {
-                            self.fail_op(op, CruzError::BadImage(e));
-                            return;
-                        }
-                    };
-                    let slot = &mut self.nodes[node];
-                    let pod_id = match slot.zap.restart_pod(&mut slot.kernel, &image, self.now) {
-                        Ok(id) => id,
-                        Err(e) => {
-                            self.fail_op(op, CruzError::Zap(e));
-                            return;
-                        }
-                    };
-                    if let Some(jr) = self.jobs.get_mut(&job) {
-                        if let Some(p) = jr.placement_mut(&pod_name) {
-                            p.pod_id = Some(pod_id);
-                            p.node = node;
-                        }
-                    }
-                }
-            }
-        }
-        let actions = self.nodes[node].agent.on_local_done(self.now);
-        self.run_agent_actions(node, op, actions);
-        self.postprocess(node);
-    }
-
-    fn run_agent_actions(&mut self, node: usize, op: u64, actions: Vec<AgentAction>) {
-        for action in actions {
-            match action {
-                AgentAction::DisableComm => self.set_comm(node, op, false),
-                AgentAction::EnableComm => self.set_comm(node, op, true),
-                AgentAction::BeginLocalCheckpoint { .. } => self.begin_local_checkpoint(node, op),
-                AgentAction::BeginLocalRestore { .. } => self.begin_local_restore(node, op),
-                AgentAction::ResumePods => self.resume_pods(node, op),
-                AgentAction::RollBack { .. } => self.roll_back(node, op),
-                AgentAction::Send(msg) => self.agent_send(node, msg),
-            }
-        }
-    }
-
-    fn job_pods_on_node(&self, op: u64, node: usize) -> Vec<PodPlacement> {
-        let Some(o) = self.ops.get(&op) else {
-            return Vec::new();
-        };
-        let Some(jr) = self.jobs.get(&o.job) else {
-            return Vec::new();
-        };
-        jr.pods_on_node(node).into_iter().cloned().collect()
-    }
-
-    fn set_comm(&mut self, node: usize, op: u64, enabled: bool) {
-        for p in self.job_pods_on_node(op, node) {
-            let f = self.nodes[node].kernel.net.filter_mut();
-            if enabled {
-                f.remove_drop_rule(p.ip);
-            } else {
-                f.add_drop_rule(p.ip);
-            }
-        }
-    }
-
-    fn begin_local_checkpoint(&mut self, node: usize, op: u64) {
-        let Some((cow, capture, base, job)) = self
-            .ops
-            .get(&op)
-            .map(|o| (o.cow, o.capture, o.incremental_base, o.job.clone()))
-        else {
-            return;
-        };
-        if capture == CkptCaptureMode::Cow {
-            self.begin_local_checkpoint_cow(node, op, base);
-            return;
-        }
-        let pods = self.job_pods_on_node(op, node);
-        let dedup = self.params.store.dedup;
-        let store = self.store(&job);
-        let mut images: Vec<(String, PreparedPut)> = Vec::new();
-        // Pipelined write-out schedule for the dedup path: each novel chunk
-        // becomes available when capture has serialized up to it, and the
-        // manifest when the pod's image is complete.
-        let mut batch: Vec<(SimTime, u64)> = Vec::new();
-        let mut total: u64 = 0;
-        for p in &pods {
-            let Some(pod_id) = p.pod_id else { continue };
-            let slot = &mut self.nodes[node];
-            let extracted = match base {
-                Some(b) => {
-                    slot.zap
-                        .checkpoint_pod_incremental(&mut slot.kernel, pod_id, self.now, b)
-                }
-                None => slot.zap.checkpoint_pod(&mut slot.kernel, pod_id, self.now),
-            };
-            let img = match extracted {
-                Ok(img) => img,
-                Err(e) => {
-                    self.fail_op(op, CruzError::Zap(e));
-                    return;
-                }
-            };
-            if dedup {
-                let (bytes, cuts) = img.encode_with_page_cuts();
-                let prepared = store.prepare_chunked(&bytes, &cuts, &self.params.store);
-                let pod_base = total;
-                for (raw_end, stored) in prepared.novel_writes() {
-                    let ready = self.now + self.params.extract_time(pod_base + raw_end);
-                    batch.push((ready, stored));
-                }
-                total += bytes.len() as u64;
-                batch.push((
-                    self.now + self.params.extract_time(total),
-                    prepared.manifest_len(),
-                ));
-                images.push((p.name.clone(), PreparedPut::Chunked(prepared)));
-            } else {
-                let bytes = img.encode();
-                total += bytes.len() as u64;
-                images.push((p.name.clone(), PreparedPut::Plain(bytes)));
-            }
-        }
-        let t_extract = self.params.extract_time(total);
-        let captured_at = self.now + t_extract;
-        // Plain: one write of the whole image, starting once capture ends.
-        // Dedup: one batched operation (single seek) streaming novel chunks
-        // as capture produces them; the trailing manifest is ready at
-        // capture end, so the batch never completes before `captured_at`.
-        let durable_at = if dedup {
-            self.nodes[node]
-                .kernel
-                .disk
-                .submit_write_batch(self.now, &batch)
-        } else {
-            self.nodes[node]
-                .kernel
-                .disk
-                .submit_write(captured_at, total)
-        };
-        if let Some(fault) = self.nodes[node].kernel.disk.take_write_fault() {
-            self.apply_ckpt_disk_fault(op, fault, images);
-            return;
-        }
-        if cow {
-            // §5.2/COW: the blackout ends when the state is captured; the
-            // disk write proceeds in the background and gates the commit.
-            if let Some(o) = self.ops.get_mut(&op) {
-                o.pending_ckpt.insert(node, images);
-                o.local_ops.insert(node, (self.now, captured_at));
-            }
-            self.queue
-                .push(captured_at, Event::AgentLocalDone { node, op });
-            self.queue
-                .push(durable_at, Event::AgentDurable { node, op });
-        } else {
-            if let Some(o) = self.ops.get_mut(&op) {
-                o.pending_ckpt.insert(node, images);
-                o.local_ops.insert(node, (self.now, durable_at));
-            }
-            self.queue
-                .push(durable_at, Event::AgentLocalDone { node, op });
-        }
-    }
-
-    /// COW capture, arm phase: freeze covers only arming the memory
-    /// snapshots and serializing the image skeletons (registers, sockets,
-    /// pipes, shm) — O(non-memory state) instead of O(image bytes). Pages
-    /// drain in the background at [`Event::CkptDrain`].
-    fn begin_local_checkpoint_cow(&mut self, node: usize, op: u64, base: Option<u64>) {
-        let pods = self.job_pods_on_node(op, node);
-        let mut armed: Vec<(String, ArmedPodCheckpoint)> = Vec::new();
-        let mut arm_bytes: u64 = 0;
-        let mut page_bytes: u64 = 0;
-        for p in &pods {
-            let Some(pod_id) = p.pod_id else { continue };
-            let slot = &mut self.nodes[node];
-            match slot
-                .zap
-                .checkpoint_pod_arm(&mut slot.kernel, pod_id, self.now, base)
-            {
-                Ok(a) => {
-                    arm_bytes += a.arm_bytes();
-                    page_bytes += a.pending_page_bytes();
-                    armed.push((p.name.clone(), a));
-                }
-                Err(e) => {
-                    for (_, a) in armed {
-                        a.cancel();
-                    }
-                    self.fail_op(op, CruzError::Zap(e));
-                    return;
-                }
-            }
-        }
-        let t_arm = self.now + self.params.extract_time(arm_bytes);
-        // Arming pins the page set, so the drain length is known now even
-        // though page *contents* are only materialized at the drain event —
-        // after resumed guests have raced it with writes.
-        let t_drain = t_arm + self.params.extract_time(page_bytes);
-        if let Some(o) = self.ops.get_mut(&op) {
-            o.pending_arm.insert(node, (t_arm, armed));
-            o.local_ops.insert(node, (self.now, t_arm));
-        }
-        self.queue.push(t_arm, Event::AgentLocalDone { node, op });
-        self.queue.push(t_drain, Event::CkptDrain { node, op });
-    }
-
-    /// COW capture, drain phase: materialize each armed snapshot (the
-    /// frozen-instant memory, reconstructed from preserved pre-images where
-    /// resumed guests overwrote pages), encode/chunk it, and hand it to the
-    /// disk. The write-out is submitted retroactively at arm time so it
-    /// overlaps the background encode exactly as the eager path overlaps
-    /// capture; the batch can never complete before its last ready time,
-    /// which is at or after this event.
-    fn on_ckpt_drain(&mut self, node: usize, op: u64) {
-        if !self.nodes[node].alive {
-            return;
-        }
-        let (job, t_arm, armed, aborted) = {
-            let Some(o) = self.ops.get_mut(&op) else {
-                return;
-            };
-            let Some((t_arm, armed)) = o.pending_arm.remove(&node) else {
-                return;
-            };
-            (o.job.clone(), t_arm, armed, o.aborted)
-        };
-        if aborted {
-            // A failed drain (or any abort while draining) discards the
-            // epoch exactly like a stop-the-world abort: drop the snapshots
-            // without materializing anything.
-            for (_, a) in armed {
-                a.cancel();
-            }
-            return;
-        }
-        // Fault plan: die mid-drain — pods already resumed, pages still
-        // flowing to the store. The armed snapshots die with the node.
-        if self.maybe_crash(node, ProtocolPoint::CowDrain) {
-            for (_, a) in armed {
-                a.cancel();
-            }
-            return;
-        }
-        let dedup = self.params.store.dedup;
-        let store = self.store(&job);
-        let mut images: Vec<(String, PreparedPut)> = Vec::new();
-        let mut batch: Vec<(SimTime, u64)> = Vec::new();
-        let mut total: u64 = 0;
-        let mut copied: u64 = 0;
-        for (pod_name, a) in armed {
-            let (img, pre_copied) = a.drain();
-            copied += pre_copied;
-            if dedup {
-                let (bytes, cuts) = img.encode_with_page_cuts();
-                let prepared = store.prepare_chunked(&bytes, &cuts, &self.params.store);
-                let pod_base = total;
-                for (raw_end, stored) in prepared.novel_writes() {
-                    let ready = t_arm + self.params.extract_time(pod_base + raw_end);
-                    batch.push((ready, stored));
-                }
-                total += bytes.len() as u64;
-                batch.push((
-                    t_arm + self.params.extract_time(total),
-                    prepared.manifest_len(),
-                ));
-                images.push((pod_name, PreparedPut::Chunked(prepared)));
-            } else {
-                let bytes = img.encode();
-                total += bytes.len() as u64;
-                images.push((pod_name, PreparedPut::Plain(bytes)));
-            }
-        }
-        let durable_at = if dedup {
-            self.nodes[node]
-                .kernel
-                .disk
-                .submit_write_batch(t_arm, &batch)
-        } else {
-            self.nodes[node]
-                .kernel
-                .disk
-                .submit_write(t_arm + self.params.extract_time(total), total)
-        };
-        if let Some(fault) = self.nodes[node].kernel.disk.take_write_fault() {
-            self.apply_ckpt_disk_fault(op, fault, images);
-            return;
-        }
-        if let Some(o) = self.ops.get_mut(&op) {
-            o.pending_ckpt.insert(node, images);
-            *o.cow_copied.entry(node).or_insert(0) += copied;
-        }
-        self.queue
-            .push(durable_at, Event::AgentDurable { node, op });
-    }
-
-    /// An injected disk fault struck a checkpoint write: the write syscall
-    /// reports the failure, durability is never claimed, and the operation
-    /// force-aborts. A torn write additionally leaves a partial prefix of
-    /// the image on disk — chunks with no manifest referencing them — which
-    /// the abort path's orphan-chunk garbage collection reclaims.
-    fn apply_ckpt_disk_fault(
-        &mut self,
-        op: u64,
-        fault: WriteFault,
-        images: Vec<(String, PreparedPut)>,
-    ) {
-        if let WriteFault::Torn(frac) = fault {
-            if let Some(o) = self.ops.get(&op) {
-                let store = self.store(&o.job.clone());
-                for (pod_name, put) in &images {
-                    store.put_torn(pod_name, o.image_epoch, put, frac);
-                }
-            }
-        }
-        self.fail_op(op, CruzError::Protocol("injected disk write fault"));
-    }
-
-    fn begin_local_restore(&mut self, node: usize, op: u64) {
-        let (job, image_epoch) = match self.ops.get(&op) {
-            Some(o) => (o.job.clone(), o.image_epoch),
-            None => return,
-        };
-        let store = self.store(&job);
-        let pods = self.job_pods_on_node(op, node);
-        let mut images = Vec::new();
-        let mut total: u64 = 0;
-        for p in &pods {
-            // Walk the incremental chain down to the full base image; the
-            // restore reads (and pays for) every link.
-            let mut chain: Vec<Vec<u8>> = Vec::new();
-            let mut epoch = Some(image_epoch);
-            while let Some(e) = epoch {
-                let Some(bytes) = store.get_image(&p.name, e) else {
-                    break;
-                };
-                // Charge what the disk actually serves: the plain file, or
-                // the manifest plus every distinct chunk it references.
-                total += store.stored_len(&p.name, e).unwrap_or(bytes.len() as u64);
-                let base = match PodImage::decode(&bytes) {
-                    Ok(img) => img.base_epoch,
-                    Err(e) => {
-                        self.fail_op(op, CruzError::BadImage(e));
-                        return;
-                    }
-                };
-                chain.push(bytes);
-                epoch = base;
-            }
-            if chain.is_empty() {
-                continue;
-            }
-            // Fold base-first. The chain is non-empty, so the fold seed is
-            // the bottom (full) image.
-            let merged = chain
-                .pop()
-                .ok_or(CruzError::Protocol("image chain emptied mid-fold"))
-                .and_then(|base_bytes| PodImage::decode(&base_bytes).map_err(CruzError::from))
-                .and_then(|mut merged| {
-                    if merged.base_epoch.is_some() {
-                        return Err(CruzError::Protocol(
-                            "image chain does not bottom out at a full image",
-                        ));
-                    }
-                    while let Some(delta_bytes) = chain.pop() {
-                        let delta = PodImage::decode(&delta_bytes)?;
-                        merged = merged.apply_delta(&delta)?;
-                    }
-                    Ok(merged)
-                });
-            let merged = match merged {
-                Ok(m) => m,
-                Err(e) => {
-                    self.fail_op(op, e);
-                    return;
-                }
-            };
-            images.push((p.name.clone(), merged.encode()));
-        }
-        let done_at = self.nodes[node].kernel.disk.submit_read(self.now, total);
-        if let Some(o) = self.ops.get_mut(&op) {
-            o.pending_restore.insert(node, images);
-            o.local_ops.insert(node, (self.now, done_at));
-        }
-        self.queue.push(done_at, Event::AgentLocalDone { node, op });
-    }
-
-    fn resume_pods(&mut self, node: usize, op: u64) {
-        for p in self.job_pods_on_node(op, node) {
-            let Some(pod_id) = p.pod_id else { continue };
-            let slot = &mut self.nodes[node];
-            let _ = slot.zap.resume_pod(&mut slot.kernel, pod_id, self.now);
-        }
-        let now = self.now;
-        if let Some(o) = self.ops.get_mut(&op) {
-            o.resumed_at.entry(node).or_insert(now);
-        }
-    }
-
-    fn roll_back(&mut self, node: usize, op: u64) {
-        // Abort path: disarm any undrained COW snapshot, resume pods, lift
-        // filters, discard this epoch's images.
-        if let Some(o) = self.ops.get_mut(&op) {
-            if let Some((_, armed)) = o.pending_arm.remove(&node) {
-                for (_, a) in armed {
-                    a.cancel();
-                }
-            }
-        }
-        self.resume_pods(node, op);
-        self.set_comm(node, op, true);
-        if let Some(o) = self.ops.get(&op) {
-            // Only a checkpoint abort owns its epoch. An aborted *restart*
-            // is reading a committed epoch — discarding it would destroy
-            // the very checkpoint recovery needs to retry from.
-            if o.kind == OpKind::Checkpoint {
-                let store = self.store(&o.job.clone());
-                store.discard_epoch(o.image_epoch);
-            }
-        }
-    }
-
-    fn agent_send(&mut self, node: usize, msg: CtlMsg) {
-        let Some(addr) = self.nodes[node].agent_coord_addr else {
-            return;
-        };
-        let sock = self.nodes[node].agent_sock;
-        let _ = self.nodes[node].kernel.net.udp_send_to(
-            sock,
-            addr,
-            Bytes::from(msg.encode()),
-            self.now,
-        );
-    }
-
-    fn on_coord_ctl(&mut self, op: u64, from: usize, msg: CtlMsg) {
-        let Some(o) = self.ops.get_mut(&op) else {
-            return;
-        };
-        let (msgs, effects) = o.coord.on_message(from, msg, self.now);
-        let job = o.job.clone();
-        let image_epoch = o.image_epoch;
-        self.schedule_coord_sends(op, msgs);
-        for fx in effects {
-            match fx {
-                CoordEffect::Commit { .. } => {
-                    let store = self.store(&job);
-                    store.commit(image_epoch);
-                    if self.params.prune_old_epochs {
-                        store.prune_below(image_epoch);
-                    }
-                }
-                CoordEffect::Complete { .. } => {
-                    if let Some(o) = self.ops.get_mut(&op) {
-                        o.complete = true;
-                    }
-                    self.op_completed(op);
-                }
-                CoordEffect::Aborted { .. } => {
-                    if let Some(o) = self.ops.get_mut(&op) {
-                        o.aborted = true;
-                    }
-                    self.op_aborted_cleanup(op);
-                }
-            }
-        }
-    }
-
-    fn on_coord_send(&mut self, op: u64, to: usize, msg: CtlMsg) {
-        let Some(o) = self.ops.get(&op) else {
-            return;
-        };
-        let node = o.agents_nodes[to];
-        let coord_node = o.coord_node;
-        let sock = o.coord_sock;
-        let dst = SockAddr::new(Self::node_ip_static(node), AGENT_PORT);
-        let _ = self.nodes[coord_node].kernel.net.udp_send_to(
-            sock,
-            dst,
-            Bytes::from(msg.encode()),
-            self.now,
-        );
-        self.postprocess(coord_node);
-    }
-
-    fn on_coord_retry(&mut self, op: u64, attempt: u32) {
-        let Some(policy) = self.params.ctl_retry else {
-            return;
-        };
-        let msgs = {
-            let Some(o) = self.ops.get_mut(&op) else {
-                return;
-            };
-            // An op that settled (or was force-aborted) stops retrying:
-            // backed-off retransmissions never outlive their operation.
-            if o.complete || o.aborted {
-                return;
-            }
-            o.coord.on_retry(self.now)
-        };
-        self.schedule_coord_sends(op, msgs);
-        let next = attempt + 1;
-        if let Some(d) = policy.delay(next) {
-            self.queue
-                .push(self.now + d, Event::CoordRetry { op, attempt: next });
-        }
-    }
-
-    fn on_coord_timeout(&mut self, op: u64) {
-        let Some(o) = self.ops.get_mut(&op) else {
-            return;
-        };
-        let (msgs, effects) = o.coord.on_timeout(self.now);
-        self.schedule_coord_sends(op, msgs);
-        for fx in effects {
-            if let CoordEffect::Aborted { .. } = fx {
-                if let Some(o) = self.ops.get_mut(&op) {
-                    o.aborted = true;
-                }
-                self.op_aborted_cleanup(op);
-            }
-        }
-    }
-
-    fn on_migrate_finish(&mut self, job: &str, pod: &str, dst: usize, image: &PodImage) {
-        if let Some(m) = self.migrations.get_mut(job) {
-            *m = m.saturating_sub(1);
-        }
-        if !self.nodes[dst].alive {
-            return;
-        }
-        let slot = &mut self.nodes[dst];
-        let pod_id = match slot.zap.restart_pod(&mut slot.kernel, image, self.now) {
-            Ok(id) => id,
-            Err(e) => {
-                // The destination refused the restore; the pod stays where
-                // it was and the failure is reported, not panicked.
-                self.migration_failures
-                    .push((job.to_string(), pod.to_string(), CruzError::Zap(e)));
-                return;
-            }
-        };
-        let _ = slot.zap.resume_pod(&mut slot.kernel, pod_id, self.now);
-        if let Some(jr) = self.jobs.get_mut(job) {
-            if let Some(p) = jr.placement_mut(pod) {
-                p.node = dst;
-                p.pod_id = Some(pod_id);
-            }
-        }
-        self.postprocess(dst);
-    }
-
-    // ---- self-healing recovery ---------------------------------------------
-
-    /// One heartbeat round: ping every app node from the coordinator, arm
-    /// the round's timeout, reschedule. The driver retires itself when the
-    /// job finishes or recovery gives the job up.
-    fn on_heartbeat(&mut self, job: &str) {
-        if !self.hb.contains_key(job) {
-            return;
-        }
-        if !self.jobs.contains_key(job) || self.job_finished(job) {
-            self.hb.remove(job);
-            return;
-        }
-        // The heartbeat driver doubles as the watchdog for the control
-        // plane itself: a dead coordinator node is re-homed first.
-        let coord_node = match self.jobs.get(job) {
-            Some(jr) => jr.coordinator_node,
-            None => return,
-        };
-        if !self.nodes[coord_node].alive {
-            self.coordinator_failover(job);
-            if !self.hb.contains_key(job) {
-                return; // failover gave up (no alive node to re-home to)
-            }
-        }
-        let (sock, seq, coord_node) = {
-            let Some(jr) = self.jobs.get(job) else { return };
-            let Some(hb) = self.hb.get_mut(job) else {
-                return;
-            };
-            hb.seq += 1;
-            (hb.sock, hb.seq, jr.coordinator_node)
-        };
-        let pinged = self
-            .jobs
-            .get(job)
-            .map(|jr| jr.app_nodes())
-            .unwrap_or_default();
-        for &n in &pinged {
-            let dst = SockAddr::new(Self::node_ip_static(n), AGENT_PORT);
-            let _ = self.nodes[coord_node].kernel.net.udp_send_to(
-                sock,
-                dst,
-                Bytes::from(CtlMsg::Ping { seq }.encode()),
-                self.now,
-            );
-        }
-        self.postprocess(coord_node);
-        self.queue.push(
-            self.now + self.params.recovery.heartbeat_timeout,
-            Event::HeartbeatTimeout {
-                job: job.to_owned(),
-                sent_at: self.now,
-                pinged,
-            },
-        );
-        self.queue.push(
-            self.now + self.params.recovery.heartbeat_interval,
-            Event::Heartbeat {
-                job: job.to_owned(),
-            },
-        );
-    }
-
-    /// The deadline of one heartbeat round: pinged nodes that have not
-    /// ponged since the round was sent — and still host this job's pods —
-    /// are declared dead and handed to the recovery manager.
-    fn on_heartbeat_timeout(&mut self, job: &str, sent_at: SimTime, pinged: Vec<usize>) {
-        let Some(hb) = self.hb.get(job) else {
-            return;
-        };
-        if !self.jobs.contains_key(job) || self.job_finished(job) {
-            return;
-        }
-        let dead: Vec<usize> = pinged
-            .into_iter()
-            .filter(|&n| {
-                let answered = hb.last_pong.get(&n).map(|&t| t >= sent_at).unwrap_or(false);
-                let hosting = self
-                    .jobs
-                    .get(job)
-                    .map(|jr| jr.placements.iter().any(|p| p.node == n))
-                    .unwrap_or(false);
-                !answered && hosting
-            })
-            .collect();
-        if dead.is_empty() {
-            return;
-        }
-        self.recover_job(job, &dead, sent_at);
-    }
-
-    /// The recovery pass: abort in-flight operations, fence the declared
-    /// dead (a lost pong must not leave two copies of a pod running), roll
-    /// the store back to its last committed epoch, pick spares, restart.
-    fn recover_job(&mut self, job: &str, dead: &[usize], sent_at: SimTime) {
-        let detected_at = self.now;
-        let crashed_at = self
-            .crash_log
-            .iter()
-            .filter(|(n, _)| dead.contains(n))
-            .map(|&(_, t)| t)
-            .min();
-        let base_report = RecoveryReport {
-            job: job.to_owned(),
-            cause: RecoveryCause::HeartbeatTimeout,
-            dead_nodes: dead.to_vec(),
-            crashed_at,
-            ping_sent_at: sent_at,
-            detected_at,
-            aborted_ops: Vec::new(),
-            rollback_epoch: None,
-            restart_op: None,
-            recovered_at: None,
-            outcome: RecoveryOutcome::InProgress,
-        };
-        let spent = self.recoveries.entry(job.to_owned()).or_insert(0);
-        if *spent >= self.params.recovery.max_recoveries {
-            self.hb.remove(job);
-            self.recovery_reports.push(RecoveryReport {
-                outcome: RecoveryOutcome::Unrecoverable,
-                ..base_report
-            });
-            return;
-        }
-        *spent += 1;
-        // Abort everything in flight for the job: a dead participant can
-        // never answer, and the restart needs the job quiescent.
-        let inflight: Vec<u64> = self
-            .ops
-            .iter()
-            .filter(|(_, o)| o.job == job && !o.complete && !o.aborted)
-            .map(|(&id, _)| id)
-            .collect();
-        for &op in &inflight {
-            self.fail_op(op, CruzError::Protocol("participant declared dead"));
-        }
-        // Fence: destroy this job's pods on declared-dead nodes that are in
-        // fact alive (lost pongs) — the STONITH analogue — and unbind every
-        // placement on a dead node so the restart re-homes it.
-        let fenced: Vec<(usize, zap::pod::PodId)> = self
-            .jobs
-            .get(job)
-            .map(|jr| {
-                jr.placements
-                    .iter()
-                    .filter(|p| dead.contains(&p.node))
-                    .filter_map(|p| {
-                        let pid = p.pod_id?;
-                        self.nodes[p.node].alive.then_some((p.node, pid))
-                    })
-                    .collect()
-            })
-            .unwrap_or_default();
-        for (n, pid) in fenced {
-            let slot = &mut self.nodes[n];
-            let _ = slot.zap.destroy_pod(&mut slot.kernel, pid);
-            self.postprocess(n);
-        }
-        if let Some(jr) = self.jobs.get_mut(job) {
-            for p in jr.placements.iter_mut() {
-                if dead.contains(&p.node) {
-                    p.pod_id = None;
-                }
-            }
-        }
-        // Roll the store back: half-written epochs can never commit now,
-        // and chunks stranded by torn writes or mid-drain crashes are
-        // reclaimed before the restart reads the store.
-        let store = self.store(job);
-        for e in store.uncommitted_epochs() {
-            store.discard_epoch(e);
-        }
-        store.gc_orphan_chunks();
-        let Some(rollback) = store.latest_committed_epoch() else {
-            self.hb.remove(job);
-            self.recovery_reports.push(RecoveryReport {
-                aborted_ops: inflight,
-                outcome: RecoveryOutcome::Unrecoverable,
-                ..base_report
-            });
-            return;
-        };
-        let Some(placement) = self.pick_spares(job, dead) else {
-            self.hb.remove(job);
-            self.recovery_reports.push(RecoveryReport {
-                aborted_ops: inflight,
-                rollback_epoch: Some(rollback),
-                outcome: RecoveryOutcome::Unrecoverable,
-                ..base_report
-            });
-            return;
-        };
-        match self.start_restart(job, rollback, &placement, ProtocolMode::Blocking) {
-            Ok(restart_op) => {
-                let idx = self.recovery_reports.len();
-                self.recovery_reports.push(RecoveryReport {
-                    aborted_ops: inflight,
-                    rollback_epoch: Some(rollback),
-                    restart_op: Some(restart_op),
-                    ..base_report
-                });
-                self.pending_recovery.insert(restart_op, idx);
-            }
-            Err(_) => {
-                // e.g. a migration still in flight; the next heartbeat
-                // round retries with a fresh pass.
-                self.recovery_reports.push(RecoveryReport {
-                    aborted_ops: inflight,
-                    rollback_epoch: Some(rollback),
-                    outcome: RecoveryOutcome::Failed,
-                    ..base_report
-                });
-            }
-        }
-    }
-
-    /// Picks replacement nodes for pods displaced off `dead` nodes, per the
-    /// configured [`SparePolicy`]. Returns `None` when no eligible spare
-    /// exists (every alive non-coordinator node already hosts the job).
-    fn pick_spares(&self, job: &str, dead: &[usize]) -> Option<Vec<(String, usize)>> {
-        let jr = self.jobs.get(job)?;
-        let coord = jr.coordinator_node;
-        let occupied: Vec<usize> = jr
-            .placements
-            .iter()
-            .filter(|p| !dead.contains(&p.node))
-            .map(|p| p.node)
-            .collect();
-        let eligible: Vec<usize> = (0..self.nodes.len())
-            .filter(|&n| {
-                self.nodes[n].alive && n != coord && !dead.contains(&n) && !occupied.contains(&n)
-            })
-            .collect();
-        if eligible.is_empty() {
-            return None;
-        }
-        let displaced: Vec<String> = jr
-            .placements
-            .iter()
-            .filter(|p| dead.contains(&p.node))
-            .map(|p| p.name.clone())
-            .collect();
-        let out = match self.params.recovery.spare_policy {
-            SparePolicy::Pack => displaced
-                .into_iter()
-                .map(|name| (name, eligible[0]))
-                .collect(),
-            SparePolicy::FirstFree => displaced
-                .into_iter()
-                .enumerate()
-                .map(|(i, name)| (name, eligible[i.min(eligible.len() - 1)]))
-                .collect(),
-        };
-        Some(out)
-    }
-
-    /// Re-homes a job's control plane after its coordinator node died: new
-    /// heartbeat socket on the lowest-index alive node, and every operation
-    /// orphaned by the dead coordinator is aborted from the new home so
-    /// frozen pods resume. The agents accept the abort because it carries
-    /// the orphaned op's epoch; a stale one arriving after a later restart
-    /// is ignored by their epoch guard.
-    fn coordinator_failover(&mut self, job: &str) {
-        let Some(old) = self.jobs.get(job).map(|jr| jr.coordinator_node) else {
-            return;
-        };
-        let Some(new) = (0..self.nodes.len()).find(|&n| self.nodes[n].alive) else {
-            self.hb.remove(job);
-            return;
-        };
-        let Ok(sock) = self.bind_ctl_sock(new) else {
-            self.hb.remove(job);
-            return;
-        };
-        if let Some(jr) = self.jobs.get_mut(job) {
-            jr.coordinator_node = new;
-        }
-        if let Some(hb) = self.hb.get_mut(job) {
-            hb.sock = sock;
-            hb.last_pong.clear();
-        }
-        let orphans: Vec<u64> = self
-            .ops
-            .iter()
-            .filter(|(_, o)| o.job == job && o.coord_node == old && !o.complete && !o.aborted)
-            .map(|(&id, _)| id)
-            .collect();
-        for &op in &orphans {
-            let agents = self
-                .ops
-                .get(&op)
-                .map(|o| o.agents_nodes.clone())
-                .unwrap_or_default();
-            for n in agents {
-                let dst = SockAddr::new(Self::node_ip_static(n), AGENT_PORT);
-                let _ = self.nodes[new].kernel.net.udp_send_to(
-                    sock,
-                    dst,
-                    Bytes::from(CtlMsg::Abort { epoch: op }.encode()),
-                    self.now,
-                );
-            }
-            if let Some(o) = self.ops.get_mut(&op) {
-                o.aborted = true;
-                if o.error.is_none() {
-                    o.error = Some(CruzError::Protocol("coordinator failed over"));
-                }
-            }
-            self.op_aborted_cleanup(op);
-        }
-        self.postprocess(new);
-        let crashed_at = self
-            .crash_log
-            .iter()
-            .filter(|&&(n, _)| n == old)
-            .map(|&(_, t)| t)
-            .min();
-        self.recovery_reports.push(RecoveryReport {
-            job: job.to_owned(),
-            cause: RecoveryCause::CoordinatorFailover,
-            dead_nodes: vec![old],
-            crashed_at,
-            ping_sent_at: self.now,
-            detected_at: self.now,
-            aborted_ops: orphans,
-            rollback_epoch: None,
-            restart_op: None,
-            recovered_at: Some(self.now),
-            outcome: RecoveryOutcome::Recovered,
-        });
-    }
-
     // ---- node plumbing ------------------------------------------------------
 
     /// Drains a node's outgoing frames and re-arms its run/timer events.
-    fn postprocess(&mut self, n: usize) {
+    pub(crate) fn postprocess(&mut self, n: usize) {
         self.emit_frames(n, self.now);
         self.poll_ctl(n);
         if self.nodes[n].kernel.has_runnable() && !self.nodes[n].run_scheduled {
@@ -2505,85 +595,13 @@ impl World {
         }
     }
 
-    /// Drains control datagrams: the agent port plus any coordinator
-    /// sockets hosted on this node.
+    /// Drains control datagrams at a node-service point: the agent
+    /// endpoint, heartbeat sockets of jobs coordinated here, then
+    /// coordinator reply sockets — in that fixed order, so the event
+    /// schedule is identical run to run.
     fn poll_ctl(&mut self, n: usize) {
-        // Agent messages.
-        let sock = self.nodes[n].agent_sock;
-        while let Ok(Some((from, bytes))) = self.nodes[n].kernel.net.udp_recv_from(sock) {
-            if let Some(msg) = CtlMsg::decode(&bytes) {
-                let mut at = self.ctl_slot(n);
-                // Start/continue handling configures the packet filter and
-                // signals pods before anything else runs.
-                if matches!(msg, CtlMsg::Start { .. } | CtlMsg::Continue { .. }) {
-                    at += self.params.agent_op_cpu;
-                    self.nodes[n].ctl_cpu_free = at;
-                }
-                self.queue.push(
-                    at,
-                    Event::AgentCtl {
-                        node: n,
-                        msg,
-                        reply_to: from,
-                    },
-                );
-            }
-        }
-        // Heartbeat pongs, for jobs whose coordinator lives here. The
-        // responder is identified by source IP (node i owns 10.0.0.(i+1)).
-        let hb_socks: Vec<(String, SocketId)> = self
-            .hb
-            .iter()
-            .filter(|(job, _)| {
-                self.jobs
-                    .get(job.as_str())
-                    .map(|jr| jr.coordinator_node == n)
-                    .unwrap_or(false)
-            })
-            .map(|(job, h)| (job.clone(), h.sock))
-            .collect();
-        for (job, sock) in hb_socks {
-            while let Ok(Some((from, bytes))) = self.nodes[n].kernel.net.udp_recv_from(sock) {
-                if let Some(CtlMsg::Pong { .. }) = CtlMsg::decode(&bytes) {
-                    let octet = from.ip.octets()[3] as usize;
-                    if octet >= 1 {
-                        if let Some(h) = self.hb.get_mut(&job) {
-                            h.last_pong.insert(octet - 1, self.now);
-                        }
-                    }
-                }
-            }
-        }
-        // Coordinator replies.
-        let op_socks: Vec<(u64, SocketId)> = self
-            .ops
-            .iter()
-            .filter(|(_, o)| o.coord_node == n && !o.complete && !o.aborted)
-            .map(|(&id, o)| (id, o.coord_sock))
-            .collect();
-        for (op, sock) in op_socks {
-            while let Ok(Some((from, bytes))) = self.nodes[n].kernel.net.udp_recv_from(sock) {
-                let Some(msg) = CtlMsg::decode(&bytes) else {
-                    continue;
-                };
-                // Identify the agent by source address.
-                let Some(agent_idx) = self.ops.get(&op).and_then(|o| {
-                    o.agents_nodes
-                        .iter()
-                        .position(|&an| Self::node_ip_static(an) == from.ip)
-                }) else {
-                    continue;
-                };
-                let at = self.ctl_slot(n);
-                self.queue.push(
-                    at,
-                    Event::CoordCtl {
-                        op,
-                        from: agent_idx,
-                        msg,
-                    },
-                );
-            }
-        }
+        self.pump_agent(n);
+        self.pump_heartbeat(n);
+        self.pump_coord(n);
     }
 }

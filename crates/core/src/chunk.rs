@@ -24,6 +24,8 @@
 
 use std::fmt;
 
+use des::digest;
+
 /// Shortest back-reference worth a 3-byte token.
 pub const MIN_MATCH: usize = 4;
 /// Longest match one token can encode.
@@ -34,15 +36,6 @@ const MAX_DIST: usize = 0xffff;
 const MAX_LIT: usize = 128;
 /// log2 of the match-finder hash-table size.
 const HASH_BITS: u32 = 13;
-
-/// FNV-1a 64-bit offset basis (the standard one).
-const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-/// A second, independent offset basis for the high hash half (the
-/// standard basis folded with the 64-bit golden ratio), giving the chunk
-/// id 128 bits of discrimination.
-const FNV_OFFSET_ALT: u64 = FNV_OFFSET ^ 0x9e37_79b9_7f4a_7c15;
-/// FNV-1a 64-bit prime.
-const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
 
 /// A decode failure. Chunks are checksummed indirectly — the image they
 /// reassemble into carries the end-to-end checksum — so these only signal
@@ -80,7 +73,10 @@ pub struct ChunkId(pub u64, pub u64);
 impl ChunkId {
     /// The content address of `data`.
     pub fn of(data: &[u8]) -> ChunkId {
-        ChunkId(fnv1a(FNV_OFFSET, data), fnv1a(FNV_OFFSET_ALT, data))
+        ChunkId(
+            digest::fold(digest::OFFSET, data),
+            digest::fold(digest::OFFSET_ALT, data),
+        )
     }
 
     /// Fixed-width lowercase-hex rendering (the chunk's file name stem).
@@ -93,15 +89,6 @@ impl fmt::Display for ChunkId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{}", self.hex())
     }
-}
-
-fn fnv1a(offset: u64, data: &[u8]) -> u64 {
-    let mut h = offset;
-    for &b in data {
-        h ^= b as u64;
-        h = h.wrapping_mul(FNV_PRIME);
-    }
-    h
 }
 
 // ---- segmentation -----------------------------------------------------------

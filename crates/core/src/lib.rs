@@ -26,7 +26,9 @@
 //! * [`store`] — image paths, two-phase-commit records and the
 //!   content-addressed deduplicating chunk store on the shared filesystem;
 //! * [`chunk`] — deterministic content addressing and the per-chunk
-//!   RLE+LZ codec the store builds on.
+//!   RLE+LZ codec the store builds on;
+//! * [`digest`] — the one audited FNV-1a fold (re-exported from `des`)
+//!   behind trace digests, image checksums and chunk addresses.
 //!
 //! The engines are pure: the `cluster` crate hosts them on simulated nodes,
 //! ships their datagrams over the simulated network, and executes their
@@ -41,6 +43,8 @@ pub mod coordinator;
 pub mod error;
 pub mod proto;
 pub mod store;
+
+pub use des::digest;
 
 pub use agent::{Agent, AgentAction};
 pub use chunk::ChunkId;

@@ -1,0 +1,89 @@
+//! The one audited FNV-1a 64-bit fold every digest in the workspace uses.
+//!
+//! Trace digests, image checksums, chunk content addresses and the bench
+//! crates' epoch digests all reduce to the same primitive: fold bytes into
+//! a 64-bit FNV-1a state (`h = (h ^ byte) * PRIME`, starting from
+//! [`OFFSET`]). Before this module existed that primitive was copied in
+//! five places; a typo in any one of them would have silently broken the
+//! byte-for-byte reproducibility the whole project is built to witness.
+//! Now there is exactly one implementation, and its test vectors pin it to
+//! the published FNV-1a constants.
+//!
+//! FNV-1a has no finalization step — the running state *is* the digest —
+//! so [`fold`] both accumulates and finalizes: seed with [`OFFSET`] (or a
+//! previous fold's output, for incremental digests), fold bytes, read the
+//! result.
+
+/// FNV-1a 64-bit offset basis (the standard one).
+pub const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// A second, independent offset basis (the standard basis folded with the
+/// 64-bit golden ratio). Folding the same bytes from [`OFFSET`] and
+/// `OFFSET_ALT` yields two independent 64-bit digests — together a 128-bit
+/// content address (see `cruz::chunk::ChunkId`).
+pub const OFFSET_ALT: u64 = OFFSET ^ 0x9e37_79b9_7f4a_7c15;
+
+/// FNV-1a 64-bit prime.
+pub const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Folds `data` into the running digest `h`, one byte at a time.
+///
+/// Seed with [`OFFSET`] for a fresh digest, or with a previous fold's
+/// output to digest incrementally; the return value is the finished
+/// digest (FNV-1a needs no separate finalize).
+#[must_use]
+pub fn fold(mut h: u64, data: &[u8]) -> u64 {
+    for &b in data {
+        h ^= b as u64;
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
+
+/// Folds one `u64` into the running digest as its eight little-endian
+/// bytes — the word-granular variant the event-trace digest uses on its
+/// hot path.
+#[must_use]
+pub fn fold_u64(h: u64, word: u64) -> u64 {
+    fold(h, &word.to_le_bytes())
+}
+
+/// The complete FNV-1a digest of `data` (seeded with [`OFFSET`]).
+#[must_use]
+pub fn fnv1a(data: &[u8]) -> u64 {
+    fold(OFFSET, data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Published FNV-1a 64-bit test vectors (draft-eastlake-fnv): the
+    // constants and the xor-then-multiply order are load-bearing — the
+    // store's on-disk chunk names and every pinned trace digest depend on
+    // them.
+    #[test]
+    fn matches_published_fnv1a_vectors() {
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn fold_is_byte_incremental() {
+        let whole = fnv1a(b"checkpoint");
+        let split = fold(fold(OFFSET, b"check"), b"point");
+        assert_eq!(whole, split);
+    }
+
+    #[test]
+    fn fold_u64_is_the_le_byte_fold() {
+        let w = 0x0123_4567_89ab_cdefu64;
+        assert_eq!(fold_u64(OFFSET, w), fold(OFFSET, &w.to_le_bytes()));
+    }
+
+    #[test]
+    fn alt_offset_gives_an_independent_digest() {
+        assert_ne!(fold(OFFSET, b"page"), fold(OFFSET_ALT, b"page"));
+    }
+}

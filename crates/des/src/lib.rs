@@ -8,7 +8,9 @@
 //! * [`queue::EventQueue`] — a pending-event set with deterministic (FIFO)
 //!   tie-breaking;
 //! * [`rng::SimRng`] — a seedable random-number generator with deterministic
-//!   forking, one stream per simulated component.
+//!   forking, one stream per simulated component;
+//! * [`digest`] — the one audited FNV-1a fold behind every trace digest,
+//!   image checksum and chunk content address in the workspace.
 //!
 //! The kernel is deliberately free of any notion of "node" or "network": the
 //! `cluster` crate owns the event loop and dispatches typed events itself.
@@ -30,6 +32,7 @@
 
 #![warn(missing_docs)]
 
+pub mod digest;
 pub mod queue;
 pub mod rng;
 pub mod time;

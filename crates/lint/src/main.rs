@@ -21,6 +21,9 @@
 //!   self-healing manager can only recover from failures that surface as
 //!   errors, never from a process-wide panic.
 //! * `unsuppressed-todo` — `todo!` / `unimplemented!` in non-test code.
+//! * `god-file` — no file under `crates/*/src` may exceed 1,200 lines.
+//!   Past that size a module has stopped being one layer; split it along
+//!   a protocol seam (the cluster engine decomposition is the template).
 //!
 //! Suppress a finding with a trailing or preceding line comment:
 //! `// cruz-lint: allow(<rule>)`. Known stragglers live in
@@ -42,6 +45,11 @@ const SIM_CRATES: &[&str] = &["cluster", "core", "des", "simcpu", "simnet", "sim
 /// panic takes down the whole simulated cluster instead of one operation.
 /// Every non-test `.rs` file under these prefixes is a protocol path.
 const PROTOCOL_PREFIXES: &[&str] = &["crates/core/src/", "crates/cluster/src/"];
+
+/// Line budget for one module file. A file past this size has stopped
+/// being one layer of the design and resists review; the `god-file` rule
+/// fails it until it is split (or grandfathered in the baseline).
+const GOD_FILE_MAX_LINES: usize = 1200;
 
 /// Methods that iterate a collection in storage order.
 const ITER_METHODS: &[&str] = &[
@@ -65,6 +73,7 @@ enum Rule {
     SilentUnwrap,
     ProtocolPanic,
     UnsuppressedTodo,
+    GodFile,
 }
 
 impl Rule {
@@ -76,6 +85,7 @@ impl Rule {
             Rule::SilentUnwrap => "silent-unwrap",
             Rule::ProtocolPanic => "protocol-panic",
             Rule::UnsuppressedTodo => "unsuppressed-todo",
+            Rule::GodFile => "god-file",
         }
     }
 
@@ -87,6 +97,7 @@ impl Rule {
             "silent-unwrap" => Some(Rule::SilentUnwrap),
             "protocol-panic" => Some(Rule::ProtocolPanic),
             "unsuppressed-todo" => Some(Rule::UnsuppressedTodo),
+            "god-file" => Some(Rule::GodFile),
             _ => None,
         }
     }
@@ -552,6 +563,24 @@ fn analyze_file(rel: &str, src: &str) -> Vec<Finding> {
         .is_some_and(|c| SIM_CRATES.contains(&c));
     let in_bench_crate = kind.crate_dir.as_deref() == Some("bench");
 
+    // Whole-file size budget for crate sources. The finding sits on the
+    // file's last line so the count is visible in the report, and so a
+    // baseline pin goes stale (and gets revisited) when the file grows.
+    if kind.crate_dir.is_some() && rel.contains("/src/") && !kind.is_test_code {
+        let lines = src.lines().count();
+        if lines > GOD_FILE_MAX_LINES {
+            push(
+                lines,
+                Rule::GodFile,
+                format!(
+                    "{lines} lines exceeds the {GOD_FILE_MAX_LINES}-line module budget; \
+                     split it along a protocol seam"
+                ),
+                &allow,
+            );
+        }
+    }
+
     if in_sim_crate {
         let idents = hash_idents(&clean);
         let mut hits: Vec<(usize, String)> = Vec::new();
@@ -720,7 +749,7 @@ const USAGE: &str = "usage: cruz-lint --workspace [--root <dir>] [--baseline <fi
        cruz-lint <file.rs>...
 
 Rules: unordered-iteration, wall-clock, ambient-entropy, silent-unwrap,
-protocol-panic, unsuppressed-todo. Suppress one line with `// cruz-lint: allow(<rule>)`;
+protocol-panic, unsuppressed-todo, god-file. Suppress one line with `// cruz-lint: allow(<rule>)`;
 record stragglers in lint-baseline.txt (path:line:rule, `*` = any line).";
 
 /// Prints to stdout, swallowing `EPIPE` so `cruz-lint ... | head` exits
@@ -1013,6 +1042,42 @@ mod tests {
         let src = "// HashMap iteration would be bad: m.values()\n\
                    fn f() -> &'static str { \"Instant::now() todo!()\" }\n";
         assert!(rules_hit("crates/des/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn god_file_flags_oversized_crate_sources() {
+        let big = "// filler\n".repeat(GOD_FILE_MAX_LINES + 1);
+        assert_eq!(
+            rules_hit("crates/cluster/src/ops.rs", &big),
+            vec![(GOD_FILE_MAX_LINES + 1, Rule::GodFile)],
+            "finding line is the file's line count"
+        );
+        let at_budget = "// filler\n".repeat(GOD_FILE_MAX_LINES);
+        assert!(
+            rules_hit("crates/cluster/src/ops.rs", &at_budget).is_empty(),
+            "exactly at budget is fine"
+        );
+    }
+
+    #[test]
+    fn god_file_only_covers_crate_src_dirs() {
+        let big = "// filler\n".repeat(GOD_FILE_MAX_LINES + 1);
+        assert!(rules_hit("tests/determinism.rs", &big).is_empty());
+        assert!(rules_hit("crates/zap/tests/huge.rs", &big).is_empty());
+        assert!(rules_hit("crates/bench/benches/huge.rs", &big).is_empty());
+        assert!(rules_hit("examples/demo/src/main.rs", &big).is_empty());
+    }
+
+    #[test]
+    fn god_file_is_baseline_suppressible() {
+        let baseline = parse_baseline("crates/simnet/src/stack.rs:*:god-file\n").unwrap();
+        let f = Finding {
+            path: "crates/simnet/src/stack.rs".into(),
+            line: 1343,
+            rule: Rule::GodFile,
+            message: String::new(),
+        };
+        assert!(baselined(&f, &baseline));
     }
 
     #[test]

@@ -13,6 +13,7 @@
 
 use std::fmt;
 
+use des::digest::fnv1a;
 use simnet::addr::{IpAddr, MacAddr, SockAddr};
 use simnet::tcp::{TcpSnapshot, TcpState};
 
@@ -205,15 +206,6 @@ impl<'a> ImageReader<'a> {
     pub fn at_end(&self) -> bool {
         self.pos == self.data.len()
     }
-}
-
-fn fnv1a(data: &[u8]) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for &b in data {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x100_0000_01b3);
-    }
-    h
 }
 
 // ---- image structures --------------------------------------------------------
