@@ -2,8 +2,9 @@
 # The full gate, in fail-fast order: cheap checks first.
 #
 #   1. rustfmt          — formatting drift
-#   2. cruz-lint        — the determinism auditor plus the god-file
-#                         module budget (see DESIGN.md)
+#   2. cruz-lint        — the determinism/architecture auditor: token
+#                         rules, layer graph, wire registry (DESIGN.md
+#                         §14); also emits lint-report.json for tooling
 #   3. release build    — the whole workspace compiles
 #   4. cluster docs     — `cargo doc -p cluster` stays warning-free
 #                         (the layered-engine seams are documented API)
@@ -32,6 +33,9 @@ echo "== cargo fmt --check"
 cargo fmt --all -- --check
 
 echo "== cruz-lint --workspace"
+# Machine report first (written even when findings exist), then the
+# human-readable run, which is the actual gate.
+cargo run --offline -q -p cruz-lint -- --workspace --json > lint-report.json || true
 cargo run --offline -q -p cruz-lint -- --workspace
 
 echo "== cargo build --release"

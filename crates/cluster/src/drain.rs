@@ -15,7 +15,7 @@ use zap::ArmedPodCheckpoint;
 
 use crate::events::Event;
 use crate::fault::ProtocolPoint;
-use crate::world::World;
+use crate::state::World;
 
 impl World {
     /// COW capture, arm phase: freeze covers only arming the memory

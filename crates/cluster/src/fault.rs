@@ -215,9 +215,11 @@ impl FaultPlan {
                 fault,
             });
         }
+        // Probabilities travel as raw bits, so the codec is byte-exact and
+        // replay never re-parses a float. cruz-lint: allow(float-in-sim)
         let drop = f64::from_bits(u64_at(&mut at)?);
-        let duplicate = f64::from_bits(u64_at(&mut at)?);
-        let reorder = f64::from_bits(u64_at(&mut at)?);
+        let duplicate = f64::from_bits(u64_at(&mut at)?); // cruz-lint: allow(float-in-sim)
+        let reorder = f64::from_bits(u64_at(&mut at)?); // cruz-lint: allow(float-in-sim)
         let delay = SimDuration::from_nanos(u64_at(&mut at)?);
         if at != bytes.len() {
             return None;

@@ -18,8 +18,8 @@ use cruz::proto::{CtlMsg, ProtocolMode};
 use crate::events::Event;
 use crate::params::SparePolicy;
 use crate::recovery::{RecoveryCause, RecoveryOutcome, RecoveryReport};
+use crate::state::{ClusterError, World};
 use crate::transport::{CtlSock, CtlTransport};
-use crate::world::{ClusterError, World};
 
 /// Per-job heartbeat bookkeeping (socket on the coordinator node, ping
 /// sequence, last pong time per node).
@@ -217,6 +217,9 @@ impl World {
             .unwrap_or_default();
         for (n, pid) in fenced {
             let slot = &mut self.nodes[n];
+            // Fencing a node already declared dead: if the destroy fails
+            // the pod is gone anyway, which is the outcome fencing wants.
+            // cruz-lint: allow(swallowed-error)
             let _ = slot.zap.destroy_pod(&mut slot.kernel, pid);
             self.postprocess(n);
         }

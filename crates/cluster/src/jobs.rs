@@ -11,7 +11,7 @@ use zap::PodConfig;
 use cruz::error::CruzError;
 
 use crate::events::Event;
-use crate::world::{ClusterError, World};
+use crate::state::{ClusterError, World};
 
 /// One pod of a job: where it runs and what it executes.
 #[derive(Debug, Clone)]
@@ -295,7 +295,13 @@ impl World {
                 return;
             }
         };
-        let _ = slot.zap.resume_pod(&mut slot.kernel, pod_id, self.now);
+        let resumed = slot.zap.resume_pod(&mut slot.kernel, pod_id, self.now);
+        if let Err(e) = resumed {
+            // The pod restored but will not run; report it alongside the
+            // refused-restore failures so the migration's caller can see.
+            self.migration_failures
+                .push((job.to_string(), pod.to_string(), CruzError::Zap(e)));
+        }
         if let Some(jr) = self.jobs.get_mut(job) {
             if let Some(p) = jr.placement_mut(pod) {
                 p.node = dst;

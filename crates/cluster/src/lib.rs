@@ -16,6 +16,11 @@
 //! * [`jobs`] — job specifications and pod placement (the LSF analogue);
 //! * [`fault`] — seeded, replayable fault plans (protocol-point crashes,
 //!   disk-write faults, control-frame drop/duplicate/reorder);
+//! * [`node`] — the base layer: one simulated node (kernel + Zap + agent)
+//!   and its control-socket handle, imported by everything above;
+//! * [`state`] — the shared cluster state: [`state::World`]'s fields,
+//!   [`state::ClusterError`] and the installed fault plane, sitting below
+//!   the driver so the operation layers need not import upward;
 //! * [`transport`] — the [`transport::CtlTransport`] seam: bind/send/recv
 //!   of control frames, with the simulated-UDP backend as its first
 //!   implementation (a real async backend slots in here);
@@ -42,9 +47,11 @@ pub mod events;
 pub mod fault;
 pub mod heartbeat;
 pub mod jobs;
+pub mod node;
 pub mod ops;
 pub mod params;
 pub mod recovery;
+pub mod state;
 pub mod transport;
 pub mod world;
 

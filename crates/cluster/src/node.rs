@@ -1,0 +1,50 @@
+//! Base node types shared by every layer of the cluster engine.
+//!
+//! This module sits at the bottom of the cluster layer map (DESIGN.md
+//! §14): it imports nothing else from this crate, so the transport seam
+//! and every protocol layer above it can name a node — or hold a control
+//! socket handle — without creating a dependency that points up the stack
+//! at the world driver.
+
+use des::SimTime;
+use simnet::addr::{IpAddr, SockAddr};
+use simos::kernel::Kernel;
+use zap::Zap;
+
+use cruz::agent::Agent;
+
+/// An opaque handle to one bound control-plane endpoint on one node.
+///
+/// Backends map it onto whatever their socket notion is; holders can only
+/// pass it back into the transport that issued it. (Re-exported through
+/// `crate::transport`, which is where users meet it.)
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct CtlSock(pub(crate) u64);
+
+impl CtlSock {
+    /// A handle that no transport ever issues — the pre-bind placeholder.
+    pub(crate) const UNBOUND: CtlSock = CtlSock(u64::MAX);
+}
+
+/// One simulated machine.
+pub struct Node {
+    /// The node's kernel (OS, stack, disk).
+    pub kernel: Kernel,
+    /// The node's Zap layer.
+    pub zap: Zap,
+    pub(crate) agent: Agent,
+    pub(crate) agent_sock: CtlSock,
+    pub(crate) agent_coord_addr: Option<SockAddr>,
+    pub(crate) alive: bool,
+    pub(crate) run_scheduled: bool,
+    pub(crate) timer_scheduled: Option<SimTime>,
+    /// When this node's control-plane CPU frees up: sending and processing
+    /// coordination messages serialize here (the N-proportional component
+    /// of Fig. 5(b)).
+    pub(crate) ctl_cpu_free: SimTime,
+}
+
+/// The IP of node `i`: `10.0.0.(i+1)`.
+pub fn node_ip(i: usize) -> IpAddr {
+    IpAddr::from_octets([10, 0, 0, (i + 1) as u8])
+}

@@ -28,8 +28,8 @@ use crate::fault::ProtocolPoint;
 use crate::jobs::PodPlacement;
 use crate::params::CkptCaptureMode;
 use crate::recovery::RecoveryOutcome;
+use crate::state::{ClusterError, World};
 use crate::transport::{CtlSock, CtlTransport};
-use crate::world::{ClusterError, World};
 
 /// Per-operation state the engine tracks from install to completion.
 pub(crate) struct OpRuntime {
@@ -261,7 +261,7 @@ impl World {
         job: &str,
         epoch: u64,
         placement: &[(String, usize)],
-        mode: ProtocolMode,
+        _mode: ProtocolMode,
     ) -> Result<u64, ClusterError> {
         if !self.store(job).is_committed(epoch) {
             return Err(ClusterError::NoSuchEpoch(epoch));
@@ -287,8 +287,10 @@ impl World {
             })
             .collect();
         for (node, pod_id) in survivors {
+            // A survivor that refuses teardown would leave its addresses
+            // bound and wreck the restore; abort the restart instead.
             let slot = &mut self.nodes[node];
-            let _ = slot.zap.destroy_pod(&mut slot.kernel, pod_id);
+            slot.zap.destroy_pod(&mut slot.kernel, pod_id)?;
             self.postprocess(node);
         }
         let jr = self.jobs.get_mut(job).ok_or(ClusterError::NoSuchJob)?;
@@ -313,7 +315,8 @@ impl World {
         if self.params.recovery.enabled {
             coord = coord.with_timeout(self.params.recovery.op_timeout);
         }
-        let _ = mode; // restart always blocks until every node restored
+        // `_mode` is accepted for API symmetry only: a restart always
+        // blocks until every node restored.
         self.install_op(
             op,
             epoch,
@@ -551,7 +554,12 @@ impl World {
             return; // driver retires
         }
         if !self.job_busy(job) {
-            let _ = self.start_checkpoint_opts(job, mode, cow, None);
+            if let Err(e) = self.start_checkpoint_opts(job, mode, cow, None) {
+                // A failed tick must not kill the periodic driver; record
+                // the cause and try again next interval.
+                let now = self.now;
+                self.soft_faults.push((now, "periodic-checkpoint", e));
+            }
         }
         self.queue.push(
             self.now + interval,
@@ -940,7 +948,13 @@ impl World {
         for p in self.job_pods_on_node(op, node) {
             let Some(pod_id) = p.pod_id else { continue };
             let slot = &mut self.nodes[node];
-            let _ = slot.zap.resume_pod(&mut slot.kernel, pod_id, self.now);
+            let resumed = slot.zap.resume_pod(&mut slot.kernel, pod_id, self.now);
+            if let Err(e) = resumed {
+                // A pod that will not resume stays frozen; surface the
+                // cause instead of silently dropping it.
+                let now = self.now;
+                self.soft_faults.push((now, "resume-pod", e.into()));
+            }
         }
         let now = self.now;
         if let Some(o) = self.ops.get_mut(&op) {

@@ -147,7 +147,7 @@ pub struct ClusterParams {
     pub extract_bps: u64,
     /// Independent per-frame loss probability (fault injection; 0 for the
     /// paper's experiments).
-    pub frame_loss: f64,
+    pub frame_loss: f64, // tuning knob, not image state; cruz-lint: allow(float-in-sim)
     /// Master RNG seed.
     pub seed: u64,
     /// Discard older committed epochs whenever a newer one commits (bounds

@@ -25,19 +25,9 @@ use simnet::stack::SocketId;
 use cruz::error::CruzError;
 use cruz::proto::{CtlMsg, AGENT_PORT};
 
-use crate::world::{Node, World};
+use crate::node::{node_ip, Node};
 
-/// An opaque handle to one bound control-plane endpoint on one node.
-///
-/// Backends map it onto whatever their socket notion is; holders can only
-/// pass it back into the [`CtlTransport`] that issued it.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
-pub struct CtlSock(u64);
-
-impl CtlSock {
-    /// A handle that no transport ever issues — the pre-bind placeholder.
-    pub(crate) const UNBOUND: CtlSock = CtlSock(u64::MAX);
-}
+pub use crate::node::CtlSock;
 
 /// Bind/send/receive of control-plane frames on behalf of a node.
 ///
@@ -95,12 +85,15 @@ impl CtlTransport for SimnetCtl<'_> {
         let k = &mut self.nodes[node].kernel;
         let s = k.net.udp_socket();
         k.net
-            .bind(s, SockAddr::new(World::node_ip(node), port))
+            .bind(s, SockAddr::new(node_ip(node), port))
             .map_err(CruzError::ControlSocket)?;
         Ok(CtlSock(s.0))
     }
 
     fn send(&mut self, node: usize, sock: CtlSock, dst: SockAddr, msg: &CtlMsg, now: SimTime) {
+        // Fire-and-forget by contract: a refused or unroutable send is,
+        // to the protocol, indistinguishable from loss in flight, and the
+        // layers above own retry. cruz-lint: allow(swallowed-error)
         let _ = self.nodes[node].kernel.net.udp_send_to(
             SocketId(sock.0),
             dst,
@@ -120,6 +113,6 @@ impl CtlTransport for SimnetCtl<'_> {
     }
 
     fn agent_addr(&self, node: usize) -> SockAddr {
-        SockAddr::new(World::node_ip(node), AGENT_PORT)
+        SockAddr::new(node_ip(node), AGENT_PORT)
     }
 }

@@ -84,10 +84,9 @@ impl Agent {
     /// Handles a coordinator message.
     pub fn on_ctl(&mut self, msg: CtlMsg, _now: SimTime) -> Vec<AgentAction> {
         match msg {
-            CtlMsg::Start {
-                kind, epoch, mode, ..
-            } if epoch == self.epoch && !matches!(self.phase, Phase::Idle) => {
-                let _ = (kind, mode);
+            CtlMsg::Start { epoch, .. }
+                if epoch == self.epoch && !matches!(self.phase, Phase::Idle) =>
+            {
                 // Duplicate start (retransmission): never restart the local
                 // operation. If we already saved, our done may have been
                 // lost — repeat it.

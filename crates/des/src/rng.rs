@@ -92,6 +92,8 @@ impl SimRng {
     /// # Panics
     ///
     /// Panics if `p` is not within `[0, 1]`.
+    // Probabilities are caller-supplied tuning knobs, never image state;
+    // the draw itself is integer. cruz-lint: allow(float-in-sim)
     pub fn chance(&mut self, p: f64) -> bool {
         assert!((0.0..=1.0).contains(&p), "probability out of range");
         if p == 1.0 {
@@ -103,8 +105,11 @@ impl SimRng {
     }
 
     /// Returns a uniformly distributed `f64` in `[0, 1)`.
+    // cruz-lint: allow(float-in-sim)
     pub fn unit_f64(&mut self) -> f64 {
-        // 53 high-quality bits into the mantissa range.
+        // 53 high-quality bits into the mantissa range: the seeded-uniform
+        // derivation is exact (a 53-bit integer scaled by a power of two),
+        // so it is bit-identical everywhere. cruz-lint: allow(float-in-sim)
         (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 

@@ -1,0 +1,287 @@
+//! The baseline ratchet.
+//!
+//! `lint-baseline.txt` grandfathers known findings so new rules can land
+//! strict without a flag day. It only ever shrinks: an entry that no
+//! longer matches any finding is itself an error (*stale*), so fixing a
+//! grandfathered site forces deleting its entry in the same change, and
+//! the file cannot accumulate dead weight. `--update-baseline` rewrites
+//! it from the current findings.
+//!
+//! Syntax, one entry per line (`#` comments, blank lines ignored):
+//!
+//! ```text
+//! <path>:<line>:<rule> [max=<N>]
+//! ```
+//!
+//! `<line>` may be `*` to match the rule anywhere in the file. `max=<N>`
+//! adds a ceiling on the finding's line number — useful for `god-file`,
+//! whose finding line *is* the file's line count, so a grandfathered
+//! giant that grows past its recorded size un-baselines itself and fails
+//! the build.
+
+use crate::rules::Rule;
+use crate::Finding;
+
+/// One parsed baseline entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BaselineEntry {
+    /// Workspace-relative path, forward slashes.
+    pub path: String,
+    /// Specific line, or `None` for the `*` wildcard.
+    pub line: Option<usize>,
+    /// The grandfathered rule.
+    pub rule: Rule,
+    /// Ceiling on the finding's line number (`max=N`).
+    pub max: Option<usize>,
+}
+
+impl BaselineEntry {
+    /// Does this entry absorb `f`?
+    pub fn matches(&self, f: &Finding) -> bool {
+        self.path == f.path
+            && self.rule == f.rule
+            && self.line.is_none_or(|l| l == f.line)
+            && self.max.is_none_or(|m| f.line <= m)
+    }
+
+    /// Renders back in file syntax (for stale reporting).
+    pub fn render(&self) -> String {
+        let line = self.line.map_or_else(|| "*".to_string(), |l| l.to_string());
+        let mut s = format!("{}:{}:{}", self.path, line, self.rule.name());
+        if let Some(m) = self.max {
+            s.push_str(&format!(" max={m}"));
+        }
+        s
+    }
+}
+
+/// Parses the baseline file.
+///
+/// # Errors
+///
+/// Malformed entries (bad field count, unknown rule, unparsable line or
+/// ceiling), naming the offending line.
+pub fn parse(text: &str) -> Result<Vec<BaselineEntry>, String> {
+    let mut out = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let err = |what: &str| format!("line {}: {what} in `{line}`", idx + 1);
+        let mut fields = line.split_whitespace();
+        let head = fields.next().unwrap_or("");
+        let mut max = None;
+        for extra in fields {
+            let Some(n) = extra.strip_prefix("max=") else {
+                return Err(err("unexpected field (only `max=N` may follow the entry)"));
+            };
+            max = Some(
+                n.parse::<usize>()
+                    .map_err(|_| err("unparsable max= ceiling"))?,
+            );
+        }
+        // path may itself contain no colons we care about splitting on the
+        // right: rsplit keeps `crates/a/b.rs:12:rule` unambiguous.
+        let mut parts = head.rsplitn(3, ':');
+        let rule_name = parts.next().ok_or_else(|| err("missing rule"))?;
+        let line_field = parts.next().ok_or_else(|| err("expected path:line:rule"))?;
+        let path = parts
+            .next()
+            .filter(|p| !p.is_empty())
+            .ok_or_else(|| err("expected path:line:rule"))?;
+        let rule = Rule::from_name(rule_name).ok_or_else(|| err("unknown rule"))?;
+        let line_no = if line_field == "*" {
+            None
+        } else {
+            Some(
+                line_field
+                    .parse::<usize>()
+                    .map_err(|_| err("unparsable line number (use a number or `*`)"))?,
+            )
+        };
+        out.push(BaselineEntry {
+            path: path.to_string(),
+            line: line_no,
+            rule,
+            max,
+        });
+    }
+    Ok(out)
+}
+
+/// Result of filtering findings through the baseline.
+#[derive(Debug)]
+pub struct Applied {
+    /// Findings the baseline did not absorb.
+    pub kept: Vec<Finding>,
+    /// How many findings entries absorbed.
+    pub baselined: usize,
+    /// Entries that absorbed nothing, rendered back in file syntax.
+    pub stale: Vec<String>,
+}
+
+/// Filters `findings` through `baseline`. Every entry must earn its keep:
+/// unmatched entries come back in [`Applied::stale`].
+pub fn apply(findings: Vec<Finding>, baseline: &[BaselineEntry]) -> Applied {
+    let mut used = vec![false; baseline.len()];
+    let mut kept = Vec::new();
+    let mut baselined = 0usize;
+    for f in findings {
+        let mut absorbed = false;
+        for (i, e) in baseline.iter().enumerate() {
+            if e.matches(&f) {
+                used[i] = true;
+                absorbed = true;
+                // keep scanning: every entry matching this finding is live
+            }
+        }
+        if absorbed {
+            baselined += 1;
+        } else {
+            kept.push(f);
+        }
+    }
+    let stale = baseline
+        .iter()
+        .zip(&used)
+        .filter(|(_, &u)| !u)
+        .map(|(e, _)| e.render())
+        .collect();
+    Applied {
+        kept,
+        baselined,
+        stale,
+    }
+}
+
+/// Renders a fresh baseline from raw findings (`--update-baseline`).
+/// `god-file` findings become wildcard entries with a `max=` ceiling at
+/// the current size, so the grandfathered file may shrink but not grow.
+pub fn render(raw: &[Finding]) -> String {
+    let mut lines: Vec<String> = raw
+        .iter()
+        .map(|f| {
+            if f.rule == Rule::GodFile {
+                format!("{}:*:{} max={}", f.path, f.rule.name(), f.line)
+            } else {
+                format!("{}:{}:{}", f.path, f.line, f.rule.name())
+            }
+        })
+        .collect();
+    lines.sort();
+    lines.dedup();
+    let mut out = String::from(
+        "# cruz-lint baseline: grandfathered findings, one `path:line:rule [max=N]`\n\
+         # per line. Entries matching nothing are errors — this file only shrinks.\n\
+         # Regenerate with `cruz-lint --workspace --update-baseline`.\n",
+    );
+    for l in &lines {
+        out.push_str(l);
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(path: &str, line: usize, rule: Rule) -> Finding {
+        Finding {
+            path: path.to_string(),
+            line,
+            rule,
+            message: String::new(),
+        }
+    }
+
+    #[test]
+    fn parse_handles_wildcards_ceilings_and_comments() {
+        let text =
+            "# comment\n\ncrates/a/src/x.rs:12:wall-clock\ncrates/b/src/y.rs:*:god-file max=1300\n";
+        let b = parse(text).unwrap();
+        assert_eq!(b.len(), 2);
+        assert_eq!(b[0].line, Some(12));
+        assert_eq!(b[0].max, None);
+        assert_eq!(b[1].line, None);
+        assert_eq!(b[1].max, Some(1300));
+        assert_eq!(b[1].render(), "crates/b/src/y.rs:*:god-file max=1300");
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(parse("x.rs:1:not-a-rule\n")
+            .unwrap_err()
+            .contains("unknown rule"));
+        assert!(parse("x.rs:one:wall-clock\n")
+            .unwrap_err()
+            .contains("unparsable line"));
+        assert!(parse("wall-clock\n")
+            .unwrap_err()
+            .contains("path:line:rule"));
+        assert!(parse("x.rs:1:wall-clock max=soon\n")
+            .unwrap_err()
+            .contains("unparsable max="));
+        assert!(parse("x.rs:1:wall-clock bonus\n")
+            .unwrap_err()
+            .contains("unexpected field"));
+    }
+
+    #[test]
+    fn matching_entries_absorb_and_unmatched_go_stale() {
+        let b = parse("a.rs:3:wall-clock\nb.rs:9:silent-unwrap\n").unwrap();
+        let out = apply(vec![finding("a.rs", 3, Rule::WallClock)], &b);
+        assert!(out.kept.is_empty());
+        assert_eq!(out.baselined, 1);
+        assert_eq!(out.stale, vec!["b.rs:9:silent-unwrap".to_string()]);
+    }
+
+    #[test]
+    fn wildcard_matches_any_line_of_that_rule() {
+        let b = parse("a.rs:*:float-in-sim\n").unwrap();
+        let out = apply(
+            vec![
+                finding("a.rs", 5, Rule::FloatInSim),
+                finding("a.rs", 80, Rule::FloatInSim),
+                finding("a.rs", 5, Rule::WallClock),
+            ],
+            &b,
+        );
+        assert_eq!(out.baselined, 2);
+        assert_eq!(out.kept.len(), 1, "other rules still reported");
+        assert!(out.stale.is_empty());
+    }
+
+    #[test]
+    fn god_file_ceiling_ratchets() {
+        let b = parse("big.rs:*:god-file max=1300\n").unwrap();
+        // At or under the ceiling: absorbed.
+        let under = apply(vec![finding("big.rs", 1296, Rule::GodFile)], &b);
+        assert!(under.kept.is_empty());
+        assert!(under.stale.is_empty());
+        // Grown past the ceiling: reported again.
+        let over = apply(vec![finding("big.rs", 1301, Rule::GodFile)], &b);
+        assert_eq!(over.kept.len(), 1);
+        assert_eq!(
+            over.stale.len(),
+            1,
+            "entry matched nothing, so it is also stale"
+        );
+        // Shrunk below the rule threshold entirely: entry is stale.
+        let gone = apply(Vec::new(), &b);
+        assert_eq!(gone.stale, vec!["big.rs:*:god-file max=1300".to_string()]);
+    }
+
+    #[test]
+    fn render_emits_ceilinged_god_files_and_plain_lines() {
+        let text = render(&[
+            finding("big.rs", 1343, Rule::GodFile),
+            finding("a.rs", 7, Rule::WallClock),
+        ]);
+        assert!(text.contains("big.rs:*:god-file max=1343\n"));
+        assert!(text.contains("a.rs:7:wall-clock\n"));
+        let reparsed = parse(&text).unwrap();
+        assert_eq!(reparsed.len(), 2, "render output round-trips");
+    }
+}

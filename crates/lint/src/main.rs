@@ -1,775 +1,43 @@
-//! `cruz-lint`: the determinism auditor.
+//! `cruz-lint` CLI: argument parsing and exit codes. All analysis lives
+//! in the `cruz_lint` library (see its crate docs for the rule
+//! catalogue); this binary only drives it.
 //!
-//! The whole reproduction rests on one invariant: the same seed must
-//! produce the same event order, and therefore byte-identical checkpoint
-//! images, in every process on every machine. The compiler cannot check
-//! that; this tool does. It tokenizes every workspace `.rs` file (pure
-//! std, no syn/quote — the build must stay offline) and enforces:
-//!
-//! * `unordered-iteration` — no iteration over `HashMap`/`HashSet` in the
-//!   simulation crates. `RandomState` reseeds per process, so iteration
-//!   order silently diverges across runs and breaks image determinism.
-//! * `wall-clock` — `Instant::now` / `SystemTime` / `thread::sleep` are
-//!   banned outside the `bench` crate. Simulated time is the only clock.
-//! * `ambient-entropy` — `thread_rng` / `from_entropy` / `rand::random`
-//!   are banned everywhere. All randomness flows from the run's seed.
-//! * `silent-unwrap` — `.unwrap()` / `.expect(` are flagged on the
-//!   protocol paths (everything under `crates/core/src/` and
-//!   `crates/cluster/src/`): a corrupt image must abort one operation,
-//!   not panic the whole cluster.
-//! * `protocol-panic` — `panic!` on those same protocol paths: the
-//!   self-healing manager can only recover from failures that surface as
-//!   errors, never from a process-wide panic.
-//! * `unsuppressed-todo` — `todo!` / `unimplemented!` in non-test code.
-//! * `god-file` — no file under `crates/*/src` may exceed 1,200 lines.
-//!   Past that size a module has stopped being one layer; split it along
-//!   a protocol seam (the cluster engine decomposition is the template).
-//!
-//! Suppress a finding with a trailing or preceding line comment:
-//! `// cruz-lint: allow(<rule>)`. Known stragglers live in
-//! `lint-baseline.txt` at the workspace root (`path:line:rule`, one per
-//! line; `*` wildcards the line number).
-//!
-//! Exit status: 0 clean, 1 findings, 2 usage or I/O error.
+//! Exit status: 0 clean, 1 findings or stale baseline entries, 2 usage,
+//! I/O or parse error.
 
-use std::collections::BTreeSet;
 use std::fs;
-use std::path::{Path, PathBuf};
+use std::path::PathBuf;
 use std::process::ExitCode;
 
-/// Crates whose event order feeds the deterministic simulation. Iterating
-/// a hash collection in any of these is a determinism bug.
-const SIM_CRATES: &[&str] = &["cluster", "core", "des", "simcpu", "simnet", "simos", "zap"];
+use cruz_lint::{analyze_file, report, run_workspace_with, WorkspaceOutcome};
 
-/// Directories hosting the checkpoint-restart control plane, where a
-/// panic takes down the whole simulated cluster instead of one operation.
-/// Every non-test `.rs` file under these prefixes is a protocol path.
-const PROTOCOL_PREFIXES: &[&str] = &["crates/core/src/", "crates/cluster/src/"];
-
-/// Line budget for one module file. A file past this size has stopped
-/// being one layer of the design and resists review; the `god-file` rule
-/// fails it until it is split (or grandfathered in the baseline).
-const GOD_FILE_MAX_LINES: usize = 1200;
-
-/// Methods that iterate a collection in storage order.
-const ITER_METHODS: &[&str] = &[
-    "iter",
-    "iter_mut",
-    "keys",
-    "values",
-    "values_mut",
-    "drain",
-    "into_iter",
-    "into_keys",
-    "into_values",
-    "retain",
-];
-
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
-enum Rule {
-    UnorderedIteration,
-    WallClock,
-    AmbientEntropy,
-    SilentUnwrap,
-    ProtocolPanic,
-    UnsuppressedTodo,
-    GodFile,
-}
-
-impl Rule {
-    fn name(self) -> &'static str {
-        match self {
-            Rule::UnorderedIteration => "unordered-iteration",
-            Rule::WallClock => "wall-clock",
-            Rule::AmbientEntropy => "ambient-entropy",
-            Rule::SilentUnwrap => "silent-unwrap",
-            Rule::ProtocolPanic => "protocol-panic",
-            Rule::UnsuppressedTodo => "unsuppressed-todo",
-            Rule::GodFile => "god-file",
-        }
-    }
-
-    fn from_name(s: &str) -> Option<Rule> {
-        match s {
-            "unordered-iteration" => Some(Rule::UnorderedIteration),
-            "wall-clock" => Some(Rule::WallClock),
-            "ambient-entropy" => Some(Rule::AmbientEntropy),
-            "silent-unwrap" => Some(Rule::SilentUnwrap),
-            "protocol-panic" => Some(Rule::ProtocolPanic),
-            "unsuppressed-todo" => Some(Rule::UnsuppressedTodo),
-            "god-file" => Some(Rule::GodFile),
-            _ => None,
-        }
-    }
-}
-
-#[derive(Debug, Clone, PartialEq, Eq)]
-struct Finding {
-    /// Workspace-relative path, forward slashes.
-    path: String,
-    /// 1-based line number.
-    line: usize,
-    rule: Rule,
-    message: String,
-}
-
-// ---- source preparation -----------------------------------------------------
-
-/// Blanks comments, string literals, and char literals, preserving line
-/// structure, so the rule scans see only code tokens.
-fn strip_source(src: &str) -> String {
-    let b = src.as_bytes();
-    let mut out: Vec<u8> = Vec::with_capacity(b.len());
-    let mut i = 0;
-    let blank = |c: u8| if c == b'\n' { b'\n' } else { b' ' };
-    while i < b.len() {
-        let c = b[i];
-        // Line comment.
-        if c == b'/' && i + 1 < b.len() && b[i + 1] == b'/' {
-            while i < b.len() && b[i] != b'\n' {
-                out.push(b' ');
-                i += 1;
-            }
-            continue;
-        }
-        // Block comment (Rust block comments nest).
-        if c == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
-            let mut depth = 1;
-            out.extend_from_slice(b"  ");
-            i += 2;
-            while i < b.len() && depth > 0 {
-                if b[i] == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
-                    depth += 1;
-                    out.extend_from_slice(b"  ");
-                    i += 2;
-                } else if b[i] == b'*' && i + 1 < b.len() && b[i + 1] == b'/' {
-                    depth -= 1;
-                    out.extend_from_slice(b"  ");
-                    i += 2;
-                } else {
-                    out.push(blank(b[i]));
-                    i += 1;
-                }
-            }
-            continue;
-        }
-        // Raw string (r"..", r#".."#, br#".."#).
-        if (c == b'r' || c == b'b') && !prev_is_ident(&out) {
-            if let Some(len) = raw_string_len(&b[i..]) {
-                for k in 0..len {
-                    out.push(blank(b[i + k]));
-                }
-                i += len;
-                continue;
-            }
-        }
-        // Ordinary (or byte) string.
-        if c == b'"' {
-            out.push(b' ');
-            i += 1;
-            while i < b.len() {
-                if b[i] == b'\\' && i + 1 < b.len() {
-                    out.push(b' ');
-                    out.push(blank(b[i + 1]));
-                    i += 2;
-                } else if b[i] == b'"' {
-                    out.push(b' ');
-                    i += 1;
-                    break;
-                } else {
-                    out.push(blank(b[i]));
-                    i += 1;
-                }
-            }
-            continue;
-        }
-        // Char literal vs lifetime.
-        if c == b'\'' {
-            if i + 1 < b.len() && b[i + 1] == b'\\' {
-                out.push(b' ');
-                i += 1;
-                while i < b.len() && b[i] != b'\'' {
-                    if b[i] == b'\\' && i + 1 < b.len() {
-                        out.extend_from_slice(b"  ");
-                        i += 2;
-                    } else {
-                        out.push(blank(b[i]));
-                        i += 1;
-                    }
-                }
-                if i < b.len() {
-                    out.push(b' ');
-                    i += 1;
-                }
-                continue;
-            }
-            if i + 2 < b.len() && b[i + 2] == b'\'' && b[i + 1] != b'\'' {
-                out.extend_from_slice(b"   ");
-                i += 3;
-                continue;
-            }
-            // A lifetime; keep the tick, it cannot confuse the scans.
-            out.push(c);
-            i += 1;
-            continue;
-        }
-        out.push(c);
-        i += 1;
-    }
-    String::from_utf8_lossy(&out).into_owned()
-}
-
-fn prev_is_ident(out: &[u8]) -> bool {
-    out.last()
-        .is_some_and(|&c| c.is_ascii_alphanumeric() || c == b'_')
-}
-
-/// Length of the raw-string literal starting at `b[0]`, if one starts
-/// there (`r`, `br`, any number of `#`s).
-fn raw_string_len(b: &[u8]) -> Option<usize> {
-    let mut i = 0;
-    if b.get(i) == Some(&b'b') {
-        i += 1;
-    }
-    if b.get(i) != Some(&b'r') {
-        return None;
-    }
-    i += 1;
-    let mut hashes = 0;
-    while b.get(i) == Some(&b'#') {
-        hashes += 1;
-        i += 1;
-    }
-    if b.get(i) != Some(&b'"') {
-        return None;
-    }
-    i += 1;
-    while i < b.len() {
-        if b[i] == b'"'
-            && b[i + 1..].len() >= hashes
-            && b[i + 1..i + 1 + hashes].iter().all(|&h| h == b'#')
-        {
-            return Some(i + 1 + hashes);
-        }
-        i += 1;
-    }
-    Some(b.len()) // unterminated; swallow the rest
-}
-
-/// Per-line suppressions from `// cruz-lint: allow(rule, ...)` comments.
-/// A suppression covers its own line and the line after it (so it can sit
-/// either trailing the offending line or on its own line above).
-fn suppressions(raw: &str) -> BTreeSet<(usize, Rule)> {
-    const MARKER: &str = "cruz-lint: allow(";
-    let mut out = BTreeSet::new();
-    for (idx, line) in raw.lines().enumerate() {
-        let Some(comment_at) = line.find("//") else {
-            continue;
-        };
-        let comment = &line[comment_at..];
-        let Some(open) = comment.find(MARKER) else {
-            continue;
-        };
-        let rest = &comment[open + MARKER.len()..];
-        let Some(close) = rest.find(')') else {
-            continue;
-        };
-        for name in rest[..close].split(',') {
-            if let Some(rule) = Rule::from_name(name.trim()) {
-                let ln = idx + 1;
-                out.insert((ln, rule));
-                out.insert((ln + 1, rule));
-            }
-        }
-    }
-    out
-}
-
-/// Marks the lines belonging to `#[cfg(test)]` / `#[test]` items by brace
-/// matching from the attribute to the close of the item it decorates.
-fn test_mask(clean: &str, whole_file_is_test: bool) -> Vec<bool> {
-    let lines: Vec<&str> = clean.lines().collect();
-    let mut mask = vec![whole_file_is_test; lines.len()];
-    if whole_file_is_test {
-        return mask;
-    }
-    let mut i = 0;
-    while i < lines.len() {
-        let l = lines[i];
-        if !(l.contains("#[cfg(test)]") || l.trim_start().starts_with("#[test]")) {
-            i += 1;
-            continue;
-        }
-        // Walk forward to the first `{` of the decorated item, then to its
-        // matching `}`; everything in between is test code.
-        let mut depth: i64 = 0;
-        let mut seen_open = false;
-        let mut j = i;
-        'outer: while j < lines.len() {
-            for ch in lines[j].chars() {
-                match ch {
-                    '{' => {
-                        depth += 1;
-                        seen_open = true;
-                    }
-                    '}' => depth -= 1,
-                    // An attribute on a braceless item (e.g. `#[cfg(test)]
-                    // use ...;`) ends at the semicolon.
-                    ';' if !seen_open && depth == 0 => break 'outer,
-                    _ => {}
-                }
-                if seen_open && depth == 0 {
-                    break 'outer;
-                }
-            }
-            j += 1;
-        }
-        let end = j.min(lines.len().saturating_sub(1));
-        for m in mask.iter_mut().take(end + 1).skip(i) {
-            *m = true;
-        }
-        i = end + 1;
-    }
-    mask
-}
-
-// ---- unordered-iteration ----------------------------------------------------
-
-/// Identifiers declared as `HashMap`/`HashSet` in this file: struct fields
-/// and bindings (`x: HashMap<..>`, `let mut x = HashMap::new()`).
-fn hash_idents(clean: &str) -> BTreeSet<String> {
-    let mut out = BTreeSet::new();
-    for line in clean.lines() {
-        let b = line.as_bytes();
-        for tok in ["HashMap", "HashSet"] {
-            let mut from = 0;
-            while let Some(rel) = line[from..].find(tok) {
-                let at = from + rel;
-                from = at + tok.len();
-                // Token boundary on the left.
-                if at > 0 {
-                    let p = b[at - 1];
-                    if p.is_ascii_alphanumeric() || p == b'_' {
-                        continue;
-                    }
-                }
-                if let Some(name) = binder_before(line, at) {
-                    out.insert(name);
-                }
-            }
-        }
-    }
-    out
-}
-
-/// The identifier being bound when `line[at..]` starts a hash-collection
-/// type or constructor: handles `name: HashMap<..>` (field, param, let
-/// ascription) and `name = HashMap::new()`.
-fn binder_before(line: &str, at: usize) -> Option<String> {
-    let b = line.as_bytes();
-    let mut i = at;
-    // Look through reference sigils and `mut`: `x: &mut HashMap<..>` still
-    // binds `x` to a hash collection.
-    loop {
-        while i > 0 && b[i - 1].is_ascii_whitespace() {
-            i -= 1;
-        }
-        if i > 0 && b[i - 1] == b'&' {
-            i -= 1;
-            continue;
-        }
-        if i >= 3
-            && &b[i - 3..i] == b"mut"
-            && (i == 3 || !(b[i - 4].is_ascii_alphanumeric() || b[i - 4] == b'_'))
-        {
-            i -= 3;
-            continue;
-        }
-        break;
-    }
-    if i == 0 {
-        return None;
-    }
-    match b[i - 1] {
-        b':' => {
-            // Must be a single colon (`x: HashMap`), not a path (`::`).
-            if i >= 2 && b[i - 2] == b':' {
-                return None;
-            }
-            ident_ending_at(line, i - 1)
-        }
-        b'=' => {
-            // Plain assignment, not `==`, `<=`, `>=`, `!=`, `=>`.
-            if i >= 2 && matches!(b[i - 2], b'=' | b'<' | b'>' | b'!') {
-                return None;
-            }
-            ident_ending_at(line, i - 1)
-        }
-        _ => None,
-    }
-}
-
-/// The identifier whose last char sits just before byte `end` (skipping
-/// whitespace): `"let mut ops "` with `end` at the tail gives `ops`.
-fn ident_ending_at(line: &str, end: usize) -> Option<String> {
-    let b = line.as_bytes();
-    let mut i = end;
-    while i > 0 && b[i - 1].is_ascii_whitespace() {
-        i -= 1;
-    }
-    let stop = i;
-    while i > 0 && (b[i - 1].is_ascii_alphanumeric() || b[i - 1] == b'_') {
-        i -= 1;
-    }
-    if i == stop {
-        return None;
-    }
-    let name = &line[i..stop];
-    if name.as_bytes()[0].is_ascii_digit() {
-        return None;
-    }
-    Some(name.to_string())
-}
-
-/// The receiver identifier of a `.method(` call whose dot is at `dot`:
-/// `self.ops.values()` gives `ops`.
-fn receiver_before(line: &str, dot: usize) -> Option<String> {
-    ident_ending_at(line, dot)
-}
-
-/// Flags iteration over identifiers known to be hash collections, plus
-/// `for` loops whose iterated expression is such an identifier.
-fn scan_unordered_iteration(
-    clean_lines: &[&str],
-    idents: &BTreeSet<String>,
-    emit: &mut dyn FnMut(usize, String),
-) {
-    for (idx, line) in clean_lines.iter().enumerate() {
-        for m in ITER_METHODS {
-            let pat = format!(".{m}(");
-            let mut from = 0;
-            while let Some(rel) = line[from..].find(&pat) {
-                let dot = from + rel;
-                from = dot + pat.len();
-                if let Some(recv) = receiver_before(line, dot) {
-                    if idents.contains(&recv) {
-                        emit(
-                            idx + 1,
-                            format!("`{recv}` is a hash collection; `.{m}()` iterates it in nondeterministic order"),
-                        );
-                    }
-                }
-            }
-        }
-        // `for x in [&mut] path.to.ident {`
-        if let Some(for_at) = find_token(line, "for") {
-            if let Some(in_rel) = line[for_at..].find(" in ") {
-                let expr_start = for_at + in_rel + 4;
-                let expr_end = line[expr_start..]
-                    .find('{')
-                    .map(|p| expr_start + p)
-                    .unwrap_or(line.len());
-                let mut expr = line[expr_start..expr_end].trim();
-                expr = expr.trim_start_matches('&');
-                expr = expr.strip_prefix("mut ").unwrap_or(expr).trim();
-                if !expr.is_empty()
-                    && expr
-                        .chars()
-                        .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.')
-                {
-                    if let Some(last) = expr.rsplit('.').next() {
-                        if idents.contains(last) {
-                            emit(
-                                idx + 1,
-                                format!("`for` loop over hash collection `{expr}` visits entries in nondeterministic order"),
-                            );
-                        }
-                    }
-                }
-            }
-        }
-    }
-}
-
-/// Position of `tok` in `line` with identifier boundaries on both sides.
-fn find_token(line: &str, tok: &str) -> Option<usize> {
-    let b = line.as_bytes();
-    let mut from = 0;
-    while let Some(rel) = line[from..].find(tok) {
-        let at = from + rel;
-        from = at + tok.len();
-        let left_ok = at == 0 || !(b[at - 1].is_ascii_alphanumeric() || b[at - 1] == b'_');
-        let right = at + tok.len();
-        let right_ok = right >= b.len() || !(b[right].is_ascii_alphanumeric() || b[right] == b'_');
-        if left_ok && right_ok {
-            return Some(at);
-        }
-    }
-    None
-}
-
-// ---- the file pass ----------------------------------------------------------
-
-/// What part of the workspace a file belongss to, derived from its
-/// workspace-relative path.
-struct FileKind {
-    /// Directory name under `crates/`, if any (`core`, `zap`, ...).
-    crate_dir: Option<String>,
-    /// Test or bench source — exempt from every rule.
-    is_test_code: bool,
-    /// Under a protocol-path prefix (`silent-unwrap` and `protocol-panic`
-    /// apply).
-    is_protocol: bool,
-}
-
-fn classify(rel: &str) -> FileKind {
-    let crate_dir = rel
-        .strip_prefix("crates/")
-        .and_then(|r| r.split('/').next())
-        .map(str::to_string);
-    let is_test_code = rel.split('/').any(|seg| seg == "tests" || seg == "benches");
-    let is_protocol = PROTOCOL_PREFIXES.iter().any(|p| rel.starts_with(p));
-    FileKind {
-        crate_dir,
-        is_test_code,
-        is_protocol,
-    }
-}
-
-fn analyze_file(rel: &str, src: &str) -> Vec<Finding> {
-    let kind = classify(rel);
-    if rel.starts_with("vendor/") || rel.starts_with("target/") {
-        return Vec::new();
-    }
-    let clean = strip_source(src);
-    let clean_lines: Vec<&str> = clean.lines().collect();
-    let mask = test_mask(&clean, kind.is_test_code);
-    let allow = suppressions(src);
-    let mut findings: Vec<Finding> = Vec::new();
-    let mut push = |line: usize, rule: Rule, message: String, allow: &BTreeSet<(usize, Rule)>| {
-        if !allow.contains(&(line, rule)) {
-            findings.push(Finding {
-                path: rel.to_string(),
-                line,
-                rule,
-                message,
-            });
-        }
-    };
-
-    let in_sim_crate = kind
-        .crate_dir
-        .as_deref()
-        .is_some_and(|c| SIM_CRATES.contains(&c));
-    let in_bench_crate = kind.crate_dir.as_deref() == Some("bench");
-
-    // Whole-file size budget for crate sources. The finding sits on the
-    // file's last line so the count is visible in the report, and so a
-    // baseline pin goes stale (and gets revisited) when the file grows.
-    if kind.crate_dir.is_some() && rel.contains("/src/") && !kind.is_test_code {
-        let lines = src.lines().count();
-        if lines > GOD_FILE_MAX_LINES {
-            push(
-                lines,
-                Rule::GodFile,
-                format!(
-                    "{lines} lines exceeds the {GOD_FILE_MAX_LINES}-line module budget; \
-                     split it along a protocol seam"
-                ),
-                &allow,
-            );
-        }
-    }
-
-    if in_sim_crate {
-        let idents = hash_idents(&clean);
-        let mut hits: Vec<(usize, String)> = Vec::new();
-        scan_unordered_iteration(&clean_lines, &idents, &mut |line, msg| {
-            hits.push((line, msg))
-        });
-        for (line, msg) in hits {
-            if !mask.get(line - 1).copied().unwrap_or(false) {
-                push(line, Rule::UnorderedIteration, msg, &allow);
-            }
-        }
-    }
-
-    for (idx, line) in clean_lines.iter().enumerate() {
-        let ln = idx + 1;
-        if mask.get(idx).copied().unwrap_or(false) {
-            continue;
-        }
-        if !in_bench_crate {
-            for pat in ["Instant::now", "SystemTime", "thread::sleep"] {
-                if line.contains(pat) {
-                    push(
-                        ln,
-                        Rule::WallClock,
-                        format!("`{pat}` reads the host clock; simulated time is the only clock"),
-                        &allow,
-                    );
-                }
-            }
-        }
-        for pat in ["thread_rng", "from_entropy", "rand::random"] {
-            if line.contains(pat) {
-                push(
-                    ln,
-                    Rule::AmbientEntropy,
-                    format!(
-                        "`{pat}` draws ambient entropy; all randomness must flow from the run seed"
-                    ),
-                    &allow,
-                );
-            }
-        }
-        if kind.is_protocol {
-            for pat in [".unwrap()", ".expect("] {
-                if line.contains(pat) {
-                    push(
-                        ln,
-                        Rule::SilentUnwrap,
-                        format!(
-                            "`{pat}..` on a protocol path panics the whole cluster; return a CruzError instead"
-                        ),
-                        &allow,
-                    );
-                }
-            }
-            if line.contains("panic!") {
-                push(
-                    ln,
-                    Rule::ProtocolPanic,
-                    "`panic!` on a protocol path kills the whole cluster; surface a CruzError so \
-                     the recovery manager can heal the operation"
-                        .to_string(),
-                    &allow,
-                );
-            }
-        }
-        for pat in ["todo!", "unimplemented!"] {
-            if line.contains(pat) {
-                push(
-                    ln,
-                    Rule::UnsuppressedTodo,
-                    format!("`{pat}` in non-test code"),
-                    &allow,
-                );
-            }
-        }
-    }
-    findings.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
-    findings
-}
-
-// ---- baseline ---------------------------------------------------------------
-
-/// A baseline entry: `path:line:rule` (line may be `*`).
-#[derive(Debug, PartialEq, Eq)]
-struct BaselineEntry {
-    path: String,
-    line: Option<usize>,
-    rule: Rule,
-}
-
-fn parse_baseline(text: &str) -> Result<Vec<BaselineEntry>, String> {
-    let mut out = Vec::new();
-    for (idx, raw) in text.lines().enumerate() {
-        let line = raw.trim();
-        if line.is_empty() || line.starts_with('#') {
-            continue;
-        }
-        let mut parts = line.rsplitn(3, ':');
-        let rule_s = parts.next().unwrap_or_default().trim();
-        let line_s = parts.next().unwrap_or_default().trim();
-        let path = parts.next().unwrap_or_default().trim();
-        let rule = Rule::from_name(rule_s)
-            .ok_or_else(|| format!("baseline line {}: unknown rule `{rule_s}`", idx + 1))?;
-        let line_no =
-            if line_s == "*" {
-                None
-            } else {
-                Some(line_s.parse::<usize>().map_err(|_| {
-                    format!("baseline line {}: bad line number `{line_s}`", idx + 1)
-                })?)
-            };
-        if path.is_empty() {
-            return Err(format!("baseline line {}: missing path", idx + 1));
-        }
-        out.push(BaselineEntry {
-            path: path.to_string(),
-            line: line_no,
-            rule,
-        });
-    }
-    Ok(out)
-}
-
-fn baselined(f: &Finding, baseline: &[BaselineEntry]) -> bool {
-    baseline
-        .iter()
-        .any(|b| b.path == f.path && b.rule == f.rule && b.line.is_none_or(|l| l == f.line))
-}
-
-// ---- driving ----------------------------------------------------------------
-
-fn collect_rs_files(root: &Path) -> Vec<PathBuf> {
-    let mut out = Vec::new();
-    let mut stack = vec![root.to_path_buf()];
-    while let Some(dir) = stack.pop() {
-        let Ok(entries) = fs::read_dir(&dir) else {
-            continue;
-        };
-        for entry in entries.flatten() {
-            let path = entry.path();
-            if path.is_dir() {
-                let name = entry.file_name();
-                let name = name.to_string_lossy();
-                if matches!(name.as_ref(), "target" | ".git" | "vendor" | "node_modules") {
-                    continue;
-                }
-                stack.push(path);
-            } else if path.extension().is_some_and(|e| e == "rs") {
-                out.push(path);
-            }
-        }
-    }
-    out.sort();
-    out
-}
-
-fn rel_to(root: &Path, path: &Path) -> String {
-    path.strip_prefix(root)
-        .unwrap_or(path)
-        .to_string_lossy()
-        .replace('\\', "/")
-}
-
-const USAGE: &str = "usage: cruz-lint --workspace [--root <dir>] [--baseline <file>]
+const USAGE: &str =
+    "usage: cruz-lint --workspace [--root <dir>] [--baseline <file>] [--json] [--update-baseline]
        cruz-lint <file.rs>...
 
+Passes: token rules, layer graph (vs the declared crate/module layer maps),
+wire registry (codec tags and magics vs wire-registry.txt; workspace mode only).
 Rules: unordered-iteration, wall-clock, ambient-entropy, silent-unwrap,
-protocol-panic, unsuppressed-todo, god-file. Suppress one line with `// cruz-lint: allow(<rule>)`;
-record stragglers in lint-baseline.txt (path:line:rule, `*` = any line).";
-
-/// Prints to stdout, swallowing `EPIPE` so `cruz-lint ... | head` exits
-/// quietly instead of panicking when the reader closes the pipe.
-fn out(text: std::fmt::Arguments<'_>) {
-    use std::io::Write;
-    let _ = std::io::stdout().write_fmt(text);
-    let _ = std::io::stdout().write_all(b"\n");
-}
+protocol-panic, unsuppressed-todo, god-file, layer-violation, wire-drift,
+swallowed-error, float-in-sim. Suppress one line with `// cruz-lint: allow(<rule>)`;
+record stragglers in lint-baseline.txt (`path:line:rule [max=N]`, `*` = any line;
+stale entries are errors). --json emits the machine report on stdout;
+--update-baseline rewrites the baseline from the current findings and exits 0.";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut workspace = false;
     let mut root = PathBuf::from(".");
     let mut baseline_path: Option<PathBuf> = None;
+    let mut json = false;
+    let mut update_baseline = false;
     let mut files: Vec<PathBuf> = Vec::new();
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--workspace" => workspace = true,
+            "--json" => json = true,
+            "--update-baseline" => update_baseline = true,
             "--root" => match it.next() {
                 Some(d) => root = PathBuf::from(d),
                 None => {
@@ -785,7 +53,8 @@ fn main() -> ExitCode {
                 }
             },
             "--help" | "-h" => {
-                out(format_args!("{USAGE}"));
+                report::out(USAGE);
+                report::out("\n");
                 return ExitCode::SUCCESS;
             }
             other if other.starts_with('-') => {
@@ -795,31 +64,59 @@ fn main() -> ExitCode {
             file => files.push(PathBuf::from(file)),
         }
     }
+    if workspace && !files.is_empty() {
+        eprintln!("cruz-lint: --workspace takes no positional files\n{USAGE}");
+        return ExitCode::from(2);
+    }
+    if update_baseline && !workspace {
+        eprintln!("cruz-lint: --update-baseline requires --workspace\n{USAGE}");
+        return ExitCode::from(2);
+    }
     if !workspace && files.is_empty() {
         eprintln!("{USAGE}");
         return ExitCode::from(2);
     }
-    if workspace {
-        files.extend(collect_rs_files(&root));
-    }
 
-    let baseline_file = baseline_path.unwrap_or_else(|| root.join("lint-baseline.txt"));
-    let baseline = match fs::read_to_string(&baseline_file) {
-        Ok(text) => match parse_baseline(&text) {
-            Ok(b) => b,
+    if workspace {
+        let outcome = match run_workspace_with(&root, baseline_path.as_deref()) {
+            Ok(o) => o,
             Err(e) => {
-                eprintln!("cruz-lint: {}: {e}", baseline_file.display());
+                eprintln!("cruz-lint: {e}");
                 return ExitCode::from(2);
             }
-        },
-        Err(_) => Vec::new(), // no baseline is a clean baseline
-    };
+        };
+        if update_baseline {
+            let target = baseline_path.unwrap_or_else(|| root.join("lint-baseline.txt"));
+            let text = cruz_lint::baseline::render(&outcome.raw);
+            if let Err(e) = fs::write(&target, text) {
+                eprintln!("cruz-lint: {}: {e}", target.display());
+                return ExitCode::from(2);
+            }
+            report::out(&format!(
+                "cruz-lint: wrote {} entr(ies) to {}\n",
+                outcome.raw.len(),
+                target.display()
+            ));
+            return ExitCode::SUCCESS;
+        }
+        if json {
+            report::out(&report::to_json(&outcome));
+        } else {
+            report::out(&report::render_text(&outcome));
+        }
+        return if outcome.kept.is_empty() && outcome.stale.is_empty() {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        };
+    }
 
-    let mut findings = 0usize;
-    let mut suppressed = 0usize;
+    // Single-file mode: token + graph passes only, no baseline, no
+    // registry (both need whole-workspace context).
+    let mut kept = Vec::new();
     let mut scanned = 0usize;
     for path in &files {
-        let rel = rel_to(&root, path);
+        let rel = cruz_lint::rel_to(&root, path);
         let src = match fs::read_to_string(path) {
             Ok(s) => s,
             Err(e) => {
@@ -828,305 +125,23 @@ fn main() -> ExitCode {
             }
         };
         scanned += 1;
-        for f in analyze_file(&rel, &src) {
-            if baselined(&f, &baseline) {
-                suppressed += 1;
-                continue;
-            }
-            out(format_args!(
-                "{}:{}: {}: {}",
-                f.path,
-                f.line,
-                f.rule.name(),
-                f.message
-            ));
-            findings += 1;
-        }
+        kept.extend(analyze_file(&rel, &src));
     }
-    out(format_args!(
-        "cruz-lint: {findings} finding(s), {suppressed} baselined, {scanned} file(s) scanned"
-    ));
-    if findings > 0 {
-        ExitCode::FAILURE
+    let outcome = WorkspaceOutcome {
+        raw: kept.clone(),
+        kept,
+        baselined: 0,
+        stale: Vec::new(),
+        scanned,
+    };
+    if json {
+        report::out(&report::to_json(&outcome));
     } else {
+        report::out(&report::render_text(&outcome));
+    }
+    if outcome.kept.is_empty() {
         ExitCode::SUCCESS
-    }
-}
-
-// ---- tests ------------------------------------------------------------------
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    fn rules_hit(rel: &str, src: &str) -> Vec<(usize, Rule)> {
-        analyze_file(rel, src)
-            .into_iter()
-            .map(|f| (f.line, f.rule))
-            .collect()
-    }
-
-    #[test]
-    fn strip_blanks_comments_and_strings() {
-        let src = "let a = \"HashMap::new()\"; // HashMap comment\nlet b = 1; /* todo!()\n spans */ let c = 'x';\n";
-        let clean = strip_source(src);
-        assert!(!clean.contains("HashMap"));
-        assert!(!clean.contains("todo!"));
-        assert!(!clean.contains('\''), "char literal blanked: {clean}");
-        assert_eq!(
-            clean.lines().count(),
-            src.lines().count(),
-            "line structure preserved"
-        );
-    }
-
-    #[test]
-    fn strip_handles_raw_strings_and_lifetimes() {
-        let src = "fn f<'a>(x: &'a str) { let r = r#\"Instant::now()\"#; }";
-        let clean = strip_source(src);
-        assert!(!clean.contains("Instant"));
-        assert!(clean.contains("'a"), "lifetimes survive: {clean}");
-    }
-
-    // The acceptance criterion: a deliberately injected HashMap iteration
-    // in a sim crate must be flagged.
-    #[test]
-    fn injected_hashmap_iteration_is_flagged() {
-        let src = "use std::collections::HashMap;\n\
-                   fn f() {\n\
-                       let mut m: HashMap<u32, u32> = HashMap::new();\n\
-                       m.insert(1, 2);\n\
-                       for (k, v) in &m {\n\
-                           let _ = (k, v);\n\
-                       }\n\
-                   }\n";
-        let hits = rules_hit("crates/zap/src/injected.rs", src);
-        assert!(
-            hits.contains(&(5, Rule::UnorderedIteration)),
-            "for-loop over HashMap must be flagged, got {hits:?}"
-        );
-    }
-
-    #[test]
-    fn hash_field_method_iteration_is_flagged() {
-        let src = "use std::collections::HashMap;\n\
-                   struct S { ops: HashMap<u64, u32> }\n\
-                   impl S {\n\
-                       fn busy(&self) -> bool { self.ops.values().any(|v| *v > 0) }\n\
-                       fn look(&self) -> Option<&u32> { self.ops.get(&1) }\n\
-                   }\n";
-        let hits = rules_hit("crates/cluster/src/injected.rs", src);
-        assert_eq!(
-            hits,
-            vec![(4, Rule::UnorderedIteration)],
-            "values() flagged, plain get() is fine"
-        );
-    }
-
-    #[test]
-    fn hash_reference_params_are_tracked() {
-        let src = "use std::collections::HashMap;\n\
-                   fn f(m: &mut HashMap<u32, u32>) { m.drain(); }\n";
-        assert_eq!(
-            rules_hit("crates/simnet/src/x.rs", src),
-            vec![(2, Rule::UnorderedIteration)]
-        );
-    }
-
-    #[test]
-    fn btreemap_iteration_is_clean() {
-        let src = "use std::collections::BTreeMap;\n\
-                   fn f(m: &BTreeMap<u32, u32>) -> usize { m.values().count() }\n";
-        assert!(rules_hit("crates/des/src/x.rs", src).is_empty());
-    }
-
-    #[test]
-    fn hashmap_outside_sim_crates_is_not_flagged() {
-        let src = "use std::collections::HashMap;\n\
-                   fn f(m: &HashMap<u32, u32>) -> usize { m.values().count() }\n";
-        assert!(rules_hit("crates/workloads/src/x.rs", src).is_empty());
-    }
-
-    #[test]
-    fn wall_clock_banned_outside_bench() {
-        let src = "fn f() { let t = std::time::Instant::now(); }\n";
-        assert_eq!(
-            rules_hit("crates/des/src/x.rs", src),
-            vec![(1, Rule::WallClock)]
-        );
-        assert!(rules_hit("crates/bench/src/x.rs", src).is_empty());
-    }
-
-    #[test]
-    fn ambient_entropy_banned_everywhere() {
-        let src = "fn f() -> u64 { rand::random() }\n";
-        assert_eq!(
-            rules_hit("crates/workloads/src/x.rs", src),
-            vec![(1, Rule::AmbientEntropy)]
-        );
-    }
-
-    #[test]
-    fn silent_unwrap_only_on_protocol_paths() {
-        let src = "fn f(x: Option<u32>) -> u32 { x.unwrap() }\n";
-        assert_eq!(
-            rules_hit("crates/core/src/agent.rs", src),
-            vec![(1, Rule::SilentUnwrap)]
-        );
-        // Every non-test file under the protocol prefixes is covered...
-        assert_eq!(
-            rules_hit("crates/core/src/proto.rs", src),
-            vec![(1, Rule::SilentUnwrap)]
-        );
-        assert_eq!(
-            rules_hit("crates/cluster/src/recovery.rs", src),
-            vec![(1, Rule::SilentUnwrap)]
-        );
-        // ...but crates outside them are not.
-        assert!(rules_hit("crates/des/src/queue.rs", src).is_empty());
-    }
-
-    #[test]
-    fn panic_banned_on_protocol_paths() {
-        let src = "fn f() { panic!(\"boom\") }\n";
-        assert_eq!(
-            rules_hit("crates/cluster/src/world.rs", src),
-            vec![(1, Rule::ProtocolPanic)]
-        );
-        assert!(rules_hit("crates/des/src/queue.rs", src).is_empty());
-        let allowed = "fn f() { panic!(\"boom\") } // cruz-lint: allow(protocol-panic)\n";
-        assert!(rules_hit("crates/cluster/src/world.rs", allowed).is_empty());
-        // `#[cfg(test)]` modules inside protocol files stay exempt.
-        let test_mod =
-            "#[cfg(test)]\nmod tests {\n    fn t() { panic!(\"x\"); None::<u32>.unwrap(); }\n}\n";
-        assert!(rules_hit("crates/core/src/store.rs", test_mod).is_empty());
-    }
-
-    #[test]
-    fn todo_flagged_and_suppressable() {
-        let flagged = "fn f() { todo!() }\n";
-        assert_eq!(
-            rules_hit("crates/simos/src/x.rs", flagged),
-            vec![(1, Rule::UnsuppressedTodo)]
-        );
-        let allowed = "// cruz-lint: allow(unsuppressed-todo)\nfn f() { todo!() }\n";
-        assert!(rules_hit("crates/simos/src/x.rs", allowed).is_empty());
-        let trailing = "fn f() { todo!() } // cruz-lint: allow(unsuppressed-todo)\n";
-        assert!(rules_hit("crates/simos/src/x.rs", trailing).is_empty());
-    }
-
-    #[test]
-    fn cfg_test_region_is_exempt() {
-        let src = "fn real() {}\n\
-                   #[cfg(test)]\n\
-                   mod tests {\n\
-                       use std::collections::HashMap;\n\
-                       #[test]\n\
-                       fn t() {\n\
-                           let m: HashMap<u32, u32> = HashMap::new();\n\
-                           for k in m.keys() { let _ = k; }\n\
-                           todo!();\n\
-                       }\n\
-                   }\n";
-        assert!(rules_hit("crates/zap/src/x.rs", src).is_empty());
-    }
-
-    #[test]
-    fn tests_dir_is_exempt() {
-        let src = "fn t() { let m: std::collections::HashMap<u32,u32> = Default::default(); for k in m.keys() {} }\n";
-        assert!(rules_hit("crates/zap/tests/x.rs", src).is_empty());
-    }
-
-    #[test]
-    fn mentions_in_comments_and_strings_are_clean() {
-        let src = "// HashMap iteration would be bad: m.values()\n\
-                   fn f() -> &'static str { \"Instant::now() todo!()\" }\n";
-        assert!(rules_hit("crates/des/src/x.rs", src).is_empty());
-    }
-
-    #[test]
-    fn god_file_flags_oversized_crate_sources() {
-        let big = "// filler\n".repeat(GOD_FILE_MAX_LINES + 1);
-        assert_eq!(
-            rules_hit("crates/cluster/src/ops.rs", &big),
-            vec![(GOD_FILE_MAX_LINES + 1, Rule::GodFile)],
-            "finding line is the file's line count"
-        );
-        let at_budget = "// filler\n".repeat(GOD_FILE_MAX_LINES);
-        assert!(
-            rules_hit("crates/cluster/src/ops.rs", &at_budget).is_empty(),
-            "exactly at budget is fine"
-        );
-    }
-
-    #[test]
-    fn god_file_only_covers_crate_src_dirs() {
-        let big = "// filler\n".repeat(GOD_FILE_MAX_LINES + 1);
-        assert!(rules_hit("tests/determinism.rs", &big).is_empty());
-        assert!(rules_hit("crates/zap/tests/huge.rs", &big).is_empty());
-        assert!(rules_hit("crates/bench/benches/huge.rs", &big).is_empty());
-        assert!(rules_hit("examples/demo/src/main.rs", &big).is_empty());
-    }
-
-    #[test]
-    fn god_file_is_baseline_suppressible() {
-        let baseline = parse_baseline("crates/simnet/src/stack.rs:*:god-file\n").unwrap();
-        let f = Finding {
-            path: "crates/simnet/src/stack.rs".into(),
-            line: 1343,
-            rule: Rule::GodFile,
-            message: String::new(),
-        };
-        assert!(baselined(&f, &baseline));
-    }
-
-    #[test]
-    fn baseline_filters_findings() {
-        let baseline = parse_baseline(
-            "# stragglers\n\
-             crates/des/src/x.rs:1:wall-clock\n\
-             crates/des/src/y.rs:*:unsuppressed-todo\n",
-        )
-        .unwrap();
-        let hit = Finding {
-            path: "crates/des/src/x.rs".into(),
-            line: 1,
-            rule: Rule::WallClock,
-            message: String::new(),
-        };
-        assert!(baselined(&hit, &baseline));
-        let other_line = Finding {
-            line: 2,
-            ..hit.clone()
-        };
-        assert!(!baselined(&other_line, &baseline));
-        let wild = Finding {
-            path: "crates/des/src/y.rs".into(),
-            line: 99,
-            rule: Rule::UnsuppressedTodo,
-            message: String::new(),
-        };
-        assert!(baselined(&wild, &baseline));
-    }
-
-    #[test]
-    fn baseline_rejects_unknown_rules() {
-        assert!(parse_baseline("a.rs:1:not-a-rule\n").is_err());
-    }
-
-    #[test]
-    fn suppression_covers_own_and_next_line() {
-        let s = suppressions("// cruz-lint: allow(wall-clock, silent-unwrap)\nx\n");
-        assert!(s.contains(&(1, Rule::WallClock)));
-        assert!(s.contains(&(2, Rule::WallClock)));
-        assert!(s.contains(&(2, Rule::SilentUnwrap)));
-        assert!(!s.contains(&(3, Rule::WallClock)));
-    }
-
-    #[test]
-    fn vendor_and_target_are_skipped() {
-        let src = "fn f() { let t = std::time::Instant::now(); todo!() }\n";
-        assert!(analyze_file("vendor/criterion/src/lib.rs", src).is_empty());
-        assert!(analyze_file("target/debug/build/x.rs", src).is_empty());
+    } else {
+        ExitCode::FAILURE
     }
 }

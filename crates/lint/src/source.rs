@@ -1,0 +1,366 @@
+//! Source preparation shared by every pass: comment/string blanking,
+//! `#[cfg(test)]` masking, and `cruz-lint: allow(...)` suppressions.
+
+use std::collections::BTreeSet;
+
+use crate::rules::Rule;
+use crate::{classify, FileKind};
+
+/// One file, prepared once and shared by the token, graph and registry
+/// passes so each sees the same blanked view and suppression set.
+pub struct SourceFile {
+    /// Workspace-relative path, forward slashes.
+    pub rel: String,
+    /// The raw text as read from disk.
+    pub raw: String,
+    /// [`strip_source`] view: comments, strings and chars blanked.
+    pub clean: String,
+    /// Per-line test mask (true = `#[cfg(test)]`/`#[test]` code).
+    pub mask: Vec<bool>,
+    /// `(line, rule)` pairs suppressed by allow comments.
+    pub allow: BTreeSet<(usize, Rule)>,
+    /// Path-derived classification.
+    pub kind: FileKind,
+}
+
+impl SourceFile {
+    /// Prepares `src` (raw file text) at workspace-relative path `rel`.
+    pub fn new(rel: &str, src: &str) -> SourceFile {
+        let kind = classify(rel);
+        let clean = strip_source(src);
+        let mask = test_mask(&clean, kind.is_test_code);
+        let allow = suppressions(src);
+        SourceFile {
+            rel: rel.to_string(),
+            raw: src.to_string(),
+            clean,
+            mask,
+            allow,
+            kind,
+        }
+    }
+
+    /// True when 1-based `line` is test code.
+    pub fn is_test_line(&self, line: usize) -> bool {
+        self.mask
+            .get(line.wrapping_sub(1))
+            .copied()
+            .unwrap_or(false)
+    }
+}
+
+/// Blanks string literals, char literals and — unless `keep_comments` —
+/// comments, preserving line structure byte-for-byte, so scans see only
+/// the token class they care about. `keep_comments` yields the view the
+/// suppression scanner uses: comments intact, strings blanked, so an
+/// allow marker inside a string literal cannot suppress anything.
+fn scrub(src: &str, keep_comments: bool) -> String {
+    let b = src.as_bytes();
+    let mut out: Vec<u8> = Vec::with_capacity(b.len());
+    let mut i = 0;
+    let blank = |c: u8| if c == b'\n' { b'\n' } else { b' ' };
+    while i < b.len() {
+        let c = b[i];
+        // Line comment.
+        if c == b'/' && i + 1 < b.len() && b[i + 1] == b'/' {
+            while i < b.len() && b[i] != b'\n' {
+                out.push(if keep_comments { b[i] } else { b' ' });
+                i += 1;
+            }
+            continue;
+        }
+        // Block comment (Rust block comments nest).
+        if c == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
+            let keep = |out: &mut Vec<u8>, bytes: &[u8]| {
+                if keep_comments {
+                    out.extend_from_slice(bytes);
+                } else {
+                    for &byte in bytes {
+                        out.push(blank(byte));
+                    }
+                }
+            };
+            let mut depth = 1;
+            keep(&mut out, &b[i..i + 2]);
+            i += 2;
+            while i < b.len() && depth > 0 {
+                if b[i] == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
+                    depth += 1;
+                    keep(&mut out, &b[i..i + 2]);
+                    i += 2;
+                } else if b[i] == b'*' && i + 1 < b.len() && b[i + 1] == b'/' {
+                    depth -= 1;
+                    keep(&mut out, &b[i..i + 2]);
+                    i += 2;
+                } else {
+                    keep(&mut out, &b[i..i + 1]);
+                    i += 1;
+                }
+            }
+            continue;
+        }
+        // Raw string (r"..", r#".."#, br#".."#).
+        if (c == b'r' || c == b'b') && !prev_is_ident(&out) {
+            if let Some(len) = raw_string_len(&b[i..]) {
+                for k in 0..len {
+                    out.push(blank(b[i + k]));
+                }
+                i += len;
+                continue;
+            }
+        }
+        // Ordinary (or byte) string.
+        if c == b'"' {
+            out.push(b' ');
+            i += 1;
+            while i < b.len() {
+                if b[i] == b'\\' && i + 1 < b.len() {
+                    out.push(b' ');
+                    out.push(blank(b[i + 1]));
+                    i += 2;
+                } else if b[i] == b'"' {
+                    out.push(b' ');
+                    i += 1;
+                    break;
+                } else {
+                    out.push(blank(b[i]));
+                    i += 1;
+                }
+            }
+            continue;
+        }
+        // Char literal vs lifetime.
+        if c == b'\'' {
+            if i + 1 < b.len() && b[i + 1] == b'\\' {
+                out.push(b' ');
+                i += 1;
+                while i < b.len() && b[i] != b'\'' {
+                    if b[i] == b'\\' && i + 1 < b.len() {
+                        out.extend_from_slice(b"  ");
+                        i += 2;
+                    } else {
+                        out.push(blank(b[i]));
+                        i += 1;
+                    }
+                }
+                if i < b.len() {
+                    out.push(b' ');
+                    i += 1;
+                }
+                continue;
+            }
+            if i + 2 < b.len() && b[i + 2] == b'\'' && b[i + 1] != b'\'' {
+                out.extend_from_slice(b"   ");
+                i += 3;
+                continue;
+            }
+            // A lifetime; keep the tick, it cannot confuse the scans.
+            out.push(c);
+            i += 1;
+            continue;
+        }
+        out.push(c);
+        i += 1;
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+/// Blanks comments, string literals, and char literals, preserving line
+/// structure, so the rule scans see only code tokens.
+pub fn strip_source(src: &str) -> String {
+    scrub(src, false)
+}
+
+fn prev_is_ident(out: &[u8]) -> bool {
+    out.last()
+        .is_some_and(|&c| c.is_ascii_alphanumeric() || c == b'_')
+}
+
+/// Length of the raw-string literal starting at `b[0]`, if one starts
+/// there (`r`, `br`, any number of `#`s).
+fn raw_string_len(b: &[u8]) -> Option<usize> {
+    let mut i = 0;
+    if b.get(i) == Some(&b'b') {
+        i += 1;
+    }
+    if b.get(i) != Some(&b'r') {
+        return None;
+    }
+    i += 1;
+    let mut hashes = 0;
+    while b.get(i) == Some(&b'#') {
+        hashes += 1;
+        i += 1;
+    }
+    if b.get(i) != Some(&b'"') {
+        return None;
+    }
+    i += 1;
+    while i < b.len() {
+        if b[i] == b'"'
+            && b[i + 1..].len() >= hashes
+            && b[i + 1..i + 1 + hashes].iter().all(|&h| h == b'#')
+        {
+            return Some(i + 1 + hashes);
+        }
+        i += 1;
+    }
+    Some(b.len()) // unterminated; swallow the rest
+}
+
+/// Per-line suppressions from `// cruz-lint: allow(rule, ...)` comments.
+/// A suppression covers its own line and the line after it (so it can sit
+/// either trailing the offending line or on its own line above). Markers
+/// are located in a string-blanked view of the source, so an allow
+/// marker *inside a string literal* never suppresses anything, and a
+/// `//` inside a string never starts a comment.
+pub fn suppressions(raw: &str) -> BTreeSet<(usize, Rule)> {
+    const MARKER: &str = "cruz-lint: allow(";
+    let commented = scrub(raw, true);
+    let mut out = BTreeSet::new();
+    for (idx, line) in commented.lines().enumerate() {
+        let Some(comment_at) = line.find("//") else {
+            continue;
+        };
+        let comment = &line[comment_at..];
+        let Some(open) = comment.find(MARKER) else {
+            continue;
+        };
+        let rest = &comment[open + MARKER.len()..];
+        let Some(close) = rest.find(')') else {
+            continue;
+        };
+        for name in rest[..close].split(',') {
+            if let Some(rule) = Rule::from_name(name.trim()) {
+                let ln = idx + 1;
+                out.insert((ln, rule));
+                out.insert((ln + 1, rule));
+            }
+        }
+    }
+    out
+}
+
+/// Marks the lines belonging to `#[cfg(test)]` / `#[test]` items by brace
+/// matching from the attribute to the close of the item it decorates.
+pub fn test_mask(clean: &str, whole_file_is_test: bool) -> Vec<bool> {
+    let lines: Vec<&str> = clean.lines().collect();
+    let mut mask = vec![whole_file_is_test; lines.len()];
+    if whole_file_is_test {
+        return mask;
+    }
+    let mut i = 0;
+    while i < lines.len() {
+        let l = lines[i];
+        if !(l.contains("#[cfg(test)]") || l.trim_start().starts_with("#[test]")) {
+            i += 1;
+            continue;
+        }
+        // Walk forward to the first `{` of the decorated item, then to its
+        // matching `}`; everything in between is test code.
+        let mut depth: i64 = 0;
+        let mut seen_open = false;
+        let mut j = i;
+        'outer: while j < lines.len() {
+            for ch in lines[j].chars() {
+                match ch {
+                    '{' => {
+                        depth += 1;
+                        seen_open = true;
+                    }
+                    '}' => depth -= 1,
+                    // An attribute on a braceless item (e.g. `#[cfg(test)]
+                    // use ...;`) ends at the semicolon.
+                    ';' if !seen_open && depth == 0 => break 'outer,
+                    _ => {}
+                }
+                if seen_open && depth == 0 {
+                    break 'outer;
+                }
+            }
+            j += 1;
+        }
+        let end = j.min(lines.len().saturating_sub(1));
+        for m in mask.iter_mut().take(end + 1).skip(i) {
+            *m = true;
+        }
+        i = end + 1;
+    }
+    mask
+}
+
+/// Position of `tok` in `line` with identifier boundaries on both sides.
+pub fn find_token(line: &str, tok: &str) -> Option<usize> {
+    let b = line.as_bytes();
+    let mut from = 0;
+    while let Some(rel) = line[from..].find(tok) {
+        let at = from + rel;
+        from = at + tok.len();
+        let left_ok = at == 0 || !(b[at - 1].is_ascii_alphanumeric() || b[at - 1] == b'_');
+        let right = at + tok.len();
+        let right_ok = right >= b.len() || !(b[right].is_ascii_alphanumeric() || b[right] == b'_');
+        if left_ok && right_ok {
+            return Some(at);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strip_blanks_comments_and_strings() {
+        let src = "let a = \"HashMap::new()\"; // HashMap comment\nlet b = 1; /* todo!()\n spans */ let c = 'x';\n";
+        let clean = strip_source(src);
+        assert!(!clean.contains("HashMap"));
+        assert!(!clean.contains("todo!"));
+        assert!(!clean.contains('\''), "char literal blanked: {clean}");
+        assert_eq!(
+            clean.lines().count(),
+            src.lines().count(),
+            "line structure preserved"
+        );
+    }
+
+    #[test]
+    fn strip_handles_raw_strings_and_lifetimes() {
+        let src = "fn f<'a>(x: &'a str) { let r = r#\"Instant::now()\"#; }";
+        let clean = strip_source(src);
+        assert!(!clean.contains("Instant"));
+        assert!(clean.contains("'a"), "lifetimes survive: {clean}");
+    }
+
+    #[test]
+    fn suppression_covers_own_and_next_line() {
+        let s = suppressions("// cruz-lint: allow(wall-clock, silent-unwrap)\nx\n");
+        assert!(s.contains(&(1, Rule::WallClock)));
+        assert!(s.contains(&(2, Rule::WallClock)));
+        assert!(s.contains(&(2, Rule::SilentUnwrap)));
+        assert!(!s.contains(&(3, Rule::WallClock)));
+    }
+
+    #[test]
+    fn allow_marker_inside_string_literal_is_inert() {
+        // The marker text is data here, not a directive; it must not
+        // suppress anything on this or the next line.
+        let s = suppressions("let m = \"// cruz-lint: allow(wall-clock)\";\nInstant::now();\n");
+        assert!(s.is_empty(), "string content must not suppress: {s:?}");
+    }
+
+    #[test]
+    fn slashes_inside_strings_do_not_start_comments() {
+        // `"http://x"` then a real trailing allow comment: the directive
+        // after the string must still be honored.
+        let s = suppressions("let u = \"http://x\"; // cruz-lint: allow(wall-clock)\n");
+        assert!(s.contains(&(1, Rule::WallClock)));
+    }
+
+    #[test]
+    fn scrub_keep_comments_blanks_only_strings() {
+        let v = scrub("let a = \"sec//ret\"; // note\n", true);
+        assert!(!v.contains("sec"), "string blanked: {v}");
+        assert!(v.contains("// note"), "comment kept: {v}");
+    }
+}

@@ -13,11 +13,11 @@ use des::SimDuration;
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FrameFaults {
     /// Probability a frame is silently dropped.
-    pub drop: f64,
+    pub drop: f64, // fault-plan parameter; cruz-lint: allow(float-in-sim)
     /// Probability a frame is delivered twice (the copy arrives later).
-    pub duplicate: f64,
+    pub duplicate: f64, // fault-plan parameter; cruz-lint: allow(float-in-sim)
     /// Probability a frame is delayed past its successors (reordering).
-    pub reorder: f64,
+    pub reorder: f64, // fault-plan parameter; cruz-lint: allow(float-in-sim)
     /// Extra delay applied to duplicated/reordered copies.
     pub delay: SimDuration,
 }
