@@ -13,7 +13,11 @@
 #   6. bench smoke      — `--quick` runs of the store-ablation,
 #                         Fig 5(a), COW-downtime and recovery binaries
 #                         (their asserts are the check)
-#   7. chaos smoke      — replays three pinned fault-plan seeds and
+#   7. hotpath smoke    — ref/opt micro-bench pairs must agree
+#                         byte-for-byte, hit the speedup floors, and the
+#                         image digests pinned in the cow/recovery JSON
+#                         must be untouched by the optimization pass
+#   8. chaos smoke      — replays three pinned fault-plan seeds and
 #                         demands byte-identical event traces
 #
 # Everything runs offline: the only dependencies are the vendored stubs
@@ -52,6 +56,12 @@ cargo run --offline -q --release -p bench --bin store_dedup -- --quick
 cargo run --offline -q --release -p bench --bin fig5a -- --quick
 cargo run --offline -q --release -p bench --bin cow_downtime -- --quick
 cargo run --offline -q --release -p bench --bin recovery -- --quick
+
+echo "== hotpath smoke (--quick)"
+# Runs after cow_downtime/recovery so their JSON (with the pinned image
+# digests) is fresh; bench_hotpath re-checks those digests and writes
+# BENCH_hotpath.json.
+cargo run --offline -q --release -p bench --bin bench_hotpath -- --quick
 
 echo "== chaos smoke (pinned fault-plan replay)"
 cargo run --offline -q --release -p bench --bin chaos

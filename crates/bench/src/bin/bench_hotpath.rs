@@ -1,0 +1,210 @@
+//! Hot-path micro-benchmark: times each optimized kernel against the
+//! reference implementation it replaced and proves the outputs agree.
+//!
+//! Four pairs (see `bench::hotpath`): the scratch-reusing chunk codec, the
+//! word-unrolled FNV fold, the packed-key event queue, and the page-digest
+//! cached capture prepare on a steady-state epoch (<30% dirty). The run
+//! fails unless at least two of the four show a ≥2× median speedup and the
+//! cached capture actually served clean pages from the cache.
+//!
+//! Also re-checks the pinned image digests in `BENCH_cow_downtime.json`
+//! and `BENCH_recovery.json` — the optimizations must be invisible in
+//! every produced byte — and emits `BENCH_hotpath.json` so the perf
+//! trajectory is tracked across PRs.
+//!
+//! `--quick` runs smaller inputs and fewer samples as a CI smoke test; the
+//! asserts are the check either way.
+
+use std::time::Instant;
+
+use bench::hotpath::{
+    capture_fixture, capture_hinted, capture_reference, codec_inputs, codec_optimized,
+    codec_reference, digest_optimized, digest_reference, queue_optimized_churn,
+    queue_reference_churn, queue_schedule, zero_fraction,
+};
+use cruz::chunk::CodecScratch;
+
+/// Image digests pinned by earlier PRs; the hot-path pass must not move
+/// them by a single byte.
+const PINNED: &[(&str, &str)] = &[
+    ("BENCH_cow_downtime.json", "0x71635655e9e70ed2"),
+    ("BENCH_recovery.json", "0x44d88ab0991c9bd1"),
+];
+
+fn median_ns(samples: &mut Vec<u64>) -> u64 {
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+/// Times `reference` and `optimized` in alternation (so clock drift and
+/// cache warmth hit both sides equally) and returns the median ns pair
+/// plus each side's warmup checksum. Both closures share one mutable
+/// context so stateful kernels (scratch buffers, warm caches) work.
+fn time_pair<C>(
+    iters: usize,
+    ctx: &mut C,
+    mut reference: impl FnMut(&mut C) -> u64,
+    mut optimized: impl FnMut(&mut C) -> u64,
+) -> (u64, u64, u64, u64) {
+    // One warmup round each; the checksums also feed the equality check.
+    let ref_check = reference(ctx);
+    let opt_check = optimized(ctx);
+    let mut ref_ns = Vec::with_capacity(iters);
+    let mut opt_ns = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        let t = Instant::now();
+        std::hint::black_box(reference(ctx));
+        ref_ns.push(t.elapsed().as_nanos() as u64);
+        let t = Instant::now();
+        std::hint::black_box(optimized(ctx));
+        opt_ns.push(t.elapsed().as_nanos() as u64);
+    }
+    (
+        median_ns(&mut ref_ns),
+        median_ns(&mut opt_ns),
+        ref_check,
+        opt_check,
+    )
+}
+
+fn check_pinned_digests() {
+    for &(path, want) in PINNED {
+        let Ok(text) = std::fs::read_to_string(path) else {
+            println!("# note: {path} not found; digest pin skipped (run that bench first)");
+            continue;
+        };
+        let mut found = 0usize;
+        for part in text.split("\"image_digest\": \"").skip(1) {
+            let got = part.split('"').next().unwrap_or("");
+            assert_eq!(
+                got, want,
+                "{path}: image digest moved — the hot-path pass changed produced bytes"
+            );
+            found += 1;
+        }
+        assert!(found > 0, "{path} has no image_digest fields");
+        println!("# {path}: {found} image digest(s) still {want}");
+    }
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (iters, codec_pages, digest_bytes, queue_events, cap_pages) = if quick {
+        (15usize, 32usize, 256 * 1024usize, 16 * 1024usize, 96usize)
+    } else {
+        (41, 128, 4 * 1024 * 1024, 128 * 1024, 384)
+    };
+    // Steady state per the COW measurements: well under 30% of pages
+    // touched between epochs.
+    let dirty_pct = 20;
+    let inputs = codec_inputs(codec_pages);
+    println!(
+        "# hot-path pairs: encode {codec_pages} pages ({}% zero), digest {} KiB, queue {queue_events} events, capture {cap_pages} pages at {dirty_pct}% dirty",
+        zero_fraction(&inputs),
+        digest_bytes / 1024
+    );
+    let mut scratch = CodecScratch::new();
+    let (codec_ref, codec_opt, c1, c2) = time_pair(
+        iters,
+        &mut scratch,
+        |_| codec_reference(&inputs),
+        |s| codec_optimized(&inputs, s),
+    );
+    assert_eq!(c1, c2, "optimized page encode diverged from reference");
+
+    let mut data = vec![0u8; digest_bytes];
+    for (i, b) in data.iter_mut().enumerate() {
+        *b = (i % 251) as u8;
+    }
+    let (dig_ref, dig_opt, d1, d2) = time_pair(
+        iters,
+        &mut (),
+        |_| digest_reference(&data),
+        |_| digest_optimized(&data),
+    );
+    assert_eq!(d1, d2, "unrolled fold diverged from bytewise fold");
+
+    let schedule = queue_schedule(queue_events);
+    let (q_ref, q_opt, q1, q2) = time_pair(
+        iters,
+        &mut (),
+        |_| queue_reference_churn(&schedule),
+        |_| queue_optimized_churn(&schedule),
+    );
+    assert_eq!(q1, q2, "packed-key queue reordered events");
+
+    let mut fixture = capture_fixture(cap_pages, dirty_pct);
+    let (cap_ref, cap_opt, m1, m2) = time_pair(
+        iters,
+        &mut fixture,
+        |f| des::digest::fold(des::digest::OFFSET, capture_reference(f).manifest()),
+        |f| des::digest::fold(des::digest::OFFSET, capture_hinted(f).manifest()),
+    );
+    assert_eq!(m1, m2, "cached prepare produced a different manifest");
+    assert!(
+        fixture.cache.hits() > 0,
+        "steady-state epoch never hit the page-digest cache"
+    );
+
+    let rows = [
+        ("page_encode", codec_ref, codec_opt),
+        ("digest_fold", dig_ref, dig_opt),
+        ("queue_churn", q_ref, q_opt),
+        ("capture_cached", cap_ref, cap_opt),
+    ];
+    println!(
+        "{:>16} {:>14} {:>14} {:>9}",
+        "path", "ref_median_us", "opt_median_us", "speedup"
+    );
+    let mut at_2x = 0usize;
+    for &(name, r, o) in &rows {
+        let speedup = r as f64 / (o as f64).max(1.0);
+        if speedup >= 2.0 {
+            at_2x += 1;
+        }
+        println!(
+            "{:>16} {:>14.1} {:>14.1} {:>8.2}x",
+            name,
+            r as f64 / 1000.0,
+            o as f64 / 1000.0,
+            speedup
+        );
+    }
+    println!(
+        "# capture cache: {} hits / {} misses",
+        fixture.cache.hits(),
+        fixture.cache.misses()
+    );
+    assert!(
+        at_2x >= 2,
+        "only {at_2x} of {} hot paths reached a 2x median speedup",
+        rows.len()
+    );
+    println!(
+        "# {at_2x}/{} hot paths at >=2x; all ref/opt outputs identical",
+        rows.len()
+    );
+
+    check_pinned_digests();
+
+    let json_rows: Vec<String> = rows
+        .iter()
+        .map(|&(name, r, o)| {
+            format!(
+                "    {{\"path\": \"{}\", \"ref_median_ns\": {}, \"opt_median_ns\": {}, \"speedup\": {:.2}}}",
+                name,
+                r,
+                o,
+                r as f64 / (o as f64).max(1.0)
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"hotpath\",\n  \"quick\": {quick},\n  \"dirty_pct\": {dirty_pct},\n  \"paths_at_2x\": {at_2x},\n  \"capture_cache_hits\": {},\n  \"capture_cache_misses\": {},\n  \"pairs\": [\n{}\n  ]\n}}\n",
+        fixture.cache.hits(),
+        fixture.cache.misses(),
+        json_rows.join(",\n"),
+    );
+    std::fs::write("BENCH_hotpath.json", json).expect("write BENCH_hotpath.json");
+    println!("# wrote BENCH_hotpath.json");
+}

@@ -14,6 +14,7 @@ pub mod cow;
 pub mod dedup;
 pub mod fig5;
 pub mod fig6;
+pub mod hotpath;
 pub mod overhead;
 pub mod recovery;
 pub mod util;

@@ -272,6 +272,9 @@ impl World {
         if !self.jobs.contains_key(job) {
             return Err(ClusterError::NoSuchJob);
         }
+        // Restored pods get their memory from the stored epoch, not from
+        // the captures the digest cache remembers.
+        self.digest_caches.remove(job);
         // Tear down surviving pods first (restart-in-place, or rolling a
         // live job back to an earlier epoch): their addresses must be free
         // before the restore recreates them.
@@ -492,6 +495,11 @@ impl World {
                 store.discard_epoch(o.image_epoch);
                 store.gc_orphan_chunks();
             }
+            // An aborted op may have re-baselined dirty tracking (e.g. a
+            // COW arm that never drained) without a completed prepare, so
+            // remembered page digests can no longer be trusted.
+            let job = o.job.clone();
+            self.digest_caches.remove(&job);
         }
         if let Some(idx) = self.pending_recovery.remove(&op) {
             if let Some(r) = self.recovery_reports.get_mut(idx) {
@@ -629,7 +637,7 @@ impl World {
         };
         let store = self.store(&job);
         for (pod_name, put) in images {
-            store.put_prepared(&pod_name, image_epoch, &put);
+            store.put_prepared(&pod_name, image_epoch, put);
         }
         let actions = self.nodes[node].agent.on_local_durable(self.now);
         self.run_agent_actions(node, op, actions);
@@ -675,7 +683,7 @@ impl World {
                 }
                 let store = self.store(&job);
                 for (pod_name, put) in images {
-                    store.put_prepared(&pod_name, image_epoch, &put);
+                    store.put_prepared(&pod_name, image_epoch, put);
                 }
             }
             OpKind::Checkpoint => {} // COW: images persist at AgentDurable
@@ -768,6 +776,9 @@ impl World {
         let pods = self.job_pods_on_node(op, node);
         let dedup = self.params.store.dedup;
         let store = self.store(&job);
+        // The job's page-digest cache rides outside `self` for the loop; a
+        // capture failure drops it, which doubles as invalidation.
+        let mut cache = self.digest_caches.remove(&job).unwrap_or_default();
         let mut images: Vec<(String, PreparedPut)> = Vec::new();
         // Pipelined write-out schedule for the dedup path: each novel chunk
         // becomes available when capture has serialized up to it, and the
@@ -778,14 +789,20 @@ impl World {
             let Some(pod_id) = p.pod_id else { continue };
             let slot = &mut self.nodes[node];
             let extracted = match base {
-                Some(b) => {
-                    slot.zap
-                        .checkpoint_pod_incremental(&mut slot.kernel, pod_id, self.now, b)
-                }
-                None => slot.zap.checkpoint_pod(&mut slot.kernel, pod_id, self.now),
+                Some(b) => slot
+                    .zap
+                    .checkpoint_pod_incremental(&mut slot.kernel, pod_id, self.now, b)
+                    .map(|img| (img, Vec::new())),
+                None if dedup => slot
+                    .zap
+                    .checkpoint_pod_dirty(&mut slot.kernel, pod_id, self.now),
+                None => slot
+                    .zap
+                    .checkpoint_pod(&mut slot.kernel, pod_id, self.now)
+                    .map(|img| (img, Vec::new())),
             };
-            let img = match extracted {
-                Ok(img) => img,
+            let (img, dirty) = match extracted {
+                Ok(v) => v,
                 Err(e) => {
                     self.fail_op(op, CruzError::Zap(e));
                     return;
@@ -793,7 +810,14 @@ impl World {
             };
             if dedup {
                 let (bytes, cuts) = img.encode_with_page_cuts();
-                let prepared = store.prepare_chunked(&bytes, &cuts, &self.params.store);
+                let hints = cruz::pagecache::page_hints(&img, &cuts, &dirty);
+                let prepared = store.prepare_chunked_hinted(
+                    &bytes,
+                    &hints,
+                    &self.params.store,
+                    &p.name,
+                    &mut cache,
+                );
                 let pod_base = total;
                 for (raw_end, stored) in prepared.novel_writes() {
                     let ready = self.now + self.params.extract_time(pod_base + raw_end);
@@ -811,6 +835,7 @@ impl World {
                 images.push((p.name.clone(), PreparedPut::Plain(bytes)));
             }
         }
+        self.digest_caches.insert(job, cache);
         let t_extract = self.params.extract_time(total);
         let captured_at = self.now + t_extract;
         // Plain: one write of the whole image, starting once capture ends.

@@ -99,6 +99,7 @@ impl World {
             recoveries: BTreeMap::new(),
             crash_log: Vec::new(),
             soft_faults: Vec::new(),
+            digest_caches: BTreeMap::new(),
         }
     }
 

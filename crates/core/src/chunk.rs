@@ -23,6 +23,7 @@
 //!   bytes back in the output, `distance` a little-endian `u16` (1..=65535).
 
 use std::fmt;
+use std::sync::OnceLock;
 
 use des::digest;
 
@@ -89,6 +90,41 @@ impl fmt::Display for ChunkId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{}", self.hex())
     }
+}
+
+// ---- zero-page fast path ----------------------------------------------------
+
+/// The page size every zero-page shortcut below is specialized to (matches
+/// `simos::mem::PAGE_SIZE` and the store's default chunk size).
+pub const ZERO_PAGE_LEN: usize = 4096;
+
+static ZERO_PAGE_ID: OnceLock<ChunkId> = OnceLock::new();
+static ZERO_PAGE_LZ: OnceLock<Vec<u8>> = OnceLock::new();
+static ZERO_PAGE_RAW: OnceLock<Vec<u8>> = OnceLock::new();
+
+/// The content address of an all-zero [`ZERO_PAGE_LEN`]-byte page, computed
+/// once per process. Zero pages dominate freshly-touched guest memory, so
+/// the capture path checks [`is_zero_page`] first and skips both folds when
+/// it hits.
+pub fn zero_page_id() -> ChunkId {
+    *ZERO_PAGE_ID.get_or_init(|| ChunkId::of(&[0u8; ZERO_PAGE_LEN]))
+}
+
+/// The stored container bytes of an all-zero page, computed once per
+/// process via the reference [`encode_chunk`] (so the bytes are identical
+/// to what the slow path would produce).
+pub fn zero_page_encoded(compress_on: bool) -> &'static [u8] {
+    if compress_on {
+        ZERO_PAGE_LZ.get_or_init(|| encode_chunk(&[0u8; ZERO_PAGE_LEN], true))
+    } else {
+        ZERO_PAGE_RAW.get_or_init(|| encode_chunk(&[0u8; ZERO_PAGE_LEN], false))
+    }
+}
+
+/// True iff `data` is exactly one all-zero page. Word-at-a-time: 4096 is a
+/// multiple of 8, so the check is 512 `u64` compares with no tail loop.
+pub fn is_zero_page(data: &[u8]) -> bool {
+    data.len() == ZERO_PAGE_LEN && data.chunks_exact(8).all(|w| w == [0u8; 8])
 }
 
 // ---- segmentation -----------------------------------------------------------
@@ -186,6 +222,93 @@ pub fn compress(data: &[u8]) -> Vec<u8> {
     out
 }
 
+/// Reusable codec working memory: the 64 KiB match-finder table and the
+/// packed-output buffer that [`compress`] would otherwise allocate per
+/// chunk. One scratch serves an entire capture's worth of chunks.
+///
+/// The table is never re-zeroed between chunks. Each entry packs a
+/// generation stamp in its high 32 bits (`(stamp << 32) | position`); an
+/// entry is a live candidate only when its stamp matches the current call's,
+/// so bumping the stamp invalidates the whole table in O(1). On the rare
+/// `u32` stamp wrap the table is re-zeroed once, keeping stale entries from
+/// a four-billion-calls-ago generation from aliasing the fresh stamp.
+#[derive(Debug, Default)]
+pub struct CodecScratch {
+    table: Vec<u64>,
+    stamp: u32,
+    packed: Vec<u8>,
+}
+
+impl CodecScratch {
+    /// Creates an empty scratch; the table materializes on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// [`compress`] into `scratch.packed`, reusing the scratch table. Produces
+/// a byte-identical token stream: the greedy parse consults exactly the
+/// candidates the fresh-table reference would (stale-stamp entries read as
+/// "no candidate", just like `usize::MAX` slots in a fresh table).
+fn compress_into(data: &[u8], scratch: &mut CodecScratch) {
+    scratch.packed.clear();
+    if data.len() > u32::MAX as usize {
+        // Positions would not fit the packed table entry; take the
+        // reference path (unreachable for real chunks, which are page-sized).
+        scratch.packed = compress(data);
+        return;
+    }
+    if scratch.table.len() != 1 << HASH_BITS {
+        scratch.table = vec![0u64; 1 << HASH_BITS];
+        scratch.stamp = 0;
+    }
+    scratch.stamp = scratch.stamp.wrapping_add(1);
+    if scratch.stamp == 0 {
+        scratch.table.iter_mut().for_each(|e| *e = 0);
+        scratch.stamp = 1;
+    }
+    let gen = (scratch.stamp as u64) << 32;
+    let out = &mut scratch.packed;
+    let table = &mut scratch.table;
+    let mut lit_start = 0;
+    let mut i = 0;
+    while i < data.len() {
+        let mut best_len = 0;
+        let mut best_dist = 0;
+        if i + MIN_MATCH <= data.len() {
+            let h = hash4(&data[i..]);
+            let e = table[h];
+            let cand = if e & 0xffff_ffff_0000_0000 == gen {
+                (e & 0xffff_ffff) as usize
+            } else {
+                usize::MAX
+            };
+            table[h] = gen | i as u64;
+            if cand != usize::MAX && i - cand <= MAX_DIST {
+                let max = (data.len() - i).min(MAX_MATCH);
+                let mut l = 0;
+                while l < max && data[cand + l] == data[i + l] {
+                    l += 1;
+                }
+                if l >= MIN_MATCH {
+                    best_len = l;
+                    best_dist = i - cand;
+                }
+            }
+        }
+        if best_len >= MIN_MATCH {
+            flush_literals(out, &data[lit_start..i]);
+            out.push(0x80 | (best_len - MIN_MATCH) as u8);
+            out.extend_from_slice(&(best_dist as u16).to_le_bytes());
+            i += best_len;
+            lit_start = i;
+        } else {
+            i += 1;
+        }
+    }
+    flush_literals(out, &data[lit_start..]);
+}
+
 /// Decompresses a [`compress`] token stream.
 ///
 /// # Errors
@@ -193,7 +316,14 @@ pub fn compress(data: &[u8]) -> Vec<u8> {
 /// [`CodecError::Truncated`] or [`CodecError::BadDistance`] on malformed
 /// input.
 pub fn decompress(data: &[u8]) -> Result<Vec<u8>, CodecError> {
-    let mut out = Vec::with_capacity(data.len() * 2);
+    decompress_with_capacity(data, data.len() * 2)
+}
+
+/// [`decompress`] with the output preallocated to `cap` bytes — the chunk
+/// container records the decoded length, so [`decode_chunk`] can size the
+/// output exactly once instead of growing it incrementally.
+fn decompress_with_capacity(data: &[u8], cap: usize) -> Result<Vec<u8>, CodecError> {
+    let mut out = Vec::with_capacity(cap);
     let mut i = 0;
     while i < data.len() {
         let c = data[i];
@@ -253,6 +383,27 @@ pub fn encode_chunk(raw: &[u8], compress_on: bool) -> Vec<u8> {
     out
 }
 
+/// [`encode_chunk`] through a reusable [`CodecScratch`]: same container
+/// bytes (pinned by twin-path tests), no per-chunk table or intermediate
+/// allocation — the only allocation is the exact-size output container.
+pub fn encode_chunk_with(raw: &[u8], compress_on: bool, scratch: &mut CodecScratch) -> Vec<u8> {
+    if compress_on {
+        compress_into(raw, scratch);
+        let packed = &scratch.packed;
+        if packed.len() + 5 < raw.len() + 1 {
+            let mut out = Vec::with_capacity(packed.len() + 5);
+            out.push(TAG_LZ);
+            out.extend_from_slice(&(raw.len() as u32).to_le_bytes());
+            out.extend_from_slice(packed);
+            return out;
+        }
+    }
+    let mut out = Vec::with_capacity(raw.len() + 1);
+    out.push(TAG_RAW);
+    out.extend_from_slice(raw);
+    out
+}
+
 /// Decodes a stored chunk back to its raw bytes.
 ///
 /// # Errors
@@ -270,7 +421,7 @@ pub fn decode_chunk(stored: &[u8]) -> Result<Vec<u8>, CodecError> {
             let raw_len =
                 u32::from_le_bytes(len_bytes.try_into().map_err(|_| CodecError::Truncated)?)
                     as usize;
-            let raw = decompress(payload)?;
+            let raw = decompress_with_capacity(payload, raw_len)?;
             if raw.len() != raw_len {
                 return Err(CodecError::LengthMismatch);
             }
@@ -343,6 +494,48 @@ mod tests {
         stored.extend_from_slice(&100u32.to_le_bytes());
         stored.extend_from_slice(&compress(b"abc"));
         assert_eq!(decode_chunk(&stored), Err(CodecError::LengthMismatch));
+    }
+
+    #[test]
+    fn scratch_codec_matches_reference() {
+        let inputs: Vec<Vec<u8>> = vec![
+            vec![],
+            b"a".to_vec(),
+            vec![0u8; 4096],
+            (0..4096u32).map(|i| (i % 251) as u8 | 1).collect(),
+            (0..700u32)
+                .map(|i| (i.wrapping_mul(2654435761) >> 13) as u8)
+                .collect(),
+            b"abcabcabcabcabcabc".to_vec(),
+        ];
+        // One scratch across all inputs and both compress settings: reuse
+        // (stale table entries, leftover packed bytes) must not leak.
+        let mut scratch = CodecScratch::new();
+        for round in 0..3 {
+            for data in &inputs {
+                for on in [true, false] {
+                    assert_eq!(
+                        encode_chunk_with(data, on, &mut scratch),
+                        encode_chunk(data, on),
+                        "round {round} len {} compress {on}",
+                        data.len()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn zero_page_constants_match_slow_path() {
+        let page = vec![0u8; ZERO_PAGE_LEN];
+        assert!(is_zero_page(&page));
+        assert!(!is_zero_page(&page[..ZERO_PAGE_LEN - 1]));
+        let mut dirty = page.clone();
+        dirty[4095] = 1;
+        assert!(!is_zero_page(&dirty));
+        assert_eq!(zero_page_id(), ChunkId::of(&page));
+        assert_eq!(zero_page_encoded(true), &encode_chunk(&page, true)[..]);
+        assert_eq!(zero_page_encoded(false), &encode_chunk(&page, false)[..]);
     }
 
     #[test]

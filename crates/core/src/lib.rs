@@ -27,6 +27,8 @@
 //!   content-addressed deduplicating chunk store on the shared filesystem;
 //! * [`chunk`] — deterministic content addressing and the per-chunk
 //!   RLE+LZ codec the store builds on;
+//! * [`pagecache`] — the epoch-granular page-digest cache that lets clean
+//!   pages skip re-hash/re-encode on the dedup capture path;
 //! * [`digest`] — the one audited FNV-1a fold (re-exported from `des`)
 //!   behind trace digests, image checksums and chunk addresses.
 //!
@@ -41,6 +43,7 @@ pub mod agent;
 pub mod chunk;
 pub mod coordinator;
 pub mod error;
+pub mod pagecache;
 pub mod proto;
 pub mod store;
 
@@ -50,5 +53,6 @@ pub use agent::{Agent, AgentAction};
 pub use chunk::ChunkId;
 pub use coordinator::{AgentId, CoordEffect, CoordStats, Coordinator};
 pub use error::CruzError;
+pub use pagecache::{page_hints, DigestCache, PageHint};
 pub use proto::{CtlMsg, OpKind, ProtocolMode, AGENT_PORT, COORD_PORT};
 pub use store::{CheckpointStore, PreparedPut, StoreConfig};

@@ -32,6 +32,7 @@
 //! chunks no retained epoch shares.
 
 use std::collections::{BTreeMap, BTreeSet};
+use std::rc::Rc;
 
 use simos::fs::NetFs;
 use zap::image::{ImageReader, ImageWriter};
@@ -97,7 +98,9 @@ pub struct PreparedChunk {
     /// Exclusive end offset of this chunk's raw bytes within the image.
     pub raw_end: u64,
     /// The encoded chunk container (what the chunk file will hold).
-    pub stored: Vec<u8>,
+    /// Reference-counted so the page-digest cache can hand the same encoded
+    /// bytes to consecutive epochs without re-encoding or copying.
+    pub stored: Rc<[u8]>,
     /// True if the store lacked this chunk when the write was prepared —
     /// the bytes that actually hit the disk.
     pub novel: bool,
@@ -110,9 +113,9 @@ pub struct PreparedChunk {
 /// event that represents durability.
 #[derive(Debug, Clone)]
 pub struct PreparedChunked {
-    raw_len: u64,
-    manifest: Vec<u8>,
-    chunks: Vec<PreparedChunk>,
+    pub(crate) raw_len: u64,
+    pub(crate) manifest: Vec<u8>,
+    pub(crate) chunks: Vec<PreparedChunk>,
 }
 
 impl PreparedChunked {
@@ -124,6 +127,15 @@ impl PreparedChunked {
     /// Length of the manifest file.
     pub fn manifest_len(&self) -> u64 {
         self.manifest.len() as u64
+    }
+
+    /// The serialized manifest. The manifest fixes every chunk id, segment
+    /// length, and stored length, so byte-equality of two manifests over
+    /// the same image proves two prepare paths did identical work — the
+    /// equivalence check the hot-path benchmarks and twin-path property
+    /// tests pin.
+    pub fn manifest(&self) -> &[u8] {
+        &self.manifest
     }
 
     /// The chunk writes the store will actually perform: `(raw_end,
@@ -202,6 +214,12 @@ impl CheckpointStore {
         &self.job
     }
 
+    /// The underlying filesystem view (for sibling modules that extend the
+    /// store, e.g. the hinted prepare path in [`crate::pagecache`]).
+    pub(crate) fn fs(&self) -> &NetFs {
+        &self.fs
+    }
+
     /// Path of a pod's plain image for an epoch.
     pub fn image_path(&self, pod_name: &str, epoch: u64) -> String {
         format!("/ckpt/{}/epoch{:08}/{}.img", self.job, epoch, pod_name)
@@ -262,7 +280,7 @@ impl CheckpointStore {
         for (start, len) in ranges {
             let seg = &raw[start..start + len];
             let id = ChunkId::of(seg);
-            let stored = chunk::encode_chunk(seg, cfg.compress);
+            let stored: Rc<[u8]> = chunk::encode_chunk(seg, cfg.compress).into();
             // Size accounting prefers the bytes already on disk: a chunk
             // written earlier (possibly under another codec setting) is
             // what a restore will actually read.
@@ -290,19 +308,22 @@ impl CheckpointStore {
     }
 
     /// Applies a prepared write: stores absent chunks, writes the manifest
-    /// (or the plain image), and bumps chunk refcounts.
-    pub fn put_prepared(&self, pod_name: &str, epoch: u64, put: &PreparedPut) {
+    /// (or the plain image), and bumps chunk refcounts. Takes the prepared
+    /// write by value so the plain arm moves its image bytes straight to the
+    /// filesystem (no clone of the full image) and the chunked arm moves
+    /// its manifest.
+    pub fn put_prepared(&self, pod_name: &str, epoch: u64, put: PreparedPut) {
         match put {
-            PreparedPut::Plain(bytes) => self.put_image(pod_name, epoch, bytes.clone()),
+            PreparedPut::Plain(bytes) => self.put_image(pod_name, epoch, bytes),
             PreparedPut::Chunked(c) => {
                 for ch in &c.chunks {
                     let path = self.chunk_path(ch.id);
                     if !self.fs.exists(&path) {
-                        self.fs.write_file(&path, ch.stored.clone());
+                        self.fs.write_file(&path, ch.stored.to_vec());
                     }
                 }
                 self.fs
-                    .write_file(&self.manifest_path(pod_name, epoch), c.manifest.clone());
+                    .write_file(&self.manifest_path(pod_name, epoch), c.manifest);
                 let mut refs = self.read_refs();
                 for ch in &c.chunks {
                     *refs.entry(ch.id).or_insert(0) += 1;
@@ -338,7 +359,7 @@ impl CheckpointStore {
                     }
                     let path = self.chunk_path(ch.id);
                     if !self.fs.exists(&path) {
-                        self.fs.write_file(&path, ch.stored.clone());
+                        self.fs.write_file(&path, ch.stored.to_vec());
                     }
                 }
             }
@@ -822,7 +843,7 @@ mod tests {
         let s = CheckpointStore::new(fs, "j");
         let (raw, cuts) = toy_image(32, 3, 0xaa);
         let put = s.prepare_chunked(&raw, &cuts, &cfg());
-        s.put_prepared("p", 1, &PreparedPut::Chunked(put));
+        s.put_prepared("p", 1, PreparedPut::Chunked(put));
         s.commit(1);
         assert_eq!(s.get_image("p", 1), Some(raw.clone()));
         assert_eq!(s.image_len("p", 1), Some(raw.len() as u64));
@@ -840,7 +861,7 @@ mod tests {
         let (raw1, cuts1) = toy_image(32, 3, 0xaa);
         let put1 = s.prepare_chunked(&raw1, &cuts1, &cfg());
         let first_bytes = put1.new_bytes();
-        s.put_prepared("p", 1, &PreparedPut::Chunked(put1));
+        s.put_prepared("p", 1, PreparedPut::Chunked(put1));
         s.commit(1);
         // Epoch 2: one block changed.
         let (raw2, cuts2) = toy_image(32, 3, 0xbb);
@@ -850,7 +871,7 @@ mod tests {
         // and below even the first (all-novel) dedup epoch.
         assert!(put2.new_bytes() * 5 < raw2.len() as u64);
         assert!(put2.new_bytes() < first_bytes);
-        s.put_prepared("p", 2, &PreparedPut::Chunked(put2));
+        s.put_prepared("p", 2, PreparedPut::Chunked(put2));
         s.commit(2);
         assert_eq!(s.get_image("p", 2), Some(raw2));
         assert_eq!(s.get_image("p", 1), Some(raw1), "old epoch still intact");
@@ -863,10 +884,10 @@ mod tests {
         let (raw1, cuts1) = toy_image(16, 2, 0xaa);
         let (raw2, cuts2) = toy_image(16, 2, 0xbb);
         let put1 = PreparedPut::Chunked(s.prepare_chunked(&raw1, &cuts1, &cfg()));
-        s.put_prepared("p", 1, &put1);
+        s.put_prepared("p", 1, put1);
         s.commit(1);
         let put2 = PreparedPut::Chunked(s.prepare_chunked(&raw2, &cuts2, &cfg()));
-        s.put_prepared("p", 2, &put2);
+        s.put_prepared("p", 2, put2);
         s.commit(2);
         // Both epochs alive: the chunk set is the union of their manifests.
         let want: BTreeSet<ChunkId> = s
@@ -897,7 +918,7 @@ mod tests {
         let s = CheckpointStore::new(fs, "j");
         let (raw, cuts) = toy_image(8, 1, 0xaa);
         let put = PreparedPut::Chunked(s.prepare_chunked(&raw, &cuts, &cfg()));
-        s.put_prepared("p", 1, &put);
+        s.put_prepared("p", 1, put);
         s.commit(1);
         assert!(s.orphan_chunks().is_empty(), "healthy store has no orphans");
         // Simulate a crash that persisted chunks but lost the manifest.
@@ -960,7 +981,7 @@ mod tests {
         let put = s.prepare_chunked(&raw, &[], &cfg());
         assert_eq!(put.chunk_count(), 4);
         assert_eq!(put.novel_count(), 1);
-        s.put_prepared("p", 1, &PreparedPut::Chunked(put));
+        s.put_prepared("p", 1, PreparedPut::Chunked(put));
         assert_eq!(s.live_chunks().len(), 1);
         s.discard_epoch(1);
         assert!(s.live_chunks().is_empty(), "all four references released");
@@ -974,7 +995,7 @@ mod tests {
         s.put_prepared(
             "p",
             1,
-            &PreparedPut::Chunked(s.prepare_chunked(&raw, &cuts, &cfg())),
+            PreparedPut::Chunked(s.prepare_chunked(&raw, &cuts, &cfg())),
         );
         let victim = s.live_chunks()[0];
         s.fs.remove(&s.chunk_path(victim));

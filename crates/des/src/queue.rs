@@ -32,16 +32,29 @@ pub struct EventQueue<T> {
     seq: u64,
 }
 
+/// Heap entry with the ordering key packed into one `u128`:
+/// `(timestamp_nanos << 64) | seq`. Comparing the packed key is a single
+/// wide compare instead of a two-field lexicographic chain, and it orders
+/// identically — timestamps occupy the high bits, the per-push sequence
+/// number the low bits, and `seq` is a monotone `u64` that never wraps
+/// within a run.
 #[derive(Debug, Clone)]
 struct Entry<T> {
-    at: SimTime,
-    seq: u64,
+    key: u128,
     payload: T,
+}
+
+fn pack_key(at: SimTime, seq: u64) -> u128 {
+    ((at.as_nanos() as u128) << 64) | seq as u128
+}
+
+fn key_time(key: u128) -> SimTime {
+    SimTime::from_nanos((key >> 64) as u64)
 }
 
 impl<T> PartialEq for Entry<T> {
     fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
+        self.key == other.key
     }
 }
 impl<T> Eq for Entry<T> {}
@@ -56,10 +69,7 @@ impl<T> Ord for Entry<T> {
     fn cmp(&self, other: &Self) -> Ordering {
         // BinaryHeap is a max-heap; invert so the earliest (then first-pushed)
         // entry surfaces first.
-        other
-            .at
-            .cmp(&self.at)
-            .then_with(|| other.seq.cmp(&self.seq))
+        other.key.cmp(&self.key)
     }
 }
 
@@ -76,17 +86,20 @@ impl<T> EventQueue<T> {
     pub fn push(&mut self, at: SimTime, payload: T) {
         let seq = self.seq;
         self.seq += 1;
-        self.heap.push(Entry { at, seq, payload });
+        self.heap.push(Entry {
+            key: pack_key(at, seq),
+            payload,
+        });
     }
 
     /// Removes and returns the earliest event, if any.
     pub fn pop(&mut self) -> Option<(SimTime, T)> {
-        self.heap.pop().map(|e| (e.at, e.payload))
+        self.heap.pop().map(|e| (key_time(e.key), e.payload))
     }
 
     /// Returns the timestamp of the earliest pending event.
     pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|e| e.at)
+        self.heap.peek().map(|e| key_time(e.key))
     }
 
     /// Returns the number of pending events.

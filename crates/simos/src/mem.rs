@@ -267,6 +267,13 @@ impl AddressSpace {
         self.dirty.len()
     }
 
+    /// Addresses of the pages written since the last
+    /// [`AddressSpace::clear_dirty`] — the set the capture path's
+    /// page-digest cache keys its clean-page reuse on.
+    pub fn dirty_set(&self) -> &std::collections::BTreeSet<u64> {
+        &self.dirty
+    }
+
     /// Resets dirty tracking (called when a checkpoint captures the space).
     pub fn clear_dirty(&mut self) {
         self.dirty.clear();
