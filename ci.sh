@@ -17,7 +17,12 @@
 #                         byte-for-byte, hit the speedup floors, and the
 #                         image digests pinned in the cow/recovery JSON
 #                         must be untouched by the optimization pass
-#   8. chaos smoke      — replays three pinned fault-plan seeds and
+#   8. parallel smoke   — pooled capture/restore at threads 1/2/4/8 must
+#                         produce byte-identical manifests, store files
+#                         and restored images (the serial path is the
+#                         oracle), and the pinned image digests must
+#                         survive the pool too
+#   9. chaos smoke      — replays three pinned fault-plan seeds and
 #                         demands byte-identical event traces
 #
 # Everything runs offline: the only dependencies are the vendored stubs
@@ -62,6 +67,12 @@ echo "== hotpath smoke (--quick)"
 # digests) is fresh; bench_hotpath re-checks those digests and writes
 # BENCH_hotpath.json.
 cargo run --offline -q --release -p bench --bin bench_hotpath -- --quick
+
+echo "== parallel smoke (--quick)"
+# Byte-identity across pool widths is asserted unconditionally; the
+# throughput floor only gates on hosts with >=4 CPUs (recorded in
+# BENCH_parallel.json as host_cpus either way).
+cargo run --offline -q --release -p bench --bin bench_parallel -- --quick
 
 echo "== chaos smoke (pinned fault-plan replay)"
 cargo run --offline -q --release -p bench --bin chaos

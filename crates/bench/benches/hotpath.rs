@@ -1,6 +1,6 @@
 //! Criterion micro-benchmarks for the capture hot paths: chunk range
-//! splitting, the LZ codec, chunk encoding, the FNV digest fold, event
-//! queue churn, and the COW drain's prepare step — each optimized kernel
+//! splitting, the LZ codec, chunk encoding, the 128-bit chunk address,
+//! event queue churn, and the COW drain's prepare step — each optimized kernel
 //! next to the reference implementation it must match byte-for-byte
 //! (`bench::hotpath` holds the shared kernels; the `bench_hotpath` binary
 //! asserts the ref/opt equivalence and speedup floors).
@@ -9,9 +9,9 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 use bench::hotpath::{
-    capture_fixture, capture_hinted, capture_reference, codec_inputs, codec_optimized,
-    codec_reference, digest_optimized, digest_reference, queue_optimized_churn,
-    queue_reference_churn, queue_schedule, PAGE,
+    capture_fixture, capture_hinted, capture_reference, chunk_id_optimized, chunk_id_reference,
+    codec_inputs, codec_optimized, codec_reference, queue_optimized_churn, queue_reference_churn,
+    queue_schedule, PAGE,
 };
 use cruz::chunk::{self, CodecScratch};
 
@@ -70,16 +70,15 @@ fn bench_page_encode(c: &mut Criterion) {
     g.finish();
 }
 
-/// The FNV-1a fold: byte-serial reference vs the word-unrolled loop.
-fn bench_digest_fold(c: &mut Criterion) {
+/// The 128-bit chunk content address: two independent FNV passes vs one
+/// interleaved `fold2` pass.
+fn bench_chunk_id(c: &mut Criterion) {
     let data: Vec<u8> = (0..1024 * 1024usize).map(|i| (i % 251) as u8).collect();
-    let mut g = c.benchmark_group("digest_fold_1mib");
-    g.bench_function("bytewise", |b| {
-        b.iter(|| digest_reference(black_box(&data)))
+    let mut g = c.benchmark_group("chunk_id_1mib");
+    g.bench_function("two_folds", |b| {
+        b.iter(|| chunk_id_reference(black_box(&data)))
     });
-    g.bench_function("unrolled", |b| {
-        b.iter(|| digest_optimized(black_box(&data)))
-    });
+    g.bench_function("fold2", |b| b.iter(|| chunk_id_optimized(black_box(&data))));
     g.finish();
 }
 
@@ -121,6 +120,6 @@ criterion_group! {
     name = hotpath;
     config = config();
     targets = bench_split_ranges, bench_compress, bench_encode_chunk, bench_page_encode,
-        bench_digest_fold, bench_queue_churn, bench_cow_drain_encoding
+        bench_chunk_id, bench_queue_churn, bench_cow_drain_encoding
 }
 criterion_main!(hotpath);

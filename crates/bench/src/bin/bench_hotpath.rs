@@ -2,10 +2,11 @@
 //! reference implementation it replaced and proves the outputs agree.
 //!
 //! Four pairs (see `bench::hotpath`): the scratch-reusing chunk codec, the
-//! word-unrolled FNV fold, the packed-key event queue, and the page-digest
-//! cached capture prepare on a steady-state epoch (<30% dirty). The run
-//! fails unless at least two of the four show a ≥2× median speedup and the
-//! cached capture actually served clean pages from the cache.
+//! single-pass interleaved 128-bit chunk address (`fold2` vs two full
+//! folds), the packed-key event queue, and the page-digest cached capture
+//! prepare on a steady-state epoch (<30% dirty). The run fails unless at
+//! least two of the four show a ≥2× median speedup and the cached capture
+//! actually served clean pages from the cache.
 //!
 //! Also re-checks the pinned image digests in `BENCH_cow_downtime.json`
 //! and `BENCH_recovery.json` — the optimizations must be invisible in
@@ -18,18 +19,12 @@
 use std::time::Instant;
 
 use bench::hotpath::{
-    capture_fixture, capture_hinted, capture_reference, codec_inputs, codec_optimized,
-    codec_reference, digest_optimized, digest_reference, queue_optimized_churn,
-    queue_reference_churn, queue_schedule, zero_fraction,
+    capture_fixture, capture_hinted, capture_reference, chunk_id_optimized, chunk_id_reference,
+    codec_inputs, codec_optimized, codec_reference, queue_optimized_churn, queue_reference_churn,
+    queue_schedule, zero_fraction,
 };
+use bench::util::check_pinned_digests;
 use cruz::chunk::CodecScratch;
-
-/// Image digests pinned by earlier PRs; the hot-path pass must not move
-/// them by a single byte.
-const PINNED: &[(&str, &str)] = &[
-    ("BENCH_cow_downtime.json", "0x71635655e9e70ed2"),
-    ("BENCH_recovery.json", "0x44d88ab0991c9bd1"),
-];
 
 fn median_ns(samples: &mut Vec<u64>) -> u64 {
     samples.sort_unstable();
@@ -67,26 +62,6 @@ fn time_pair<C>(
     )
 }
 
-fn check_pinned_digests() {
-    for &(path, want) in PINNED {
-        let Ok(text) = std::fs::read_to_string(path) else {
-            println!("# note: {path} not found; digest pin skipped (run that bench first)");
-            continue;
-        };
-        let mut found = 0usize;
-        for part in text.split("\"image_digest\": \"").skip(1) {
-            let got = part.split('"').next().unwrap_or("");
-            assert_eq!(
-                got, want,
-                "{path}: image digest moved — the hot-path pass changed produced bytes"
-            );
-            found += 1;
-        }
-        assert!(found > 0, "{path} has no image_digest fields");
-        println!("# {path}: {found} image digest(s) still {want}");
-    }
-}
-
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let (iters, codec_pages, digest_bytes, queue_events, cap_pages) = if quick {
@@ -119,10 +94,10 @@ fn main() {
     let (dig_ref, dig_opt, d1, d2) = time_pair(
         iters,
         &mut (),
-        |_| digest_reference(&data),
-        |_| digest_optimized(&data),
+        |_| chunk_id_reference(&data),
+        |_| chunk_id_optimized(&data),
     );
-    assert_eq!(d1, d2, "unrolled fold diverged from bytewise fold");
+    assert_eq!(d1, d2, "interleaved fold2 address diverged from two folds");
 
     let schedule = queue_schedule(queue_events);
     let (q_ref, q_opt, q1, q2) = time_pair(
@@ -148,7 +123,7 @@ fn main() {
 
     let rows = [
         ("page_encode", codec_ref, codec_opt),
-        ("digest_fold", dig_ref, dig_opt),
+        ("chunk_id", dig_ref, dig_opt),
         ("queue_churn", q_ref, q_opt),
         ("capture_cached", cap_ref, cap_opt),
     ];

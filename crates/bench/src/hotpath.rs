@@ -5,8 +5,9 @@
 //!
 //! * **codec** — fresh-allocation [`cruz::chunk::encode_chunk`] vs the
 //!   scratch-reusing [`cruz::chunk::encode_chunk_with`];
-//! * **digest** — byte-at-a-time [`des::digest::fold_bytewise`] vs the
-//!   word-unrolled [`des::digest::fold`];
+//! * **chunk_id** — the 128-bit content address as two independent FNV
+//!   passes over the page vs [`des::digest::fold2`]'s single interleaved
+//!   pass (what [`cruz::chunk::ChunkId::of`] now does);
 //! * **queue** — the pre-optimization two-field heap entry (kept here as
 //!   [`RefQueue`]) vs [`des::EventQueue`]'s packed `u128` key;
 //! * **capture** — [`CheckpointStore::prepare_chunked`] vs the page-digest
@@ -122,14 +123,23 @@ pub fn codec_optimized(inputs: &[Vec<u8>], scratch: &mut CodecScratch) -> u64 {
     })
 }
 
-/// Reference digest: the byte-serial FNV-1a fold.
-pub fn digest_reference(data: &[u8]) -> u64 {
-    digest::fold_bytewise(digest::OFFSET, data)
+/// Reference 128-bit content address: two complete, independent FNV-1a
+/// folds over the data — the data read twice, each fold latency-bound on
+/// its own multiply chain. What [`cruz::chunk::ChunkId::of`] did before
+/// [`des::digest::fold2`]. Returns the two halves folded together so the
+/// pair can be compared as one checksum.
+pub fn chunk_id_reference(data: &[u8]) -> u64 {
+    let lo = digest::fold(digest::OFFSET, data);
+    let hi = digest::fold(digest::OFFSET_ALT, data);
+    digest::fold_u64(lo, hi)
 }
 
-/// Optimized digest: the word-at-a-time unrolled fold.
-pub fn digest_optimized(data: &[u8]) -> u64 {
-    digest::fold(digest::OFFSET, data)
+/// Optimized 128-bit content address: one interleaved [`des::digest::fold2`]
+/// pass — the data read once, the two independent multiply chains kept in
+/// flight together.
+pub fn chunk_id_optimized(data: &[u8]) -> u64 {
+    let (lo, hi) = digest::fold2(digest::OFFSET, digest::OFFSET_ALT, data);
+    digest::fold_u64(lo, hi)
 }
 
 /// The pre-optimization event-queue entry: time and sequence number as
@@ -290,10 +300,13 @@ pub struct CaptureFixture {
 /// byte-identical and marked clean. The returned cache is warm (the
 /// previous epoch was prepared through it).
 pub fn capture_fixture(pages: usize, dirty_pct: usize) -> CaptureFixture {
+    // threads: 1 pins both paths to the serial kernels: this pair isolates
+    // the digest-cache win; thread scaling is bench_parallel's subject.
     let cfg = StoreConfig {
         chunk_bytes: 1024,
         dedup: true,
         compress: true,
+        threads: 1,
     };
     let store = CheckpointStore::new(NetFs::new(), "bench");
     let mut cache = DigestCache::new();
@@ -370,7 +383,7 @@ mod tests {
         );
 
         let data: Vec<u8> = (0..10_000u32).map(|i| (i % 251) as u8).collect();
-        assert_eq!(digest_reference(&data), digest_optimized(&data));
+        assert_eq!(chunk_id_reference(&data), chunk_id_optimized(&data));
 
         let sched = queue_schedule(4096);
         assert_eq!(queue_reference_churn(&sched), queue_optimized_churn(&sched));

@@ -16,6 +16,7 @@ pub mod fig5;
 pub mod fig6;
 pub mod hotpath;
 pub mod overhead;
+pub mod parallel;
 pub mod recovery;
 pub mod util;
 

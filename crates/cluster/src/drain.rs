@@ -115,6 +115,9 @@ impl World {
             if dedup {
                 let (bytes, cuts) = img.encode_with_page_cuts();
                 let hints = cruz::pagecache::page_hints(&img, &cuts, &dirty);
+                // Hash/encode fans out across the store's worker pool
+                // (`params.store.threads`); clean pages skip it via the
+                // digest cache. Byte-identical at every width.
                 let prepared = store.prepare_chunked_hinted(
                     &bytes,
                     &hints,

@@ -811,6 +811,8 @@ impl World {
             if dedup {
                 let (bytes, cuts) = img.encode_with_page_cuts();
                 let hints = cruz::pagecache::page_hints(&img, &cuts, &dirty);
+                // Same pool as the COW drain: hash/encode shards across
+                // `params.store.threads` workers, clean pages skip it.
                 let prepared = store.prepare_chunked_hinted(
                     &bytes,
                     &hints,

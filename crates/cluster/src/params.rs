@@ -165,7 +165,10 @@ pub struct ClusterParams {
     /// deduplicating store, with chunk size and per-chunk compression
     /// selectable for ablation. When dedup is on, manifests are
     /// full-fidelity, so it subsumes (and disables) incremental
-    /// delta-chain capture.
+    /// delta-chain capture. `store.threads` sizes the capture/restore
+    /// worker pool (`0` = auto via `CRUZ_THREADS`/host parallelism, `1` =
+    /// serial reference path) — a wall-clock knob only: produced bytes and
+    /// trace digests are identical at every width.
     pub store: StoreConfig,
     /// Default capture mode for checkpoint operations (overridable per-op
     /// via `CkptOptions::capture`).

@@ -146,9 +146,11 @@ impl World {
         self.events_processed
     }
 
-    /// The checkpoint store for a job.
+    /// The checkpoint store for a job, inheriting the cluster's worker
+    /// count for the capture/restore hot paths (a wall-clock knob only —
+    /// produced bytes are identical at every width).
     pub fn store(&self, job: &str) -> CheckpointStore {
-        CheckpointStore::new(self.fs.clone(), job)
+        CheckpointStore::new(self.fs.clone(), job).with_threads(self.params.store.threads)
     }
 
     /// The runtime state of a job.

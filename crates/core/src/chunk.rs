@@ -23,7 +23,7 @@
 //!   bytes back in the output, `distance` a little-endian `u16` (1..=65535).
 
 use std::fmt;
-use std::sync::OnceLock;
+use std::sync::{Arc, OnceLock};
 
 use des::digest;
 
@@ -35,6 +35,13 @@ const MAX_MATCH: usize = MIN_MATCH + 0x7f;
 const MAX_DIST: usize = 0xffff;
 /// Longest literal run one token can carry.
 const MAX_LIT: usize = 128;
+/// Upper bound on the codec's expansion ratio: the densest token is a
+/// 3-byte match emitting up to [`MAX_MATCH`] (131) output bytes, and
+/// `131 / 3 < 44`, so no well-formed payload of `n` bytes can decode to
+/// more than `44 * n` bytes. A container header promising more is corrupt
+/// on its face — the torn-write fault path's defense against a huge bogus
+/// decoded-length preallocation.
+const MAX_EXPANSION: usize = 44;
 /// log2 of the match-finder hash-table size.
 const HASH_BITS: u32 = 13;
 
@@ -72,12 +79,12 @@ impl std::error::Error for CodecError {}
 pub struct ChunkId(pub u64, pub u64);
 
 impl ChunkId {
-    /// The content address of `data`.
+    /// The content address of `data`: both folds computed in one pass over
+    /// the bytes (`digest::fold2`), bit-identical to folding twice from
+    /// [`digest::OFFSET`] and [`digest::OFFSET_ALT`].
     pub fn of(data: &[u8]) -> ChunkId {
-        ChunkId(
-            digest::fold(digest::OFFSET, data),
-            digest::fold(digest::OFFSET_ALT, data),
-        )
+        let (lo, hi) = digest::fold2(digest::OFFSET, digest::OFFSET_ALT, data);
+        ChunkId(lo, hi)
     }
 
     /// Fixed-width lowercase-hex rendering (the chunk's file name stem).
@@ -101,6 +108,8 @@ pub const ZERO_PAGE_LEN: usize = 4096;
 static ZERO_PAGE_ID: OnceLock<ChunkId> = OnceLock::new();
 static ZERO_PAGE_LZ: OnceLock<Vec<u8>> = OnceLock::new();
 static ZERO_PAGE_RAW: OnceLock<Vec<u8>> = OnceLock::new();
+static ZERO_PAGE_LZ_ARC: OnceLock<Arc<[u8]>> = OnceLock::new();
+static ZERO_PAGE_RAW_ARC: OnceLock<Arc<[u8]>> = OnceLock::new();
 
 /// The content address of an all-zero [`ZERO_PAGE_LEN`]-byte page, computed
 /// once per process. Zero pages dominate freshly-touched guest memory, so
@@ -119,6 +128,20 @@ pub fn zero_page_encoded(compress_on: bool) -> &'static [u8] {
     } else {
         ZERO_PAGE_RAW.get_or_init(|| encode_chunk(&[0u8; ZERO_PAGE_LEN], false))
     }
+}
+
+/// The stored container of an all-zero page as a process-wide shared
+/// `Arc<[u8]>` (one per codec setting), so every capture path — including
+/// pool workers on different threads — aliases a single allocation instead
+/// of copying [`zero_page_encoded`] per zero page.
+pub fn zero_page_stored(compress_on: bool) -> Arc<[u8]> {
+    let slot = if compress_on {
+        &ZERO_PAGE_LZ_ARC
+    } else {
+        &ZERO_PAGE_RAW_ARC
+    };
+    slot.get_or_init(|| Arc::from(zero_page_encoded(compress_on)))
+        .clone()
 }
 
 /// True iff `data` is exactly one all-zero page. Word-at-a-time: 4096 is a
@@ -322,8 +345,15 @@ pub fn decompress(data: &[u8]) -> Result<Vec<u8>, CodecError> {
 /// [`decompress`] with the output preallocated to `cap` bytes — the chunk
 /// container records the decoded length, so [`decode_chunk`] can size the
 /// output exactly once instead of growing it incrementally.
+///
+/// `cap` comes from an **untrusted** container header on the torn-write
+/// fault path, so it is clamped to [`MAX_EXPANSION`]`× data.len()` — the
+/// most any well-formed payload can decode to — before it reaches the
+/// allocator. A corrupt header past the clamp costs at most a few
+/// incremental `Vec` growths before the length check in [`decode_chunk`]
+/// rejects it; it can never abort the process on an absurd allocation.
 fn decompress_with_capacity(data: &[u8], cap: usize) -> Result<Vec<u8>, CodecError> {
-    let mut out = Vec::with_capacity(cap);
+    let mut out = Vec::with_capacity(cap.min(data.len().saturating_mul(MAX_EXPANSION)));
     let mut i = 0;
     while i < data.len() {
         let c = data[i];
@@ -421,6 +451,13 @@ pub fn decode_chunk(stored: &[u8]) -> Result<Vec<u8>, CodecError> {
             let raw_len =
                 u32::from_le_bytes(len_bytes.try_into().map_err(|_| CodecError::Truncated)?)
                     as usize;
+            // The decoded-length header is untrusted (a torn disk write can
+            // hand us any four bytes): a length no payload of this size
+            // could decode to is structural corruption, rejected before any
+            // allocation or decode work.
+            if raw_len > payload.len().saturating_mul(MAX_EXPANSION) {
+                return Err(CodecError::LengthMismatch);
+            }
             let raw = decompress_with_capacity(payload, raw_len)?;
             if raw.len() != raw_len {
                 return Err(CodecError::LengthMismatch);
@@ -497,6 +534,33 @@ mod tests {
     }
 
     #[test]
+    fn torn_headers_with_huge_lengths_are_rejected_cheaply() {
+        // A torn write can corrupt the decoded-length header into any
+        // value; a u32::MAX length over a tiny payload must be rejected
+        // (not trusted as a preallocation size, which would abort on OOM).
+        for bogus in [u32::MAX, u32::MAX / 2, 1 << 24] {
+            let mut stored = vec![TAG_LZ];
+            stored.extend_from_slice(&bogus.to_le_bytes());
+            stored.extend_from_slice(&compress(b"tiny"));
+            assert_eq!(
+                decode_chunk(&stored),
+                Err(CodecError::LengthMismatch),
+                "header {bogus:#x} over a {}-byte payload",
+                stored.len() - 5
+            );
+        }
+        // Just past the expansion bound over an empty payload too.
+        let mut stored = vec![TAG_LZ];
+        stored.extend_from_slice(&1u32.to_le_bytes());
+        assert_eq!(decode_chunk(&stored), Err(CodecError::LengthMismatch));
+        // The bound never rejects a legitimate container: the most
+        // expansive real input is a long run (distance-1 RLE).
+        let page = vec![7u8; ZERO_PAGE_LEN];
+        let stored = encode_chunk(&page, true);
+        assert_eq!(decode_chunk(&stored).unwrap(), page);
+    }
+
+    #[test]
     fn scratch_codec_matches_reference() {
         let inputs: Vec<Vec<u8>> = vec![
             vec![],
@@ -536,6 +600,13 @@ mod tests {
         assert_eq!(zero_page_id(), ChunkId::of(&page));
         assert_eq!(zero_page_encoded(true), &encode_chunk(&page, true)[..]);
         assert_eq!(zero_page_encoded(false), &encode_chunk(&page, false)[..]);
+        // The shared Arc container is the same bytes, and repeated calls
+        // alias one allocation.
+        for on in [true, false] {
+            let a = zero_page_stored(on);
+            assert_eq!(&a[..], zero_page_encoded(on));
+            assert!(Arc::ptr_eq(&a, &zero_page_stored(on)));
+        }
     }
 
     #[test]

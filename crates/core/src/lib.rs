@@ -29,6 +29,9 @@
 //!   RLE+LZ codec the store builds on;
 //! * [`pagecache`] — the epoch-granular page-digest cache that lets clean
 //!   pages skip re-hash/re-encode on the dedup capture path;
+//! * [`parpool`] — the deterministic worker pool that shards the pure
+//!   hash/encode/decode kernels across threads with an ordered merge, so
+//!   produced bytes are identical at every thread count;
 //! * [`digest`] — the one audited FNV-1a fold (re-exported from `des`)
 //!   behind trace digests, image checksums and chunk addresses.
 //!
@@ -44,6 +47,7 @@ pub mod chunk;
 pub mod coordinator;
 pub mod error;
 pub mod pagecache;
+pub mod parpool;
 pub mod proto;
 pub mod store;
 
@@ -54,5 +58,6 @@ pub use chunk::ChunkId;
 pub use coordinator::{AgentId, CoordEffect, CoordStats, Coordinator};
 pub use error::CruzError;
 pub use pagecache::{page_hints, DigestCache, PageHint};
+pub use parpool::Pool;
 pub use proto::{CtlMsg, OpKind, ProtocolMode, AGENT_PORT, COORD_PORT};
 pub use store::{CheckpointStore, PreparedPut, StoreConfig};

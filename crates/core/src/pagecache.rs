@@ -14,20 +14,25 @@
 //! * [`DigestCache`] remembers, per pod and page identity, the chunk ids
 //!   and encoded containers the previous capture produced.
 //! * [`CheckpointStore::prepare_chunked_hinted`] reuses those entries for
-//!   clean pages and computes everything else fresh — through a shared
-//!   [`CodecScratch`] and an [`is_zero_page`] fast path — producing a
+//!   clean pages and computes everything else fresh — the compute ranges
+//!   fan out across the [`crate::parpool`] worker pool (each worker with
+//!   its own `CodecScratch`, each range through the `is_zero_page` fast
+//!   path), while cache hits skip the pool entirely — producing a
 //!   [`PreparedChunked`] **byte-identical** to the reference path's.
 //!
 //! # Determinism argument
 //!
 //! The hinted path never changes *what* is produced, only *how much work*
-//! produces it. Chunk ranges are identical (same cuts, same
-//! `split_ranges`). For a cache hit, the cut's raw bytes equal the previous
-//! capture's bytes (the clean bit), so the remembered `ChunkId` and encoded
-//! container are exactly what re-hashing and re-encoding would yield.
+//! (and on how many threads) produces it. Chunk ranges are identical (same
+//! cuts, same `split_ranges`). For a cache hit, the cut's raw bytes equal
+//! the previous capture's bytes (the clean bit), so the remembered
+//! `ChunkId` and encoded container are exactly what re-hashing and
+//! re-encoding would yield. Computed ranges go through the pool's ordered
+//! merge, so their sequence is the input sequence at every thread count.
 //! Novelty and stored-length accounting always consult the live
-//! filesystem, identically on both paths. The equivalence is pinned by the
-//! `hotpath_properties` twin-path proptests, and any doubt about a hint
+//! filesystem, in range order, on the calling thread — identically on both
+//! paths. The equivalence is pinned by the `hotpath_properties` and
+//! `parallel_properties` twin-path proptests, and any doubt about a hint
 //! degrades safely: an unrecognized cut layout or a dirty/unkeyed page
 //! just takes the compute path.
 //!
@@ -37,13 +42,14 @@
 //! (restores, migrations, aborted COW drains).
 
 use std::collections::{BTreeMap, BTreeSet};
-use std::rc::Rc;
+use std::sync::Arc;
 
 use zap::image::{ImageWriter, PodImage};
 
-use crate::chunk::{self, ChunkId, CodecScratch};
+use crate::chunk::{self, ChunkId};
+use crate::parpool::Pool;
 use crate::store::{
-    CheckpointStore, PreparedChunk, PreparedChunked, StoreConfig, MANIFEST_MAGIC, STORE_VERSION,
+    encode_ranges, CheckpointStore, PreparedChunked, StoreConfig, MANIFEST_MAGIC, STORE_VERSION,
 };
 
 /// Stable identity of a page payload across epochs: `(group index within
@@ -118,21 +124,19 @@ pub fn page_hints(
 struct CachedChunk {
     id: ChunkId,
     seg_len: usize,
-    stored: Rc<[u8]>,
+    stored: Arc<[u8]>,
 }
 
 /// Per-job page-digest cache: remembered chunk work from each pod's most
-/// recent prepare, plus the codec scratch shared by every chunk the cache
-/// computes (one match-finder table per job instead of one per chunk).
+/// recent prepare.
 #[derive(Debug, Default)]
 pub struct DigestCache {
     /// The store config the entries were computed under; a config change
     /// clears the cache (different chunking or codec → different bytes).
+    /// The thread count is deliberately **not** part of the key: it never
+    /// changes produced bytes, so cached entries survive it.
     cfg: Option<(usize, bool)>,
     pods: BTreeMap<String, BTreeMap<PageKey, Vec<CachedChunk>>>,
-    scratch: CodecScratch,
-    zero_lz: Option<Rc<[u8]>>,
-    zero_raw: Option<Rc<[u8]>>,
     hits: u64,
     misses: u64,
 }
@@ -172,61 +176,29 @@ impl DigestCache {
             self.cfg = Some(want);
         }
     }
-
-    /// The shared zero-page container, memoized as an `Rc` per codec
-    /// setting so repeated zero pages alias one allocation.
-    fn zero_stored(&mut self, compress: bool) -> Rc<[u8]> {
-        let slot = if compress {
-            &mut self.zero_lz
-        } else {
-            &mut self.zero_raw
-        };
-        slot.get_or_insert_with(|| Rc::from(chunk::zero_page_encoded(compress)))
-            .clone()
-    }
 }
 
-/// Hashes and encodes one chunk range, through the zero-page fast path
-/// when it applies. Byte-identical to `ChunkId::of` + `encode_chunk`
-/// (pinned by unit tests on the zero-page constants and the scratch codec).
-fn encode_seg(seg: &[u8], compress: bool, cache: &mut DigestCache) -> (ChunkId, Rc<[u8]>) {
-    if chunk::is_zero_page(seg) {
-        (chunk::zero_page_id(), cache.zero_stored(compress))
-    } else {
-        (
-            ChunkId::of(seg),
-            chunk::encode_chunk_with(seg, compress, &mut cache.scratch).into(),
-        )
-    }
-}
-
-/// Appends one chunk to the manifest being built and the prepared-chunk
-/// list, with the same live-filesystem novelty/size accounting as the
-/// reference path.
-#[allow(clippy::too_many_arguments)]
-fn push_chunk(
-    store: &CheckpointStore,
-    mw: &mut ImageWriter,
-    seen: &mut BTreeSet<ChunkId>,
-    chunks: &mut Vec<PreparedChunk>,
-    id: ChunkId,
-    raw_end: usize,
-    seg_len: usize,
-    stored: Rc<[u8]>,
-) {
-    let path = store.chunk_path(id);
-    let stored_len = store.fs().len_of(&path).unwrap_or(stored.len() as u64);
-    mw.u64(id.0);
-    mw.u64(id.1);
-    mw.u32(seg_len as u32);
-    mw.u32(stored_len as u32);
-    let novel = seen.insert(id) && !store.fs().exists(&path);
-    chunks.push(PreparedChunk {
-        id,
-        raw_end: raw_end as u64,
-        stored,
-        novel,
-    });
+/// One unit of the hinted prepare, in image order, as classified by the
+/// plan pass: either served from the cache or owed to the compute pool.
+enum PlanStep {
+    /// Metadata between cuts: a single range, always computed, never
+    /// counted against the cache (it has no stable identity — its content
+    /// shifts with the image layout).
+    Meta { ri: usize },
+    /// A clean, keyed cut whose remembered entry still matches its range
+    /// layout: chunk ids and containers reused as-is.
+    CutHit {
+        ri: usize,
+        rj: usize,
+        key: Option<PageKey>,
+        entry: Vec<CachedChunk>,
+    },
+    /// A cut that must be (re)computed: dirty, unkeyed, or cache-missed.
+    CutCompute {
+        ri: usize,
+        rj: usize,
+        key: Option<PageKey>,
+    },
 }
 
 impl CheckpointStore {
@@ -234,9 +206,16 @@ impl CheckpointStore {
     /// produces a byte-identical [`PreparedChunked`], but chunk ranges
     /// covered by a clean, keyed [`PageHint`] reuse the id and encoded
     /// container remembered from the pod's previous prepare instead of
-    /// re-hashing and re-encoding. The cut list is `hints` itself (each
+    /// re-hashing and re-encoding, and the ranges that *are* computed fan
+    /// out across the worker pool. The cut list is `hints` itself (each
     /// hint's `(offset, len)`), so callers pass the same page cuts they
     /// would hand the reference path.
+    ///
+    /// Three passes: **plan** (classify every range as cache-hit or
+    /// compute — pure bookkeeping), **encode** (the compute ranges through
+    /// [`encode_ranges`]' ordered pool merge), **merge** (manifest records,
+    /// filesystem novelty accounting and cache replacement, serially in
+    /// image order).
     pub fn prepare_chunked_hinted(
         &self,
         raw: &[u8],
@@ -249,14 +228,10 @@ impl CheckpointStore {
         let cuts: Vec<(usize, usize)> = hints.iter().map(|h| (h.offset, h.len)).collect();
         let ranges = chunk::split_ranges(raw.len(), &cuts, cfg.chunk_bytes);
         let prev = cache.pods.remove(pod_name).unwrap_or_default();
-        let mut next: BTreeMap<PageKey, Vec<CachedChunk>> = BTreeMap::new();
-        let mut seen = BTreeSet::new();
-        let mut chunks = Vec::with_capacity(ranges.len());
-        let mut mw = ImageWriter::new();
-        mw.u32(MANIFEST_MAGIC);
-        mw.u16(STORE_VERSION);
-        mw.u64(raw.len() as u64);
-        mw.u32(ranges.len() as u32);
+
+        // ---- plan: classify ranges, collecting the compute worklist ------
+        let mut steps = Vec::new();
+        let mut work: Vec<(usize, usize)> = Vec::new();
         let mut ri = 0;
         let mut hi = 0;
         while ri < ranges.len() {
@@ -268,20 +243,8 @@ impl CheckpointStore {
                 && start >= hints[hi].offset
                 && start + len <= hints[hi].offset + hints[hi].len;
             if !in_hint {
-                // Metadata between cuts: always computed (it has no stable
-                // identity — its content shifts with the image layout).
-                let seg = &raw[start..start + len];
-                let (id, stored) = encode_seg(seg, cfg.compress, cache);
-                push_chunk(
-                    self,
-                    &mut mw,
-                    &mut seen,
-                    &mut chunks,
-                    id,
-                    start + len,
-                    len,
-                    stored,
-                );
+                steps.push(PlanStep::Meta { ri });
+                work.push(ranges[ri]);
                 ri += 1;
                 continue;
             }
@@ -305,41 +268,91 @@ impl CheckpointStore {
             } else {
                 None
             };
-            if let Some(entry) = cached {
-                cache.hits += cut_ranges.len() as u64;
-                for (c, &(s, l)) in entry.iter().zip(cut_ranges) {
-                    push_chunk(
-                        self,
-                        &mut mw,
-                        &mut seen,
-                        &mut chunks,
-                        c.id,
-                        s + l,
-                        l,
-                        c.stored.clone(),
-                    );
-                }
-                if let Some(k) = hint.key {
-                    next.insert(k, entry.clone());
-                }
-            } else {
-                cache.misses += cut_ranges.len() as u64;
-                let mut fresh = Vec::with_capacity(cut_ranges.len());
-                for &(s, l) in cut_ranges {
-                    let seg = &raw[s..s + l];
-                    let (id, stored) = encode_seg(seg, cfg.compress, cache);
-                    fresh.push(CachedChunk {
-                        id,
-                        seg_len: l,
-                        stored: stored.clone(),
+            match cached {
+                Some(entry) => steps.push(PlanStep::CutHit {
+                    ri,
+                    rj,
+                    key: hint.key,
+                    entry: entry.clone(),
+                }),
+                None => {
+                    work.extend_from_slice(cut_ranges);
+                    steps.push(PlanStep::CutCompute {
+                        ri,
+                        rj,
+                        key: hint.key,
                     });
-                    push_chunk(self, &mut mw, &mut seen, &mut chunks, id, s + l, l, stored);
-                }
-                if let Some(k) = hint.key {
-                    next.insert(k, fresh);
                 }
             }
             ri = rj;
+        }
+
+        // ---- encode: only the compute ranges touch the pool --------------
+        let pool = Pool::new(self.threads_for(cfg));
+        let encoded = encode_ranges(raw, &work, cfg.compress, &pool);
+
+        // ---- merge: manifest + fs accounting + cache, in image order -----
+        let mut enc = encoded.into_iter();
+        let mut take = |s: usize, l: usize| -> (ChunkId, Arc<[u8]>) {
+            enc.next().unwrap_or_else(|| {
+                // One encoded result per compute range by construction;
+                // recompute defensively rather than ever truncate.
+                let seg = &raw[s..s + l];
+                (
+                    ChunkId::of(seg),
+                    chunk::encode_chunk(seg, cfg.compress).into(),
+                )
+            })
+        };
+        let mut next: BTreeMap<PageKey, Vec<CachedChunk>> = BTreeMap::new();
+        let mut seen = BTreeSet::new();
+        let mut chunks = Vec::with_capacity(ranges.len());
+        let mut mw = ImageWriter::new();
+        mw.u32(MANIFEST_MAGIC);
+        mw.u16(STORE_VERSION);
+        mw.u64(raw.len() as u64);
+        mw.u32(ranges.len() as u32);
+        for step in steps {
+            match step {
+                PlanStep::Meta { ri } => {
+                    let (s, l) = ranges[ri];
+                    let (id, stored) = take(s, l);
+                    self.push_prepared(&mut mw, &mut seen, &mut chunks, id, s + l, l, stored);
+                }
+                PlanStep::CutHit { ri, rj, key, entry } => {
+                    cache.hits += (rj - ri) as u64;
+                    for (c, &(s, l)) in entry.iter().zip(&ranges[ri..rj]) {
+                        self.push_prepared(
+                            &mut mw,
+                            &mut seen,
+                            &mut chunks,
+                            c.id,
+                            s + l,
+                            l,
+                            c.stored.clone(),
+                        );
+                    }
+                    if let Some(k) = key {
+                        next.insert(k, entry);
+                    }
+                }
+                PlanStep::CutCompute { ri, rj, key } => {
+                    cache.misses += (rj - ri) as u64;
+                    let mut fresh = Vec::with_capacity(rj - ri);
+                    for &(s, l) in &ranges[ri..rj] {
+                        let (id, stored) = take(s, l);
+                        fresh.push(CachedChunk {
+                            id,
+                            seg_len: l,
+                            stored: stored.clone(),
+                        });
+                        self.push_prepared(&mut mw, &mut seen, &mut chunks, id, s + l, l, stored);
+                    }
+                    if let Some(k) = key {
+                        next.insert(k, fresh);
+                    }
+                }
+            }
         }
         // Wholesale replacement: entries are only ever trusted for exactly
         // one epoch step (the clean bit's guarantee covers nothing older).
@@ -362,6 +375,7 @@ mod tests {
             chunk_bytes: 256,
             dedup: true,
             compress: true,
+            ..StoreConfig::default()
         }
     }
 
@@ -435,6 +449,35 @@ mod tests {
         );
         assert_eq!(h.manifest, r.manifest);
         assert_eq!(cache.hits(), 0);
+    }
+
+    #[test]
+    fn thread_count_change_keeps_the_cache() {
+        // The worker count is a wall-clock knob, not a bytes knob: a clean
+        // page cached under one thread count must still hit under another.
+        let fs = NetFs::new();
+        let s = CheckpointStore::new(fs, "j");
+        let mut cache = DigestCache::new();
+        let page = vec![3u8; 256];
+        let (raw, mut hints) = toy(&[&page]);
+        let serial = StoreConfig {
+            threads: 1,
+            ..cfg()
+        };
+        let wide = StoreConfig {
+            threads: 4,
+            ..cfg()
+        };
+        s.prepare_chunked_hinted(&raw, &hints, &serial, "p", &mut cache);
+        hints[0].clean = true;
+        let h = s.prepare_chunked_hinted(&raw, &hints, &wide, "p", &mut cache);
+        let r = s.prepare_chunked(
+            &raw,
+            &hints.iter().map(|h| (h.offset, h.len)).collect::<Vec<_>>(),
+            &serial,
+        );
+        assert_eq!(h.manifest, r.manifest);
+        assert!(cache.hits() > 0, "entries survive a thread-count change");
     }
 
     #[test]

@@ -32,12 +32,13 @@
 //! chunks no retained epoch shares.
 
 use std::collections::{BTreeMap, BTreeSet};
-use std::rc::Rc;
+use std::sync::Arc;
 
 use simos::fs::NetFs;
 use zap::image::{ImageReader, ImageWriter};
 
-use crate::chunk::{self, ChunkId};
+use crate::chunk::{self, ChunkId, CodecScratch};
+use crate::parpool::Pool;
 
 /// Magic number of a chunk manifest (`CRZM`).
 pub const MANIFEST_MAGIC: u32 = 0x4352_5a4d;
@@ -59,6 +60,13 @@ pub struct StoreConfig {
     pub dedup: bool,
     /// Apply the per-chunk RLE+LZ codec (only meaningful with `dedup`).
     pub compress: bool,
+    /// Worker threads for the parallel capture/restore pipeline: `0`
+    /// (default) resolves via `CRUZ_THREADS` / available parallelism, `1`
+    /// is the serial reference path, higher values shard the pure
+    /// hash/encode/decode kernels across that many workers. Produced bytes
+    /// are identical at every setting (see [`crate::parpool`]), so this is
+    /// a wall-clock knob only — never part of the digest-cache identity.
+    pub threads: usize,
 }
 
 impl Default for StoreConfig {
@@ -67,6 +75,7 @@ impl Default for StoreConfig {
             chunk_bytes: 4096,
             dedup: false,
             compress: false,
+            threads: 0,
         }
     }
 }
@@ -99,8 +108,9 @@ pub struct PreparedChunk {
     pub raw_end: u64,
     /// The encoded chunk container (what the chunk file will hold).
     /// Reference-counted so the page-digest cache can hand the same encoded
-    /// bytes to consecutive epochs without re-encoding or copying.
-    pub stored: Rc<[u8]>,
+    /// bytes to consecutive epochs without re-encoding or copying; `Arc`
+    /// (not `Rc`) so pool workers can produce segments on other threads.
+    pub stored: Arc<[u8]>,
     /// True if the store lacked this chunk when the write was prepared —
     /// the bytes that actually hit the disk.
     pub novel: bool,
@@ -198,15 +208,27 @@ impl PreparedPut {
 pub struct CheckpointStore {
     fs: NetFs,
     job: String,
+    /// Worker count for the pure capture/restore kernels (`0` = auto; see
+    /// [`StoreConfig::threads`]). Never changes produced bytes.
+    threads: usize,
 }
 
 impl CheckpointStore {
-    /// Creates a store view for `job` on the shared filesystem.
+    /// Creates a store view for `job` on the shared filesystem, with the
+    /// worker count on auto.
     pub fn new(fs: NetFs, job: impl Into<String>) -> Self {
         CheckpointStore {
             fs,
             job: job.into(),
+            threads: 0,
         }
+    }
+
+    /// Sets the worker count for the parallel capture/restore kernels
+    /// (`0` = auto, `1` = the serial reference path).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
     }
 
     /// The job name.
@@ -214,10 +236,14 @@ impl CheckpointStore {
         &self.job
     }
 
-    /// The underlying filesystem view (for sibling modules that extend the
-    /// store, e.g. the hinted prepare path in [`crate::pagecache`]).
-    pub(crate) fn fs(&self) -> &NetFs {
-        &self.fs
+    /// The effective worker setting for a prepare under `cfg`: an explicit
+    /// config wins, otherwise the store's own setting (both `0` = auto).
+    pub(crate) fn threads_for(&self, cfg: &StoreConfig) -> usize {
+        if cfg.threads != 0 {
+            cfg.threads
+        } else {
+            self.threads
+        }
     }
 
     /// Path of a pod's plain image for an epoch.
@@ -270,6 +296,7 @@ impl CheckpointStore {
         cfg: &StoreConfig,
     ) -> PreparedChunked {
         let ranges = chunk::split_ranges(raw.len(), cuts, cfg.chunk_bytes);
+        let pool = Pool::new(self.threads_for(cfg));
         let mut seen = BTreeSet::new();
         let mut chunks = Vec::with_capacity(ranges.len());
         let mut mw = ImageWriter::new();
@@ -277,34 +304,79 @@ impl CheckpointStore {
         mw.u16(STORE_VERSION);
         mw.u64(raw.len() as u64);
         mw.u32(ranges.len() as u32);
-        for (start, len) in ranges {
-            let seg = &raw[start..start + len];
-            let id = ChunkId::of(seg);
-            let stored: Rc<[u8]> = chunk::encode_chunk(seg, cfg.compress).into();
-            // Size accounting prefers the bytes already on disk: a chunk
-            // written earlier (possibly under another codec setting) is
-            // what a restore will actually read.
-            let stored_len = self
-                .fs
-                .len_of(&self.chunk_path(id))
-                .unwrap_or(stored.len() as u64);
-            mw.u64(id.0);
-            mw.u64(id.1);
-            mw.u32(len as u32);
-            mw.u32(stored_len as u32);
-            let novel = seen.insert(id) && !self.fs.exists(&self.chunk_path(id));
-            chunks.push(PreparedChunk {
-                id,
-                raw_end: (start + len) as u64,
-                stored,
-                novel,
-            });
+        if pool.threads() == 1 {
+            // The serial reference path, kept verbatim: per-range fold +
+            // fresh-allocation encode on the calling thread. This is the
+            // oracle every pooled prepare is property-tested against (and
+            // the threads=1 baseline `bench_parallel` measures from).
+            for (start, len) in ranges {
+                let seg = &raw[start..start + len];
+                let id = ChunkId::of(seg);
+                let stored: Arc<[u8]> = chunk::encode_chunk(seg, cfg.compress).into();
+                self.push_prepared(
+                    &mut mw,
+                    &mut seen,
+                    &mut chunks,
+                    id,
+                    start + len,
+                    len,
+                    stored,
+                );
+            }
+        } else {
+            // Fan the pure hash/encode work out across the pool; the
+            // ordered merge below does the filesystem-consulting novelty
+            // and size accounting in range order, exactly like the serial
+            // loop (the shared `NetFs` handle is single-threaded).
+            let encoded = encode_ranges(raw, &ranges, cfg.compress, &pool);
+            for (&(start, len), (id, stored)) in ranges.iter().zip(encoded) {
+                self.push_prepared(
+                    &mut mw,
+                    &mut seen,
+                    &mut chunks,
+                    id,
+                    start + len,
+                    len,
+                    stored,
+                );
+            }
         }
         PreparedChunked {
             raw_len: raw.len() as u64,
             manifest: mw.finish(),
             chunks,
         }
+    }
+
+    /// Appends one chunk's manifest record and [`PreparedChunk`], with the
+    /// live-filesystem novelty and size accounting both prepare paths
+    /// share. Size accounting prefers the bytes already on disk: a chunk
+    /// written earlier (possibly under another codec setting) is what a
+    /// restore will actually read.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn push_prepared(
+        &self,
+        mw: &mut ImageWriter,
+        seen: &mut BTreeSet<ChunkId>,
+        chunks: &mut Vec<PreparedChunk>,
+        id: ChunkId,
+        raw_end: usize,
+        seg_len: usize,
+        stored: Arc<[u8]>,
+    ) {
+        let path = self.chunk_path(id);
+        let stored_len = self.fs.len_of(&path).unwrap_or(stored.len() as u64);
+        mw.u64(id.0);
+        mw.u64(id.1);
+        mw.u32(seg_len as u32);
+        mw.u32(stored_len as u32);
+        let novel = seen.insert(id) && !self.fs.exists(&path);
+        chunks.push(PreparedChunk {
+            id,
+            raw_end: raw_end as u64,
+            stored,
+            novel,
+        });
     }
 
     /// Applies a prepared write: stores absent chunks, writes the manifest
@@ -411,14 +483,26 @@ impl CheckpointStore {
 
     fn reconstruct(&self, manifest: &[u8]) -> Option<Vec<u8>> {
         let (raw_len, recs) = decode_manifest(manifest)?;
-        let mut out = Vec::with_capacity(raw_len as usize);
+        // Chunk files are read on the calling thread (the `NetFs` handle is
+        // single-threaded); the pure decompression fans out across the
+        // pool and reassembles in manifest order.
+        let mut stored = Vec::with_capacity(recs.len());
         for (id, seg_len, _) in recs {
-            let stored = self.fs.read_file(&self.chunk_path(id))?;
-            let raw = chunk::decode_chunk(&stored).ok()?;
-            if raw.len() != seg_len as usize {
-                return None;
-            }
-            out.extend_from_slice(&raw);
+            stored.push((self.fs.read_file(&self.chunk_path(id))?, seg_len));
+        }
+        let pool = Pool::new(self.threads);
+        let decoded = pool.map_ordered(
+            stored,
+            || (),
+            |_, (bytes, seg_len): (Vec<u8>, u32)| {
+                chunk::decode_chunk(&bytes)
+                    .ok()
+                    .filter(|raw| raw.len() == seg_len as usize)
+            },
+        );
+        let mut out = Vec::with_capacity(raw_len as usize);
+        for raw in decoded {
+            out.extend_from_slice(&raw?);
         }
         (out.len() as u64 == raw_len).then_some(out)
     }
@@ -692,6 +776,37 @@ impl CheckpointStore {
     }
 }
 
+/// Hashes and encodes image ranges through the worker pool, in input
+/// order: per-range `(ChunkId, stored container)` via the zero-page fast
+/// path and a per-worker [`CodecScratch`]. Byte-identical to the serial
+/// reference (`ChunkId::of` + fresh-allocation `encode_chunk`) — the
+/// zero-page and scratch-codec equivalences are pinned by chunk-level unit
+/// tests, the ordered merge by the `parallel_properties` twin-path
+/// proptests. Shared by [`CheckpointStore::prepare_chunked`] and the
+/// hinted prepare in [`crate::pagecache`].
+pub(crate) fn encode_ranges(
+    raw: &[u8],
+    ranges: &[(usize, usize)],
+    compress: bool,
+    pool: &Pool,
+) -> Vec<(ChunkId, Arc<[u8]>)> {
+    pool.map_ordered(
+        ranges.to_vec(),
+        CodecScratch::new,
+        |scratch, (start, len)| {
+            let seg = &raw[start..start + len];
+            if chunk::is_zero_page(seg) {
+                (chunk::zero_page_id(), chunk::zero_page_stored(compress))
+            } else {
+                (
+                    ChunkId::of(seg),
+                    chunk::encode_chunk_with(seg, compress, scratch).into(),
+                )
+            }
+        },
+    )
+}
+
 /// Parses a manifest into `(raw_len, [(id, seg_len, stored_len)])`.
 fn decode_manifest(bytes: &[u8]) -> Option<(u64, Vec<(ChunkId, u32, u32)>)> {
     let mut r = ImageReader::verify(bytes).ok()?;
@@ -834,6 +949,7 @@ mod tests {
             chunk_bytes: 256,
             dedup: true,
             compress: true,
+            ..StoreConfig::default()
         }
     }
 

@@ -113,7 +113,7 @@ proptest! {
         compress in any::<bool>(),
     ) {
         let cuts = cuts_from(&recipe, data.len());
-        let cfg = StoreConfig { chunk_bytes: 128, dedup: true, compress };
+        let cfg = StoreConfig { chunk_bytes: 128, dedup: true, compress, ..StoreConfig::default() };
         // Two fresh stores, same input: the chunk files and manifests they
         // persist must match byte for byte (cross-process dedup soundness).
         let mk = || {

@@ -32,6 +32,10 @@ pub enum Rule {
     SwallowedError,
     /// `f32`/`f64` tokens in simulation-crate code.
     FloatInSim,
+    /// `Rc<`/`RefCell<` in the checkpoint core (`crates/core/src`): the
+    /// capture/restore hot paths shard across threads, and non-`Send`
+    /// shared ownership quietly fences data out of the worker pool.
+    NonsendShared,
 }
 
 /// All rules, for exhaustive listings (usage text, docs).
@@ -47,6 +51,7 @@ pub const ALL_RULES: &[Rule] = &[
     Rule::WireDrift,
     Rule::SwallowedError,
     Rule::FloatInSim,
+    Rule::NonsendShared,
 ];
 
 impl Rule {
@@ -64,6 +69,7 @@ impl Rule {
             Rule::WireDrift => "wire-drift",
             Rule::SwallowedError => "swallowed-error",
             Rule::FloatInSim => "float-in-sim",
+            Rule::NonsendShared => "nonsend-shared",
         }
     }
 

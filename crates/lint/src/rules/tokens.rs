@@ -168,7 +168,43 @@ pub fn scan(sf: &SourceFile, out: &mut Vec<Finding>) {
                 );
             }
         }
+        if sf.rel.starts_with("crates/core/src") {
+            for pat in ["Rc<", "RefCell<"] {
+                if contains_type_token(line, pat) {
+                    push(
+                        ln,
+                        Rule::NonsendShared,
+                        format!(
+                            "`{pat}..>` in the checkpoint core is not `Send`; the capture/restore \
+                             hot paths shard across the worker pool, so shared state here must be \
+                             `Arc` (or justified with `// cruz-lint: allow(nonsend-shared)`)"
+                        ),
+                    );
+                }
+            }
+        }
     }
+}
+
+/// True when `line` contains `pat` (a `Type<` prefix) at an identifier
+/// boundary on the left: `Rc<u8>` and `rc::Rc<u8>` match, `Arc<u8>` and
+/// `MyRefCell<..>` do not. (The pattern ends in `<`, so the right side
+/// needs no check.)
+fn contains_type_token(line: &str, pat: &str) -> bool {
+    let b = line.as_bytes();
+    let mut from = 0;
+    while let Some(rel) = line[from..].find(pat) {
+        let at = from + rel;
+        from = at + pat.len();
+        if at > 0 {
+            let p = b[at - 1];
+            if p.is_ascii_alphanumeric() || p == b'_' {
+                continue;
+            }
+        }
+        return true;
+    }
+    false
 }
 
 /// True when `line` contains a `let _ = ...` discard (token-bounded:
@@ -578,6 +614,42 @@ mod tests {
         let src = "// HashMap iteration would be bad: m.values()\n\
                    fn f() -> &'static str { \"Instant::now() todo!()\" }\n";
         assert!(rules_hit("crates/des/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn nonsend_shared_flags_rc_and_refcell_in_core() {
+        let src = "use std::rc::Rc;\n\
+                   pub struct S { stored: Rc<[u8]> }\n\
+                   pub struct T { cell: std::cell::RefCell<u32> }\n";
+        assert_eq!(
+            rules_hit("crates/core/src/store.rs", src),
+            vec![(2, Rule::NonsendShared), (3, Rule::NonsendShared)],
+            "field types flagged; the bare `use` line carries no `Rc<`"
+        );
+        // Outside the checkpoint core, non-Send sharing is fine (the sim
+        // crates are single-threaded by design).
+        assert!(rules_hit("crates/simos/src/fs.rs", src).is_empty());
+        assert!(rules_hit("crates/cluster/src/world.rs", src).is_empty());
+    }
+
+    #[test]
+    fn nonsend_shared_needs_token_boundaries_and_respects_allows() {
+        // `Arc<` must not match, nor must identifiers ending in Rc/RefCell.
+        let clean = "use std::sync::Arc;\n\
+                     pub struct S { stored: Arc<[u8]>, w: WeakRc<u8>, c: MyRefCell<u8> }\n";
+        assert!(rules_hit("crates/core/src/chunk.rs", clean).is_empty());
+        // Qualified paths still hit; an allow comment suppresses.
+        let qualified = "fn f() -> std::rc::Rc<u8> { std::rc::Rc::new(0) }\n";
+        assert_eq!(
+            rules_hit("crates/core/src/agent.rs", qualified),
+            vec![(1, Rule::NonsendShared)]
+        );
+        let allowed =
+            "fn f() -> std::rc::Rc<u8> { std::rc::Rc::new(0) } // cruz-lint: allow(nonsend-shared)\n";
+        assert!(rules_hit("crates/core/src/agent.rs", allowed).is_empty());
+        // Test code inside core files stays exempt.
+        let test_mod = "#[cfg(test)]\nmod tests {\n    fn t() { let r: std::rc::Rc<u8> = std::rc::Rc::new(0); drop(r); }\n}\n";
+        assert!(rules_hit("crates/core/src/store.rs", test_mod).is_empty());
     }
 
     #[test]

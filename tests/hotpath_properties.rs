@@ -183,7 +183,7 @@ proptest! {
         compress in any::<bool>(),
     ) {
         let pages = 6;
-        let cfg = StoreConfig { chunk_bytes, dedup: true, compress };
+        let cfg = StoreConfig { chunk_bytes, dedup: true, compress, ..StoreConfig::default() };
         let fs = NetFs::new();
         let hinted_store = CheckpointStore::new(fs.clone(), "hinted");
         let reference_store = CheckpointStore::new(fs, "reference");
