@@ -22,8 +22,12 @@
 #                         and restored images (the serial path is the
 #                         oracle), and the pinned image digests must
 #                         survive the pool too
-#   9. chaos smoke      — replays three pinned fault-plan seeds and
-#                         demands byte-identical event traces
+#   9. replication smoke— kill k-1 of k replica stores mid-checkpoint;
+#                         the job must heal with byte-identical rollback
+#                         images and write amplification tracking k
+#  10. chaos smoke      — replays three pinned fault-plan seeds and
+#                         demands byte-identical event traces, then the
+#                         same for three pinned replica-kill plans at k=3
 #
 # Everything runs offline: the only dependencies are the vendored stubs
 # under vendor/ (see DESIGN.md, "Offline builds").
@@ -74,7 +78,11 @@ echo "== parallel smoke (--quick)"
 # BENCH_parallel.json as host_cpus either way).
 cargo run --offline -q --release -p bench --bin bench_parallel -- --quick
 
+echo "== replication smoke (--quick)"
+cargo run --offline -q --release -p bench --bin bench_replication -- --quick
+
 echo "== chaos smoke (pinned fault-plan replay)"
 cargo run --offline -q --release -p bench --bin chaos
+cargo run --offline -q --release -p bench --bin bench_replication -- --chaos
 
 echo "ci: all green"

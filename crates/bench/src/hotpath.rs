@@ -307,6 +307,7 @@ pub fn capture_fixture(pages: usize, dirty_pct: usize) -> CaptureFixture {
         dedup: true,
         compress: true,
         threads: 1,
+        replicas: 1,
     };
     let store = CheckpointStore::new(NetFs::new(), "bench");
     let mut cache = DigestCache::new();

@@ -18,6 +18,7 @@ pub mod hotpath;
 pub mod overhead;
 pub mod parallel;
 pub mod recovery;
+pub mod replication;
 pub mod util;
 
 pub use cow::{run_cow_sweep, run_cow_variant, CowRow};
@@ -25,3 +26,6 @@ pub use dedup::{run_dedup_sweep, run_dedup_variant, DedupRow};
 pub use fig5::{fig5_params, run_fig5, run_restart_sweep, Fig5Point};
 pub use fig6::{run_fig6, Fig6Sample};
 pub use recovery::{replay_fingerprints, run_recovery_point, run_recovery_sweep, RecoveryRow};
+pub use replication::{
+    replica_chaos_fingerprints, run_replication_point, run_replication_sweep, ReplicationRow,
+};

@@ -83,6 +83,7 @@ pub fn fixture(pages: usize) -> ParallelFixture {
             dedup: true,
             compress: true,
             threads: 1,
+            replicas: 1,
         },
     }
 }

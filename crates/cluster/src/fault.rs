@@ -13,6 +13,8 @@ use des::SimDuration;
 use simnet::fault::FrameFaults;
 use simos::disk::WriteFault;
 
+pub use cruz::replog::{ReplicaFault, ReplicaFaultKind, StoreOpPoint};
+
 /// Named points in the checkpoint/restore protocol where a crash can be
 /// injected. Each is counted per node, so `nth` selects which occurrence
 /// of the point actually kills the node.
@@ -79,10 +81,14 @@ pub struct FaultPlan {
     pub disk: Vec<DiskFault>,
     /// Control-frame drop/duplicate/reorder probabilities.
     pub frames: FrameFaults,
+    /// Checkpoint-store replica faults (crash, torn log append, torn chunk
+    /// write) pinned to store-protocol points. Introduced by format
+    /// version 2; version-1 plans decode with this empty.
+    pub replicas: Vec<ReplicaFault>,
 }
 
 const MAGIC: &[u8; 4] = b"CRZF";
-const VERSION: u16 = 1;
+const VERSION: u16 = 2;
 
 impl FaultPlan {
     /// An empty plan: installs the fault plane (and its RNG stream) without
@@ -93,6 +99,7 @@ impl FaultPlan {
             crashes: Vec::new(),
             disk: Vec::new(),
             frames: FrameFaults::none(),
+            replicas: Vec::new(),
         }
     }
 
@@ -137,10 +144,14 @@ impl FaultPlan {
             crashes,
             disk,
             frames,
+            replicas: Vec::new(),
         }
     }
 
-    /// Serializes the plan byte-exactly (magic `CRZF`, version 1).
+    /// Serializes the plan byte-exactly (magic `CRZF`, version 2). The
+    /// replica-fault section always travels, even when empty — the
+    /// version bump pays for a fixed layout, while [`FaultPlan::decode`]
+    /// keeps accepting version-1 bytes.
     pub fn encode(&self) -> Vec<u8> {
         let mut v = Vec::with_capacity(64);
         v.extend_from_slice(MAGIC);
@@ -165,6 +176,17 @@ impl FaultPlan {
             v.extend_from_slice(&p.to_bits().to_le_bytes());
         }
         v.extend_from_slice(&self.frames.delay.as_nanos().to_le_bytes());
+        v.extend_from_slice(&(self.replicas.len() as u32).to_le_bytes());
+        for r in &self.replicas {
+            v.extend_from_slice(&(r.replica as u32).to_le_bytes());
+            v.push(r.point.tag());
+            v.extend_from_slice(&r.nth.to_le_bytes());
+            match r.kind {
+                ReplicaFaultKind::Crash => v.extend_from_slice(&[0, 0]),
+                ReplicaFaultKind::TornLog(frac) => v.extend_from_slice(&[1, frac]),
+                ReplicaFaultKind::TornChunk(frac) => v.extend_from_slice(&[2, frac]),
+            }
+        }
         v
     }
 
@@ -186,7 +208,10 @@ impl FaultPlan {
         if take(&mut at, 4)? != MAGIC {
             return None;
         }
-        if u16::from_le_bytes(take(&mut at, 2)?.try_into().ok()?) != VERSION {
+        // Version 1 predates the replica-fault section; its bytes end at
+        // the frame-delay field and decode to an empty `replicas`.
+        let version = u16::from_le_bytes(take(&mut at, 2)?.try_into().ok()?);
+        if version != 1 && version != VERSION {
             return None;
         }
         let seed = u64_at(&mut at)?;
@@ -221,6 +246,28 @@ impl FaultPlan {
         let duplicate = f64::from_bits(u64_at(&mut at)?); // cruz-lint: allow(float-in-sim)
         let reorder = f64::from_bits(u64_at(&mut at)?); // cruz-lint: allow(float-in-sim)
         let delay = SimDuration::from_nanos(u64_at(&mut at)?);
+        let mut replicas = Vec::new();
+        if version >= 2 {
+            let nrep = u32_at(&mut at)?;
+            for _ in 0..nrep {
+                let replica = u32_at(&mut at)? as usize;
+                let point = StoreOpPoint::from_tag(take(&mut at, 1)?[0])?;
+                let nth = u32_at(&mut at)?;
+                let kind = take(&mut at, 2)?;
+                let kind = match kind[0] {
+                    0 => ReplicaFaultKind::Crash,
+                    1 => ReplicaFaultKind::TornLog(kind[1]),
+                    2 => ReplicaFaultKind::TornChunk(kind[1]),
+                    _ => return None,
+                };
+                replicas.push(ReplicaFault {
+                    replica,
+                    point,
+                    nth,
+                    kind,
+                });
+            }
+        }
         if at != bytes.len() {
             return None;
         }
@@ -234,6 +281,7 @@ impl FaultPlan {
                 reorder,
                 delay,
             },
+            replicas,
         })
     }
 }
@@ -301,7 +349,47 @@ mod tests {
                 reorder: 0.0,
                 delay: SimDuration::from_micros(250),
             },
+            replicas: vec![
+                ReplicaFault {
+                    replica: 1,
+                    point: StoreOpPoint::Put,
+                    nth: 0,
+                    kind: ReplicaFaultKind::TornLog(40),
+                },
+                ReplicaFault {
+                    replica: 2,
+                    point: StoreOpPoint::Commit,
+                    nth: 3,
+                    kind: ReplicaFaultKind::Crash,
+                },
+                ReplicaFault {
+                    replica: 0,
+                    point: StoreOpPoint::Gc,
+                    nth: 1,
+                    kind: ReplicaFaultKind::TornChunk(200),
+                },
+            ],
         };
         assert_eq!(FaultPlan::decode(&plan.encode()), Some(plan));
+    }
+
+    #[test]
+    fn version_1_bytes_still_decode() {
+        // A v2 encoding with an empty replica section is the v1 layout
+        // plus a zero count: strip the count and stamp version 1 to get
+        // exactly what an old encoder produced.
+        let plan = FaultPlan::random(11, 4);
+        assert!(plan.replicas.is_empty());
+        let mut v1 = plan.encode();
+        v1.truncate(v1.len() - 4);
+        v1[4..6].copy_from_slice(&1u16.to_le_bytes());
+        assert_eq!(FaultPlan::decode(&v1), Some(plan));
+        // But a truncated or junk-extended v1 body still fails.
+        let mut junk = v1.clone();
+        junk.push(0);
+        assert!(FaultPlan::decode(&junk).is_none());
+        junk.pop();
+        junk.pop();
+        assert!(FaultPlan::decode(&junk).is_none());
     }
 }

@@ -164,7 +164,7 @@ impl World {
             .filter(|(n, _)| dead.contains(n))
             .map(|&(_, t)| t)
             .min();
-        let base_report = RecoveryReport {
+        let mut base_report = RecoveryReport {
             job: job.to_owned(),
             cause: RecoveryCause::HeartbeatTimeout,
             dead_nodes: dead.to_vec(),
@@ -174,6 +174,7 @@ impl World {
             aborted_ops: Vec::new(),
             rollback_epoch: None,
             restart_op: None,
+            scrubbed_replicas: Vec::new(),
             recovered_at: None,
             outcome: RecoveryOutcome::InProgress,
         };
@@ -234,6 +235,15 @@ impl World {
         // and chunks stranded by torn writes or mid-drain crashes are
         // reclaimed before the restart reads the store.
         let store = self.store(job);
+        // With a replicated store, scrub first: replicas that crashed or
+        // tore mid-append are rebuilt from the longest valid log and
+        // rejoin the set, so the discard/GC ops below (and the restart's
+        // reads) see k healthy, byte-identical copies.
+        if store.replica_count() > 1 {
+            let rep = store.scrub_and_repair();
+            base_report.scrubbed_replicas = rep.repaired.clone();
+            self.scrub_reports.push((self.now, job.to_owned(), rep));
+        }
         for e in store.uncommitted_epochs() {
             store.discard_epoch(e);
         }
@@ -391,9 +401,46 @@ impl World {
             aborted_ops: orphans,
             rollback_epoch: None,
             restart_op: None,
+            scrubbed_replicas: Vec::new(),
             recovered_at: Some(self.now),
             outcome: RecoveryOutcome::Recovered,
         });
+    }
+
+    /// Arms a periodic background scrub of a job's replicated store: every
+    /// `interval`, replica logs and tree digests are compared and any
+    /// divergent or crashed replica is rebuilt from the reference log. A
+    /// no-op driver when replication is off (k = 1).
+    pub fn schedule_store_scrub(&mut self, job: &str, interval: des::SimDuration) {
+        self.queue.push(
+            self.now + interval,
+            Event::StoreScrub {
+                job: job.to_owned(),
+                interval,
+            },
+        );
+    }
+
+    /// One background scrub tick: repair, record, re-arm. The driver
+    /// retires itself when the job disappears.
+    pub(crate) fn on_store_scrub(&mut self, job: &str, interval: des::SimDuration) {
+        if !self.jobs.contains_key(job) {
+            return;
+        }
+        let store = self.store(job);
+        if store.replica_count() > 1 {
+            let rep = store.scrub_and_repair();
+            if !rep.repaired.is_empty() || !rep.revived.is_empty() {
+                self.scrub_reports.push((self.now, job.to_owned(), rep));
+            }
+        }
+        self.queue.push(
+            self.now + interval,
+            Event::StoreScrub {
+                job: job.to_owned(),
+                interval,
+            },
+        );
     }
 
     /// Drains heartbeat pongs for jobs whose coordinator lives on node `n`.

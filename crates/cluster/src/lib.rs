@@ -55,9 +55,12 @@ pub mod state;
 pub mod transport;
 pub mod world;
 
+pub use cruz::replog::{ReplicatedStore, ScrubReport};
 pub use cruz::store::StoreConfig;
 pub use events::Event;
-pub use fault::{CrashFault, DiskFault, FaultPlan, ProtocolPoint};
+pub use fault::{
+    CrashFault, DiskFault, FaultPlan, ProtocolPoint, ReplicaFault, ReplicaFaultKind, StoreOpPoint,
+};
 pub use jobs::{JobRuntime, JobSpec, PodPlacement, PodSpec};
 pub use ops::{CkptOptions, OpReport};
 pub use params::{CkptCaptureMode, ClusterParams, RecoveryParams, RetryPolicy, SparePolicy};

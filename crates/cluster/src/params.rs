@@ -168,7 +168,12 @@ pub struct ClusterParams {
     /// delta-chain capture. `store.threads` sizes the capture/restore
     /// worker pool (`0` = auto via `CRUZ_THREADS`/host parallelism, `1` =
     /// serial reference path) — a wall-clock knob only: produced bytes and
-    /// trace digests are identical at every width.
+    /// trace digests are identical at every width. `store.replicas` sets
+    /// the replication factor k: every store mutation fans out through the
+    /// per-replica operation log, reads are digest-checked quorum reads,
+    /// and recovery scrubs/repairs replicas before rolling back, so a
+    /// restart survives the loss of up to k−1 replica stores (`1` = the
+    /// plain unreplicated store, byte-identical to earlier versions).
     pub store: StoreConfig,
     /// Default capture mode for checkpoint operations (overridable per-op
     /// via `CkptOptions::capture`).

@@ -56,6 +56,9 @@ pub struct RecoveryReport {
     pub rollback_epoch: Option<u64>,
     /// Restart operation id, when one was installed.
     pub restart_op: Option<u64>,
+    /// Replica stores the pre-rollback scrub pass rebuilt from the
+    /// reference log (empty with replication off, k = 1).
+    pub scrubbed_replicas: Vec<usize>,
     /// When the restart operation completed (pods running again).
     pub recovered_at: Option<SimTime>,
     /// Status of the pass.
@@ -94,6 +97,7 @@ mod tests {
             aborted_ops: vec![3],
             rollback_epoch: Some(2),
             restart_op: Some(4),
+            scrubbed_replicas: Vec::new(),
             recovered_at: Some(SimTime::ZERO + SimDuration::from_millis(90)),
             outcome: RecoveryOutcome::Recovered,
         }

@@ -141,6 +141,9 @@ pub struct World {
     /// Invalidated whenever pod memory changes outside a completed capture
     /// (restarts, migrations, aborted operations).
     pub(crate) digest_caches: BTreeMap<String, cruz::pagecache::DigestCache>,
+    /// Every replicated-store scrub pass run so far: (time, job, report).
+    /// Empty when replication is off (k = 1 stores never scrub).
+    pub(crate) scrub_reports: Vec<(SimTime, String, cruz::replog::ScrubReport)>,
 }
 
 impl fmt::Debug for World {

@@ -23,7 +23,7 @@ use zap::Zap;
 
 use cruz::agent::Agent;
 use cruz::proto::AGENT_PORT;
-use cruz::store::CheckpointStore;
+use cruz::replog::{clear_replica_faults, install_replica_faults, ReplicatedStore, ScrubReport};
 
 use crate::events::Event;
 use crate::fault::{FaultPlan, ProtocolPoint};
@@ -100,6 +100,7 @@ impl World {
             crash_log: Vec::new(),
             soft_faults: Vec::new(),
             digest_caches: BTreeMap::new(),
+            scrub_reports: Vec::new(),
         }
     }
 
@@ -146,11 +147,14 @@ impl World {
         self.events_processed
     }
 
-    /// The checkpoint store for a job, inheriting the cluster's worker
-    /// count for the capture/restore hot paths (a wall-clock knob only —
-    /// produced bytes are identical at every width).
-    pub fn store(&self, job: &str) -> CheckpointStore {
-        CheckpointStore::new(self.fs.clone(), job).with_threads(self.params.store.threads)
+    /// The checkpoint store for a job: `params.store.replicas` replica
+    /// stores behind the one-store API (1 = the plain unreplicated store,
+    /// byte-identical to earlier versions), inheriting the cluster's
+    /// worker count for the capture/restore hot paths (a wall-clock knob
+    /// only — produced bytes are identical at every width).
+    pub fn store(&self, job: &str) -> ReplicatedStore {
+        ReplicatedStore::new(self.fs.clone(), job, self.params.store.replicas.max(1))
+            .with_threads(self.params.store.threads)
     }
 
     /// The runtime state of a job.
@@ -197,6 +201,15 @@ impl World {
                 node.kernel.disk.inject_write_fault(d.nth_write, d.fault);
             }
         }
+        // Store-replica faults live in control files on the shared
+        // filesystem (the replicated store re-reads them on every op).
+        // A plan without any leaves the filesystem untouched, so existing
+        // pinned traces see zero delta.
+        if plan.replicas.is_empty() {
+            clear_replica_faults(&self.fs);
+        } else {
+            install_replica_faults(&self.fs, &plan.replicas);
+        }
         self.fault = Some(FaultState {
             plan: plan.clone(),
             rng: SimRng::from_seed(plan.seed),
@@ -212,6 +225,11 @@ impl World {
     /// Every recovery pass the self-healing manager has run so far.
     pub fn recovery_reports(&self) -> &[RecoveryReport] {
         &self.recovery_reports
+    }
+
+    /// Every store scrub pass run so far: `(when, job, what it fixed)`.
+    pub fn scrub_reports(&self) -> &[(SimTime, String, ScrubReport)] {
+        &self.scrub_reports
     }
 
     /// Non-fatal control-plane failures recorded instead of discarded:
@@ -348,6 +366,7 @@ impl World {
                 dst,
                 image,
             } => self.on_migrate_finish(&job, &pod, dst, &image),
+            Event::StoreScrub { job, interval } => self.on_store_scrub(&job, interval),
         }
     }
 

@@ -29,6 +29,11 @@
 //!   RLE+LZ codec the store builds on;
 //! * [`pagecache`] — the epoch-granular page-digest cache that lets clean
 //!   pages skip re-hash/re-encode on the dedup capture path;
+//! * [`replog`] — the k-way replicated store: every mutation goes through
+//!   a deterministic append-only operation log per replica, reads are
+//!   digest-checked quorum reads, and scrub repairs divergence by
+//!   replaying the log (its fault plane lives in the private `repfault`
+//!   module and is re-exported here);
 //! * [`parpool`] — the deterministic worker pool that shards the pure
 //!   hash/encode/decode kernels across threads with an ordered merge, so
 //!   produced bytes are identical at every thread count;
@@ -49,6 +54,8 @@ pub mod error;
 pub mod pagecache;
 pub mod parpool;
 pub mod proto;
+mod repfault;
+pub mod replog;
 pub mod store;
 
 pub use des::digest;
@@ -60,4 +67,8 @@ pub use error::CruzError;
 pub use pagecache::{page_hints, DigestCache, PageHint};
 pub use parpool::Pool;
 pub use proto::{CtlMsg, OpKind, ProtocolMode, AGENT_PORT, COORD_PORT};
+pub use replog::{
+    install_replica_faults, ReplicaFault, ReplicaFaultKind, ReplicatedStore, ScrubReport,
+    StoreOpPoint,
+};
 pub use store::{CheckpointStore, PreparedPut, StoreConfig};

@@ -361,6 +361,7 @@ impl CheckpointStore {
             raw_len: raw.len() as u64,
             manifest: mw.finish(),
             chunks,
+            raw_digest: ChunkId::of(raw),
         }
     }
 }

@@ -67,6 +67,11 @@ pub struct StoreConfig {
     /// are identical at every setting (see [`crate::parpool`]), so this is
     /// a wall-clock knob only — never part of the digest-cache identity.
     pub threads: usize,
+    /// Number of replica stores every logical write lands on (`1` = the
+    /// unreplicated store, byte-identical to earlier versions). Values
+    /// above one route writes through the [`crate::replog`] operation log
+    /// so restores survive the loss of up to `replicas - 1` copies.
+    pub replicas: usize,
 }
 
 impl Default for StoreConfig {
@@ -76,6 +81,7 @@ impl Default for StoreConfig {
             dedup: false,
             compress: false,
             threads: 0,
+            replicas: 1,
         }
     }
 }
@@ -126,12 +132,23 @@ pub struct PreparedChunked {
     pub(crate) raw_len: u64,
     pub(crate) manifest: Vec<u8>,
     pub(crate) chunks: Vec<PreparedChunk>,
+    /// Content digest of the whole serialized image, written as the epoch's
+    /// digest sidecar so every read path can verify the reassembled bytes
+    /// end-to-end (a torn manifest that still decodes cleanly is caught
+    /// here, not just by the per-chunk checks).
+    pub(crate) raw_digest: ChunkId,
 }
 
 impl PreparedChunked {
     /// Length of the original serialized image.
     pub fn raw_len(&self) -> u64 {
         self.raw_len
+    }
+
+    /// Content digest of the full serialized image (what the digest
+    /// sidecar will pin for end-to-end read verification).
+    pub fn image_digest(&self) -> ChunkId {
+        self.raw_digest
     }
 
     /// Length of the manifest file.
@@ -208,6 +225,11 @@ impl PreparedPut {
 pub struct CheckpointStore {
     fs: NetFs,
     job: String,
+    /// Filesystem prefix all of this store's paths live under. Empty for
+    /// the primary layout (`/ckpt/...`, byte-identical to earlier
+    /// versions); replica stores use `/rep<i>` so k independent copies
+    /// share one simulated filesystem without colliding.
+    root: String,
     /// Worker count for the pure capture/restore kernels (`0` = auto; see
     /// [`StoreConfig::threads`]). Never changes produced bytes.
     threads: usize,
@@ -220,6 +242,7 @@ impl CheckpointStore {
         CheckpointStore {
             fs,
             job: job.into(),
+            root: String::new(),
             threads: 0,
         }
     }
@@ -231,9 +254,27 @@ impl CheckpointStore {
         self
     }
 
+    /// Roots every path of this store view under `root` (empty = the
+    /// primary `/ckpt/...` layout). Replica stores of the replicated
+    /// checkpoint store live at `/rep<i>`.
+    pub fn with_root(mut self, root: impl Into<String>) -> Self {
+        self.root = root.into();
+        self
+    }
+
     /// The job name.
     pub fn job(&self) -> &str {
         &self.job
+    }
+
+    /// The filesystem prefix this store view is rooted under.
+    pub fn root(&self) -> &str {
+        &self.root
+    }
+
+    /// The shared filesystem handle (for in-crate replication plumbing).
+    pub(crate) fn fs(&self) -> &NetFs {
+        &self.fs
     }
 
     /// The effective worker setting for a prepare under `cfg`: an explicit
@@ -248,39 +289,75 @@ impl CheckpointStore {
 
     /// Path of a pod's plain image for an epoch.
     pub fn image_path(&self, pod_name: &str, epoch: u64) -> String {
-        format!("/ckpt/{}/epoch{:08}/{}.img", self.job, epoch, pod_name)
+        format!(
+            "{}/ckpt/{}/epoch{:08}/{}.img",
+            self.root, self.job, epoch, pod_name
+        )
     }
 
     /// Path of a pod's chunk manifest for an epoch.
     pub fn manifest_path(&self, pod_name: &str, epoch: u64) -> String {
-        format!("/ckpt/{}/epoch{:08}/{}.manifest", self.job, epoch, pod_name)
+        format!(
+            "{}/ckpt/{}/epoch{:08}/{}.manifest",
+            self.root, self.job, epoch, pod_name
+        )
+    }
+
+    /// Path of a pod image's content-digest sidecar for an epoch: 16 bytes
+    /// pinning the FNV digest of the full serialized image, verified on
+    /// every read. Sidecar writes are free on the simulated disk (only
+    /// image and chunk bytes are charged), so torn-write detection never
+    /// perturbs pinned traces.
+    pub fn digest_path(&self, pod_name: &str, epoch: u64) -> String {
+        format!(
+            "{}/ckpt/{}/epoch{:08}/{}.fnv",
+            self.root, self.job, epoch, pod_name
+        )
     }
 
     /// Path of a chunk file.
     pub fn chunk_path(&self, id: ChunkId) -> String {
-        format!("/ckpt/{}/chunks/{}.c", self.job, id.hex())
+        format!("{}/ckpt/{}/chunks/{}.c", self.root, self.job, id.hex())
     }
 
     /// Path of the chunk refcount table.
     fn refs_path(&self) -> String {
-        format!("/ckpt/{}/chunks/REFS", self.job)
+        format!("{}/ckpt/{}/chunks/REFS", self.root, self.job)
     }
 
     /// Path of the committed high-water-mark cache.
     fn latest_path(&self) -> String {
-        format!("/ckpt/{}/LATEST", self.job)
+        format!("{}/ckpt/{}/LATEST", self.root, self.job)
     }
 
     /// Path of the commit record for an epoch.
     pub fn commit_path(&self, epoch: u64) -> String {
-        format!("/ckpt/{}/epoch{:08}/COMMIT", self.job, epoch)
+        format!("{}/ckpt/{}/epoch{:08}/COMMIT", self.root, self.job, epoch)
     }
 
     // ---- writes -------------------------------------------------------------
 
-    /// Writes a pod image in the plain (monolithic) representation.
+    /// Writes a pod image in the plain (monolithic) representation, plus
+    /// its digest sidecar so reads can verify the body end-to-end.
     pub fn put_image(&self, pod_name: &str, epoch: u64, bytes: Vec<u8>) {
+        self.write_digest(pod_name, epoch, ChunkId::of(&bytes));
         self.fs.write_file(&self.image_path(pod_name, epoch), bytes);
+    }
+
+    /// Reads the digest sidecar of a pod image, if present and well-formed.
+    pub fn read_digest(&self, pod_name: &str, epoch: u64) -> Option<ChunkId> {
+        let bytes = self.fs.read_file(&self.digest_path(pod_name, epoch))?;
+        let arr: [u8; 16] = bytes.try_into().ok()?;
+        let lo = u64::from_le_bytes(arr[..8].try_into().ok()?);
+        let hi = u64::from_le_bytes(arr[8..].try_into().ok()?);
+        Some(ChunkId(lo, hi))
+    }
+
+    pub(crate) fn write_digest(&self, pod_name: &str, epoch: u64, d: ChunkId) {
+        let mut v = Vec::with_capacity(16);
+        v.extend_from_slice(&d.0.to_le_bytes());
+        v.extend_from_slice(&d.1.to_le_bytes());
+        self.fs.write_file(&self.digest_path(pod_name, epoch), v);
     }
 
     /// Splits a serialized image into content-addressed chunks and computes
@@ -345,6 +422,7 @@ impl CheckpointStore {
             raw_len: raw.len() as u64,
             manifest: mw.finish(),
             chunks,
+            raw_digest: ChunkId::of(raw),
         }
     }
 
@@ -394,13 +472,21 @@ impl CheckpointStore {
                         self.fs.write_file(&path, ch.stored.to_vec());
                     }
                 }
-                self.fs
-                    .write_file(&self.manifest_path(pod_name, epoch), c.manifest);
-                let mut refs = self.read_refs();
-                for ch in &c.chunks {
-                    *refs.entry(ch.id).or_insert(0) += 1;
+                let mpath = self.manifest_path(pod_name, epoch);
+                // Idempotence under replay: re-applying a put whose
+                // identical manifest already landed (an operation-log
+                // replay after a replica crash) must not double-count the
+                // chunk references it already took.
+                let fresh = self.fs.read_file(&mpath).as_deref() != Some(&c.manifest[..]);
+                self.write_digest(pod_name, epoch, c.raw_digest);
+                self.fs.write_file(&mpath, c.manifest);
+                if fresh {
+                    let mut refs = self.read_refs();
+                    for ch in &c.chunks {
+                        *refs.entry(ch.id).or_insert(0) += 1;
+                    }
+                    self.write_refs(&refs);
                 }
-                self.write_refs(&refs);
             }
         }
     }
@@ -443,14 +529,16 @@ impl CheckpointStore {
     /// Reads a pod image, reassembling it from chunks when the epoch holds
     /// a manifest. The returned bytes are identical to what `put` received,
     /// whichever representation stored them. Returns `None` if the image
-    /// (or any chunk it references) is missing or structurally corrupt —
-    /// the end-to-end image checksum still guards the contents.
+    /// (or any chunk it references) is missing, structurally corrupt, or
+    /// fails its digest sidecar — a torn prefix that still happens to
+    /// decode is rejected here, not left for the caller to trip over.
     pub fn get_image(&self, pod_name: &str, epoch: u64) -> Option<Vec<u8>> {
         if let Some(bytes) = self.fs.read_file(&self.image_path(pod_name, epoch)) {
-            return Some(bytes);
+            return (self.read_digest(pod_name, epoch)? == ChunkId::of(&bytes)).then_some(bytes);
         }
         let manifest = self.fs.read_file(&self.manifest_path(pod_name, epoch))?;
-        self.reconstruct(&manifest)
+        let want = self.read_digest(pod_name, epoch)?;
+        self.reconstruct(&manifest, want)
     }
 
     /// Logical size of a pod image in bytes (the size of the serialized
@@ -481,30 +569,34 @@ impl CheckpointStore {
         Some(total)
     }
 
-    fn reconstruct(&self, manifest: &[u8]) -> Option<Vec<u8>> {
+    fn reconstruct(&self, manifest: &[u8], want: ChunkId) -> Option<Vec<u8>> {
         let (raw_len, recs) = decode_manifest(manifest)?;
         // Chunk files are read on the calling thread (the `NetFs` handle is
         // single-threaded); the pure decompression fans out across the
-        // pool and reassembles in manifest order.
+        // pool and reassembles in manifest order. Each decoded chunk must
+        // re-hash to the content address the manifest named it by — a chunk
+        // file whose torn tail still decodes cannot masquerade as the
+        // original — and the assembled image must match the digest sidecar,
+        // which closes the same hole for torn manifests.
         let mut stored = Vec::with_capacity(recs.len());
         for (id, seg_len, _) in recs {
-            stored.push((self.fs.read_file(&self.chunk_path(id))?, seg_len));
+            stored.push((self.fs.read_file(&self.chunk_path(id))?, id, seg_len));
         }
         let pool = Pool::new(self.threads);
         let decoded = pool.map_ordered(
             stored,
             || (),
-            |_, (bytes, seg_len): (Vec<u8>, u32)| {
+            |_, (bytes, id, seg_len): (Vec<u8>, ChunkId, u32)| {
                 chunk::decode_chunk(&bytes)
                     .ok()
-                    .filter(|raw| raw.len() == seg_len as usize)
+                    .filter(|raw| raw.len() == seg_len as usize && ChunkId::of(raw) == id)
             },
         );
         let mut out = Vec::with_capacity(raw_len as usize);
         for raw in decoded {
             out.extend_from_slice(&raw?);
         }
-        (out.len() as u64 == raw_len).then_some(out)
+        (out.len() as u64 == raw_len && ChunkId::of(&out) == want).then_some(out)
     }
 
     // ---- commit bookkeeping -------------------------------------------------
@@ -545,7 +637,7 @@ impl CheckpointStore {
 
     /// Every epoch with any file on disk (committed or not), ascending.
     pub fn all_epochs(&self) -> Vec<u64> {
-        let prefix = format!("/ckpt/{}/", self.job);
+        let prefix = format!("{}/ckpt/{}/", self.root, self.job);
         let mut v: Vec<u64> = self
             .fs
             .list(&prefix)
@@ -573,7 +665,7 @@ impl CheckpointStore {
 
     /// All committed epochs, ascending.
     pub fn committed_epochs(&self) -> Vec<u64> {
-        let prefix = format!("/ckpt/{}/", self.job);
+        let prefix = format!("{}/ckpt/{}/", self.root, self.job);
         let mut v: Vec<u64> = self
             .fs
             .list(&prefix)
@@ -606,14 +698,23 @@ impl CheckpointStore {
     /// manifests' chunk references and deleting chunks that drop to zero.
     pub fn discard_epoch(&self, epoch: u64) {
         let was_committed = self.is_committed(epoch);
-        let prefix = format!("/ckpt/{}/epoch{:08}/", self.job, epoch);
+        let prefix = format!("{}/ckpt/{}/epoch{:08}/", self.root, self.job, epoch);
+        // Remove the epoch's files *before* releasing their references:
+        // a replayed discard then finds no manifests and is a no-op,
+        // instead of double-decrementing refcounts. A crash between the
+        // two halves leaks references (reclaimed by scrub), which is safe;
+        // the reverse order could delete chunks live epochs still need.
+        let mut manifests = Vec::new();
         for path in self.fs.list(&prefix) {
             if path.ends_with(".manifest") {
                 if let Some(manifest) = self.fs.read_file(&path) {
-                    self.release_manifest(&manifest);
+                    manifests.push(manifest);
                 }
             }
             self.fs.remove(&path);
+        }
+        for manifest in &manifests {
+            self.release_manifest(manifest);
         }
         if was_committed && self.read_latest_file() == Some(epoch) {
             // The cached high-water mark pointed at the discarded epoch:
@@ -648,7 +749,7 @@ impl CheckpointStore {
 
     // ---- chunk bookkeeping --------------------------------------------------
 
-    fn read_refs(&self) -> BTreeMap<ChunkId, u64> {
+    pub(crate) fn read_refs(&self) -> BTreeMap<ChunkId, u64> {
         let Some(bytes) = self.fs.read_file(&self.refs_path()) else {
             return BTreeMap::new();
         };
@@ -674,7 +775,7 @@ impl CheckpointStore {
         refs
     }
 
-    fn write_refs(&self, refs: &BTreeMap<ChunkId, u64>) {
+    pub(crate) fn write_refs(&self, refs: &BTreeMap<ChunkId, u64>) {
         if refs.is_empty() {
             self.fs.remove(&self.refs_path());
             return;
@@ -693,7 +794,7 @@ impl CheckpointStore {
 
     /// Every chunk file currently stored for the job, ascending by id.
     pub fn live_chunks(&self) -> Vec<ChunkId> {
-        let prefix = format!("/ckpt/{}/chunks/", self.job);
+        let prefix = format!("{}/ckpt/{}/chunks/", self.root, self.job);
         self.fs
             .list(&prefix)
             .into_iter()
@@ -743,7 +844,7 @@ impl CheckpointStore {
 
     /// Chunk ids referenced by an epoch's manifests (deduplicated).
     pub fn chunks_referenced_by(&self, epoch: u64) -> BTreeSet<ChunkId> {
-        let prefix = format!("/ckpt/{}/epoch{:08}/", self.job, epoch);
+        let prefix = format!("{}/ckpt/{}/epoch{:08}/", self.root, self.job, epoch);
         let mut ids = BTreeSet::new();
         for path in self.fs.list(&prefix) {
             if !path.ends_with(".manifest") {
@@ -762,7 +863,7 @@ impl CheckpointStore {
 
     /// Pod names with images (plain or chunked) in an epoch.
     pub fn pods_in_epoch(&self, epoch: u64) -> Vec<String> {
-        let prefix = format!("/ckpt/{}/epoch{:08}/", self.job, epoch);
+        let prefix = format!("{}/ckpt/{}/epoch{:08}/", self.root, self.job, epoch);
         self.fs
             .list(&prefix)
             .into_iter()
@@ -808,7 +909,7 @@ pub(crate) fn encode_ranges(
 }
 
 /// Parses a manifest into `(raw_len, [(id, seg_len, stored_len)])`.
-fn decode_manifest(bytes: &[u8]) -> Option<(u64, Vec<(ChunkId, u32, u32)>)> {
+pub(crate) fn decode_manifest(bytes: &[u8]) -> Option<(u64, Vec<(ChunkId, u32, u32)>)> {
     let mut r = ImageReader::verify(bytes).ok()?;
     let parsed = (|| -> Result<Option<(u64, Vec<(ChunkId, u32, u32)>)>, zap::image::ImageError> {
         if r.u32()? != MANIFEST_MAGIC || r.u16()? != STORE_VERSION {
@@ -831,30 +932,6 @@ fn decode_manifest(bytes: &[u8]) -> Option<(u64, Vec<(ChunkId, u32, u32)>)> {
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn commit_gating() {
-        let fs = NetFs::new();
-        let s = CheckpointStore::new(fs, "job1");
-        s.put_image("pod0", 1, vec![1, 2, 3]);
-        assert!(!s.is_committed(1));
-        assert_eq!(s.latest_committed_epoch(), None, "uncommitted is invisible");
-        s.commit(1);
-        assert!(s.is_committed(1));
-        assert_eq!(s.latest_committed_epoch(), Some(1));
-        assert_eq!(s.get_image("pod0", 1), Some(vec![1, 2, 3]));
-    }
-
-    #[test]
-    fn latest_epoch_wins() {
-        let fs = NetFs::new();
-        let s = CheckpointStore::new(fs, "j");
-        for e in [3u64, 1, 7, 5] {
-            s.put_image("p", e, vec![e as u8]);
-            s.commit(e);
-        }
-        assert_eq!(s.latest_committed_epoch(), Some(7));
-    }
 
     #[test]
     fn latest_cache_tracks_discard() {
@@ -889,18 +966,6 @@ mod tests {
     }
 
     #[test]
-    fn pods_in_epoch_lists_images() {
-        let fs = NetFs::new();
-        let s = CheckpointStore::new(fs, "j");
-        s.put_image("x", 4, vec![]);
-        s.put_image("y", 4, vec![]);
-        s.commit(4);
-        let mut pods = s.pods_in_epoch(4);
-        pods.sort();
-        assert_eq!(pods, vec!["x".to_string(), "y".to_string()]);
-    }
-
-    #[test]
     fn prune_keeps_only_recent_epochs() {
         let fs = NetFs::new();
         let s = CheckpointStore::new(fs, "j");
@@ -913,16 +978,6 @@ mod tests {
         assert_eq!(s.committed_epochs(), vec![3]);
         assert_eq!(s.get_image("p", 3), Some(vec![3]));
         assert_eq!(s.get_image("p", 1), None);
-    }
-
-    #[test]
-    fn jobs_are_isolated() {
-        let fs = NetFs::new();
-        let a = CheckpointStore::new(fs.clone(), "a");
-        let b = CheckpointStore::new(fs, "b");
-        a.put_image("p", 1, vec![]);
-        a.commit(1);
-        assert_eq!(b.latest_committed_epoch(), None);
     }
 
     // ---- dedup store --------------------------------------------------------

@@ -153,7 +153,9 @@ pub fn extract(sf: &SourceFile) -> Vec<WireEntry> {
             extract_consts(sf, &mut out);
         }
         "crates/cluster/src/events.rs" => extract_events(sf, &mut out),
-        "crates/core/src/store.rs" | "crates/cluster/src/fault.rs" => extract_consts(sf, &mut out),
+        "crates/core/src/store.rs"
+        | "crates/core/src/replog.rs"
+        | "crates/cluster/src/fault.rs" => extract_consts(sf, &mut out),
         _ => {}
     }
     out

@@ -66,7 +66,7 @@ proptest! {
         writer_width in prop_oneof![Just(1usize), Just(4), Just(8)],
     ) {
         let cuts = cuts_from(&recipe, data.len());
-        let serial_cfg = StoreConfig { chunk_bytes, dedup: true, compress, threads: 1 };
+        let serial_cfg = StoreConfig { chunk_bytes, dedup: true, compress, threads: 1, replicas: 1 };
         let fs = NetFs::new();
         let store = CheckpointStore::new(fs.clone(), "j");
         let serial = store.prepare_chunked(&data, &cuts, &serial_cfg);
@@ -153,7 +153,7 @@ proptest! {
             .iter()
             .map(|&t| {
                 (
-                    StoreConfig { chunk_bytes, dedup: true, compress, threads: t },
+                    StoreConfig { chunk_bytes, dedup: true, compress, threads: t, replicas: 1 },
                     CheckpointStore::new(fs.clone(), format!("hinted{t}")),
                     DigestCache::new(),
                 )
@@ -183,7 +183,7 @@ proptest! {
             raw.extend_from_slice(&[0x77; 9]);
             let cuts: Vec<(usize, usize)> = hints.iter().map(|h| (h.offset, h.len)).collect();
 
-            let serial_cfg = StoreConfig { chunk_bytes, dedup: true, compress, threads: 1 };
+            let serial_cfg = StoreConfig { chunk_bytes, dedup: true, compress, threads: 1, replicas: 1 };
             let reference = reference_store.prepare_chunked(&raw, &cuts, &serial_cfg);
             let mut counts: Option<(u64, u64)> = None;
             for (cfg, store, cache) in lanes.iter_mut() {
