@@ -28,6 +28,12 @@
 #  10. chaos smoke      — replays three pinned fault-plan seeds and
 #                         demands byte-identical event traces, then the
 #                         same for three pinned replica-kill plans at k=3
+#  11. loopback smoke   — the twin-runtime demo: the full checkpoint →
+#                         kill-node → recover → restore cycle over real
+#                         loopback UDP sockets must restore the exact
+#                         bytes the simulated run pins (the bin prints
+#                         SKIPPED and exits 0 where the sandbox forbids
+#                         even 127.0.0.1 sockets)
 #
 # Everything runs offline: the only dependencies are the vendored stubs
 # under vendor/ (see DESIGN.md, "Offline builds").
@@ -84,5 +90,11 @@ cargo run --offline -q --release -p bench --bin bench_replication -- --quick
 echo "== chaos smoke (pinned fault-plan replay)"
 cargo run --offline -q --release -p bench --bin chaos
 cargo run --offline -q --release -p bench --bin bench_replication -- --chaos
+
+echo "== loopback smoke (real-socket twin-runtime demo)"
+# The NetRuntime caps each cycle with a 30 s wall budget of its own, so
+# a wedged socket path fails the stage instead of hanging it. The bin
+# skips cleanly (exit 0) when loopback sockets are unavailable.
+cargo run --offline -q --release -p bench --bin loopback_demo
 
 echo "ci: all green"

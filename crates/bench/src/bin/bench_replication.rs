@@ -100,13 +100,16 @@ fn main() {
             "restored images diverge at k = {}",
             r.k
         );
-        // Each extra replica costs one extra store tree plus its op log,
-        // and the append-only log retains every put's blob bytes (the
-        // discarded epoch's included): amplification tracks k at roughly
-        // 1.2k-3.5k for every k > 1.
+        // Each replica costs one store tree plus one op log, and the
+        // post-heal compaction pass shrinks every log to the minimal
+        // self-contained form — roughly one tree's bytes, since the log
+        // must keep carrying the retained epoch's blobs for scrub's
+        // replay-from-empty. Amplification therefore tracks ≈2k; drifting
+        // above 2.2k means compaction stopped firing and history is
+        // accreting in the logs again.
         if r.k > 1 {
-            let lo = 1.2 * r.k as f64;
-            let hi = 3.5 * r.k as f64;
+            let lo = 1.9 * r.k as f64;
+            let hi = 2.2 * r.k as f64;
             assert!(
                 (lo..hi).contains(amp),
                 "write amplification {amp:.2} outside [{lo:.1}, {hi:.1}) at k = {}",
@@ -115,7 +118,7 @@ fn main() {
         }
     }
     println!("# restore succeeded at every k with byte-identical rollback images");
-    println!("# write amplification tracks k (store trees + operation logs)");
+    println!("# write amplification tracks ~2k (store trees + compacted operation logs)");
 
     let json = format!(
         concat!(

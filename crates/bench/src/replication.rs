@@ -276,11 +276,12 @@ mod tests {
         assert_eq!(rows[0].image_digest, rows[1].image_digest);
         assert_eq!(rows[1].replicas_killed, 2);
         assert!(rows[1].scrubbed >= 2, "both dead replicas rebuilt");
-        // k store trees plus k op logs (which retain every put's blob
-        // bytes, including the discarded epoch's): amplification tracks k
-        // at roughly 1.2k–3.5k.
+        // k store trees plus k op logs. The recovery pass compacts each
+        // log to the minimal self-contained form (≈ one tree's bytes), so
+        // amplification sits at ≈2k — not the 2.4k+ an append-only log
+        // retaining the discarded epoch's blobs would show.
         let amp = rows[1].stored_bytes as f64 / rows[0].stored_bytes as f64;
-        assert!((3.6..10.5).contains(&amp), "write amplification {amp}");
+        assert!((5.8..6.4).contains(&amp), "write amplification {amp}");
     }
 
     #[test]

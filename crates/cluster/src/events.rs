@@ -8,11 +8,12 @@
 //! took the same path.
 
 use des::{digest, SimDuration, SimTime};
-use simnet::addr::SockAddr;
 use simnet::EthFrame;
 use zap::image::PodImage;
 
 use cruz::proto::{CtlMsg, ProtocolMode};
+
+use crate::runtime::CtlAddr;
 
 /// One scheduled occurrence in the simulated cluster.
 #[allow(missing_docs)] // variant fields are documented where non-obvious
@@ -30,7 +31,7 @@ pub enum Event {
     AgentCtl {
         node: usize,
         msg: CtlMsg,
-        reply_to: SockAddr,
+        reply_to: CtlAddr,
     },
     /// A node's local save/restore work completes.
     AgentLocalDone { node: usize, op: u64 },

@@ -15,9 +15,9 @@ use des::SimTime;
 use cruz::error::CruzError;
 use cruz::proto::{CtlMsg, ProtocolMode};
 
-use crate::events::Event;
 use crate::params::SparePolicy;
 use crate::recovery::{RecoveryCause, RecoveryOutcome, RecoveryReport};
+use crate::runtime::{Deadline, Timers};
 use crate::state::{ClusterError, World};
 use crate::transport::{CtlSock, CtlTransport};
 
@@ -57,9 +57,9 @@ impl World {
                 last_pong: BTreeMap::new(),
             },
         );
-        self.queue.push(
-            self.now + self.params.recovery.heartbeat_interval,
-            Event::Heartbeat {
+        self.arm(
+            (self.now + self.params.recovery.heartbeat_interval).into(),
+            Deadline::Heartbeat {
                 job: job.to_owned(),
             },
         );
@@ -106,20 +106,20 @@ impl World {
         let mut ctl = self.ctl();
         for &n in &pinged {
             let dst = ctl.agent_addr(n);
-            ctl.send(coord_node, sock, dst, &CtlMsg::Ping { seq }, now);
+            ctl.send(coord_node, sock, dst, &CtlMsg::Ping { seq }, now.into());
         }
         self.postprocess(coord_node);
-        self.queue.push(
-            self.now + self.params.recovery.heartbeat_timeout,
-            Event::HeartbeatTimeout {
+        self.arm(
+            (self.now + self.params.recovery.heartbeat_timeout).into(),
+            Deadline::HeartbeatTimeout {
                 job: job.to_owned(),
-                sent_at: self.now,
+                sent_at: self.now.into(),
                 pinged,
             },
         );
-        self.queue.push(
-            self.now + self.params.recovery.heartbeat_interval,
-            Event::Heartbeat {
+        self.arm(
+            (self.now + self.params.recovery.heartbeat_interval).into(),
+            Deadline::Heartbeat {
                 job: job.to_owned(),
             },
         );
@@ -236,9 +236,9 @@ impl World {
         // reclaimed before the restart reads the store.
         let store = self.store(job);
         // With a replicated store, scrub first: replicas that crashed or
-        // tore mid-append are rebuilt from the longest valid log and
-        // rejoin the set, so the discard/GC ops below (and the restart's
-        // reads) see k healthy, byte-identical copies.
+        // tore mid-append are rebuilt from the reference log and rejoin
+        // the set, so the discard/GC ops below (and the restart's reads)
+        // see k healthy, byte-identical copies.
         if store.replica_count() > 1 {
             let rep = store.scrub_and_repair();
             base_report.scrubbed_replicas = rep.repaired.clone();
@@ -248,6 +248,13 @@ impl World {
             store.discard_epoch(e);
         }
         store.gc_orphan_chunks();
+        // The heal left every replica log carrying the fault's full
+        // history — the discarded epoch's blobs included. Compact to the
+        // minimal self-contained form so write amplification tracks the
+        // retained state (≈2k) instead of accreting per incident.
+        if store.replica_count() > 1 {
+            store.compact_logs();
+        }
         let Some(rollback) = store.latest_committed_epoch() else {
             self.hb.remove(job);
             self.recovery_reports.push(RecoveryReport {
@@ -373,7 +380,7 @@ impl World {
                 let mut ctl = self.ctl();
                 for n in agents {
                     let dst = ctl.agent_addr(n);
-                    ctl.send(new, sock, dst, &CtlMsg::Abort { epoch: op }, now);
+                    ctl.send(new, sock, dst, &CtlMsg::Abort { epoch: op }, now.into());
                 }
             }
             if let Some(o) = self.ops.get_mut(&op) {
@@ -412,11 +419,11 @@ impl World {
     /// divergent or crashed replica is rebuilt from the reference log. A
     /// no-op driver when replication is off (k = 1).
     pub fn schedule_store_scrub(&mut self, job: &str, interval: des::SimDuration) {
-        self.queue.push(
-            self.now + interval,
-            Event::StoreScrub {
+        self.arm(
+            (self.now + interval).into(),
+            Deadline::StoreScrub {
                 job: job.to_owned(),
-                interval,
+                interval: interval.into(),
             },
         );
     }
@@ -434,17 +441,18 @@ impl World {
                 self.scrub_reports.push((self.now, job.to_owned(), rep));
             }
         }
-        self.queue.push(
-            self.now + interval,
-            Event::StoreScrub {
+        self.arm(
+            (self.now + interval).into(),
+            Deadline::StoreScrub {
                 job: job.to_owned(),
-                interval,
+                interval: interval.into(),
             },
         );
     }
 
     /// Drains heartbeat pongs for jobs whose coordinator lives on node `n`.
-    /// The responder is identified by source IP (node i owns 10.0.0.(i+1)).
+    /// The responder is identified by the sender's node index, which the
+    /// transport seam reports directly.
     pub(crate) fn pump_heartbeat(&mut self, n: usize) {
         let hb_socks: Vec<(String, CtlSock)> = self
             .hb
@@ -460,11 +468,8 @@ impl World {
         for (job, sock) in hb_socks {
             while let Some((from, msg)) = self.ctl().recv(n, sock) {
                 if let CtlMsg::Pong { .. } = msg {
-                    let octet = from.ip.octets()[3] as usize;
-                    if octet >= 1 {
-                        if let Some(h) = self.hb.get_mut(&job) {
-                            h.last_pong.insert(octet - 1, self.now);
-                        }
+                    if let Some(h) = self.hb.get_mut(&job) {
+                        h.last_pong.insert(from.node as usize, self.now);
                     }
                 }
             }

@@ -10,7 +10,7 @@ use zap::PodConfig;
 
 use cruz::error::CruzError;
 
-use crate::events::Event;
+use crate::runtime::{Deadline, Timers};
 use crate::state::{ClusterError, World};
 
 /// One pod of a job: where it runs and what it executes.
@@ -263,9 +263,9 @@ impl World {
             return Ok(());
         }
         let r = self.nodes[dst].kernel.disk.submit_read(w, bytes);
-        self.queue.push(
-            r,
-            Event::MigrateFinish {
+        self.arm(
+            r.into(),
+            Deadline::MigrateFinish {
                 job: job.to_owned(),
                 pod: pod.to_owned(),
                 dst,

@@ -6,9 +6,11 @@
 //! must not know what carries its messages):
 //!
 //! ```text
+//!        simrt (DES oracle)          netrt (loopback UDP + OS threads)
 //!                 world (DES loop + node table)
-//!            ops ─── drain ─── heartbeat ─── recovery
-//!                      transport (CtlTransport)
+//!     ops ─ ops_agent ─ drain ─ heartbeat ─ recovery
+//!              transport (CtlTransport)
+//!        runtime (CtlAddr / CtlInstant / Timers)
 //! ```
 //!
 //! * [`params`] — cluster-wide timing parameters, calibrated to the paper's
@@ -21,13 +23,20 @@
 //! * [`state`] — the shared cluster state: [`state::World`]'s fields,
 //!   [`state::ClusterError`] and the installed fault plane, sitting below
 //!   the driver so the operation layers need not import upward;
+//! * [`runtime`] — the sim-agnostic runtime seam: engine-owned time
+//!   ([`runtime::CtlInstant`]), node addressing ([`runtime::CtlAddr`])
+//!   and the [`runtime::Timers`] deadline vocabulary the protocol layers
+//!   schedule against;
 //! * [`transport`] — the [`transport::CtlTransport`] seam: bind/send/recv
-//!   of control frames, with the simulated-UDP backend as its first
-//!   implementation (a real async backend slots in here);
-//! * [`events`] — the engine's DES event vocabulary and the per-event
-//!   fingerprint folded into the trace digest;
-//! * [`ops`] — coordinated-operation runtime: install, message flow,
-//!   retry/timeout, abort, persistence, migration;
+//!   of control frames over [`runtime::CtlAddr`]s, with the simulated-UDP
+//!   backend as its first implementation and the net runtime's loopback
+//!   transport as its second;
+//! * [`events`] — the sim backend's internal DES step log and the
+//!   per-event fingerprint folded into the trace digest;
+//! * [`ops`] — coordinated-operation runtime, coordinator side: install,
+//!   message flow, retry/timeout, abort, migration;
+//! * [`ops_agent`] — coordinated-operation runtime, agent side: freeze,
+//!   capture, persist, restore, resume, roll back;
 //! * [`drain`] — COW capture scheduling (snapshot arm, background drain,
 //!   retroactive disk batches);
 //! * [`heartbeat`] — failure detection, the self-healing recovery pass and
@@ -35,7 +44,12 @@
 //! * [`recovery`] — recovery reports emitted by the self-healing manager;
 //! * [`world`] — [`world::World`]: the thin driver that owns the event
 //!   loop, the node table and the switch, and dispatches to the layers
-//!   above.
+//!   above;
+//! * [`simrt`] — [`simrt::SimRuntime`]: the deterministic DES backend of
+//!   the runtime seam, byte-identical and pinned by the golden traces;
+//! * [`netrt`] — [`netrt::NetRuntime`]: the same protocol engine over
+//!   real `std::net::UdpSocket`s on loopback, one OS thread per node and
+//!   a wall clock.
 //!
 //! Benchmarks and examples drive a `World`; everything they measure emerges
 //! from the simulated components rather than from hard-coded results.
@@ -47,23 +61,30 @@ pub mod events;
 pub mod fault;
 pub mod heartbeat;
 pub mod jobs;
+pub mod netrt;
 pub mod node;
 pub mod ops;
+pub mod ops_agent;
 pub mod params;
 pub mod recovery;
+pub mod runtime;
+pub mod simrt;
 pub mod state;
 pub mod transport;
 pub mod world;
 
-pub use cruz::replog::{ReplicatedStore, ScrubReport};
+pub use cruz::replog::{CompactReport, ReplicatedStore, ScrubReport};
 pub use cruz::store::StoreConfig;
 pub use events::Event;
 pub use fault::{
     CrashFault, DiskFault, FaultPlan, ProtocolPoint, ReplicaFault, ReplicaFaultKind, StoreOpPoint,
 };
 pub use jobs::{JobRuntime, JobSpec, PodPlacement, PodSpec};
+pub use netrt::{NetRuntime, NetRuntimeReport};
 pub use ops::{CkptOptions, OpReport};
 pub use params::{CkptCaptureMode, ClusterParams, RecoveryParams, RetryPolicy, SparePolicy};
 pub use recovery::{RecoveryCause, RecoveryOutcome, RecoveryReport};
+pub use runtime::{CtlAddr, CtlDuration, CtlInstant, Deadline, Timers};
+pub use simrt::{CycleReport, SimRuntime};
 pub use transport::{CtlSock, CtlTransport, SimnetCtl};
 pub use world::{ClusterError, Node, World};

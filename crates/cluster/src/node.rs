@@ -7,11 +7,13 @@
 //! at the world driver.
 
 use des::SimTime;
-use simnet::addr::{IpAddr, SockAddr};
+use simnet::addr::IpAddr;
 use simos::kernel::Kernel;
 use zap::Zap;
 
 use cruz::agent::Agent;
+
+use crate::runtime::CtlAddr;
 
 /// An opaque handle to one bound control-plane endpoint on one node.
 ///
@@ -34,7 +36,7 @@ pub struct Node {
     pub zap: Zap,
     pub(crate) agent: Agent,
     pub(crate) agent_sock: CtlSock,
-    pub(crate) agent_coord_addr: Option<SockAddr>,
+    pub(crate) agent_coord_addr: Option<CtlAddr>,
     pub(crate) alive: bool,
     pub(crate) run_scheduled: bool,
     pub(crate) timer_scheduled: Option<SimTime>,

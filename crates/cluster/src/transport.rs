@@ -8,17 +8,22 @@
 //! protocol): the protocol engine is written once against this seam, and
 //! a backend is free to carry frames however it likes.
 //!
+//! The trait speaks only engine-owned types — [`CtlAddr`] node-index
+//! addressing and [`CtlInstant`] clock readings (`crate::runtime`), never
+//! `simnet::SockAddr` or `des::SimTime` — so a backend over real sockets
+//! implements these four methods and the engine above compiles unchanged.
+//!
 //! The first backend is [`SimnetCtl`]: unreliable datagrams over the
 //! simulated UDP/IP/Ethernet substrate. Frames it sends are subject to
 //! everything the fabric does to real traffic — link serialization delay,
 //! switch forwarding, seeded loss, and the fault plane's
 //! drop/duplicate/reorder injections — which is exactly why the protocol
 //! layers must tolerate delivery faults rather than assume a reliable
-//! channel. A future async-socket backend implements these four methods
-//! and the engine above compiles unchanged.
+//! channel. The second is the net runtime's loopback-UDP transport
+//! (`crate::netrt`), which carries the same frames over real
+//! `std::net::UdpSocket`s.
 
 use bytes::Bytes;
-use des::SimTime;
 use simnet::addr::SockAddr;
 use simnet::stack::SocketId;
 
@@ -26,6 +31,7 @@ use cruz::error::CruzError;
 use cruz::proto::{CtlMsg, AGENT_PORT};
 
 use crate::node::{node_ip, Node};
+use crate::runtime::{CtlAddr, CtlInstant};
 
 pub use crate::node::CtlSock;
 
@@ -39,9 +45,10 @@ pub use crate::node::CtlSock;
 ///   idempotence.
 /// * **Non-blocking** — `recv` drains at most one decodable frame and
 ///   never waits; the event loop polls it at node-service points.
-/// * **Addressed** — nodes are named by index; [`CtlTransport::agent_addr`]
-///   maps an index to the well-known agent endpoint so callers never
-///   derive wire addresses themselves.
+/// * **Addressed** — nodes are named by index ([`CtlAddr`]), never by
+///   wire address; [`CtlTransport::agent_addr`] maps an index to the
+///   well-known agent endpoint so callers never derive addresses
+///   themselves.
 pub trait CtlTransport {
     /// Binds a fresh control endpoint on `node` at `port` (`0` requests an
     /// ephemeral port).
@@ -55,21 +62,22 @@ pub trait CtlTransport {
     /// Sends one control frame from `sock` on `node` to `dst`,
     /// fire-and-forget. A refused or unroutable send is dropped silently —
     /// indistinguishable, to the protocol, from loss in flight.
-    fn send(&mut self, node: usize, sock: CtlSock, dst: SockAddr, msg: &CtlMsg, now: SimTime);
+    fn send(&mut self, node: usize, sock: CtlSock, dst: CtlAddr, msg: &CtlMsg, now: CtlInstant);
 
     /// Receives the next decodable control frame queued on `sock`, with
     /// its source address. Undecodable datagrams are discarded. `None`
     /// when the queue is empty.
-    fn recv(&mut self, node: usize, sock: CtlSock) -> Option<(SockAddr, CtlMsg)>;
+    fn recv(&mut self, node: usize, sock: CtlSock) -> Option<(CtlAddr, CtlMsg)>;
 
     /// The well-known control-plane address of `node`'s agent endpoint.
-    fn agent_addr(&self, node: usize) -> SockAddr;
+    fn agent_addr(&self, node: usize) -> CtlAddr;
 }
 
 /// The simulated-UDP backend: control frames ride real datagrams through
 /// each node's [`simnet`] stack, the switch, and the per-link
 /// bandwidth/latency model — so control-plane cost and control-plane loss
-/// are emergent, not modelled.
+/// are emergent, not modelled. [`CtlAddr`]s map onto the `10.0.0.(n+1)`
+/// subnet at the seam; the engine above never sees a wire address.
 pub struct SimnetCtl<'a> {
     nodes: &'a mut [Node],
 }
@@ -77,6 +85,23 @@ pub struct SimnetCtl<'a> {
 impl<'a> SimnetCtl<'a> {
     pub(crate) fn new(nodes: &'a mut [Node]) -> SimnetCtl<'a> {
         SimnetCtl { nodes }
+    }
+
+    /// The wire address of an engine-level endpoint.
+    fn wire_addr(addr: CtlAddr) -> SockAddr {
+        SockAddr::new(node_ip(addr.node as usize), addr.port)
+    }
+
+    /// The engine-level endpoint a wire source address names: the node
+    /// whose `10.0.0.(n+1)` address it is. Frames from outside the node
+    /// subnet have no engine name and are discarded by `recv`.
+    fn engine_addr(addr: SockAddr) -> Option<CtlAddr> {
+        let o = addr.ip.octets();
+        if o[0] == 10 && o[1] == 0 && o[2] == 0 && o[3] >= 1 {
+            Some(CtlAddr::new((o[3] - 1) as usize, addr.port))
+        } else {
+            None
+        }
     }
 }
 
@@ -90,29 +115,31 @@ impl CtlTransport for SimnetCtl<'_> {
         Ok(CtlSock(s.0))
     }
 
-    fn send(&mut self, node: usize, sock: CtlSock, dst: SockAddr, msg: &CtlMsg, now: SimTime) {
+    fn send(&mut self, node: usize, sock: CtlSock, dst: CtlAddr, msg: &CtlMsg, now: CtlInstant) {
         // Fire-and-forget by contract: a refused or unroutable send is,
         // to the protocol, indistinguishable from loss in flight, and the
         // layers above own retry. cruz-lint: allow(swallowed-error)
         let _ = self.nodes[node].kernel.net.udp_send_to(
             SocketId(sock.0),
-            dst,
+            Self::wire_addr(dst),
             Bytes::from(msg.encode()),
-            now,
+            now.into(),
         );
     }
 
-    fn recv(&mut self, node: usize, sock: CtlSock) -> Option<(SockAddr, CtlMsg)> {
+    fn recv(&mut self, node: usize, sock: CtlSock) -> Option<(CtlAddr, CtlMsg)> {
         let net = &mut self.nodes[node].kernel.net;
         while let Ok(Some((from, bytes))) = net.udp_recv_from(SocketId(sock.0)) {
             if let Some(msg) = CtlMsg::decode(&bytes) {
-                return Some((from, msg));
+                if let Some(addr) = Self::engine_addr(from) {
+                    return Some((addr, msg));
+                }
             }
         }
         None
     }
 
-    fn agent_addr(&self, node: usize) -> SockAddr {
-        SockAddr::new(node_ip(node), AGENT_PORT)
+    fn agent_addr(&self, node: usize) -> CtlAddr {
+        CtlAddr::new(node, AGENT_PORT)
     }
 }

@@ -30,6 +30,7 @@ use crate::fault::{FaultPlan, ProtocolPoint};
 use crate::jobs::JobRuntime;
 use crate::params::ClusterParams;
 use crate::recovery::RecoveryReport;
+use crate::runtime::{CtlInstant, Deadline, Timers};
 use crate::state::FaultState;
 use crate::transport::{CtlSock, CtlTransport, SimnetCtl};
 
@@ -504,5 +505,79 @@ impl World {
         self.pump_agent(n);
         self.pump_heartbeat(n);
         self.pump_coord(n);
+    }
+}
+
+/// The sim backend's 1:1 mapping from the protocol's portable deadline
+/// vocabulary onto its internal [`Event`] step log. Same variant, same
+/// fields, lossless time conversion — which is how the `Timers` refactor
+/// leaves every pinned golden-trace digest untouched.
+fn deadline_event(d: Deadline) -> Event {
+    match d {
+        Deadline::AgentCtl {
+            node,
+            msg,
+            reply_to,
+        } => Event::AgentCtl {
+            node,
+            msg,
+            reply_to,
+        },
+        Deadline::AgentLocalDone { node, op } => Event::AgentLocalDone { node, op },
+        Deadline::AgentDurable { node, op } => Event::AgentDurable { node, op },
+        Deadline::CkptDrain { node, op } => Event::CkptDrain { node, op },
+        Deadline::CoordCtl { op, from, msg } => Event::CoordCtl { op, from, msg },
+        Deadline::CoordSend { op, to, msg } => Event::CoordSend { op, to, msg },
+        Deadline::CoordTimeout { op } => Event::CoordTimeout { op },
+        Deadline::CoordRetry { op, attempt } => Event::CoordRetry { op, attempt },
+        Deadline::Heartbeat { job } => Event::Heartbeat { job },
+        Deadline::HeartbeatTimeout {
+            job,
+            sent_at,
+            pinged,
+        } => Event::HeartbeatTimeout {
+            job,
+            sent_at: sent_at.into(),
+            pinged,
+        },
+        Deadline::PeriodicCkpt {
+            job,
+            interval,
+            mode,
+            cow,
+        } => Event::PeriodicCkpt {
+            job,
+            interval: interval.into(),
+            mode,
+            cow,
+        },
+        Deadline::MigrateFinish {
+            job,
+            pod,
+            dst,
+            image,
+        } => Event::MigrateFinish {
+            job,
+            pod,
+            dst,
+            image,
+        },
+        Deadline::StoreScrub { job, interval } => Event::StoreScrub {
+            job,
+            interval: interval.into(),
+        },
+    }
+}
+
+/// The DES backend of the runtime seam: `now` is virtual time and `arm`
+/// appends to the deterministic event queue (insertion order breaks time
+/// ties, satisfying the [`Timers`] ordering contract exactly).
+impl Timers for World {
+    fn now(&self) -> CtlInstant {
+        self.now.into()
+    }
+
+    fn arm(&mut self, at: CtlInstant, d: Deadline) {
+        self.queue.push(at.into(), deadline_event(d));
     }
 }

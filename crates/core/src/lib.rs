@@ -68,7 +68,7 @@ pub use pagecache::{page_hints, DigestCache, PageHint};
 pub use parpool::Pool;
 pub use proto::{CtlMsg, OpKind, ProtocolMode, AGENT_PORT, COORD_PORT};
 pub use replog::{
-    install_replica_faults, ReplicaFault, ReplicaFaultKind, ReplicatedStore, ScrubReport,
-    StoreOpPoint,
+    install_replica_faults, CompactReport, ReplicaFault, ReplicaFaultKind, ReplicatedStore,
+    ScrubReport, StoreOpPoint,
 };
 pub use store::{CheckpointStore, PreparedPut, StoreConfig};

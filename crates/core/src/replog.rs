@@ -16,9 +16,11 @@
 //!   replica whose reassembled bytes actually verify against it. A torn
 //!   or corrupt copy — caught by the store's per-chunk content addresses
 //!   and whole-image digest — just falls through to a healthy replica.
-//! * **Scrub/repair** — [`ReplicatedStore::scrub_and_repair`] elects the
-//!   replica with the longest valid log prefix as the reference, rebuilds
-//!   it canonically (wipe + replay its own log), and rebuilds every
+//! * **Scrub/repair** — [`ReplicatedStore::scrub_and_repair`] elects a
+//!   reference replica by `(newest committed epoch in the log, log
+//!   length)` — commit history first, so a freshly compacted log outranks
+//!   a stale replica's longer one — rebuilds it canonically (wipe +
+//!   replay its own log), and rebuilds every
 //!   diverging or dead replica the same way from the reference log.
 //!   Replay-from-empty is the one true constructor of replica state, so
 //!   convergence is byte-exact by construction, and a replica that died
@@ -372,14 +374,28 @@ fn apply_chunked(
 /// What a scrub pass found and fixed.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct ScrubReport {
-    /// The replica elected as reference (longest valid log, ties to the
-    /// lowest index).
+    /// The replica elected as reference: newest committed epoch in its
+    /// valid log prefix, then log length, ties to the lowest index.
     pub reference: usize,
     /// Replicas whose log or tree diverged and were rebuilt from the
     /// reference log.
     pub repaired: Vec<usize>,
     /// Previously-crashed replicas brought back into the read/write set.
     pub revived: Vec<usize>,
+}
+
+/// What a compaction pass rewrote (see [`ReplicatedStore::compact_logs`]).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct CompactReport {
+    /// The live replicas whose logs were rewritten, ascending.
+    pub compacted: Vec<usize>,
+    /// Op count of the primary's log before compaction.
+    pub ops_before: usize,
+    /// Op count of the synthesized minimal log.
+    pub ops_after: usize,
+    /// Log bytes reclaimed per replica (primary's old length minus the
+    /// minimal log's length; saturating).
+    pub bytes_reclaimed: u64,
 }
 
 /// k replica [`CheckpointStore`]s behind the one-store API. Replica 0
@@ -706,6 +722,111 @@ impl ReplicatedStore {
         self.primary().live_chunks()
     }
 
+    // ---- compaction -----------------------------------------------------
+
+    /// Rewrites every live replica's log (and tree) to the minimal
+    /// self-contained form that reconstructs its current contents: one
+    /// put per pod image still on disk plus one commit record per
+    /// committed epoch, in epoch order.
+    ///
+    /// The append-only log otherwise retains every historical put's blob
+    /// bytes forever — discarded and pruned epochs included — so a
+    /// long-running job's write amplification grows with history, not
+    /// state. Compaction caps it at ≈2k (k store trees + k minimal logs);
+    /// the floor is 2k rather than k because the log must keep carrying
+    /// the retained epochs' blobs — wipe + replay-from-empty is scrub's
+    /// one true constructor of replica state.
+    ///
+    /// Each live replica is rebuilt by wipe + replay of the synthesized
+    /// log, so the post-compaction invariant is exactly scrub's: log
+    /// bytes equal ⇒ trees byte-identical. Dead replicas keep their stale
+    /// logs until scrub revives them; the scrub election ranks newest
+    /// commit epoch above log length precisely so a freshly compacted
+    /// (short) log still outranks a stale replica's longer history. A
+    /// maintenance pass, not a logical store op: nothing is appended to
+    /// the log and the replica fault points do not fire. No-op at `k = 1`.
+    pub fn compact_logs(&self) -> CompactReport {
+        if self.k == 1 {
+            return CompactReport::default();
+        }
+        let alive = self.alive_replicas();
+        let Some(&primary) = alive.first() else {
+            return CompactReport::default();
+        };
+        let (old_ops, old_len) = read_log(&self.fs, &self.log_path(primary));
+        let ops = self.synthesize_ops(primary);
+        let mut log = log_header();
+        for op in &ops {
+            log.extend_from_slice(&encode_record(op));
+        }
+        for &r in &alive {
+            self.wipe_replica(r);
+            self.replay_log(r, &log);
+        }
+        CompactReport {
+            compacted: alive,
+            ops_before: old_ops.len(),
+            ops_after: ops.len(),
+            bytes_reclaimed: old_len.saturating_sub(log.len() as u64),
+        }
+    }
+
+    /// The minimal op sequence whose replay-from-empty reconstructs
+    /// replica `r`'s current tree: for each epoch still on disk
+    /// (ascending) the put of every pod image present, then its commit
+    /// record if committed. Chunk blobs ride with the first put that
+    /// references them, exactly as a live [`ReplicatedStore::put_prepared`]
+    /// would have logged them against an empty store, so the synthesized
+    /// log is self-contained.
+    fn synthesize_ops(&self, r: usize) -> Vec<LogOp> {
+        let store = self.replica(r);
+        let committed: BTreeSet<u64> = store.committed_epochs().into_iter().collect();
+        let mut epochs: Vec<u64> = store.uncommitted_epochs();
+        epochs.extend(committed.iter().copied());
+        epochs.sort_unstable();
+        epochs.dedup();
+        let mut emitted: BTreeSet<ChunkId> = BTreeSet::new();
+        let mut ops = Vec::new();
+        for &epoch in &epochs {
+            let mut pods = store.pods_in_epoch(epoch);
+            pods.sort();
+            pods.dedup();
+            for pod in pods {
+                if let Some(manifest) = self.fs.read_file(&store.manifest_path(&pod, epoch)) {
+                    // A chunked image missing its digest sidecar is torn
+                    // state no quorum read will ever serve; drop it rather
+                    // than synthesize a sidecar the bytes never earned.
+                    let Some(image) = store.read_digest(&pod, epoch) else {
+                        continue;
+                    };
+                    let mut blobs = Vec::new();
+                    if let Some((_, recs)) = store::decode_manifest(&manifest) {
+                        for (id, _, _) in recs {
+                            if emitted.insert(id) {
+                                if let Some(body) = self.fs.read_file(&store.chunk_path(id)) {
+                                    blobs.push((id, body));
+                                }
+                            }
+                        }
+                    }
+                    ops.push(LogOp::PutChunked {
+                        pod,
+                        epoch,
+                        manifest,
+                        image,
+                        blobs,
+                    });
+                } else if let Some(bytes) = self.fs.read_file(&store.image_path(&pod, epoch)) {
+                    ops.push(LogOp::PutPlain { pod, epoch, bytes });
+                }
+            }
+            if committed.contains(&epoch) {
+                ops.push(LogOp::Commit { epoch });
+            }
+        }
+        ops
+    }
+
     // ---- scrub ----------------------------------------------------------
 
     /// Digest of replica `r`'s entire store tree (every path and byte
@@ -743,25 +864,39 @@ impl ReplicatedStore {
         }
     }
 
-    /// Compares replica logs and tree digests, elects the replica with the
-    /// longest valid log as reference (ties to the lowest index), rebuilds
-    /// it canonically (wipe + replay its own valid log prefix, which also
-    /// truncates any torn tail and reclaims unlogged stranded bytes), and
-    /// rebuilds every diverging replica from the reference log. Crashed
-    /// replicas are revived: after repair they hold the reference state
-    /// and rejoin the read/write set.
+    /// Compares replica logs and tree digests, elects a reference replica
+    /// by `(newest committed epoch in the valid log prefix, op count)` —
+    /// ties to the lowest index — rebuilds it canonically (wipe + replay
+    /// its own valid log prefix, which also truncates any torn tail and
+    /// reclaims unlogged stranded bytes), and rebuilds every diverging
+    /// replica from the reference log. Crashed replicas are revived:
+    /// after repair they hold the reference state and rejoin the
+    /// read/write set.
+    ///
+    /// Commit history outranks raw length so that a live replica whose
+    /// log was compacted (short, but current) can never lose the election
+    /// to a replica that died before compaction holding a longer — but
+    /// staler — history, which would silently roll back committed epochs.
     pub fn scrub_and_repair(&self) -> ScrubReport {
         if self.k == 1 {
             return ScrubReport::default();
         }
         let prev_dead = read_dead(&self.fs);
         let mut reference = 0;
-        let mut best = None;
+        let mut best: Option<(u64, usize)> = None;
         for r in 0..self.k {
             let (ops, _) = read_log(&self.fs, &self.log_path(r));
-            let n = ops.len();
-            if best.is_none_or(|b| n > b) {
-                best = Some(n);
+            let newest_commit = ops
+                .iter()
+                .filter_map(|op| match op {
+                    LogOp::Commit { epoch } => Some(*epoch),
+                    _ => None,
+                })
+                .max()
+                .unwrap_or(0);
+            let key = (newest_commit, ops.len());
+            if best.is_none_or(|b| key > b) {
+                best = Some(key);
                 reference = r;
             }
         }
@@ -969,11 +1104,90 @@ mod tests {
     }
 
     #[test]
+    fn compaction_minimizes_logs_and_preserves_reads() {
+        let fs = NetFs::new();
+        let cfg = dedup_cfg();
+        let rs = ReplicatedStore::new(fs.clone(), "job", 3).with_threads(1);
+        put_epoch(&rs, &cfg, 1, 0x61);
+        put_epoch(&rs, &cfg, 2, 0x61); // heavy dedup vs epoch 1
+        put_epoch(&rs, &cfg, 3, 0x77);
+        rs.prune_below(3);
+        rs.gc_orphan_chunks();
+        let before_len = fs.len_of(&rs.log_path(0)).unwrap_or(0);
+
+        let rep = rs.compact_logs();
+        assert_eq!(rep.compacted, vec![0, 1, 2]);
+        // History: 3 × (put + commit) + prune + gc = 8 ops; state: one
+        // retained epoch = put + commit.
+        assert_eq!(rep.ops_before, 8);
+        assert_eq!(rep.ops_after, 2);
+        assert!(rep.bytes_reclaimed > 0);
+        assert!(fs.len_of(&rs.log_path(0)).unwrap_or(u64::MAX) < before_len);
+
+        // All replicas hold identical trees and the retained epoch still
+        // reads back exactly.
+        let d = digests(&rs);
+        assert_eq!(d[0], d[1]);
+        assert_eq!(d[1], d[2]);
+        assert_eq!(rs.get_image("pod0", 3), Some(image(0x77, 1024)));
+        assert_eq!(rs.latest_committed_epoch(), Some(3));
+
+        // The compacted log is self-contained: replay-from-empty
+        // reconstructs the same tree.
+        rs.wipe_replica(2);
+        let log = fs.read_file(&rs.log_path(0)).unwrap_or_default();
+        rs.replay_log(2, &log);
+        assert_eq!(rs.tree_digest(2), d[0]);
+
+        // And a scrub over the compacted set is a no-op.
+        let scrub = rs.scrub_and_repair();
+        assert!(scrub.repaired.is_empty());
+        assert_eq!(digests(&rs), d);
+    }
+
+    #[test]
+    fn scrub_election_prefers_commit_history_over_log_length() {
+        let fs = NetFs::new();
+        let cfg = dedup_cfg();
+        let rs = ReplicatedStore::new(fs.clone(), "job", 3).with_threads(1);
+        put_epoch(&rs, &cfg, 1, 0x11);
+        put_epoch(&rs, &cfg, 2, 0x22);
+        // Replica 2 dies before epoch 3, stranded with the 4-op history
+        // [put1, commit1, put2, commit2].
+        install_replica_faults(
+            &fs,
+            &[ReplicaFault {
+                replica: 2,
+                point: StoreOpPoint::Put,
+                nth: 0,
+                kind: ReplicaFaultKind::Crash,
+            }],
+        );
+        put_epoch(&rs, &cfg, 3, 0x33);
+        rs.prune_below(3);
+        // The live replicas compact to the 2-op minimal log [put3,
+        // commit3] — *shorter* than the dead replica's stale history. A
+        // longest-log election would resurrect the stale replica as
+        // reference and roll committed epoch 3 back; the commit-first key
+        // must keep a live replica in charge.
+        rs.compact_logs();
+        let rep = rs.scrub_and_repair();
+        assert_eq!(rep.reference, 0);
+        assert_eq!(rep.revived, vec![2]);
+        let d = digests(&rs);
+        assert_eq!(d[0], d[1]);
+        assert_eq!(d[1], d[2]);
+        assert_eq!(rs.latest_committed_epoch(), Some(3));
+        assert_eq!(rs.get_image("pod0", 3), Some(image(0x33, 1024)));
+    }
+
+    #[test]
     fn k1_writes_no_control_or_log_files() {
         let fs = NetFs::new();
         let rs = ReplicatedStore::new(fs.clone(), "job", 1);
         rs.put_prepared("pod0", 1, PreparedPut::Plain(image(0x55, 512)));
         rs.commit(1);
+        assert_eq!(rs.compact_logs(), CompactReport::default());
         assert!(fs.list("/replog/").is_empty());
         assert!(fs.list("/replctl/").is_empty());
         assert!(fs.list("/rep").is_empty());

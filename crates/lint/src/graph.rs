@@ -10,11 +10,11 @@
 //!   siblings and anything below it; an up-stack reference (e.g. `cruz`
 //!   importing `cluster`) inverts the architecture and fails.
 //! * **Cluster modules** — within `crates/cluster/src/`, layering is
-//!   `node`/`fault`/`params`/`recovery` (base) → `transport` → `events` →
-//!   `state`/`ops`/`drain`/`heartbeat`/`jobs` → `world`. `lib.rs` is the
-//!   assembly root and exempt. Modules not in the map sit at the base, so
-//!   a new module that needs to import up-stack must be added to
-//!   [`CLUSTER_LAYERS`] deliberately.
+//!   `runtime`/`node`/`fault`/`params`/`recovery` (base) → `transport` →
+//!   `events` → `state`/`ops`/`ops_agent`/`drain`/`heartbeat`/`jobs` →
+//!   `world` → `simrt`/`netrt`. `lib.rs` is the assembly root and exempt.
+//!   Modules not in the map sit at the base, so a new module that needs
+//!   to import up-stack must be added to [`CLUSTER_LAYERS`] deliberately.
 //!
 //! Only *type* imports create edges: the cluster's `impl World` extension
 //! modules define inherent methods callable crate-wide without importing
@@ -42,6 +42,7 @@ pub const CRATE_LEVELS: &[(&str, u32)] = &[
 /// The cluster engine's internal layering. Modules not listed sit at
 /// level 0 (importable by everyone, importing no one above the base).
 pub const CLUSTER_LAYERS: &[(&str, u32)] = &[
+    ("runtime", 0),
     ("node", 0),
     ("fault", 0),
     ("params", 0),
@@ -50,10 +51,13 @@ pub const CLUSTER_LAYERS: &[(&str, u32)] = &[
     ("events", 2),
     ("state", 3),
     ("ops", 3),
+    ("ops_agent", 3),
     ("drain", 3),
     ("heartbeat", 3),
     ("jobs", 3),
     ("world", 4),
+    ("simrt", 5),
+    ("netrt", 5),
 ];
 
 fn crate_level(tok: &str) -> Option<u32> {
@@ -137,9 +141,10 @@ pub fn scan(sf: &SourceFile, out: &mut Vec<Finding>) {
                     format!(
                         "cluster module `{stem}` (layer {own_mod_level}) imports \
                          `crate::{target}` (layer {target_level}); layering is \
-                         transport → events → state/ops/drain/heartbeat/jobs → world \
-                         (move the shared type down, or add the module to CLUSTER_LAYERS \
-                         in crates/lint/src/graph.rs at its true level)"
+                         transport → events → state/ops/ops_agent/drain/heartbeat/jobs \
+                         → world → simrt/netrt (move the shared type down, or add the \
+                         module to CLUSTER_LAYERS in crates/lint/src/graph.rs at its \
+                         true level)"
                     ),
                 );
             }

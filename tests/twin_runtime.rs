@@ -1,0 +1,90 @@
+//! The twin-runtime property (the runtime-seam acceptance test): the
+//! deterministic DES backend and the loopback-UDP backend must restore
+//! **byte-identical** images for the same pinned workload.
+//!
+//! The workload runs to completion before capture on both backends, so
+//! its image bytes are independent of *when* the capture happened — the
+//! only thing the two backends can legitimately disagree on is timing,
+//! and the digest deliberately excludes it.
+//!
+//! The net-backend tests probe `loopback_available()` first and skip
+//! cleanly where the sandbox forbids even `127.0.0.1` sockets.
+
+use cruz_repro::cluster::netrt::loopback_available;
+use cruz_repro::cluster::{ClusterParams, JobSpec, NetRuntime, PodSpec, SimRuntime};
+use cruz_repro::simnet::addr::{IpAddr, MacAddr};
+use cruz_repro::workloads::compute::ComputeConfig;
+use cruz_repro::zap::image::MacMode;
+
+/// The pinned single-node workload: a short compute pod on node 0,
+/// coordinator on node 2, node 1 held as the restore spare.
+fn twin_spec() -> JobSpec {
+    let cfg = ComputeConfig {
+        outer: 40,
+        inner: 50,
+    };
+    JobSpec {
+        name: "twin".into(),
+        coordinator_node: 2,
+        pods: vec![PodSpec {
+            name: "p0".into(),
+            ip: IpAddr::from_octets([10, 0, 1, 9]),
+            mac_mode: MacMode::Dedicated(MacAddr::from_index(3001)),
+            node: 0,
+            programs: vec![cfg.program()],
+        }],
+    }
+}
+
+#[test]
+fn sim_and_net_backends_restore_identical_images() {
+    let spec = twin_spec();
+    let mut sim = SimRuntime::new(3, ClusterParams::default());
+    let sim_rep = sim.run_cycle(&spec, 1).expect("sim cycle completes");
+    assert_eq!(sim_rep.restored_pods, vec!["p0".to_string()]);
+
+    if !loopback_available() {
+        eprintln!("SKIPPED: loopback UDP unavailable in this environment");
+        return;
+    }
+    let net = NetRuntime::new(3, ClusterParams::default());
+    let net_rep = net.run_cycle(&spec, 1).expect("net cycle completes");
+    assert_eq!(net_rep.restored_pods, sim_rep.restored_pods);
+    assert_eq!(
+        net_rep.restored_digest, sim_rep.restored_digest,
+        "twin runtimes disagree on restored image bytes"
+    );
+}
+
+#[test]
+fn sim_cycle_is_replayable() {
+    let spec = twin_spec();
+    let a = SimRuntime::new(3, ClusterParams::default())
+        .run_cycle(&spec, 1)
+        .expect("first sim cycle");
+    let b = SimRuntime::new(3, ClusterParams::default())
+        .run_cycle(&spec, 1)
+        .expect("second sim cycle");
+    assert_eq!(a, b, "the DES backend must replay identically");
+}
+
+#[test]
+fn net_runtime_shuts_down_cleanly_under_fault() {
+    if !loopback_available() {
+        eprintln!("SKIPPED: loopback UDP unavailable in this environment");
+        return;
+    }
+    let spec = twin_spec();
+    let net = NetRuntime::new(3, ClusterParams::default());
+    let rep = net.run_cycle(&spec, 1).expect("net cycle completes");
+    // Every OS thread spawned (3 nodes + store service) was joined — no
+    // hung threads, and every socket they owned is closed with them.
+    assert_eq!(rep.joined_threads, 4, "hung or leaked node threads");
+    // Exactly the fault-injected node died fail-stop; the heartbeat pass
+    // over real sockets converged on it.
+    assert_eq!(rep.killed_threads, 1);
+    assert_eq!(rep.failed_nodes, vec![0]);
+    assert!(rep.workloads_finished >= 1);
+    assert!(rep.pings_sent > 0);
+    assert!(rep.pongs_received <= rep.pings_sent);
+}
